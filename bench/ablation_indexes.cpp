@@ -1,0 +1,38 @@
+// Ablation: how much of the join-graph win is the tailored Table VI
+// B-tree set? Runs Q1/Q3/Q4 with (a) the advisor set, (b) no indexes at
+// all (every access path degenerates to TBSCAN).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace xqjg;
+using bench::Workbench;
+
+int main() {
+  Workbench& wb = Workbench::Instance();
+  std::printf("Ablation — tailored B-trees vs no indexes (join graph "
+              "mode)\n\n%-5s %12s %12s %9s\n",
+              "Query", "indexed (s)", "no-index (s)", "factor");
+  for (const auto& q : api::PaperQueries()) {
+    if (q.id == "Q2") continue;  // fallback path: not index-sensitive
+    api::RunOptions options;
+    options.mode = api::Mode::kJoinGraph;
+    options.context_document = q.document;
+    options.timeout_seconds = wb.dnf_seconds;
+    auto with = wb.processor.Run(q.text, options);
+    wb.processor.DropRelationalIndexes();
+    auto without = wb.processor.Run(q.text, options);
+    auto restore = wb.processor.CreateRelationalIndexes();
+    if (!restore.ok() || !with.ok()) return 1;
+    if (!without.ok()) {
+      std::printf("%-5s %12.3f %12s %9s\n", q.id.c_str(),
+                  with.value().seconds, "DNF", "-");
+      continue;
+    }
+    std::printf("%-5s %12.3f %12.3f %8.1fx\n", q.id.c_str(),
+                with.value().seconds, without.value().seconds,
+                without.value().seconds /
+                    std::max(1e-9, with.value().seconds));
+  }
+  return 0;
+}

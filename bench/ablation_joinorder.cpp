@@ -1,0 +1,36 @@
+// Ablation: cost-based join ordering vs syntactic left-to-right order —
+// is the XPath step reordering of §IV-A really the optimizer's doing?
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace xqjg;
+using bench::Workbench;
+
+int main() {
+  Workbench& wb = Workbench::Instance();
+  std::printf("Ablation — cost-based vs syntactic join order (join graph "
+              "mode)\n\n%-5s %14s %14s %9s\n",
+              "Query", "cost-based (s)", "syntactic (s)", "factor");
+  for (const auto& q : api::PaperQueries()) {
+    if (q.id == "Q2") continue;  // DAG fallback: join order not applicable
+    api::RunOptions options;
+    options.mode = api::Mode::kJoinGraph;
+    options.context_document = q.document;
+    options.timeout_seconds = wb.dnf_seconds;
+    auto smart = wb.processor.Run(q.text, options);
+    options.syntactic_join_order = true;
+    auto naive = wb.processor.Run(q.text, options);
+    if (!smart.ok()) continue;
+    if (!naive.ok()) {
+      std::printf("%-5s %14.3f %14s %9s\n", q.id.c_str(),
+                  smart.value().seconds, "DNF", "-");
+      continue;
+    }
+    std::printf("%-5s %14.3f %14.3f %8.1fx\n", q.id.c_str(),
+                smart.value().seconds, naive.value().seconds,
+                naive.value().seconds /
+                    std::max(1e-9, smart.value().seconds));
+  }
+  return 0;
+}

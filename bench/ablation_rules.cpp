@@ -1,0 +1,37 @@
+// Ablation: the rewrite rule phases — ϱ goal only vs the full rule set
+// (what does the δ/join phase buy on top of rank consolidation?).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/algebra/dag.h"
+#include "src/compiler/compile.h"
+#include "src/opt/rules.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+
+using namespace xqjg;
+
+int main() {
+  std::printf("Ablation — rank phase only vs full isolation (operator "
+              "counts)\n\n%-5s %8s | %11s %11s\n",
+              "Query", "stacked", "rank-phase", "full");
+  for (const auto& q : api::PaperQueries()) {
+    auto ast = xquery::Parse(q.text);
+    xquery::NormalizeOptions nopts;
+    nopts.context_document = q.document;
+    auto core = xquery::Normalize(ast.value(), nopts);
+    auto plan = compiler::CompileQuery(core.value());
+    if (!plan.ok()) continue;
+
+    opt::Rewriter rank_only(algebra::ClonePlan(plan.value()));
+    if (!rank_only.RunRankPhase().ok()) continue;
+    opt::Rewriter full(algebra::ClonePlan(plan.value()));
+    if (!full.Run().ok()) continue;
+
+    std::printf("%-5s %8zu | %11zu %11zu\n", q.id.c_str(),
+                algebra::CountOps(plan.value()),
+                algebra::CountOps(rank_only.root()),
+                algebra::CountOps(full.root()));
+  }
+  return 0;
+}

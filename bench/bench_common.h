@@ -1,0 +1,78 @@
+// Shared setup for the paper-reproduction benchmarks: builds the scaled
+// XMark and DBLP instances once, loads all storage layouts, and creates
+// the Table VI relational indexes plus the native XMLPATTERN family.
+//
+// Environment knobs:
+//   XQJG_XMARK_SCALE  (default 1.0;  paper's 110 MB instance ~ 100)
+//   XQJG_DBLP_PUBS    (default 4000; paper's DBLP ~ 1M publications)
+//   XQJG_DNF_SECONDS  (default 30;   the paper's cutoff was 20 hours)
+#ifndef XQJG_BENCH_BENCH_COMMON_H_
+#define XQJG_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/api/paper_queries.h"
+#include "src/api/processor.h"
+#include "src/data/dblp.h"
+#include "src/data/xmark.h"
+
+namespace xqjg::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+struct Workbench {
+  api::XQueryProcessor processor;
+  double dnf_seconds;
+  int64_t xmark_nodes = 0;
+  int64_t dblp_nodes = 0;
+
+  static Workbench& Instance() {
+    static Workbench bench;
+    return bench;
+  }
+
+ private:
+  Workbench() {
+    dnf_seconds = EnvDouble("XQJG_DNF_SECONDS", 30.0);
+    data::XmarkOptions xmark;
+    xmark.scale = EnvDouble("XQJG_XMARK_SCALE", 1.0);
+    data::DblpOptions dblp;
+    dblp.publications =
+        static_cast<int>(EnvDouble("XQJG_DBLP_PUBS", 4000.0));
+    std::string auction = data::GenerateXmark(xmark);
+    std::string bibliography = data::GenerateDblp(dblp);
+    auto check = [](const Status& st, const char* what) {
+      if (!st.ok()) {
+        std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                     st.ToString().c_str());
+        std::abort();
+      }
+    };
+    check(processor.LoadDocument("auction.xml", auction,
+                                 api::XmarkSegmentTags()),
+          "auction.xml");
+    check(processor.LoadDocument("dblp.xml", bibliography,
+                                 api::DblpSegmentTags()),
+          "dblp.xml");
+    check(processor.CreateRelationalIndexes(), "Table VI indexes");
+    for (auto& pattern : api::PaperPatternIndexes()) {
+      processor.CreatePatternIndex(pattern);
+    }
+    xmark_nodes = 0;
+    dblp_nodes = 0;
+    const auto& doc = processor.doc_table();
+    for (int64_t pre = 0; pre < doc.row_count(); ++pre) {
+      if (doc.Root(pre) == 0) ++xmark_nodes;
+      else ++dblp_nodes;
+    }
+  }
+};
+
+}  // namespace xqjg::bench
+
+#endif  // XQJG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,58 @@
+// Reproduces Figs 4 and 7 (and the §II-D discussion): the stacked plan's
+// operator profile versus the isolated plan, per query — operator census,
+// blocking-operator counts, and the full Q1 plans.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/algebra/dag.h"
+#include "src/algebra/printer.h"
+#include "src/compiler/compile.h"
+#include "src/opt/isolate.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+
+using namespace xqjg;
+
+int main() {
+  std::printf("Fig. 4 / Fig. 7 — stacked vs isolated plan shapes\n\n");
+  std::printf("%-5s %8s %8s | %7s %7s %7s | %7s %7s %7s\n", "Query",
+              "ops-in", "ops-out", "dist-in", "rank-in", "rowid-in",
+              "dist-out", "rank-out", "rowid-out");
+  for (const auto& q : api::PaperQueries()) {
+    auto ast = xquery::Parse(q.text);
+    xquery::NormalizeOptions nopts;
+    nopts.context_document = q.document;
+    auto core = xquery::Normalize(ast.value(), nopts);
+    auto plan = compiler::CompileQuery(core.value());
+    if (!plan.ok()) continue;
+    auto iso = opt::Isolate(plan.value());
+    if (!iso.ok()) continue;
+    using algebra::CountOps;
+    using algebra::OpKind;
+    std::printf("%-5s %8zu %8zu | %7zu %7zu %7zu | %7zu %7zu %7zu\n",
+                q.id.c_str(), iso.value().ops_before, iso.value().ops_after,
+                CountOps(plan.value(), OpKind::kDistinct),
+                CountOps(plan.value(), OpKind::kRank),
+                CountOps(plan.value(), OpKind::kRowId),
+                CountOps(iso.value().isolated, OpKind::kDistinct),
+                CountOps(iso.value().isolated, OpKind::kRank),
+                CountOps(iso.value().isolated, OpKind::kRowId));
+  }
+  // Full plan render for Q1 (the figures' subject).
+  const auto& q1 = api::PaperQueries()[0];
+  auto ast = xquery::Parse(q1.text);
+  xquery::NormalizeOptions nopts;
+  nopts.context_document = q1.document;
+  auto core = xquery::Normalize(ast.value(), nopts);
+  auto plan = compiler::CompileQuery(core.value());
+  std::printf("\n--- Fig. 4: initial stacked plan for Q1 ---\n%s",
+              algebra::PrintPlan(plan.value()).c_str());
+  auto iso = opt::Isolate(plan.value());
+  std::printf("\n--- Fig. 7: isolated plan for Q1 ---\n%s",
+              algebra::PrintPlan(iso.value().isolated).c_str());
+  std::printf("\nrule applications:\n");
+  for (const auto& [rule, count] : iso.value().rule_counts) {
+    std::printf("  %-22s %d\n", rule.c_str(), count);
+  }
+  return 0;
+}

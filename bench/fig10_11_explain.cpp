@@ -1,0 +1,33 @@
+// Reproduces Figs 10 and 11: the optimizer's execution plans for Q1 and
+// Q2-family queries — look for path stitching (index scans resuming steps
+// from covering key columns), step reordering, and axis reversal (a scan
+// starting at a value index, resolving its context afterwards).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace xqjg;
+using bench::Workbench;
+
+int main() {
+  Workbench& wb = Workbench::Instance();
+  for (const auto& q : api::PaperQueries()) {
+    api::RunOptions options;
+    options.mode = api::Mode::kJoinGraph;
+    options.context_document = q.document;
+    options.timeout_seconds = wb.dnf_seconds;
+    auto result = wb.processor.Run(q.text, options);
+    std::printf("=== %s ===\n", q.id.c_str());
+    if (!result.ok()) {
+      std::printf("(%s)\n\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (result.value().explain.empty()) {
+      std::printf("(executed through the DAG fallback — no join-tree "
+                  "explain)\n\n");
+      continue;
+    }
+    std::printf("%s\n", result.value().explain.c_str());
+  }
+  return 0;
+}

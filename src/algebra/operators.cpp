@@ -1,0 +1,286 @@
+#include "src/algebra/operators.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <set>
+
+#include "src/common/str.h"
+
+namespace xqjg::algebra {
+
+const char* OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSerialize:
+      return "serialize";
+    case OpKind::kProject:
+      return "project";
+    case OpKind::kSelect:
+      return "select";
+    case OpKind::kJoin:
+      return "join";
+    case OpKind::kCross:
+      return "cross";
+    case OpKind::kDistinct:
+      return "distinct";
+    case OpKind::kAttach:
+      return "attach";
+    case OpKind::kRowId:
+      return "rowid";
+    case OpKind::kRank:
+      return "rank";
+    case OpKind::kDocTable:
+      return "doc";
+    case OpKind::kLiteral:
+      return "literal";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& DocColumns() {
+  static const std::vector<std::string> kCols = {
+      "pre", "size", "level", "kind", "name", "value", "data", "parent",
+      "root"};
+  return kCols;
+}
+
+bool Op::HasColumn(const std::string& name) const {
+  return std::find(schema.begin(), schema.end(), name) != schema.end();
+}
+
+std::string Op::Describe() const {
+  switch (kind) {
+    case OpKind::kSerialize:
+      return "serialize pos:" + order[0] + " item:" + col;
+    case OpKind::kProject: {
+      std::vector<std::string> parts;
+      for (const auto& [out, in] : proj) {
+        parts.push_back(out == in ? out : out + ":" + in);
+      }
+      return "pi " + Join(parts, ",");
+    }
+    case OpKind::kSelect:
+      return "select " + pred.ToString();
+    case OpKind::kJoin:
+      return "join " + pred.ToString();
+    case OpKind::kCross:
+      return "cross";
+    case OpKind::kDistinct:
+      return "distinct";
+    case OpKind::kAttach:
+      return "attach " + col + ":" + val.ToString();
+    case OpKind::kRowId:
+      return "rowid " + col;
+    case OpKind::kRank:
+      return "rank " + col + ":<" + Join(order, ",") + ">";
+    case OpKind::kDocTable:
+      return "doc";
+    case OpKind::kLiteral:
+      return StrPrintf("literal [%s] (%zu rows)",
+                       Join(schema, ",").c_str(), rows.size());
+  }
+  return "?";
+}
+
+namespace {
+
+std::atomic<int> g_next_op_id{1};
+
+OpPtr New(OpKind kind) {
+  auto op = std::make_shared<Op>();
+  op->kind = kind;
+  op->id = g_next_op_id.fetch_add(1);
+  return op;
+}
+
+bool Disjoint(const std::vector<std::string>& a,
+              const std::vector<std::string>& b) {
+  std::set<std::string> sa(a.begin(), a.end());
+  for (const auto& c : b) {
+    if (sa.count(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RecomputeSchema(Op* op) {
+  auto child_schema = [&](size_t i) -> const std::vector<std::string>& {
+    return op->children[i]->schema;
+  };
+  auto child_has = [&](size_t i, const std::string& c) {
+    return op->children[i]->HasColumn(c);
+  };
+  switch (op->kind) {
+    case OpKind::kSerialize:
+      op->schema = child_schema(0);
+      return op->order.size() == 1 && child_has(0, op->order[0]) &&
+             child_has(0, op->col);
+    case OpKind::kProject: {
+      op->schema.clear();
+      std::set<std::string> seen;
+      for (const auto& [out, in] : op->proj) {
+        if (!child_has(0, in)) return false;
+        if (!seen.insert(out).second) return false;  // duplicate output col
+        op->schema.push_back(out);
+      }
+      return !op->schema.empty();
+    }
+    case OpKind::kSelect: {
+      op->schema = child_schema(0);
+      for (const auto& c : op->pred.Cols()) {
+        if (!child_has(0, c)) return false;
+      }
+      return true;
+    }
+    case OpKind::kJoin:
+    case OpKind::kCross: {
+      if (!Disjoint(child_schema(0), child_schema(1))) return false;
+      op->schema = child_schema(0);
+      op->schema.insert(op->schema.end(), child_schema(1).begin(),
+                        child_schema(1).end());
+      if (op->kind == OpKind::kJoin) {
+        for (const auto& c : op->pred.Cols()) {
+          if (!op->HasColumn(c)) return false;
+        }
+      }
+      return true;
+    }
+    case OpKind::kDistinct:
+      op->schema = child_schema(0);
+      return true;
+    case OpKind::kAttach:
+    case OpKind::kRowId:
+      if (child_has(0, op->col)) return false;
+      op->schema = child_schema(0);
+      op->schema.push_back(op->col);
+      return true;
+    case OpKind::kRank: {
+      if (child_has(0, op->col)) return false;
+      for (const auto& c : op->order) {
+        if (!child_has(0, c)) return false;
+      }
+      op->schema = child_schema(0);
+      op->schema.push_back(op->col);
+      return true;
+    }
+    case OpKind::kDocTable:
+      op->schema = DocColumns();
+      return true;
+    case OpKind::kLiteral:
+      // schema fixed at construction
+      return !op->schema.empty();
+  }
+  return false;
+}
+
+OpPtr MakeSerialize(OpPtr input, std::string pos_col, std::string item_col) {
+  auto op = New(OpKind::kSerialize);
+  op->children = {std::move(input)};
+  op->order = {std::move(pos_col)};
+  op->col = std::move(item_col);
+  bool ok = RecomputeSchema(op.get());
+  assert(ok && "serialize input must provide the pos and item columns");
+  (void)ok;
+  return op;
+}
+
+OpPtr MakeProject(OpPtr input,
+                  std::vector<std::pair<std::string, std::string>> proj) {
+  auto op = New(OpKind::kProject);
+  op->children = {std::move(input)};
+  op->proj = std::move(proj);
+  bool ok = RecomputeSchema(op.get());
+  assert(ok && "project references missing column or duplicates outputs");
+  (void)ok;
+  return op;
+}
+
+OpPtr MakeSelect(OpPtr input, Predicate pred) {
+  auto op = New(OpKind::kSelect);
+  op->children = {std::move(input)};
+  op->pred = std::move(pred);
+  bool ok = RecomputeSchema(op.get());
+  assert(ok && "select predicate references missing column");
+  (void)ok;
+  return op;
+}
+
+OpPtr MakeJoin(OpPtr left, OpPtr right, Predicate pred) {
+  auto op = New(OpKind::kJoin);
+  op->children = {std::move(left), std::move(right)};
+  op->pred = std::move(pred);
+  bool ok = RecomputeSchema(op.get());
+  assert(ok && "join schemas overlap or predicate references missing column");
+  (void)ok;
+  return op;
+}
+
+OpPtr MakeCross(OpPtr left, OpPtr right) {
+  auto op = New(OpKind::kCross);
+  op->children = {std::move(left), std::move(right)};
+  bool ok = RecomputeSchema(op.get());
+  assert(ok && "cross product schemas overlap");
+  (void)ok;
+  return op;
+}
+
+OpPtr MakeDistinct(OpPtr input) {
+  auto op = New(OpKind::kDistinct);
+  op->children = {std::move(input)};
+  RecomputeSchema(op.get());
+  return op;
+}
+
+OpPtr MakeAttach(OpPtr input, std::string col, Value val) {
+  auto op = New(OpKind::kAttach);
+  op->children = {std::move(input)};
+  op->col = std::move(col);
+  op->val = std::move(val);
+  bool ok = RecomputeSchema(op.get());
+  assert(ok && "attach column already exists");
+  (void)ok;
+  return op;
+}
+
+OpPtr MakeRowId(OpPtr input, std::string col) {
+  auto op = New(OpKind::kRowId);
+  op->children = {std::move(input)};
+  op->col = std::move(col);
+  bool ok = RecomputeSchema(op.get());
+  assert(ok && "rowid column already exists");
+  (void)ok;
+  return op;
+}
+
+OpPtr MakeRank(OpPtr input, std::string col, std::vector<std::string> order) {
+  auto op = New(OpKind::kRank);
+  op->children = {std::move(input)};
+  op->col = std::move(col);
+  op->order = std::move(order);
+  bool ok = RecomputeSchema(op.get());
+  assert(ok && "rank column clashes or order column missing");
+  (void)ok;
+  return op;
+}
+
+OpPtr MakeDocTable() {
+  auto op = New(OpKind::kDocTable);
+  RecomputeSchema(op.get());
+  return op;
+}
+
+OpPtr MakeLiteral(std::vector<std::string> cols,
+                  std::vector<std::vector<Value>> rows) {
+  auto op = New(OpKind::kLiteral);
+  op->schema = std::move(cols);
+  op->rows = std::move(rows);
+#ifndef NDEBUG
+  for (const auto& row : op->rows) {
+    assert(row.size() == op->schema.size() && "literal row width mismatch");
+  }
+#endif
+  return op;
+}
+
+}  // namespace xqjg::algebra

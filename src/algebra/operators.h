@@ -1,0 +1,98 @@
+// The table algebra dialect of paper Table I.
+//
+// Plans are DAGs of mutable Op nodes connected by shared_ptr children;
+// sharing is real (the doc table leaf and variable bindings are shared
+// sub-plans). Every node carries its output schema, kept consistent by the
+// Make* constructors and the rewriter.
+#ifndef XQJG_ALGEBRA_OPERATORS_H_
+#define XQJG_ALGEBRA_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/predicate.h"
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace xqjg::algebra {
+
+enum class OpKind {
+  kSerialize,  ///< plan root (Table I: serialization point)
+  kProject,    ///< π  — project / rename
+  kSelect,     ///< σ  — row filter
+  kJoin,       ///< ⋈  — join with predicate
+  kCross,      ///< ×  — Cartesian product
+  kDistinct,   ///< δ  — duplicate row elimination
+  kAttach,     ///< @  — attach constant column
+  kRowId,      ///< #  — attach unique row id
+  kRank,       ///< ϱ  — attach row rank (RANK semantics: ties share ranks)
+  kDocTable,   ///< doc — the XML infoset encoding table
+  kLiteral,    ///< singleton / small literal table
+};
+
+const char* OpKindToString(OpKind kind);
+
+struct Op;
+using OpPtr = std::shared_ptr<Op>;
+
+/// Output columns of the doc table relation
+/// (pre, size, level, kind, name, value, data, parent).
+const std::vector<std::string>& DocColumns();
+
+struct Op : std::enable_shared_from_this<Op> {
+  OpKind kind;
+  std::vector<OpPtr> children;
+
+  /// Output schema (column names, in order).
+  std::vector<std::string> schema;
+
+  // --- kProject: (output name, input name) pairs ---
+  std::vector<std::pair<std::string, std::string>> proj;
+  // --- kSelect / kJoin: conjunctive predicate ---
+  Predicate pred;
+  // --- kAttach / kRowId / kRank: attached column name ---
+  std::string col;
+  // --- kAttach: attached constant ---
+  Value val;
+  // --- kRank: ordering criteria ---
+  std::vector<std::string> order;
+  // --- kLiteral: column names + rows ---
+  std::vector<std::vector<Value>> rows;
+
+  /// Stable id for printing / property tables.
+  int id = 0;
+
+  bool HasColumn(const std::string& name) const;
+
+  /// One-line description ("π iter,item:pre", "⋈ pre = item", ...).
+  std::string Describe() const;
+};
+
+// ---- constructors (validate child schemas; abort on misuse in debug) ----
+/// The serialize root records which input columns carry sequence position
+/// and item (column names are globally unique in compiled plans, so the
+/// root must name them): `pos_col` is stored in `order[0]`, `item_col` in
+/// `col`.
+OpPtr MakeSerialize(OpPtr input, std::string pos_col, std::string item_col);
+OpPtr MakeProject(OpPtr input,
+                  std::vector<std::pair<std::string, std::string>> proj);
+OpPtr MakeSelect(OpPtr input, Predicate pred);
+OpPtr MakeJoin(OpPtr left, OpPtr right, Predicate pred);
+OpPtr MakeCross(OpPtr left, OpPtr right);
+OpPtr MakeDistinct(OpPtr input);
+OpPtr MakeAttach(OpPtr input, std::string col, Value val);
+OpPtr MakeRowId(OpPtr input, std::string col);
+OpPtr MakeRank(OpPtr input, std::string col, std::vector<std::string> order);
+OpPtr MakeDocTable();
+OpPtr MakeLiteral(std::vector<std::string> cols,
+                  std::vector<std::vector<Value>> rows);
+
+/// Recomputes `op->schema` from its children + parameters (used after the
+/// rewriter edits a node in place). Returns false if the node became
+/// ill-formed (referenced column missing).
+bool RecomputeSchema(Op* op);
+
+}  // namespace xqjg::algebra
+
+#endif  // XQJG_ALGEBRA_OPERATORS_H_

@@ -1,0 +1,101 @@
+// Predicate language of the table algebra (paper Table I / Fig. 3).
+//
+// Every predicate is a conjunction of comparisons between *terms*. A term
+// is `col (+ col2)? (+ const)?` — exactly enough to express the XPath axis
+// predicates (`pre° < pre <= pre° + size°`, `level° + 1 = level`) and the
+// kind/name/value tests, and simple enough to ship as one SQL WHERE
+// conjunct per comparison.
+#ifndef XQJG_ALGEBRA_PREDICATE_H_
+#define XQJG_ALGEBRA_PREDICATE_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace xqjg::algebra {
+
+/// Comparison operators in predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpToString(CmpOp op);
+CmpOp FlipCmpOp(CmpOp op);  ///< a OP b  <=>  b FlipCmpOp(OP) a
+
+/// col + col2 + constant (absent parts contribute nothing).
+struct Term {
+  std::string col;        ///< empty for pure constants
+  std::string col2;       ///< optional second column (e.g. pre + size)
+  Value constant;         ///< NULL when absent
+
+  static Term Col(std::string c) { return Term{std::move(c), "", Value()}; }
+  static Term ColSum(std::string c1, std::string c2) {
+    return Term{std::move(c1), std::move(c2), Value()};
+  }
+  static Term ColPlus(std::string c, int64_t k) {
+    return Term{std::move(c), "", Value::Int(k)};
+  }
+  static Term Const(Value v) { return Term{"", "", std::move(v)}; }
+
+  bool IsConst() const { return col.empty(); }
+  bool IsSimpleCol() const { return !col.empty() && col2.empty() && constant.is_null(); }
+
+  /// Columns referenced by this term.
+  void CollectCols(std::set<std::string>* out) const;
+
+  /// Substitutes column names (for pushing predicates through renames).
+  /// Returns false if a referenced column has no image in `mapping`.
+  bool RenameCols(const std::vector<std::pair<std::string, std::string>>&
+                      out_to_in);
+
+  std::string ToString() const;
+  bool operator==(const Term& other) const;
+};
+
+/// One conjunct: lhs op rhs.
+struct Comparison {
+  Term lhs;
+  CmpOp op = CmpOp::kEq;
+  Term rhs;
+
+  /// True iff this is `a = b` for two plain columns.
+  bool IsColEq() const {
+    return op == CmpOp::kEq && lhs.IsSimpleCol() && rhs.IsSimpleCol();
+  }
+
+  void CollectCols(std::set<std::string>* out) const;
+  std::string ToString() const;
+  bool operator==(const Comparison& other) const;
+};
+
+/// A conjunction of comparisons; empty predicate = true.
+struct Predicate {
+  std::vector<Comparison> conjuncts;
+
+  static Predicate True() { return Predicate{}; }
+  static Predicate Single(Term lhs, CmpOp op, Term rhs) {
+    return Predicate{{Comparison{std::move(lhs), op, std::move(rhs)}}};
+  }
+
+  Predicate& And(Term lhs, CmpOp op, Term rhs) {
+    conjuncts.push_back(Comparison{std::move(lhs), op, std::move(rhs)});
+    return *this;
+  }
+  Predicate& And(const Predicate& other) {
+    conjuncts.insert(conjuncts.end(), other.conjuncts.begin(),
+                     other.conjuncts.end());
+    return *this;
+  }
+
+  bool IsTrue() const { return conjuncts.empty(); }
+
+  /// cols(p) of the paper's property inference.
+  std::set<std::string> Cols() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace xqjg::algebra
+
+#endif  // XQJG_ALGEBRA_PREDICATE_H_

@@ -1,0 +1,66 @@
+#include "src/algebra/printer.h"
+
+#include <map>
+#include <unordered_set>
+
+#include "src/algebra/dag.h"
+#include "src/common/str.h"
+
+namespace xqjg::algebra {
+
+namespace {
+
+void PrintNode(const Op* op, int depth, std::unordered_set<const Op*>* seen,
+               std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (!seen->insert(op).second) {
+    *out += StrPrintf("^ref %d\n", op->id);
+    return;
+  }
+  *out += StrPrintf("[%d] %s\n", op->id, op->Describe().c_str());
+  for (const auto& child : op->children) {
+    PrintNode(child.get(), depth + 1, seen, out);
+  }
+}
+
+}  // namespace
+
+std::string PrintPlan(const OpPtr& root) {
+  std::string out;
+  std::unordered_set<const Op*> seen;
+  PrintNode(root.get(), 0, &seen, &out);
+  return out;
+}
+
+std::string PlanToDot(const OpPtr& root) {
+  std::string out = "digraph plan {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const Op* op : BottomUpOrder(root)) {
+    std::string label = op->Describe();
+    // Escape quotes for dot.
+    std::string escaped;
+    for (char c : label) {
+      if (c == '"') escaped += "\\\"";
+      else escaped += c;
+    }
+    out += StrPrintf("  n%d [label=\"%s\"];\n", op->id, escaped.c_str());
+    for (const auto& child : op->children) {
+      out += StrPrintf("  n%d -> n%d;\n", child->id, op->id);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string OperatorCensus(const OpPtr& root) {
+  std::map<std::string, int> counts;
+  for (const Op* op : BottomUpOrder(root)) {
+    counts[OpKindToString(op->kind)]++;
+  }
+  std::vector<std::string> parts;
+  for (const auto& [name, count] : counts) {
+    parts.push_back(StrPrintf("%s:%d", name.c_str(), count));
+  }
+  return Join(parts, " ");
+}
+
+}  // namespace xqjg::algebra

@@ -1,0 +1,23 @@
+// Plan rendering: indented tree (with DAG sharing markers) and Graphviz.
+#ifndef XQJG_ALGEBRA_PRINTER_H_
+#define XQJG_ALGEBRA_PRINTER_H_
+
+#include <string>
+
+#include "src/algebra/operators.h"
+
+namespace xqjg::algebra {
+
+/// Indented plan tree. Shared nodes print in full the first time and as
+/// "^ref <id>" afterwards.
+std::string PrintPlan(const OpPtr& root);
+
+/// Graphviz dot output (one node per operator, edges child -> parent).
+std::string PlanToDot(const OpPtr& root);
+
+/// One-line operator census ("serialize:1 project:12 join:5 ...").
+std::string OperatorCensus(const OpPtr& root);
+
+}  // namespace xqjg::algebra
+
+#endif  // XQJG_ALGEBRA_PRINTER_H_

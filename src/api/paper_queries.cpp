@@ -1,0 +1,92 @@
+#include "src/api/paper_queries.h"
+
+namespace xqjg::api {
+
+using native::PatternStep;
+using native::PatternType;
+using native::XmlPattern;
+using xquery::Axis;
+
+const std::vector<PaperQuery>& PaperQueries() {
+  static const std::vector<PaperQuery> kQueries = {
+      {"Q1",
+       "doc(\"auction.xml\")/descendant::open_auction[bidder]",
+       "auction.xml",
+       ""},
+      {"Q2",
+       "let $a := doc(\"auction.xml\") "
+       "for $ca in $a//closed_auction[price > 500], "
+       "    $i in $a//item, "
+       "    $c in $a//category "
+       "where $ca/itemref/@item = $i/@id "
+       "  and $i/incategory/@category = $c/@id "
+       "return $c/name",
+       "auction.xml",
+       ""},
+      {"Q3",
+       "/site/people/person[@id = \"person0\"]/name/text()",
+       "auction.xml",
+       ""},
+      {"Q4",
+       "//closed_auction/price/text()",
+       "auction.xml",
+       ""},
+      {"Q5",
+       "/dblp/*[@key = \"conf/vldb2001\" and editor and title]/title",
+       "dblp.xml",
+       ""},
+      {"Q6",
+       "for $thesis in /dblp/phdthesis[year < \"1994\" and author and title] "
+       "return $thesis/title",
+       "dblp.xml",
+       "paper uses the non-standard return-tuple over (title, author, "
+       "year); we return the titles (same cardinality)"},
+  };
+  return kQueries;
+}
+
+const std::set<std::string>& XmarkSegmentTags() {
+  static const std::set<std::string> kTags = {
+      "item", "open_auction", "closed_auction", "category", "person"};
+  return kTags;
+}
+
+const std::set<std::string>& DblpSegmentTags() {
+  static const std::set<std::string> kTags = {
+      "article", "inproceedings", "proceedings", "phdthesis"};
+  return kTags;
+}
+
+std::vector<XmlPattern> PaperPatternIndexes() {
+  std::vector<XmlPattern> out;
+  auto add = [&](const std::string& uri, std::vector<PatternStep> steps,
+                 PatternType type) {
+    out.push_back(XmlPattern{uri, std::move(steps), type});
+  };
+  const auto child = [](std::string name) {
+    return PatternStep{Axis::kChild, std::move(name)};
+  };
+  const auto desc = [](std::string name) {
+    return PatternStep{Axis::kDescendant, std::move(name)};
+  };
+  const auto attr = [](std::string name) {
+    return PatternStep{Axis::kAttribute, std::move(name)};
+  };
+  // For Q3: /site/people/person/@id (the index the paper names).
+  add("auction.xml",
+      {child("site"), child("people"), child("person"), attr("id")},
+      PatternType::kVarchar);
+  // Value references of Q2.
+  add("auction.xml", {desc("closed_auction"), child("price")},
+      PatternType::kDouble);
+  add("auction.xml", {desc("item"), attr("id")}, PatternType::kVarchar);
+  add("auction.xml", {desc("category"), attr("id")}, PatternType::kVarchar);
+  // DBLP keys and years (Q5, Q6).
+  add("dblp.xml", {child("dblp"), child("*"), attr("key")},
+      PatternType::kVarchar);
+  add("dblp.xml", {child("dblp"), child("phdthesis"), child("year")},
+      PatternType::kVarchar);
+  return out;
+}
+
+}  // namespace xqjg::api

@@ -1,0 +1,36 @@
+// The paper's query set: Q1/Q2 (§II-D, §III-C) and the Table VIII sample
+// queries Q3–Q6, plus the workload configuration (segment tags, native
+// XMLPATTERN indexes) used in §IV.
+#ifndef XQJG_API_PAPER_QUERIES_H_
+#define XQJG_API_PAPER_QUERIES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/native/pattern_index.h"
+
+namespace xqjg::api {
+
+struct PaperQuery {
+  std::string id;       ///< "Q1" .. "Q6"
+  std::string text;     ///< XQuery source
+  std::string document; ///< context document URI
+  std::string note;     ///< deviations from the paper's formulation
+};
+
+/// Q1..Q6. Q6's non-standard return-tuple is narrowed to returning the
+/// thesis titles (see EXPERIMENTS.md).
+const std::vector<PaperQuery>& PaperQueries();
+
+/// Segment tags used for the native engine's segmented store.
+const std::set<std::string>& XmarkSegmentTags();
+const std::set<std::string>& DblpSegmentTags();
+
+/// XMLPATTERN indexes declared for the native engine ("we further created
+/// an extensive XMLPATTERN index family", §IV-B).
+std::vector<native::XmlPattern> PaperPatternIndexes();
+
+}  // namespace xqjg::api
+
+#endif  // XQJG_API_PAPER_QUERIES_H_

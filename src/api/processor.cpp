@@ -1,0 +1,152 @@
+#include "src/api/processor.h"
+
+#include <chrono>
+
+#include "src/compiler/compile.h"
+#include "src/engine/algebra_exec.h"
+#include "src/sql/sqlgen.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+
+namespace xqjg::api {
+
+const char* ModeToString(Mode mode) {
+  switch (mode) {
+    case Mode::kStacked:
+      return "stacked";
+    case Mode::kJoinGraph:
+      return "joingraph";
+    case Mode::kNativeWhole:
+      return "native-whole";
+    case Mode::kNativeSegmented:
+      return "native-segmented";
+  }
+  return "?";
+}
+
+Status XQueryProcessor::LoadDocument(
+    const std::string& uri, const std::string& xml_text,
+    const std::set<std::string>& segment_tags) {
+  XQJG_RETURN_NOT_OK(xml::LoadDocument(&doc_, uri, xml_text));
+  db_.reset();  // rebuilt lazily with fresh statistics
+  XQJG_ASSIGN_OR_RETURN(auto dom, xml::ParseDom(uri, xml_text));
+  if (!segment_tags.empty()) {
+    XQJG_RETURN_NOT_OK(segmented_store_.AddSegmented(*dom, segment_tags));
+    segmented_uris_.insert(uri);
+  }
+  XQJG_RETURN_NOT_OK(whole_store_.AddWhole(std::move(dom)));
+  whole_engine_ = std::make_unique<native::NativeEngine>(&whole_store_);
+  segmented_engine_ = std::make_unique<native::NativeEngine>(&segmented_store_);
+  return Status::OK();
+}
+
+Status XQueryProcessor::EnsureDatabase() {
+  if (!db_) db_ = engine::Database::Build(doc_);
+  return Status::OK();
+}
+
+Status XQueryProcessor::CreateRelationalIndexes(
+    const std::vector<engine::IndexDef>& defs) {
+  XQJG_RETURN_NOT_OK(EnsureDatabase());
+  for (const auto& def : defs) {
+    XQJG_RETURN_NOT_OK(db_->CreateIndex(def));
+  }
+  return Status::OK();
+}
+
+void XQueryProcessor::DropRelationalIndexes() {
+  if (db_) db_->DropAllIndexes();
+}
+
+void XQueryProcessor::CreatePatternIndex(native::XmlPattern pattern) {
+  if (whole_engine_) whole_engine_->CreateIndex(pattern);
+  if (segmented_engine_) segmented_engine_->CreateIndex(std::move(pattern));
+}
+
+Result<RunResult> XQueryProcessor::Run(const std::string& query,
+                                       const RunOptions& options) {
+  XQJG_ASSIGN_OR_RETURN(xquery::ExprPtr ast, xquery::Parse(query));
+  xquery::NormalizeOptions norm_options;
+  norm_options.context_document = options.context_document;
+  XQJG_ASSIGN_OR_RETURN(xquery::ExprPtr core,
+                        xquery::Normalize(ast, norm_options));
+  RunResult result;
+  auto exec_started = std::chrono::steady_clock::now();
+  const auto compile_started = exec_started;
+  auto mark_compiled = [&]() {
+    exec_started = std::chrono::steady_clock::now();
+    result.compile_seconds =
+        std::chrono::duration<double>(exec_started - compile_started).count();
+  };
+  auto finish = [&]() {
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - exec_started)
+                         .count();
+    result.result_count = result.items.size();
+    return result;
+  };
+
+  if (options.mode == Mode::kNativeWhole ||
+      options.mode == Mode::kNativeSegmented) {
+    native::NativeEngine* eng = options.mode == Mode::kNativeWhole
+                                    ? whole_engine_.get()
+                                    : segmented_engine_.get();
+    if (!eng) return Status::InvalidArgument("no documents loaded");
+    mark_compiled();
+    XQJG_ASSIGN_OR_RETURN(result.items,
+                          eng->Run(core, options.timeout_seconds));
+    return finish();
+  }
+
+  // Relational modes.
+  XQJG_RETURN_NOT_OK(EnsureDatabase());
+  compiler::CompileOptions copts;
+  copts.explicit_serialization_step = options.explicit_serialization_step;
+  XQJG_ASSIGN_OR_RETURN(algebra::OpPtr stacked,
+                        compiler::CompileQuery(core, copts));
+
+  engine::ExecLimits limits;
+  limits.timeout_seconds = options.timeout_seconds;
+
+  std::vector<int64_t> pres;
+  if (options.mode == Mode::kStacked) {
+    auto sql = sql::EmitStackedCte(stacked);
+    if (sql.ok()) result.sql = sql.value();
+    mark_compiled();
+    XQJG_ASSIGN_OR_RETURN(pres,
+                          engine::EvaluateToSequence(stacked, doc_, limits));
+  } else {
+    XQJG_ASSIGN_OR_RETURN(opt::IsolationResult iso, opt::Isolate(stacked));
+    auto graph = opt::ExtractJoinGraph(iso.isolated);
+    if (graph.ok()) {
+      result.sql = sql::EmitJoinGraphSql(graph.value());
+      engine::PlannerOptions popts;
+      popts.syntactic_order = options.syntactic_join_order;
+      popts.timeout_seconds = options.timeout_seconds;
+      XQJG_ASSIGN_OR_RETURN(engine::PhysicalPlan plan,
+                            engine::PlanJoinGraph(graph.value(), *db_, popts));
+      result.explain = engine::ExplainPlan(plan);
+      mark_compiled();
+      XQJG_ASSIGN_OR_RETURN(pres, engine::ExecutePlan(plan, *db_, popts));
+    } else {
+      // Residual blocking operators (deeply nested FLWOR): execute the
+      // isolated DAG directly — still drastically fewer blocking
+      // operators than the stacked plan (see DESIGN.md).
+      result.used_fallback = true;
+      auto sql = sql::EmitStackedCte(iso.isolated);
+      if (sql.ok()) result.sql = sql.value();
+      mark_compiled();
+      XQJG_ASSIGN_OR_RETURN(
+          pres, engine::EvaluateToSequence(iso.isolated, doc_, limits));
+    }
+  }
+  result.items.reserve(pres.size());
+  for (int64_t pre : pres) {
+    result.items.push_back(xml::SerializeSubtree(doc_, pre));
+  }
+  return finish();
+}
+
+}  // namespace xqjg::api

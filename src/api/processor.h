@@ -1,0 +1,96 @@
+// XQueryProcessor — the library's public facade.
+//
+// Load XML documents once, then run XQuery text through any of the four
+// execution modes the paper's Table IX compares:
+//   kStacked         compile only, execute the stacked plan (staged,
+//                    materializing — DB2 on Pathfinder's unrewritten SQL)
+//   kJoinGraph       compile + join graph isolation + cost-based relational
+//                    execution over B-tree indexes (the paper's approach)
+//   kNativeWhole     pureXML™-style native engine over the monolithic doc
+//   kNativeSegmented same engine over the segmented store
+#ifndef XQJG_API_PROCESSOR_H_
+#define XQJG_API_PROCESSOR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/database.h"
+#include "src/engine/planner.h"
+#include "src/native/xscan.h"
+#include "src/opt/isolate.h"
+#include "src/xml/infoset.h"
+
+namespace xqjg::api {
+
+enum class Mode { kStacked, kJoinGraph, kNativeWhole, kNativeSegmented };
+
+const char* ModeToString(Mode mode);
+
+struct RunOptions {
+  Mode mode = Mode::kJoinGraph;
+  /// Wall-clock DNF budget in seconds (<= 0: unlimited).
+  double timeout_seconds = -1.0;
+  /// Document substituted for absolute paths ("/site/...").
+  std::string context_document;
+  /// Disable cost-based join ordering (ablation).
+  bool syntactic_join_order = false;
+  /// Append the explicit serialization step (paper §IV).
+  bool explicit_serialization_step = false;
+};
+
+struct RunResult {
+  std::vector<std::string> items;  ///< serialized result nodes, in order
+  size_t result_count = 0;
+  /// Query execution time (what the paper's Table IX reports — Pathfinder
+  /// compiles/isolates before shipping, so compile time is separate).
+  double seconds = 0.0;
+  /// Parse + normalize + compile + isolate + extract time.
+  double compile_seconds = 0.0;
+  std::string sql;      ///< shipped SQL (join graph block or CTE chain)
+  std::string explain;  ///< physical plan (join-graph mode)
+  bool used_fallback = false;  ///< isolated plan ran via the materializing
+                               ///< executor (extraction not possible)
+};
+
+class XQueryProcessor {
+ public:
+  XQueryProcessor() = default;
+
+  /// Parses and registers a document under `uri` in every storage layout.
+  /// `segment_tags` configures the native engine's segmented store (empty:
+  /// segmented mode unavailable for this document).
+  Status LoadDocument(const std::string& uri, const std::string& xml_text,
+                      const std::set<std::string>& segment_tags = {});
+
+  /// Creates the given relational B-tree set (default: Table VI).
+  Status CreateRelationalIndexes(
+      const std::vector<engine::IndexDef>& defs = engine::TableVIIndexes());
+  void DropRelationalIndexes();
+
+  /// Declares a native XMLPATTERN index.
+  void CreatePatternIndex(native::XmlPattern pattern);
+
+  /// Runs XQuery text under `options`.
+  Result<RunResult> Run(const std::string& query, const RunOptions& options);
+
+  const xml::DocTable& doc_table() const { return doc_; }
+  engine::Database* database() { return db_.get(); }
+
+ private:
+  Status EnsureDatabase();
+
+  xml::DocTable doc_;
+  std::unique_ptr<engine::Database> db_;
+  native::DocumentStore whole_store_;
+  native::DocumentStore segmented_store_;
+  std::unique_ptr<native::NativeEngine> whole_engine_;
+  std::unique_ptr<native::NativeEngine> segmented_engine_;
+  std::set<std::string> segmented_uris_;
+};
+
+}  // namespace xqjg::api
+
+#endif  // XQJG_API_PROCESSOR_H_

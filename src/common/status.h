@@ -1,0 +1,129 @@
+// Status / Result error handling for XQJG (Arrow/RocksDB idiom).
+//
+// Public XQJG APIs never throw; fallible operations return Status (no
+// payload) or Result<T> (payload or error).
+#ifndef XQJG_COMMON_STATUS_H_
+#define XQJG_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xqjg {
+
+/// Error taxonomy used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller handed us something malformed
+  kParseError,        ///< XML or XQuery text failed to parse
+  kNotSupported,      ///< outside the implemented language / algebra subset
+  kInternal,          ///< invariant violation inside the library
+  kNotFound,          ///< named entity (document, index, table) missing
+  kTimeout,           ///< execution exceeded its wall-clock budget (DNF)
+};
+
+/// Renders a StatusCode as a short stable string ("ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation without a payload.
+///
+/// Cheap to copy in the OK case (no allocation); error carries a message.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace xqjg
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define XQJG_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::xqjg::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error propagates the Status, on
+/// success binds the value to `lhs`.
+#define XQJG_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto XQJG_CONCAT_(_res_, __LINE__) = (expr);       \
+  if (!XQJG_CONCAT_(_res_, __LINE__).ok())           \
+    return XQJG_CONCAT_(_res_, __LINE__).status();   \
+  lhs = std::move(XQJG_CONCAT_(_res_, __LINE__)).value()
+
+#define XQJG_CONCAT_IMPL_(a, b) a##b
+#define XQJG_CONCAT_(a, b) XQJG_CONCAT_IMPL_(a, b)
+
+#endif  // XQJG_COMMON_STATUS_H_

@@ -1,0 +1,49 @@
+// Small string helpers shared across XQJG modules.
+#ifndef XQJG_COMMON_STR_H_
+#define XQJG_COMMON_STR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xqjg {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b").
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Parses a decimal literal ("15", "4.20", "-3.5e2"). Returns nullopt for
+/// strings that are not entirely numeric after trimming — this implements
+/// the partial cast to xs:decimal used for the doc table's `data` column.
+std::optional<double> ParseDecimal(std::string_view s);
+
+/// Formats a double the way the doc table / SQL emitter expects
+/// (shortest round-trip representation, no trailing zeros).
+std::string FormatDecimal(double d);
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Escapes XML text content (& < >).
+std::string XmlEscapeText(std::string_view s);
+
+/// Escapes an XML attribute value (& < > ").
+std::string XmlEscapeAttr(std::string_view s);
+
+/// Escapes a string for inclusion in a single-quoted SQL literal.
+std::string SqlQuote(std::string_view s);
+
+}  // namespace xqjg
+
+#endif  // XQJG_COMMON_STR_H_

@@ -1,0 +1,76 @@
+#include "src/common/value.h"
+
+#include "src/common/str.h"
+
+namespace xqjg {
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) return kNullCmp;
+  if (IsNumeric() && other.IsNumeric()) {
+    if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type() == ValueType::kString && other.type() == ValueType::kString) {
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Mixed string/number: SQL would error; we order by type tag so sorting
+  // stays total (comparisons of this shape never arise from well-typed
+  // compiled plans).
+  int a = static_cast<int>(type()), b = static_cast<int>(other.type());
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+bool Value::SortLess(const Value& other) const {
+  if (is_null() != other.is_null()) return is_null();
+  if (is_null()) return false;
+  if (IsNumeric() != other.IsNumeric()) return IsNumeric();
+  return Compare(other) < 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() && other.is_null()) return true;
+  if (is_null() || other.is_null()) return false;
+  return Compare(other) == 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return StrPrintf("%lld", static_cast<long long>(AsInt()));
+    case ValueType::kDouble:
+      return FormatDecimal(std::get<2>(storage_));
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt:
+      return std::hash<int64_t>()(AsInt());
+    case ValueType::kDouble: {
+      double d = std::get<2>(storage_);
+      // Hash doubles holding integral values like the equal int (numeric
+      // cross-type equality must imply equal hashes for hash joins).
+      if (d == static_cast<int64_t>(d)) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+}  // namespace xqjg

@@ -1,0 +1,72 @@
+// Typed runtime value shared by the algebra (constants in predicates and
+// attach operators) and the relational engine (cell values, index keys).
+#ifndef XQJG_COMMON_VALUE_H_
+#define XQJG_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace xqjg {
+
+enum class ValueType { kNull = 0, kInt, kDouble, kString };
+
+/// \brief Small tagged value: NULL, int64, double, or string.
+///
+/// Ordering follows SQL-ish semantics: NULL sorts first and compares
+/// "unknown" (Compare against NULL returns kNullCmp); ints and doubles
+/// compare numerically across types; strings compare bytewise. Values of
+/// incomparable types order by type tag (only relevant for index keys).
+class Value {
+ public:
+  Value() = default;
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Storage(std::in_place_index<1>, v)); }
+  static Value Double(double v) { return Value(Storage(std::in_place_index<2>, v)); }
+  static Value String(std::string v) {
+    return Value(Storage(std::in_place_index<3>, std::move(v)));
+  }
+
+  ValueType type() const { return static_cast<ValueType>(storage_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt() const { return std::get<1>(storage_); }
+  double AsDouble() const {
+    return type() == ValueType::kInt ? static_cast<double>(std::get<1>(storage_))
+                                     : std::get<2>(storage_);
+  }
+  const std::string& AsString() const { return std::get<3>(storage_); }
+
+  bool IsNumeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  /// Three-way comparison result; kNullCmp when either side is NULL
+  /// (comparisons with NULL are never true).
+  static constexpr int kNullCmp = 2;
+
+  /// Returns -1 / 0 / +1, or kNullCmp if either side is NULL.
+  int Compare(const Value& other) const;
+
+  /// Total order usable as an index/sort key (NULL first, then numerics,
+  /// then strings). Unlike Compare, never returns kNullCmp.
+  bool SortLess(const Value& other) const;
+  bool operator==(const Value& other) const;
+
+  std::string ToString() const;
+  size_t Hash() const;
+
+ private:
+  using Storage = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Storage s) : storage_(std::move(s)) {}
+  Storage storage_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace xqjg
+
+#endif  // XQJG_COMMON_VALUE_H_

@@ -1,0 +1,517 @@
+#include "src/compiler/compile.h"
+
+#include <map>
+#include <set>
+
+#include "src/common/str.h"
+#include "src/xml/infoset.h"
+
+namespace xqjg::compiler {
+
+using algebra::CmpOp;
+using algebra::MakeAttach;
+using algebra::MakeCross;
+using algebra::MakeDistinct;
+using algebra::MakeDocTable;
+using algebra::MakeJoin;
+using algebra::MakeLiteral;
+using algebra::MakeProject;
+using algebra::MakeRank;
+using algebra::MakeRowId;
+using algebra::MakeSelect;
+using algebra::MakeSerialize;
+using algebra::OpPtr;
+using algebra::Predicate;
+using algebra::Term;
+using xquery::Axis;
+using xquery::ExprKind;
+using xquery::ExprPtr;
+using xquery::NodeTest;
+using xquery::TestKind;
+
+namespace {
+
+Value KindConst(xml::NodeKind kind) {
+  return Value::Int(static_cast<int64_t>(kind));
+}
+
+}  // namespace
+
+Predicate AxisPredicate(Axis axis, const std::string& cpre,
+                        const std::string& csize, const std::string& clevel,
+                        const std::string& cparent, const std::string& croot) {
+  Predicate p;
+  switch (axis) {
+    case Axis::kChild:
+      p.And(Term::Col(cpre), CmpOp::kLt, Term::Col("pre"));
+      p.And(Term::Col("pre"), CmpOp::kLe, Term::ColSum(cpre, csize));
+      p.And(Term::ColPlus(clevel, 1), CmpOp::kEq, Term::Col("level"));
+      break;
+    case Axis::kDescendant:
+      p.And(Term::Col(cpre), CmpOp::kLt, Term::Col("pre"));
+      p.And(Term::Col("pre"), CmpOp::kLe, Term::ColSum(cpre, csize));
+      break;
+    case Axis::kDescendantOrSelf:
+      p.And(Term::Col(cpre), CmpOp::kLe, Term::Col("pre"));
+      p.And(Term::Col("pre"), CmpOp::kLe, Term::ColSum(cpre, csize));
+      break;
+    case Axis::kSelf:
+      p.And(Term::Col("pre"), CmpOp::kEq, Term::Col(cpre));
+      break;
+    case Axis::kParent:
+      p.And(Term::Col("pre"), CmpOp::kEq, Term::Col(cparent));
+      break;
+    case Axis::kAncestor:
+      p.And(Term::Col("pre"), CmpOp::kLt, Term::Col(cpre));
+      p.And(Term::Col(cpre), CmpOp::kLe, Term::ColSum("pre", "size"));
+      break;
+    case Axis::kAncestorOrSelf:
+      p.And(Term::Col("pre"), CmpOp::kLe, Term::Col(cpre));
+      p.And(Term::Col(cpre), CmpOp::kLe, Term::ColSum("pre", "size"));
+      break;
+    case Axis::kFollowing:
+      p.And(Term::ColSum(cpre, csize), CmpOp::kLt, Term::Col("pre"));
+      p.And(Term::Col("root"), CmpOp::kEq, Term::Col(croot));
+      break;
+    case Axis::kPreceding:
+      p.And(Term::ColSum("pre", "size"), CmpOp::kLt, Term::Col(cpre));
+      p.And(Term::Col("root"), CmpOp::kEq, Term::Col(croot));
+      break;
+    case Axis::kFollowingSibling:
+      p.And(Term::Col("parent"), CmpOp::kEq, Term::Col(cparent));
+      p.And(Term::Col(cpre), CmpOp::kLt, Term::Col("pre"));
+      break;
+    case Axis::kPrecedingSibling:
+      p.And(Term::Col("parent"), CmpOp::kEq, Term::Col(cparent));
+      p.And(Term::Col("pre"), CmpOp::kLt, Term::Col(cpre));
+      break;
+    case Axis::kAttribute:
+      p.And(Term::Col("parent"), CmpOp::kEq, Term::Col(cpre));
+      break;
+  }
+  return p;
+}
+
+Predicate NodeTestPredicate(Axis axis, const NodeTest& test) {
+  using xml::NodeKind;
+  Predicate p;
+  const bool attr_axis = axis == Axis::kAttribute;
+  switch (test.kind) {
+    case TestKind::kName:
+      p.And(Term::Col("kind"), CmpOp::kEq,
+            Term::Const(KindConst(attr_axis ? NodeKind::kAttr
+                                            : NodeKind::kElem)));
+      p.And(Term::Col("name"), CmpOp::kEq,
+            Term::Const(Value::String(test.name)));
+      break;
+    case TestKind::kWildcard:
+      p.And(Term::Col("kind"), CmpOp::kEq,
+            Term::Const(KindConst(attr_axis ? NodeKind::kAttr
+                                            : NodeKind::kElem)));
+      break;
+    case TestKind::kText:
+      p.And(Term::Col("kind"), CmpOp::kEq,
+            Term::Const(KindConst(NodeKind::kText)));
+      // Text nodes carry the empty name in the encoding; stating it makes
+      // the predicate sargable for the name-prefixed B-trees (DB2 deploys
+      // nkspl for text() steps the same way, Fig. 10).
+      p.And(Term::Col("name"), CmpOp::kEq, Term::Const(Value::String("")));
+      break;
+    case TestKind::kComment:
+      p.And(Term::Col("kind"), CmpOp::kEq,
+            Term::Const(KindConst(NodeKind::kComment)));
+      p.And(Term::Col("name"), CmpOp::kEq, Term::Const(Value::String("")));
+      break;
+    case TestKind::kPi:
+      p.And(Term::Col("kind"), CmpOp::kEq,
+            Term::Const(KindConst(NodeKind::kPi)));
+      break;
+    case TestKind::kElement:
+      p.And(Term::Col("kind"), CmpOp::kEq,
+            Term::Const(KindConst(NodeKind::kElem)));
+      if (!test.name.empty()) {
+        p.And(Term::Col("name"), CmpOp::kEq,
+              Term::Const(Value::String(test.name)));
+      }
+      break;
+    case TestKind::kAttribute:
+      p.And(Term::Col("kind"), CmpOp::kEq,
+            Term::Const(KindConst(NodeKind::kAttr)));
+      if (!test.name.empty()) {
+        p.And(Term::Col("name"), CmpOp::kEq,
+              Term::Const(Value::String(test.name)));
+      }
+      break;
+    case TestKind::kAnyNode:
+      if (attr_axis) {
+        p.And(Term::Col("kind"), CmpOp::kEq,
+              Term::Const(KindConst(NodeKind::kAttr)));
+      } else {
+        p.And(Term::Col("kind"), CmpOp::kNe,
+              Term::Const(KindConst(NodeKind::kAttr)));
+        switch (axis) {
+          case Axis::kChild:
+          case Axis::kDescendant:
+          case Axis::kFollowing:
+          case Axis::kPreceding:
+          case Axis::kFollowingSibling:
+          case Axis::kPrecedingSibling:
+            // These axes can never deliver a document node.
+            p.And(Term::Col("kind"), CmpOp::kNe,
+                  Term::Const(KindConst(NodeKind::kDoc)));
+            break;
+          default:
+            break;
+        }
+      }
+      break;
+  }
+  return p;
+}
+
+namespace {
+
+/// A compiled subexpression: the plan plus the (globally unique) names of
+/// its iter / pos / item columns.
+struct Q {
+  OpPtr op;
+  std::string iter;
+  std::string pos;
+  std::string item;
+};
+
+/// A loop relation: single-column table of iteration ids.
+struct Loop {
+  OpPtr op;
+  std::string iter;
+};
+
+/// Implements the judgment Γ; loop ⊢ e ⇒ q (Fig. 13) with globally unique
+/// column naming (the real Pathfinder does the same: the paper's
+/// presentation reuses iter/pos/item per plan section, which a named
+/// algebra cannot).
+class LoopLifter {
+ public:
+  LoopLifter() : doc_(MakeDocTable()) {}
+
+  Result<Q> Compile(const ExprPtr& e, const std::map<std::string, Q>& env,
+                    const Loop& loop) {
+    switch (e->kind) {
+      case ExprKind::kDoc:
+        return CompileDoc(e, loop);
+      case ExprKind::kVar: {
+        auto it = env.find(e->var);
+        if (it == env.end()) {
+          return Status::InvalidArgument("unbound variable $" + e->var);
+        }
+        return it->second;
+      }
+      case ExprKind::kDdo: {
+        XQJG_ASSIGN_OR_RETURN(Q q, Compile(e->a, env, loop));
+        Q out;
+        out.iter = Fresh("iter");
+        out.item = Fresh("item");
+        out.pos = Fresh("pos");
+        out.op = MakeRank(
+            MakeDistinct(MakeProject(
+                q.op, {{out.iter, q.iter}, {out.item, q.item}})),
+            out.pos, {out.item});
+        return out;
+      }
+      case ExprKind::kStep: {
+        XQJG_ASSIGN_OR_RETURN(Q q, Compile(e->a, env, loop));
+        return CompileStep(e, std::move(q));
+      }
+      case ExprKind::kFor:
+        return CompileFor(e, env, loop);
+      case ExprKind::kLet: {
+        XQJG_ASSIGN_OR_RETURN(Q value, Compile(e->a, env, loop));
+        std::map<std::string, Q> env2 = env;
+        env2[e->var] = std::move(value);
+        return Compile(e->b, env2, loop);
+      }
+      case ExprKind::kIf:
+        return CompileIf(e, env, loop);
+      case ExprKind::kEbv:
+        // The IF rule's loopif = δ(π_iter(q_if)) realizes fn:boolean.
+        return Compile(e->a, env, loop);
+      case ExprKind::kComp:
+        return CompileComp(e, env, loop);
+      case ExprKind::kEmptySeq: {
+        Q out;
+        out.iter = Fresh("iter");
+        out.pos = Fresh("pos");
+        out.item = Fresh("item");
+        out.op = MakeLiteral({out.iter, out.pos, out.item}, {});
+        return out;
+      }
+      default:
+        return Status::NotSupported(
+            StrPrintf("cannot compile non-Core expression kind '%s'",
+                      xquery::ExprKindToString(e->kind)));
+    }
+  }
+
+ private:
+  std::string Fresh(const char* base) {
+    return StrPrintf("%s%d", base, ++fresh_);
+  }
+
+  // DOC: π(σ_kind=DOC ∧ name=uri(doc) × @pos:1(loop))
+  Result<Q> CompileDoc(const ExprPtr& e, const Loop& loop) {
+    Predicate sel;
+    sel.And(Term::Col("kind"), CmpOp::kEq,
+            Term::Const(KindConst(xml::NodeKind::kDoc)));
+    sel.And(Term::Col("name"), CmpOp::kEq,
+            Term::Const(Value::String(e->str)));
+    Q out;
+    out.iter = Fresh("iter");
+    out.pos = Fresh("pos");
+    out.item = Fresh("item");
+    OpPtr with_pos = MakeAttach(loop.op, out.pos, Value::Int(1));
+    OpPtr cross = MakeCross(MakeSelect(doc_, std::move(sel)),
+                            std::move(with_pos));
+    out.op = MakeProject(std::move(cross), {{out.iter, loop.iter},
+                                            {out.pos, out.pos},
+                                            {out.item, "pre"}});
+    return out;
+  }
+
+  // STEP: ϱ_pos:<item>( π( σ_test(doc) ⋈_axis(α) π_ctx(doc ⋈_pre=item q) ) )
+  Result<Q> CompileStep(const ExprPtr& e, Q q) {
+    const std::string cpre = Fresh("cpre");
+    const std::string csize = Fresh("csize");
+    const std::string clevel = Fresh("clevel");
+    const std::string cparent = Fresh("cparent");
+    const std::string croot = Fresh("croot");
+    const std::string citer = Fresh("iter");
+    OpPtr ctx = MakeJoin(doc_, q.op,
+                         Predicate::Single(Term::Col("pre"), CmpOp::kEq,
+                                           Term::Col(q.item)));
+    ctx = MakeProject(std::move(ctx), {{citer, q.iter},
+                                       {cpre, "pre"},
+                                       {csize, "size"},
+                                       {clevel, "level"},
+                                       {cparent, "parent"},
+                                       {croot, "root"}});
+    OpPtr filtered = MakeSelect(doc_, NodeTestPredicate(e->axis, e->test));
+    OpPtr joined =
+        MakeJoin(std::move(filtered), std::move(ctx),
+                 AxisPredicate(e->axis, cpre, csize, clevel, cparent, croot));
+    Q out;
+    out.iter = Fresh("iter");
+    out.item = Fresh("item");
+    out.pos = Fresh("pos");
+    OpPtr projected = MakeProject(std::move(joined),
+                                  {{out.iter, citer}, {out.item, "pre"}});
+    out.op = MakeRank(std::move(projected), out.pos, {out.item});
+    return out;
+  }
+
+  // COMP: existential general comparison (presence of an iter row encodes
+  // "true"); pos = item = 1.
+  Result<Q> CompileComp(const ExprPtr& e, const std::map<std::string, Q>& env,
+                        const Loop& loop) {
+    const bool lhs_lit = IsLiteral(e->a);
+    const bool rhs_lit = IsLiteral(e->b);
+    if (lhs_lit && rhs_lit) {
+      return Status::NotSupported("comparison of two literals");
+    }
+    OpPtr selected;
+    std::string iter_col;
+    if (lhs_lit || rhs_lit) {
+      const ExprPtr& node_side = lhs_lit ? e->b : e->a;
+      const ExprPtr& lit_side = lhs_lit ? e->a : e->b;
+      CmpOp op = lhs_lit ? algebra::FlipCmpOp(ToCmpOp(e->op)) : ToCmpOp(e->op);
+      XQJG_ASSIGN_OR_RETURN(Q q, Compile(node_side, env, loop));
+      OpPtr joined = MakeJoin(doc_, q.op,
+                              Predicate::Single(Term::Col("pre"), CmpOp::kEq,
+                                                Term::Col(q.item)));
+      // Numeric literals compare against the typed-decimal column `data`,
+      // string literals against the untyped `value` column (paper §II-A;
+      // Table VI: the nkdlp vs vnlkp index split).
+      const bool numeric = lit_side->kind == ExprKind::kNumLit;
+      Value constant = numeric ? Value::Double(lit_side->num)
+                               : Value::String(lit_side->str);
+      selected = MakeSelect(
+          std::move(joined),
+          Predicate::Single(Term::Col(numeric ? "data" : "value"), op,
+                            Term::Const(std::move(constant))));
+      iter_col = q.iter;
+    } else {
+      // Node-node comparison: existential over pairs of atomized nodes,
+      // untyped (string) comparison [11].
+      XQJG_ASSIGN_OR_RETURN(Q q1, Compile(e->a, env, loop));
+      XQJG_ASSIGN_OR_RETURN(Q q2, Compile(e->b, env, loop));
+      const std::string v1 = Fresh("val");
+      const std::string v2 = Fresh("val");
+      const std::string i1 = Fresh("iter");
+      const std::string i2 = Fresh("iter");
+      OpPtr lhs = MakeProject(
+          MakeJoin(doc_, q1.op,
+                   Predicate::Single(Term::Col("pre"), CmpOp::kEq,
+                                     Term::Col(q1.item))),
+          {{i1, q1.iter}, {v1, "value"}});
+      OpPtr rhs = MakeProject(
+          MakeJoin(doc_, q2.op,
+                   Predicate::Single(Term::Col("pre"), CmpOp::kEq,
+                                     Term::Col(q2.item))),
+          {{i2, q2.iter}, {v2, "value"}});
+      OpPtr joined = MakeJoin(std::move(lhs), std::move(rhs),
+                              Predicate::Single(Term::Col(i1), CmpOp::kEq,
+                                                Term::Col(i2)));
+      selected = MakeSelect(std::move(joined),
+                            Predicate::Single(Term::Col(v1), ToCmpOp(e->op),
+                                              Term::Col(v2)));
+      iter_col = i1;
+    }
+    Q out;
+    out.iter = Fresh("iter");
+    out.pos = Fresh("pos");
+    out.item = Fresh("item");
+    OpPtr dedup = MakeDistinct(
+        MakeProject(std::move(selected), {{out.iter, iter_col}}));
+    out.op = MakeAttach(MakeAttach(std::move(dedup), out.pos, Value::Int(1)),
+                        out.item, Value::Int(1));
+    return out;
+  }
+
+  // IF: loopif = δ(π_iter1:iter(q_if)); remap the live environment into
+  // the filtered loop; compile the then-branch under loopif.
+  Result<Q> CompileIf(const ExprPtr& e, const std::map<std::string, Q>& env,
+                      const Loop& loop) {
+    XQJG_ASSIGN_OR_RETURN(Q q_if, Compile(e->a, env, loop));
+    const std::string iter1 = Fresh("iter");
+    OpPtr loopif =
+        MakeDistinct(MakeProject(q_if.op, {{iter1, q_if.iter}}));
+    std::map<std::string, Q> env2;
+    for (const std::string& var : xquery::FreeVariables(*e->b)) {
+      auto it = env.find(var);
+      if (it == env.end()) continue;  // unbound -> error later in the body
+      const Q& qv = it->second;
+      OpPtr mapped = MakeJoin(loopif, qv.op,
+                              Predicate::Single(Term::Col(iter1), CmpOp::kEq,
+                                                Term::Col(qv.iter)));
+      Q nv;
+      nv.iter = Fresh("iter");
+      nv.pos = Fresh("pos");
+      nv.item = Fresh("item");
+      nv.op = MakeProject(std::move(mapped), {{nv.iter, qv.iter},
+                                              {nv.pos, qv.pos},
+                                              {nv.item, qv.item}});
+      env2[var] = std::move(nv);
+    }
+    Loop loop2;
+    loop2.iter = Fresh("iter");
+    loop2.op = MakeProject(loopif, {{loop2.iter, iter1}});
+    return Compile(e->b, env2, loop2);
+  }
+
+  // FOR — the centerpiece (Fig. 13).
+  Result<Q> CompileFor(const ExprPtr& e, const std::map<std::string, Q>& env,
+                       const Loop& loop) {
+    XQJG_ASSIGN_OR_RETURN(Q q_in, Compile(e->a, env, loop));
+    const std::string inner = Fresh("inner");
+    const std::string outer = Fresh("outer");
+    const std::string sort = Fresh("sort");
+    OpPtr q_x = MakeRowId(q_in.op, inner);
+    OpPtr map = MakeProject(
+        q_x, {{outer, q_in.iter}, {inner, inner}, {sort, q_in.pos}});
+    std::map<std::string, Q> env2;
+    for (const std::string& var : xquery::FreeVariables(*e->b)) {
+      if (var == e->var) continue;
+      auto it = env.find(var);
+      if (it == env.end()) continue;
+      const Q& qv = it->second;
+      OpPtr mapped = MakeJoin(map, qv.op,
+                              Predicate::Single(Term::Col(outer), CmpOp::kEq,
+                                                Term::Col(qv.iter)));
+      Q nv;
+      nv.iter = Fresh("iter");
+      nv.pos = Fresh("pos");
+      nv.item = Fresh("item");
+      nv.op = MakeProject(std::move(mapped), {{nv.iter, inner},
+                                              {nv.pos, qv.pos},
+                                              {nv.item, qv.item}});
+      env2[var] = std::move(nv);
+    }
+    {
+      Q bx;
+      bx.iter = Fresh("iter");
+      bx.pos = Fresh("pos");
+      bx.item = Fresh("item");
+      bx.op = MakeAttach(
+          MakeProject(q_x, {{bx.iter, inner}, {bx.item, q_in.item}}),
+          bx.pos, Value::Int(1));
+      env2[e->var] = std::move(bx);
+    }
+    Loop loop2;
+    loop2.iter = Fresh("iter");
+    loop2.op = MakeProject(map, {{loop2.iter, inner}});
+    XQJG_ASSIGN_OR_RETURN(Q q, Compile(e->b, env2, loop2));
+    OpPtr joined = MakeJoin(q.op, map,
+                            Predicate::Single(Term::Col(q.iter), CmpOp::kEq,
+                                              Term::Col(inner)));
+    const std::string pos1 = Fresh("pos");
+    OpPtr ranked = MakeRank(std::move(joined), pos1, {sort, q.pos});
+    Q out;
+    out.iter = Fresh("iter");
+    out.pos = Fresh("pos");
+    out.item = Fresh("item");
+    out.op = MakeProject(std::move(ranked), {{out.iter, outer},
+                                             {out.pos, pos1},
+                                             {out.item, q.item}});
+    return out;
+  }
+
+  static bool IsLiteral(const ExprPtr& e) {
+    return e->kind == ExprKind::kNumLit || e->kind == ExprKind::kStrLit;
+  }
+
+  static CmpOp ToCmpOp(xquery::CompOp op) {
+    switch (op) {
+      case xquery::CompOp::kEq:
+        return CmpOp::kEq;
+      case xquery::CompOp::kNe:
+        return CmpOp::kNe;
+      case xquery::CompOp::kLt:
+        return CmpOp::kLt;
+      case xquery::CompOp::kLe:
+        return CmpOp::kLe;
+      case xquery::CompOp::kGt:
+        return CmpOp::kGt;
+      case xquery::CompOp::kGe:
+        return CmpOp::kGe;
+    }
+    return CmpOp::kEq;
+  }
+
+  OpPtr doc_;
+  int fresh_ = 0;
+};
+
+}  // namespace
+
+Result<OpPtr> CompileQuery(const ExprPtr& core, const CompileOptions& options) {
+  if (!xquery::IsCore(*core)) {
+    return Status::InvalidArgument(
+        "CompileQuery expects a Core-normalized expression (run Normalize)");
+  }
+  xquery::ExprPtr query = core;
+  if (options.explicit_serialization_step) {
+    // for $fs:ser in Q return $fs:ser/descendant-or-self::node()
+    query = xquery::MakeFor(
+        "fs:ser", core,
+        xquery::MakeDdo(xquery::MakeStep(
+            xquery::MakeVar("fs:ser"), Axis::kDescendantOrSelf,
+            NodeTest{TestKind::kAnyNode, ""})));
+  }
+  LoopLifter lifter;
+  Loop loop;
+  loop.iter = "iter0";
+  loop.op = MakeLiteral({loop.iter}, {{Value::Int(1)}});
+  XQJG_ASSIGN_OR_RETURN(Q q0, lifter.Compile(query, {}, loop));
+  return MakeSerialize(q0.op, q0.pos, q0.item);
+}
+
+}  // namespace xqjg::compiler

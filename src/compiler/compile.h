@@ -1,0 +1,46 @@
+// Loop-lifting XQuery compiler (paper §II-C, Appendix A / Fig. 13).
+//
+// Compiles a Core-normalized expression into a table-algebra DAG. Every
+// subexpression plan produces the ternary iter|pos|item encoding: row
+// [i,p,v] = "in iteration i the expression yielded the node with pre rank
+// v at sequence position p".
+//
+// Implemented rules: DOC, DDO, STEP (all 12 axes), IF, COMP (literal and
+// node-node generalization), FOR, VAR, plus LET from [11].
+#ifndef XQJG_COMPILER_COMPILE_H_
+#define XQJG_COMPILER_COMPILE_H_
+
+#include "src/algebra/operators.h"
+#include "src/common/status.h"
+#include "src/xquery/ast.h"
+
+namespace xqjg::compiler {
+
+struct CompileOptions {
+  /// Append a final descendant-or-self::node() step to the query result,
+  /// making the serialization workload explicit (paper §IV: "to provide
+  /// the RDBMS with complete information about the expected queries").
+  bool explicit_serialization_step = false;
+};
+
+/// Compiles Core expression `core` (see xquery::Normalize) to an algebra
+/// plan rooted in a serialize operator.
+Result<algebra::OpPtr> CompileQuery(const xquery::ExprPtr& core,
+                                    const CompileOptions& options = {});
+
+/// Builds the axis predicate axis(α) of Fig. 3 between context columns
+/// (cpre/csize/clevel/cparent/croot — the ° columns) and the doc columns.
+algebra::Predicate AxisPredicate(xquery::Axis axis, const std::string& cpre,
+                                 const std::string& csize,
+                                 const std::string& clevel,
+                                 const std::string& cparent,
+                                 const std::string& croot);
+
+/// Builds the kind/name test predicate kindt(n) ∧ namet(n) of Fig. 3 over
+/// the doc columns (axis-dependent: attribute axis selects ATTR nodes).
+algebra::Predicate NodeTestPredicate(xquery::Axis axis,
+                                     const xquery::NodeTest& test);
+
+}  // namespace xqjg::compiler
+
+#endif  // XQJG_COMPILER_COMPILE_H_

@@ -1,0 +1,100 @@
+#include "src/data/dblp.h"
+
+#include "src/common/str.h"
+
+namespace xqjg::data {
+
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 6364136223846793005ULL + 1) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 17;
+  }
+  int Uniform(int lo, int hi) {
+    return lo + static_cast<int>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+const char* kAuthors[] = {"M. Ley",      "T. Grust",   "J. Teubner",
+                          "S. Sakr",     "D. Olteanu", "N. Bruno",
+                          "H. Jagadish", "G. Graefe",  "P. O'Neil",
+                          "E. Codd"};
+const char* kTopics[] = {"Query Optimization", "XML Processing",
+                         "Join Algorithms",    "Index Structures",
+                         "Stream Processing",  "Transaction Models",
+                         "Storage Engines",    "Cost Models"};
+const char* kVenues[] = {"vldb", "sigmod", "icde", "edbt", "cidr"};
+
+}  // namespace
+
+std::string GenerateDblp(const DblpOptions& options) {
+  Rng rng(options.seed);
+  std::string out = "<dblp>\n";
+  for (int i = 0; i < options.publications; ++i) {
+    const int year = rng.Uniform(1985, 2007);
+    const char* topic = kTopics[rng.Uniform(0, 7)];
+    const int kind = rng.Uniform(0, 19);
+    if (kind == 0) {
+      // ~5% phdthesis, some before 1994 (the Q6 predicate).
+      out += StrPrintf(
+          "<phdthesis key=\"phd/thesis%d\" mdate=\"2002-01-03\">"
+          "<author>%s</author>"
+          "<title>A Study of %s</title>"
+          "<year>%d</year>"
+          "<school>University %d</school>"
+          "</phdthesis>\n",
+          i, kAuthors[rng.Uniform(0, 9)], topic, year, rng.Uniform(1, 40));
+    } else if (kind <= 3) {
+      // proceedings entries with editor (Q5's /dblp/*[... editor ...]).
+      const char* venue = kVenues[rng.Uniform(0, 4)];
+      out += StrPrintf(
+          "<proceedings key=\"conf/%s%d/p\">"
+          "<editor>%s</editor>"
+          "<title>Proceedings of %s %d</title>"
+          "<year>%d</year>"
+          "<publisher>ACM</publisher>"
+          "</proceedings>\n",
+          venue, year, kAuthors[rng.Uniform(0, 9)], venue, year, year);
+    } else if (kind <= 11) {
+      const char* venue = kVenues[rng.Uniform(0, 4)];
+      out += StrPrintf(
+          "<inproceedings key=\"conf/%s/%d\" mdate=\"2004-06-01\">"
+          "<author>%s</author><author>%s</author>"
+          "<title>%s for Large Databases</title>"
+          "<pages>%d-%d</pages>"
+          "<year>%d</year>"
+          "<booktitle>%s</booktitle>"
+          "</inproceedings>\n",
+          venue, i, kAuthors[rng.Uniform(0, 9)], kAuthors[rng.Uniform(0, 9)],
+          topic, rng.Uniform(1, 300), rng.Uniform(301, 500), year, venue);
+    } else {
+      out += StrPrintf(
+          "<article key=\"journals/j%d\" mdate=\"2003-03-07\">"
+          "<author>%s</author>"
+          "<title>On %s</title>"
+          "<journal>TODS</journal>"
+          "<volume>%d</volume>"
+          "<year>%d</year>"
+          "</article>\n",
+          i, kAuthors[rng.Uniform(0, 9)], topic, rng.Uniform(1, 30), year);
+    }
+  }
+  // The specific key Q5 looks up must exist exactly once.
+  out +=
+      "<proceedings key=\"conf/vldb2001\">"
+      "<editor>P. Apers</editor>"
+      "<title>VLDB 2001, Proceedings of 27th International Conference "
+      "on Very Large Data Bases</title>"
+      "<year>2001</year>"
+      "</proceedings>\n";
+  out += "</dblp>\n";
+  return out;
+}
+
+}  // namespace xqjg::data

@@ -1,0 +1,22 @@
+// Deterministic DBLP-like bibliography generator (substitute for the
+// paper's 400 MB DBLP instance; preserves what Q5/Q6 touch: publication
+// kinds incl. phdthesis with author/title/year, editor/title entries with
+// conference keys).
+#ifndef XQJG_DATA_DBLP_H_
+#define XQJG_DATA_DBLP_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xqjg::data {
+
+struct DblpOptions {
+  int publications = 2000;
+  uint64_t seed = 7;
+};
+
+std::string GenerateDblp(const DblpOptions& options = {});
+
+}  // namespace xqjg::data
+
+#endif  // XQJG_DATA_DBLP_H_

@@ -1,0 +1,146 @@
+#include "src/data/xmark.h"
+
+#include "src/common/str.h"
+
+namespace xqjg::data {
+
+namespace {
+
+/// Deterministic 64-bit LCG (stable across platforms; std::mt19937 would
+/// also do, but distributions are not portable).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 6364136223846793005ULL + 1) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 17;
+  }
+  int Uniform(int lo, int hi) {  // inclusive
+    return lo + static_cast<int>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+  double UniformReal(double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(Next() % 1000000) / 1e6);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+const char* kWords[] = {"gold",   "vintage", "rare",    "classic", "signed",
+                        "boxed",  "mint",    "antique", "modern",  "large",
+                        "small",  "blue",    "red",     "green",   "silver"};
+const char* kNames[] = {"Umeko", "Takano", "Jaak",  "Tempesti", "Gui",
+                        "Rim",   "Moshe",  "Wagar", "Aloys",    "Ludovic"};
+
+std::string Words(Rng* rng, int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i) out += " ";
+    out += kWords[rng->Uniform(0, 14)];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string GenerateXmark(const XmarkOptions& options) {
+  Rng rng(options.seed);
+  const int n_items = options.items();
+  const int n_open = options.open_auctions();
+  const int n_closed = options.closed_auctions();
+  const int n_categories = options.categories();
+  const int n_people = options.people();
+  std::string out;
+  out.reserve(static_cast<size_t>(1024) * 64);
+  out += "<site>\n<regions>\n";
+  const char* regions[] = {"africa", "asia", "europe", "namerica"};
+  for (int i = 0; i < n_items; ++i) {
+    const char* region = regions[i % 4];
+    if (i % 4 == 0 || i == 0) {
+      // group items into region containers lazily
+    }
+    (void)region;
+  }
+  // Emit items grouped by region.
+  for (int r = 0; r < 4; ++r) {
+    out += StrPrintf("<%s>\n", regions[r]);
+    for (int i = r; i < n_items; i += 4) {
+      out += StrPrintf("<item id=\"item%d\">", i);
+      out += StrPrintf("<location>United States</location>");
+      out += StrPrintf("<name>%s</name>", Words(&rng, 2).c_str());
+      out += "<payment>Cash</payment>";
+      out += StrPrintf("<description><text>%s</text></description>",
+                       Words(&rng, rng.Uniform(3, 10)).c_str());
+      const int n_cat = rng.Uniform(1, 3);
+      for (int c = 0; c < n_cat; ++c) {
+        out += StrPrintf("<incategory category=\"category%d\"/>",
+                         rng.Uniform(0, n_categories - 1));
+      }
+      out += StrPrintf("<quantity>%d</quantity>", rng.Uniform(1, 5));
+      out += "</item>\n";
+    }
+    out += StrPrintf("</%s>\n", regions[r]);
+  }
+  out += "</regions>\n<categories>\n";
+  for (int c = 0; c < n_categories; ++c) {
+    out += StrPrintf(
+        "<category id=\"category%d\"><name>%s</name>"
+        "<description><text>%s</text></description></category>\n",
+        c, Words(&rng, 2).c_str(), Words(&rng, 5).c_str());
+  }
+  out += "</categories>\n<people>\n";
+  for (int p = 0; p < n_people; ++p) {
+    out += StrPrintf(
+        "<person id=\"person%d\"><name>%s %s</name>"
+        "<emailaddress>mailto:p%d@example.com</emailaddress>",
+        p, kNames[rng.Uniform(0, 9)], kNames[rng.Uniform(0, 9)], p);
+    if (rng.Uniform(0, 2) == 0) {
+      out += StrPrintf("<phone>+1 (%d) %d</phone>", rng.Uniform(100, 999),
+                       rng.Uniform(1000000, 9999999));
+    }
+    out += "</person>\n";
+  }
+  out += "</people>\n<open_auctions>\n";
+  for (int a = 0; a < n_open; ++a) {
+    out += StrPrintf("<open_auction id=\"open_auction%d\">", a);
+    out += StrPrintf("<initial>%.2f</initial>", rng.UniformReal(1, 300));
+    const int n_bidders = rng.Uniform(0, 6);
+    for (int b = 0; b < n_bidders; ++b) {
+      out += StrPrintf(
+          "<bidder><time>%02d:%02d</time>"
+          "<personref person=\"person%d\"/>"
+          "<increase>%.2f</increase></bidder>",
+          rng.Uniform(0, 23), rng.Uniform(0, 59),
+          rng.Uniform(0, n_people - 1), rng.UniformReal(1.5, 60));
+    }
+    out += StrPrintf("<itemref item=\"item%d\"/>",
+                     rng.Uniform(0, n_items - 1));
+    out += StrPrintf("<seller person=\"person%d\"/>",
+                     rng.Uniform(0, n_people - 1));
+    out += StrPrintf("<current>%.2f</current>", rng.UniformReal(5, 800));
+    out += "</open_auction>\n";
+  }
+  out += "</open_auctions>\n<closed_auctions>\n";
+  for (int a = 0; a < n_closed; ++a) {
+    out += StrPrintf("<closed_auction>");
+    out += StrPrintf("<seller person=\"person%d\"/>",
+                     rng.Uniform(0, n_people - 1));
+    out += StrPrintf("<buyer person=\"person%d\"/>",
+                     rng.Uniform(0, n_people - 1));
+    out += StrPrintf("<itemref item=\"item%d\"/>",
+                     rng.Uniform(0, n_items - 1));
+    // Log-ish price distribution: a small fraction beyond 500 (the paper:
+    // "only a fraction of price elements has a typed value in the range").
+    double price = rng.UniformReal(1, 100);
+    if (rng.Uniform(0, 9) == 0) price = rng.UniformReal(100, 2000);
+    out += StrPrintf("<price>%.2f</price>", price);
+    out += StrPrintf("<date>%02d/%02d/%d</date>", rng.Uniform(1, 12),
+                     rng.Uniform(1, 28), rng.Uniform(1998, 2001));
+    out += StrPrintf("<quantity>%d</quantity>", rng.Uniform(1, 4));
+    out += "</closed_auction>\n";
+  }
+  out += "</closed_auctions>\n</site>\n";
+  return out;
+}
+
+}  // namespace xqjg::data

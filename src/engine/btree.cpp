@@ -1,0 +1,195 @@
+#include "src/engine/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace xqjg::engine {
+
+int CompareKeyPrefix(const Key& probe, const Key& entry) {
+  const size_t n = std::min(probe.size(), entry.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (probe[i].SortLess(entry[i])) return -1;
+    if (entry[i].SortLess(probe[i])) return 1;
+  }
+  return 0;  // equal on the shared prefix
+}
+
+namespace {
+
+/// Full-key comparison used internally (shorter sorts first on ties so
+/// separator keys behave).
+bool KeyLess(const Key& a, const Key& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i].SortLess(b[i])) return true;
+    if (b[i].SortLess(a[i])) return false;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+struct BTree::Node {
+  bool leaf = true;
+  // Leaf: keys[i] pairs with rids[i]. Internal: children[i] holds keys
+  // < keys[i]; children.back() holds the rest.
+  std::vector<Key> keys;
+  std::vector<int64_t> rids;
+  std::vector<std::unique_ptr<Node>> children;
+  Node* next = nullptr;  // leaf chain
+};
+
+BTree::BTree(int fanout) : root_(std::make_unique<Node>()), fanout_(std::max(4, fanout)) {}
+BTree::~BTree() = default;
+BTree::BTree(BTree&&) noexcept = default;
+BTree& BTree::operator=(BTree&&) noexcept = default;
+
+int BTree::height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+void BTree::SplitChild(Node* parent, size_t slot) {
+  Node* child = parent->children[slot].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  const size_t mid = child->keys.size() / 2;
+  Key separator = child->keys[mid];
+  if (child->leaf) {
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->rids.assign(child->rids.begin() + mid, child->rids.end());
+    child->keys.resize(mid);
+    child->rids.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+  } else {
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+  parent->keys.insert(parent->keys.begin() + slot, std::move(separator));
+  parent->children.insert(parent->children.begin() + slot + 1,
+                          std::move(right));
+}
+
+void BTree::Insert(Key key, int64_t row_id) {
+  if (root_->keys.size() >= static_cast<size_t>(fanout_)) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  Node* node = root_.get();
+  while (!node->leaf) {
+    size_t slot = std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                                   KeyLess) -
+                  node->keys.begin();
+    Node* child = node->children[slot].get();
+    if (child->keys.size() >= static_cast<size_t>(fanout_)) {
+      SplitChild(node, slot);
+      if (!KeyLess(key, node->keys[slot])) ++slot;
+      child = node->children[slot].get();
+    }
+    node = child;
+  }
+  size_t pos = std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                                KeyLess) -
+               node->keys.begin();
+  node->keys.insert(node->keys.begin() + pos, std::move(key));
+  node->rids.insert(node->rids.begin() + pos, row_id);
+  ++size_;
+}
+
+void BTree::BulkLoad(std::vector<std::pair<Key, int64_t>> sorted_entries) {
+  // Build leaves left to right, then stack internal levels.
+  root_ = std::make_unique<Node>();
+  size_ = sorted_entries.size();
+  if (sorted_entries.empty()) return;
+  const size_t per_leaf = static_cast<size_t>(fanout_) * 3 / 4;
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t i = 0; i < sorted_entries.size();) {
+    auto leaf = std::make_unique<Node>();
+    for (size_t j = 0; j < per_leaf && i < sorted_entries.size(); ++j, ++i) {
+      leaf->keys.push_back(std::move(sorted_entries[i].first));
+      leaf->rids.push_back(sorted_entries[i].second);
+    }
+    if (!level.empty()) level.back()->next = leaf.get();
+    level.push_back(std::move(leaf));
+  }
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    for (size_t i = 0; i < level.size();) {
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      parent->children.push_back(std::move(level[i++]));
+      for (size_t j = 1; j < per_leaf && i < level.size(); ++j, ++i) {
+        const Node* first = level[i].get();
+        while (!first->leaf) first = first->children.front().get();
+        parent->keys.push_back(first->keys.front());
+        parent->children.push_back(std::move(level[i]));
+      }
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+}
+
+const BTree::Node* BTree::LeftmostLeafFor(const Key& lower) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t slot = node->keys.size();
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      // Descend into the first child that can contain `lower`.
+      if (CompareKeyPrefix(lower, node->keys[i]) <= 0) {
+        slot = i;
+        break;
+      }
+    }
+    node = node->children[slot].get();
+  }
+  return node;
+}
+
+void BTree::Scan(const KeyRange& range,
+                 const std::function<bool(const Key&, int64_t)>& fn) const {
+  const Node* leaf = range.lower.empty() ? LeftmostLeafFor(Key{})
+                                         : LeftmostLeafFor(range.lower);
+  // The descent can land one leaf early (separator keys are prefixes);
+  // the per-entry bound checks below handle it.
+  for (; leaf; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      const Key& key = leaf->keys[i];
+      if (!range.lower.empty()) {
+        int c = CompareKeyPrefix(range.lower, key);
+        if (c > 0 || (c == 0 && !range.lower_inclusive)) continue;
+      }
+      if (!range.upper.empty()) {
+        int c = CompareKeyPrefix(range.upper, key);
+        if (c < 0 || (c == 0 && !range.upper_inclusive)) return;
+      }
+      if (!fn(key, leaf->rids[i])) return;
+    }
+  }
+}
+
+std::vector<int64_t> BTree::Lookup(const KeyRange& range) const {
+  std::vector<int64_t> out;
+  Scan(range, [&](const Key&, int64_t rid) {
+    out.push_back(rid);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace xqjg::engine

@@ -1,0 +1,77 @@
+// In-memory B+-tree with composite keys (the engine's only index
+// structure — the paper's point is that *vanilla* B-trees suffice).
+//
+// Keys are tuples of Values ordered lexicographically; every entry carries
+// the row id (pre rank) of its doc-table row. Lookups support an equality
+// prefix plus one range component, exactly the sargable shape the join
+// graph workload produces (paper §IV: "evaluate predicates against ranges
+// with endpoints pre, pre + size").
+#ifndef XQJG_ENGINE_BTREE_H_
+#define XQJG_ENGINE_BTREE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace xqjg::engine {
+
+using Key = std::vector<Value>;
+
+/// Lexicographic comparison of composite keys (shorter key = prefix
+/// comparison: equal prefixes compare equal).
+int CompareKeyPrefix(const Key& probe, const Key& entry);
+
+/// A range over composite keys: entries e with lower <= e <= upper under
+/// prefix comparison; empty bounds are unbounded.
+struct KeyRange {
+  Key lower;
+  bool lower_inclusive = true;
+  Key upper;
+  bool upper_inclusive = true;
+};
+
+class BTree {
+ public:
+  /// `fanout` = max entries per node (>= 4).
+  explicit BTree(int fanout = 64);
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&&) noexcept;
+  BTree& operator=(BTree&&) noexcept;
+
+  /// Inserts one entry (duplicates allowed).
+  void Insert(Key key, int64_t row_id);
+
+  /// Builds the tree from entries sorted by key (bottom-up bulk load);
+  /// replaces any existing contents.
+  void BulkLoad(std::vector<std::pair<Key, int64_t>> sorted_entries);
+
+  /// Invokes `fn(key, row_id)` for every entry in `range`, in key order.
+  /// `fn` returns false to stop the scan early.
+  void Scan(const KeyRange& range,
+            const std::function<bool(const Key&, int64_t)>& fn) const;
+
+  /// Convenience: collects the row ids in `range`.
+  std::vector<int64_t> Lookup(const KeyRange& range) const;
+
+  size_t size() const { return size_; }
+  int height() const;
+
+ private:
+  struct Node;
+  void SplitChild(Node* parent, size_t slot);
+  const Node* LeftmostLeafFor(const Key& lower) const;
+
+  std::unique_ptr<Node> root_;
+  int fanout_;
+  size_t size_ = 0;
+};
+
+}  // namespace xqjg::engine
+
+#endif  // XQJG_ENGINE_BTREE_H_

@@ -1,0 +1,234 @@
+#include "src/engine/database.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/str.h"
+
+namespace xqjg::engine {
+
+const std::vector<std::string>& EngineDocColumns() {
+  static const std::vector<std::string> kCols = {
+      "pre", "size", "level", "kind", "name", "value",
+      "data", "parent", "root", "pss"};
+  return kCols;
+}
+
+std::string IndexDef::ToString() const {
+  std::string out = name + " (" + Join(key_columns, ", ") + ")";
+  if (!include_columns.empty()) {
+    out += " INCLUDE (" + Join(include_columns, ", ") + ")";
+  }
+  if (clustered) out += " CLUSTERED";
+  return out;
+}
+
+double ColumnStats::EqSelectivity(const Value& v) const {
+  if (row_count == 0) return 0.0;
+  if (!frequent.empty()) {
+    auto it = frequent.find(v.ToString());
+    if (it == frequent.end()) return 0.5 / static_cast<double>(row_count);
+    return static_cast<double>(it->second) / static_cast<double>(row_count);
+  }
+  if (ndv <= 0) return 0.0;
+  return 1.0 / static_cast<double>(ndv);
+}
+
+double ColumnStats::RangeSelectivity(const Value& lo, const Value& hi) const {
+  if (row_count == 0 || bucket_bounds.empty()) return 0.1;
+  const double buckets = static_cast<double>(bucket_bounds.size());
+  auto position = [&](const Value& v) {
+    size_t idx = 0;
+    while (idx < bucket_bounds.size() && bucket_bounds[idx].SortLess(v)) ++idx;
+    return static_cast<double>(idx) / buckets;
+  };
+  double from = lo.is_null() ? 0.0 : position(lo);
+  double to = hi.is_null() ? 1.0 : position(hi);
+  return std::max(1.0 / static_cast<double>(row_count),
+                  std::max(0.0, to - from));
+}
+
+std::unique_ptr<Database> Database::Build(const xml::DocTable& doc) {
+  auto db = std::make_unique<Database>();
+  db->source_ = &doc;
+  db->row_count_ = doc.row_count();
+  const auto& cols = EngineDocColumns();
+  db->columns_.resize(cols.size());
+  for (auto& col : db->columns_) {
+    col.reserve(static_cast<size_t>(doc.row_count()));
+  }
+  for (int64_t pre = 0; pre < doc.row_count(); ++pre) {
+    db->columns_[0].push_back(Value::Int(pre));
+    db->columns_[1].push_back(Value::Int(doc.size(pre)));
+    db->columns_[2].push_back(Value::Int(doc.level(pre)));
+    db->columns_[3].push_back(Value::Int(static_cast<int64_t>(doc.kind(pre))));
+    db->columns_[4].push_back(Value::String(doc.name(pre)));
+    db->columns_[5].push_back(doc.has_value(pre)
+                                  ? Value::String(doc.value(pre))
+                                  : Value::Null());
+    db->columns_[6].push_back(doc.has_data(pre) ? Value::Double(doc.data(pre))
+                                                : Value::Null());
+    db->columns_[7].push_back(Value::Int(doc.Parent(pre)));
+    db->columns_[8].push_back(Value::Int(doc.Root(pre)));
+    db->columns_[9].push_back(Value::Int(pre + doc.size(pre)));
+  }
+  // Statistics: ndv, min/max, equi-depth histogram; exact frequencies for
+  // the low-cardinality columns kind and name.
+  db->stats_.resize(cols.size());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    ColumnStats& st = db->stats_[c];
+    st.row_count = db->row_count_;
+    std::vector<const Value*> non_null;
+    non_null.reserve(db->columns_[c].size());
+    for (const Value& v : db->columns_[c]) {
+      if (!v.is_null()) non_null.push_back(&v);
+    }
+    if (non_null.empty()) continue;
+    std::sort(non_null.begin(), non_null.end(),
+              [](const Value* a, const Value* b) { return a->SortLess(*b); });
+    st.min = *non_null.front();
+    st.max = *non_null.back();
+    int64_t ndv = 1;
+    for (size_t i = 1; i < non_null.size(); ++i) {
+      if (non_null[i - 1]->SortLess(*non_null[i])) ++ndv;
+    }
+    st.ndv = ndv;
+    const size_t kBuckets = 32;
+    for (size_t b = 1; b <= kBuckets; ++b) {
+      st.bucket_bounds.push_back(
+          *non_null[std::min(non_null.size() - 1,
+                             b * non_null.size() / kBuckets)]);
+    }
+    if (cols[c] == "kind" || cols[c] == "name") {
+      for (const Value* v : non_null) st.frequent[v->ToString()]++;
+    }
+  }
+  return db;
+}
+
+int Database::ColumnIndex(const std::string& name) const {
+  const auto& cols = EngineDocColumns();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Database::CreateIndex(const IndexDef& def) {
+  auto index = std::make_unique<Index>();
+  index->def = def;
+  for (const auto& col : def.key_columns) {
+    int idx = ColumnIndex(col);
+    if (idx < 0) return Status::InvalidArgument("unknown column " + col);
+    index->key_cols.push_back(idx);
+  }
+  std::vector<std::pair<Key, int64_t>> entries;
+  entries.reserve(static_cast<size_t>(row_count_));
+  for (int64_t pre = 0; pre < row_count_; ++pre) {
+    Key key;
+    key.reserve(index->key_cols.size());
+    for (int c : index->key_cols) key.push_back(Cell(pre, c));
+    entries.emplace_back(std::move(key), pre);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              int c = CompareKeyPrefix(a.first, b.first);
+              if (c != 0) return c < 0;
+              return a.second < b.second;
+            });
+  index->tree.BulkLoad(std::move(entries));
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+void Database::DropAllIndexes() { indexes_.clear(); }
+
+namespace {
+
+void AddIndex(std::vector<IndexDef>* out, const std::string& name,
+              std::vector<std::string> keys,
+              std::vector<std::string> includes = {}, bool clustered = false) {
+  for (const auto& existing : *out) {
+    if (existing.name == name) return;
+  }
+  out->push_back(IndexDef{name, std::move(keys), std::move(includes),
+                          clustered});
+}
+
+}  // namespace
+
+std::vector<IndexDef> TableVIIndexes() {
+  // Paper Table VI with the key-letter mapping p:pre, s:pre+size(=pss),
+  // l:level, k:kind, n:name, v:value, d:data — extended by one
+  // parent-prefixed key (qnkp) for the attribute/owner and sibling steps
+  // our `parent` encoding column supports.
+  std::vector<IndexDef> out;
+  AddIndex(&out, "nkspl", {"name", "kind", "pss", "pre", "level"});
+  AddIndex(&out, "nlkps", {"name", "level", "kind", "pre", "pss"});
+  AddIndex(&out, "nksp", {"name", "kind", "pss", "pre"});
+  AddIndex(&out, "nlkp", {"name", "level", "kind", "pre"});
+  AddIndex(&out, "vnlkp", {"value", "name", "level", "kind", "pre"});
+  AddIndex(&out, "nlkpv", {"name", "level", "kind", "pre", "value"});
+  AddIndex(&out, "nkdlp", {"name", "kind", "data", "level", "pre"});
+  AddIndex(&out, "p-nvkls", {"pre"},
+           {"name", "value", "kind", "level", "pss"}, /*clustered=*/true);
+  AddIndex(&out, "qnkp", {"parent", "name", "kind", "pre"});
+  return out;
+}
+
+std::vector<IndexDef> AdviseIndexes(
+    const std::vector<const opt::JoinGraph*>& workload) {
+  // Feature scan over the workload's conjunctive predicates — the join
+  // graph SQL is completely regular (paper §IV), so a handful of
+  // predicate shapes determines the useful key layouts.
+  bool name_tests = false;       // name = '...' equality
+  bool level_preds = false;      // level° + 1 = level (child steps)
+  bool pre_ranges = false;       // pre BETWEEN ... (descendant/child)
+  bool value_comparisons = false;
+  bool data_comparisons = false;
+  bool parent_joins = false;     // attribute / sibling steps
+  bool serialization = false;    // bare pre-range scans of full rows
+  for (const opt::JoinGraph* jg : workload) {
+    for (const auto& p : jg->predicates) {
+      auto mentions = [&](const char* col) {
+        return p.lhs.col == col || p.lhs.col2 == col || p.rhs.col == col ||
+               p.rhs.col2 == col;
+      };
+      if (mentions("name") && p.op == algebra::CmpOp::kEq) name_tests = true;
+      if (mentions("level")) level_preds = true;
+      if (mentions("pre") && p.op != algebra::CmpOp::kEq) pre_ranges = true;
+      if (mentions("value")) value_comparisons = true;
+      if (mentions("data")) data_comparisons = true;
+      if (mentions("parent")) parent_joins = true;
+    }
+    // A select list wider than a couple of columns means full infoset rows
+    // flow to serialization.
+    if (jg->select_list.size() >= 2) serialization = true;
+  }
+  std::vector<IndexDef> out;
+  if (name_tests && pre_ranges) {
+    AddIndex(&out, "nkspl", {"name", "kind", "pss", "pre", "level"});
+    AddIndex(&out, "nksp", {"name", "kind", "pss", "pre"});
+  }
+  if (name_tests && level_preds) {
+    AddIndex(&out, "nlkps", {"name", "level", "kind", "pre", "pss"});
+    AddIndex(&out, "nlkp", {"name", "level", "kind", "pre"});
+  }
+  if (value_comparisons) {
+    AddIndex(&out, "vnlkp", {"value", "name", "level", "kind", "pre"});
+    AddIndex(&out, "nlkpv", {"name", "level", "kind", "pre", "value"});
+  }
+  if (data_comparisons) {
+    AddIndex(&out, "nkdlp", {"name", "kind", "data", "level", "pre"});
+  }
+  if (parent_joins) {
+    AddIndex(&out, "qnkp", {"parent", "name", "kind", "pre"});
+  }
+  if (serialization) {
+    AddIndex(&out, "p-nvkls", {"pre"},
+             {"name", "value", "kind", "level", "pss"}, /*clustered=*/true);
+  }
+  return out;
+}
+
+}  // namespace xqjg::engine

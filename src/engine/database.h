@@ -1,0 +1,103 @@
+// The relational back-end's storage layer: the doc relation, column
+// statistics, B-tree indexes, and the workload-driven index advisor (the
+// db2advis substitute behind Table VI).
+#ifndef XQJG_ENGINE_DATABASE_H_
+#define XQJG_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/engine/btree.h"
+#include "src/opt/join_graph.h"
+#include "src/xml/infoset.h"
+
+namespace xqjg::engine {
+
+/// Column order of the engine's doc relation: the algebra's doc columns
+/// plus the computed column `pss` = pre + size (the paper replaces `size`
+/// by this sum because it is the only way size is ever used).
+const std::vector<std::string>& EngineDocColumns();
+
+struct IndexDef {
+  std::string name;                       ///< e.g. "nkspl"
+  std::vector<std::string> key_columns;   ///< significant order
+  std::vector<std::string> include_columns;  ///< leaf-page payload only
+  bool clustered = false;
+
+  std::string ToString() const;
+};
+
+struct ColumnStats {
+  int64_t row_count = 0;
+  int64_t ndv = 0;
+  Value min, max;
+  /// Equi-depth histogram bucket boundaries (ascending, ~32 buckets);
+  /// empty for all-NULL columns.
+  std::vector<Value> bucket_bounds;
+  /// Exact frequencies for low-cardinality columns (kind, name).
+  std::map<std::string, int64_t> frequent;
+
+  /// Estimated fraction of rows with column = v.
+  double EqSelectivity(const Value& v) const;
+  /// Estimated fraction of rows within [lo, hi] (unbounded sides NULL).
+  double RangeSelectivity(const Value& lo, const Value& hi) const;
+};
+
+/// One loaded database: the doc relation + indexes + statistics.
+class Database {
+ public:
+  /// Builds the relation from the infoset encoding and collects stats.
+  static std::unique_ptr<Database> Build(const xml::DocTable& doc);
+
+  int64_t row_count() const { return row_count_; }
+
+  /// Cell access by row id (pre) and engine column index.
+  const Value& Cell(int64_t pre, int col) const {
+    return columns_[static_cast<size_t>(col)][static_cast<size_t>(pre)];
+  }
+  int ColumnIndex(const std::string& name) const;
+
+  const ColumnStats& Stats(int col) const {
+    return stats_[static_cast<size_t>(col)];
+  }
+
+  /// Creates (and builds) a B-tree index.
+  Status CreateIndex(const IndexDef& def);
+  void DropAllIndexes();
+
+  struct Index {
+    IndexDef def;
+    std::vector<int> key_cols;  ///< engine column indexes
+    BTree tree;
+  };
+  const std::vector<std::unique_ptr<Index>>& indexes() const {
+    return indexes_;
+  }
+
+  const xml::DocTable* source() const { return source_; }
+
+ private:
+  int64_t row_count_ = 0;
+  std::vector<std::vector<Value>> columns_;  // column-major
+  std::vector<ColumnStats> stats_;
+  std::vector<std::unique_ptr<Index>> indexes_;
+  const xml::DocTable* source_ = nullptr;
+};
+
+/// The db2advis substitute: derives a tailored B-tree set from a join
+/// graph workload (paper Table VI). Key-letter naming: p=pre, s=pre+size,
+/// l=level, k=kind, n=name, v=value, d=data, q=parent, r=root.
+std::vector<IndexDef> AdviseIndexes(
+    const std::vector<const opt::JoinGraph*>& workload);
+
+/// The fixed Table VI index set (what the advisor proposes for the paper's
+/// Q2-with-serialization workload); used by benches and tests.
+std::vector<IndexDef> TableVIIndexes();
+
+}  // namespace xqjg::engine
+
+#endif  // XQJG_ENGINE_DATABASE_H_

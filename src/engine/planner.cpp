@@ -1,0 +1,1016 @@
+#include "src/engine/planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/str.h"
+
+namespace xqjg::engine {
+
+using algebra::CmpOp;
+using opt::JoinGraph;
+using opt::QualComparison;
+using opt::QualTerm;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tuple runtime: a tuple binds one doc row (pre) per alias; -1 = unbound.
+
+using Tuple = std::vector<int64_t>;
+
+Value EvalQualTerm(const QualTerm& t, const Tuple& tuple, const Database& db) {
+  Value acc = t.constant;
+  bool have = !acc.is_null();
+  auto add = [&](int alias, const std::string& col) -> bool {
+    if (alias < 0) return true;
+    const int64_t pre = tuple[static_cast<size_t>(alias)];
+    if (pre < 0) return false;
+    // `pss` and sums are resolved through the column set directly.
+    const Value& v = db.Cell(pre, db.ColumnIndex(col));
+    if (v.is_null()) return false;
+    if (!have) {
+      acc = v;
+      have = true;
+      return true;
+    }
+    if (acc.IsNumeric() && v.IsNumeric()) {
+      if (acc.type() == ValueType::kInt && v.type() == ValueType::kInt) {
+        acc = Value::Int(acc.AsInt() + v.AsInt());
+      } else {
+        acc = Value::Double(acc.AsDouble() + v.AsDouble());
+      }
+      return true;
+    }
+    return false;
+  };
+  if (!add(t.alias, t.col)) return Value::Null();
+  if (!add(t.alias2, t.col2)) return Value::Null();
+  return acc;
+}
+
+bool EvalQualComparison(const QualComparison& p, const Tuple& tuple,
+                        const Database& db) {
+  Value lhs = EvalQualTerm(p.lhs, tuple, db);
+  Value rhs = EvalQualTerm(p.rhs, tuple, db);
+  int c = lhs.Compare(rhs);
+  if (c == Value::kNullCmp) return false;
+  switch (p.op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+std::vector<int> AliasesOf(const QualComparison& p) { return p.Aliases(); }
+
+/// True iff all of p's aliases lie within `mask`.
+bool CoveredBy(const QualComparison& p, uint32_t mask) {
+  for (int a : AliasesOf(p)) {
+    if (!(mask & (1u << a))) return false;
+  }
+  return true;
+}
+
+bool Mentions(const QualComparison& p, int alias) {
+  for (int a : AliasesOf(p)) {
+    if (a == alias) return true;
+  }
+  return false;
+}
+
+/// The single index column a term denotes for sargability purposes:
+/// `pre + size` of one alias maps to the computed column `pss`; a plain
+/// column maps to itself; anything else is not sargable (empty).
+std::string SargColumn(const QualTerm& t, int alias) {
+  if (t.alias != alias) return "";
+  if (t.alias2 < 0) {
+    // col (+ numeric constant) — the constant is compensated at probe
+    // time (see AdjustProbeValue).
+    if (!t.constant.is_null() && !t.constant.IsNumeric()) return "";
+    return t.col;
+  }
+  if (t.alias2 == alias && !t.constant.is_null() && !t.constant.IsNumeric()) {
+    return "";
+  }
+  if (t.alias2 == alias &&
+      ((t.col == "pre" && t.col2 == "size") ||
+       (t.col == "size" && t.col2 == "pre"))) {
+    return "pss";
+  }
+  return "";
+}
+
+/// Probe value for `col_term OP other`: when the sarg side carries a
+/// numeric constant k (col + k OP v), the probe compares col OP v - k.
+Value AdjustProbeValue(const QualTerm& sarg_side, Value v) {
+  if (sarg_side.constant.is_null() || v.is_null()) return v;
+  if (!v.IsNumeric() || !sarg_side.constant.IsNumeric()) return Value::Null();
+  if (v.type() == ValueType::kInt &&
+      sarg_side.constant.type() == ValueType::kInt) {
+    return Value::Int(v.AsInt() - sarg_side.constant.AsInt());
+  }
+  return Value::Double(v.AsDouble() - sarg_side.constant.AsDouble());
+}
+
+/// Normalizes a conjunct so that, if possible, the side referencing only
+/// `alias` is on the left.
+QualComparison OrientTo(const QualComparison& p, int alias) {
+  auto side_aliases = [](const QualTerm& t) {
+    std::vector<int> out;
+    if (t.alias >= 0) out.push_back(t.alias);
+    if (t.alias2 >= 0) out.push_back(t.alias2);
+    return out;
+  };
+  auto only = [&](const QualTerm& t) {
+    for (int a : side_aliases(t)) {
+      if (a != alias) return false;
+    }
+    return !side_aliases(t).empty();
+  };
+  if (only(p.lhs)) return p;
+  if (only(p.rhs)) {
+    return QualComparison{p.rhs, algebra::FlipCmpOp(p.op), p.lhs};
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Selectivity estimation.
+
+double PredSelectivity(const QualComparison& p, const Database& db) {
+  const auto aliases = AliasesOf(p);
+  // Local predicate with a constant side.
+  if (aliases.size() == 1) {
+    const QualTerm& col_side = p.lhs.IsConst() ? p.rhs : p.lhs;
+    const QualTerm& const_side = p.lhs.IsConst() ? p.lhs : p.rhs;
+    if (!const_side.IsConst() || !col_side.IsSimpleCol()) return 0.3;
+    const ColumnStats& st = db.Stats(db.ColumnIndex(col_side.col));
+    CmpOp op = p.lhs.IsConst() ? algebra::FlipCmpOp(p.op) : p.op;
+    switch (op) {
+      case CmpOp::kEq:
+        return st.EqSelectivity(const_side.constant);
+      case CmpOp::kNe:
+        return 1.0 - st.EqSelectivity(const_side.constant);
+      case CmpOp::kLt:
+      case CmpOp::kLe:
+        return st.RangeSelectivity(Value::Null(), const_side.constant);
+      default:
+        return st.RangeSelectivity(const_side.constant, Value::Null());
+    }
+  }
+  // Join predicate.
+  if (p.op == CmpOp::kEq) {
+    double ndv = 2;
+    if (p.lhs.IsSimpleCol()) {
+      ndv = std::max(ndv, static_cast<double>(
+                              db.Stats(db.ColumnIndex(p.lhs.col)).ndv));
+    }
+    if (p.rhs.IsSimpleCol()) {
+      ndv = std::max(ndv, static_cast<double>(
+                              db.Stats(db.ColumnIndex(p.rhs.col)).ndv));
+    }
+    return 1.0 / ndv;
+  }
+  // Structural range conjunct (half of a containment pair): average
+  // subtree fraction.
+  const double n = std::max<double>(1, static_cast<double>(db.row_count()));
+  const ColumnStats& size_stats = db.Stats(db.ColumnIndex("size"));
+  double avg_size = 4.0;
+  if (!size_stats.bucket_bounds.empty()) {
+    // median of size as a robust average
+    const Value& median =
+        size_stats.bucket_bounds[size_stats.bucket_bounds.size() / 2];
+    avg_size = std::max(1.0, median.IsNumeric() ? median.AsDouble() : 4.0);
+  }
+  return std::min(0.5, std::sqrt(avg_size) / std::sqrt(n));
+}
+
+// ---------------------------------------------------------------------------
+// Access path selection.
+
+struct AccessPath {
+  const Database::Index* index = nullptr;  // null = table scan
+  int eq_prefix = 0;
+  bool has_range = false;
+  double selectivity = 1.0;  // of the index-applied portion
+  double cost = 0.0;
+  std::vector<QualComparison> matched;   // served by the index probe
+  std::vector<QualComparison> residual;  // checked per fetched row
+};
+
+/// Picks the best access path for `alias`, given conjuncts `applicable`
+/// (their other aliases are bound at probe time).
+AccessPath ChooseAccessPath(int alias,
+                            const std::vector<QualComparison>& applicable,
+                            const Database& db) {
+  const double n = std::max<double>(1, static_cast<double>(db.row_count()));
+  AccessPath best;
+  best.cost = n;  // table scan
+  best.residual = applicable;
+  for (const auto& index : db.indexes()) {
+    AccessPath path;
+    path.index = index.get();
+    std::vector<bool> used(applicable.size(), false);
+    double sel = 1.0;
+    // Match an equality per key column, then one range.
+    size_t k = 0;
+    for (; k < index->def.key_columns.size(); ++k) {
+      const std::string& key_col = index->def.key_columns[k];
+      bool matched_eq = false;
+      for (size_t i = 0; i < applicable.size(); ++i) {
+        if (used[i]) continue;
+        QualComparison p = OrientTo(applicable[i], alias);
+        if (p.op != CmpOp::kEq) continue;
+        if (SargColumn(p.lhs, alias) != key_col) continue;
+        used[i] = true;
+        path.matched.push_back(applicable[i]);
+        sel *= PredSelectivity(applicable[i], db);
+        matched_eq = true;
+        ++path.eq_prefix;
+        break;
+      }
+      if (!matched_eq) break;
+    }
+    if (k < index->def.key_columns.size()) {
+      const std::string& key_col = index->def.key_columns[k];
+      for (size_t i = 0; i < applicable.size(); ++i) {
+        if (used[i]) continue;
+        QualComparison p = OrientTo(applicable[i], alias);
+        if (p.op == CmpOp::kEq || p.op == CmpOp::kNe) continue;
+        if (SargColumn(p.lhs, alias) != key_col) continue;
+        used[i] = true;
+        path.matched.push_back(applicable[i]);
+        sel *= PredSelectivity(applicable[i], db);
+        path.has_range = true;
+      }
+    }
+    if (path.matched.empty()) continue;
+    for (size_t i = 0; i < applicable.size(); ++i) {
+      if (!used[i]) path.residual.push_back(applicable[i]);
+    }
+    path.selectivity = sel;
+    path.cost = 2.0 * std::log2(n + 1) + sel * n;
+    if (path.cost < best.cost) best = std::move(path);
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Join-order optimization (DP over connected subsets; greedy fallback).
+
+struct SubPlan {
+  std::unique_ptr<PhysNode> node;
+  double rows = 0;
+  double cost = 0;
+  uint32_t mask = 0;
+};
+
+class Planner {
+ public:
+  Planner(const JoinGraph& graph, const Database& db,
+          const PlannerOptions& options)
+      : graph_(graph), db_(db), options_(options) {}
+
+  Result<PhysicalPlan> Plan() {
+    const int n = graph_.num_aliases;
+    if (n == 0) return Status::InvalidArgument("join graph has no relations");
+    if (options_.syntactic_order || n > 13) return PlanGreedy();
+    return PlanDp();
+  }
+
+ private:
+  double RowsOf(int alias) {
+    double rows = static_cast<double>(db_.row_count());
+    for (const auto& p : graph_.predicates) {
+      if (AliasesOf(p).size() == 1 && Mentions(p, alias)) {
+        rows *= PredSelectivity(p, db_);
+      }
+    }
+    return std::max(1.0, rows);
+  }
+
+  /// Predicates fully evaluable once `mask` is bound and not evaluable on
+  /// either sub-mask alone.
+  std::vector<QualComparison> NewPreds(uint32_t mask, uint32_t left,
+                                       uint32_t right) {
+    std::vector<QualComparison> out;
+    for (const auto& p : graph_.predicates) {
+      if (!CoveredBy(p, mask)) continue;
+      if (CoveredBy(p, left) || CoveredBy(p, right)) continue;
+      out.push_back(p);
+    }
+    return out;
+  }
+
+  SubPlan MakeScan(int alias, uint32_t bound_mask) {
+    std::vector<QualComparison> applicable;
+    for (const auto& p : graph_.predicates) {
+      if (Mentions(p, alias) &&
+          CoveredBy(p, bound_mask | (1u << alias))) {
+        applicable.push_back(p);
+      }
+    }
+    AccessPath path = ChooseAccessPath(alias, applicable, db_);
+    SubPlan plan;
+    plan.mask = 1u << alias;
+    auto node = std::make_unique<PhysNode>();
+    node->alias = alias;
+    if (path.index) {
+      node->kind = PhysKind::kIxScan;
+      node->index = path.index;
+      node->eq_prefix = path.eq_prefix;
+      node->has_range = path.has_range;
+      node->preds = path.matched;
+      node->preds.insert(node->preds.end(), path.residual.begin(),
+                         path.residual.end());
+    } else {
+      node->kind = PhysKind::kTbScan;
+      node->preds = path.residual;
+    }
+    plan.rows = RowsOf(alias);
+    plan.cost = path.cost;
+    node->est_rows = plan.rows;
+    node->est_cost = plan.cost;
+    plan.node = std::move(node);
+    return plan;
+  }
+
+  SubPlan Join(SubPlan left, SubPlan right, bool right_is_single) {
+    const uint32_t mask = left.mask | right.mask;
+    std::vector<QualComparison> edge = NewPreds(mask, left.mask, right.mask);
+    double sel = 1.0;
+    for (const auto& p : edge) sel *= PredSelectivity(p, db_);
+    double rows = std::max(1.0, left.rows * right.rows * sel);
+    auto node = std::make_unique<PhysNode>();
+    bool has_eq = false;
+    for (const auto& p : edge) {
+      if (p.op == CmpOp::kEq) has_eq = true;
+    }
+    double cost;
+    if (right_is_single) {
+      // Index nested-loop: re-plan the inner scan with outer bindings.
+      int alias = 0;
+      while (!(right.mask & (1u << alias))) ++alias;
+      SubPlan inner = MakeScan(alias, left.mask);
+      node->kind = PhysKind::kNlJoin;
+      cost = left.cost + left.rows * inner.cost + rows;
+      node->right = std::move(inner.node);
+      node->preds = std::move(edge);
+      node->left = std::move(left.node);
+    } else if (has_eq) {
+      node->kind = PhysKind::kHsJoin;
+      cost = left.cost + right.cost + left.rows + right.rows + rows;
+      node->preds = std::move(edge);
+      node->left = std::move(left.node);
+      node->right = std::move(right.node);
+    } else {
+      node->kind = PhysKind::kNlJoin;  // filter nested-loop
+      cost = left.cost + right.cost + left.rows * right.rows;
+      node->preds = std::move(edge);
+      node->left = std::move(left.node);
+      node->right = std::move(right.node);
+    }
+    node->est_rows = rows;
+    node->est_cost = cost;
+    SubPlan out;
+    out.mask = mask;
+    out.rows = rows;
+    out.cost = cost;
+    out.node = std::move(node);
+    return out;
+  }
+
+  bool Connected(uint32_t a, uint32_t b) {
+    for (const auto& p : graph_.predicates) {
+      bool touches_a = false, touches_b = false;
+      for (int al : AliasesOf(p)) {
+        if (a & (1u << al)) touches_a = true;
+        if (b & (1u << al)) touches_b = true;
+      }
+      if (touches_a && touches_b && CoveredBy(p, a | b)) return true;
+    }
+    return false;
+  }
+
+  /// Analytic estimate of a parameterized scan's probe cost and the join
+  /// edge selectivity — no PhysNodes built. Memoized per (alias, mask).
+  struct ScanEst {
+    double cost;
+  };
+  double ScanCost(int alias, uint32_t bound_mask) {
+    const uint64_t key =
+        (static_cast<uint64_t>(alias) << 32) | bound_mask;
+    auto it = scan_cost_memo_.find(key);
+    if (it != scan_cost_memo_.end()) return it->second;
+    std::vector<QualComparison> applicable;
+    for (const auto& p : graph_.predicates) {
+      if (Mentions(p, alias) && CoveredBy(p, bound_mask | (1u << alias))) {
+        applicable.push_back(p);
+      }
+    }
+    double cost = ChooseAccessPath(alias, applicable, db_).cost;
+    scan_cost_memo_[key] = cost;
+    return cost;
+  }
+
+  double EdgeSelectivity(uint32_t mask, uint32_t left, uint32_t right) {
+    double sel = 1.0;
+    for (const auto& p : graph_.predicates) {
+      if (!CoveredBy(p, mask)) continue;
+      if (CoveredBy(p, left) || CoveredBy(p, right)) continue;
+      sel *= PredSelectivity(p, db_);
+    }
+    return sel;
+  }
+
+  struct DpEntry {
+    double cost = 0;
+    double rows = 0;
+    uint32_t left = 0;  // best split (0 = leaf)
+    bool valid = false;
+  };
+
+  Result<PhysicalPlan> PlanDp() {
+    const int n = graph_.num_aliases;
+    const uint32_t full = (1u << n) - 1;
+    std::vector<DpEntry> dp(static_cast<size_t>(full) + 1);
+    for (int a = 0; a < n; ++a) {
+      DpEntry& e = dp[1u << a];
+      e.cost = ScanCost(a, 0);
+      e.rows = RowsOf(a);
+      e.valid = true;
+    }
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if (__builtin_popcount(mask) < 2) continue;
+      DpEntry best;
+      for (uint32_t left = (mask - 1) & mask; left; left = (left - 1) & mask) {
+        const uint32_t right = mask & ~left;
+        if (!dp[left].valid || !dp[right].valid) continue;
+        if (!Connected(left, right)) continue;
+        const double sel = EdgeSelectivity(mask, left, right);
+        const double rows =
+            std::max(1.0, dp[left].rows * dp[right].rows * sel);
+        double cost;
+        if (__builtin_popcount(right) == 1) {
+          int alias = static_cast<int>(__builtin_ctz(right));
+          cost = dp[left].cost + dp[left].rows * ScanCost(alias, left) + rows;
+        } else {
+          cost = dp[left].cost + dp[right].cost + dp[left].rows +
+                 dp[right].rows + rows;
+        }
+        if (!best.valid || cost < best.cost) {
+          best.valid = true;
+          best.cost = cost;
+          best.rows = rows;
+          best.left = left;
+        }
+      }
+      if (!best.valid) {
+        // Cross product fallback: split off the lowest alias.
+        const uint32_t low = mask & (~mask + 1);
+        const uint32_t rest = mask & ~low;
+        if (dp[rest].valid && dp[low].valid) {
+          best.valid = true;
+          best.left = rest;
+          best.rows = dp[rest].rows * dp[low].rows;
+          best.cost = dp[rest].cost + dp[rest].rows * dp[low].cost +
+                      best.rows;
+        }
+      }
+      dp[mask] = best;
+    }
+    if (!dp[full].valid) {
+      return Status::Internal("join-order DP failed to cover all relations");
+    }
+    // Reconstruct the plan tree along the recorded best splits.
+    SubPlan root = BuildFromDp(dp, full);
+    PhysicalPlan plan;
+    plan.root = std::move(root.node);
+    plan.est_cost = dp[full].cost;
+    plan.graph = &graph_;
+    return plan;
+  }
+
+  SubPlan BuildFromDp(const std::vector<DpEntry>& dp, uint32_t mask) {
+    if (__builtin_popcount(mask) == 1) {
+      return MakeScan(static_cast<int>(__builtin_ctz(mask)), 0);
+    }
+    const uint32_t left = dp[mask].left;
+    const uint32_t right = mask & ~left;
+    SubPlan lhs = BuildFromDp(dp, left);
+    SubPlan rhs = BuildFromDp(dp, right);
+    return Join(std::move(lhs), std::move(rhs),
+                __builtin_popcount(right) == 1);
+  }
+
+  Result<PhysicalPlan> PlanGreedy() {
+    const int n = graph_.num_aliases;
+    std::vector<bool> joined(static_cast<size_t>(n), false);
+    // Syntactic mode starts from alias 0; cost mode from the most
+    // selective alias.
+    int start = 0;
+    if (!options_.syntactic_order) {
+      double best_rows = 1e300;
+      for (int a = 0; a < n; ++a) {
+        double rows = RowsOf(a);
+        if (rows < best_rows) {
+          best_rows = rows;
+          start = a;
+        }
+      }
+    }
+    SubPlan current = MakeScan(start, 0);
+    joined[static_cast<size_t>(start)] = true;
+    for (int step = 1; step < n; ++step) {
+      int pick = -1;
+      double pick_cost = 1e300;
+      for (int a = 0; a < n; ++a) {
+        if (joined[static_cast<size_t>(a)]) continue;
+        if (options_.syntactic_order) {
+          pick = a;
+          break;
+        }
+        const bool connected = Connected(current.mask, 1u << a);
+        const double sel =
+            EdgeSelectivity(current.mask | (1u << a), current.mask, 1u << a);
+        const double rows = std::max(1.0, current.rows * RowsOf(a) * sel);
+        double cost = current.cost +
+                      current.rows * ScanCost(a, current.mask) + rows +
+                      (connected ? 0 : 1e12);
+        if (cost < pick_cost) {
+          pick_cost = cost;
+          pick = a;
+        }
+      }
+      current = Join(std::move(current), MakeScan(pick, current.mask), true);
+      joined[static_cast<size_t>(pick)] = true;
+    }
+    PhysicalPlan plan;
+    plan.root = std::move(current.node);
+    plan.est_cost = current.cost;
+    plan.graph = &graph_;
+    return plan;
+  }
+
+  SubPlan ClonePlan(const SubPlan& plan) {
+    SubPlan copy;
+    copy.rows = plan.rows;
+    copy.cost = plan.cost;
+    copy.mask = plan.mask;
+    copy.node = CloneNode(plan.node.get());
+    return copy;
+  }
+
+  static std::unique_ptr<PhysNode> CloneNode(const PhysNode* node) {
+    if (!node) return nullptr;
+    auto copy = std::make_unique<PhysNode>();
+    copy->kind = node->kind;
+    copy->alias = node->alias;
+    copy->index = node->index;
+    copy->preds = node->preds;
+    copy->eq_prefix = node->eq_prefix;
+    copy->has_range = node->has_range;
+    copy->est_rows = node->est_rows;
+    copy->est_cost = node->est_cost;
+    copy->left = CloneNode(node->left.get());
+    copy->right = CloneNode(node->right.get());
+    return copy;
+  }
+
+  const JoinGraph& graph_;
+  const Database& db_;
+  PlannerOptions options_;
+  std::unordered_map<uint64_t, double> scan_cost_memo_;
+};
+
+// ---------------------------------------------------------------------------
+// Execution.
+
+class Executor {
+ public:
+  Executor(const JoinGraph& graph, const Database& db,
+           const PlannerOptions& options, ExecStats* stats)
+      : graph_(graph), db_(db), options_(options), stats_(stats) {
+    if (options_.timeout_seconds > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(options_.timeout_seconds));
+      have_deadline_ = true;
+    }
+  }
+
+  Result<std::vector<Tuple>> Run(const PhysNode* node) {
+    Result<std::vector<Tuple>> result = RunInner(node);
+    static const bool trace = std::getenv("XQJG_EXEC_TRACE") != nullptr;
+    if (trace && result.ok()) {
+      std::fprintf(stderr, "exec %s d%d -> %zu tuples\n",
+                   node->kind == PhysKind::kIxScan   ? "IXSCAN"
+                   : node->kind == PhysKind::kTbScan ? "TBSCAN"
+                   : node->kind == PhysKind::kNlJoin ? "NLJOIN"
+                                                     : "HSJOIN",
+                   node->alias, result.value().size());
+    }
+    return result;
+  }
+
+  Result<std::vector<Tuple>> RunInner(const PhysNode* node) {
+    XQJG_RETURN_NOT_OK(CheckDeadline());
+    switch (node->kind) {
+      case PhysKind::kTbScan:
+      case PhysKind::kIxScan: {
+        std::vector<Tuple> out;
+        Tuple empty(static_cast<size_t>(graph_.num_aliases), -1);
+        XQJG_RETURN_NOT_OK(ProbeScan(node, empty, &out));
+        return out;
+      }
+      case PhysKind::kNlJoin: {
+        XQJG_ASSIGN_OR_RETURN(std::vector<Tuple> outer, Run(node->left.get()));
+        std::vector<Tuple> out;
+        if (node->right->kind == PhysKind::kIxScan ||
+            node->right->kind == PhysKind::kTbScan) {
+          for (const Tuple& t : outer) {
+            XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), t, &out));
+            XQJG_RETURN_NOT_OK(CheckDeadline());
+          }
+          // Edge predicates not already applied inside the probe.
+          FilterInPlace(node->preds, &out);
+        } else {
+          XQJG_ASSIGN_OR_RETURN(std::vector<Tuple> inner,
+                                Run(node->right.get()));
+          for (const Tuple& l : outer) {
+            for (const Tuple& r : inner) {
+              Tuple merged = MergeTuples(l, r);
+              bool ok = true;
+              for (const auto& p : node->preds) {
+                if (!EvalQualComparison(p, merged, db_)) {
+                  ok = false;
+                  break;
+                }
+              }
+              if (ok) out.push_back(std::move(merged));
+            }
+            XQJG_RETURN_NOT_OK(CheckDeadline());
+          }
+        }
+        if (stats_) {
+          stats_->tuples_materialized += static_cast<int64_t>(out.size());
+        }
+        return out;
+      }
+      case PhysKind::kHsJoin: {
+        XQJG_ASSIGN_OR_RETURN(std::vector<Tuple> left, Run(node->left.get()));
+        XQJG_ASSIGN_OR_RETURN(std::vector<Tuple> right,
+                              Run(node->right.get()));
+        // Hash on the first equality predicate; others become residual.
+        const QualComparison* hash_pred = nullptr;
+        for (const auto& p : node->preds) {
+          if (p.op == CmpOp::kEq) {
+            hash_pred = &p;
+            break;
+          }
+        }
+        std::vector<Tuple> out;
+        if (!hash_pred) {
+          for (const Tuple& l : left) {
+            for (const Tuple& r : right) {
+              Tuple merged = MergeTuples(l, r);
+              bool ok = true;
+              for (const auto& p : node->preds) {
+                if (!EvalQualComparison(p, merged, db_)) {
+                  ok = false;
+                  break;
+                }
+              }
+              if (ok) out.push_back(std::move(merged));
+            }
+          }
+          return out;
+        }
+        // Determine which side provides which term.
+        auto side_of = [&](const QualTerm& t,
+                           const std::vector<Tuple>& probe) -> bool {
+          // true if t is evaluable on `probe`'s tuples (alias bound)
+          if (probe.empty()) return false;
+          if (t.alias >= 0 && probe[0][static_cast<size_t>(t.alias)] < 0) {
+            return false;
+          }
+          return true;
+        };
+        const QualTerm& lterm =
+            side_of(hash_pred->lhs, left) ? hash_pred->lhs : hash_pred->rhs;
+        const QualTerm& rterm =
+            side_of(hash_pred->lhs, left) ? hash_pred->rhs : hash_pred->lhs;
+        std::unordered_map<size_t, std::vector<size_t>> buckets;
+        for (size_t j = 0; j < right.size(); ++j) {
+          Value v = EvalQualTerm(rterm, right[j], db_);
+          if (v.is_null()) continue;
+          buckets[v.Hash()].push_back(j);
+        }
+        for (const Tuple& l : left) {
+          Value v = EvalQualTerm(lterm, l, db_);
+          if (v.is_null()) continue;
+          auto it = buckets.find(v.Hash());
+          if (it == buckets.end()) continue;
+          for (size_t j : it->second) {
+            Tuple merged = MergeTuples(l, right[j]);
+            bool ok = true;
+            for (const auto& p : node->preds) {
+              if (!EvalQualComparison(p, merged, db_)) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) out.push_back(std::move(merged));
+          }
+          XQJG_RETURN_NOT_OK(CheckDeadline());
+        }
+        if (stats_) {
+          stats_->tuples_materialized += static_cast<int64_t>(out.size());
+        }
+        return out;
+      }
+    }
+    return Status::Internal("unknown physical operator");
+  }
+
+ private:
+  Status CheckDeadline() {
+    if (have_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+      return Status::Timeout("execution exceeded wall-clock budget (DNF)");
+    }
+    return Status::OK();
+  }
+
+  Tuple MergeTuples(const Tuple& a, const Tuple& b) {
+    Tuple out = a;
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (out[i] < 0) out[i] = b[i];
+    }
+    return out;
+  }
+
+  void FilterInPlace(const std::vector<QualComparison>& preds,
+                     std::vector<Tuple>* tuples) {
+    if (preds.empty()) return;
+    std::vector<Tuple> kept;
+    for (Tuple& t : *tuples) {
+      bool ok = true;
+      for (const auto& p : preds) {
+        if (!EvalQualComparison(p, t, db_)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) kept.push_back(std::move(t));
+    }
+    *tuples = std::move(kept);
+  }
+
+  /// Runs a scan with outer bindings from `outer`; appends bound tuples.
+  Status ProbeScan(const PhysNode* node, const Tuple& outer,
+                   std::vector<Tuple>* out) {
+    const int alias = node->alias;
+    auto emit_if_match = [&](int64_t pre) {
+      Tuple t = outer;
+      t[static_cast<size_t>(alias)] = pre;
+      for (const auto& p : node->preds) {
+        // Skip conjuncts whose other aliases are still unbound (they are
+        // re-checked at the join that binds them).
+        bool evaluable = true;
+        for (int a : AliasesOf(p)) {
+          if (t[static_cast<size_t>(a)] < 0) evaluable = false;
+        }
+        if (!evaluable) continue;
+        if (!EvalQualComparison(p, t, db_)) return;
+      }
+      out->push_back(std::move(t));
+    };
+    if (node->kind == PhysKind::kTbScan) {
+      for (int64_t pre = 0; pre < db_.row_count(); ++pre) {
+        emit_if_match(pre);
+      }
+      return Status::OK();
+    }
+    // Index scan: rebuild the probe range from the matched predicates.
+    const auto& key_cols = node->index->def.key_columns;
+    Key lower, upper;
+    bool lower_inc = true, upper_inc = true;
+    size_t k = 0;
+    std::vector<char> used(node->preds.size(), 0);
+    for (; k < key_cols.size(); ++k) {
+      bool matched = false;
+      for (size_t i = 0; i < node->preds.size(); ++i) {
+        if (used[i]) continue;
+        QualComparison p = OrientTo(node->preds[i], alias);
+        if (p.op != CmpOp::kEq) continue;
+        if (SargColumn(p.lhs, alias) != key_cols[k]) continue;
+        // The other side must be evaluable from `outer` / constants.
+        bool evaluable = true;
+        for (int a : std::vector<int>{p.rhs.alias, p.rhs.alias2}) {
+          if (a >= 0 && outer[static_cast<size_t>(a)] < 0) evaluable = false;
+        }
+        if (!evaluable) continue;
+        Value v = AdjustProbeValue(p.lhs, EvalQualTerm(p.rhs, outer, db_));
+        if (v.is_null()) return Status::OK();  // NULL never matches
+        lower.push_back(v);
+        upper.push_back(v);
+        used[i] = 1;
+        matched = true;
+        break;
+      }
+      if (!matched) break;
+    }
+    if (k < key_cols.size()) {
+      // Range component on the next key column.
+      bool have_lo = false, have_hi = false;
+      Value lo, hi;
+      for (size_t i = 0; i < node->preds.size(); ++i) {
+        if (used[i]) continue;
+        QualComparison p = OrientTo(node->preds[i], alias);
+        if (p.op == CmpOp::kEq || p.op == CmpOp::kNe) continue;
+        if (SargColumn(p.lhs, alias) != key_cols[k]) continue;
+        bool evaluable = true;
+        for (int a : std::vector<int>{p.rhs.alias, p.rhs.alias2}) {
+          if (a >= 0 && outer[static_cast<size_t>(a)] < 0) evaluable = false;
+        }
+        if (!evaluable) continue;
+        Value v = AdjustProbeValue(p.lhs, EvalQualTerm(p.rhs, outer, db_));
+        if (v.is_null()) return Status::OK();
+        switch (p.op) {
+          case CmpOp::kLt:
+            if (!have_hi || v.SortLess(hi)) hi = v;
+            have_hi = true;
+            upper_inc = false;
+            break;
+          case CmpOp::kLe:
+            if (!have_hi || v.SortLess(hi)) hi = v;
+            have_hi = true;
+            break;
+          case CmpOp::kGt:
+            if (!have_lo || lo.SortLess(v)) lo = v;
+            have_lo = true;
+            lower_inc = false;
+            break;
+          case CmpOp::kGe:
+            if (!have_lo || lo.SortLess(v)) lo = v;
+            have_lo = true;
+            break;
+          default:
+            break;
+        }
+        used[i] = 1;
+      }
+      if (have_lo) {
+        Key lo_key = lower;
+        lo_key.push_back(lo);
+        lower = std::move(lo_key);
+      }
+      if (have_hi) {
+        Key hi_key = upper;
+        hi_key.push_back(hi);
+        upper = std::move(hi_key);
+      }
+    }
+    KeyRange range;
+    range.lower = std::move(lower);
+    range.upper = std::move(upper);
+    range.lower_inclusive = lower_inc;
+    range.upper_inclusive = upper_inc;
+    node->index->tree.Scan(range, [&](const Key&, int64_t pre) {
+      emit_if_match(pre);
+      return true;
+    });
+    return Status::OK();
+  }
+
+  const JoinGraph& graph_;
+  const Database& db_;
+  PlannerOptions options_;
+  ExecStats* stats_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool have_deadline_ = false;
+};
+
+}  // namespace
+
+Result<PhysicalPlan> PlanJoinGraph(const JoinGraph& graph, const Database& db,
+                                   const PlannerOptions& options) {
+  if (graph.num_aliases > 31) {
+    return Status::NotSupported("join graphs beyond 31 relations");
+  }
+  Planner planner(graph, db, options);
+  return planner.Plan();
+}
+
+Result<std::vector<int64_t>> ExecutePlan(const PhysicalPlan& plan,
+                                         const Database& db,
+                                         const PlannerOptions& options,
+                                         ExecStats* stats) {
+  const JoinGraph& graph = *plan.graph;
+  Executor executor(graph, db, options, stats);
+  XQJG_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, executor.Run(plan.root.get()));
+  // Plan tail: ORDER BY + DISTINCT + item projection (the single SORT of
+  // Fig. 10/11).
+  auto order_key = [&](const Tuple& t) {
+    std::vector<Value> key;
+    key.reserve(graph.order_by.size() + 1);
+    for (const auto& term : graph.order_by) {
+      key.push_back(EvalQualTerm(term, t, db));
+    }
+    key.push_back(EvalQualTerm(graph.item, t, db));
+    return key;
+  };
+  std::stable_sort(tuples.begin(), tuples.end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     return CompareKeyPrefix(order_key(a), order_key(b)) < 0;
+                   });
+  std::vector<int64_t> out;
+  std::vector<Value> prev_payload;
+  bool have_prev = false;
+  for (const Tuple& t : tuples) {
+    if (graph.distinct) {
+      std::vector<Value> payload;
+      payload.reserve(graph.select_list.size());
+      for (const auto& term : graph.select_list) {
+        payload.push_back(EvalQualTerm(term, t, db));
+      }
+      if (have_prev && payload.size() == prev_payload.size()) {
+        bool same = true;
+        for (size_t i = 0; i < payload.size(); ++i) {
+          if (payload[i].is_null() != prev_payload[i].is_null() ||
+              (!payload[i].is_null() && !(payload[i] == prev_payload[i]))) {
+            same = false;
+            break;
+          }
+        }
+        if (same) continue;
+      }
+      prev_payload = std::move(payload);
+      have_prev = true;
+    }
+    Value item = EvalQualTerm(graph.item, t, db);
+    if (item.is_null()) continue;
+    out.push_back(item.AsInt());
+  }
+  if (stats) stats->rows_out = static_cast<int64_t>(out.size());
+  return out;
+}
+
+namespace {
+
+void ExplainNode(const PhysNode* node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (node->kind) {
+    case PhysKind::kTbScan:
+      *out += StrPrintf("TBSCAN doc d%d", node->alias);
+      break;
+    case PhysKind::kIxScan:
+      *out += StrPrintf("IXSCAN doc d%d [%s]%s", node->alias,
+                        node->index->def.name.c_str(),
+                        node->has_range ? " (range)" : "");
+      break;
+    case PhysKind::kNlJoin:
+      *out += "NLJOIN";
+      break;
+    case PhysKind::kHsJoin:
+      *out += "HSJOIN";
+      break;
+  }
+  if (!node->preds.empty()) {
+    std::vector<std::string> preds;
+    for (const auto& p : node->preds) preds.push_back(p.ToString());
+    *out += "  {" + Join(preds, " AND ") + "}";
+  }
+  *out += StrPrintf("  (~%.0f rows)\n", node->est_rows);
+  if (node->left) ExplainNode(node->left.get(), depth + 1, out);
+  if (node->right) ExplainNode(node->right.get(), depth + 1, out);
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PhysicalPlan& plan) {
+  std::string out = "RETURN\n  SORT";
+  if (plan.graph->distinct) out += " (distinct)";
+  out += "\n";
+  ExplainNode(plan.root.get(), 2, &out);
+  return out;
+}
+
+}  // namespace xqjg::engine

@@ -1,0 +1,56 @@
+// Reference XQuery interpreter over the native DOM.
+//
+// This is the executable XQuery semantics: a direct, node-at-a-time
+// implementation of the Fig. 1 fragment (plus extensions) used (a) as the
+// oracle for differential tests of the relational pipeline and (b) as the
+// evaluation core of the pureXML™-style native engine (src/native/
+// xscan.h adds the index-assisted document-at-a-time driver).
+#ifndef XQJG_NATIVE_INTERP_H_
+#define XQJG_NATIVE_INTERP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/xml/dom.h"
+#include "src/xquery/ast.h"
+
+namespace xqjg::native {
+
+/// Resolves doc("uri") references for the interpreter.
+class DocumentResolver {
+ public:
+  virtual ~DocumentResolver() = default;
+  virtual Result<const xml::XmlNode*> Resolve(const std::string& uri) = 0;
+};
+
+/// Simple resolver over a set of parsed documents.
+class MapResolver : public DocumentResolver {
+ public:
+  void Add(const xml::XmlDocument* doc) { docs_[doc->uri] = doc; }
+  Result<const xml::XmlNode*> Resolve(const std::string& uri) override;
+
+ private:
+  std::map<std::string, const xml::XmlDocument*> docs_;
+};
+
+/// Evaluates Core expression `core` and returns the resulting node
+/// sequence (document order / duplicate semantics per fs:ddo placement).
+Result<std::vector<const xml::XmlNode*>> EvaluateQuery(
+    const xquery::ExprPtr& core, DocumentResolver* resolver);
+
+/// Evaluates an XPath axis step from a single context node (all 12 axes,
+/// results in document order). Exposed for reuse by the XSCAN driver and
+/// for axis-semantics tests.
+std::vector<const xml::XmlNode*> AxisStep(const xml::XmlNode* context,
+                                          xquery::Axis axis,
+                                          const xquery::NodeTest& test);
+
+/// True iff `node` passes the kind/name test under `axis`.
+bool MatchesTest(const xml::XmlNode* node, xquery::Axis axis,
+                 const xquery::NodeTest& test);
+
+}  // namespace xqjg::native
+
+#endif  // XQJG_NATIVE_INTERP_H_

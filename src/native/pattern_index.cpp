@@ -1,0 +1,159 @@
+#include "src/native/pattern_index.h"
+
+#include <algorithm>
+
+#include "src/common/str.h"
+
+namespace xqjg::native {
+
+using xml::NodeKind;
+using xml::XmlNode;
+using xquery::Axis;
+using xquery::CompOp;
+using xquery::ExprKind;
+using xquery::ExprPtr;
+
+std::string XmlPattern::ToString() const {
+  std::string out = "doc(\"" + uri + "\")";
+  for (const auto& s : steps) {
+    if (s.axis == Axis::kAttribute) {
+      out += "/@" + s.name;
+    } else if (s.axis == Axis::kDescendant) {
+      out += "//" + s.name;
+    } else {
+      out += "/" + s.name;
+    }
+  }
+  out += type == PatternType::kVarchar ? " AS VARCHAR" : " AS DOUBLE";
+  return out;
+}
+
+namespace {
+
+void MatchStep(const XmlNode* node, const std::vector<PatternStep>& steps,
+               size_t depth, std::vector<const XmlNode*>* out) {
+  if (depth == steps.size()) {
+    out->push_back(node);
+    return;
+  }
+  const PatternStep& step = steps[depth];
+  auto name_ok = [&](const XmlNode* n) {
+    return step.name == "*" || n->name == step.name;
+  };
+  if (step.axis == Axis::kAttribute) {
+    for (const auto& a : node->attrs) {
+      if (name_ok(a.get())) MatchStep(a.get(), steps, depth + 1, out);
+    }
+    return;
+  }
+  for (const auto& c : node->children) {
+    if (c->kind == NodeKind::kElem && name_ok(c.get())) {
+      MatchStep(c.get(), steps, depth + 1, out);
+    }
+    if (step.axis == Axis::kDescendant && c->kind == NodeKind::kElem) {
+      MatchStep(c.get(), steps, depth, out);  // keep searching deeper
+    }
+  }
+}
+
+}  // namespace
+
+PatternIndex::PatternIndex(XmlPattern pattern, const DocumentStore& store)
+    : pattern_(std::move(pattern)) {
+  const auto& fragments = store.Fragments(pattern_.uri);
+  for (size_t frag = 0; frag < fragments.size(); ++frag) {
+    std::vector<const XmlNode*> matches;
+    MatchStep(fragments[frag]->doc_node.get(), pattern_.steps, 0, &matches);
+    for (const XmlNode* node : matches) {
+      std::string s = xml::StringValue(node);
+      if (pattern_.type == PatternType::kDouble) {
+        auto d = ParseDecimal(s);
+        if (!d) continue;
+        entries_.emplace_back(Value::Double(*d), frag);
+      } else {
+        entries_.emplace_back(Value::String(std::move(s)), frag);
+      }
+    }
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.SortLess(b.first)) return true;
+              if (b.first.SortLess(a.first)) return false;
+              return a.second < b.second;
+            });
+}
+
+std::vector<size_t> PatternIndex::Scan(CompOp op, const Value& literal) const {
+  std::vector<size_t> out;
+  for (const auto& [value, frag] : entries_) {
+    int c = value.Compare(literal);
+    if (c == Value::kNullCmp) continue;
+    bool hit = false;
+    switch (op) {
+      case CompOp::kEq: hit = c == 0; break;
+      case CompOp::kNe: hit = c != 0; break;
+      case CompOp::kLt: hit = c < 0; break;
+      case CompOp::kLe: hit = c <= 0; break;
+      case CompOp::kGt: hit = c > 0; break;
+      case CompOp::kGe: hit = c >= 0; break;
+    }
+    if (hit) out.push_back(frag);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<XmlPattern> PatternOfExpr(
+    const ExprPtr& core_path, PatternType type,
+    const std::map<std::string, XmlPattern>* var_paths) {
+  // Walk outside-in collecting steps; accept ddo wrappers.
+  std::vector<PatternStep> reversed;
+  const xquery::Expr* e = core_path.get();
+  while (true) {
+    if (e->kind == ExprKind::kDdo) {
+      e = e->a.get();
+      continue;
+    }
+    if (e->kind == ExprKind::kStep) {
+      PatternStep step;
+      step.axis = e->axis;
+      if (step.axis != Axis::kChild && step.axis != Axis::kDescendant &&
+          step.axis != Axis::kAttribute) {
+        return std::nullopt;
+      }
+      switch (e->test.kind) {
+        case xquery::TestKind::kName:
+          step.name = e->test.name;
+          break;
+        case xquery::TestKind::kWildcard:
+          step.name = "*";
+          break;
+        default:
+          return std::nullopt;
+      }
+      reversed.push_back(std::move(step));
+      e = e->a.get();
+      continue;
+    }
+    if (e->kind == ExprKind::kDoc) {
+      XmlPattern pattern;
+      pattern.uri = e->str;
+      pattern.steps.assign(reversed.rbegin(), reversed.rend());
+      pattern.type = type;
+      return pattern;
+    }
+    if (e->kind == ExprKind::kVar && var_paths) {
+      auto it = var_paths->find(e->var);
+      if (it == var_paths->end()) return std::nullopt;
+      XmlPattern pattern = it->second;
+      pattern.steps.insert(pattern.steps.end(), reversed.rbegin(),
+                           reversed.rend());
+      pattern.type = type;
+      return pattern;
+    }
+    return std::nullopt;  // predicates, reverse axes: ineligible
+  }
+}
+
+}  // namespace xqjg::native

@@ -1,0 +1,67 @@
+// XMLPATTERN-style value indexes for the native engine (paper §IV-B).
+//
+// An index is declared over a non-branching forward path (child /
+// descendant / attribute steps) and a value type (VARCHAR-like string or
+// DOUBLE-like decimal). Its entries map the typed values of the nodes the
+// path selects to the ids of the fragments containing them; an XISCAN
+// range lookup yields RIDs (fragment ids) whose trees are then traversed
+// by the XSCAN evaluation (src/native/xscan.h).
+#ifndef XQJG_NATIVE_PATTERN_INDEX_H_
+#define XQJG_NATIVE_PATTERN_INDEX_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/native/store.h"
+#include "src/xquery/ast.h"
+
+namespace xqjg::native {
+
+/// One step of an XMLPATTERN path (forward, non-branching).
+struct PatternStep {
+  xquery::Axis axis = xquery::Axis::kChild;  // child/descendant/attribute
+  std::string name;                          // element/attribute name; "*"
+};
+
+enum class PatternType { kVarchar, kDouble };
+
+struct XmlPattern {
+  std::string uri;  ///< document the index is built over
+  std::vector<PatternStep> steps;
+  PatternType type = PatternType::kVarchar;
+
+  std::string ToString() const;  ///< "/site/people/person/@id AS VARCHAR"
+};
+
+/// A built index: sorted (value, fragment id) entries.
+class PatternIndex {
+ public:
+  PatternIndex(XmlPattern pattern, const DocumentStore& store);
+
+  const XmlPattern& pattern() const { return pattern_; }
+  size_t entry_count() const { return entries_.size(); }
+
+  /// XISCAN: fragment ids whose indexed values satisfy `op literal`
+  /// (deduplicated, ascending).
+  std::vector<size_t> Scan(xquery::CompOp op, const Value& literal) const;
+
+ private:
+  XmlPattern pattern_;
+  std::vector<std::pair<Value, size_t>> entries_;  // sorted by value
+};
+
+/// Extracts the XMLPATTERN path of a normalized path expression if it is a
+/// non-branching forward path rooted at doc(uri) (index eligibility,
+/// [2]). `var_paths` optionally maps variable names to their binding's
+/// pattern (so predicate paths under `for $x in <pattern>` qualify too).
+/// Returns nullopt otherwise.
+std::optional<XmlPattern> PatternOfExpr(
+    const xquery::ExprPtr& core_path, PatternType type,
+    const std::map<std::string, XmlPattern>* var_paths = nullptr);
+
+}  // namespace xqjg::native
+
+#endif  // XQJG_NATIVE_PATTERN_INDEX_H_

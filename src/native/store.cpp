@@ -1,0 +1,128 @@
+#include "src/native/store.h"
+
+namespace xqjg::native {
+
+using xml::XmlDocument;
+using xml::XmlNode;
+
+namespace {
+
+std::unique_ptr<XmlNode> CloneSubtree(const XmlNode* node) {
+  auto copy = std::make_unique<XmlNode>();
+  copy->kind = node->kind;
+  copy->name = node->name;
+  copy->value = node->value;
+  for (const auto& a : node->attrs) {
+    auto ac = CloneSubtree(a.get());
+    ac->parent = copy.get();
+    copy->attrs.push_back(std::move(ac));
+  }
+  for (const auto& c : node->children) {
+    auto cc = CloneSubtree(c.get());
+    cc->parent = copy.get();
+    copy->children.push_back(std::move(cc));
+  }
+  return copy;
+}
+
+void CollectSegments(const XmlNode* node,
+                     const std::set<std::string>& segment_tags,
+                     std::vector<const XmlNode*>* out) {
+  if (node->kind == xml::NodeKind::kElem && segment_tags.count(node->name)) {
+    out->push_back(node);
+    return;  // segments do not nest
+  }
+  for (const auto& c : node->children) {
+    CollectSegments(c.get(), segment_tags, out);
+  }
+}
+
+/// Builds a fragment document: ancestor spine (no siblings) + the cloned
+/// subtree.
+std::unique_ptr<XmlDocument> BuildFragment(const std::string& uri,
+                                           const XmlNode* subtree_root) {
+  // Collect ancestors (excluding the DOC node).
+  std::vector<const XmlNode*> spine;
+  for (const XmlNode* p = subtree_root->parent;
+       p && p->kind != xml::NodeKind::kDoc; p = p->parent) {
+    spine.push_back(p);
+  }
+  auto doc = std::make_unique<XmlDocument>();
+  doc->uri = uri;
+  doc->doc_node = std::make_unique<XmlNode>();
+  doc->doc_node->kind = xml::NodeKind::kDoc;
+  doc->doc_node->name = uri;
+  XmlNode* attach = doc->doc_node.get();
+  for (auto it = spine.rbegin(); it != spine.rend(); ++it) {
+    auto elem = std::make_unique<XmlNode>();
+    elem->kind = xml::NodeKind::kElem;
+    elem->name = (*it)->name;
+    elem->parent = attach;
+    XmlNode* raw = elem.get();
+    attach->children.push_back(std::move(elem));
+    attach = raw;
+  }
+  auto clone = CloneSubtree(subtree_root);
+  clone->parent = attach;
+  attach->children.push_back(std::move(clone));
+  doc->RenumberPre();
+  return doc;
+}
+
+}  // namespace
+
+Status DocumentStore::AddWhole(std::unique_ptr<XmlDocument> doc) {
+  by_uri_[doc->uri].push_back(doc.get());
+  owned_.push_back(std::move(doc));
+  return Status::OK();
+}
+
+Status DocumentStore::AddSegmented(const XmlDocument& doc,
+                                   const std::set<std::string>& segment_tags) {
+  std::vector<const XmlNode*> roots;
+  CollectSegments(doc.doc_node.get(), segment_tags, &roots);
+  if (roots.empty()) {
+    return Status::InvalidArgument(
+        "no segment roots found for document " + doc.uri);
+  }
+  segmented_uris_.insert(doc.uri);
+  for (const XmlNode* r : roots) {
+    auto fragment = BuildFragment(doc.uri, r);
+    by_uri_[doc.uri].push_back(fragment.get());
+    owned_.push_back(std::move(fragment));
+  }
+  return Status::OK();
+}
+
+size_t DocumentStore::SegmentCount(const std::string& uri) const {
+  auto it = by_uri_.find(uri);
+  return it == by_uri_.end() ? 0 : it->second.size();
+}
+
+int64_t DocumentStore::TotalNodes() const {
+  int64_t total = 0;
+  for (const auto& doc : owned_) total += doc->node_count;
+  return total;
+}
+
+const std::vector<const xml::XmlDocument*>& DocumentStore::Fragments(
+    const std::string& uri) const {
+  static const std::vector<const xml::XmlDocument*> kEmpty;
+  auto it = by_uri_.find(uri);
+  return it == by_uri_.end() ? kEmpty : it->second;
+}
+
+Result<const XmlNode*> DocumentStore::Resolve(const std::string& uri) {
+  auto it = by_uri_.find(uri);
+  if (it == by_uri_.end()) {
+    return Status::NotFound("document not loaded: " + uri);
+  }
+  if (segmented_uris_.count(uri)) {
+    return Status::InvalidArgument(
+        "document " + uri + " is stored segmented; use per-fragment "
+        "evaluation");
+  }
+  return it->second.front()->doc_node.get();
+}
+
+}  // namespace xqjg::native

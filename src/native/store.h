@@ -1,0 +1,72 @@
+// Document store of the pureXML™-style native engine.
+//
+// Two layouts, mirroring the paper's §IV-B comparison:
+//   * whole      — one monolithic document per URI;
+//   * segmented  — the document cut into many small fragments (the layout
+//     pureXML favors: "comparably small XML document segments per row").
+//
+// Segmentation is spine-preserving: each segment keeps the chain of
+// ancestors of its root subtree (without siblings), so absolute paths
+// like /site/people/person still match inside a segment.
+#ifndef XQJG_NATIVE_STORE_H_
+#define XQJG_NATIVE_STORE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/xml/dom.h"
+#include "src/native/interp.h"
+
+namespace xqjg::native {
+
+class DocumentStore : public DocumentResolver {
+ public:
+  /// Adds a whole document under its URI.
+  Status AddWhole(std::unique_ptr<xml::XmlDocument> doc);
+
+  /// Adds a document cut into segments: every subtree rooted at an element
+  /// whose tag is in `segment_tags` becomes one fragment document (with
+  /// its ancestor spine). All fragments answer to the original URI.
+  Status AddSegmented(const xml::XmlDocument& doc,
+                      const std::set<std::string>& segment_tags);
+
+  /// Number of stored fragment/whole documents for `uri`.
+  size_t SegmentCount(const std::string& uri) const;
+  /// Total stored nodes (across all fragments).
+  int64_t TotalNodes() const;
+
+  /// All fragments registered under `uri` (one entry for whole layout).
+  const std::vector<const xml::XmlDocument*>& Fragments(
+      const std::string& uri) const;
+
+  /// DocumentResolver: resolves to the single whole document; errors for
+  /// segmented URIs (per-fragment evaluation must be used instead).
+  Result<const xml::XmlNode*> Resolve(const std::string& uri) override;
+
+  /// Resolver view pinned to one fragment: doc(uri) yields that fragment.
+  class FragmentResolver : public DocumentResolver {
+   public:
+    FragmentResolver(std::string uri, const xml::XmlNode* node)
+        : uri_(std::move(uri)), node_(node) {}
+    Result<const xml::XmlNode*> Resolve(const std::string& uri) override {
+      if (uri != uri_) return Status::NotFound("document not loaded: " + uri);
+      return node_;
+    }
+
+   private:
+    std::string uri_;
+    const xml::XmlNode* node_;
+  };
+
+ private:
+  std::vector<std::unique_ptr<xml::XmlDocument>> owned_;
+  std::map<std::string, std::vector<const xml::XmlDocument*>> by_uri_;
+  std::set<std::string> segmented_uris_;
+};
+
+}  // namespace xqjg::native
+
+#endif  // XQJG_NATIVE_STORE_H_

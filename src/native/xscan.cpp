@@ -1,0 +1,161 @@
+#include "src/native/xscan.h"
+
+#include <chrono>
+#include <set>
+
+#include "src/common/str.h"
+#include "src/xml/serializer.h"
+
+namespace xqjg::native {
+
+using xml::XmlNode;
+using xquery::ExprKind;
+using xquery::ExprPtr;
+
+namespace {
+
+/// A value comparison found in the query that an XMLPATTERN index might
+/// support: path `op` literal.
+struct IndexableComparison {
+  XmlPattern pattern;  // path part (uri + steps), type from the literal
+  xquery::CompOp op;
+  Value literal;
+};
+
+/// Collects indexable comparisons (path-vs-literal along non-branching
+/// forward paths, rooted at doc() directly or through `for`/`let`
+/// variables bound to such paths).
+void CollectComparisons(const ExprPtr& e,
+                        std::map<std::string, XmlPattern>* var_paths,
+                        std::vector<IndexableComparison>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kFor || e->kind == ExprKind::kLet) {
+    auto bound = PatternOfExpr(e->a, PatternType::kVarchar, var_paths);
+    CollectComparisons(e->a, var_paths, out);
+    const bool inserted =
+        bound && var_paths->emplace(e->var, std::move(*bound)).second;
+    CollectComparisons(e->b, var_paths, out);
+    if (inserted) var_paths->erase(e->var);
+    return;
+  }
+  if (e->kind == ExprKind::kComp) {
+    const bool lhs_lit =
+        e->a->kind == ExprKind::kNumLit || e->a->kind == ExprKind::kStrLit;
+    const bool rhs_lit =
+        e->b->kind == ExprKind::kNumLit || e->b->kind == ExprKind::kStrLit;
+    if (lhs_lit != rhs_lit) {
+      const ExprPtr& lit = lhs_lit ? e->a : e->b;
+      const ExprPtr& path = lhs_lit ? e->b : e->a;
+      PatternType type = lit->kind == ExprKind::kNumLit
+                             ? PatternType::kDouble
+                             : PatternType::kVarchar;
+      auto pattern = PatternOfExpr(path, type, var_paths);
+      if (pattern) {
+        xquery::CompOp op = e->op;
+        if (lhs_lit) {
+          switch (op) {
+            case xquery::CompOp::kLt: op = xquery::CompOp::kGt; break;
+            case xquery::CompOp::kLe: op = xquery::CompOp::kGe; break;
+            case xquery::CompOp::kGt: op = xquery::CompOp::kLt; break;
+            case xquery::CompOp::kGe: op = xquery::CompOp::kLe; break;
+            default: break;
+          }
+        }
+        Value literal = lit->kind == ExprKind::kNumLit
+                            ? Value::Double(lit->num)
+                            : Value::String(lit->str);
+        out->push_back({*pattern, op, std::move(literal)});
+      }
+    }
+  }
+  CollectComparisons(e->a, var_paths, out);
+  CollectComparisons(e->b, var_paths, out);
+}
+
+/// The query's primary document URI (first doc() reference found).
+std::optional<std::string> PrimaryUri(const ExprPtr& e) {
+  if (!e) return std::nullopt;
+  if (e->kind == ExprKind::kDoc) return e->str;
+  if (auto uri = PrimaryUri(e->a)) return uri;
+  return PrimaryUri(e->b);
+}
+
+bool SamePattern(const XmlPattern& a, const XmlPattern& b) {
+  if (a.uri != b.uri || a.type != b.type || a.steps.size() != b.steps.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    if (a.steps[i].axis != b.steps[i].axis ||
+        a.steps[i].name != b.steps[i].name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void NativeEngine::CreateIndex(XmlPattern pattern) {
+  indexes_.push_back(std::make_unique<PatternIndex>(std::move(pattern),
+                                                    *store_));
+}
+
+Result<std::vector<std::string>> NativeEngine::Run(const ExprPtr& core,
+                                                   double timeout_seconds,
+                                                   NativeRunStats* stats) {
+  auto uri = PrimaryUri(core);
+  if (!uri) return Status::InvalidArgument("query references no document");
+  const auto& fragments = store_->Fragments(*uri);
+  if (fragments.empty()) return Status::NotFound("document not loaded: " + *uri);
+
+  NativeRunStats local_stats;
+  NativeRunStats* st = stats ? stats : &local_stats;
+  st->fragments_considered = fragments.size();
+
+  // Index eligibility: pick the first query comparison covered by a
+  // declared XMLPATTERN index.
+  std::vector<size_t> rids;
+  bool pruned = false;
+  std::vector<IndexableComparison> comparisons;
+  std::map<std::string, XmlPattern> var_paths;
+  CollectComparisons(core, &var_paths, &comparisons);
+  for (const auto& cmp : comparisons) {
+    for (const auto& index : indexes_) {
+      if (!SamePattern(index->pattern(), cmp.pattern)) continue;
+      rids = index->Scan(cmp.op, cmp.literal);
+      pruned = true;
+      st->used_index = true;
+      st->index_used = index->pattern().ToString();
+      break;
+    }
+    if (pruned) break;
+  }
+  if (!pruned) {
+    rids.resize(fragments.size());
+    for (size_t i = 0; i < rids.size(); ++i) rids[i] = i;
+  }
+  st->fragments_scanned = rids.size();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              timeout_seconds > 0 ? timeout_seconds : 1e9));
+
+  std::vector<std::string> out;
+  for (size_t rid : rids) {
+    if (timeout_seconds > 0 && std::chrono::steady_clock::now() > deadline) {
+      return Status::Timeout("native evaluation exceeded budget (DNF)");
+    }
+    DocumentStore::FragmentResolver resolver(
+        *uri, fragments[rid]->doc_node.get());
+    auto result = EvaluateQuery(core, &resolver);
+    if (!result.ok()) return result.status();
+    for (const XmlNode* node : result.value()) {
+      out.push_back(xml::SerializeSubtree(node));
+    }
+  }
+  return out;
+}
+
+}  // namespace xqjg::native

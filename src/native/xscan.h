@@ -1,0 +1,57 @@
+// The native engine's query driver (paper §IV-B architecture):
+//
+//   1. analyze the normalized query for value comparisons whose path is
+//      covered by an XMLPATTERN index (index eligibility);
+//   2. XISCAN: range-scan the eligible index -> RID list (fragment ids);
+//   3. XSCAN: traverse only the RID'ed fragments' node trees with the
+//      TurboXPath-style interpreter (src/native/interp.h).
+//
+// With whole-document storage an index lookup can only point at the single
+// monolithic instance, so XSCAN does all the heavy work — exactly the
+// behaviour Table IX shows for the `whole` column.
+#ifndef XQJG_NATIVE_XSCAN_H_
+#define XQJG_NATIVE_XSCAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/native/interp.h"
+#include "src/native/pattern_index.h"
+#include "src/native/store.h"
+
+namespace xqjg::native {
+
+struct NativeRunStats {
+  size_t fragments_considered = 0;
+  size_t fragments_scanned = 0;  ///< after XISCAN pruning
+  bool used_index = false;
+  std::string index_used;
+};
+
+class NativeEngine {
+ public:
+  explicit NativeEngine(DocumentStore* store) : store_(store) {}
+
+  /// Declares an XMLPATTERN index (built immediately).
+  void CreateIndex(XmlPattern pattern);
+
+  /// Evaluates the Core query. `timeout_seconds` <= 0 disables the DNF
+  /// guard. Results are serialized XML fragments in sequence order.
+  Result<std::vector<std::string>> Run(const xquery::ExprPtr& core,
+                                       double timeout_seconds = -1.0,
+                                       NativeRunStats* stats = nullptr);
+
+  const std::vector<std::unique_ptr<PatternIndex>>& indexes() const {
+    return indexes_;
+  }
+
+ private:
+  DocumentStore* store_;
+  std::vector<std::unique_ptr<PatternIndex>> indexes_;
+};
+
+}  // namespace xqjg::native
+
+#endif  // XQJG_NATIVE_XSCAN_H_

@@ -1,0 +1,23 @@
+#include "src/opt/isolate.h"
+
+#include "src/algebra/dag.h"
+#include "src/opt/rules.h"
+
+namespace xqjg::opt {
+
+Result<IsolationResult> Isolate(const algebra::OpPtr& stacked) {
+  IsolationResult result;
+  result.ops_before = algebra::CountOps(stacked);
+  Rewriter rewriter(algebra::ClonePlan(stacked));
+  XQJG_RETURN_NOT_OK(rewriter.Run());
+  result.isolated = rewriter.root();
+  result.rule_counts = rewriter.rule_counts();
+  result.ops_after = algebra::CountOps(result.isolated);
+  result.ranks_after =
+      algebra::CountOps(result.isolated, algebra::OpKind::kRank);
+  result.distincts_after =
+      algebra::CountOps(result.isolated, algebra::OpKind::kDistinct);
+  return result;
+}
+
+}  // namespace xqjg::opt

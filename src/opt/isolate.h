@@ -1,0 +1,33 @@
+// Join graph isolation driver (paper §III).
+#ifndef XQJG_OPT_ISOLATE_H_
+#define XQJG_OPT_ISOLATE_H_
+
+#include <map>
+#include <string>
+
+#include "src/algebra/operators.h"
+#include "src/common/status.h"
+
+namespace xqjg::opt {
+
+struct IsolationResult {
+  /// The rewritten plan (single tail ϱ/δ over a join bundle when the input
+  /// is within the isolatable fragment).
+  algebra::OpPtr isolated;
+  /// Rule name -> application count (diagnostics, plan-shape bench).
+  std::map<std::string, int> rule_counts;
+  /// Convenience metrics for the Fig. 4 / Fig. 7 comparison.
+  size_t ops_before = 0;
+  size_t ops_after = 0;
+  size_t ranks_after = 0;
+  size_t distincts_after = 0;
+};
+
+/// Isolates the join graph of `stacked`. The input plan is cloned first —
+/// the caller keeps the stacked original (needed for stacked-vs-isolated
+/// experiments).
+Result<IsolationResult> Isolate(const algebra::OpPtr& stacked);
+
+}  // namespace xqjg::opt
+
+#endif  // XQJG_OPT_ISOLATE_H_

@@ -1,0 +1,66 @@
+// Join graph extraction: flattens an isolated plan into the declarative
+// form the paper ships to the RDBMS — a bundle of doc-table aliases, a
+// conjunctive predicate set, and the SELECT-DISTINCT / ORDER BY tail
+// (paper §III-C, Figs 8/9).
+#ifndef XQJG_OPT_JOIN_GRAPH_H_
+#define XQJG_OPT_JOIN_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/algebra/operators.h"
+#include "src/common/status.h"
+
+namespace xqjg::opt {
+
+/// Term over qualified columns: value = Σ (alias_i.col_i) + constant.
+/// alias == -1 marks an absent column part.
+struct QualTerm {
+  int alias = -1;
+  std::string col;
+  int alias2 = -1;
+  std::string col2;
+  Value constant;  ///< NULL when absent
+
+  bool IsConst() const { return alias < 0; }
+  bool IsSimpleCol() const {
+    return alias >= 0 && alias2 < 0 && constant.is_null();
+  }
+  std::string ToString() const;  ///< "d2.pre + d2.size + 1"
+};
+
+struct QualComparison {
+  QualTerm lhs;
+  algebra::CmpOp op = algebra::CmpOp::kEq;
+  QualTerm rhs;
+
+  /// Aliases referenced (1 or 2 entries; local predicates reference 1).
+  std::vector<int> Aliases() const;
+  std::string ToString() const;
+};
+
+/// The declarative join graph + plan tail.
+struct JoinGraph {
+  int num_aliases = 0;  ///< doc instances d0 .. d(n-1)
+  std::vector<QualComparison> predicates;
+
+  bool distinct = false;
+  /// SELECT list (the δ payload after isolation; superset of order_by and
+  /// item).
+  std::vector<QualTerm> select_list;
+  /// ORDER BY criteria, significant order.
+  std::vector<QualTerm> order_by;
+  /// The column holding the result nodes' pre ranks.
+  QualTerm item;
+
+  std::string ToString() const;  ///< debugging dump
+};
+
+/// Flattens the isolated plan into a JoinGraph. Fails with NotSupported if
+/// blocking operators remain outside the plan tail (plan not isolatable —
+/// callers fall back to direct DAG execution).
+Result<JoinGraph> ExtractJoinGraph(const algebra::OpPtr& isolated_root);
+
+}  // namespace xqjg::opt
+
+#endif  // XQJG_OPT_JOIN_GRAPH_H_

@@ -1,0 +1,426 @@
+#include "src/opt/properties.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xqjg::opt {
+
+using algebra::Op;
+using algebra::OpKind;
+using algebra::OpPtr;
+
+bool NodeProps::HasKeyWithin(const std::set<std::string>& cols) const {
+  for (const auto& key : keys) {
+    if (std::includes(cols.begin(), cols.end(), key.begin(), key.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NodeProps::HasKeyWithinModuloEq(const std::set<std::string>& cols) const {
+  auto class_of = [&](const std::string& c) {
+    auto it = eq_class.find(c);
+    return it == eq_class.end() ? -1 : it->second;
+  };
+  for (const auto& key : keys) {
+    bool all = true;
+    for (const auto& kcol : key) {
+      if (cols.count(kcol)) continue;
+      const int cls = class_of(kcol);
+      bool represented = false;
+      if (cls >= 0) {
+        for (const auto& c : cols) {
+          if (class_of(c) == cls) {
+            represented = true;
+            break;
+          }
+        }
+      }
+      if (!represented) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+bool NodeProps::HasSingletonKey(const std::string& col) const {
+  for (const auto& key : keys) {
+    if (key.size() == 1 && *key.begin() == col) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Inserts `key` into `keys`, keeping only minimal keys and respecting the
+/// size caps. Columns known to be constant contribute nothing to a key and
+/// are stripped first (e.g. the top-level loop's iter = 1), which exposes
+/// singleton keys the rowid-elimination rule needs.
+void AddKey(std::vector<std::set<std::string>>* keys,
+            std::set<std::string> key,
+            const std::map<std::string, Value>* consts = nullptr) {
+  if (consts) {
+    for (auto it = key.begin(); it != key.end();) {
+      if (consts->count(*it) && key.size() > 1) {
+        it = key.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (key.empty() || key.size() > kMaxKeyWidth) return;
+  for (const auto& existing : *keys) {
+    if (std::includes(key.begin(), key.end(), existing.begin(),
+                      existing.end())) {
+      return;  // superset of an existing key: redundant
+    }
+  }
+  // Drop existing keys that are supersets of the new one.
+  keys->erase(std::remove_if(keys->begin(), keys->end(),
+                             [&](const std::set<std::string>& k) {
+                               return std::includes(k.begin(), k.end(),
+                                                    key.begin(), key.end());
+                             }),
+              keys->end());
+  if (keys->size() < kMaxKeys) keys->push_back(std::move(key));
+}
+
+// ---------------- bottom-up: const and key (Tables III, IV) --------------
+
+/// Column equality classes, bottom-up. Fresh class ids are allocated per
+/// projection so two independent references to a shared subplan never
+/// alias (each reference ranges over its own tuple variable).
+void InferEqClasses(Op* op, std::unordered_map<const Op*, NodeProps>* props,
+                    int* next_class) {
+  NodeProps& p = (*props)[op];
+  auto child = [&](size_t i) -> const NodeProps& {
+    return (*props)[op->children[i].get()];
+  };
+  switch (op->kind) {
+    case OpKind::kDocTable:
+    case OpKind::kLiteral:
+      for (const auto& col : op->schema) p.eq_class[col] = (*next_class)++;
+      break;
+    case OpKind::kProject: {
+      std::map<int, int> remap;
+      for (const auto& [out, in] : op->proj) {
+        auto it = child(0).eq_class.find(in);
+        const int src = it == child(0).eq_class.end() ? -1 : it->second;
+        if (src < 0) {
+          p.eq_class[out] = (*next_class)++;
+          continue;
+        }
+        auto rit = remap.find(src);
+        if (rit == remap.end()) rit = remap.emplace(src, (*next_class)++).first;
+        p.eq_class[out] = rit->second;
+      }
+      break;
+    }
+    case OpKind::kJoin:
+    case OpKind::kCross: {
+      p.eq_class = child(0).eq_class;
+      p.eq_class.insert(child(1).eq_class.begin(), child(1).eq_class.end());
+      if (op->kind == OpKind::kJoin && op->pred.conjuncts.size() == 1 &&
+          op->pred.conjuncts[0].IsColEq()) {
+        auto ita = p.eq_class.find(op->pred.conjuncts[0].lhs.col);
+        auto itb = p.eq_class.find(op->pred.conjuncts[0].rhs.col);
+        if (ita != p.eq_class.end() && itb != p.eq_class.end()) {
+          const int from = itb->second, to = ita->second;
+          for (auto& [col, cls] : p.eq_class) {
+            if (cls == from) cls = to;
+          }
+        }
+      }
+      break;
+    }
+    case OpKind::kAttach:
+    case OpKind::kRowId:
+    case OpKind::kRank:
+      p.eq_class = child(0).eq_class;
+      p.eq_class[op->col] = (*next_class)++;
+      break;
+    default:
+      p.eq_class = child(0).eq_class;
+      break;
+  }
+}
+
+void InferBottomUp(const std::vector<Op*>& bottom_up,
+                   std::unordered_map<const Op*, NodeProps>* props) {
+  int next_class = 1;
+  for (Op* op : bottom_up) {
+    InferEqClasses(op, props, &next_class);
+    NodeProps& p = (*props)[op];
+    auto child = [&](size_t i) -> const NodeProps& {
+      return (*props)[op->children[i].get()];
+    };
+    switch (op->kind) {
+      case OpKind::kSerialize:
+      case OpKind::kDistinct: {
+        p.consts = child(0).consts;
+        p.keys = child(0).keys;
+        if (op->kind == OpKind::kDistinct) {
+          AddKey(&p.keys,
+                 std::set<std::string>(op->schema.begin(),
+                                       op->schema.end()),
+                 &p.consts);
+        }
+        break;
+      }
+      case OpKind::kProject: {
+        const NodeProps& c = child(0);
+        for (const auto& [out, in] : op->proj) {
+          auto it = c.consts.find(in);
+          if (it != c.consts.end()) p.consts[out] = it->second;
+        }
+        for (const auto& key : c.keys) {
+          // Rename keys fully contained in the projection's sources. A
+          // source duplicated into several outputs yields one candidate
+          // key per output choice (the copies hold equal values).
+          std::vector<std::set<std::string>> renamed = {{}};
+          bool covered = true;
+          for (const auto& kcol : key) {
+            std::vector<std::string> outs;
+            for (const auto& [out, in] : op->proj) {
+              if (in == kcol) outs.push_back(out);
+            }
+            if (outs.empty()) {
+              covered = false;
+              break;
+            }
+            std::vector<std::set<std::string>> expanded;
+            for (const auto& base : renamed) {
+              for (const auto& out : outs) {
+                if (expanded.size() >= 8) break;
+                std::set<std::string> next = base;
+                next.insert(out);
+                expanded.push_back(std::move(next));
+              }
+            }
+            renamed = std::move(expanded);
+          }
+          if (covered) {
+            for (auto& candidate : renamed) {
+              AddKey(&p.keys, std::move(candidate), &p.consts);
+            }
+          }
+        }
+        break;
+      }
+      case OpKind::kSelect:
+        p.consts = child(0).consts;
+        p.keys = child(0).keys;
+        break;
+      case OpKind::kJoin:
+      case OpKind::kCross: {
+        const NodeProps& l = child(0);
+        const NodeProps& r = child(1);
+        p.consts = l.consts;
+        p.consts.insert(r.consts.begin(), r.consts.end());
+        bool equi_handled = false;
+        if (op->kind == OpKind::kJoin && op->pred.conjuncts.size() == 1 &&
+            op->pred.conjuncts[0].IsColEq()) {
+          const std::string& a = op->pred.conjuncts[0].lhs.col;
+          const std::string& b = op->pred.conjuncts[0].rhs.col;
+          const bool a_left = op->children[0]->HasColumn(a);
+          const std::string& lcol = a_left ? a : b;
+          const std::string& rcol = a_left ? b : a;
+          // Table IV, equi-join: if the right join column is a key of the
+          // right input, every left key survives (and vice versa).
+          if (r.HasSingletonKey(rcol)) {
+            for (const auto& k : l.keys) AddKey(&p.keys, k, &p.consts);
+            equi_handled = true;
+          }
+          if (l.HasSingletonKey(lcol)) {
+            for (const auto& k : r.keys) AddKey(&p.keys, k, &p.consts);
+            equi_handled = true;
+          }
+        }
+        if (!equi_handled) {
+          for (const auto& k1 : l.keys) {
+            for (const auto& k2 : r.keys) {
+              std::set<std::string> combined = k1;
+              combined.insert(k2.begin(), k2.end());
+              AddKey(&p.keys, std::move(combined), &p.consts);
+            }
+          }
+        }
+        // For an equi-join a = b, every output row satisfies a = b, so a
+        // and b are interchangeable inside candidate keys.
+        if (op->kind == OpKind::kJoin && op->pred.conjuncts.size() == 1 &&
+            op->pred.conjuncts[0].IsColEq()) {
+          const std::string& a = op->pred.conjuncts[0].lhs.col;
+          const std::string& b = op->pred.conjuncts[0].rhs.col;
+          const std::vector<std::set<std::string>> snapshot = p.keys;
+          for (const auto& k : snapshot) {
+            if (k.count(a)) {
+              std::set<std::string> swapped = k;
+              swapped.erase(a);
+              swapped.insert(b);
+              AddKey(&p.keys, std::move(swapped), &p.consts);
+            }
+            if (k.count(b)) {
+              std::set<std::string> swapped = k;
+              swapped.erase(b);
+              swapped.insert(a);
+              AddKey(&p.keys, std::move(swapped), &p.consts);
+            }
+          }
+        }
+        break;
+      }
+      case OpKind::kAttach:
+        p.consts = child(0).consts;
+        p.consts[op->col] = op->val;
+        p.keys = child(0).keys;
+        break;
+      case OpKind::kRowId:
+        p.consts = child(0).consts;
+        p.keys = child(0).keys;
+        AddKey(&p.keys, {op->col}, &p.consts);
+        break;
+      case OpKind::kRank: {
+        const NodeProps& c = child(0);
+        p.consts = c.consts;
+        p.keys = c.keys;
+        // Table IV ϱ: rank col + (key minus order cols) is a key whenever
+        // the key overlapped the ordering criteria.
+        for (const auto& k : c.keys) {
+          bool overlaps = false;
+          for (const auto& b : op->order) {
+            if (k.count(b)) overlaps = true;
+          }
+          if (!overlaps) continue;
+          std::set<std::string> nk = {op->col};
+          for (const auto& kcol : k) {
+            if (std::find(op->order.begin(), op->order.end(), kcol) ==
+                op->order.end()) {
+              nk.insert(kcol);
+            }
+          }
+          AddKey(&p.keys, std::move(nk), &p.consts);
+        }
+        break;
+      }
+      case OpKind::kDocTable:
+        AddKey(&p.keys, {"pre"});
+        break;
+      case OpKind::kLiteral:
+        if (op->rows.size() == 1) {
+          for (size_t i = 0; i < op->schema.size(); ++i) {
+            p.consts[op->schema[i]] = op->rows[0][i];
+          }
+        }
+        if (op->rows.size() <= 1) {
+          for (const auto& col : op->schema) AddKey(&p.keys, {col}, &p.consts);
+        }
+        break;
+    }
+  }
+}
+
+// ---------------- top-down: icols and set (Tables II, V) ------------------
+
+void InferTopDown(const std::vector<Op*>& topo,
+                  std::unordered_map<const Op*, NodeProps>* props) {
+  // Initialize: icols empty, set true everywhere; the serialize root seeds
+  // its own icols and set=false.
+  for (Op* op : topo) {
+    NodeProps& p = (*props)[op];
+    p.icols.clear();
+    p.dedup_upstream = true;
+  }
+  if (!topo.empty() && topo.front()->kind == OpKind::kSerialize) {
+    NodeProps& root = (*props)[topo.front()];
+    root.icols = {topo.front()->order[0], topo.front()->col};
+    root.dedup_upstream = false;
+  }
+  // Track whether a node received any parent contribution to `set`; the
+  // conjunction starts at true and parents AND their values in.
+  for (Op* op : topo) {
+    const NodeProps& p = (*props)[op];
+    auto contribute = [&](size_t i, const std::set<std::string>& cols,
+                          bool set_value) {
+      NodeProps& c = (*props)[op->children[i].get()];
+      c.icols.insert(cols.begin(), cols.end());
+      c.dedup_upstream = c.dedup_upstream && set_value;
+    };
+    switch (op->kind) {
+      case OpKind::kSerialize:
+        contribute(0, {op->order[0], op->col}, false);
+        break;
+      case OpKind::kProject: {
+        std::set<std::string> need;
+        for (const auto& [out, in] : op->proj) {
+          if (p.icols.count(out)) need.insert(in);
+        }
+        contribute(0, need, p.dedup_upstream);
+        break;
+      }
+      case OpKind::kSelect: {
+        std::set<std::string> need = p.icols;
+        for (const auto& c : op->pred.Cols()) need.insert(c);
+        contribute(0, need, p.dedup_upstream);
+        break;
+      }
+      case OpKind::kJoin:
+      case OpKind::kCross: {
+        std::set<std::string> need = p.icols;
+        if (op->kind == OpKind::kJoin) {
+          for (const auto& c : op->pred.Cols()) need.insert(c);
+        }
+        for (size_t i = 0; i < 2; ++i) {
+          std::set<std::string> mine;
+          for (const auto& c : need) {
+            if (op->children[i]->HasColumn(c)) mine.insert(c);
+          }
+          contribute(i, mine, p.dedup_upstream);
+        }
+        break;
+      }
+      case OpKind::kDistinct:
+        contribute(0, p.icols, true);
+        break;
+      case OpKind::kAttach:
+      case OpKind::kRowId: {
+        std::set<std::string> need = p.icols;
+        need.erase(op->col);
+        contribute(0, need, p.dedup_upstream);
+        break;
+      }
+      case OpKind::kRank: {
+        std::set<std::string> need = p.icols;
+        need.erase(op->col);
+        for (const auto& b : op->order) need.insert(b);
+        contribute(0, need, p.dedup_upstream);
+        break;
+      }
+      case OpKind::kDocTable:
+      case OpKind::kLiteral:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+PropertyMap PropertyMap::Infer(const OpPtr& root) {
+  PropertyMap map;
+  std::vector<Op*> topo = algebra::TopoOrder(root);
+  std::vector<Op*> bottom_up(topo.rbegin(), topo.rend());
+  InferBottomUp(bottom_up, &map.props_);
+  InferTopDown(topo, &map.props_);
+  return map;
+}
+
+const NodeProps& PropertyMap::Get(const Op* op) const {
+  auto it = props_.find(op);
+  assert(it != props_.end() && "property lookup for node outside the plan");
+  return it->second;
+}
+
+}  // namespace xqjg::opt

@@ -1,0 +1,68 @@
+// Plan property inference (paper §III-A, Tables II–V).
+//
+// For every operator of a plan DAG we infer:
+//   icols  — input columns strictly required upstream (top-down, Table II)
+//   const  — columns holding one constant value in every row (bottom-up,
+//            Table III)
+//   key    — candidate keys of the operator's output (bottom-up, Table IV)
+//   set    — whether the output undergoes duplicate elimination upstream
+//            (top-down, Table V)
+//
+// The rewrite rules of src/opt/rules.h consult these properties; they are
+// recomputed from scratch after every applied rewrite (plans are a few
+// hundred operators, inference is linear).
+#ifndef XQJG_OPT_PROPERTIES_H_
+#define XQJG_OPT_PROPERTIES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/algebra/dag.h"
+#include "src/algebra/operators.h"
+
+namespace xqjg::opt {
+
+struct NodeProps {
+  std::set<std::string> icols;
+  std::map<std::string, Value> consts;
+  std::vector<std::set<std::string>> keys;
+  bool dedup_upstream = true;  ///< the paper's `set` property
+  /// Column equality classes: columns holding pairwise equal values in
+  /// every output row (duplicated projection outputs, equi-join columns).
+  /// Maps column -> class id; absent columns are singleton classes.
+  std::map<std::string, int> eq_class;
+
+  bool IsConst(const std::string& col) const { return consts.count(col) > 0; }
+
+  /// True iff some candidate key is contained in `cols`.
+  bool HasKeyWithin(const std::set<std::string>& cols) const;
+
+  /// Like HasKeyWithin, but a key column may be represented by any column
+  /// of its equality class inside `cols`.
+  bool HasKeyWithinModuloEq(const std::set<std::string>& cols) const;
+
+  /// True iff {col} alone is a candidate key.
+  bool HasSingletonKey(const std::string& col) const;
+};
+
+class PropertyMap {
+ public:
+  /// Runs all four inferences over the DAG under `root`.
+  static PropertyMap Infer(const algebra::OpPtr& root);
+
+  const NodeProps& Get(const algebra::Op* op) const;
+
+ private:
+  std::unordered_map<const algebra::Op*, NodeProps> props_;
+};
+
+/// Caps applied to the key inference so candidate-key sets stay small.
+inline constexpr size_t kMaxKeys = 24;
+inline constexpr size_t kMaxKeyWidth = 6;
+
+}  // namespace xqjg::opt
+
+#endif  // XQJG_OPT_PROPERTIES_H_

@@ -1,0 +1,712 @@
+#include "src/opt/rules.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/str.h"
+
+namespace xqjg::opt {
+
+using algebra::CmpOp;
+using algebra::Comparison;
+using algebra::MakeAttach;
+using algebra::MakeCross;
+using algebra::MakeDistinct;
+using algebra::MakeJoin;
+using algebra::MakeProject;
+using algebra::MakeRank;
+using algebra::MakeSelect;
+using algebra::Op;
+using algebra::OpKind;
+using algebra::OpPtr;
+using algebra::Predicate;
+using algebra::RecomputeSchema;
+using algebra::Term;
+
+namespace {
+
+bool SchemasDisjoint(const Op& a, const Op& b) {
+  for (const auto& col : b.schema) {
+    if (a.HasColumn(col)) return false;
+  }
+  return true;
+}
+
+/// Identity projection entries for `cols`.
+std::vector<std::pair<std::string, std::string>> Identity(
+    const std::vector<std::string>& cols) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(cols.size());
+  for (const auto& c : cols) out.emplace_back(c, c);
+  return out;
+}
+
+bool IsSingleEqJoin(const Op* op) {
+  return op->kind == OpKind::kJoin && op->pred.conjuncts.size() == 1 &&
+         op->pred.conjuncts[0].IsColEq();
+}
+
+/// Canonical key of a single-equality join predicate; used as a total
+/// order that makes "may push below" antisymmetric between two such joins
+/// (rule (11) would otherwise let two joins swap positions forever).
+std::string JoinOrderKey(const Op* op) {
+  const std::string& a = op->pred.conjuncts[0].lhs.col;
+  const std::string& b = op->pred.conjuncts[0].rhs.col;
+  return a < b ? a + "=" + b : b + "=" + a;
+}
+
+}  // namespace
+
+OpPtr Rewriter::Ptr(Op* node) const { return node->shared_from_this(); }
+
+void Rewriter::Replace(Op* old_node, OpPtr new_node) {
+  if (old_node == root_.get()) {
+    root_ = std::move(new_node);
+    return;
+  }
+  size_t n = algebra::ReplaceChild(root_, old_node, std::move(new_node));
+  assert(n > 0 && "Replace target not found in plan");
+  (void)n;
+}
+
+// ---------------------------------------------------------------------------
+// Rule (1): #a(q) -> q  when a not needed upstream.
+bool Rewriter::RuleRowIdDead(Op* node) {
+  if (node->kind != OpKind::kRowId) return false;
+  if (props_.Get(node).icols.count(node->col)) return false;
+  Replace(node, node->children[0]);
+  return true;
+}
+
+// Rule (2): rank_a(q) -> q  when a not needed upstream.
+bool Rewriter::RuleRankDead(Op* node) {
+  if (node->kind != OpKind::kRank) return false;
+  if (props_.Get(node).icols.count(node->col)) return false;
+  Replace(node, node->children[0]);
+  return true;
+}
+
+// Rule (3): @a:c(q) -> q  when a not needed upstream.
+bool Rewriter::RuleAttachDead(Op* node) {
+  if (node->kind != OpKind::kAttach) return false;
+  if (props_.Get(node).icols.count(node->col)) return false;
+  Replace(node, node->children[0]);
+  return true;
+}
+
+// Rule (4): narrow a projection to the columns needed upstream.
+bool Rewriter::RuleProjectNarrow(Op* node) {
+  if (node->kind != OpKind::kProject) return false;
+  const auto& icols = props_.Get(node).icols;
+  std::vector<std::pair<std::string, std::string>> kept;
+  for (const auto& entry : node->proj) {
+    if (icols.count(entry.first)) kept.push_back(entry);
+  }
+  if (kept.empty() || kept.size() == node->proj.size()) return false;
+  node->proj = std::move(kept);
+  bool ok = RecomputeSchema(node);
+  assert(ok);
+  (void)ok;
+  return true;
+}
+
+// Rule (5): q x <singleton literal> -> attach chain.
+bool Rewriter::RuleCrossLiteral(Op* node) {
+  if (node->kind != OpKind::kCross) return false;
+  for (int side = 0; side < 2; ++side) {
+    const OpPtr& lit = node->children[side];
+    if (lit->kind != OpKind::kLiteral || lit->rows.size() != 1) continue;
+    OpPtr result = node->children[1 - side];
+    for (size_t i = 0; i < lit->schema.size(); ++i) {
+      result = MakeAttach(result, lit->schema[i], lit->rows[0][i]);
+    }
+    Replace(node, std::move(result));
+    return true;
+  }
+  return false;
+}
+
+// Rule (6): remove a duplicate elimination that is dominated by another
+// one upstream (set property true).
+bool Rewriter::RuleDistinctDead(Op* node) {
+  if (node->kind != OpKind::kDistinct) return false;
+  if (!props_.Get(node).dedup_upstream) return false;
+  Replace(node, node->children[0]);
+  return true;
+}
+
+// Rule (7): drop constant non-needed columns below a distinct.
+bool Rewriter::RuleDistinctPruneConst(Op* node) {
+  if (node->kind != OpKind::kDistinct) return false;
+  const Op* child = node->children[0].get();
+  const auto& child_consts = props_.Get(child).consts;
+  const auto& icols = props_.Get(node).icols;
+  std::vector<std::pair<std::string, std::string>> kept;
+  for (const auto& col : child->schema) {
+    if (child_consts.count(col) && !icols.count(col)) continue;
+    kept.emplace_back(col, col);
+  }
+  if (kept.empty() || kept.size() == child->schema.size()) return false;
+  node->children[0] = MakeProject(node->children[0], std::move(kept));
+  RecomputeSchema(node);
+  return true;
+}
+
+// Rule (8): introduce the tail duplicate elimination above a join whose
+// output is keyed within icols and not yet deduplicated upstream.
+bool Rewriter::RuleIntroduceTailDistinct(Op* node) {
+  if (node->kind != OpKind::kJoin) return false;
+  const NodeProps& p = props_.Get(node);
+  if (p.dedup_upstream) return false;
+  if (p.icols.empty()) return false;
+  if (!p.HasKeyWithinModuloEq(p.icols)) return false;
+  // Build delta(pi_icols(node)) and splice it between node and its parents.
+  std::vector<std::string> cols(p.icols.begin(), p.icols.end());
+  OpPtr narrowed = MakeProject(Ptr(node), Identity(cols));
+  Replace(node, MakeDistinct(std::move(narrowed)));
+  return true;
+}
+
+// Rule (9b): pi_A(S) join_{x=y} pi_B(S) over the same keyed S collapses to
+// a single merged projection of S.
+bool Rewriter::RuleMergeSelfJoin(Op* node) {
+  if (node->kind != OpKind::kJoin) return false;
+  if (node->pred.conjuncts.size() != 1 || !node->pred.conjuncts[0].IsColEq()) {
+    return false;
+  }
+  Op* left = node->children[0].get();
+  Op* right = node->children[1].get();
+  if (left->kind != OpKind::kProject || right->kind != OpKind::kProject) {
+    return false;
+  }
+  if (left->children[0] != right->children[0]) return false;
+  const Op* base = left->children[0].get();
+  const std::string& a = node->pred.conjuncts[0].lhs.col;
+  const std::string& b = node->pred.conjuncts[0].rhs.col;
+  const std::string& lcol = left->HasColumn(a) ? a : b;
+  const std::string& rcol = left->HasColumn(a) ? b : a;
+  auto source_of = [](const Op* proj, const std::string& out)
+      -> const std::string* {
+    const std::string* src = nullptr;
+    for (const auto& [o, in] : proj->proj) {
+      if (o == out) {
+        if (src) return nullptr;  // ambiguous (cannot happen: outs unique)
+        src = &in;
+      }
+    }
+    return src;
+  };
+  const std::string* lsrc = source_of(left, lcol);
+  const std::string* rsrc = source_of(right, rcol);
+  if (!lsrc || !rsrc || *lsrc != *rsrc) return false;
+  if (!props_.Get(base).HasSingletonKey(*lsrc)) return false;
+  // Join on a key column of the shared input: every row pairs with itself.
+  std::vector<std::pair<std::string, std::string>> merged = left->proj;
+  merged.insert(merged.end(), right->proj.begin(), right->proj.end());
+  Replace(node, MakeProject(left->children[0], std::move(merged)));
+  return true;
+}
+
+// Rule (10): an equi-join whose both columns are the same constant is a
+// Cartesian product.
+bool Rewriter::RuleConstJoinToCross(Op* node) {
+  if (node->kind != OpKind::kJoin) return false;
+  if (node->pred.conjuncts.size() != 1 || !node->pred.conjuncts[0].IsColEq()) {
+    return false;
+  }
+  const NodeProps& p = props_.Get(node);
+  const std::string& a = node->pred.conjuncts[0].lhs.col;
+  const std::string& b = node->pred.conjuncts[0].rhs.col;
+  auto ita = p.consts.find(a);
+  auto itb = p.consts.find(b);
+  if (ita == p.consts.end() || itb == p.consts.end()) return false;
+  if (!(ita->second == itb->second)) return false;
+  Replace(node, MakeCross(node->children[0], node->children[1]));
+  return true;
+}
+
+// Rule (11) with the inline rule-(9a) degenerate check: push a
+// single-column equi-join below one of its child operators.
+bool Rewriter::RulePushJoinDown(Op* node) {
+  if (node->kind != OpKind::kJoin) return false;
+  if (node->pred.conjuncts.size() != 1 || !node->pred.conjuncts[0].IsColEq()) {
+    return false;
+  }
+  const std::string& a = node->pred.conjuncts[0].lhs.col;
+  const std::string& b = node->pred.conjuncts[0].rhs.col;
+
+  for (int side = 0; side < 2; ++side) {
+    Op* box = node->children[side].get();
+    const OpPtr& other = node->children[1 - side];
+    switch (box->kind) {
+      case OpKind::kProject:
+      case OpKind::kSelect:
+      case OpKind::kAttach:
+      case OpKind::kRank:
+      case OpKind::kJoin:
+      case OpKind::kCross:
+        break;
+      default:
+        continue;  // delta, rowid, leaves, serialize: not pushable
+    }
+    // q2 must not reach the box (would create a cycle).
+    if (algebra::Reaches(other.get(), box)) continue;
+    // Anti-ping-pong: between two single-equality joins, only the one with
+    // the smaller canonical predicate key may descend below the other.
+    if (IsSingleEqJoin(box) && !(JoinOrderKey(node) < JoinOrderKey(box))) {
+      continue;
+    }
+    const std::string& jcol = box->HasColumn(a) ? a : b;
+    const std::string& ocol = box->HasColumn(a) ? b : a;
+
+    // Map the join column through the box.
+    std::string mapped = jcol;
+    if (box->kind == OpKind::kProject) {
+      const std::string* src = nullptr;
+      bool ambiguous = false;
+      for (const auto& [out, in] : box->proj) {
+        if (out == jcol) {
+          if (src) ambiguous = true;
+          src = &in;
+        }
+      }
+      if (!src || ambiguous) continue;
+      mapped = *src;
+    } else if (box->kind == OpKind::kAttach || box->kind == OpKind::kRank) {
+      if (box->col == jcol) continue;  // join col is created by the box
+    }
+
+    // Select the box input that provides the mapped column.
+    size_t slot = 0;
+    if (box->children.size() == 2) {
+      if (box->children[0]->HasColumn(mapped)) {
+        slot = 0;
+      } else if (box->children[1]->HasColumn(mapped)) {
+        slot = 1;
+      } else {
+        continue;
+      }
+    } else if (!box->children[0]->HasColumn(mapped)) {
+      continue;
+    }
+    const OpPtr& inner = box->children[slot];
+
+    // Rule (9a): the push would create inner join_{c=c} inner over the
+    // same node on a key column -> the join is the identity; drop it.
+    OpPtr pushed;
+    if (inner.get() == other.get() && mapped == ocol &&
+        props_.Get(inner.get()).HasSingletonKey(mapped)) {
+      pushed = inner;
+    } else {
+      if (!SchemasDisjoint(*inner, *other)) continue;
+      pushed = MakeJoin(inner, other,
+                        Predicate::Single(Term::Col(mapped), CmpOp::kEq,
+                                          Term::Col(ocol)));
+    }
+
+    // Rebuild the box above the pushed join. The rebuilt box must also
+    // expose `other`'s columns (they flowed out of the original join).
+    OpPtr rebuilt;
+    switch (box->kind) {
+      case OpKind::kProject: {
+        const bool degenerate = pushed.get() == inner.get();
+        auto proj = box->proj;
+        bool clash = false;
+        for (const auto& col : other->schema) {
+          const std::string* existing_src = nullptr;
+          for (const auto& [out, in] : box->proj) {
+            if (out == col) existing_src = &in;
+          }
+          if (existing_src) {
+            // With the join collapsed (9a) rows pair with themselves, so
+            // an identity forwarding of `col` is already present iff the
+            // box maps col from col; anything else is a genuine clash.
+            if (degenerate && *existing_src == col) continue;
+            clash = true;
+            break;
+          }
+          proj.emplace_back(col, col);
+        }
+        if (clash) continue;
+        rebuilt = MakeProject(pushed, std::move(proj));
+        break;
+      }
+      case OpKind::kSelect:
+        rebuilt = MakeSelect(pushed, box->pred);
+        break;
+      case OpKind::kAttach:
+        if (other->HasColumn(box->col)) continue;
+        rebuilt = MakeAttach(pushed, box->col, box->val);
+        break;
+      case OpKind::kRank:
+        if (other->HasColumn(box->col)) continue;
+        rebuilt = MakeRank(pushed, box->col, box->order);
+        break;
+      case OpKind::kJoin:
+      case OpKind::kCross: {
+        const OpPtr& sibling = box->children[1 - slot];
+        if (!SchemasDisjoint(*pushed, *sibling) &&
+            pushed.get() != inner.get()) {
+          continue;
+        }
+        if (pushed.get() != inner.get() &&
+            !SchemasDisjoint(*sibling, *other)) {
+          continue;
+        }
+        if (pushed.get() == inner.get()) {
+          // Join dropped: box is unchanged semantically; but `other`'s
+          // columns must still be provided — they are, because other ==
+          // inner is below box already. Just replace node with box.
+          Replace(node, Ptr(box));
+          return true;
+        }
+        if (box->kind == OpKind::kJoin) {
+          rebuilt = slot == 0 ? MakeJoin(pushed, sibling, box->pred)
+                              : MakeJoin(sibling, pushed, box->pred);
+        } else {
+          rebuilt = slot == 0 ? MakeCross(pushed, sibling)
+                              : MakeCross(sibling, pushed);
+        }
+        break;
+      }
+      default:
+        continue;
+    }
+    Replace(node, std::move(rebuilt));
+    return true;
+  }
+  return false;
+}
+
+// Rule (12): a rank over a single criterion is just a column copy (rank
+// values are only ever used as ordering criteria).
+bool Rewriter::RuleRankSingleCol(Op* node) {
+  if (node->kind != OpKind::kRank) return false;
+  if (node->order.size() != 1) return false;
+  const OpPtr& child = node->children[0];
+  auto proj = Identity(child->schema);
+  proj.emplace_back(node->col, node->order[0]);
+  Replace(node, MakeProject(child, std::move(proj)));
+  return true;
+}
+
+// Rule (13): constant columns cannot influence a rank order.
+bool Rewriter::RuleRankDropConstOrder(Op* node) {
+  if (node->kind != OpKind::kRank) return false;
+  const auto& consts = props_.Get(node->children[0].get()).consts;
+  std::vector<std::string> kept;
+  for (const auto& b : node->order) {
+    if (!consts.count(b)) kept.push_back(b);
+  }
+  if (kept.size() == node->order.size()) return false;
+  if (kept.empty()) {
+    // Rank over nothing: every row ranks 1.
+    Replace(node, MakeAttach(node->children[0], node->col, Value::Int(1)));
+    return true;
+  }
+  node->order = std::move(kept);
+  return true;
+}
+
+// Rule (14): pull a rank up through select / distinct / attach / rowid.
+bool Rewriter::RulePullRankUnary(Op* node) {
+  switch (node->kind) {
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+    case OpKind::kAttach:
+    case OpKind::kRowId:
+      break;
+    default:
+      return false;
+  }
+  const OpPtr& rank = node->children[0];
+  if (rank->kind != OpKind::kRank) return false;
+  if (parents_.NumParents(rank.get()) != 1) return false;
+  if (node->kind == OpKind::kSelect &&
+      node->pred.Cols().count(rank->col)) {
+    return false;
+  }
+  if ((node->kind == OpKind::kAttach || node->kind == OpKind::kRowId) &&
+      node->col == rank->col) {
+    return false;
+  }
+  OpPtr inner;
+  switch (node->kind) {
+    case OpKind::kSelect:
+      inner = MakeSelect(rank->children[0], node->pred);
+      break;
+    case OpKind::kDistinct:
+      inner = MakeDistinct(rank->children[0]);
+      break;
+    case OpKind::kAttach:
+      inner = MakeAttach(rank->children[0], node->col, node->val);
+      break;
+    default:
+      inner = algebra::MakeRowId(rank->children[0], node->col);
+      break;
+  }
+  Replace(node, MakeRank(std::move(inner), rank->col, rank->order));
+  return true;
+}
+
+// Rule (15): pull a rank up through a join / cross product (rank values
+// stay order-correct; see DESIGN.md on rank semantics).
+bool Rewriter::RulePullRankJoin(Op* node) {
+  if (node->kind != OpKind::kJoin && node->kind != OpKind::kCross) {
+    return false;
+  }
+  for (int side = 0; side < 2; ++side) {
+    const OpPtr& rank = node->children[side];
+    if (rank->kind != OpKind::kRank) continue;
+    if (parents_.NumParents(rank.get()) != 1) continue;
+    if (node->kind == OpKind::kJoin && node->pred.Cols().count(rank->col)) {
+      continue;
+    }
+    const OpPtr& other = node->children[1 - side];
+    if (other->HasColumn(rank->col)) continue;
+    OpPtr joined;
+    if (node->kind == OpKind::kJoin) {
+      joined = side == 0 ? MakeJoin(rank->children[0], other, node->pred)
+                         : MakeJoin(other, rank->children[0], node->pred);
+    } else {
+      joined = side == 0 ? MakeCross(rank->children[0], other)
+                         : MakeCross(other, rank->children[0]);
+    }
+    Replace(node, MakeRank(std::move(joined), rank->col, rank->order));
+    return true;
+  }
+  return false;
+}
+
+// Rule (16): pull a rank up through a projection; the projection moves
+// below the rank and keeps the ordering criteria alive.
+bool Rewriter::RulePullRankProject(Op* node) {
+  if (node->kind != OpKind::kProject) return false;
+  const OpPtr& rank = node->children[0];
+  if (rank->kind != OpKind::kRank) return false;
+  if (parents_.NumParents(rank.get()) != 1) return false;
+  // The rank column must be forwarded by exactly one entry.
+  std::string out_name;
+  int refs = 0;
+  std::vector<std::pair<std::string, std::string>> below;
+  for (const auto& [out, in] : node->proj) {
+    if (in == rank->col) {
+      out_name = out;
+      ++refs;
+    } else {
+      below.emplace_back(out, in);
+    }
+  }
+  if (refs != 1) return false;
+  // Ensure every ordering criterion survives below; pick its (new) name.
+  std::vector<std::string> new_order;
+  for (const auto& b : rank->order) {
+    const std::string* name = nullptr;
+    for (const auto& [out, in] : below) {
+      if (in == b) {
+        name = &out;
+        break;
+      }
+    }
+    if (name) {
+      new_order.push_back(*name);
+    } else {
+      // Add an identity pass-through; bail out on a name clash.
+      bool clash = b == out_name;
+      for (const auto& [out, in] : below) {
+        if (out == b) clash = true;
+      }
+      if (clash) return false;
+      below.emplace_back(b, b);
+      new_order.push_back(b);
+    }
+  }
+  OpPtr new_proj = MakeProject(rank->children[0], std::move(below));
+  Replace(node, MakeRank(std::move(new_proj), out_name, std::move(new_order)));
+  return true;
+}
+
+// Rule (17): splice the criteria of a nested rank into the outer rank.
+bool Rewriter::RuleRankSplice(Op* node) {
+  if (node->kind != OpKind::kRank) return false;
+  const OpPtr& inner = node->children[0];
+  if (inner->kind != OpKind::kRank) return false;
+  auto it = std::find(node->order.begin(), node->order.end(), inner->col);
+  if (it == node->order.end()) return false;
+  std::vector<std::string> spliced(node->order.begin(), it);
+  spliced.insert(spliced.end(), inner->order.begin(), inner->order.end());
+  spliced.insert(spliced.end(), it + 1, node->order.end());
+  // Drop duplicate criteria introduced by the splice (later occurrences
+  // cannot influence the order).
+  std::vector<std::string> dedup;
+  for (const auto& c : spliced) {
+    if (std::find(dedup.begin(), dedup.end(), c) == dedup.end()) {
+      dedup.push_back(c);
+    }
+  }
+  node->order = std::move(dedup);
+  return true;
+}
+
+// Rowid elimination: # attaches *arbitrary* unique row ids (Table I), so
+// over an input with a singleton candidate key the ids may simply copy
+// that key column. This dissolves the FOR rule's #inner plumbing whenever
+// the loop input is keyed (e.g. top-level loops, where iter is constant
+// and fs:ddo guarantees item-uniqueness).
+bool Rewriter::RuleRowIdFromKey(Op* node) {
+  if (node->kind != OpKind::kRowId) return false;
+  const NodeProps& c = props_.Get(node->children[0].get());
+  for (const auto& k : c.keys) {
+    if (k.size() != 1) continue;
+    auto proj = Identity(node->children[0]->schema);
+    proj.emplace_back(node->col, *k.begin());
+    Replace(node, MakeProject(node->children[0], std::move(proj)));
+    return true;
+  }
+  return false;
+}
+
+// Housekeeping: compose two stacked projections.
+bool Rewriter::RuleProjectProject(Op* node) {
+  if (node->kind != OpKind::kProject) return false;
+  const OpPtr& inner = node->children[0];
+  if (inner->kind != OpKind::kProject) return false;
+  std::vector<std::pair<std::string, std::string>> composed;
+  for (const auto& [out, mid] : node->proj) {
+    const std::string* src = nullptr;
+    for (const auto& [iout, iin] : inner->proj) {
+      if (iout == mid) {
+        src = &iin;
+        break;
+      }
+    }
+    if (!src) return false;  // cannot happen on well-formed plans
+    composed.emplace_back(out, *src);
+  }
+  Replace(node, MakeProject(inner->children[0], std::move(composed)));
+  return true;
+}
+
+// Housekeeping: remove an identity projection.
+bool Rewriter::RuleProjectIdentity(Op* node) {
+  if (node->kind != OpKind::kProject) return false;
+  const OpPtr& child = node->children[0];
+  if (node->proj.size() != child->schema.size()) return false;
+  for (const auto& [out, in] : node->proj) {
+    if (out != in) return false;
+  }
+  Replace(node, child);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+bool Rewriter::StepOnce(Phase phase) {
+  props_ = PropertyMap::Infer(root_);
+  parents_ = algebra::BuildParentMap(root_);
+  using RuleFn = bool (Rewriter::*)(Op*);
+  struct Entry {
+    const char* name;
+    RuleFn fn;
+  };
+  static const Entry kRankRules[] = {
+      {"hk-pipi", &Rewriter::RuleProjectProject},
+      {"hk-piid", &Rewriter::RuleProjectIdentity},
+      {"r1-rowid-dead", &Rewriter::RuleRowIdDead},
+      {"r2-rank-dead", &Rewriter::RuleRankDead},
+      {"r3-attach-dead", &Rewriter::RuleAttachDead},
+      {"r4-pi-narrow", &Rewriter::RuleProjectNarrow},
+      {"r5-cross-literal", &Rewriter::RuleCrossLiteral},
+      {"r13-rank-const", &Rewriter::RuleRankDropConstOrder},
+      {"r12-rank-single", &Rewriter::RuleRankSingleCol},
+      {"r17-rank-splice", &Rewriter::RuleRankSplice},
+      {"r16-rank-pi", &Rewriter::RulePullRankProject},
+      {"r14-rank-unary", &Rewriter::RulePullRankUnary},
+      {"r15-rank-join", &Rewriter::RulePullRankJoin},
+  };
+  static const Entry kJoinRules[] = {
+      {"hk-pipi", &Rewriter::RuleProjectProject},
+      {"hk-piid", &Rewriter::RuleProjectIdentity},
+      {"r1-rowid-dead", &Rewriter::RuleRowIdDead},
+      {"r2-rank-dead", &Rewriter::RuleRankDead},
+      {"r3-attach-dead", &Rewriter::RuleAttachDead},
+      {"r4-pi-narrow", &Rewriter::RuleProjectNarrow},
+      {"r5-cross-literal", &Rewriter::RuleCrossLiteral},
+      {"r13-rank-const", &Rewriter::RuleRankDropConstOrder},
+      {"r12-rank-single", &Rewriter::RuleRankSingleCol},
+      {"r6-distinct-dead", &Rewriter::RuleDistinctDead},
+      {"r7-distinct-prune", &Rewriter::RuleDistinctPruneConst},
+      {"r10-const-join-cross", &Rewriter::RuleConstJoinToCross},
+      {"rx-rowid-key", &Rewriter::RuleRowIdFromKey},
+      {"r9b-merge-selfjoin", &Rewriter::RuleMergeSelfJoin},
+      {"r8-tail-distinct", &Rewriter::RuleIntroduceTailDistinct},
+      {"r11-push-join", &Rewriter::RulePushJoinDown},
+  };
+  const Entry* rules = phase == Phase::kRank ? kRankRules : kJoinRules;
+  const size_t n_rules = phase == Phase::kRank
+                             ? sizeof(kRankRules) / sizeof(Entry)
+                             : sizeof(kJoinRules) / sizeof(Entry);
+  static const bool trace = std::getenv("XQJG_REWRITE_TRACE") != nullptr;
+  for (Op* op : algebra::TopoOrder(root_)) {
+    for (size_t i = 0; i < n_rules; ++i) {
+      const int id = op->id;
+      const std::string desc = trace ? op->Describe() : std::string();
+      if ((this->*rules[i].fn)(op)) {
+        ++counts_[rules[i].name];
+        if (trace) {
+          std::fprintf(stderr, "%s @ [%d] %s\n", rules[i].name, id,
+                       desc.c_str());
+        }
+        // In-place narrowing (e.g. rule 4) changes schemas of pass-through
+        // ancestors (δ, σ, joins); refresh bottom-up so the next property
+        // inference sees consistent schemas.
+        for (Op* n : algebra::BottomUpOrder(root_)) {
+          bool ok = algebra::RecomputeSchema(n);
+          assert(ok && "rewrite left the plan schema-inconsistent");
+          (void)ok;
+        }
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Status Rewriter::RunPhase(Phase phase) {
+  while (StepOnce(phase)) {
+    if (--budget_ <= 0) {
+      // Every rule is individually semantics-preserving, so an exhausted
+      // budget yields a valid (just less optimized) plan. Record and stop.
+      ++counts_["budget-exhausted"];
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status Rewriter::RunRankPhase() { return RunPhase(Phase::kRank); }
+Status Rewriter::RunJoinPhase() { return RunPhase(Phase::kJoin); }
+
+Status Rewriter::Run() {
+  XQJG_RETURN_NOT_OK(RunRankPhase());
+  XQJG_RETURN_NOT_OK(RunJoinPhase());
+  // The join phase can re-enable rank simplifications (e.g. a rank freed
+  // by join removal); do a final pass of each until a joint fixpoint.
+  for (int round = 0; round < 8; ++round) {
+    int before = budget_;
+    XQJG_RETURN_NOT_OK(RunRankPhase());
+    XQJG_RETURN_NOT_OK(RunJoinPhase());
+    if (budget_ == before) break;
+  }
+  return Status::OK();
+}
+
+Result<OpPtr> IsolateJoinGraph(OpPtr root) {
+  Rewriter rewriter(std::move(root));
+  XQJG_RETURN_NOT_OK(rewriter.Run());
+  return rewriter.root();
+}
+
+}  // namespace xqjg::opt

@@ -1,0 +1,192 @@
+#include "src/sql/sqlgen.h"
+
+#include <map>
+#include <set>
+
+#include "src/algebra/dag.h"
+#include "src/common/str.h"
+
+namespace xqjg::sql {
+
+using algebra::CmpOp;
+using algebra::Op;
+using algebra::OpKind;
+using algebra::OpPtr;
+using algebra::Term;
+using opt::JoinGraph;
+using opt::QualTerm;
+
+namespace {
+
+std::string ValueSql(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kString:
+      return SqlQuote(v.AsString());
+    case ValueType::kNull:
+      return "NULL";
+    default:
+      return v.ToString();
+  }
+}
+
+std::string QualTermSql(const QualTerm& t) {
+  std::string out;
+  if (t.alias >= 0) out = StrPrintf("d%d.%s", t.alias, t.col.c_str());
+  if (t.alias2 >= 0) {
+    out += StrPrintf(" + d%d.%s", t.alias2, t.col2.c_str());
+  }
+  if (!t.constant.is_null()) {
+    if (out.empty()) {
+      out = ValueSql(t.constant);
+    } else {
+      out += " + " + t.constant.ToString();
+    }
+  }
+  return out.empty() ? "0" : out;
+}
+
+std::string TermSql(const Term& t) {
+  std::string out;
+  if (!t.col.empty()) out = t.col;
+  if (!t.col2.empty()) out += " + " + t.col2;
+  if (!t.constant.is_null()) {
+    if (out.empty()) {
+      out = ValueSql(t.constant);
+    } else {
+      out += " + " + t.constant.ToString();
+    }
+  }
+  return out.empty() ? "0" : out;
+}
+
+}  // namespace
+
+std::string EmitJoinGraphSql(const JoinGraph& graph) {
+  std::string out = "SELECT ";
+  if (graph.distinct) out += "DISTINCT ";
+  std::vector<std::string> select;
+  for (const auto& t : graph.select_list) select.push_back(QualTermSql(t));
+  out += select.empty() ? "*" : Join(select, ", ");
+  out += "\nFROM ";
+  std::vector<std::string> froms;
+  for (int i = 0; i < graph.num_aliases; ++i) {
+    froms.push_back(StrPrintf("doc AS d%d", i));
+  }
+  out += Join(froms, ", ");
+  if (!graph.predicates.empty()) {
+    out += "\nWHERE ";
+    std::vector<std::string> preds;
+    for (const auto& p : graph.predicates) {
+      preds.push_back(QualTermSql(p.lhs) + " " +
+                      algebra::CmpOpToString(p.op) + " " +
+                      QualTermSql(p.rhs));
+    }
+    out += Join(preds, "\n  AND ");
+  }
+  if (!graph.order_by.empty()) {
+    out += "\nORDER BY ";
+    std::vector<std::string> order;
+    for (const auto& t : graph.order_by) order.push_back(QualTermSql(t));
+    out += Join(order, ", ");
+  }
+  return out;
+}
+
+Result<std::string> EmitStackedCte(const OpPtr& root) {
+  // One CTE per operator, bottom-up; column names are globally unique, so
+  // cross-CTE references never need qualification.
+  std::map<const Op*, std::string> names;
+  std::vector<std::string> ctes;
+  int next = 1;
+  for (Op* op : algebra::BottomUpOrder(root)) {
+    if (op->kind == OpKind::kSerialize) continue;
+    std::string name = StrPrintf("t%d", next++);
+    std::string body;
+    auto child = [&](size_t i) { return names.at(op->children[i].get()); };
+    switch (op->kind) {
+      case OpKind::kDocTable:
+        body = "SELECT * FROM doc";
+        break;
+      case OpKind::kLiteral: {
+        if (op->rows.empty()) {
+          std::vector<std::string> cols;
+          for (const auto& c : op->schema) cols.push_back("NULL AS " + c);
+          body = "SELECT " + Join(cols, ", ") + " WHERE 1 = 0";
+        } else {
+          std::vector<std::string> rows;
+          for (const auto& row : op->rows) {
+            std::vector<std::string> vals;
+            for (size_t i = 0; i < row.size(); ++i) {
+              vals.push_back(ValueSql(row[i]) + " AS " + op->schema[i]);
+            }
+            rows.push_back("SELECT " + Join(vals, ", "));
+          }
+          body = Join(rows, " UNION ALL ");
+        }
+        break;
+      }
+      case OpKind::kProject: {
+        std::vector<std::string> cols;
+        for (const auto& [out_name, in] : op->proj) {
+          cols.push_back(in == out_name ? in : in + " AS " + out_name);
+        }
+        body = "SELECT " + Join(cols, ", ") + " FROM " + child(0);
+        break;
+      }
+      case OpKind::kSelect: {
+        std::vector<std::string> preds;
+        for (const auto& c : op->pred.conjuncts) {
+          preds.push_back(TermSql(c.lhs) + " " +
+                          algebra::CmpOpToString(c.op) + " " +
+                          TermSql(c.rhs));
+        }
+        body = "SELECT * FROM " + child(0) + " WHERE " +
+               Join(preds, " AND ");
+        break;
+      }
+      case OpKind::kJoin:
+      case OpKind::kCross: {
+        body = "SELECT * FROM " + child(0) + ", " + child(1);
+        if (op->kind == OpKind::kJoin) {
+          std::vector<std::string> preds;
+          for (const auto& c : op->pred.conjuncts) {
+            preds.push_back(TermSql(c.lhs) + " " +
+                            algebra::CmpOpToString(c.op) + " " +
+                            TermSql(c.rhs));
+          }
+          body += " WHERE " + Join(preds, " AND ");
+        }
+        break;
+      }
+      case OpKind::kDistinct:
+        body = "SELECT DISTINCT * FROM " + child(0);
+        break;
+      case OpKind::kAttach:
+        body = "SELECT *, " + ValueSql(op->val) + " AS " + op->col +
+               " FROM " + child(0);
+        break;
+      case OpKind::kRowId:
+        body = "SELECT *, ROW_NUMBER() OVER () AS " + op->col + " FROM " +
+               child(0);
+        break;
+      case OpKind::kRank: {
+        body = "SELECT *, RANK() OVER (ORDER BY " + Join(op->order, ", ") +
+               ") AS " + op->col + " FROM " + child(0);
+        break;
+      }
+      case OpKind::kSerialize:
+        break;
+    }
+    names[op] = name;
+    ctes.push_back(name + " AS (" + body + ")");
+  }
+  if (root->kind != OpKind::kSerialize) {
+    return Status::InvalidArgument("expected a serialize-rooted plan");
+  }
+  std::string out = "WITH " + Join(ctes, ",\n     ") + "\n";
+  out += "SELECT * FROM " + names.at(root->children[0].get());
+  out += "\nORDER BY " + root->order[0] + ", " + root->col;
+  return out;
+}
+
+}  // namespace xqjg::sql

@@ -1,0 +1,29 @@
+// SQL generation (paper §III-C, Figs 8/9).
+//
+// Two emitters, matching what Pathfinder shipped to DB2:
+//   * EmitJoinGraphSql — the isolated plan as a single
+//     SELECT-DISTINCT-FROM-WHERE-ORDER BY block over doc self-joins;
+//   * EmitStackedCte — the unrewritten stacked plan as a WITH-CTE chain
+//     featuring one DISTINCT / RANK() OVER per blocking operator (the
+//     form whose staged execution Table IX's `stacked` column measures).
+#ifndef XQJG_SQL_SQLGEN_H_
+#define XQJG_SQL_SQLGEN_H_
+
+#include <string>
+
+#include "src/algebra/operators.h"
+#include "src/common/status.h"
+#include "src/opt/join_graph.h"
+
+namespace xqjg::sql {
+
+/// Renders the extracted join graph as one SFW block (Fig. 8 / Fig. 9).
+std::string EmitJoinGraphSql(const opt::JoinGraph& graph);
+
+/// Renders any algebra plan (stacked or partially isolated) as a WITH-CTE
+/// chain culminating in an ORDER BY on the serialize columns.
+Result<std::string> EmitStackedCte(const algebra::OpPtr& root);
+
+}  // namespace xqjg::sql
+
+#endif  // XQJG_SQL_SQLGEN_H_

@@ -1,0 +1,144 @@
+#include "src/xml/dom.h"
+
+#include "src/common/str.h"
+
+namespace xqjg::xml {
+namespace {
+
+void AppendTextRecursive(const XmlNode* node, std::string* out) {
+  if (node->kind == NodeKind::kText) {
+    *out += node->value;
+    return;
+  }
+  for (const auto& child : node->children) {
+    AppendTextRecursive(child.get(), out);
+  }
+}
+
+class DomBuilder : public ContentHandler {
+ public:
+  explicit DomBuilder(const std::string& uri) {
+    doc_ = std::make_unique<XmlDocument>();
+    doc_->uri = uri;
+    doc_->doc_node = std::make_unique<XmlNode>();
+    doc_->doc_node->kind = NodeKind::kDoc;
+    doc_->doc_node->name = uri;
+    stack_.push_back(doc_->doc_node.get());
+  }
+
+  void StartElement(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& attrs) override {
+    auto elem = std::make_unique<XmlNode>();
+    elem->kind = NodeKind::kElem;
+    elem->name = name;
+    elem->parent = stack_.back();
+    for (const auto& [aname, avalue] : attrs) {
+      auto attr = std::make_unique<XmlNode>();
+      attr->kind = NodeKind::kAttr;
+      attr->name = aname;
+      attr->value = avalue;
+      attr->parent = elem.get();
+      elem->attrs.push_back(std::move(attr));
+    }
+    XmlNode* raw = elem.get();
+    stack_.back()->children.push_back(std::move(elem));
+    stack_.push_back(raw);
+  }
+
+  void EndElement() override { stack_.pop_back(); }
+
+  void Text(const std::string& text) override {
+    auto node = std::make_unique<XmlNode>();
+    node->kind = NodeKind::kText;
+    node->value = text;
+    node->parent = stack_.back();
+    stack_.back()->children.push_back(std::move(node));
+  }
+
+  std::unique_ptr<XmlDocument> Finish() {
+    doc_->RenumberPre();
+    return std::move(doc_);
+  }
+
+ private:
+  std::unique_ptr<XmlDocument> doc_;
+  std::vector<XmlNode*> stack_;
+};
+
+int64_t Renumber(XmlNode* node, int64_t pre, int32_t level) {
+  node->pre = pre;
+  node->level = level;
+  int64_t next = pre + 1;
+  for (auto& attr : node->attrs) {
+    attr->pre = next++;
+    attr->level = level + 1;
+    attr->subtree_size = 0;
+  }
+  for (auto& child : node->children) {
+    next = Renumber(child.get(), next, level + 1);
+  }
+  node->subtree_size = next - pre - 1;
+  return next;
+}
+
+}  // namespace
+
+std::string StringValue(const XmlNode* node) {
+  switch (node->kind) {
+    case NodeKind::kAttr:
+    case NodeKind::kText:
+    case NodeKind::kComment:
+    case NodeKind::kPi:
+      return node->value;
+    default: {
+      std::string out;
+      AppendTextRecursive(node, &out);
+      return out;
+    }
+  }
+}
+
+std::optional<double> DecimalValue(const XmlNode* node) {
+  return ParseDecimal(StringValue(node));
+}
+
+void XmlDocument::RenumberPre() {
+  node_count = Renumber(doc_node.get(), 0, 0);
+}
+
+Result<std::unique_ptr<XmlDocument>> ParseDom(const std::string& uri,
+                                              std::string_view text,
+                                              const ParseOptions& options) {
+  DomBuilder builder(uri);
+  XQJG_RETURN_NOT_OK(ParseXml(text, &builder, options));
+  return builder.Finish();
+}
+
+std::unique_ptr<XmlNode> TableToDom(const DocTable& table, int64_t pre) {
+  auto node = std::make_unique<XmlNode>();
+  node->kind = table.kind(pre);
+  node->name = table.name(pre);
+  node->level = static_cast<int32_t>(table.level(pre));
+  node->pre = pre;
+  node->subtree_size = table.size(pre);
+  if (node->kind == NodeKind::kAttr || node->kind == NodeKind::kText) {
+    node->value = table.value(pre);
+    return node;
+  }
+  int64_t child = pre + 1;
+  const int64_t end = pre + table.size(pre);
+  while (child <= end) {
+    auto sub = TableToDom(table, child);
+    sub->parent = node.get();
+    if (sub->kind == NodeKind::kAttr) {
+      node->attrs.push_back(std::move(sub));
+    } else {
+      node->children.push_back(std::move(sub));
+    }
+    child += table.size(child) + 1;
+  }
+  return node;
+}
+
+}  // namespace xqjg::xml

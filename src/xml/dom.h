@@ -1,0 +1,69 @@
+// Native in-memory XML node tree.
+//
+// This is the document representation of the pureXML™-style native engine
+// (src/native/): documents are stored as node trees and queried by tree
+// traversal (XSCAN), exactly like the paper's comparator system. It also
+// backs the reference XQuery interpreter used for differential testing.
+#ifndef XQJG_XML_DOM_H_
+#define XQJG_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/xml/infoset.h"
+#include "src/xml/parser.h"
+
+namespace xqjg::xml {
+
+/// One node of the native tree. Attribute nodes live in `attrs` of their
+/// owner element; all other children in `children`.
+struct XmlNode {
+  NodeKind kind = NodeKind::kElem;
+  std::string name;   ///< tag / attribute name; URI for the DOC node
+  std::string value;  ///< attribute value or text content
+  XmlNode* parent = nullptr;
+  std::vector<std::unique_ptr<XmlNode>> attrs;
+  std::vector<std::unique_ptr<XmlNode>> children;
+
+  /// Document-order rank within the owning document (DOC node = 0);
+  /// assigned by ParseDom / XmlDocument::RenumberPre.
+  int64_t pre = 0;
+  int64_t subtree_size = 0;  ///< number of nodes below this one
+  int32_t level = 0;
+
+  bool IsElement(std::string_view tag) const {
+    return kind == NodeKind::kElem && name == tag;
+  }
+};
+
+/// Untyped string value of a node [XQuery §3.5.2]: concatenation of all
+/// descendant text for elements/documents, `value` for attributes/text.
+std::string StringValue(const XmlNode* node);
+
+/// Typed-decimal view of StringValue; nullopt when the cast fails.
+std::optional<double> DecimalValue(const XmlNode* node);
+
+/// A parsed document: DOC node plus bookkeeping.
+struct XmlDocument {
+  std::string uri;
+  std::unique_ptr<XmlNode> doc_node;
+  int64_t node_count = 0;
+
+  /// Reassigns pre/subtree_size/level in document order (after mutation).
+  void RenumberPre();
+};
+
+/// Parses `text` into a native tree with URI `uri`.
+Result<std::unique_ptr<XmlDocument>> ParseDom(const std::string& uri,
+                                              std::string_view text,
+                                              const ParseOptions& options = {});
+
+/// Converts a DocTable subtree rooted at `pre` into a native tree fragment.
+std::unique_ptr<XmlNode> TableToDom(const DocTable& table, int64_t pre);
+
+}  // namespace xqjg::xml
+
+#endif  // XQJG_XML_DOM_H_

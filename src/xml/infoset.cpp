@@ -1,0 +1,85 @@
+#include "src/xml/infoset.h"
+
+#include "src/common/str.h"
+
+namespace xqjg::xml {
+
+const char* NodeKindToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDoc:
+      return "DOC";
+    case NodeKind::kElem:
+      return "ELEM";
+    case NodeKind::kAttr:
+      return "ATTR";
+    case NodeKind::kText:
+      return "TEXT";
+    case NodeKind::kComment:
+      return "COMM";
+    case NodeKind::kPi:
+      return "PI";
+  }
+  return "?";
+}
+
+void DocTable::AppendRow(int64_t size, int64_t level, NodeKind kind,
+                         std::string name, std::string value, bool has_value,
+                         int64_t parent, int64_t root) {
+  pre_size_.push_back(size);
+  parent_.push_back(parent);
+  root_.push_back(root);
+  level_.push_back(static_cast<int32_t>(level));
+  kind_.push_back(kind);
+  name_.push_back(std::move(name));
+  has_value_.push_back(has_value ? 1 : 0);
+  if (has_value) {
+    auto dec = ParseDecimal(value);
+    data_.push_back(dec.value_or(0.0));
+    has_data_.push_back(dec.has_value() ? 1 : 0);
+  } else {
+    data_.push_back(0.0);
+    has_data_.push_back(0);
+  }
+  value_.push_back(std::move(value));
+}
+
+void DocTable::SetValue(int64_t pre, std::string value) {
+  auto dec = ParseDecimal(value);
+  data_[pre] = dec.value_or(0.0);
+  has_data_[pre] = dec.has_value() ? 1 : 0;
+  has_value_[pre] = 1;
+  value_[pre] = std::move(value);
+}
+
+DocRow DocTable::Row(int64_t pre) const {
+  DocRow row;
+  row.pre = pre;
+  row.size = pre_size_[pre];
+  row.level = level_[pre];
+  row.parent = parent_[pre];
+  row.root = root_[pre];
+  row.kind = kind_[pre];
+  row.name = name_[pre];
+  row.value = value_[pre];
+  row.has_value = has_value_[pre] != 0;
+  row.data = data_[pre];
+  row.has_data = has_data_[pre] != 0;
+  return row;
+}
+
+Result<int64_t> DocTable::FindDocument(const std::string& uri) const {
+  for (int64_t pre = 0; pre < row_count(); ++pre) {
+    if (kind_[pre] == NodeKind::kDoc && name_[pre] == uri) return pre;
+  }
+  return Status::NotFound("document not loaded: " + uri);
+}
+
+std::vector<int64_t> DocTable::DocumentRoots() const {
+  std::vector<int64_t> roots;
+  for (int64_t pre = 0; pre < row_count(); ++pre) {
+    if (kind_[pre] == NodeKind::kDoc) roots.push_back(pre);
+  }
+  return roots;
+}
+
+}  // namespace xqjg::xml

@@ -1,0 +1,124 @@
+// Tabular XML infoset encoding (paper Fig. 2).
+//
+// Each XML node occupies one row of the `doc` table:
+//   pre    unique document-order rank (key)
+//   size   number of nodes in the subtree below the node
+//   level  length of the path to the node's document root
+//   kind   DOC / ELEM / ATTR / TEXT / COMM / PI
+//   name   tag or attribute name; for DOC rows the document URI
+//   value  untyped string value for nodes with size <= 1
+//   data   result of casting `value` to xs:decimal, when that cast succeeds
+//
+// Encoding extensions: we additionally keep
+//   parent  pre rank of the parent node (-1 for DOC rows) — pre/size/level
+//           alone cannot express the sibling axes as a predicate between
+//           two rows; with `parent`, following-sibling becomes
+//           `parent = parent° AND pre > pre°`, still join-graph material;
+//   root    pre rank of the owning document's DOC row — bounds the
+//           following/preceding axes when one table hosts several trees.
+//
+// One DocTable may host several documents ("multiple occurrences of DOC in
+// column kind"), distinguished by their URIs.
+#ifndef XQJG_XML_INFOSET_H_
+#define XQJG_XML_INFOSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace xqjg::xml {
+
+/// XML node kinds stored in the `kind` column.
+enum class NodeKind : uint8_t {
+  kDoc = 0,
+  kElem = 1,
+  kAttr = 2,
+  kText = 3,
+  kComment = 4,
+  kPi = 5,
+};
+
+/// Renders a NodeKind the way the paper prints it ("DOC", "ELEM", ...).
+const char* NodeKindToString(NodeKind kind);
+
+/// One row of the doc table; used for row-at-a-time access and tests.
+struct DocRow {
+  int64_t pre = 0;
+  int64_t size = 0;
+  int64_t level = 0;
+  int64_t parent = -1;
+  int64_t root = 0;
+  NodeKind kind = NodeKind::kElem;
+  std::string name;
+  std::string value;
+  bool has_value = false;
+  double data = 0.0;
+  bool has_data = false;
+};
+
+/// \brief Columnar pre/size/level encoding of one or more XML documents.
+///
+/// Rows are stored in document order; `pre` equals the row position, which
+/// makes pre-based point access O(1).
+class DocTable {
+ public:
+  int64_t row_count() const { return static_cast<int64_t>(pre_size_.size()); }
+
+  /// Appends a row; `pre` is implied by the current row count.
+  void AppendRow(int64_t size, int64_t level, NodeKind kind,
+                 std::string name, std::string value, bool has_value,
+                 int64_t parent = -1, int64_t root = 0);
+
+  /// Patches `size` of an existing row (used by the single-pass builder).
+  void SetSize(int64_t pre, int64_t size) { pre_size_[pre] = size; }
+  /// Patches `value`/`data` of an existing row.
+  void SetValue(int64_t pre, std::string value);
+
+  int64_t size(int64_t pre) const { return pre_size_[pre]; }
+  int64_t level(int64_t pre) const { return level_[pre]; }
+  NodeKind kind(int64_t pre) const { return kind_[pre]; }
+  const std::string& name(int64_t pre) const { return name_[pre]; }
+  const std::string& value(int64_t pre) const { return value_[pre]; }
+  bool has_value(int64_t pre) const { return has_value_[pre] != 0; }
+  double data(int64_t pre) const { return data_[pre]; }
+  bool has_data(int64_t pre) const { return has_data_[pre] != 0; }
+
+  /// Materializes one row (tests / debugging).
+  DocRow Row(int64_t pre) const;
+
+  /// Pre rank of the DOC row whose URI is `uri`, or error if absent.
+  Result<int64_t> FindDocument(const std::string& uri) const;
+
+  /// Pre ranks of all DOC rows, in document order.
+  std::vector<int64_t> DocumentRoots() const;
+
+  /// True iff `descendant` lies in the subtree below `ancestor`
+  /// (pre interval containment, Fig. 3).
+  bool IsDescendant(int64_t ancestor, int64_t descendant) const {
+    return ancestor < descendant && descendant <= ancestor + size(ancestor);
+  }
+
+  /// Parent pre rank of `pre`, or -1 for DOC rows. O(1).
+  int64_t Parent(int64_t pre) const { return parent_[pre]; }
+
+  /// Pre rank of the owning document's DOC row. O(1).
+  int64_t Root(int64_t pre) const { return root_[pre]; }
+
+ private:
+  std::vector<int64_t> pre_size_;
+  std::vector<int64_t> parent_;
+  std::vector<int64_t> root_;
+  std::vector<int32_t> level_;
+  std::vector<NodeKind> kind_;
+  std::vector<std::string> name_;
+  std::vector<std::string> value_;
+  std::vector<uint8_t> has_value_;
+  std::vector<double> data_;
+  std::vector<uint8_t> has_data_;
+};
+
+}  // namespace xqjg::xml
+
+#endif  // XQJG_XML_INFOSET_H_

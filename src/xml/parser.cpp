@@ -1,0 +1,348 @@
+#include "src/xml/parser.h"
+
+#include <cctype>
+
+#include "src/common/str.h"
+
+namespace xqjg::xml {
+namespace {
+
+/// Hand-written recursive-descent scanner over the XML text.
+class XmlScanner {
+ public:
+  XmlScanner(std::string_view text, ContentHandler* handler,
+             const ParseOptions& options)
+      : text_(text), handler_(handler), options_(options) {}
+
+  Status Run() {
+    SkipProlog();
+    SkipMisc();
+    if (Eof()) return Err("document has no root element");
+    XQJG_RETURN_NOT_OK(ParseElement());
+    SkipMisc();
+    if (!Eof()) return Err("trailing content after root element");
+    if (depth_ != 0) return Err("unbalanced element nesting");
+    return Status::OK();
+  }
+
+ private:
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Lookahead(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+  void SkipWs() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  Status Err(const std::string& msg) const {
+    // Report 1-based line numbers for usable diagnostics.
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::ParseError(StrPrintf("line %zu: %s", line, msg.c_str()));
+  }
+
+  void SkipProlog() {
+    SkipWs();
+    if (Lookahead("<?xml")) {
+      size_t end = text_.find("?>", pos_);
+      pos_ = (end == std::string_view::npos) ? text_.size() : end + 2;
+    }
+  }
+
+  // Skips comments, PIs, DOCTYPE, and whitespace between markup.
+  void SkipMisc() {
+    while (true) {
+      SkipWs();
+      if (Lookahead("<!--")) {
+        size_t end = text_.find("-->", pos_);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+      } else if (Lookahead("<?")) {
+        size_t end = text_.find("?>", pos_);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 2;
+      } else if (Lookahead("<!DOCTYPE")) {
+        size_t end = text_.find('>', pos_);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (Eof() || !IsNameStart(Peek())) return Err("expected XML name");
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Status DecodeEntities(std::string_view raw, std::string* out) {
+    out->reserve(out->size() + raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out->push_back(raw[i]);
+        ++i;
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) return Err("unterminated entity");
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") *out += '&';
+      else if (ent == "lt") *out += '<';
+      else if (ent == "gt") *out += '>';
+      else if (ent == "quot") *out += '"';
+      else if (ent == "apos") *out += '\'';
+      else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        // UTF-8 encode the code point.
+        if (code < 0x80) {
+          *out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          *out += static_cast<char>(0xC0 | (code >> 6));
+          *out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          *out += static_cast<char>(0xE0 | (code >> 12));
+          *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          *out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+      } else {
+        return Err("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi + 1;
+    }
+    return Status::OK();
+  }
+
+  Status ParseAttributes(
+      std::vector<std::pair<std::string, std::string>>* attrs) {
+    while (true) {
+      SkipWs();
+      if (Eof()) return Err("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') return Status::OK();
+      XQJG_ASSIGN_OR_RETURN(std::string name, ParseName());
+      SkipWs();
+      if (Eof() || Peek() != '=') return Err("expected '=' after attribute");
+      ++pos_;
+      SkipWs();
+      if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+        return Err("expected quoted attribute value");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!Eof() && Peek() != quote) ++pos_;
+      if (Eof()) return Err("unterminated attribute value");
+      std::string value;
+      XQJG_RETURN_NOT_OK(
+          DecodeEntities(text_.substr(start, pos_ - start), &value));
+      ++pos_;
+      attrs->emplace_back(std::move(name), std::move(value));
+    }
+  }
+
+  Status ParseElement() {
+    // Caller guarantees Peek() == '<'.
+    ++pos_;
+    XQJG_ASSIGN_OR_RETURN(std::string name, ParseName());
+    std::vector<std::pair<std::string, std::string>> attrs;
+    XQJG_RETURN_NOT_OK(ParseAttributes(&attrs));
+    if (Peek() == '/') {
+      ++pos_;
+      if (Eof() || Peek() != '>') return Err("expected '>' in empty tag");
+      ++pos_;
+      handler_->StartElement(name, attrs);
+      handler_->EndElement();
+      return Status::OK();
+    }
+    ++pos_;  // consume '>'
+    handler_->StartElement(name, attrs);
+    ++depth_;
+    XQJG_RETURN_NOT_OK(ParseContent(name));
+    --depth_;
+    handler_->EndElement();
+    return Status::OK();
+  }
+
+  void EmitText(std::string text) {
+    if (options_.strip_whitespace) {
+      std::string_view trimmed = Trim(text);
+      if (trimmed.empty()) return;
+      text = std::string(trimmed);
+    }
+    handler_->Text(text);
+  }
+
+  Status ParseContent(const std::string& open_name) {
+    std::string pending_text;
+    auto flush = [&] {
+      if (!pending_text.empty()) {
+        EmitText(std::move(pending_text));
+        pending_text.clear();
+      }
+    };
+    while (true) {
+      if (Eof()) return Err("unexpected end inside <" + open_name + ">");
+      if (Peek() == '<') {
+        if (Lookahead("</")) {
+          flush();
+          pos_ += 2;
+          XQJG_ASSIGN_OR_RETURN(std::string name, ParseName());
+          if (name != open_name) {
+            return Err("mismatched close tag </" + name + "> for <" +
+                       open_name + ">");
+          }
+          SkipWs();
+          if (Eof() || Peek() != '>') return Err("expected '>' in close tag");
+          ++pos_;
+          return Status::OK();
+        }
+        if (Lookahead("<!--")) {
+          flush();
+          size_t end = text_.find("-->", pos_);
+          if (end == std::string_view::npos) return Err("unterminated comment");
+          if (options_.keep_comments_and_pis) {
+            handler_->Comment(std::string(text_.substr(pos_ + 4, end - pos_ - 4)));
+          }
+          pos_ = end + 3;
+          continue;
+        }
+        if (Lookahead("<![CDATA[")) {
+          size_t end = text_.find("]]>", pos_);
+          if (end == std::string_view::npos) return Err("unterminated CDATA");
+          pending_text += text_.substr(pos_ + 9, end - pos_ - 9);
+          pos_ = end + 3;
+          continue;
+        }
+        if (Lookahead("<?")) {
+          flush();
+          size_t end = text_.find("?>", pos_);
+          if (end == std::string_view::npos) return Err("unterminated PI");
+          pos_ = end + 2;
+          continue;
+        }
+        flush();
+        XQJG_RETURN_NOT_OK(ParseElement());
+        continue;
+      }
+      size_t next = text_.find_first_of('<', pos_);
+      if (next == std::string_view::npos) next = text_.size();
+      XQJG_RETURN_NOT_OK(
+          DecodeEntities(text_.substr(pos_, next - pos_), &pending_text));
+      pos_ = next;
+    }
+  }
+
+  std::string_view text_;
+  ContentHandler* handler_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+/// ContentHandler that appends the pre/size/level encoding to a DocTable.
+class DocTableBuilder : public ContentHandler {
+ public:
+  DocTableBuilder(DocTable* table, const std::string& uri) : table_(table) {
+    const int64_t pre = table_->row_count();
+    frames_.push_back({pre, 0, -1});
+    table_->AppendRow(/*size=*/0, /*level=*/0, NodeKind::kDoc, uri, "",
+                      /*has_value=*/false, /*parent=*/-1, /*root=*/pre);
+  }
+
+  void StartElement(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& attrs) override {
+    const int64_t level = static_cast<int64_t>(frames_.size());
+    const int64_t pre = table_->row_count();
+    const int64_t root = frames_.front().pre;
+    table_->AppendRow(0, level, NodeKind::kElem, name, "", false,
+                      frames_.back().pre, root);
+    for (const auto& [aname, avalue] : attrs) {
+      table_->AppendRow(0, level + 1, NodeKind::kAttr, aname, avalue, true,
+                        pre, root);
+    }
+    frames_.push_back({pre, 0, -1});
+  }
+
+  void EndElement() override {
+    Frame frame = frames_.back();
+    frames_.pop_back();
+    const int64_t size = table_->row_count() - frame.pre - 1;
+    table_->SetSize(frame.pre, size);
+    // Elements with size <= 1 expose their untyped string value through the
+    // value/data columns (paper §II-A); with size <= 1 the only possible
+    // text content is a single direct text child.
+    if (size <= 1) {
+      table_->SetValue(frame.pre,
+                       frame.text_child >= 0
+                           ? table_->value(frame.text_child)
+                           : std::string());
+    }
+  }
+
+  void Text(const std::string& text) override {
+    const int64_t level = static_cast<int64_t>(frames_.size());
+    const int64_t pre = table_->row_count();
+    table_->AppendRow(0, level, NodeKind::kText, "", text, true,
+                      frames_.back().pre, frames_.front().pre);
+    frames_.back().text_child = pre;
+  }
+
+  void Finish() {
+    Frame doc = frames_.front();
+    table_->SetSize(doc.pre, table_->row_count() - doc.pre - 1);
+  }
+
+ private:
+  struct Frame {
+    int64_t pre;
+    int64_t n_children;
+    int64_t text_child;  // pre of a direct text child, -1 if none
+  };
+  DocTable* table_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace
+
+Status ParseXml(std::string_view text, ContentHandler* handler,
+                const ParseOptions& options) {
+  XmlScanner scanner(text, handler, options);
+  return scanner.Run();
+}
+
+Status LoadDocument(DocTable* table, const std::string& uri,
+                    std::string_view text, const ParseOptions& options) {
+  // Parse into a scratch table first so a parse error cannot leave `table`
+  // half-populated.
+  DocTable scratch;
+  DocTableBuilder builder(&scratch, uri);
+  XQJG_RETURN_NOT_OK(ParseXml(text, &builder, options));
+  builder.Finish();
+  const int64_t base = table->row_count();
+  for (int64_t pre = 0; pre < scratch.row_count(); ++pre) {
+    DocRow row = scratch.Row(pre);
+    table->AppendRow(row.size, row.level, row.kind, std::move(row.name),
+                     std::move(row.value), row.has_value,
+                     row.parent < 0 ? -1 : row.parent + base,
+                     row.root + base);
+  }
+  return Status::OK();
+}
+
+}  // namespace xqjg::xml

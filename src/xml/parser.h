@@ -1,0 +1,61 @@
+// Single-pass XML parser for the XQJG document substrate.
+//
+// The parser supports the XML subset the paper's workloads need: elements,
+// attributes, character data, CDATA sections, comments, processing
+// instructions, and the five predefined entities plus numeric character
+// references. DTDs and namespaces are out of scope (neither XMark nor the
+// DBLP-style workloads require them).
+//
+// Parsing is event-driven (SAX style); two builders sit on top:
+//   * LoadDocument  — appends the pre/size/level encoding to a DocTable
+//   * (src/xml/dom.h) ParseDom — builds the native node tree
+#ifndef XQJG_XML_PARSER_H_
+#define XQJG_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/xml/infoset.h"
+
+namespace xqjg::xml {
+
+/// Receives parse events in document order.
+class ContentHandler {
+ public:
+  virtual ~ContentHandler() = default;
+  virtual void StartElement(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& attrs) = 0;
+  virtual void EndElement() = 0;
+  virtual void Text(const std::string& text) = 0;
+  virtual void Comment(const std::string& text) { (void)text; }
+  virtual void ProcessingInstruction(const std::string& target,
+                                     const std::string& body) {
+    (void)target;
+    (void)body;
+  }
+};
+
+struct ParseOptions {
+  /// Drop whitespace-only text nodes and trim mixed-content boundaries;
+  /// matches the whitespace handling behind the paper's Fig. 2 encoding.
+  bool strip_whitespace = true;
+  /// Emit Comment / ProcessingInstruction events (off: skipped entirely).
+  bool keep_comments_and_pis = false;
+};
+
+/// Runs the parser over `text`, delivering events to `handler`.
+Status ParseXml(std::string_view text, ContentHandler* handler,
+                const ParseOptions& options = {});
+
+/// Parses `text` and appends its pre/size/level encoding to `table` with a
+/// DOC row named `uri`. On error the table is left unmodified.
+Status LoadDocument(DocTable* table, const std::string& uri,
+                    std::string_view text, const ParseOptions& options = {});
+
+}  // namespace xqjg::xml
+
+#endif  // XQJG_XML_PARSER_H_

@@ -1,0 +1,128 @@
+#include "src/xml/serializer.h"
+
+#include "src/common/str.h"
+
+namespace xqjg::xml {
+namespace {
+
+void SerializeTableNode(const DocTable& table, int64_t pre, std::string* out) {
+  switch (table.kind(pre)) {
+    case NodeKind::kText:
+      *out += XmlEscapeText(table.value(pre));
+      return;
+    case NodeKind::kAttr:
+      *out += table.name(pre);
+      *out += "=\"";
+      *out += XmlEscapeAttr(table.value(pre));
+      *out += "\"";
+      return;
+    case NodeKind::kComment:
+      *out += "<!--" + table.value(pre) + "-->";
+      return;
+    case NodeKind::kPi:
+      *out += "<?" + table.name(pre) + "?>";
+      return;
+    case NodeKind::kDoc: {
+      int64_t child = pre + 1;
+      const int64_t end = pre + table.size(pre);
+      while (child <= end) {
+        SerializeTableNode(table, child, out);
+        child += table.size(child) + 1;
+      }
+      return;
+    }
+    case NodeKind::kElem:
+      break;
+  }
+  *out += "<" + table.name(pre);
+  const int64_t end = pre + table.size(pre);
+  int64_t child = pre + 1;
+  // Attributes come first in pre order, directly after their element.
+  while (child <= end && table.kind(child) == NodeKind::kAttr) {
+    *out += " " + table.name(child) + "=\"" +
+            XmlEscapeAttr(table.value(child)) + "\"";
+    ++child;
+  }
+  if (child > end) {
+    *out += "/>";
+    return;
+  }
+  *out += ">";
+  while (child <= end) {
+    SerializeTableNode(table, child, out);
+    child += table.size(child) + 1;
+  }
+  *out += "</" + table.name(pre) + ">";
+}
+
+void SerializeDomNode(const XmlNode* node, std::string* out) {
+  switch (node->kind) {
+    case NodeKind::kText:
+      *out += XmlEscapeText(node->value);
+      return;
+    case NodeKind::kAttr:
+      *out += node->name + "=\"" + XmlEscapeAttr(node->value) + "\"";
+      return;
+    case NodeKind::kComment:
+      *out += "<!--" + node->value + "-->";
+      return;
+    case NodeKind::kPi:
+      *out += "<?" + node->name + "?>";
+      return;
+    case NodeKind::kDoc:
+      for (const auto& child : node->children) {
+        SerializeDomNode(child.get(), out);
+      }
+      return;
+    case NodeKind::kElem:
+      break;
+  }
+  *out += "<" + node->name;
+  for (const auto& attr : node->attrs) {
+    *out += " " + attr->name + "=\"" + XmlEscapeAttr(attr->value) + "\"";
+  }
+  if (node->children.empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += ">";
+  for (const auto& child : node->children) {
+    SerializeDomNode(child.get(), out);
+  }
+  *out += "</" + node->name + ">";
+}
+
+}  // namespace
+
+std::string SerializeSubtree(const DocTable& table, int64_t pre) {
+  std::string out;
+  SerializeTableNode(table, pre, &out);
+  return out;
+}
+
+std::string SerializeSequence(const DocTable& table,
+                              const std::vector<int64_t>& pres) {
+  std::string out;
+  for (size_t i = 0; i < pres.size(); ++i) {
+    if (i > 0) out += "\n";
+    SerializeTableNode(table, pres[i], &out);
+  }
+  return out;
+}
+
+std::string SerializeSubtree(const XmlNode* node) {
+  std::string out;
+  SerializeDomNode(node, &out);
+  return out;
+}
+
+std::string SerializeSequence(const std::vector<const XmlNode*>& nodes) {
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += "\n";
+    SerializeDomNode(nodes[i], &out);
+  }
+  return out;
+}
+
+}  // namespace xqjg::xml

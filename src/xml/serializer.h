@@ -1,0 +1,29 @@
+// XML serialization: turns doc-table subtrees or native tree fragments back
+// into XML text (the final stage of query evaluation, paper §II-A).
+#ifndef XQJG_XML_SERIALIZER_H_
+#define XQJG_XML_SERIALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/xml/dom.h"
+#include "src/xml/infoset.h"
+
+namespace xqjg::xml {
+
+/// Serializes the subtree rooted at `pre` (a table scan in pre order).
+/// Attribute nodes render as `name="value"`, text nodes as escaped text.
+std::string SerializeSubtree(const DocTable& table, int64_t pre);
+
+/// Serializes an XQuery result sequence: each node's subtree in order,
+/// separated by newlines (the canonical form our tests compare against).
+std::string SerializeSequence(const DocTable& table,
+                              const std::vector<int64_t>& pres);
+
+/// Native-tree counterparts (used by the native engine / interpreter).
+std::string SerializeSubtree(const XmlNode* node);
+std::string SerializeSequence(const std::vector<const XmlNode*>& nodes);
+
+}  // namespace xqjg::xml
+
+#endif  // XQJG_XML_SERIALIZER_H_

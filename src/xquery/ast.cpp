@@ -1,0 +1,359 @@
+#include "src/xquery/ast.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/str.h"
+
+namespace xqjg::xquery {
+
+const char* AxisToString(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kAttribute:
+      return "attribute";
+  }
+  return "?";
+}
+
+bool IsForwardAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kPreceding:
+    case Axis::kPrecedingSibling:
+      return false;
+    default:
+      return true;
+  }
+}
+
+Axis DualAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return Axis::kParent;
+    case Axis::kParent:
+      return Axis::kChild;
+    case Axis::kDescendant:
+      return Axis::kAncestor;
+    case Axis::kAncestor:
+      return Axis::kDescendant;
+    case Axis::kDescendantOrSelf:
+      return Axis::kAncestorOrSelf;
+    case Axis::kAncestorOrSelf:
+      return Axis::kDescendantOrSelf;
+    case Axis::kFollowing:
+      return Axis::kPreceding;
+    case Axis::kPreceding:
+      return Axis::kFollowing;
+    case Axis::kFollowingSibling:
+      return Axis::kPrecedingSibling;
+    case Axis::kPrecedingSibling:
+      return Axis::kFollowingSibling;
+    case Axis::kSelf:
+      return Axis::kSelf;
+    case Axis::kAttribute:
+      return Axis::kAttribute;  // owner relationship handled separately
+  }
+  return axis;
+}
+
+std::string NodeTest::ToString() const {
+  switch (kind) {
+    case TestKind::kName:
+      return name;
+    case TestKind::kWildcard:
+      return "*";
+    case TestKind::kAnyNode:
+      return "node()";
+    case TestKind::kText:
+      return "text()";
+    case TestKind::kElement:
+      return name.empty() ? "element()" : "element(" + name + ")";
+    case TestKind::kAttribute:
+      return name.empty() ? "attribute()" : "attribute(" + name + ")";
+    case TestKind::kComment:
+      return "comment()";
+    case TestKind::kPi:
+      return "processing-instruction()";
+  }
+  return "?";
+}
+
+const char* CompOpToString(CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return "=";
+    case CompOp::kNe:
+      return "!=";
+    case CompOp::kLt:
+      return "<";
+    case CompOp::kLe:
+      return "<=";
+    case CompOp::kGt:
+      return ">";
+    case CompOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ExprKindToString(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kFor:
+      return "for";
+    case ExprKind::kLet:
+      return "let";
+    case ExprKind::kVar:
+      return "var";
+    case ExprKind::kIf:
+      return "if";
+    case ExprKind::kDoc:
+      return "doc";
+    case ExprKind::kStep:
+      return "step";
+    case ExprKind::kComp:
+      return "comp";
+    case ExprKind::kNumLit:
+      return "numlit";
+    case ExprKind::kStrLit:
+      return "strlit";
+    case ExprKind::kEmptySeq:
+      return "empty";
+    case ExprKind::kPredicate:
+      return "predicate";
+    case ExprKind::kAnd:
+      return "and";
+    case ExprKind::kContextItem:
+      return "context-item";
+    case ExprKind::kRoot:
+      return "root";
+    case ExprKind::kDdo:
+      return "fs:ddo";
+    case ExprKind::kEbv:
+      return "fn:boolean";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kFor:
+      return "for $" + var + " in " + a->ToString() + " return " +
+             b->ToString();
+    case ExprKind::kLet:
+      return "let $" + var + " := " + a->ToString() + " return " +
+             b->ToString();
+    case ExprKind::kVar:
+      return "$" + var;
+    case ExprKind::kIf:
+      return "if (" + a->ToString() + ") then " + b->ToString() + " else ()";
+    case ExprKind::kDoc:
+      return "doc(\"" + str + "\")";
+    case ExprKind::kStep:
+      return a->ToString() + "/" + std::string(AxisToString(axis)) + "::" +
+             test.ToString();
+    case ExprKind::kComp:
+      return a->ToString() + " " + CompOpToString(op) + " " + b->ToString();
+    case ExprKind::kNumLit:
+      return FormatDecimal(num);
+    case ExprKind::kStrLit:
+      return "\"" + str + "\"";
+    case ExprKind::kEmptySeq:
+      return "()";
+    case ExprKind::kPredicate:
+      return a->ToString() + "[" + b->ToString() + "]";
+    case ExprKind::kAnd:
+      return a->ToString() + " and " + b->ToString();
+    case ExprKind::kContextItem:
+      return ".";
+    case ExprKind::kRoot:
+      return "/";
+    case ExprKind::kDdo:
+      return "fs:ddo(" + a->ToString() + ")";
+    case ExprKind::kEbv:
+      return "fn:boolean(" + a->ToString() + ")";
+  }
+  return "?";
+}
+
+namespace {
+std::shared_ptr<Expr> New(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+}  // namespace
+
+ExprPtr MakeFor(std::string var, ExprPtr in, ExprPtr ret) {
+  auto e = New(ExprKind::kFor);
+  e->var = std::move(var);
+  e->a = std::move(in);
+  e->b = std::move(ret);
+  return e;
+}
+
+ExprPtr MakeLet(std::string var, ExprPtr value, ExprPtr ret) {
+  auto e = New(ExprKind::kLet);
+  e->var = std::move(var);
+  e->a = std::move(value);
+  e->b = std::move(ret);
+  return e;
+}
+
+ExprPtr MakeVar(std::string var) {
+  auto e = New(ExprKind::kVar);
+  e->var = std::move(var);
+  return e;
+}
+
+ExprPtr MakeIf(ExprPtr cond, ExprPtr then_branch) {
+  auto e = New(ExprKind::kIf);
+  e->a = std::move(cond);
+  e->b = std::move(then_branch);
+  return e;
+}
+
+ExprPtr MakeDoc(std::string uri) {
+  auto e = New(ExprKind::kDoc);
+  e->str = std::move(uri);
+  return e;
+}
+
+ExprPtr MakeStep(ExprPtr input, Axis axis, NodeTest test) {
+  auto e = New(ExprKind::kStep);
+  e->a = std::move(input);
+  e->axis = axis;
+  e->test = std::move(test);
+  return e;
+}
+
+ExprPtr MakeComp(ExprPtr lhs, CompOp op, ExprPtr rhs) {
+  auto e = New(ExprKind::kComp);
+  e->a = std::move(lhs);
+  e->op = op;
+  e->b = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeNumLit(double value) {
+  auto e = New(ExprKind::kNumLit);
+  e->num = value;
+  return e;
+}
+
+ExprPtr MakeStrLit(std::string value) {
+  auto e = New(ExprKind::kStrLit);
+  e->str = std::move(value);
+  return e;
+}
+
+ExprPtr MakeEmptySeq() { return New(ExprKind::kEmptySeq); }
+
+ExprPtr MakePredicate(ExprPtr input, ExprPtr pred) {
+  auto e = New(ExprKind::kPredicate);
+  e->a = std::move(input);
+  e->b = std::move(pred);
+  return e;
+}
+
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs) {
+  auto e = New(ExprKind::kAnd);
+  e->a = std::move(lhs);
+  e->b = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeContextItem() { return New(ExprKind::kContextItem); }
+ExprPtr MakeRoot() { return New(ExprKind::kRoot); }
+
+ExprPtr MakeDdo(ExprPtr input) {
+  auto e = New(ExprKind::kDdo);
+  e->a = std::move(input);
+  return e;
+}
+
+ExprPtr MakeEbv(ExprPtr input) {
+  auto e = New(ExprKind::kEbv);
+  e->a = std::move(input);
+  return e;
+}
+
+bool IsCore(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kPredicate:
+    case ExprKind::kAnd:
+    case ExprKind::kContextItem:
+    case ExprKind::kRoot:
+      return false;
+    case ExprKind::kIf:
+      // Core conditions are fn:boolean(...) or a general comparison.
+      if (e.a->kind != ExprKind::kEbv && e.a->kind != ExprKind::kComp) {
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  if (e.a && !IsCore(*e.a)) return false;
+  if (e.b && !IsCore(*e.b)) return false;
+  return true;
+}
+
+namespace {
+void CollectFree(const Expr& e, std::set<std::string>* bound,
+                 std::vector<std::string>* out,
+                 std::set<std::string>* seen) {
+  switch (e.kind) {
+    case ExprKind::kVar:
+      if (!bound->count(e.var) && !seen->count(e.var)) {
+        seen->insert(e.var);
+        out->push_back(e.var);
+      }
+      return;
+    case ExprKind::kFor:
+    case ExprKind::kLet: {
+      CollectFree(*e.a, bound, out, seen);
+      const bool inserted = bound->insert(e.var).second;
+      CollectFree(*e.b, bound, out, seen);
+      if (inserted) bound->erase(e.var);
+      return;
+    }
+    default:
+      if (e.a) CollectFree(*e.a, bound, out, seen);
+      if (e.b) CollectFree(*e.b, bound, out, seen);
+  }
+}
+}  // namespace
+
+std::vector<std::string> FreeVariables(const Expr& e) {
+  std::set<std::string> bound;
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  CollectFree(e, &bound, &out, &seen);
+  return out;
+}
+
+}  // namespace xqjg::xquery

@@ -1,0 +1,142 @@
+// Abstract syntax for the XQuery fragment of paper Fig. 1 plus the
+// extensions the paper's evaluation uses (let, where, predicates,
+// conjunction, abbreviated steps, node-node general comparisons).
+//
+// The same Expr type represents both the surface syntax produced by the
+// parser and the XQuery Core form produced by Normalize() (src/xquery/
+// normalize.h); Core restricts the constructor set (see IsCore()).
+#ifndef XQJG_XQUERY_AST_H_
+#define XQJG_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace xqjg::xquery {
+
+/// The 12 XPath axes (full axis feature, paper §I).
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kSelf,
+  kFollowing,
+  kFollowingSibling,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kPreceding,
+  kPrecedingSibling,
+  kAttribute,
+};
+
+const char* AxisToString(Axis axis);
+
+/// True for axes that advance in document order (the reverse axes are
+/// parent, ancestor, ancestor-or-self, preceding, preceding-sibling).
+bool IsForwardAxis(Axis axis);
+
+/// The dual of an axis under the pre/size interval encoding
+/// (descendant <-> ancestor, child <-> parent, following <-> preceding, ...);
+/// self is its own dual. Used by the engine's axis-reversal tests.
+Axis DualAxis(Axis axis);
+
+/// XPath node tests.
+enum class TestKind {
+  kName,      ///< name test: `bidder`, `*` uses kWildcard
+  kWildcard,  ///< `*` (principal node kind of the axis)
+  kAnyNode,   ///< node()
+  kText,      ///< text()
+  kElement,   ///< element() / element(n)
+  kAttribute, ///< attribute() / attribute(n)
+  kComment,   ///< comment()
+  kPi,        ///< processing-instruction()
+};
+
+struct NodeTest {
+  TestKind kind = TestKind::kName;
+  std::string name;  ///< set for kName / kElement(n) / kAttribute(n)
+
+  std::string ToString() const;
+};
+
+/// General comparison operators (grammar rule [60]).
+enum class CompOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompOpToString(CompOp op);  ///< "=", "!=", ...
+
+enum class ExprKind {
+  // ---- shared between surface and Core ----
+  kFor,          ///< for $var in `a` return `b`
+  kLet,          ///< let $var := `a` return `b`
+  kVar,          ///< $var
+  kIf,           ///< if (`a`) then `b` else ()   (else branch fixed to ())
+  kDoc,          ///< doc("str")
+  kStep,         ///< `a` / axis::test
+  kComp,         ///< `a` op `b`  (b literal or expression)
+  kNumLit,       ///< numeric literal (comparison operand only)
+  kStrLit,       ///< string literal  (comparison operand only)
+  kEmptySeq,     ///< ()
+  // ---- surface only (removed by Normalize) ----
+  kPredicate,    ///< `a` [ `b` ]
+  kAnd,          ///< `a` and `b` (condition position only)
+  kContextItem,  ///< `.` / implicit leading step context
+  kRoot,         ///< leading "/" or "//" of an absolute path
+  // ---- Core only (introduced by Normalize) ----
+  kDdo,          ///< fs:ddo(`a`)  — distinct-doc-order
+  kEbv,          ///< fn:boolean(`a`) — effective boolean value
+};
+
+const char* ExprKindToString(ExprKind kind);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// One AST node. Immutable after construction (normalization builds new
+/// trees rather than mutating).
+struct Expr {
+  ExprKind kind;
+  std::string var;   ///< kFor/kLet/kVar: variable QName (without '$')
+  std::string str;   ///< kDoc: URI; kStrLit: value
+  double num = 0.0;  ///< kNumLit
+  Axis axis = Axis::kChild;  ///< kStep
+  NodeTest test;             ///< kStep
+  CompOp op = CompOp::kEq;   ///< kComp
+  ExprPtr a;  ///< first child (see ExprKind comments)
+  ExprPtr b;  ///< second child
+
+  /// Renders the expression in XQuery-like concrete syntax.
+  std::string ToString() const;
+};
+
+// ---- constructors ----
+ExprPtr MakeFor(std::string var, ExprPtr in, ExprPtr ret);
+ExprPtr MakeLet(std::string var, ExprPtr value, ExprPtr ret);
+ExprPtr MakeVar(std::string var);
+ExprPtr MakeIf(ExprPtr cond, ExprPtr then_branch);
+ExprPtr MakeDoc(std::string uri);
+ExprPtr MakeStep(ExprPtr input, Axis axis, NodeTest test);
+ExprPtr MakeComp(ExprPtr lhs, CompOp op, ExprPtr rhs);
+ExprPtr MakeNumLit(double value);
+ExprPtr MakeStrLit(std::string value);
+ExprPtr MakeEmptySeq();
+ExprPtr MakePredicate(ExprPtr input, ExprPtr pred);
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeContextItem();
+ExprPtr MakeRoot();
+ExprPtr MakeDdo(ExprPtr input);
+ExprPtr MakeEbv(ExprPtr input);
+
+/// True iff `e` uses only the Core constructor subset (post-normalization
+/// invariant checked by the compiler).
+bool IsCore(const Expr& e);
+
+/// Free variables of `e` (used by tests and the compiler's environment
+/// plumbing).
+std::vector<std::string> FreeVariables(const Expr& e);
+
+}  // namespace xqjg::xquery
+
+#endif  // XQJG_XQUERY_AST_H_

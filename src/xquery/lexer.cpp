@@ -1,0 +1,238 @@
+#include "src/xquery/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/str.h"
+
+namespace xqjg::xquery {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kName: return "name";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kString: return "string";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kSlashSlash: return "'//'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kAxisSep: return "'::'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kAssign: return "':='";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEof: return "end of query";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// QName characters; ':' is handled separately so '::' stays a token.
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = query.size();
+  auto err = [&](const std::string& msg) {
+    return Status::ParseError(StrPrintf("offset %zu: %s", i, msg.c_str()));
+  };
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Nestable XQuery comments "(: ... :)".
+    if (c == '(' && i + 1 < n && query[i + 1] == ':') {
+      int depth = 1;
+      i += 2;
+      while (i < n && depth > 0) {
+        if (query[i] == '(' && i + 1 < n && query[i + 1] == ':') {
+          ++depth;
+          i += 2;
+        } else if (query[i] == ':' && i + 1 < n && query[i + 1] == ')') {
+          --depth;
+          i += 2;
+        } else {
+          ++i;
+        }
+      }
+      if (depth > 0) return err("unterminated comment");
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    switch (c) {
+      case '/':
+        if (i + 1 < n && query[i + 1] == '/') {
+          tok.kind = TokenKind::kSlashSlash;
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kSlash;
+          ++i;
+        }
+        break;
+      case '(':
+        tok.kind = TokenKind::kLParen;
+        ++i;
+        break;
+      case ')':
+        tok.kind = TokenKind::kRParen;
+        ++i;
+        break;
+      case '[':
+        tok.kind = TokenKind::kLBracket;
+        ++i;
+        break;
+      case ']':
+        tok.kind = TokenKind::kRBracket;
+        ++i;
+        break;
+      case '@':
+        tok.kind = TokenKind::kAt;
+        ++i;
+        break;
+      case ',':
+        tok.kind = TokenKind::kComma;
+        ++i;
+        break;
+      case '*':
+        tok.kind = TokenKind::kStar;
+        ++i;
+        break;
+      case '=':
+        tok.kind = TokenKind::kEq;
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && query[i + 1] == '=') {
+          tok.kind = TokenKind::kNe;
+          i += 2;
+        } else {
+          return err("stray '!'");
+        }
+        break;
+      case '<':
+        if (i + 1 < n && query[i + 1] == '=') {
+          tok.kind = TokenKind::kLe;
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && query[i + 1] == '=') {
+          tok.kind = TokenKind::kGe;
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kGt;
+          ++i;
+        }
+        break;
+      case ':':
+        if (i + 1 < n && query[i + 1] == ':') {
+          tok.kind = TokenKind::kAxisSep;
+          i += 2;
+        } else if (i + 1 < n && query[i + 1] == '=') {
+          tok.kind = TokenKind::kAssign;
+          i += 2;
+        } else {
+          return err("stray ':'");
+        }
+        break;
+      case '$': {
+        ++i;
+        if (i >= n || !IsNameStart(query[i])) {
+          return err("expected variable name after '$'");
+        }
+        size_t start = i;
+        while (i < n && IsNameChar(query[i])) ++i;
+        // Allow one ':' for prefixed names like $fs:dot.
+        if (i < n && query[i] == ':' && i + 1 < n && IsNameStart(query[i + 1]) &&
+            query[i + 1] != ':') {
+          ++i;
+          while (i < n && IsNameChar(query[i])) ++i;
+        }
+        tok.kind = TokenKind::kVariable;
+        tok.text = std::string(query.substr(start, i - start));
+        break;
+      }
+      case '"':
+      case '\'': {
+        char quote = c;
+        ++i;
+        std::string value;
+        while (i < n && query[i] != quote) {
+          value += query[i];
+          ++i;
+        }
+        if (i >= n) return err("unterminated string literal");
+        ++i;
+        tok.kind = TokenKind::kString;
+        tok.text = std::move(value);
+        break;
+      }
+      case '.': {
+        if (i + 1 < n && std::isdigit(static_cast<unsigned char>(query[i + 1]))) {
+          // fallthrough to number handling below
+        } else {
+          tok.kind = TokenKind::kDot;
+          ++i;
+          break;
+        }
+        [[fallthrough]];
+      }
+      default: {
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+          size_t start = i;
+          while (i < n && (std::isdigit(static_cast<unsigned char>(query[i])) ||
+                           query[i] == '.')) {
+            ++i;
+          }
+          tok.kind = TokenKind::kNumber;
+          tok.text = std::string(query.substr(start, i - start));
+          auto num = ParseDecimal(tok.text);
+          if (!num) return err("malformed numeric literal " + tok.text);
+          tok.num = *num;
+        } else if (IsNameStart(c)) {
+          size_t start = i;
+          while (i < n && IsNameChar(query[i])) ++i;
+          tok.kind = TokenKind::kName;
+          tok.text = std::string(query.substr(start, i - start));
+        } else {
+          return err(StrPrintf("unexpected character '%c'", c));
+        }
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.offset = n;
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace xqjg::xquery

@@ -1,0 +1,53 @@
+// Tokenizer for the XQuery fragment.
+#ifndef XQJG_XQUERY_LEXER_H_
+#define XQJG_XQUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace xqjg::xquery {
+
+enum class TokenKind {
+  kName,        // QName (also keywords; keyword-ness is contextual in XQuery)
+  kVariable,    // $name
+  kString,      // "..." or '...'
+  kNumber,      // 123, 4.5
+  kSlash,       // /
+  kSlashSlash,  // //
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kAxisSep,     // ::
+  kAt,          // @
+  kComma,       // ,
+  kDot,         // .
+  kStar,        // *
+  kAssign,      // :=
+  kEq,          // =
+  kNe,          // !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kEof,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // name / string value / number text
+  double num = 0.0;   // kNumber
+  size_t offset = 0;  // byte offset into the query text (diagnostics)
+};
+
+/// Tokenizes `query`. XQuery comments `(: ... :)` (nestable) are skipped.
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace xqjg::xquery
+
+#endif  // XQJG_XQUERY_LEXER_H_

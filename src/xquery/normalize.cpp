@@ -1,0 +1,144 @@
+#include "src/xquery/normalize.h"
+
+#include "src/common/str.h"
+
+namespace xqjg::xquery {
+namespace {
+
+class Normalizer {
+ public:
+  explicit Normalizer(const NormalizeOptions& options) : options_(options) {}
+
+  Result<ExprPtr> Norm(const ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::kFor: {
+        XQJG_ASSIGN_OR_RETURN(ExprPtr in, Norm(e->a));
+        XQJG_ASSIGN_OR_RETURN(ExprPtr ret, Norm(e->b));
+        return MakeFor(e->var, std::move(in), std::move(ret));
+      }
+      case ExprKind::kLet: {
+        XQJG_ASSIGN_OR_RETURN(ExprPtr value, Norm(e->a));
+        XQJG_ASSIGN_OR_RETURN(ExprPtr ret, Norm(e->b));
+        return MakeLet(e->var, std::move(value), std::move(ret));
+      }
+      case ExprKind::kVar:
+      case ExprKind::kDoc:
+      case ExprKind::kEmptySeq:
+        return e;
+      case ExprKind::kIf: {
+        XQJG_ASSIGN_OR_RETURN(ExprPtr then_branch, Norm(e->b));
+        return NormCondition(e->a, std::move(then_branch));
+      }
+      case ExprKind::kStep:
+        return NormStep(e);
+      case ExprKind::kPredicate: {
+        XQJG_ASSIGN_OR_RETURN(ExprPtr input, Norm(e->a));
+        std::string dot = FreshDot();
+        dots_.push_back(dot);
+        auto then_branch = MakeVar(dot);
+        auto norm_if = NormCondition(e->b, std::move(then_branch));
+        dots_.pop_back();
+        if (!norm_if.ok()) return norm_if.status();
+        return MakeFor(dot, std::move(input), std::move(norm_if).value());
+      }
+      case ExprKind::kContextItem:
+        if (!dots_.empty()) return MakeVar(dots_.back());
+        [[fallthrough]];
+      case ExprKind::kRoot:
+        if (options_.context_document.empty()) {
+          return Status::InvalidArgument(
+              "absolute path or '.' used but no context document configured");
+        }
+        return MakeDoc(options_.context_document);
+      case ExprKind::kComp:
+        return Status::NotSupported(
+            "general comparison used outside a condition position");
+      case ExprKind::kAnd:
+        return Status::NotSupported(
+            "'and' used outside a condition position");
+      case ExprKind::kNumLit:
+      case ExprKind::kStrLit:
+        return Status::NotSupported(
+            "literal used outside a comparison operand position");
+      case ExprKind::kDdo:
+      case ExprKind::kEbv:
+        // Already Core (idempotent normalization).
+        {
+          XQJG_ASSIGN_OR_RETURN(ExprPtr inner, Norm(e->a));
+          return e->kind == ExprKind::kDdo ? MakeDdo(std::move(inner))
+                                           : MakeEbv(std::move(inner));
+        }
+    }
+    return Status::Internal("unhandled expression kind in Normalize");
+  }
+
+ private:
+  std::string FreshDot() {
+    return StrPrintf("fs:dot%d", ++dot_counter_);
+  }
+
+  // Step normalization: fs:ddo around the step; `//name` (i.e.
+  // descendant-or-self::node()/child::name) fuses to descendant::name.
+  Result<ExprPtr> NormStep(const ExprPtr& e) {
+    const Expr* input = e->a.get();
+    const bool fuse =
+        e->axis == Axis::kChild && input->kind == ExprKind::kStep &&
+        input->axis == Axis::kDescendantOrSelf &&
+        input->test.kind == TestKind::kAnyNode;
+    if (fuse) {
+      XQJG_ASSIGN_OR_RETURN(ExprPtr base, Norm(input->a));
+      return MakeDdo(MakeStep(std::move(base), Axis::kDescendant, e->test));
+    }
+    XQJG_ASSIGN_OR_RETURN(ExprPtr base, Norm(e->a));
+    return MakeDdo(MakeStep(std::move(base), e->axis, e->test));
+  }
+
+  // Builds `if (C') then then_branch else ()` with C' in Core form;
+  // conjunctions become nested ifs.
+  Result<ExprPtr> NormCondition(const ExprPtr& cond, ExprPtr then_branch) {
+    switch (cond->kind) {
+      case ExprKind::kAnd: {
+        XQJG_ASSIGN_OR_RETURN(ExprPtr inner,
+                              NormCondition(cond->b, std::move(then_branch)));
+        return NormCondition(cond->a, std::move(inner));
+      }
+      case ExprKind::kComp: {
+        XQJG_ASSIGN_OR_RETURN(ExprPtr lhs, NormOperand(cond->a));
+        XQJG_ASSIGN_OR_RETURN(ExprPtr rhs, NormOperand(cond->b));
+        return MakeIf(MakeComp(std::move(lhs), cond->op, std::move(rhs)),
+                      std::move(then_branch));
+      }
+      default: {
+        // Existential condition over a node sequence: fn:boolean(fs:ddo(..)).
+        XQJG_ASSIGN_OR_RETURN(ExprPtr seq, Norm(cond));
+        return MakeIf(MakeEbv(std::move(seq)), std::move(then_branch));
+      }
+    }
+  }
+
+  Result<ExprPtr> NormOperand(const ExprPtr& e) {
+    if (e->kind == ExprKind::kNumLit || e->kind == ExprKind::kStrLit) {
+      return e;
+    }
+    return Norm(e);
+  }
+
+  NormalizeOptions options_;
+  std::vector<std::string> dots_;
+  int dot_counter_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> Normalize(const ExprPtr& expr,
+                          const NormalizeOptions& options) {
+  Normalizer normalizer(options);
+  XQJG_ASSIGN_OR_RETURN(ExprPtr core, normalizer.Norm(expr));
+  if (!IsCore(*core)) {
+    return Status::Internal("normalization produced a non-Core expression: " +
+                            core->ToString());
+  }
+  return core;
+}
+
+}  // namespace xqjg::xquery

@@ -1,0 +1,39 @@
+// XQuery Core normalization (paper §II-C, [8 §4.2.1, §3.4.3]).
+//
+// Rewrites the surface AST into the Core form the loop-lifting compiler
+// expects:
+//   * every XPath location step is wrapped in fs:ddo(...) — document order
+//     and duplicate removal made explicit,
+//   * conditional expressions compute effective boolean values explicitly
+//     (fn:boolean), with general comparisons kept as-is,
+//   * predicates  e[p]  desugar to
+//       for $fs:dotN in e return if (p') then $fs:dotN else (),
+//   * `and` conjunctions desugar to nested ifs,
+//   * `//` over a name test fuses to a descendant step,
+//   * absolute paths and query-level context items resolve to
+//     doc(<context document>).
+#ifndef XQJG_XQUERY_NORMALIZE_H_
+#define XQJG_XQUERY_NORMALIZE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/xquery/ast.h"
+
+namespace xqjg::xquery {
+
+struct NormalizeOptions {
+  /// URI substituted for absolute paths ("/site/...") and query-level
+  /// context items. May stay empty for queries that name their documents
+  /// via doc(...).
+  std::string context_document;
+};
+
+/// Normalizes a surface AST into XQuery Core; the result satisfies
+/// IsCore().
+Result<ExprPtr> Normalize(const ExprPtr& expr,
+                          const NormalizeOptions& options = {});
+
+}  // namespace xqjg::xquery
+
+#endif  // XQJG_XQUERY_NORMALIZE_H_

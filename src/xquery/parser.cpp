@@ -1,0 +1,362 @@
+#include "src/xquery/parser.h"
+
+#include <vector>
+
+#include "src/common/str.h"
+#include "src/xquery/lexer.h"
+
+namespace xqjg::xquery {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Run() {
+    XQJG_ASSIGN_OR_RETURN(ExprPtr e, ParseExprSingle());
+    if (!AtEof()) {
+      return Err("trailing tokens after expression");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  bool AtEof() const { return Peek().kind == TokenKind::kEof; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+  bool MatchName(std::string_view word) {
+    if (Peek().kind != TokenKind::kName || Peek().text != word) return false;
+    ++pos_;
+    return true;
+  }
+  bool PeekName(std::string_view word, size_t ahead = 0) const {
+    return Peek(ahead).kind == TokenKind::kName && Peek(ahead).text == word;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StrPrintf("offset %zu: %s", Peek().offset, msg.c_str()));
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Err(StrPrintf("expected %s, found %s", TokenKindToString(kind),
+                           TokenKindToString(Peek().kind)));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  // ExprSingle := FLWOR | IfExpr | Comparison
+  Result<ExprPtr> ParseExprSingle() {
+    if (PeekName("for") || PeekName("let")) return ParseFlwor();
+    if (PeekName("if") && Peek(1).kind == TokenKind::kLParen) {
+      return ParseIf();
+    }
+    return ParseComparison();
+  }
+
+  // FLWOR := (for-clause | let-clause)+ ('where' Cond)? 'return' ExprSingle
+  Result<ExprPtr> ParseFlwor() {
+    struct Binding {
+      bool is_let;
+      std::string var;
+      ExprPtr expr;
+    };
+    std::vector<Binding> bindings;
+    while (true) {
+      if (MatchName("for")) {
+        do {
+          if (Peek().kind != TokenKind::kVariable) {
+            return Err("expected $variable in for clause");
+          }
+          std::string var = Advance().text;
+          if (!MatchName("in")) return Err("expected 'in' in for clause");
+          XQJG_ASSIGN_OR_RETURN(ExprPtr in, ParseExprSingle());
+          bindings.push_back({false, std::move(var), std::move(in)});
+        } while (Match(TokenKind::kComma));
+      } else if (MatchName("let")) {
+        do {
+          if (Peek().kind != TokenKind::kVariable) {
+            return Err("expected $variable in let clause");
+          }
+          std::string var = Advance().text;
+          XQJG_RETURN_NOT_OK(Expect(TokenKind::kAssign));
+          XQJG_ASSIGN_OR_RETURN(ExprPtr value, ParseExprSingle());
+          bindings.push_back({true, std::move(var), std::move(value)});
+        } while (Match(TokenKind::kComma));
+      } else {
+        break;
+      }
+    }
+    ExprPtr where;
+    if (MatchName("where")) {
+      XQJG_ASSIGN_OR_RETURN(where, ParseCondition());
+    }
+    if (!MatchName("return")) return Err("expected 'return' in FLWOR");
+    XQJG_ASSIGN_OR_RETURN(ExprPtr body, ParseExprSingle());
+    if (where) body = MakeIf(std::move(where), std::move(body));
+    // Innermost binding wraps the body first.
+    for (auto it = bindings.rbegin(); it != bindings.rend(); ++it) {
+      body = it->is_let ? MakeLet(it->var, it->expr, std::move(body))
+                        : MakeFor(it->var, it->expr, std::move(body));
+    }
+    return body;
+  }
+
+  // IfExpr := 'if' '(' Cond ')' 'then' ExprSingle 'else' '(' ')'
+  Result<ExprPtr> ParseIf() {
+    MatchName("if");
+    XQJG_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    XQJG_ASSIGN_OR_RETURN(ExprPtr cond, ParseCondition());
+    XQJG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    if (!MatchName("then")) return Err("expected 'then'");
+    XQJG_ASSIGN_OR_RETURN(ExprPtr then_branch, ParseExprSingle());
+    if (!MatchName("else")) return Err("expected 'else'");
+    if (!Match(TokenKind::kLParen) || !Match(TokenKind::kRParen)) {
+      return Status::NotSupported(
+          "the fragment requires the else branch to be the empty sequence ()");
+    }
+    return MakeIf(std::move(cond), std::move(then_branch));
+  }
+
+  // Condition := Comparison ('and' Comparison)*
+  Result<ExprPtr> ParseCondition() {
+    XQJG_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (PeekName("and")) {
+      MatchName("and");
+      XQJG_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      lhs = MakeAnd(std::move(lhs), std::move(rhs));
+    }
+    if (PeekName("or")) {
+      return Status::NotSupported("'or' is outside the implemented fragment");
+    }
+    return lhs;
+  }
+
+  static bool IsCompToken(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static CompOp TokenToCompOp(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kEq:
+        return CompOp::kEq;
+      case TokenKind::kNe:
+        return CompOp::kNe;
+      case TokenKind::kLt:
+        return CompOp::kLt;
+      case TokenKind::kLe:
+        return CompOp::kLe;
+      case TokenKind::kGt:
+        return CompOp::kGt;
+      default:
+        return CompOp::kGe;
+    }
+  }
+
+  // Comparison := Operand (CompOp Operand)?
+  Result<ExprPtr> ParseComparison() {
+    XQJG_ASSIGN_OR_RETURN(ExprPtr lhs, ParseOperand());
+    if (!IsCompToken(Peek().kind)) return lhs;
+    CompOp op = TokenToCompOp(Advance().kind);
+    XQJG_ASSIGN_OR_RETURN(ExprPtr rhs, ParseOperand());
+    return MakeComp(std::move(lhs), op, std::move(rhs));
+  }
+
+  // Operand := Literal | PathExpr
+  Result<ExprPtr> ParseOperand() {
+    if (Peek().kind == TokenKind::kNumber) {
+      return MakeNumLit(Advance().num);
+    }
+    if (Peek().kind == TokenKind::kString) {
+      return MakeStrLit(Advance().text);
+    }
+    return ParsePath();
+  }
+
+  // PathExpr := ('/' | '//')? Primary? (('/' | '//') Step | Predicate)*
+  Result<ExprPtr> ParsePath() {
+    ExprPtr current;
+    if (Peek().kind == TokenKind::kSlash) {
+      Advance();
+      current = MakeRoot();
+      if (!StartsStep()) return current;  // bare "/"
+      XQJG_ASSIGN_OR_RETURN(current, ParseStep(std::move(current)));
+    } else if (Peek().kind == TokenKind::kSlashSlash) {
+      Advance();
+      current = MakeStep(MakeRoot(), Axis::kDescendantOrSelf,
+                         NodeTest{TestKind::kAnyNode, ""});
+      XQJG_ASSIGN_OR_RETURN(current, ParseStep(std::move(current)));
+    } else {
+      XQJG_ASSIGN_OR_RETURN(current, ParsePrimary());
+    }
+    while (true) {
+      if (Match(TokenKind::kSlash)) {
+        XQJG_ASSIGN_OR_RETURN(current, ParseStep(std::move(current)));
+      } else if (Match(TokenKind::kSlashSlash)) {
+        current = MakeStep(std::move(current), Axis::kDescendantOrSelf,
+                           NodeTest{TestKind::kAnyNode, ""});
+        XQJG_ASSIGN_OR_RETURN(current, ParseStep(std::move(current)));
+      } else if (Match(TokenKind::kLBracket)) {
+        if (Peek().kind == TokenKind::kNumber) {
+          return Status::NotSupported(
+              "positional predicates are outside the implemented fragment");
+        }
+        XQJG_ASSIGN_OR_RETURN(ExprPtr pred, ParseCondition());
+        XQJG_RETURN_NOT_OK(Expect(TokenKind::kRBracket));
+        current = MakePredicate(std::move(current), std::move(pred));
+      } else {
+        break;
+      }
+    }
+    return current;
+  }
+
+  // Primary := doc("uri") | $var | '.' | '(' ')' | '(' Expr ')' | Step
+  Result<ExprPtr> ParsePrimary() {
+    if (PeekName("doc") && Peek(1).kind == TokenKind::kLParen) {
+      MatchName("doc");
+      Match(TokenKind::kLParen);
+      if (Peek().kind != TokenKind::kString) {
+        return Err("doc() expects a string literal URI");
+      }
+      std::string uri = Advance().text;
+      XQJG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      return MakeDoc(std::move(uri));
+    }
+    if (Peek().kind == TokenKind::kVariable) {
+      return MakeVar(Advance().text);
+    }
+    if (Match(TokenKind::kDot)) {
+      return MakeContextItem();
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      if (Match(TokenKind::kRParen)) return MakeEmptySeq();
+      XQJG_ASSIGN_OR_RETURN(ExprPtr inner, ParseExprSingle());
+      if (Peek().kind == TokenKind::kComma) {
+        return Status::NotSupported(
+            "sequence construction (e1, e2) is outside the implemented "
+            "fragment");
+      }
+      XQJG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      return inner;
+    }
+    if (StartsStep()) {
+      // Relative path: an implicit context-item step.
+      return ParseStep(MakeContextItem());
+    }
+    return Err(StrPrintf("unexpected %s", TokenKindToString(Peek().kind)));
+  }
+
+  bool StartsStep() const {
+    switch (Peek().kind) {
+      case TokenKind::kName:
+      case TokenKind::kAt:
+      case TokenKind::kStar:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static std::optional<Axis> AxisFromName(const std::string& name) {
+    if (name == "child") return Axis::kChild;
+    if (name == "descendant") return Axis::kDescendant;
+    if (name == "descendant-or-self") return Axis::kDescendantOrSelf;
+    if (name == "self") return Axis::kSelf;
+    if (name == "following") return Axis::kFollowing;
+    if (name == "following-sibling") return Axis::kFollowingSibling;
+    if (name == "parent") return Axis::kParent;
+    if (name == "ancestor") return Axis::kAncestor;
+    if (name == "ancestor-or-self") return Axis::kAncestorOrSelf;
+    if (name == "preceding") return Axis::kPreceding;
+    if (name == "preceding-sibling") return Axis::kPrecedingSibling;
+    if (name == "attribute") return Axis::kAttribute;
+    return std::nullopt;
+  }
+
+  // Step := '@' (Name | '*') | Axis '::' NodeTest | NodeTest
+  Result<ExprPtr> ParseStep(ExprPtr input) {
+    if (Match(TokenKind::kAt)) {
+      if (Match(TokenKind::kStar)) {
+        return MakeStep(std::move(input), Axis::kAttribute,
+                        NodeTest{TestKind::kWildcard, ""});
+      }
+      if (Peek().kind != TokenKind::kName) {
+        return Err("expected attribute name after '@'");
+      }
+      return MakeStep(std::move(input), Axis::kAttribute,
+                      NodeTest{TestKind::kName, Advance().text});
+    }
+    Axis axis = Axis::kChild;
+    if (Peek().kind == TokenKind::kName &&
+        Peek(1).kind == TokenKind::kAxisSep) {
+      auto named = AxisFromName(Peek().text);
+      if (!named) return Err("unknown axis '" + Peek().text + "'");
+      axis = *named;
+      Advance();
+      Advance();
+    }
+    XQJG_ASSIGN_OR_RETURN(NodeTest test, ParseNodeTest());
+    if (axis == Axis::kAttribute && test.kind == TestKind::kName) {
+      // attribute::n keeps the name test; principal node kind is attribute.
+    }
+    return MakeStep(std::move(input), axis, std::move(test));
+  }
+
+  Result<NodeTest> ParseNodeTest() {
+    if (Match(TokenKind::kStar)) return NodeTest{TestKind::kWildcard, ""};
+    if (Peek().kind != TokenKind::kName) {
+      return Err("expected node test");
+    }
+    std::string name = Advance().text;
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      std::string arg;
+      if (Peek().kind == TokenKind::kName) arg = Advance().text;
+      XQJG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      if (name == "node") return NodeTest{TestKind::kAnyNode, ""};
+      if (name == "text") return NodeTest{TestKind::kText, ""};
+      if (name == "element") return NodeTest{TestKind::kElement, arg};
+      if (name == "attribute") return NodeTest{TestKind::kAttribute, arg};
+      if (name == "comment") return NodeTest{TestKind::kComment, ""};
+      if (name == "processing-instruction") return NodeTest{TestKind::kPi, ""};
+      return Err("unknown kind test '" + name + "()'");
+    }
+    return NodeTest{TestKind::kName, std::move(name)};
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> Parse(std::string_view query) {
+  XQJG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace xqjg::xquery

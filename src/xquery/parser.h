@@ -1,0 +1,21 @@
+// Recursive-descent parser for the XQuery fragment (paper Fig. 1 plus the
+// evaluation section's extensions: let, where, multi-binding FLWOR,
+// predicates, `and` conjunction, abbreviated steps `//` `@`, absolute
+// paths, and node-node general comparisons).
+#ifndef XQJG_XQUERY_PARSER_H_
+#define XQJG_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/xquery/ast.h"
+
+namespace xqjg::xquery {
+
+/// Parses `query` into a surface AST. Expressions outside the fragment
+/// produce Status::NotSupported with a pointer to the offending construct.
+Result<ExprPtr> Parse(std::string_view query);
+
+}  // namespace xqjg::xquery
+
+#endif  // XQJG_XQUERY_PARSER_H_

@@ -1,0 +1,99 @@
+// Common substrate: Value semantics, string helpers, Status plumbing.
+#include <gtest/gtest.h>
+
+#include "src/common/status.h"
+#include "src/common/str.h"
+#include "src/common/value.h"
+
+namespace xqjg {
+namespace {
+
+TEST(Value, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(5).Compare(Value::Double(5.0)), 0);
+  EXPECT_EQ(Value::Int(5).Compare(Value::Double(5.5)), -1);
+  EXPECT_EQ(Value::Double(6.0).Compare(Value::Int(5)), 1);
+  EXPECT_TRUE(Value::Int(5) == Value::Double(5.0));
+  // equal values must hash equally (hash join correctness)
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+}
+
+TEST(Value, NullComparisonsAreUnknown) {
+  EXPECT_EQ(Value::Null().Compare(Value::Int(1)), Value::kNullCmp);
+  EXPECT_EQ(Value::Int(1).Compare(Value::Null()), Value::kNullCmp);
+  EXPECT_TRUE(Value::Null() == Value::Null());  // grouping semantics
+  EXPECT_FALSE(Value::Null() == Value::Int(0));
+}
+
+TEST(Value, SortOrderIsTotal) {
+  std::vector<Value> values = {Value::String("b"), Value::Int(2),
+                               Value::Null(), Value::Double(1.5),
+                               Value::String("a")};
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) { return a.SortLess(b); });
+  EXPECT_TRUE(values[0].is_null());
+  EXPECT_DOUBLE_EQ(values[1].AsDouble(), 1.5);
+  EXPECT_EQ(values[2].AsInt(), 2);
+  EXPECT_EQ(values[3].AsString(), "a");
+  EXPECT_EQ(values[4].AsString(), "b");
+}
+
+TEST(Str, ParseDecimalAcceptsAndRejects) {
+  EXPECT_DOUBLE_EQ(*ParseDecimal("15"), 15.0);
+  EXPECT_DOUBLE_EQ(*ParseDecimal(" 4.20 "), 4.2);
+  EXPECT_DOUBLE_EQ(*ParseDecimal("-3.5e2"), -350.0);
+  EXPECT_FALSE(ParseDecimal("18:43").has_value());
+  EXPECT_FALSE(ParseDecimal("").has_value());
+  EXPECT_FALSE(ParseDecimal("12abc").has_value());
+  EXPECT_FALSE(ParseDecimal("nan").has_value());
+}
+
+TEST(Str, FormatDecimalRoundTrips) {
+  EXPECT_EQ(FormatDecimal(15.0), "15");
+  EXPECT_EQ(FormatDecimal(4.2), "4.2");
+  for (double d : {0.1, 1e-9, 123456.789, -2.5}) {
+    auto parsed = ParseDecimal(FormatDecimal(d));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(*parsed, d);
+  }
+}
+
+TEST(Str, EscapingHelpers) {
+  EXPECT_EQ(XmlEscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(XmlEscapeText("say \"hi\""), "say \"hi\"");
+  EXPECT_EQ(XmlEscapeAttr("say \"hi\""), "say &quot;hi&quot;");
+  EXPECT_EQ(SqlQuote("O'Neil"), "'O''Neil'");
+}
+
+TEST(Str, JoinSplitTrim) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(Status, MacrosPropagate) {
+  auto fails = []() -> Status {
+    XQJG_RETURN_NOT_OK(Status::ParseError("inner"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kParseError);
+  auto assigns = []() -> Result<int> {
+    XQJG_ASSIGN_OR_RETURN(int v, Result<int>(21));
+    return v * 2;
+  };
+  EXPECT_EQ(assigns().value(), 42);
+  auto propagates = []() -> Result<int> {
+    XQJG_ASSIGN_OR_RETURN(int v, Result<int>(Status::NotFound("gone")));
+    return v;
+  };
+  EXPECT_EQ(propagates().status().code(), StatusCode::kNotFound);
+}
+
+TEST(Status, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_EQ(Status::Timeout("budget").ToString(), "Timeout: budget");
+}
+
+}  // namespace
+}  // namespace xqjg

@@ -1,0 +1,120 @@
+// Workload generators: determinism, schema presence, distribution
+// properties the paper's queries rely on.
+#include <gtest/gtest.h>
+
+#include "src/data/dblp.h"
+#include "src/data/xmark.h"
+#include "src/xml/parser.h"
+
+namespace xqjg::data {
+namespace {
+
+TEST(Xmark, DeterministicForSameSeed) {
+  XmarkOptions options;
+  options.scale = 0.1;
+  EXPECT_EQ(GenerateXmark(options), GenerateXmark(options));
+  options.seed = 43;
+  EXPECT_NE(GenerateXmark(options), GenerateXmark({}));
+}
+
+TEST(Xmark, ParsesAndContainsQuerySchema) {
+  XmarkOptions options;
+  options.scale = 0.1;
+  std::string text = GenerateXmark(options);
+  xml::DocTable doc;
+  ASSERT_TRUE(xml::LoadDocument(&doc, "auction.xml", text).ok());
+  std::map<std::string, int> tags;
+  int prices_over_500 = 0;
+  for (int64_t pre = 0; pre < doc.row_count(); ++pre) {
+    if (doc.kind(pre) == xml::NodeKind::kElem) tags[doc.name(pre)]++;
+    if (doc.kind(pre) == xml::NodeKind::kElem && doc.name(pre) == "price" &&
+        doc.has_data(pre) && doc.data(pre) > 500) {
+      ++prices_over_500;
+    }
+  }
+  // Everything Q1-Q4 touches exists.
+  for (const char* tag :
+       {"site", "open_auction", "closed_auction", "bidder", "increase",
+        "price", "itemref", "item", "incategory", "category", "name",
+        "person", "people"}) {
+    EXPECT_GT(tags[tag], 0) << tag;
+  }
+  EXPECT_EQ(tags["open_auction"], options.open_auctions());
+  EXPECT_EQ(tags["closed_auction"], options.closed_auctions());
+  // price > 500 is selective but non-empty at reasonable scales (the Q2
+  // predicate's "only a fraction" property).
+  EXPECT_GT(prices_over_500, 0);
+  EXPECT_LT(prices_over_500, tags["price"] / 2);
+}
+
+TEST(Xmark, ReferentialIntegrityOfItemRefs) {
+  XmarkOptions options;
+  options.scale = 0.05;
+  xml::DocTable doc;
+  ASSERT_TRUE(
+      xml::LoadDocument(&doc, "auction.xml", GenerateXmark(options)).ok());
+  std::set<std::string> item_ids;
+  std::set<std::string> category_ids;
+  std::vector<std::string> itemrefs;
+  std::vector<std::string> incategories;
+  for (int64_t pre = 0; pre < doc.row_count(); ++pre) {
+    if (doc.kind(pre) != xml::NodeKind::kAttr) continue;
+    const std::string& owner = doc.name(doc.Parent(pre));
+    if (doc.name(pre) == "id" && owner == "item") {
+      item_ids.insert(doc.value(pre));
+    }
+    if (doc.name(pre) == "id" && owner == "category") {
+      category_ids.insert(doc.value(pre));
+    }
+    if (doc.name(pre) == "item" && owner == "itemref") {
+      itemrefs.push_back(doc.value(pre));
+    }
+    if (doc.name(pre) == "category" && owner == "incategory") {
+      incategories.push_back(doc.value(pre));
+    }
+  }
+  for (const auto& ref : itemrefs) {
+    EXPECT_TRUE(item_ids.count(ref)) << ref;
+  }
+  for (const auto& ref : incategories) {
+    EXPECT_TRUE(category_ids.count(ref)) << ref;
+  }
+}
+
+TEST(Dblp, ContainsQ5KeyExactlyOnce) {
+  DblpOptions options;
+  options.publications = 500;
+  std::string text = GenerateDblp(options);
+  size_t first = text.find("key=\"conf/vldb2001\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("key=\"conf/vldb2001\"", first + 1),
+            std::string::npos);
+}
+
+TEST(Dblp, HasEarlyThesesForQ6) {
+  DblpOptions options;
+  options.publications = 2000;
+  xml::DocTable doc;
+  ASSERT_TRUE(xml::LoadDocument(&doc, "dblp.xml", GenerateDblp(options)).ok());
+  int theses = 0, early = 0;
+  for (int64_t pre = 0; pre < doc.row_count(); ++pre) {
+    if (doc.kind(pre) != xml::NodeKind::kElem ||
+        doc.name(pre) != "phdthesis") {
+      continue;
+    }
+    ++theses;
+    for (int64_t c = pre + 1; c <= pre + doc.size(pre); ++c) {
+      if (doc.kind(c) == xml::NodeKind::kElem && doc.name(c) == "year" &&
+          doc.value(c) < "1994") {
+        ++early;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(theses, 20);
+  EXPECT_GT(early, 0);
+  EXPECT_LT(early, theses);
+}
+
+}  // namespace
+}  // namespace xqjg::data

@@ -1,0 +1,155 @@
+// Materializing evaluator: operator semantics against hand-computed
+// expectations, NULL handling, RANK tie behavior, limits.
+#include <gtest/gtest.h>
+
+#include "src/engine/algebra_exec.h"
+#include "src/xml/parser.h"
+
+namespace xqjg::engine {
+namespace {
+
+using algebra::CmpOp;
+using algebra::MakeAttach;
+using algebra::MakeCross;
+using algebra::MakeDistinct;
+using algebra::MakeJoin;
+using algebra::MakeLiteral;
+using algebra::MakeProject;
+using algebra::MakeRank;
+using algebra::MakeRowId;
+using algebra::MakeSelect;
+using algebra::OpPtr;
+using algebra::Predicate;
+using algebra::Term;
+
+xml::DocTable EmptyDoc() {
+  xml::DocTable doc;
+  EXPECT_TRUE(xml::LoadDocument(&doc, "x", "<x/>").ok());
+  return doc;
+}
+
+OpPtr Numbers(std::vector<int64_t> values) {
+  std::vector<std::vector<Value>> rows;
+  for (int64_t v : values) rows.push_back({Value::Int(v)});
+  return MakeLiteral({"n"}, std::move(rows));
+}
+
+TEST(AlgebraExec, SelectAndProject) {
+  xml::DocTable doc = EmptyDoc();
+  OpPtr plan = MakeProject(
+      MakeSelect(Numbers({1, 5, 3, 5}),
+                 Predicate::Single(Term::Col("n"), CmpOp::kGe,
+                                   Term::Const(Value::Int(3)))),
+      {{"m", "n"}});
+  auto result = Evaluate(plan, doc);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 3u);
+  EXPECT_EQ(result.value().schema, (std::vector<std::string>{"m"}));
+}
+
+TEST(AlgebraExec, HashJoinAndResidual) {
+  xml::DocTable doc = EmptyDoc();
+  OpPtr left = MakeProject(Numbers({1, 2, 3}), {{"a", "n"}});
+  OpPtr right = MakeProject(Numbers({2, 3, 3, 4}), {{"b", "n"}});
+  Predicate p = Predicate::Single(Term::Col("a"), CmpOp::kEq, Term::Col("b"));
+  auto result = Evaluate(MakeJoin(left, right, p), doc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.size(), 3u);  // (2,2) (3,3) (3,3)
+}
+
+TEST(AlgebraExec, RangeJoinFallsBackToNestedLoop) {
+  xml::DocTable doc = EmptyDoc();
+  OpPtr left = MakeProject(Numbers({1, 4}), {{"a", "n"}});
+  OpPtr right = MakeProject(Numbers({2, 3, 5}), {{"b", "n"}});
+  Predicate p = Predicate::Single(Term::Col("a"), CmpOp::kLt, Term::Col("b"));
+  auto result = Evaluate(MakeJoin(left, right, p), doc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.size(), 4u);  // 1<2,1<3,1<5,4<5
+}
+
+TEST(AlgebraExec, DistinctAndRowId) {
+  xml::DocTable doc = EmptyDoc();
+  auto distinct = Evaluate(MakeDistinct(Numbers({2, 1, 2, 2, 1})), doc);
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct.value().rows.size(), 2u);
+  auto rowid = Evaluate(MakeRowId(Numbers({7, 7, 7}), "id"), doc);
+  ASSERT_TRUE(rowid.ok());
+  std::set<int64_t> ids;
+  for (const auto& row : rowid.value().rows) ids.insert(row[1].AsInt());
+  EXPECT_EQ(ids.size(), 3u) << "row ids must be unique";
+}
+
+TEST(AlgebraExec, RankUsesRankSemanticsWithTies) {
+  xml::DocTable doc = EmptyDoc();
+  auto result = Evaluate(MakeRank(Numbers({30, 10, 30, 20}), "r", {"n"}), doc);
+  ASSERT_TRUE(result.ok());
+  // values 10,20,30,30 -> ranks 1,2,3,3 (ties share; the isolation rules
+  // depend on this, DESIGN.md §5)
+  std::map<int64_t, int64_t> rank_of;
+  for (const auto& row : result.value().rows) {
+    rank_of[row[0].AsInt()] = row[1].AsInt();
+  }
+  EXPECT_EQ(rank_of[10], 1);
+  EXPECT_EQ(rank_of[20], 2);
+  EXPECT_EQ(rank_of[30], 3);
+}
+
+TEST(AlgebraExec, NullComparesFalse) {
+  xml::DocTable doc = EmptyDoc();
+  OpPtr lit = MakeLiteral({"v"}, {{Value::Null()}, {Value::Int(1)}});
+  auto eq = Evaluate(MakeSelect(lit, Predicate::Single(
+                                         Term::Col("v"), CmpOp::kEq,
+                                         Term::Const(Value::Null()))),
+                     doc);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value().rows.empty()) << "NULL = NULL is not true";
+  auto ne = Evaluate(MakeSelect(lit, Predicate::Single(
+                                         Term::Col("v"), CmpOp::kNe,
+                                         Term::Const(Value::Int(0)))),
+                     doc);
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne.value().rows.size(), 1u) << "NULL != 0 is not true either";
+}
+
+TEST(AlgebraExec, TermAdditionMixedTypes) {
+  xml::DocTable doc = EmptyDoc();
+  OpPtr lit = MakeLiteral({"a", "b"},
+                          {{Value::Int(1), Value::Double(2.5)},
+                           {Value::Int(5), Value::Double(0.5)}});
+  auto result = Evaluate(
+      MakeSelect(lit, Predicate::Single(Term::ColSum("a", "b"), CmpOp::kGt,
+                                        Term::Const(Value::Double(4.0)))),
+      doc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.size(), 1u);  // 5 + 0.5 > 4
+}
+
+TEST(AlgebraExec, RowBudgetTriggersDnf) {
+  xml::DocTable doc = EmptyDoc();
+  OpPtr big = Numbers(std::vector<int64_t>(200, 1));
+  OpPtr rebig = MakeProject(big, {{"m", "n"}});
+  OpPtr cross = MakeCross(big, rebig);  // 40000 rows
+  ExecLimits limits;
+  limits.max_intermediate_rows = 1000;
+  auto result = Evaluate(cross, doc, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+}
+
+TEST(AlgebraExec, BuildDocRelationColumns) {
+  xml::DocTable doc;
+  ASSERT_TRUE(
+      xml::LoadDocument(&doc, "d.xml", "<a x=\"3.5\"><b>hi</b></a>").ok());
+  MatTable rel = BuildDocRelation(doc);
+  ASSERT_EQ(rel.schema, algebra::DocColumns());
+  ASSERT_EQ(rel.rows.size(), 5u);  // DOC, a, @x, b, text
+  // @x row: value "3.5", data 3.5
+  const auto& attr = rel.rows[2];
+  EXPECT_EQ(attr[rel.ColumnIndex("value")].AsString(), "3.5");
+  EXPECT_DOUBLE_EQ(attr[rel.ColumnIndex("data")].AsDouble(), 3.5);
+  // element <a> has size 3 and no value (size > 1)
+  EXPECT_TRUE(rel.rows[1][rel.ColumnIndex("value")].is_null());
+}
+
+}  // namespace
+}  // namespace xqjg::engine

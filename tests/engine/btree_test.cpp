@@ -1,0 +1,141 @@
+// B+-tree unit and property tests: every scan is verified against a
+// brute-force reference over the same entries.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/engine/btree.h"
+
+namespace xqjg::engine {
+namespace {
+
+Key K(std::initializer_list<int64_t> vals) {
+  Key key;
+  for (int64_t v : vals) key.push_back(Value::Int(v));
+  return key;
+}
+
+std::vector<int64_t> BruteForce(
+    const std::vector<std::pair<Key, int64_t>>& entries,
+    const KeyRange& range) {
+  std::vector<std::pair<Key, int64_t>> hits;
+  for (const auto& [key, rid] : entries) {
+    if (!range.lower.empty()) {
+      int c = CompareKeyPrefix(range.lower, key);
+      if (c > 0 || (c == 0 && !range.lower_inclusive)) continue;
+    }
+    if (!range.upper.empty()) {
+      int c = CompareKeyPrefix(range.upper, key);
+      if (c < 0 || (c == 0 && !range.upper_inclusive)) continue;
+    }
+    hits.emplace_back(key, rid);
+  }
+  std::stable_sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
+    return CompareKeyPrefix(a.first, b.first) < 0;
+  });
+  std::vector<int64_t> out;
+  for (auto& h : hits) out.push_back(h.second);
+  return out;
+}
+
+TEST(BTree, InsertAndPointLookup) {
+  BTree tree(8);
+  for (int64_t i = 0; i < 500; ++i) {
+    tree.Insert(K({i % 50, i}), i);
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  KeyRange r;
+  r.lower = r.upper = K({7});
+  auto rids = tree.Lookup(r);
+  EXPECT_EQ(rids.size(), 10u);  // 10 entries with first component 7
+  for (int64_t rid : rids) EXPECT_EQ(rid % 50, 7);
+}
+
+TEST(BTree, EmptyTreeScans) {
+  BTree tree;
+  KeyRange r;
+  EXPECT_TRUE(tree.Lookup(r).empty());
+  r.lower = K({1});
+  EXPECT_TRUE(tree.Lookup(r).empty());
+}
+
+TEST(BTree, BulkLoadMatchesInsert) {
+  std::vector<std::pair<Key, int64_t>> entries;
+  for (int64_t i = 0; i < 1000; ++i) entries.emplace_back(K({i / 3, i}), i);
+  BTree bulk(16);
+  bulk.BulkLoad(entries);
+  BTree inserted(16);
+  for (const auto& [k, rid] : entries) inserted.Insert(k, rid);
+  for (int64_t probe = 0; probe < 340; probe += 7) {
+    KeyRange r;
+    r.lower = r.upper = K({probe});
+    EXPECT_EQ(bulk.Lookup(r), inserted.Lookup(r)) << "probe " << probe;
+  }
+}
+
+TEST(BTree, StringKeys) {
+  BTree tree(8);
+  const char* names[] = {"bidder", "item", "price", "open_auction", "name"};
+  for (int64_t i = 0; i < 200; ++i) {
+    tree.Insert({Value::String(names[i % 5]), Value::Int(i)}, i);
+  }
+  KeyRange r;
+  r.lower = r.upper = {Value::String("price")};
+  auto rids = tree.Lookup(r);
+  EXPECT_EQ(rids.size(), 40u);
+  for (int64_t rid : rids) EXPECT_EQ(rid % 5, 2);
+}
+
+class BTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeProperty, RandomRangesMatchBruteForce) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()));
+  std::vector<std::pair<Key, int64_t>> entries;
+  const int n = 500 + GetParam() * 137;
+  for (int64_t i = 0; i < n; ++i) {
+    entries.emplace_back(
+        K({static_cast<int64_t>(rng() % 40), static_cast<int64_t>(rng() % 97),
+           i}),
+        i);
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    int c = CompareKeyPrefix(a.first, b.first);
+    if (c != 0) return c < 0;
+    return a.second < b.second;
+  });
+  BTree tree(4 + GetParam() % 13);
+  tree.BulkLoad(entries);
+  for (int trial = 0; trial < 50; ++trial) {
+    KeyRange r;
+    const int shape = static_cast<int>(rng() % 4);
+    int64_t a = static_cast<int64_t>(rng() % 40);
+    int64_t lo = static_cast<int64_t>(rng() % 97);
+    int64_t hi = lo + static_cast<int64_t>(rng() % 30);
+    switch (shape) {
+      case 0:  // full equality prefix
+        r.lower = r.upper = K({a});
+        break;
+      case 1:  // prefix + range
+        r.lower = K({a, lo});
+        r.upper = K({a, hi});
+        r.lower_inclusive = rng() % 2 == 0;
+        r.upper_inclusive = rng() % 2 == 0;
+        break;
+      case 2:  // one-sided
+        r.lower = K({a, lo});
+        break;
+      default:  // unbounded
+        break;
+    }
+    auto got = tree.Lookup(r);
+    auto want = BruteForce(entries, r);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "trial " << trial << " shape " << shape;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace xqjg::engine

@@ -1,0 +1,178 @@
+// Engine tests: database build/statistics, access-path selection through
+// plans, DP vs greedy agreement, explain rendering, timeouts.
+#include <gtest/gtest.h>
+
+#include "src/compiler/compile.h"
+#include "src/data/xmark.h"
+#include "src/engine/database.h"
+#include "src/engine/planner.h"
+#include "src/opt/isolate.h"
+#include "src/opt/join_graph.h"
+#include "src/xml/parser.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+
+namespace xqjg::engine {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    doc_ = new xml::DocTable();
+    data::XmarkOptions options;
+    options.scale = 0.05;
+    ASSERT_TRUE(xml::LoadDocument(doc_, "auction.xml",
+                                  data::GenerateXmark(options))
+                    .ok());
+    db_ = Database::Build(*doc_).release();
+    for (const auto& def : TableVIIndexes()) {
+      ASSERT_TRUE(db_->CreateIndex(def).ok());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete doc_;
+  }
+
+  static Result<opt::JoinGraph> Graph(const std::string& query) {
+    XQJG_ASSIGN_OR_RETURN(xquery::ExprPtr ast, xquery::Parse(query));
+    xquery::NormalizeOptions nopts;
+    nopts.context_document = "auction.xml";
+    XQJG_ASSIGN_OR_RETURN(xquery::ExprPtr core,
+                          xquery::Normalize(ast, nopts));
+    XQJG_ASSIGN_OR_RETURN(algebra::OpPtr plan, compiler::CompileQuery(core));
+    XQJG_ASSIGN_OR_RETURN(opt::IsolationResult iso, opt::Isolate(plan));
+    return opt::ExtractJoinGraph(iso.isolated);
+  }
+
+  static xml::DocTable* doc_;
+  static Database* db_;
+};
+
+xml::DocTable* PlannerTest::doc_ = nullptr;
+Database* PlannerTest::db_ = nullptr;
+
+TEST_F(PlannerTest, DatabaseStatistics) {
+  EXPECT_EQ(db_->row_count(), doc_->row_count());
+  const ColumnStats& name = db_->Stats(db_->ColumnIndex("name"));
+  EXPECT_GT(name.ndv, 10);
+  // name frequencies are exact
+  ASSERT_TRUE(name.frequent.count("open_auction"));
+  double sel = name.EqSelectivity(Value::String("open_auction"));
+  EXPECT_GT(sel, 0.0);
+  EXPECT_LT(sel, 0.2);
+  // pre is unique
+  const ColumnStats& pre = db_->Stats(db_->ColumnIndex("pre"));
+  EXPECT_EQ(pre.ndv, db_->row_count());
+  EXPECT_LT(pre.RangeSelectivity(Value::Int(0),
+                                 Value::Int(db_->row_count() / 10)),
+            0.25);
+}
+
+TEST_F(PlannerTest, IndexCreationRejectsUnknownColumns) {
+  Database db2;  // empty database
+  (void)db2;
+  auto db = Database::Build(*doc_);
+  EXPECT_FALSE(db->CreateIndex({"bad", {"nonexistent"}, {}, false}).ok());
+  EXPECT_TRUE(db->CreateIndex({"ok", {"name", "pre"}, {}, false}).ok());
+  EXPECT_EQ(db->indexes().size(), 1u);
+  EXPECT_EQ(db->indexes()[0]->tree.size(),
+            static_cast<size_t>(doc_->row_count()));
+}
+
+TEST_F(PlannerTest, SelectiveQueryStartsAtValueIndex) {
+  auto graph = Graph("//person[@id = \"person0\"]/name");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  auto plan = PlanJoinGraph(graph.value(), *db_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string explain = ExplainPlan(plan.value());
+  // The @id test must be served by an index probe (value-prefixed vnlkp
+  // or owner-resolving qnkp, depending on estimated selectivities) — not
+  // by a table scan.
+  EXPECT_TRUE(explain.find("vnlkp") != std::string::npos ||
+              explain.find("qnkp") != std::string::npos)
+      << explain;
+  EXPECT_EQ(explain.find("TBSCAN"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("SORT (distinct)"), std::string::npos);
+}
+
+TEST_F(PlannerTest, DpAndGreedyAndSyntacticAgreeOnResults) {
+  const char* queries[] = {
+      "//open_auction[bidder]",
+      "//closed_auction[price > 100]/price",
+      "//item[incategory]/name",
+  };
+  for (const char* q : queries) {
+    SCOPED_TRACE(q);
+    auto graph = Graph(q);
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+    auto dp_plan = PlanJoinGraph(graph.value(), *db_);
+    ASSERT_TRUE(dp_plan.ok());
+    auto dp_result = ExecutePlan(dp_plan.value(), *db_);
+    ASSERT_TRUE(dp_result.ok());
+
+    PlannerOptions syntactic;
+    syntactic.syntactic_order = true;
+    auto naive_plan = PlanJoinGraph(graph.value(), *db_, syntactic);
+    ASSERT_TRUE(naive_plan.ok());
+    auto naive_result = ExecutePlan(naive_plan.value(), *db_, syntactic);
+    ASSERT_TRUE(naive_result.ok());
+    EXPECT_EQ(dp_result.value(), naive_result.value());
+  }
+}
+
+TEST_F(PlannerTest, NoIndexesFallsBackToScansCorrectly) {
+  auto graph = Graph("//open_auction[bidder]");
+  ASSERT_TRUE(graph.ok());
+  auto with_plan = PlanJoinGraph(graph.value(), *db_);
+  ASSERT_TRUE(with_plan.ok());
+  auto expected = ExecutePlan(with_plan.value(), *db_);
+  ASSERT_TRUE(expected.ok());
+
+  auto bare = Database::Build(*doc_);
+  auto plan = PlanJoinGraph(graph.value(), *bare);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(ExplainPlan(plan.value()).find("TBSCAN"), std::string::npos);
+  auto result = ExecutePlan(plan.value(), *bare);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), expected.value());
+}
+
+TEST_F(PlannerTest, TimeoutReportsDnf) {
+  auto graph = Graph("//item/incategory/@category");
+  ASSERT_TRUE(graph.ok());
+  auto bare = Database::Build(*doc_);  // no indexes: slow scans
+  PlannerOptions options;
+  options.timeout_seconds = 1e-9;
+  auto plan = PlanJoinGraph(graph.value(), *bare, options);
+  ASSERT_TRUE(plan.ok());
+  auto result = ExecutePlan(plan.value(), *bare, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(PlannerTest, AdvisorCoversWorkloadFeatures) {
+  auto g1 = Graph("//closed_auction[price > 500]");
+  auto g2 = Graph("//person[@id = \"person0\"]/name");
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  auto proposed = AdviseIndexes({&g1.value(), &g2.value()});
+  std::set<std::string> names;
+  for (const auto& def : proposed) names.insert(def.name);
+  EXPECT_TRUE(names.count("nkspl"));  // name tests + pre ranges
+  EXPECT_TRUE(names.count("nlkp"));   // child steps
+  EXPECT_TRUE(names.count("nkdlp"));  // decimal comparison (price > 500)
+  EXPECT_TRUE(names.count("vnlkp"));  // string value comparison (@id = ..)
+  EXPECT_TRUE(names.count("qnkp"));   // attribute/owner joins
+}
+
+TEST_F(PlannerTest, TableVIIndexesBuildEverywhere) {
+  auto db = Database::Build(*doc_);
+  for (const auto& def : TableVIIndexes()) {
+    EXPECT_TRUE(db->CreateIndex(def).ok()) << def.ToString();
+  }
+  EXPECT_EQ(db->indexes().size(), TableVIIndexes().size());
+}
+
+}  // namespace
+}  // namespace xqjg::engine

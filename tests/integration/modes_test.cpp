@@ -1,0 +1,134 @@
+// Cross-mode differential tests: for every paper query, the stacked plan,
+// the isolated join graph (cost-based engine), and the native engine
+// (whole and segmented) must produce the same serialized result.
+#include <gtest/gtest.h>
+
+#include "src/api/paper_queries.h"
+#include "src/api/processor.h"
+#include "src/data/dblp.h"
+#include "src/data/xmark.h"
+
+namespace xqjg::api {
+namespace {
+
+class ModesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    processor_ = new XQueryProcessor();
+    data::XmarkOptions xmark;
+    xmark.scale = 0.1;
+    ASSERT_TRUE(processor_
+                    ->LoadDocument("auction.xml", data::GenerateXmark(xmark),
+                                   XmarkSegmentTags())
+                    .ok());
+    data::DblpOptions dblp;
+    dblp.publications = 400;
+    ASSERT_TRUE(processor_
+                    ->LoadDocument("dblp.xml", data::GenerateDblp(dblp),
+                                   DblpSegmentTags())
+                    .ok());
+    ASSERT_TRUE(processor_->CreateRelationalIndexes().ok());
+    for (auto& pattern : PaperPatternIndexes()) {
+      processor_->CreatePatternIndex(pattern);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete processor_;
+    processor_ = nullptr;
+  }
+
+  static XQueryProcessor* processor_;
+};
+
+XQueryProcessor* ModesTest::processor_ = nullptr;
+
+struct ModeCase {
+  const char* query_id;
+  bool run_segmented;  // Q2 joins across segments: skipped (paper: DNF)
+};
+
+class PaperQueryModes : public ModesTest,
+                        public ::testing::WithParamInterface<ModeCase> {};
+
+TEST_P(PaperQueryModes, AllModesAgree) {
+  const ModeCase& c = GetParam();
+  const PaperQuery* query = nullptr;
+  for (const auto& q : PaperQueries()) {
+    if (q.id == c.query_id) query = &q;
+  }
+  ASSERT_NE(query, nullptr);
+  RunOptions options;
+  options.context_document = query->document;
+  options.timeout_seconds = 120;
+
+  options.mode = Mode::kJoinGraph;
+  auto joingraph = processor_->Run(query->text, options);
+  ASSERT_TRUE(joingraph.ok()) << joingraph.status().ToString();
+
+  options.mode = Mode::kStacked;
+  auto stacked = processor_->Run(query->text, options);
+  ASSERT_TRUE(stacked.ok()) << stacked.status().ToString();
+  EXPECT_EQ(stacked.value().items, joingraph.value().items)
+      << "stacked vs joingraph disagree for " << query->id;
+
+  options.mode = Mode::kNativeWhole;
+  auto native = processor_->Run(query->text, options);
+  ASSERT_TRUE(native.ok()) << native.status().ToString();
+  EXPECT_EQ(native.value().items, joingraph.value().items)
+      << "native-whole vs joingraph disagree for " << query->id;
+
+  if (c.run_segmented) {
+    options.mode = Mode::kNativeSegmented;
+    auto segmented = processor_->Run(query->text, options);
+    ASSERT_TRUE(segmented.ok()) << segmented.status().ToString();
+    EXPECT_EQ(segmented.value().items, joingraph.value().items)
+        << "native-segmented vs joingraph disagree for " << query->id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperQueries, PaperQueryModes,
+    ::testing::Values(ModeCase{"Q1", true}, ModeCase{"Q2", false},
+                      ModeCase{"Q3", true}, ModeCase{"Q4", true},
+                      ModeCase{"Q5", true}, ModeCase{"Q6", true}),
+    [](const ::testing::TestParamInfo<ModeCase>& info) {
+      return info.param.query_id;
+    });
+
+TEST_F(ModesTest, Q1HasExpectedShape) {
+  RunOptions options;
+  options.mode = Mode::kJoinGraph;
+  options.context_document = "auction.xml";
+  auto r = processor_->Run(PaperQueries()[0].text, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().used_fallback);
+  EXPECT_NE(r.value().sql.find("SELECT DISTINCT"), std::string::npos);
+  EXPECT_NE(r.value().sql.find("ORDER BY"), std::string::npos);
+  EXPECT_NE(r.value().explain.find("IXSCAN"), std::string::npos);
+  EXPECT_GT(r.value().result_count, 0u);
+}
+
+TEST_F(ModesTest, Q2ResultIsNonEmptyAndOrdered) {
+  RunOptions options;
+  options.mode = Mode::kJoinGraph;
+  options.context_document = "auction.xml";
+  options.timeout_seconds = 120;
+  auto r = processor_->Run(PaperQueries()[1].text, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r.value().result_count, 0u);
+}
+
+TEST_F(ModesTest, SyntacticJoinOrderStillCorrect) {
+  RunOptions options;
+  options.context_document = "auction.xml";
+  options.mode = Mode::kJoinGraph;
+  auto smart = processor_->Run(PaperQueries()[0].text, options);
+  options.syntactic_join_order = true;
+  auto naive = processor_->Run(PaperQueries()[0].text, options);
+  ASSERT_TRUE(smart.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(smart.value().items, naive.value().items);
+}
+
+}  // namespace
+}  // namespace xqjg::api

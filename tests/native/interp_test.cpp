@@ -1,0 +1,177 @@
+// Native interpreter: axis semantics for all 12 axes, comparisons,
+// pattern indexes, and segmentation.
+#include <gtest/gtest.h>
+
+#include "src/native/interp.h"
+#include "src/native/pattern_index.h"
+#include "src/native/store.h"
+#include "src/native/xscan.h"
+#include "src/xml/serializer.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+
+namespace xqjg::native {
+namespace {
+
+constexpr const char* kDoc = R"(
+<r>
+  <a id="1"><b>x</b><c><b>y</b></c></a>
+  <a id="2"><b>z</b></a>
+  <d>tail</d>
+</r>)";
+
+class InterpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = xml::ParseDom("t.xml", kDoc);
+    ASSERT_TRUE(parsed.ok());
+    doc_ = std::move(parsed).value();
+    resolver_.Add(doc_.get());
+  }
+
+  std::string Run(const std::string& query) {
+    auto ast = xquery::Parse(query);
+    if (!ast.ok()) return "parse error: " + ast.status().ToString();
+    auto core = xquery::Normalize(ast.value());
+    if (!core.ok()) return "norm error: " + core.status().ToString();
+    auto result = EvaluateQuery(core.value(), &resolver_);
+    if (!result.ok()) return "eval error: " + result.status().ToString();
+    return xml::SerializeSequence(result.value());
+  }
+
+  std::unique_ptr<xml::XmlDocument> doc_;
+  MapResolver resolver_;
+};
+
+TEST_F(InterpTest, ChildAndDescendant) {
+  EXPECT_EQ(Run("doc(\"t.xml\")/child::r/child::a/child::b"),
+            "<b>x</b>\n<b>z</b>");
+  EXPECT_EQ(Run("doc(\"t.xml\")/descendant::b"),
+            "<b>x</b>\n<b>y</b>\n<b>z</b>");
+}
+
+TEST_F(InterpTest, AttributesAndWildcards) {
+  EXPECT_EQ(Run("doc(\"t.xml\")//a/@id"), "id=\"1\"\nid=\"2\"");
+  EXPECT_EQ(Run("doc(\"t.xml\")/r/child::*[@id = \"2\"]"),
+            "<a id=\"2\"><b>z</b></a>");
+}
+
+TEST_F(InterpTest, ReverseAxes) {
+  EXPECT_EQ(Run("doc(\"t.xml\")//b[. = \"y\"]/parent::*"),
+            "<c><b>y</b></c>");
+  EXPECT_EQ(Run("doc(\"t.xml\")//b[. = \"y\"]/ancestor::a/@id"),
+            "id=\"1\"");
+  EXPECT_EQ(Run("doc(\"t.xml\")//c/ancestor-or-self::*"),
+            Run("doc(\"t.xml\")/r") + "\n" +
+                Run("doc(\"t.xml\")//a[@id = \"1\"]") + "\n" +
+                Run("doc(\"t.xml\")//c"));
+}
+
+TEST_F(InterpTest, HorizontalAxes) {
+  EXPECT_EQ(Run("doc(\"t.xml\")//a[@id = \"1\"]/following-sibling::*"),
+            "<a id=\"2\"><b>z</b></a>\n<d>tail</d>");
+  EXPECT_EQ(Run("doc(\"t.xml\")//d/preceding-sibling::a/@id"),
+            "id=\"1\"\nid=\"2\"");
+  EXPECT_EQ(Run("doc(\"t.xml\")//c/following::*"),
+            "<a id=\"2\"><b>z</b></a>\n<b>z</b>\n<d>tail</d>");
+  EXPECT_EQ(Run("doc(\"t.xml\")//a[@id = \"2\"]/preceding::b"),
+            "<b>x</b>\n<b>y</b>");
+}
+
+TEST_F(InterpTest, SelfAndDos) {
+  EXPECT_EQ(Run("doc(\"t.xml\")//c/self::c"), "<c><b>y</b></c>");
+  EXPECT_EQ(Run("doc(\"t.xml\")//c/self::b"), "");
+  EXPECT_EQ(Run("doc(\"t.xml\")//c/descendant-or-self::node()"),
+            "<c><b>y</b></c>\n<b>y</b>\ny");
+}
+
+TEST_F(InterpTest, ComparisonsAtomizeSmallNodesOnly) {
+  // <a id="1"> has subtree size > 1: no typed value, comparison false.
+  EXPECT_EQ(Run("doc(\"t.xml\")/r/a[. = \"x\"]"), "");
+  // <b>x</b> has size 1: value available.
+  EXPECT_EQ(Run("doc(\"t.xml\")//b[. = \"x\"]"), "<b>x</b>");
+}
+
+TEST_F(InterpTest, NumericComparisonNeedsDecimal) {
+  EXPECT_EQ(Run("doc(\"t.xml\")//a[@id > 1]/@id"), "id=\"2\"");
+  EXPECT_EQ(Run("doc(\"t.xml\")//b[. > 0]"), "");  // x/y/z not numeric
+}
+
+TEST_F(InterpTest, DuplicateRemovalAndOrder) {
+  // ancestor paths from both b's reach <r> once, in document order.
+  EXPECT_EQ(Run("for $b in doc(\"t.xml\")//b return $b/ancestor::r"),
+            Run("doc(\"t.xml\")/r") + "\n" + Run("doc(\"t.xml\")/r") + "\n" +
+                Run("doc(\"t.xml\")/r"))
+      << "duplicates across for iterations are retained";
+  EXPECT_EQ(Run("doc(\"t.xml\")//b/ancestor::r"), Run("doc(\"t.xml\")/r"))
+      << "fs:ddo after the step removes duplicates";
+}
+
+TEST(Store, SegmentationPreservesSpine) {
+  auto dom = xml::ParseDom("t.xml", kDoc);
+  ASSERT_TRUE(dom.ok());
+  DocumentStore store;
+  ASSERT_TRUE(store.AddSegmented(*dom.value(), {"a", "d"}).ok());
+  EXPECT_EQ(store.SegmentCount("t.xml"), 3u);
+  // Each fragment keeps the <r> spine, so absolute paths still work.
+  NativeEngine engine(&store);
+  auto ast = xquery::Parse("doc(\"t.xml\")/r/a/@id");
+  auto core = xquery::Normalize(ast.value());
+  auto result = engine.Run(core.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+TEST(PatternIndex, ScanAndEligibility) {
+  auto dom = xml::ParseDom("t.xml", kDoc);
+  DocumentStore store;
+  ASSERT_TRUE(store.AddSegmented(*dom.value(), {"a", "d"}).ok());
+  XmlPattern pattern;
+  pattern.uri = "t.xml";
+  pattern.steps = {{xquery::Axis::kDescendant, "a"},
+                   {xquery::Axis::kAttribute, "id"}};
+  pattern.type = PatternType::kVarchar;
+  PatternIndex index(pattern, store);
+  EXPECT_EQ(index.entry_count(), 2u);
+  auto rids = index.Scan(xquery::CompOp::kEq, Value::String("2"));
+  EXPECT_EQ(rids.size(), 1u);
+  rids = index.Scan(xquery::CompOp::kGe, Value::String("1"));
+  EXPECT_EQ(rids.size(), 2u);
+
+  // Eligibility analysis.
+  auto ast = xquery::Parse("doc(\"t.xml\")//a/@id");
+  auto core = xquery::Normalize(ast.value());
+  auto extracted = PatternOfExpr(core.value(), PatternType::kVarchar);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(extracted->ToString(), "doc(\"t.xml\")//a/@id AS VARCHAR");
+  // Reverse axes are ineligible.
+  auto rev = xquery::Parse("doc(\"t.xml\")//b/parent::c");
+  auto rev_core = xquery::Normalize(rev.value());
+  EXPECT_FALSE(PatternOfExpr(rev_core.value(), PatternType::kVarchar)
+                   .has_value());
+}
+
+TEST(NativeEngine, IndexPrunesFragments) {
+  auto dom = xml::ParseDom("t.xml", kDoc);
+  DocumentStore store;
+  ASSERT_TRUE(store.AddSegmented(*dom.value(), {"a", "d"}).ok());
+  NativeEngine engine(&store);
+  XmlPattern pattern;
+  pattern.uri = "t.xml";
+  pattern.steps = {{xquery::Axis::kDescendant, "a"},
+                   {xquery::Axis::kAttribute, "id"}};
+  engine.CreateIndex(pattern);
+  auto ast = xquery::Parse("doc(\"t.xml\")//a[@id = \"2\"]/b");
+  auto core = xquery::Normalize(ast.value());
+  NativeRunStats stats;
+  auto result = engine.Run(core.value(), -1, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_EQ(stats.fragments_scanned, 1u);
+  EXPECT_LT(stats.fragments_scanned, stats.fragments_considered);
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0], "<b>z</b>");
+}
+
+}  // namespace
+}  // namespace xqjg::native

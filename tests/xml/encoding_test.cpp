@@ -1,0 +1,213 @@
+// Verifies the pre/size/level infoset encoding against paper Fig. 2 and
+// the XML parser/serializer round trip.
+#include <gtest/gtest.h>
+
+#include "src/xml/dom.h"
+#include "src/xml/infoset.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+
+namespace xqjg::xml {
+namespace {
+
+constexpr const char* kAuctionSnippet = R"(<open_auction id="1">
+  <initial>15</initial>
+  <bidder>
+    <time>18:43</time>
+    <increase>4.20</increase>
+  </bidder>
+</open_auction>)";
+
+DocTable LoadAuction() {
+  DocTable table;
+  Status st = LoadDocument(&table, "auction.xml", kAuctionSnippet);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return table;
+}
+
+// Paper Fig. 2: the exact encoding of the auction.xml snippet.
+TEST(Encoding, MatchesFig2) {
+  DocTable t = LoadAuction();
+  ASSERT_EQ(t.row_count(), 10);
+
+  struct Expected {
+    int64_t pre, size, level;
+    NodeKind kind;
+    const char* name;
+    const char* value;
+    bool has_data;
+    double data;
+  };
+  const Expected rows[] = {
+      {0, 9, 0, NodeKind::kDoc, "auction.xml", "", false, 0},
+      {1, 8, 1, NodeKind::kElem, "open_auction", "", false, 0},
+      {2, 0, 2, NodeKind::kAttr, "id", "1", true, 1.0},
+      {3, 1, 2, NodeKind::kElem, "initial", "15", true, 15.0},
+      {4, 0, 3, NodeKind::kText, "", "15", true, 15.0},
+      {5, 4, 2, NodeKind::kElem, "bidder", "", false, 0},
+      {6, 1, 3, NodeKind::kElem, "time", "18:43", false, 0},
+      {7, 0, 4, NodeKind::kText, "", "18:43", false, 0},
+      {8, 1, 3, NodeKind::kElem, "increase", "4.20", true, 4.2},
+      {9, 0, 4, NodeKind::kText, "", "4.20", true, 4.2},
+  };
+  for (const auto& e : rows) {
+    SCOPED_TRACE(e.pre);
+    DocRow row = t.Row(e.pre);
+    EXPECT_EQ(row.size, e.size);
+    EXPECT_EQ(row.level, e.level);
+    EXPECT_EQ(row.kind, e.kind);
+    EXPECT_EQ(row.name, e.name);
+    EXPECT_EQ(row.value, e.value);
+    EXPECT_EQ(row.has_data, e.has_data);
+    if (e.has_data) {
+      EXPECT_DOUBLE_EQ(row.data, e.data);
+    }
+  }
+}
+
+TEST(Encoding, ParentColumn) {
+  DocTable t = LoadAuction();
+  EXPECT_EQ(t.Parent(0), -1);  // DOC
+  EXPECT_EQ(t.Parent(1), 0);   // open_auction -> DOC
+  EXPECT_EQ(t.Parent(2), 1);   // @id -> open_auction
+  EXPECT_EQ(t.Parent(3), 1);   // initial -> open_auction
+  EXPECT_EQ(t.Parent(4), 3);   // text -> initial
+  EXPECT_EQ(t.Parent(5), 1);   // bidder -> open_auction
+  EXPECT_EQ(t.Parent(6), 5);
+  EXPECT_EQ(t.Parent(7), 6);
+  EXPECT_EQ(t.Parent(8), 5);
+  EXPECT_EQ(t.Parent(9), 8);
+}
+
+TEST(Encoding, RootColumnAndMultipleDocuments) {
+  DocTable t;
+  ASSERT_TRUE(LoadDocument(&t, "a.xml", "<a><b/></a>").ok());
+  ASSERT_TRUE(LoadDocument(&t, "b.xml", "<c/>").ok());
+  ASSERT_EQ(t.row_count(), 5);
+  EXPECT_EQ(t.Root(0), 0);
+  EXPECT_EQ(t.Root(1), 0);
+  EXPECT_EQ(t.Root(2), 0);
+  EXPECT_EQ(t.Root(3), 3);
+  EXPECT_EQ(t.Root(4), 3);
+  EXPECT_EQ(t.DocumentRoots(), (std::vector<int64_t>{0, 3}));
+  auto a = t.FindDocument("a.xml");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), 0);
+  EXPECT_FALSE(t.FindDocument("missing.xml").ok());
+}
+
+TEST(Encoding, IsDescendant) {
+  DocTable t = LoadAuction();
+  EXPECT_TRUE(t.IsDescendant(1, 9));
+  EXPECT_TRUE(t.IsDescendant(5, 7));
+  EXPECT_FALSE(t.IsDescendant(3, 5));
+  EXPECT_FALSE(t.IsDescendant(5, 5));  // not its own descendant
+  EXPECT_FALSE(t.IsDescendant(9, 1));
+}
+
+TEST(Encoding, ElementValueOnlyForSmallSubtrees) {
+  DocTable t = LoadAuction();
+  EXPECT_TRUE(t.has_value(3));   // initial, size 1
+  EXPECT_FALSE(t.has_value(5));  // bidder, size 4
+  EXPECT_FALSE(t.has_value(1));  // open_auction
+}
+
+TEST(Parser, EntitiesAndCdata) {
+  DocTable t;
+  ASSERT_TRUE(LoadDocument(&t, "e.xml",
+                           "<e a=\"x&amp;y\">1 &lt; 2<![CDATA[<raw>]]></e>")
+                  .ok());
+  // attr value decoded (pre 2: @a of <e>)
+  EXPECT_EQ(t.value(2), "x&y");
+  // text node (pre 3) combines entity-decoded text and CDATA
+  EXPECT_EQ(t.value(3), "1 < 2<raw>");
+}
+
+TEST(Parser, NumericCharacterReferences) {
+  DocTable t;
+  ASSERT_TRUE(LoadDocument(&t, "n.xml", "<n>&#65;&#x42;</n>").ok());
+  EXPECT_EQ(t.value(1), "AB");  // element value (size 1)
+}
+
+TEST(Parser, RejectsMalformedDocuments) {
+  DocTable t;
+  EXPECT_FALSE(LoadDocument(&t, "x", "<a><b></a>").ok());
+  EXPECT_FALSE(LoadDocument(&t, "x", "<a>").ok());
+  EXPECT_FALSE(LoadDocument(&t, "x", "no markup").ok());
+  EXPECT_FALSE(LoadDocument(&t, "x", "<a></a><b></b>").ok());
+  EXPECT_FALSE(LoadDocument(&t, "x", "<a attr></a>").ok());
+  // failed parse leaves the table untouched
+  EXPECT_EQ(t.row_count(), 0);
+}
+
+TEST(Parser, SkipsPrologCommentsDoctype) {
+  DocTable t;
+  ASSERT_TRUE(LoadDocument(&t, "p.xml",
+                           "<?xml version=\"1.0\"?><!DOCTYPE a>"
+                           "<!-- hi --><a><!-- inner --><b/></a>")
+                  .ok());
+  ASSERT_EQ(t.row_count(), 3);
+  EXPECT_EQ(t.name(1), "a");
+  EXPECT_EQ(t.name(2), "b");
+}
+
+TEST(Serializer, RoundTripsSubtrees) {
+  DocTable t = LoadAuction();
+  EXPECT_EQ(SerializeSubtree(t, 3), "<initial>15</initial>");
+  EXPECT_EQ(SerializeSubtree(t, 6), "<time>18:43</time>");
+  EXPECT_EQ(
+      SerializeSubtree(t, 5),
+      "<bidder><time>18:43</time><increase>4.20</increase></bidder>");
+  // whole document from the DOC row
+  EXPECT_EQ(SerializeSubtree(t, 0),
+            "<open_auction id=\"1\"><initial>15</initial><bidder>"
+            "<time>18:43</time><increase>4.20</increase></bidder>"
+            "</open_auction>");
+}
+
+TEST(Serializer, EscapesSpecialCharacters) {
+  DocTable t;
+  ASSERT_TRUE(
+      LoadDocument(&t, "s.xml", "<s a=\"&quot;q&quot;\">&lt;&amp;&gt;</s>")
+          .ok());
+  EXPECT_EQ(SerializeSubtree(t, 1),
+            "<s a=\"&quot;q&quot;\">&lt;&amp;&gt;</s>");
+}
+
+TEST(Serializer, SequenceSeparatesNodes) {
+  DocTable t = LoadAuction();
+  EXPECT_EQ(SerializeSequence(t, {7, 9}), "18:43\n4.20");
+  EXPECT_EQ(SerializeSequence(t, {2}), "id=\"1\"");
+}
+
+TEST(Dom, MirrorsTableEncoding) {
+  auto doc = ParseDom("auction.xml", kAuctionSnippet);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const XmlNode* root = doc.value()->doc_node.get();
+  ASSERT_EQ(root->children.size(), 1u);
+  const XmlNode* oa = root->children[0].get();
+  EXPECT_EQ(oa->name, "open_auction");
+  EXPECT_EQ(oa->pre, 1);
+  EXPECT_EQ(oa->subtree_size, 8);
+  EXPECT_EQ(oa->attrs.size(), 1u);
+  EXPECT_EQ(oa->attrs[0]->pre, 2);
+  EXPECT_EQ(StringValue(oa->children[0].get()), "15");
+  EXPECT_EQ(doc.value()->node_count, 10);
+}
+
+TEST(Dom, TableToDomAgrees) {
+  DocTable t = LoadAuction();
+  auto dom = TableToDom(t, 0);
+  EXPECT_EQ(SerializeSubtree(dom.get()), SerializeSubtree(t, 0));
+}
+
+TEST(Dom, DecimalValue) {
+  auto doc = ParseDom("d.xml", "<d><p>4.20</p><q>abc</q></d>");
+  ASSERT_TRUE(doc.ok());
+  const XmlNode* d = doc.value()->doc_node->children[0].get();
+  EXPECT_DOUBLE_EQ(*DecimalValue(d->children[0].get()), 4.2);
+  EXPECT_FALSE(DecimalValue(d->children[1].get()).has_value());
+}
+
+}  // namespace
+}  // namespace xqjg::xml

@@ -1,0 +1,175 @@
+// Lexer / parser / normalizer tests for the XQuery frontend.
+#include <gtest/gtest.h>
+
+#include "src/xquery/lexer.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+
+namespace xqjg::xquery {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndNames) {
+  auto toks = Tokenize("for $x in doc(\"a.xml\")//b[c >= 4.5] return $x");
+  ASSERT_TRUE(toks.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : toks.value()) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), TokenKind::kName);  // 'for'
+  EXPECT_EQ(kinds.back(), TokenKind::kEof);
+  // contains a slash-slash and a >= token
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kSlashSlash),
+            kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kGe),
+            kinds.end());
+}
+
+TEST(Lexer, NestedComments) {
+  auto toks = Tokenize("(: outer (: inner :) still :) $x");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[0].kind, TokenKind::kVariable);
+}
+
+TEST(Lexer, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("doc(\"oops").ok());
+  EXPECT_FALSE(Tokenize("(: unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(Parser, PathWithPredicatesRoundTrips) {
+  auto e = Parse("/site/people/person[@id = \"p0\"]/name/text()");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(e.value()->ToString(),
+            "//child::site/child::people/child::person[./attribute::id = "
+            "\"p0\"]/child::name/child::text()");
+}
+
+TEST(Parser, FlworWithWhereDesugarsToIf) {
+  auto e = Parse(
+      "for $a in doc(\"d\")//x, $b in doc(\"d\")//y "
+      "where $a/u = $b/v return $b");
+  ASSERT_TRUE(e.ok());
+  // two nested fors, where becomes if
+  EXPECT_EQ(e.value()->kind, ExprKind::kFor);
+  EXPECT_EQ(e.value()->b->kind, ExprKind::kFor);
+  EXPECT_EQ(e.value()->b->b->kind, ExprKind::kIf);
+}
+
+TEST(Parser, LetAndAxes) {
+  auto e = Parse(
+      "let $d := doc(\"d\") return "
+      "$d/descendant::a/ancestor::b/following-sibling::c/parent::node()");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(e.value()->kind, ExprKind::kLet);
+}
+
+TEST(Parser, RejectsOutsideFragment) {
+  // else branch must be ()
+  EXPECT_EQ(Parse("if ($x) then $y else $z").status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(Parse("for $x in (1, 2) return $x").status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(Parse("//a[1]").status().code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Parse("//a[b or c]").status().code(), StatusCode::kNotSupported);
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_FALSE(Parse("for $x in").ok());
+  EXPECT_FALSE(Parse("doc(42)").ok());
+  EXPECT_FALSE(Parse("//a[").ok());
+  EXPECT_FALSE(Parse("$x/unknown-axis::b").ok());
+  EXPECT_FALSE(Parse("").ok());
+}
+
+TEST(Normalize, InsertsDdoAroundEveryStep) {
+  auto e = Parse("doc(\"a\")/descendant::b/child::c");
+  ASSERT_TRUE(e.ok());
+  auto core = Normalize(e.value());
+  ASSERT_TRUE(core.ok());
+  // ddo(step(ddo(step(doc))))
+  EXPECT_EQ(core.value()->kind, ExprKind::kDdo);
+  EXPECT_EQ(core.value()->a->kind, ExprKind::kStep);
+  EXPECT_EQ(core.value()->a->a->kind, ExprKind::kDdo);
+  EXPECT_TRUE(IsCore(*core.value()));
+}
+
+TEST(Normalize, Q1MatchesPaperCoreForm) {
+  // Paper §II-D: Q1 normalizes to
+  //   for $x in fs:ddo(doc(...)/descendant::open_auction)
+  //   return if (fn:boolean(fs:ddo($x/child::bidder))) then $x else ()
+  auto e = Parse("doc(\"auction.xml\")/descendant::open_auction[bidder]");
+  ASSERT_TRUE(e.ok());
+  auto core = Normalize(e.value());
+  ASSERT_TRUE(core.ok());
+  const Expr& f = *core.value();
+  ASSERT_EQ(f.kind, ExprKind::kFor);
+  EXPECT_EQ(f.a->kind, ExprKind::kDdo);
+  ASSERT_EQ(f.b->kind, ExprKind::kIf);
+  EXPECT_EQ(f.b->a->kind, ExprKind::kEbv);
+  EXPECT_EQ(f.b->a->a->kind, ExprKind::kDdo);
+  EXPECT_EQ(f.b->b->kind, ExprKind::kVar);
+  EXPECT_EQ(f.b->b->var, f.var);
+}
+
+TEST(Normalize, DescendantOrSelfChildFusesToDescendant) {
+  auto e = Parse("doc(\"a\")//b");
+  ASSERT_TRUE(e.ok());
+  auto core = Normalize(e.value());
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core.value()->a->axis, Axis::kDescendant);
+}
+
+TEST(Normalize, AttributeAfterDoubleSlashKeepsTwoSteps) {
+  auto e = Parse("doc(\"a\")//@id");
+  ASSERT_TRUE(e.ok());
+  auto core = Normalize(e.value());
+  ASSERT_TRUE(core.ok());
+  // attribute step over descendant-or-self::node() (no fusion possible)
+  EXPECT_EQ(core.value()->a->axis, Axis::kAttribute);
+  EXPECT_EQ(core.value()->a->a->a->axis, Axis::kDescendantOrSelf);
+}
+
+TEST(Normalize, ConjunctionBecomesNestedIfs) {
+  auto e = Parse("//t[a and b]");
+  ASSERT_TRUE(e.ok());
+  NormalizeOptions options;
+  options.context_document = "d.xml";
+  auto core = Normalize(e.value(), options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+  // for $dot in ... return if (ebv(a)) then if (ebv(b)) then $dot
+  ASSERT_EQ(core.value()->kind, ExprKind::kFor);
+  ASSERT_EQ(core.value()->b->kind, ExprKind::kIf);
+  EXPECT_EQ(core.value()->b->b->kind, ExprKind::kIf);
+}
+
+TEST(Normalize, AbsolutePathNeedsContext) {
+  auto e = Parse("/site/regions");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(Normalize(e.value()).ok());
+  NormalizeOptions options;
+  options.context_document = "auction.xml";
+  auto core = Normalize(e.value(), options);
+  ASSERT_TRUE(core.ok());
+  EXPECT_TRUE(IsCore(*core.value()));
+}
+
+TEST(Ast, FreeVariables) {
+  auto e = Parse("for $x in doc(\"d\")//a return $x/b[. = $y]");
+  ASSERT_TRUE(e.ok());
+  auto free = FreeVariables(*e.value());
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_EQ(free[0], "y");
+}
+
+TEST(Ast, DualAxisIsInvolution) {
+  for (Axis axis : {Axis::kChild, Axis::kDescendant, Axis::kDescendantOrSelf,
+                    Axis::kSelf, Axis::kFollowing, Axis::kFollowingSibling,
+                    Axis::kParent, Axis::kAncestor, Axis::kAncestorOrSelf,
+                    Axis::kPreceding, Axis::kPrecedingSibling}) {
+    EXPECT_EQ(DualAxis(DualAxis(axis)), axis);
+    if (axis != Axis::kSelf) {
+      EXPECT_NE(IsForwardAxis(axis), IsForwardAxis(DualAxis(axis)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xqjg::xquery

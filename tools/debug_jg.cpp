@@ -1,0 +1,35 @@
+#include <cstdio>
+#include "src/algebra/printer.h"
+#include "src/algebra/dag.h"
+#include "src/compiler/compile.h"
+#include "src/opt/isolate.h"
+#include "src/opt/join_graph.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+using namespace xqjg;
+int main(int argc, char** argv) {
+  const char* q = argc > 1 ? argv[1] :
+    "let $a := doc(\"auction.xml\") "
+    "for $ca in $a//closed_auction[price > 500], $i in $a//item, $c in $a//category "
+    "where $ca/itemref/@item = $i/@id and $i/incategory/@category = $c/@id "
+    "return $c/name";
+  auto ast = xquery::Parse(q);
+  if (!ast.ok()) { printf("parse: %s\n", ast.status().ToString().c_str()); return 1; }
+  auto core = xquery::Normalize(ast.value());
+  if (!core.ok()) { printf("norm: %s\n", core.status().ToString().c_str()); return 1; }
+  auto plan = compiler::CompileQuery(core.value());
+  if (!plan.ok()) { printf("compile: %s\n", plan.status().ToString().c_str()); return 1; }
+  printf("stacked: ops=%zu  %s\n", algebra::CountOps(plan.value()), algebra::OperatorCensus(plan.value()).c_str());
+  auto iso = opt::Isolate(plan.value());
+  if (!iso.ok()) { printf("isolate: %s\n", iso.status().ToString().c_str()); return 1; }
+  printf("isolated: ops=%zu  %s\n", iso.value().ops_after, algebra::OperatorCensus(iso.value().isolated).c_str());
+  for (auto& [k,v] : iso.value().rule_counts) printf("  %s: %d\n", k.c_str(), v);
+  auto jg = opt::ExtractJoinGraph(iso.value().isolated);
+  if (!jg.ok()) {
+    printf("extract: %s\n", jg.status().ToString().c_str());
+    puts(algebra::PrintPlan(iso.value().isolated).c_str());
+    return 1;
+  }
+  puts(jg.value().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "src/api/processor.h"
+#include "src/api/paper_queries.h"
+#include "src/data/xmark.h"
+using namespace xqjg;
+int main() {
+  for (double scale : {0.1, 0.3}) {
+    api::XQueryProcessor p;
+    data::XmarkOptions x; x.scale = scale;
+    p.LoadDocument("auction.xml", data::GenerateXmark(x), {}).ok();
+    p.CreateRelationalIndexes().ok();
+    api::RunOptions o; o.context_document="auction.xml"; o.timeout_seconds=60;
+    o.mode=api::Mode::kNativeWhole;
+    auto n = p.Run(api::PaperQueries()[1].text, o);
+    o.mode=api::Mode::kJoinGraph;
+    auto j = p.Run(api::PaperQueries()[1].text, o);
+    printf("scale %.1f native=%zu joingraph=%zu fb=%d\n", scale,
+      n.ok()?n.value().result_count:9999, j.ok()?j.value().result_count:9999,
+      j.ok()?(int)j.value().used_fallback:-1);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include <cstdio>
+#include "src/algebra/printer.h"
+#include "src/algebra/dag.h"
+#include "src/compiler/compile.h"
+#include "src/opt/rules.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+using namespace xqjg;
+int main(int argc, char** argv) {
+  const char* q = argc > 1 ? argv[1] :
+    "for $x in doc(\"auction.xml\")/descendant::open_auction "
+    "return if ($x/child::bidder) then $x else ()";
+  auto ast = xquery::Parse(q);
+  if (!ast.ok()) { printf("parse: %s\n", ast.status().ToString().c_str()); return 1; }
+  auto core = xquery::Normalize(ast.value());
+  if (!core.ok()) { printf("norm: %s\n", core.status().ToString().c_str()); return 1; }
+  auto plan = compiler::CompileQuery(core.value());
+  if (!plan.ok()) { printf("compile: %s\n", plan.status().ToString().c_str()); return 1; }
+  printf("initial ops=%zu\n%s\n", algebra::CountOps(plan.value()), algebra::OperatorCensus(plan.value()).c_str());
+  opt::Rewriter rw(plan.value());
+  auto st = rw.RunRankPhase();
+  printf("rank phase: %s ops=%zu\n", st.ToString().c_str(), algebra::CountOps(rw.root()));
+  for (auto& [k,v] : rw.rule_counts()) printf("  %s: %d\n", k.c_str(), v);
+  if (!st.ok()) { puts(algebra::PrintPlan(rw.root()).c_str()); return 1; }
+  auto st2 = rw.RunJoinPhase();
+  printf("join phase: %s ops=%zu\n", st2.ToString().c_str(), algebra::CountOps(rw.root()));
+  for (auto& [k,v] : rw.rule_counts()) printf("  %s: %d\n", k.c_str(), v);
+  puts(algebra::PrintPlan(rw.root()).c_str());
+  return st2.ok() ? 0 : 1;
+}
