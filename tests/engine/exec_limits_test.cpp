@@ -1,0 +1,94 @@
+// ExecLimits DNF guards: both budget knobs must surface Status::Timeout
+// through every entry point (Evaluate, EvaluateToSequence, the processor
+// facade) instead of crashing or looping — they emulate the paper's
+// 20-hour cutoff, so tripping them is a supported outcome, not a fault.
+#include <gtest/gtest.h>
+
+#include "src/api/processor.h"
+#include "src/engine/algebra_exec.h"
+#include "src/xml/parser.h"
+#include "tests/testutil/fixtures.h"
+
+namespace xqjg::engine {
+namespace {
+
+using algebra::MakeCross;
+using algebra::MakeLiteral;
+using algebra::MakeProject;
+using algebra::OpPtr;
+
+OpPtr WideLiteral(const std::string& col, int rows) {
+  std::vector<std::vector<Value>> data;
+  data.reserve(rows);
+  for (int i = 0; i < rows; ++i) data.push_back({Value::Int(i)});
+  return MakeProject(MakeLiteral({"n"}, std::move(data)), {{col, "n"}});
+}
+
+TEST(ExecLimits, TimeoutReturnsStatusTimeout) {
+  xml::DocTable doc = testutil::LoadDoc("x", "<x/>");
+  // 500x500 cross product; the 1µs budget is over before the first
+  // operator materializes, so CheckBudget trips instead of crashing.
+  OpPtr cross = MakeCross(WideLiteral("a", 500), WideLiteral("b", 500));
+  ExecLimits limits;
+  limits.timeout_seconds = 1e-6;
+  auto result = Evaluate(cross, doc, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout)
+      << result.status().ToString();
+}
+
+TEST(ExecLimits, RowBudgetReturnsStatusTimeout) {
+  xml::DocTable doc = testutil::LoadDoc("x", "<x/>");
+  OpPtr cross = MakeCross(WideLiteral("a", 100), WideLiteral("b", 100));
+  ExecLimits limits;
+  limits.max_intermediate_rows = 50;
+  auto result = Evaluate(cross, doc, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout)
+      << result.status().ToString();
+}
+
+TEST(ExecLimits, NonPositiveLimitsMeanUnlimited) {
+  xml::DocTable doc = testutil::LoadDoc("x", "<x/>");
+  OpPtr cross = MakeCross(WideLiteral("a", 40), WideLiteral("b", 40));
+  ExecLimits limits;
+  limits.timeout_seconds = 0;
+  limits.max_intermediate_rows = 0;
+  auto result = Evaluate(cross, doc, limits);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().rows.size(), 1600u);
+}
+
+TEST(ExecLimits, RowBudgetGuardsCompiledQuery) {
+  xml::DocTable doc = testutil::LoadDoc("site.xml", testutil::TinySiteXml());
+  auto plan = testutil::CompileToPlan("doc(\"site.xml\")//item", "site.xml");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ExecLimits limits;
+  limits.max_intermediate_rows = 2;  // doc relation alone exceeds this
+  auto seq = EvaluateToSequence(plan.value(), doc, limits);
+  ASSERT_FALSE(seq.ok());
+  EXPECT_EQ(seq.status().code(), StatusCode::kTimeout)
+      << seq.status().ToString();
+  // The same plan without limits must still evaluate (guard is not sticky).
+  auto ok = EvaluateToSequence(plan.value(), doc, {});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().size(), 3u);
+}
+
+TEST(ExecLimits, ProcessorTimeoutSurfacesInStackedMode) {
+  api::XQueryProcessor processor;
+  ASSERT_TRUE(processor
+                  .LoadDocument("site.xml", testutil::TinySiteXml())
+                  .ok());
+  api::RunOptions options;
+  options.mode = api::Mode::kStacked;
+  options.context_document = "site.xml";
+  options.timeout_seconds = 1e-9;
+  auto result = processor.Run("//item[price > 10.0]/name", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout)
+      << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace xqjg::engine

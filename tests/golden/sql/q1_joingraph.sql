@@ -1,0 +1,14 @@
+SELECT DISTINCT d1.pre, d1.pre
+FROM doc AS d0, doc AS d1, doc AS d2
+WHERE d0.kind = 1
+  AND d0.name = 'bidder'
+  AND d1.kind = 1
+  AND d1.name = 'open_auction'
+  AND d2.kind = 0
+  AND d2.name = 'auction.xml'
+  AND d2.pre < d1.pre
+  AND d1.pre <= d2.pre + d2.size
+  AND d1.pre < d0.pre
+  AND d0.pre <= d1.pre + d1.size
+  AND d1.level + 1 = d0.level
+ORDER BY d1.pre

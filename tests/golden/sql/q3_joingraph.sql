@@ -1,0 +1,49 @@
+SELECT DISTINCT d0.pre
+FROM doc AS d0, doc AS d1, doc AS d2, doc AS d3, doc AS d4, doc AS d5, doc AS d6, doc AS d7, doc AS d8, doc AS d9
+WHERE d0.kind = 3
+  AND d0.name = ''
+  AND d1.kind = 1
+  AND d1.name = 'name'
+  AND d3.kind = 1
+  AND d3.name = 'person'
+  AND d4.kind = 1
+  AND d4.name = 'people'
+  AND d5.kind = 1
+  AND d5.name = 'site'
+  AND d6.kind = 0
+  AND d6.name = 'auction.xml'
+  AND d6.pre < d5.pre
+  AND d5.pre <= d6.pre + d6.size
+  AND d6.level + 1 = d5.level
+  AND d5.pre < d4.pre
+  AND d4.pre <= d5.pre + d5.size
+  AND d5.level + 1 = d4.level
+  AND d4.pre < d3.pre
+  AND d3.pre <= d4.pre + d4.size
+  AND d4.level + 1 = d3.level
+  AND d7.kind = 1
+  AND d7.name = 'people'
+  AND d8.kind = 1
+  AND d8.name = 'site'
+  AND d9.kind = 0
+  AND d9.name = 'auction.xml'
+  AND d9.pre < d8.pre
+  AND d8.pre <= d9.pre + d9.size
+  AND d9.level + 1 = d8.level
+  AND d8.pre < d7.pre
+  AND d7.pre <= d8.pre + d8.size
+  AND d8.level + 1 = d7.level
+  AND d7.pre < d3.pre
+  AND d3.pre <= d7.pre + d7.size
+  AND d7.level + 1 = d3.level
+  AND d2.parent = d3.pre
+  AND d2.kind = 2
+  AND d2.name = 'id'
+  AND d2.value = 'person0'
+  AND d3.pre < d1.pre
+  AND d1.pre <= d3.pre + d3.size
+  AND d3.level + 1 = d1.level
+  AND d1.pre < d0.pre
+  AND d0.pre <= d1.pre + d1.size
+  AND d1.level + 1 = d0.level
+ORDER BY d0.pre

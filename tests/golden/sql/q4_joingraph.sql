@@ -1,0 +1,19 @@
+SELECT DISTINCT d0.pre
+FROM doc AS d0, doc AS d1, doc AS d2, doc AS d3
+WHERE d0.kind = 3
+  AND d0.name = ''
+  AND d1.kind = 1
+  AND d1.name = 'price'
+  AND d2.kind = 1
+  AND d2.name = 'closed_auction'
+  AND d3.kind = 0
+  AND d3.name = 'auction.xml'
+  AND d3.pre < d2.pre
+  AND d2.pre <= d3.pre + d3.size
+  AND d2.pre < d1.pre
+  AND d1.pre <= d2.pre + d2.size
+  AND d2.level + 1 = d1.level
+  AND d1.pre < d0.pre
+  AND d0.pre <= d1.pre + d1.size
+  AND d1.level + 1 = d0.level
+ORDER BY d0.pre

@@ -1,0 +1,86 @@
+SELECT DISTINCT d0.pre, d4.pre
+FROM doc AS d0, doc AS d1, doc AS d2, doc AS d3, doc AS d4, doc AS d5, doc AS d6, doc AS d7, doc AS d8, doc AS d9, doc AS d10, doc AS d11, doc AS d12, doc AS d13, doc AS d14, doc AS d15, doc AS d16
+WHERE d0.kind = 1
+  AND d0.name = 'title'
+  AND d1.kind = 1
+  AND d1.name = 'title'
+  AND d2.kind = 1
+  AND d2.name = 'author'
+  AND d3.kind = 1
+  AND d3.name = 'year'
+  AND d4.kind = 1
+  AND d4.name = 'phdthesis'
+  AND d5.kind = 1
+  AND d5.name = 'dblp'
+  AND d6.kind = 0
+  AND d6.name = 'dblp.xml'
+  AND d6.pre < d5.pre
+  AND d5.pre <= d6.pre + d6.size
+  AND d6.level + 1 = d5.level
+  AND d5.pre < d4.pre
+  AND d4.pre <= d5.pre + d5.size
+  AND d5.level + 1 = d4.level
+  AND d4.pre < d3.pre
+  AND d3.pre <= d4.pre + d4.size
+  AND d4.level + 1 = d3.level
+  AND d3.value < '1994'
+  AND d4.pre < d2.pre
+  AND d2.pre <= d4.pre + d4.size
+  AND d4.level + 1 = d2.level
+  AND d7.kind = 1
+  AND d7.name = 'dblp'
+  AND d8.kind = 0
+  AND d8.name = 'dblp.xml'
+  AND d8.pre < d7.pre
+  AND d7.pre <= d8.pre + d8.size
+  AND d8.level + 1 = d7.level
+  AND d7.pre < d4.pre
+  AND d4.pre <= d7.pre + d7.size
+  AND d7.level + 1 = d4.level
+  AND d9.kind = 1
+  AND d9.name = 'dblp'
+  AND d10.kind = 0
+  AND d10.name = 'dblp.xml'
+  AND d10.pre < d9.pre
+  AND d9.pre <= d10.pre + d10.size
+  AND d10.level + 1 = d9.level
+  AND d9.pre < d4.pre
+  AND d4.pre <= d9.pre + d9.size
+  AND d9.level + 1 = d4.level
+  AND d4.pre < d1.pre
+  AND d1.pre <= d4.pre + d4.size
+  AND d4.level + 1 = d1.level
+  AND d11.kind = 1
+  AND d11.name = 'dblp'
+  AND d12.kind = 0
+  AND d12.name = 'dblp.xml'
+  AND d12.pre < d11.pre
+  AND d11.pre <= d12.pre + d12.size
+  AND d12.level + 1 = d11.level
+  AND d11.pre < d4.pre
+  AND d4.pre <= d11.pre + d11.size
+  AND d11.level + 1 = d4.level
+  AND d13.kind = 1
+  AND d13.name = 'dblp'
+  AND d14.kind = 0
+  AND d14.name = 'dblp.xml'
+  AND d14.pre < d13.pre
+  AND d13.pre <= d14.pre + d14.size
+  AND d14.level + 1 = d13.level
+  AND d13.pre < d4.pre
+  AND d4.pre <= d13.pre + d13.size
+  AND d13.level + 1 = d4.level
+  AND d15.kind = 1
+  AND d15.name = 'dblp'
+  AND d16.kind = 0
+  AND d16.name = 'dblp.xml'
+  AND d16.pre < d15.pre
+  AND d15.pre <= d16.pre + d16.size
+  AND d16.level + 1 = d15.level
+  AND d15.pre < d4.pre
+  AND d4.pre <= d15.pre + d15.size
+  AND d15.level + 1 = d4.level
+  AND d4.pre < d0.pre
+  AND d0.pre <= d4.pre + d4.size
+  AND d4.level + 1 = d0.level
+ORDER BY d4.pre, d0.pre

@@ -1,0 +1,67 @@
+#include "tests/testutil/fixtures.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/compiler/compile.h"
+#include "src/xml/parser.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+
+namespace xqjg::testutil {
+
+const char* TinyBibXml() {
+  return R"(<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author>Stevens</author>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+    <author>Buneman</author>
+    <price>39.95</price>
+  </book>
+</bib>)";
+}
+
+const char* TinySiteXml() {
+  return R"(<site>
+  <regions>
+    <europe>
+      <item id="i1"><name>clock</name><price>12.5</price></item>
+      <item id="i2"><name>vase</name><price>7.0</price></item>
+    </europe>
+    <asia>
+      <item id="i3"><name>lamp</name><price>30.0</price></item>
+    </asia>
+  </regions>
+  <people>
+    <person id="p1"><name>Ada</name></person>
+    <person id="p2"><name>Grace</name></person>
+  </people>
+</site>)";
+}
+
+xml::DocTable LoadDoc(const std::string& uri, const std::string& xml) {
+  xml::DocTable table;
+  Status st = xml::LoadDocument(&table, uri, xml);
+  if (!st.ok()) {
+    std::fprintf(stderr, "fixture document %s failed to parse: %s\n",
+                 uri.c_str(), st.ToString().c_str());
+    std::abort();
+  }
+  return table;
+}
+
+Result<algebra::OpPtr> CompileToPlan(const std::string& query,
+                                     const std::string& context_document) {
+  XQJG_ASSIGN_OR_RETURN(xquery::ExprPtr ast, xquery::Parse(query));
+  xquery::NormalizeOptions norm;
+  norm.context_document = context_document;
+  XQJG_ASSIGN_OR_RETURN(xquery::ExprPtr core, xquery::Normalize(ast, norm));
+  return compiler::CompileQuery(core);
+}
+
+}  // namespace xqjg::testutil

@@ -1,0 +1,32 @@
+// Shared test fixtures: tiny XML documents and one-call pipeline helpers
+// (parse → normalize → compile) so suites don't re-derive the plumbing.
+#ifndef XQJG_TESTS_TESTUTIL_FIXTURES_H_
+#define XQJG_TESTS_TESTUTIL_FIXTURES_H_
+
+#include <string>
+
+#include "src/algebra/operators.h"
+#include "src/common/status.h"
+#include "src/xml/infoset.h"
+
+namespace xqjg::testutil {
+
+/// A 13-node bibliography document (books with authors/titles/prices);
+/// small enough to hand-check pre/size/level assertions against.
+const char* TinyBibXml();
+
+/// A 3-level <site> document shaped like a miniature XMark instance.
+const char* TinySiteXml();
+
+/// Parses `xml` into a fresh DocTable under `uri`. Aborts the test binary
+/// on parse failure (fixtures are assumed well-formed).
+xml::DocTable LoadDoc(const std::string& uri, const std::string& xml);
+
+/// parse → normalize → compile. `context_document` resolves absolute
+/// paths; leave empty for queries that call doc(...).
+Result<algebra::OpPtr> CompileToPlan(const std::string& query,
+                                     const std::string& context_document = "");
+
+}  // namespace xqjg::testutil
+
+#endif  // XQJG_TESTS_TESTUTIL_FIXTURES_H_

@@ -1,0 +1,82 @@
+#include "tests/testutil/golden.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace xqjg::testutil {
+
+namespace fs = std::filesystem;
+
+bool UpdateGoldensRequested() {
+  const char* v = std::getenv("XQJG_UPDATE_GOLDENS");
+  return v != nullptr && std::string(v) == "1";
+}
+
+namespace {
+
+fs::path GoldenPath(const std::string& rel_path) {
+  return fs::path(XQJG_SOURCE_DIR) / "tests" / "golden" / rel_path;
+}
+
+// Renders a unified-ish diff hint: first differing line of each side.
+std::string FirstDifference(const std::string& expected,
+                            const std::string& actual) {
+  std::istringstream e(expected), a(actual);
+  std::string el, al;
+  int line = 1;
+  while (true) {
+    bool have_e = static_cast<bool>(std::getline(e, el));
+    bool have_a = static_cast<bool>(std::getline(a, al));
+    if (!have_e && !have_a) {
+      std::ostringstream out;
+      out << "lines identical but bytes differ (likely trailing newline): "
+          << "golden is " << expected.size() << " bytes, actual is "
+          << actual.size() << " bytes";
+      return out.str();
+    }
+    if (el != al || have_e != have_a) {
+      std::ostringstream out;
+      out << "first difference at line " << line << ":\n  golden: "
+          << (have_e ? el : "<eof>") << "\n  actual: "
+          << (have_a ? al : "<eof>");
+      return out.str();
+    }
+    ++line;
+  }
+}
+
+}  // namespace
+
+::testing::AssertionResult CheckGolden(const std::string& rel_path,
+                                       const std::string& actual) {
+  fs::path path = GoldenPath(rel_path);
+  if (UpdateGoldensRequested()) {
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return ::testing::AssertionFailure()
+             << "cannot write golden file " << path;
+    }
+    out << actual;
+    return ::testing::AssertionSuccess() << "golden updated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return ::testing::AssertionFailure()
+           << "golden file missing: " << path
+           << " (run with XQJG_UPDATE_GOLDENS=1 to create it)";
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string expected = buf.str();
+  if (expected == actual) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "golden mismatch for " << rel_path << "; "
+         << FirstDifference(expected, actual)
+         << "\n(re-run with XQJG_UPDATE_GOLDENS=1 to accept)";
+}
+
+}  // namespace xqjg::testutil

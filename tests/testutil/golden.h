@@ -1,0 +1,27 @@
+// Golden-file snapshot helper.
+//
+// CheckGolden("sql/q1.sql", actual) compares `actual` against
+// tests/golden/sql/q1.sql in the source tree. Run the test binary with
+// XQJG_UPDATE_GOLDENS=1 to (re)write the files instead of comparing;
+// the rewritten files then show up as a reviewable git diff.
+#ifndef XQJG_TESTS_TESTUTIL_GOLDEN_H_
+#define XQJG_TESTS_TESTUTIL_GOLDEN_H_
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace xqjg::testutil {
+
+/// True when XQJG_UPDATE_GOLDENS=1 is set in the environment.
+bool UpdateGoldensRequested();
+
+/// Compares `actual` to the golden file at tests/golden/<rel_path>
+/// (update mode: writes it). Use inside a test:
+///   EXPECT_TRUE(CheckGolden("printer/q1.txt", text));
+::testing::AssertionResult CheckGolden(const std::string& rel_path,
+                                       const std::string& actual);
+
+}  // namespace xqjg::testutil
+
+#endif  // XQJG_TESTS_TESTUTIL_GOLDEN_H_

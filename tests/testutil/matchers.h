@@ -1,0 +1,78 @@
+// Plan-shape assertion helpers built on algebra::Printer output.
+//
+// Header-only so suites can use them without extra link deps beyond
+// xqjg_testutil (which already links the core library).
+#ifndef XQJG_TESTS_TESTUTIL_MATCHERS_H_
+#define XQJG_TESTS_TESTUTIL_MATCHERS_H_
+
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/algebra/printer.h"
+
+namespace xqjg::testutil {
+
+/// Number of `op` operators in the plan, read off the operator census
+/// ("serialize:1 project:12 join:5 ..."). Returns 0 for absent operators.
+inline int OperatorCount(const algebra::OpPtr& root, const std::string& op) {
+  std::istringstream census(algebra::OperatorCensus(root));
+  std::string entry;
+  while (census >> entry) {
+    auto colon = entry.rfind(':');
+    if (colon == std::string::npos) continue;
+    if (entry.substr(0, colon) == op) {
+      return std::stoi(entry.substr(colon + 1));
+    }
+  }
+  return 0;
+}
+
+/// Asserts the plan contains exactly `count` operators named `op`.
+inline ::testing::AssertionResult PlanHasOpCount(const algebra::OpPtr& root,
+                                                 const std::string& op,
+                                                 int count) {
+  int actual = OperatorCount(root, op);
+  if (actual == count) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "expected " << count << " '" << op << "' operators, found "
+         << actual << "\ncensus: " << algebra::OperatorCensus(root)
+         << "\nplan:\n" << algebra::PrintPlan(root);
+}
+
+/// Asserts the plan contains at least one operator named `op`.
+inline ::testing::AssertionResult PlanHasOp(const algebra::OpPtr& root,
+                                            const std::string& op) {
+  if (OperatorCount(root, op) > 0) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "expected at least one '" << op << "' operator\ncensus: "
+         << algebra::OperatorCensus(root) << "\nplan:\n"
+         << algebra::PrintPlan(root);
+}
+
+/// Asserts the plan contains no operator named `op` (e.g. no `distinct`
+/// left after join-graph isolation).
+inline ::testing::AssertionResult PlanLacksOp(const algebra::OpPtr& root,
+                                              const std::string& op) {
+  int actual = OperatorCount(root, op);
+  if (actual == 0) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "expected no '" << op << "' operators, found " << actual
+         << "\nplan:\n" << algebra::PrintPlan(root);
+}
+
+/// Asserts the printed plan tree contains `needle` (anchor for shapes the
+/// census can't express, e.g. a specific predicate rendering).
+inline ::testing::AssertionResult PlanPrintContains(
+    const algebra::OpPtr& root, const std::string& needle) {
+  std::string text = algebra::PrintPlan(root);
+  if (text.find(needle) != std::string::npos) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "plan print does not contain \"" << needle << "\":\n" << text;
+}
+
+}  // namespace xqjg::testutil
+
+#endif  // XQJG_TESTS_TESTUTIL_MATCHERS_H_
