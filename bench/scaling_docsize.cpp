@@ -16,8 +16,10 @@ using namespace xqjg;
 
 int main() {
   std::printf("Scaling — Q4 (//closed_auction/price/text()) across XMark "
-              "scales\n\n%-7s %10s %14s %14s %8s\n",
-              "scale", "nodes", "joingraph (s)", "native (s)", "factor");
+              "scales (row vs columnar join-graph execution)\n\n"
+              "%-7s %10s %14s %14s %8s %14s %8s\n",
+              "scale", "nodes", "joingraph (s)", "jg-col (s)", "col x",
+              "native (s)", "factor");
   for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     api::XQueryProcessor processor;
     data::XmarkOptions options;
@@ -35,12 +37,21 @@ int main() {
     run.timeout_seconds = 60;
     run.mode = api::Mode::kJoinGraph;
     auto jg = processor.Run(q4.text, run);
+    run.use_columnar = true;
+    auto jg_col = processor.Run(q4.text, run);
+    run.use_columnar = false;
     run.mode = api::Mode::kNativeWhole;
     auto native = processor.Run(q4.text, run);
-    if (!jg.ok() || !native.ok()) return 1;
-    std::printf("%-7.2f %10lld %14.3f %14.3f %7.1fx\n", scale,
+    if (!jg.ok() || !jg_col.ok() || !native.ok()) return 1;
+    if (jg.value().items != jg_col.value().items) {
+      std::fprintf(stderr, "row and columnar join-graph results differ!\n");
+      return 1;
+    }
+    std::printf("%-7.2f %10lld %14.3f %14.3f %7.1fx %14.3f %7.1fx\n", scale,
                 static_cast<long long>(processor.doc_table().row_count()),
-                jg.value().seconds, native.value().seconds,
+                jg.value().seconds, jg_col.value().seconds,
+                jg.value().seconds / std::max(1e-9, jg_col.value().seconds),
+                native.value().seconds,
                 native.value().seconds / std::max(1e-9, jg.value().seconds));
   }
   return 0;

@@ -4,11 +4,19 @@
 // (here: materializing stacked executor | isolated join graph on the
 // cost-based B-tree engine || native engine whole | segmented).
 //
+// Extended with a row-vs-columnar axis: both relational modes run under
+// the row-at-a-time executor AND the columnar batch executor
+// (use_columnar), so the executor speedup is tracked per query. Set
+// XQJG_BENCH_JSON=<path> to additionally emit the numbers as JSON — CI
+// stores that file as the perf-trajectory artifact (BENCH_table09.json).
+//
 // Absolute numbers differ from the paper's testbed; the comparison shape
 // (who wins, rough factors, DNFs) is the reproduction target — see
 // EXPERIMENTS.md.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -25,7 +33,7 @@ struct Cell {
 };
 
 Cell RunMode(api::XQueryProcessor* processor, const api::PaperQuery& q,
-             api::Mode mode, double dnf_seconds) {
+             api::Mode mode, double dnf_seconds, bool use_columnar) {
   // Q2 binds several independent for-clauses over doc(); per-fragment
   // evaluation cannot express the cross-fragment joins — the paper's
   // segmented pureXML run of Q2 also did not finish.
@@ -38,6 +46,7 @@ Cell RunMode(api::XQueryProcessor* processor, const api::PaperQuery& q,
   options.mode = mode;
   options.context_document = q.document;
   options.timeout_seconds = dnf_seconds;
+  options.use_columnar = use_columnar;
   Cell cell;
   auto result = processor->Run(q.text, options);
   if (!result.ok()) {
@@ -64,6 +73,23 @@ std::string Fmt(const Cell& cell) {
   return buf;
 }
 
+std::string Speedup(const Cell& row, const Cell& col) {
+  if (row.dnf || row.na || col.dnf || col.na || col.seconds <= 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", row.seconds / col.seconds);
+  return buf;
+}
+
+void JsonCell(std::string* out, const char* name, const Cell& cell) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"seconds\":%.6f,\"rows\":%zu,\"dnf\":%s,"
+                "\"na\":%s}",
+                name, cell.seconds, cell.rows, cell.dnf ? "true" : "false",
+                cell.na ? "true" : "false");
+  *out += buf;
+}
+
 }  // namespace
 
 int main() {
@@ -71,31 +97,71 @@ int main() {
   std::printf(
       "Table IX — observed result sizes and wall clock execution times\n"
       "(XMark nodes: %lld, DBLP nodes: %lld; DNF budget %.0fs; paper used\n"
-      " 4.7M / 31.8M nodes and a 20h budget — shapes, not absolutes)\n\n",
+      " 4.7M / 31.8M nodes and a 20h budget — shapes, not absolutes)\n"
+      "Each relational mode runs row-at-a-time and columnar (-col).\n\n",
       static_cast<long long>(wb.xmark_nodes),
       static_cast<long long>(wb.dblp_nodes), wb.dnf_seconds);
-  std::printf("%-5s %10s | %10s %10s | %10s %10s\n", "Query", "# nodes",
-              "stacked", "join graph", "whole", "segmented");
-  std::printf("%.*s\n", 68,
+  std::printf("%-5s %9s | %9s %9s %6s | %9s %9s %6s | %9s %9s\n", "Query",
+              "# nodes", "stacked", "stack-col", "gain", "joingraph",
+              "jg-col", "gain", "whole", "segmented");
+  std::printf("%.*s\n", 100,
               "--------------------------------------------------------------"
-              "------");
+              "--------------------------------------");
+  std::string json =
+      "{\"bench\":\"table09\",\"xmark_nodes\":" +
+      std::to_string(wb.xmark_nodes) +
+      ",\"dblp_nodes\":" + std::to_string(wb.dblp_nodes) +
+      ",\"dnf_seconds\":" + std::to_string(wb.dnf_seconds) + ",\"queries\":[";
+  bool first = true;
   for (const auto& q : api::PaperQueries()) {
-    Cell stacked = RunMode(&wb.processor, q, api::Mode::kStacked,
-                           wb.dnf_seconds);
+    Cell stacked =
+        RunMode(&wb.processor, q, api::Mode::kStacked, wb.dnf_seconds, false);
+    Cell stacked_col =
+        RunMode(&wb.processor, q, api::Mode::kStacked, wb.dnf_seconds, true);
     Cell joingraph = RunMode(&wb.processor, q, api::Mode::kJoinGraph,
-                             wb.dnf_seconds);
+                             wb.dnf_seconds, false);
+    Cell joingraph_col =
+        RunMode(&wb.processor, q, api::Mode::kJoinGraph, wb.dnf_seconds, true);
     Cell whole = RunMode(&wb.processor, q, api::Mode::kNativeWhole,
-                         wb.dnf_seconds);
+                         wb.dnf_seconds, false);
     Cell segmented = RunMode(&wb.processor, q, api::Mode::kNativeSegmented,
-                             wb.dnf_seconds);
+                             wb.dnf_seconds, false);
     size_t rows = joingraph.rows ? joingraph.rows : stacked.rows;
-    std::printf("%-5s %10zu | %10s %10s | %10s %10s\n", q.id.c_str(), rows,
-                Fmt(stacked).c_str(), Fmt(joingraph).c_str(),
-                Fmt(whole).c_str(), Fmt(segmented).c_str());
+    std::printf("%-5s %9zu | %9s %9s %6s | %9s %9s %6s | %9s %9s\n",
+                q.id.c_str(), rows, Fmt(stacked).c_str(),
+                Fmt(stacked_col).c_str(), Speedup(stacked, stacked_col).c_str(),
+                Fmt(joingraph).c_str(), Fmt(joingraph_col).c_str(),
+                Speedup(joingraph, joingraph_col).c_str(), Fmt(whole).c_str(),
+                Fmt(segmented).c_str());
     if (!stacked.dnf && !joingraph.dnf && joingraph.seconds > 0) {
-      std::printf("%-5s %10s |   speedup of join graph over stacked: "
-                  "%.1fx\n",
+      std::printf("%-5s %9s |   speedup of join graph over stacked: %.1fx\n",
                   "", "", stacked.seconds / joingraph.seconds);
+    }
+    if (!first) json += ",";
+    first = false;
+    json += "{\"id\":\"" + q.id + "\",\"rows\":" + std::to_string(rows) + ",";
+    JsonCell(&json, "stacked_row", stacked);
+    json += ",";
+    JsonCell(&json, "stacked_columnar", stacked_col);
+    json += ",";
+    JsonCell(&json, "joingraph_row", joingraph);
+    json += ",";
+    JsonCell(&json, "joingraph_columnar", joingraph_col);
+    json += ",";
+    JsonCell(&json, "native_whole", whole);
+    json += ",";
+    JsonCell(&json, "native_segmented", segmented);
+    json += "}";
+  }
+  json += "]}\n";
+  if (const char* path = std::getenv("XQJG_BENCH_JSON")) {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("\nwrote %s\n", path);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
     }
   }
   return 0;

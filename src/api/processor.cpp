@@ -107,16 +107,17 @@ Result<RunResult> XQueryProcessor::Run(const std::string& query,
   XQJG_ASSIGN_OR_RETURN(algebra::OpPtr stacked,
                         compiler::CompileQuery(core, copts));
 
-  engine::ExecLimits limits;
-  limits.timeout_seconds = options.timeout_seconds;
+  engine::ExecOptions exec_options;
+  exec_options.limits.timeout_seconds = options.timeout_seconds;
+  exec_options.use_columnar = options.use_columnar;
 
   std::vector<int64_t> pres;
   if (options.mode == Mode::kStacked) {
     auto sql = sql::EmitStackedCte(stacked);
     if (sql.ok()) result.sql = sql.value();
     mark_compiled();
-    XQJG_ASSIGN_OR_RETURN(pres,
-                          engine::EvaluateToSequence(stacked, doc_, limits));
+    XQJG_ASSIGN_OR_RETURN(
+        pres, engine::EvaluateToSequence(stacked, doc_, exec_options));
   } else {
     XQJG_ASSIGN_OR_RETURN(opt::IsolationResult iso, opt::Isolate(stacked));
     auto graph = opt::ExtractJoinGraph(iso.isolated);
@@ -125,6 +126,7 @@ Result<RunResult> XQueryProcessor::Run(const std::string& query,
       engine::PlannerOptions popts;
       popts.syntactic_order = options.syntactic_join_order;
       popts.timeout_seconds = options.timeout_seconds;
+      popts.use_columnar = options.use_columnar;
       XQJG_ASSIGN_OR_RETURN(engine::PhysicalPlan plan,
                             engine::PlanJoinGraph(graph.value(), *db_, popts));
       result.explain = engine::ExplainPlan(plan);
@@ -139,7 +141,7 @@ Result<RunResult> XQueryProcessor::Run(const std::string& query,
       if (sql.ok()) result.sql = sql.value();
       mark_compiled();
       XQJG_ASSIGN_OR_RETURN(
-          pres, engine::EvaluateToSequence(iso.isolated, doc_, limits));
+          pres, engine::EvaluateToSequence(iso.isolated, doc_, exec_options));
     }
   }
   result.items.reserve(pres.size());

@@ -39,6 +39,9 @@ struct RunOptions {
   bool syntactic_join_order = false;
   /// Append the explicit serialization step (paper §IV).
   bool explicit_serialization_step = false;
+  /// Execute relational modes via the columnar batch executors (stacked /
+  /// fallback plans and physical join trees); identical results, faster.
+  bool use_columnar = false;
 };
 
 struct RunResult {

@@ -55,7 +55,7 @@ std::string Value::ToString() const {
 size_t Value::Hash() const {
   switch (type()) {
     case ValueType::kNull:
-      return 0x9e3779b97f4a7c15ULL;
+      return kNullHash;
     case ValueType::kInt:
       return std::hash<int64_t>()(AsInt());
     case ValueType::kDouble: {
@@ -71,6 +71,24 @@ size_t Value::Hash() const {
       return std::hash<std::string>()(AsString());
   }
   return 0;
+}
+
+bool AccumulateTermValue(Value* acc, bool* have, const Value& v) {
+  if (!*have) {
+    *acc = v;
+    *have = true;
+    return true;
+  }
+  if (acc->IsNumeric() && v.IsNumeric()) {
+    if (acc->type() == ValueType::kInt && v.type() == ValueType::kInt) {
+      *acc = Value::Int(acc->AsInt() + v.AsInt());
+    } else {
+      *acc = Value::Double(acc->AsDouble() + v.AsDouble());
+    }
+    return true;
+  }
+  *acc = Value::Null();  // non-numeric addition: undefined
+  return false;
 }
 
 }  // namespace xqjg

@@ -46,6 +46,10 @@ class Value {
   /// (comparisons with NULL are never true).
   static constexpr int kNullCmp = 2;
 
+  /// Hash() of a NULL value — the single source of truth shared with the
+  /// typed-column fast paths (ValueColumn::HashAt must match Hash()).
+  static constexpr size_t kNullHash = 0x9e3779b97f4a7c15ULL;
+
   /// Returns -1 / 0 / +1, or kNullCmp if either side is NULL.
   int Compare(const Value& other) const;
 
@@ -66,6 +70,14 @@ class Value {
 struct ValueHash {
   size_t operator()(const Value& v) const { return v.Hash(); }
 };
+
+/// Folds the non-NULL `v` into a running term accumulator (the `Σ cols +
+/// constant` semantics shared by every executor): the first value is
+/// adopted, numeric values add (int+int stays int, any other numeric mix
+/// widens to double), and non-numeric addition poisons the term. Returns
+/// false when poisoned (`*acc` is then NULL); `*have` tracks whether a
+/// value has been adopted yet.
+bool AccumulateTermValue(Value* acc, bool* have, const Value& v);
 
 }  // namespace xqjg
 

@@ -1,0 +1,314 @@
+#include "src/common/value_column.h"
+
+#include <functional>
+
+namespace xqjg {
+
+namespace {
+
+size_t HashInt(int64_t v) { return std::hash<int64_t>()(v); }
+
+size_t HashDouble(double d) {
+  // Same rule as Value::Hash: integral doubles hash like the equal int.
+  if (d == static_cast<int64_t>(d)) return HashInt(static_cast<int64_t>(d));
+  return std::hash<double>()(d);
+}
+
+}  // namespace
+
+Value ValueColumn::GetValue(size_t row) const {
+  if (IsNull(row)) return Value::Null();
+  switch (tag_) {
+    case ColumnTag::kInt:
+      return Value::Int(ints_[row]);
+    case ColumnTag::kDouble:
+      return Value::Double(doubles_[row]);
+    case ColumnTag::kString:
+      return Value::String(strings_[row]);
+    case ColumnTag::kMixed:
+      return values_[row];
+  }
+  return Value::Null();
+}
+
+void ValueColumn::Reserve(size_t n) {
+  switch (tag_) {
+    case ColumnTag::kInt:
+      ints_.reserve(n);
+      break;
+    case ColumnTag::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ColumnTag::kString:
+      strings_.reserve(n);
+      break;
+    case ColumnTag::kMixed:
+      values_.reserve(n);
+      break;
+  }
+}
+
+void ValueColumn::SetTagFromFirstValue(const Value& v) {
+  ColumnTag tag = ColumnTag::kMixed;
+  switch (v.type()) {
+    case ValueType::kInt:
+      tag = ColumnTag::kInt;
+      break;
+    case ValueType::kDouble:
+      tag = ColumnTag::kDouble;
+      break;
+    case ValueType::kString:
+      tag = ColumnTag::kString;
+      break;
+    case ValueType::kNull:
+      return;  // tag stays undecided until a non-NULL value arrives
+  }
+  // Rows stored so far (if any) are all NULL and live in the default kInt
+  // payload; move their placeholder slots to the decided representation.
+  ints_.clear();
+  tag_ = tag;
+  tag_decided_ = true;
+  switch (tag_) {
+    case ColumnTag::kInt:
+      ints_.assign(size_, 0);
+      break;
+    case ColumnTag::kDouble:
+      doubles_.assign(size_, 0);
+      break;
+    case ColumnTag::kString:
+      strings_.assign(size_, std::string());
+      break;
+    case ColumnTag::kMixed:
+      break;
+  }
+}
+
+void ValueColumn::DemoteToMixed() {
+  values_.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) values_.push_back(GetValue(i));
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  tag_ = ColumnTag::kMixed;
+  tag_decided_ = true;
+}
+
+void ValueColumn::MarkNull(size_t row) {
+  if (nulls_.empty()) nulls_.assign(size_, 0);
+  if (nulls_.size() <= row) nulls_.resize(row + 1, 0);
+  nulls_[row] = 1;
+}
+
+void ValueColumn::AppendNull() {
+  const size_t row = size_;
+  switch (tag_) {
+    case ColumnTag::kInt:
+      ints_.push_back(0);
+      break;
+    case ColumnTag::kDouble:
+      doubles_.push_back(0);
+      break;
+    case ColumnTag::kString:
+      strings_.emplace_back();
+      break;
+    case ColumnTag::kMixed:
+      values_.push_back(Value::Null());
+      break;
+  }
+  ++size_;
+  MarkNull(row);
+}
+
+void ValueColumn::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  if (!tag_decided_) SetTagFromFirstValue(v);
+  const bool matches =
+      (tag_ == ColumnTag::kMixed) ||
+      (tag_ == ColumnTag::kInt && v.type() == ValueType::kInt) ||
+      (tag_ == ColumnTag::kDouble && v.type() == ValueType::kDouble) ||
+      (tag_ == ColumnTag::kString && v.type() == ValueType::kString);
+  if (!matches) DemoteToMixed();
+  switch (tag_) {
+    case ColumnTag::kInt:
+      ints_.push_back(v.AsInt());
+      break;
+    case ColumnTag::kDouble:
+      doubles_.push_back(v.AsDouble());
+      break;
+    case ColumnTag::kString:
+      strings_.push_back(v.AsString());
+      break;
+    case ColumnTag::kMixed:
+      values_.push_back(v);
+      break;
+  }
+  ++size_;
+  if (!nulls_.empty()) nulls_.push_back(0);
+}
+
+void ValueColumn::AppendFrom(const ValueColumn& src, size_t row) {
+  if (src.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  if (tag_decided_ && tag_ == src.tag_ && src.tag_ != ColumnTag::kMixed) {
+    switch (tag_) {
+      case ColumnTag::kInt:
+        ints_.push_back(src.ints_[row]);
+        break;
+      case ColumnTag::kDouble:
+        doubles_.push_back(src.doubles_[row]);
+        break;
+      case ColumnTag::kString:
+        strings_.push_back(src.strings_[row]);
+        break;
+      case ColumnTag::kMixed:
+        break;
+    }
+    ++size_;
+    if (!nulls_.empty()) nulls_.push_back(0);
+    return;
+  }
+  Append(src.GetValue(row));
+}
+
+size_t ValueColumn::HashAt(size_t row) const {
+  if (IsNull(row)) return Value::kNullHash;
+  switch (tag_) {
+    case ColumnTag::kInt:
+      return HashInt(ints_[row]);
+    case ColumnTag::kDouble:
+      return HashDouble(doubles_[row]);
+    case ColumnTag::kString:
+      return std::hash<std::string>()(strings_[row]);
+    case ColumnTag::kMixed:
+      return values_[row].Hash();
+  }
+  return 0;
+}
+
+bool ValueColumn::EqualAt(const ValueColumn& a, size_t arow,
+                          const ValueColumn& b, size_t brow) {
+  const bool anull = a.IsNull(arow), bnull = b.IsNull(brow);
+  if (anull || bnull) return anull && bnull;
+  if (a.tag_ == b.tag_) {
+    switch (a.tag_) {
+      case ColumnTag::kInt:
+        return a.ints_[arow] == b.ints_[brow];
+      case ColumnTag::kDouble:
+        return a.doubles_[arow] == b.doubles_[brow];
+      case ColumnTag::kString:
+        return a.strings_[arow] == b.strings_[brow];
+      case ColumnTag::kMixed:
+        return a.values_[arow] == b.values_[brow];
+    }
+  }
+  return a.GetValue(arow) == b.GetValue(brow);
+}
+
+bool ValueColumn::SortLessAt(const ValueColumn& a, size_t arow,
+                             const ValueColumn& b, size_t brow) {
+  const bool anull = a.IsNull(arow), bnull = b.IsNull(brow);
+  if (anull != bnull) return anull;
+  if (anull) return false;
+  if (a.tag_ == b.tag_) {
+    switch (a.tag_) {
+      case ColumnTag::kInt:
+        return a.ints_[arow] < b.ints_[brow];
+      case ColumnTag::kDouble:
+        return a.doubles_[arow] < b.doubles_[brow];
+      case ColumnTag::kString:
+        return a.strings_[arow] < b.strings_[brow];
+      case ColumnTag::kMixed:
+        return a.values_[arow].SortLess(b.values_[brow]);
+    }
+  }
+  return a.GetValue(arow).SortLess(b.GetValue(brow));
+}
+
+ValueColumn ValueColumn::Ints(std::vector<int64_t> v) {
+  ValueColumn col;
+  col.tag_ = ColumnTag::kInt;
+  col.tag_decided_ = true;
+  col.size_ = v.size();
+  col.ints_ = std::move(v);
+  return col;
+}
+
+ValueColumn ValueColumn::Doubles(std::vector<double> v,
+                                 std::vector<uint8_t> nulls) {
+  ValueColumn col;
+  col.tag_ = ColumnTag::kDouble;
+  col.tag_decided_ = true;
+  col.size_ = v.size();
+  col.doubles_ = std::move(v);
+  if (!nulls.empty()) nulls.resize(col.size_, 0);  // mask covers every row
+  col.nulls_ = std::move(nulls);
+  return col;
+}
+
+ValueColumn ValueColumn::Strings(std::vector<std::string> v,
+                                 std::vector<uint8_t> nulls) {
+  ValueColumn col;
+  col.tag_ = ColumnTag::kString;
+  col.tag_decided_ = true;
+  col.size_ = v.size();
+  col.strings_ = std::move(v);
+  if (!nulls.empty()) nulls.resize(col.size_, 0);  // mask covers every row
+  col.nulls_ = std::move(nulls);
+  return col;
+}
+
+ValueColumn ValueColumn::Gather(const std::vector<uint32_t>& idx) const {
+  ValueColumn out;
+  out.tag_ = tag_;
+  out.tag_decided_ = tag_decided_;
+  out.size_ = idx.size();
+  switch (tag_) {
+    case ColumnTag::kInt:
+      out.ints_.reserve(idx.size());
+      for (uint32_t i : idx) out.ints_.push_back(ints_[i]);
+      break;
+    case ColumnTag::kDouble:
+      out.doubles_.reserve(idx.size());
+      for (uint32_t i : idx) out.doubles_.push_back(doubles_[i]);
+      break;
+    case ColumnTag::kString:
+      out.strings_.reserve(idx.size());
+      for (uint32_t i : idx) out.strings_.push_back(strings_[i]);
+      break;
+    case ColumnTag::kMixed:
+      out.values_.reserve(idx.size());
+      for (uint32_t i : idx) out.values_.push_back(values_[i]);
+      break;
+  }
+  if (!nulls_.empty()) {
+    out.nulls_.reserve(idx.size());
+    bool any = false;
+    for (uint32_t i : idx) {
+      out.nulls_.push_back(nulls_[i]);
+      any = any || nulls_[i];
+    }
+    if (!any) out.nulls_.clear();
+  }
+  return out;
+}
+
+ValueColumn ColumnFromValues(const std::vector<Value>& values) {
+  ValueColumn col;
+  col.Reserve(values.size());
+  for (const Value& v : values) col.Append(v);
+  return col;
+}
+
+std::vector<Value> ColumnToValues(const ValueColumn& column) {
+  std::vector<Value> out;
+  out.reserve(column.size());
+  for (size_t i = 0; i < column.size(); ++i) out.push_back(column.GetValue(i));
+  return out;
+}
+
+}  // namespace xqjg

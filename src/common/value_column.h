@@ -1,0 +1,90 @@
+// Typed column chunk + Value ↔ column conversion helpers.
+//
+// A ValueColumn stores one column of a materialized table in typed form
+// (int64 / double / string vectors with an optional null mask) instead of
+// one Value per cell. It is the storage unit of the columnar batch
+// executor (src/engine/columnar/); the per-row accessors mirror Value
+// semantics exactly (Hash / operator== / SortLess), so the columnar and
+// row executors agree bit-for-bit.
+//
+// Columns whose cells do not share one runtime type degrade to a kMixed
+// representation holding plain Values — correctness never depends on a
+// column being cleanly typed, only speed does.
+#ifndef XQJG_COMMON_VALUE_COLUMN_H_
+#define XQJG_COMMON_VALUE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace xqjg {
+
+enum class ColumnTag { kInt, kDouble, kString, kMixed };
+
+class ValueColumn {
+ public:
+  ValueColumn() = default;
+
+  size_t size() const { return size_; }
+  ColumnTag tag() const { return tag_; }
+  bool has_nulls() const { return !nulls_.empty(); }
+  bool IsNull(size_t row) const { return !nulls_.empty() && nulls_[row]; }
+
+  /// Reconstructs the cell as a Value (NULL slots return Value::Null()).
+  Value GetValue(size_t row) const;
+
+  void Reserve(size_t n);
+  void Append(const Value& v);
+  void AppendNull();
+  /// Appends src's cell `row`; fast (no Value round-trip) when tags match.
+  void AppendFrom(const ValueColumn& src, size_t row);
+
+  /// Mirrors Value::Hash() of GetValue(row) without materializing it.
+  size_t HashAt(size_t row) const;
+  /// Mirrors Value::operator== (NULL == NULL is true, NULL == x is false).
+  static bool EqualAt(const ValueColumn& a, size_t arow, const ValueColumn& b,
+                      size_t brow);
+  /// Mirrors Value::SortLess (total order: NULL, numerics, strings).
+  static bool SortLessAt(const ValueColumn& a, size_t arow,
+                         const ValueColumn& b, size_t brow);
+
+  /// Typed raw access; valid only when tag() matches (and the slot may be
+  /// a don't-care default for NULL rows).
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  /// Bulk constructors (empty `nulls` = no NULL rows; else one flag/row).
+  static ValueColumn Ints(std::vector<int64_t> v);
+  static ValueColumn Doubles(std::vector<double> v,
+                             std::vector<uint8_t> nulls = {});
+  static ValueColumn Strings(std::vector<std::string> v,
+                             std::vector<uint8_t> nulls = {});
+
+  /// New column with rows picked by `idx` (typed gather, no Value boxing).
+  ValueColumn Gather(const std::vector<uint32_t>& idx) const;
+
+ private:
+  void SetTagFromFirstValue(const Value& v);
+  void DemoteToMixed();
+  void MarkNull(size_t row);
+
+  ColumnTag tag_ = ColumnTag::kInt;
+  bool tag_decided_ = false;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<Value> values_;    // kMixed payload
+  std::vector<uint8_t> nulls_;   // empty, or size_ flags (1 = NULL)
+};
+
+/// Value ↔ column conversion helpers.
+ValueColumn ColumnFromValues(const std::vector<Value>& values);
+std::vector<Value> ColumnToValues(const ValueColumn& column);
+
+}  // namespace xqjg
+
+#endif  // XQJG_COMMON_VALUE_COLUMN_H_

@@ -7,18 +7,24 @@
 // executor for differential tests of the compiler and rewriter: stacked
 // plan, isolated plan, and the native interpreter must agree.
 //
+// Two execution paths sit behind Evaluate / EvaluateToSequence:
+//   - the row-at-a-time materializer in this file (the oracle), and
+//   - the columnar batch executor (src/engine/columnar/), selected via
+//     ExecOptions::use_columnar, which produces bit-identical tables.
+// Memoized intermediates are shared (shared_ptr), never deep-copied.
+//
 // The cost-based engine (src/engine/planner.h) is the fast path used for
 // isolated join graphs; this evaluator is the baseline.
 #ifndef XQJG_ENGINE_ALGEBRA_EXEC_H_
 #define XQJG_ENGINE_ALGEBRA_EXEC_H_
 
-#include <chrono>
 #include <string>
 #include <vector>
 
 #include "src/algebra/operators.h"
 #include "src/common/status.h"
 #include "src/common/value.h"
+#include "src/engine/exec_options.h"
 #include "src/xml/infoset.h"
 
 namespace xqjg::engine {
@@ -31,31 +37,24 @@ struct MatTable {
   int ColumnIndex(const std::string& name) const;
 };
 
-struct ExecLimits {
-  /// Abort with Status::Timeout once this wall-clock budget is exceeded
-  /// (<= 0: unlimited). Emulates the paper's 20-hour DNF cutoff.
-  double timeout_seconds = -1.0;
-  /// Abort when an intermediate table exceeds this many rows (<= 0:
-  /// unlimited); a second DNF guard against runaway Cartesian products.
-  int64_t max_intermediate_rows = -1;
-};
-
 /// Builds the relational doc table (one row per XML node) from the infoset
 /// encoding; schema = algebra::DocColumns().
 MatTable BuildDocRelation(const xml::DocTable& doc);
 
 /// Evaluates `plan` (rooted at any operator, including serialize) against
 /// `doc`. For a serialize root the returned table has the serialize
-/// child's schema with rows in result sequence order.
+/// child's schema with rows in result sequence order. ExecOptions selects
+/// the executor (row oracle vs columnar batch), carries the DNF budget,
+/// and optionally collects ExecStats; an ExecLimits converts implicitly.
 Result<MatTable> Evaluate(const algebra::OpPtr& plan,
                           const xml::DocTable& doc,
-                          const ExecLimits& limits = {});
+                          const ExecOptions& options = {});
 
 /// Evaluates a serialize-rooted plan and returns the result sequence as
 /// pre ranks (in sequence order).
 Result<std::vector<int64_t>> EvaluateToSequence(const algebra::OpPtr& plan,
                                                 const xml::DocTable& doc,
-                                                const ExecLimits& limits = {});
+                                                const ExecOptions& options = {});
 
 /// Evaluates a single predicate comparison between two rows' terms — the
 /// shared predicate semantics used by every executor. NULL operands
@@ -63,6 +62,10 @@ Result<std::vector<int64_t>> EvaluateToSequence(const algebra::OpPtr& plan,
 bool EvalComparison(const algebra::Comparison& cmp,
                     const std::vector<std::string>& schema,
                     const std::vector<Value>& row);
+
+/// Applies `op` to an already-computed three-way comparison — the shared
+/// comparison semantics of every executor (NULL operands compare false).
+bool CompareValues(const Value& lhs, algebra::CmpOp op, const Value& rhs);
 
 }  // namespace xqjg::engine
 

@@ -1,0 +1,108 @@
+#include "src/engine/columnar/column_batch.h"
+
+#include <numeric>
+#include <utility>
+
+namespace xqjg::engine::columnar {
+
+int ColumnBatch::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void ColumnBatch::AddColumn(std::string name, ValueColumn col) {
+  schema.push_back(std::move(name));
+  cols.push_back(std::make_shared<const ValueColumn>(std::move(col)));
+}
+
+ColumnBatch BatchFromMatTable(const MatTable& table) {
+  ColumnBatch batch;
+  batch.schema = table.schema;
+  batch.num_rows = table.rows.size();
+  batch.cols.reserve(table.schema.size());
+  for (size_t c = 0; c < table.schema.size(); ++c) {
+    ValueColumn col;
+    col.Reserve(table.rows.size());
+    for (const auto& row : table.rows) col.Append(row[c]);
+    batch.cols.push_back(std::make_shared<const ValueColumn>(std::move(col)));
+  }
+  return batch;
+}
+
+MatTable BatchToMatTable(const ColumnBatch& batch) {
+  MatTable table;
+  table.schema = batch.schema;
+  table.rows.resize(batch.num_rows);
+  for (auto& row : table.rows) row.reserve(batch.cols.size());
+  for (const ColumnRef& col : batch.cols) {
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      table.rows[r].push_back(col->GetValue(r));
+    }
+  }
+  return table;
+}
+
+Result<ColumnBatch> DocRelationBatch(const xml::DocTable& doc,
+                                     BudgetClock* clock) {
+  const auto n = static_cast<size_t>(doc.row_count());
+  XQJG_RETURN_NOT_OK(clock->CheckRows(doc.row_count()));
+  std::vector<int64_t> pre(n), size(n), level(n), kind(n), parent(n), root(n);
+  std::vector<std::string> name(n), value(n);
+  std::vector<uint8_t> value_null(n, 0);
+  std::vector<double> data(n, 0.0);
+  std::vector<uint8_t> data_null(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto p = static_cast<int64_t>(i);
+    pre[i] = p;
+    size[i] = doc.size(p);
+    level[i] = doc.level(p);
+    kind[i] = static_cast<int64_t>(doc.kind(p));
+    name[i] = doc.name(p);
+    if (doc.has_value(p)) {
+      value[i] = doc.value(p);
+    } else {
+      value_null[i] = 1;
+    }
+    if (doc.has_data(p)) {
+      data[i] = doc.data(p);
+    } else {
+      data_null[i] = 1;
+    }
+    parent[i] = doc.Parent(p);
+    root[i] = doc.Root(p);
+    XQJG_RETURN_NOT_OK(clock->Tick());
+  }
+  ColumnBatch batch;
+  batch.schema = algebra::DocColumns();
+  batch.num_rows = n;
+  auto add = [&](ValueColumn col) {
+    batch.cols.push_back(std::make_shared<const ValueColumn>(std::move(col)));
+  };
+  add(ValueColumn::Ints(std::move(pre)));
+  add(ValueColumn::Ints(std::move(size)));
+  add(ValueColumn::Ints(std::move(level)));
+  add(ValueColumn::Ints(std::move(kind)));
+  add(ValueColumn::Strings(std::move(name)));
+  add(ValueColumn::Strings(std::move(value), std::move(value_null)));
+  add(ValueColumn::Doubles(std::move(data), std::move(data_null)));
+  add(ValueColumn::Ints(std::move(parent)));
+  add(ValueColumn::Ints(std::move(root)));
+  return batch;
+}
+
+ColumnBatch GatherBatch(const ColumnBatch& batch,
+                        const std::vector<uint32_t>& idx) {
+  ColumnBatch out;
+  out.schema = batch.schema;
+  out.num_rows = idx.size();
+  out.cols.reserve(batch.cols.size());
+  for (const ColumnRef& col : batch.cols) {
+    out.cols.push_back(
+        std::make_shared<const ValueColumn>(col->Gather(idx)));
+  }
+  return out;
+}
+
+}  // namespace xqjg::engine::columnar

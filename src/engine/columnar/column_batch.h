@@ -1,0 +1,48 @@
+// ColumnBatch — the unit of work of the columnar batch executor.
+//
+// A batch is a schema plus one shared, immutable ValueColumn per output
+// column. Columns are shared_ptr'd so structural operators (π, @, #, ϱ)
+// reuse input columns without copying a cell; only operators that change
+// the row set (σ, ⋈, δ, sort) gather new columns.
+#ifndef XQJG_ENGINE_COLUMNAR_COLUMN_BATCH_H_
+#define XQJG_ENGINE_COLUMNAR_COLUMN_BATCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value_column.h"
+#include "src/engine/algebra_exec.h"
+#include "src/engine/exec_options.h"
+#include "src/xml/infoset.h"
+
+namespace xqjg::engine::columnar {
+
+using ColumnRef = std::shared_ptr<const ValueColumn>;
+
+struct ColumnBatch {
+  std::vector<std::string> schema;
+  std::vector<ColumnRef> cols;
+  size_t num_rows = 0;
+
+  int ColumnIndex(const std::string& name) const;
+  void AddColumn(std::string name, ValueColumn col);
+};
+
+/// Row-major ↔ columnar conversion at the executor boundary.
+ColumnBatch BatchFromMatTable(const MatTable& table);
+MatTable BatchToMatTable(const ColumnBatch& batch);
+
+/// Typed doc relation (schema = algebra::DocColumns()) built directly from
+/// the infoset encoding — no per-cell Value boxing. Budget-checked.
+Result<ColumnBatch> DocRelationBatch(const xml::DocTable& doc,
+                                     BudgetClock* clock);
+
+/// New batch holding rows `idx` of `batch` (typed gather of every column).
+ColumnBatch GatherBatch(const ColumnBatch& batch,
+                        const std::vector<uint32_t>& idx);
+
+}  // namespace xqjg::engine::columnar
+
+#endif  // XQJG_ENGINE_COLUMNAR_COLUMN_BATCH_H_

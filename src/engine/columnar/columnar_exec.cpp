@@ -1,0 +1,727 @@
+#include "src/engine/columnar/columnar_exec.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/str.h"
+#include "src/engine/columnar/column_batch.h"
+
+namespace xqjg::engine::columnar {
+
+using algebra::CmpOp;
+using algebra::Comparison;
+using algebra::Op;
+using algebra::OpKind;
+using algebra::OpPtr;
+using algebra::Term;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Term / comparison compilation. A Comparison is bound once per batch (column
+// name -> ValueColumn*), then evaluated per row; conjuncts whose columns are
+// all null-free int64 compile to a branch-light integer kernel.
+
+/// A term bound against one batch (single-input operators).
+struct BoundTerm {
+  const ValueColumn* col = nullptr;
+  const ValueColumn* col2 = nullptr;
+  bool missing = false;  ///< a named column is absent from the schema
+  Value constant;
+};
+
+BoundTerm BindTerm(const Term& term, const ColumnBatch& batch) {
+  BoundTerm b;
+  b.constant = term.constant;
+  auto resolve = [&](const std::string& name, const ValueColumn** out) {
+    if (name.empty()) return;
+    int idx = batch.ColumnIndex(name);
+    if (idx < 0) {
+      b.missing = true;
+      return;
+    }
+    *out = batch.cols[static_cast<size_t>(idx)].get();
+  };
+  resolve(term.col, &b.col);
+  resolve(term.col2, &b.col2);
+  return b;
+}
+
+/// Mirrors EvalTerm in algebra_exec.cpp: Σ cols + constant, NULL-poisoning,
+/// int+int stays int, any other numeric mix widens to double, non-numeric
+/// addition is undefined (NULL).
+Value BoundTermValue(const BoundTerm& t, size_t row) {
+  if (t.missing) return Value::Null();
+  Value acc = t.constant;
+  bool have = !acc.is_null();
+  auto add = [&](const ValueColumn* c) -> bool {
+    if (!c) return true;
+    if (c->IsNull(row)) {
+      acc = Value::Null();
+      return false;
+    }
+    return AccumulateTermValue(&acc, &have, c->GetValue(row));
+  };
+  if (!add(t.col)) return Value::Null();
+  if (!add(t.col2)) return Value::Null();
+  return acc;
+}
+
+/// Integer fast-path view of a BoundTerm: valid when every referenced
+/// column is null-free int64 and the constant (if any) is an int.
+struct FastIntTerm {
+  bool ok = false;
+  const int64_t* a = nullptr;
+  const int64_t* b = nullptr;
+  int64_t k = 0;
+};
+
+FastIntTerm FastInt(const BoundTerm& t) {
+  FastIntTerm f;
+  if (t.missing) return f;
+  if (!t.col && !t.col2 && t.constant.is_null()) return f;  // NULL term
+  if (!t.constant.is_null()) {
+    if (t.constant.type() != ValueType::kInt) return f;
+    f.k = t.constant.AsInt();
+  }
+  auto use = [](const ValueColumn* c, const int64_t** out) {
+    if (!c) return true;
+    if (c->tag() != ColumnTag::kInt || c->has_nulls()) return false;
+    *out = c->ints().data();
+    return true;
+  };
+  if (!use(t.col, &f.a) || !use(t.col2, &f.b)) return f;
+  f.ok = true;
+  return f;
+}
+
+inline int64_t FastIntValue(const FastIntTerm& f, size_t row) {
+  int64_t v = f.k;
+  if (f.a) v += f.a[row];
+  if (f.b) v += f.b[row];
+  return v;
+}
+
+inline bool IntPasses(int64_t a, CmpOp op, int64_t b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+struct CompiledCmp {
+  BoundTerm lhs, rhs;
+  FastIntTerm fast_lhs, fast_rhs;
+  CmpOp op = CmpOp::kEq;
+  bool fast = false;
+};
+
+CompiledCmp CompileCmp(const Comparison& cmp, const ColumnBatch& batch) {
+  CompiledCmp c;
+  c.lhs = BindTerm(cmp.lhs, batch);
+  c.rhs = BindTerm(cmp.rhs, batch);
+  c.op = cmp.op;
+  c.fast_lhs = FastInt(c.lhs);
+  c.fast_rhs = FastInt(c.rhs);
+  c.fast = c.fast_lhs.ok && c.fast_rhs.ok;
+  return c;
+}
+
+inline bool CmpPasses(const CompiledCmp& c, size_t row) {
+  if (c.fast) {
+    return IntPasses(FastIntValue(c.fast_lhs, row), c.op,
+                     FastIntValue(c.fast_rhs, row));
+  }
+  return CompareValues(BoundTermValue(c.lhs, row), c.op,
+                       BoundTermValue(c.rhs, row));
+}
+
+// --- Join-side variants: a term bound against (left, right) batches. ------
+
+struct JoinColRef {
+  const ValueColumn* col = nullptr;
+  bool left = true;
+};
+
+struct JoinBoundTerm {
+  JoinColRef a, b;  ///< term.col / term.col2
+  bool missing = false;
+  Value constant;
+};
+
+JoinBoundTerm BindJoinTerm(const Term& term, const ColumnBatch& left,
+                           const ColumnBatch& right) {
+  JoinBoundTerm t;
+  t.constant = term.constant;
+  auto resolve = [&](const std::string& name, JoinColRef* out) {
+    if (name.empty()) return;
+    int idx = left.ColumnIndex(name);
+    if (idx >= 0) {
+      out->col = left.cols[static_cast<size_t>(idx)].get();
+      out->left = true;
+      return;
+    }
+    idx = right.ColumnIndex(name);
+    if (idx >= 0) {
+      out->col = right.cols[static_cast<size_t>(idx)].get();
+      out->left = false;
+      return;
+    }
+    t.missing = true;
+  };
+  resolve(term.col, &t.a);
+  resolve(term.col2, &t.b);
+  return t;
+}
+
+Value JoinTermValue(const JoinBoundTerm& t, size_t lrow, size_t rrow) {
+  if (t.missing) return Value::Null();
+  Value acc = t.constant;
+  bool have = !acc.is_null();
+  auto add = [&](const JoinColRef& ref) -> bool {
+    if (!ref.col) return true;
+    const size_t row = ref.left ? lrow : rrow;
+    if (ref.col->IsNull(row)) {
+      acc = Value::Null();
+      return false;
+    }
+    return AccumulateTermValue(&acc, &have, ref.col->GetValue(row));
+  };
+  if (!add(t.a)) return Value::Null();
+  if (!add(t.b)) return Value::Null();
+  return acc;
+}
+
+struct FastIntJoinTerm {
+  bool ok = false;
+  const int64_t* a = nullptr;
+  bool a_left = true;
+  const int64_t* b = nullptr;
+  bool b_left = true;
+  int64_t k = 0;
+};
+
+FastIntJoinTerm FastIntJoin(const JoinBoundTerm& t) {
+  FastIntJoinTerm f;
+  if (t.missing) return f;
+  if (!t.a.col && !t.b.col && t.constant.is_null()) return f;
+  if (!t.constant.is_null()) {
+    if (t.constant.type() != ValueType::kInt) return f;
+    f.k = t.constant.AsInt();
+  }
+  auto use = [](const JoinColRef& ref, const int64_t** out, bool* out_left) {
+    if (!ref.col) return true;
+    if (ref.col->tag() != ColumnTag::kInt || ref.col->has_nulls()) {
+      return false;
+    }
+    *out = ref.col->ints().data();
+    *out_left = ref.left;
+    return true;
+  };
+  if (!use(t.a, &f.a, &f.a_left) || !use(t.b, &f.b, &f.b_left)) return f;
+  f.ok = true;
+  return f;
+}
+
+inline int64_t FastIntJoinValue(const FastIntJoinTerm& f, size_t lrow,
+                                size_t rrow) {
+  int64_t v = f.k;
+  if (f.a) v += f.a[f.a_left ? lrow : rrow];
+  if (f.b) v += f.b[f.b_left ? lrow : rrow];
+  return v;
+}
+
+struct CompiledJoinCmp {
+  JoinBoundTerm lhs, rhs;
+  FastIntJoinTerm fast_lhs, fast_rhs;
+  CmpOp op = CmpOp::kEq;
+  bool fast = false;
+};
+
+CompiledJoinCmp CompileJoinCmp(const Comparison& cmp, const ColumnBatch& left,
+                               const ColumnBatch& right) {
+  CompiledJoinCmp c;
+  c.lhs = BindJoinTerm(cmp.lhs, left, right);
+  c.rhs = BindJoinTerm(cmp.rhs, left, right);
+  c.op = cmp.op;
+  c.fast_lhs = FastIntJoin(c.lhs);
+  c.fast_rhs = FastIntJoin(c.rhs);
+  c.fast = c.fast_lhs.ok && c.fast_rhs.ok;
+  return c;
+}
+
+inline bool JoinCmpPasses(const CompiledJoinCmp& c, size_t lrow, size_t rrow) {
+  if (c.fast) {
+    return IntPasses(FastIntJoinValue(c.fast_lhs, lrow, rrow), c.op,
+                     FastIntJoinValue(c.fast_rhs, lrow, rrow));
+  }
+  return CompareValues(JoinTermValue(c.lhs, lrow, rrow), c.op,
+                       JoinTermValue(c.rhs, lrow, rrow));
+}
+
+// ---------------------------------------------------------------------------
+// Row hashing over key column sets (same FNV chain as the row executor).
+
+size_t HashKeysAt(const ColumnBatch& batch, const std::vector<int>& keys,
+                  size_t row) {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (int k : keys) {
+    h = h * 1099511628211ULL + batch.cols[static_cast<size_t>(k)]->HashAt(row);
+  }
+  return h;
+}
+
+bool AnyKeyNull(const ColumnBatch& batch, const std::vector<int>& keys,
+                size_t row) {
+  for (int k : keys) {
+    if (batch.cols[static_cast<size_t>(k)]->IsNull(row)) return true;
+  }
+  return false;
+}
+
+bool KeysEqual(const ColumnBatch& a, const std::vector<int>& ka, size_t arow,
+               const ColumnBatch& b, const std::vector<int>& kb, size_t brow) {
+  for (size_t i = 0; i < ka.size(); ++i) {
+    const ValueColumn& ca = *a.cols[static_cast<size_t>(ka[i])];
+    const ValueColumn& cb = *b.cols[static_cast<size_t>(kb[i])];
+    // NULL join keys never match (Value::Compare: NULL is incomparable).
+    if (ca.IsNull(arow) || cb.IsNull(brow)) return false;
+    if (!ValueColumn::EqualAt(ca, arow, cb, brow)) return false;
+  }
+  return true;
+}
+
+constexpr size_t kMaxBatchRows = std::numeric_limits<uint32_t>::max();
+
+// ---------------------------------------------------------------------------
+
+class ColumnarEvaluator {
+ public:
+  using BatchRef = std::shared_ptr<const ColumnBatch>;
+
+  ColumnarEvaluator(const xml::DocTable& doc, const ExecOptions& options)
+      : doc_(doc), clock_(options.limits), stats_(options.stats) {}
+
+  Result<BatchRef> Eval(const Op* op) {
+    auto it = memo_.find(op);
+    if (it != memo_.end()) return it->second;
+    XQJG_RETURN_NOT_OK(clock_.CheckRows(0));
+    Result<ColumnBatch> result = EvalUncached(op);
+    if (!result.ok()) return result.status();
+    XQJG_RETURN_NOT_OK(
+        clock_.CheckRows(static_cast<int64_t>(result.value().num_rows)));
+    auto ref = std::make_shared<const ColumnBatch>(std::move(result).value());
+    if (stats_) {
+      stats_->tuples_materialized += static_cast<int64_t>(ref->num_rows);
+    }
+    memo_[op] = ref;
+    return ref;
+  }
+
+ private:
+  Result<ColumnBatch> EvalUncached(const Op* op) {
+    switch (op->kind) {
+      case OpKind::kDocTable:
+        return DocRelationBatch(doc_, &clock_);
+      case OpKind::kLiteral:
+        return EvalLiteral(op);
+      case OpKind::kSerialize:
+        return EvalSerialize(op);
+      case OpKind::kProject:
+        return EvalProject(op);
+      case OpKind::kSelect:
+        return EvalSelect(op);
+      case OpKind::kJoin:
+      case OpKind::kCross:
+        return EvalJoin(op);
+      case OpKind::kDistinct:
+        return EvalDistinct(op);
+      case OpKind::kAttach:
+        return EvalAttach(op);
+      case OpKind::kRowId:
+        return EvalRowId(op);
+      case OpKind::kRank:
+        return EvalRank(op);
+    }
+    return Status::Internal("unhandled operator in columnar Evaluate");
+  }
+
+  Result<ColumnBatch> EvalLiteral(const Op* op) {
+    ColumnBatch batch;
+    batch.schema = op->schema;
+    batch.num_rows = op->rows.size();
+    for (size_t c = 0; c < op->schema.size(); ++c) {
+      ValueColumn col;
+      col.Reserve(op->rows.size());
+      for (const auto& row : op->rows) col.Append(row[c]);
+      batch.cols.push_back(
+          std::make_shared<const ValueColumn>(std::move(col)));
+    }
+    return batch;
+  }
+
+  Result<ColumnBatch> EvalProject(const Op* op) {
+    XQJG_ASSIGN_OR_RETURN(BatchRef in, Eval(op->children[0].get()));
+    ColumnBatch out;
+    out.schema = op->schema;
+    out.num_rows = in->num_rows;
+    out.cols.reserve(op->proj.size());
+    for (const auto& [out_name, src] : op->proj) {
+      (void)out_name;
+      int idx = in->ColumnIndex(src);
+      if (idx < 0) {
+        return Status::Internal("projection source missing: " + src);
+      }
+      out.cols.push_back(in->cols[static_cast<size_t>(idx)]);  // zero copy
+    }
+    return out;
+  }
+
+  Result<ColumnBatch> EvalSelect(const Op* op) {
+    XQJG_ASSIGN_OR_RETURN(BatchRef in, Eval(op->children[0].get()));
+    if (in->num_rows > kMaxBatchRows) {
+      return Status::Internal("select input exceeds batch row limit");
+    }
+    std::vector<CompiledCmp> cmps;
+    cmps.reserve(op->pred.conjuncts.size());
+    for (const auto& cmp : op->pred.conjuncts) {
+      cmps.push_back(CompileCmp(cmp, *in));
+    }
+    std::vector<uint32_t> sel;
+    for (size_t row = 0; row < in->num_rows; ++row) {
+      bool pass = true;
+      for (const CompiledCmp& c : cmps) {
+        if (!CmpPasses(c, row)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) sel.push_back(static_cast<uint32_t>(row));
+      XQJG_RETURN_NOT_OK(clock_.Tick());
+    }
+    ColumnBatch out = GatherBatch(*in, sel);
+    out.schema = op->schema;
+    return out;
+  }
+
+  Result<ColumnBatch> EvalJoin(const Op* op) {
+    XQJG_ASSIGN_OR_RETURN(BatchRef left, Eval(op->children[0].get()));
+    XQJG_ASSIGN_OR_RETURN(BatchRef right, Eval(op->children[1].get()));
+    if (left->num_rows > kMaxBatchRows || right->num_rows > kMaxBatchRows) {
+      return Status::Internal("join input exceeds batch row limit");
+    }
+    // Split the predicate into hashable equality conjuncts and residual
+    // comparisons — same classification as the row executor.
+    std::vector<int> lkeys, rkeys;
+    std::vector<Comparison> residual;
+    if (op->kind == OpKind::kJoin) {
+      for (const auto& cmp : op->pred.conjuncts) {
+        if (cmp.IsColEq()) {
+          int li = left->ColumnIndex(cmp.lhs.col);
+          int ri = right->ColumnIndex(cmp.rhs.col);
+          if (li < 0 && ri < 0) {
+            li = left->ColumnIndex(cmp.rhs.col);
+            ri = right->ColumnIndex(cmp.lhs.col);
+          }
+          if (li >= 0 && ri >= 0) {
+            lkeys.push_back(li);
+            rkeys.push_back(ri);
+            continue;
+          }
+        }
+        residual.push_back(cmp);
+      }
+    }
+    std::vector<CompiledJoinCmp> res;
+    res.reserve(residual.size());
+    for (const auto& cmp : residual) {
+      res.push_back(CompileJoinCmp(cmp, *left, *right));
+    }
+    std::vector<uint32_t> lidx, ridx;
+    auto emit = [&](size_t l, size_t r) -> Status {
+      for (const CompiledJoinCmp& c : res) {
+        if (!JoinCmpPasses(c, l, r)) return Status::OK();
+      }
+      lidx.push_back(static_cast<uint32_t>(l));
+      ridx.push_back(static_cast<uint32_t>(r));
+      if ((lidx.size() & 0xFFF) == 0) {
+        XQJG_RETURN_NOT_OK(
+            clock_.CheckRows(static_cast<int64_t>(lidx.size())));
+      }
+      return Status::OK();
+    };
+    if (!lkeys.empty()) {
+      // Batch hash join: build on the right, probe left in row order (the
+      // row executor's emission order). NULL keys are skipped on both
+      // sides — NULL never equals NULL in a join predicate.
+      std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+      buckets.reserve(right->num_rows * 2);
+      for (size_t j = 0; j < right->num_rows; ++j) {
+        if (AnyKeyNull(*right, rkeys, j)) continue;
+        buckets[HashKeysAt(*right, rkeys, j)].push_back(
+            static_cast<uint32_t>(j));
+        XQJG_RETURN_NOT_OK(clock_.Tick());
+      }
+      for (size_t l = 0; l < left->num_rows; ++l) {
+        XQJG_RETURN_NOT_OK(clock_.Tick());
+        if (AnyKeyNull(*left, lkeys, l)) continue;
+        auto it = buckets.find(HashKeysAt(*left, lkeys, l));
+        if (it == buckets.end()) continue;
+        for (uint32_t j : it->second) {
+          if (KeysEqual(*left, lkeys, l, *right, rkeys, j)) {
+            XQJG_RETURN_NOT_OK(emit(l, j));
+          }
+        }
+      }
+    } else {
+      for (size_t l = 0; l < left->num_rows; ++l) {
+        XQJG_RETURN_NOT_OK(clock_.Tick());
+        for (size_t r = 0; r < right->num_rows; ++r) {
+          XQJG_RETURN_NOT_OK(emit(l, r));
+        }
+      }
+    }
+    ColumnBatch out;
+    out.schema = op->schema;
+    out.num_rows = lidx.size();
+    out.cols.reserve(left->cols.size() + right->cols.size());
+    for (const ColumnRef& col : left->cols) {
+      out.cols.push_back(
+          std::make_shared<const ValueColumn>(col->Gather(lidx)));
+    }
+    for (const ColumnRef& col : right->cols) {
+      out.cols.push_back(
+          std::make_shared<const ValueColumn>(col->Gather(ridx)));
+    }
+    return out;
+  }
+
+  Result<ColumnBatch> EvalDistinct(const Op* op) {
+    XQJG_ASSIGN_OR_RETURN(BatchRef in, Eval(op->children[0].get()));
+    if (in->num_rows > kMaxBatchRows) {
+      return Status::Internal("distinct input exceeds batch row limit");
+    }
+    std::vector<int> all(in->schema.size());
+    std::iota(all.begin(), all.end(), 0);
+    std::vector<uint32_t> keep;
+    std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+    for (size_t row = 0; row < in->num_rows; ++row) {
+      XQJG_RETURN_NOT_OK(clock_.Tick());
+      size_t h = HashKeysAt(*in, all, row);
+      auto& bucket = buckets[h];
+      bool dup = false;
+      for (uint32_t j : bucket) {
+        bool eq = true;
+        for (const ColumnRef& col : in->cols) {
+          // Distinct treats NULLs as duplicates of each other (unlike join
+          // keys): ValueColumn::EqualAt mirrors Value::operator==.
+          if (!ValueColumn::EqualAt(*col, row, *col, j)) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        bucket.push_back(static_cast<uint32_t>(row));
+        keep.push_back(static_cast<uint32_t>(row));
+      }
+    }
+    ColumnBatch out = GatherBatch(*in, keep);
+    out.schema = op->schema;
+    return out;
+  }
+
+  Result<ColumnBatch> EvalAttach(const Op* op) {
+    XQJG_ASSIGN_OR_RETURN(BatchRef in, Eval(op->children[0].get()));
+    ColumnBatch out;
+    out.schema = op->schema;
+    out.num_rows = in->num_rows;
+    out.cols = in->cols;  // shared
+    out.cols.push_back(std::make_shared<const ValueColumn>(
+        ConstantColumn(op->val, in->num_rows)));
+    return out;
+  }
+
+  Result<ColumnBatch> EvalRowId(const Op* op) {
+    XQJG_ASSIGN_OR_RETURN(BatchRef in, Eval(op->children[0].get()));
+    std::vector<int64_t> ids(in->num_rows);
+    for (size_t i = 0; i < in->num_rows; ++i) {
+      ids[i] = static_cast<int64_t>(i) + 1;
+      XQJG_RETURN_NOT_OK(clock_.Tick());
+    }
+    ColumnBatch out;
+    out.schema = op->schema;
+    out.num_rows = in->num_rows;
+    out.cols = in->cols;  // shared
+    out.cols.push_back(
+        std::make_shared<const ValueColumn>(ValueColumn::Ints(std::move(ids))));
+    return out;
+  }
+
+  Result<ColumnBatch> EvalRank(const Op* op) {
+    XQJG_ASSIGN_OR_RETURN(BatchRef in, Eval(op->children[0].get()));
+    if (in->num_rows > kMaxBatchRows) {
+      return Status::Internal("rank input exceeds batch row limit");
+    }
+    std::vector<const ValueColumn*> order;
+    for (const auto& b : op->order) {
+      int idx = in->ColumnIndex(b);
+      if (idx < 0) return Status::Internal("rank criterion missing: " + b);
+      order.push_back(in->cols[static_cast<size_t>(idx)].get());
+    }
+    std::vector<uint32_t> perm(in->num_rows);
+    std::iota(perm.begin(), perm.end(), 0);
+    auto less = [&](uint32_t a, uint32_t b) {
+      clock_.TickThrow();
+      for (const ValueColumn* c : order) {
+        if (ValueColumn::SortLessAt(*c, a, *c, b)) return true;
+        if (ValueColumn::SortLessAt(*c, b, *c, a)) return false;
+      }
+      return false;
+    };
+    std::vector<int64_t> ranks(in->num_rows, 0);
+    try {
+      std::stable_sort(perm.begin(), perm.end(), less);
+      // RANK() semantics: ties share the rank of their first row (1-based).
+      for (size_t k = 0; k < perm.size(); ++k) {
+        if (k > 0 && !less(perm[k - 1], perm[k]) &&
+            !less(perm[k], perm[k - 1])) {
+          ranks[perm[k]] = ranks[perm[k - 1]];
+        } else {
+          ranks[perm[k]] = static_cast<int64_t>(k) + 1;
+        }
+      }
+    } catch (const BudgetExhausted&) {
+      return Status::Timeout("execution exceeded wall-clock budget (DNF)");
+    }
+    ColumnBatch out;
+    out.schema = op->schema;
+    out.num_rows = in->num_rows;
+    out.cols = in->cols;  // shared
+    out.cols.push_back(std::make_shared<const ValueColumn>(
+        ValueColumn::Ints(std::move(ranks))));
+    return out;
+  }
+
+  Result<ColumnBatch> EvalSerialize(const Op* op) {
+    XQJG_ASSIGN_OR_RETURN(BatchRef in, Eval(op->children[0].get()));
+    if (in->num_rows > kMaxBatchRows) {
+      return Status::Internal("serialize input exceeds batch row limit");
+    }
+    const int pos_idx = in->ColumnIndex(op->order[0]);
+    const int item_idx = in->ColumnIndex(op->col);
+    if (pos_idx < 0 || item_idx < 0) {
+      return Status::Internal("serialize columns missing");
+    }
+    const ValueColumn& pos = *in->cols[static_cast<size_t>(pos_idx)];
+    const ValueColumn& item = *in->cols[static_cast<size_t>(item_idx)];
+    std::vector<uint32_t> perm(in->num_rows);
+    std::iota(perm.begin(), perm.end(), 0);
+    try {
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         clock_.TickThrow();
+                         if (ValueColumn::SortLessAt(pos, a, pos, b)) {
+                           return true;
+                         }
+                         if (ValueColumn::SortLessAt(pos, b, pos, a)) {
+                           return false;
+                         }
+                         return ValueColumn::SortLessAt(item, a, item, b);
+                       });
+    } catch (const BudgetExhausted&) {
+      return Status::Timeout("execution exceeded wall-clock budget (DNF)");
+    }
+    ColumnBatch out = GatherBatch(*in, perm);
+    out.schema = op->schema;
+    return out;
+  }
+
+  static ValueColumn ConstantColumn(const Value& v, size_t n) {
+    switch (v.type()) {
+      case ValueType::kInt:
+        return ValueColumn::Ints(std::vector<int64_t>(n, v.AsInt()));
+      case ValueType::kDouble:
+        return ValueColumn::Doubles(std::vector<double>(n, v.AsDouble()));
+      case ValueType::kString:
+        return ValueColumn::Strings(
+            std::vector<std::string>(n, v.AsString()));
+      case ValueType::kNull:
+        break;
+    }
+    ValueColumn col;
+    for (size_t i = 0; i < n; ++i) col.AppendNull();
+    return col;
+  }
+
+  const xml::DocTable& doc_;
+  BudgetClock clock_;
+  ExecStats* stats_;
+  std::unordered_map<const Op*, BatchRef> memo_;
+};
+
+}  // namespace
+
+Result<MatTable> EvaluateColumnar(const OpPtr& plan, const xml::DocTable& doc,
+                                  const ExecOptions& options) {
+  ColumnarEvaluator evaluator(doc, options);
+  XQJG_ASSIGN_OR_RETURN(ColumnarEvaluator::BatchRef out,
+                        evaluator.Eval(plan.get()));
+  MatTable table = BatchToMatTable(*out);
+  if (options.stats) {
+    options.stats->rows_out = static_cast<int64_t>(table.rows.size());
+  }
+  return table;
+}
+
+Result<std::vector<int64_t>> EvaluateToSequenceColumnar(
+    const OpPtr& plan, const xml::DocTable& doc, const ExecOptions& options) {
+  if (plan->kind != OpKind::kSerialize) {
+    return Status::InvalidArgument("expected a serialize-rooted plan");
+  }
+  ColumnarEvaluator evaluator(doc, options);
+  XQJG_ASSIGN_OR_RETURN(ColumnarEvaluator::BatchRef result,
+                        evaluator.Eval(plan.get()));
+  const int item_idx = result->ColumnIndex(plan->col);
+  if (item_idx < 0) return Status::Internal("serialize item column missing");
+  const ValueColumn& item = *result->cols[static_cast<size_t>(item_idx)];
+  std::vector<int64_t> out;
+  out.reserve(result->num_rows);
+  if (item.tag() == ColumnTag::kInt && !item.has_nulls()) {
+    out = item.ints();  // the common case: plain pre ranks
+  } else {
+    for (size_t r = 0; r < result->num_rows; ++r) {
+      Value v = item.GetValue(r);
+      if (v.is_null()) {
+        return Status::Internal("NULL item in result sequence");
+      }
+      out.push_back(v.type() == ValueType::kInt
+                        ? v.AsInt()
+                        : static_cast<int64_t>(v.AsDouble()));
+    }
+  }
+  if (options.stats) {
+    options.stats->rows_out = static_cast<int64_t>(out.size());
+  }
+  return out;
+}
+
+}  // namespace xqjg::engine::columnar

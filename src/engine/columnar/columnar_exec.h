@@ -1,0 +1,41 @@
+// Columnar batch evaluator for table-algebra plans.
+//
+// The drop-in fast sibling of the materializing row evaluator
+// (src/engine/algebra_exec.h): same plans, same memoization across shared
+// sub-DAGs, same DNF budgets, bit-identical output tables (including row
+// order) — but intermediates are ColumnBatches of typed columns, filters
+// run as vectorized kernels over int64 arrays where the predicate allows,
+// projection / attach / rowid / rank share input columns instead of
+// copying rows, and the hash join builds and probes typed key columns
+// (NULL keys never match, per Value::Compare).
+//
+// Selected via ExecOptions::use_columnar; the row evaluator remains the
+// differential-test oracle.
+#ifndef XQJG_ENGINE_COLUMNAR_COLUMNAR_EXEC_H_
+#define XQJG_ENGINE_COLUMNAR_COLUMNAR_EXEC_H_
+
+#include <vector>
+
+#include "src/algebra/operators.h"
+#include "src/common/status.h"
+#include "src/engine/algebra_exec.h"
+#include "src/engine/exec_options.h"
+#include "src/xml/infoset.h"
+
+namespace xqjg::engine::columnar {
+
+/// Evaluates `plan` against `doc` via the batch executor and converts the
+/// final batch to a MatTable (the only row-major materialization).
+Result<MatTable> EvaluateColumnar(const algebra::OpPtr& plan,
+                                  const xml::DocTable& doc,
+                                  const ExecOptions& options);
+
+/// Serialize-rooted plans: returns the result sequence (item column pre
+/// ranks) without materializing the final table row-major.
+Result<std::vector<int64_t>> EvaluateToSequenceColumnar(
+    const algebra::OpPtr& plan, const xml::DocTable& doc,
+    const ExecOptions& options);
+
+}  // namespace xqjg::engine::columnar
+
+#endif  // XQJG_ENGINE_COLUMNAR_COLUMNAR_EXEC_H_

@@ -1,0 +1,576 @@
+#include "src/engine/columnar/plan_exec.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "src/engine/algebra_exec.h"
+#include "src/engine/btree.h"
+
+namespace xqjg::engine::columnar {
+
+using algebra::CmpOp;
+using opt::AdjustProbeValue;
+using opt::JoinGraph;
+using opt::OrientTo;
+using opt::QualComparison;
+using opt::QualTerm;
+using opt::SargColumn;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Alias-column tuple store: one contiguous pre-rank column per bound doc
+// alias instead of one heap-allocated tuple per row.
+
+struct AliasBatch {
+  size_t rows = 0;
+  std::vector<uint8_t> bound;              ///< per alias
+  std::vector<std::vector<int64_t>> cols;  ///< per alias; filled iff bound
+
+  explicit AliasBatch(int num_aliases = 0)
+      : bound(static_cast<size_t>(num_aliases), 0),
+        cols(static_cast<size_t>(num_aliases)) {}
+};
+
+/// Abstract row view: pre rank of `alias` in the current row, -1 when the
+/// alias is unbound. The three concrete contexts mirror the row
+/// executor's tuple states: a batch row, a scan probe (outer row + the
+/// scanned alias candidate), and a join candidate pair.
+struct BatchRow {
+  const AliasBatch* batch;
+  size_t row;
+
+  int64_t PreOf(int alias) const {
+    const auto a = static_cast<size_t>(alias);
+    return batch->bound[a] ? batch->cols[a][row] : -1;
+  }
+};
+
+struct ScanRow {
+  const AliasBatch* outer;  ///< nullptr for leaf scans
+  size_t orow;
+  int alias;
+  int64_t pre;
+
+  int64_t PreOf(int a) const {
+    if (a == alias) return pre;
+    if (outer && outer->bound[static_cast<size_t>(a)]) {
+      return outer->cols[static_cast<size_t>(a)][orow];
+    }
+    return -1;
+  }
+};
+
+struct PairRow {
+  const AliasBatch* left;
+  size_t lrow;
+  const AliasBatch* right;
+  size_t rrow;
+
+  int64_t PreOf(int a) const {
+    const auto idx = static_cast<size_t>(a);
+    // Left binding wins, mirroring MergeTuples in the row executor.
+    if (left->bound[idx]) return left->cols[idx][lrow];
+    if (right->bound[idx]) return right->cols[idx][rrow];
+    return -1;
+  }
+};
+
+/// Mirrors EvalQualTerm of the row executor over any row view.
+template <typename Row>
+Value EvalTermAt(const QualTerm& t, const Row& row, const Database& db) {
+  Value acc = t.constant;
+  bool have = !acc.is_null();
+  auto add = [&](int alias, const std::string& col) -> bool {
+    if (alias < 0) return true;
+    const int64_t pre = row.PreOf(alias);
+    if (pre < 0) return false;
+    const Value& v = db.Cell(pre, db.ColumnIndex(col));
+    if (v.is_null()) return false;
+    return AccumulateTermValue(&acc, &have, v);
+  };
+  if (!add(t.alias, t.col)) return Value::Null();
+  if (!add(t.alias2, t.col2)) return Value::Null();
+  return acc;
+}
+
+template <typename Row>
+bool EvalCmpAt(const QualComparison& p, const Row& row, const Database& db) {
+  return CompareValues(EvalTermAt(p.lhs, row, db), p.op,
+                       EvalTermAt(p.rhs, row, db));
+}
+
+std::vector<uint32_t> IdentityPerm(size_t n) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  return perm;
+}
+
+std::vector<int64_t> GatherInts(const std::vector<int64_t>& src,
+                                const std::vector<uint32_t>& idx) {
+  std::vector<int64_t> out;
+  out.reserve(idx.size());
+  for (uint32_t i : idx) out.push_back(src[i]);
+  return out;
+}
+
+/// Row indices travel as uint32; a batch beyond 2^32 rows must fail loudly
+/// instead of letting the casts wrap.
+constexpr size_t kMaxBatchRows = std::numeric_limits<uint32_t>::max();
+
+Status CheckBatchSize(const AliasBatch& batch) {
+  if (batch.rows > kMaxBatchRows) {
+    return Status::Internal("join input exceeds batch row limit");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+
+class ColumnarPlanExecutor {
+ public:
+  ColumnarPlanExecutor(const JoinGraph& graph, const Database& db,
+                       const PlannerOptions& options, ExecStats* stats)
+      : graph_(graph), db_(db), stats_(stats) {
+    ExecLimits limits;
+    limits.timeout_seconds = options.timeout_seconds;
+    clock_ = BudgetClock(limits);
+  }
+
+  Result<AliasBatch> Run(const PhysNode* node) {
+    XQJG_RETURN_NOT_OK(clock_.CheckDeadline());
+    switch (node->kind) {
+      case PhysKind::kTbScan:
+      case PhysKind::kIxScan: {
+        AliasBatch out(graph_.num_aliases);
+        std::vector<int64_t> pres;
+        XQJG_RETURN_NOT_OK(ProbeScan(node, nullptr, 0, nullptr, &pres));
+        out.rows = pres.size();
+        out.bound[static_cast<size_t>(node->alias)] = 1;
+        out.cols[static_cast<size_t>(node->alias)] = std::move(pres);
+        return out;
+      }
+      case PhysKind::kNlJoin:
+        return RunNlJoin(node);
+      case PhysKind::kHsJoin:
+        return RunHsJoin(node);
+    }
+    return Status::Internal("unknown physical operator");
+  }
+
+  BudgetClock* clock() { return &clock_; }
+
+ private:
+  Result<AliasBatch> RunNlJoin(const PhysNode* node) {
+    XQJG_ASSIGN_OR_RETURN(AliasBatch outer, Run(node->left.get()));
+    XQJG_RETURN_NOT_OK(CheckBatchSize(outer));
+    if (node->right->kind == PhysKind::kIxScan ||
+        node->right->kind == PhysKind::kTbScan) {
+      const int alias = node->right->alias;
+      std::vector<uint32_t> orows;
+      std::vector<int64_t> pres;
+      for (size_t o = 0; o < outer.rows; ++o) {
+        XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), &outer, o, &orows,
+                                     &pres));
+        XQJG_RETURN_NOT_OK(clock_.Tick());
+      }
+      AliasBatch merged = MergeScanResult(outer, alias, orows, pres);
+      // Edge predicates not already applied inside the probe.
+      XQJG_RETURN_NOT_OK(FilterBatch(node->preds, &merged));
+      if (stats_) {
+        stats_->tuples_materialized += static_cast<int64_t>(merged.rows);
+      }
+      return merged;
+    }
+    XQJG_ASSIGN_OR_RETURN(AliasBatch inner, Run(node->right.get()));
+    XQJG_RETURN_NOT_OK(CheckBatchSize(inner));
+    std::vector<uint32_t> lidx, ridx;
+    for (size_t l = 0; l < outer.rows; ++l) {
+      for (size_t r = 0; r < inner.rows; ++r) {
+        XQJG_RETURN_NOT_OK(clock_.Tick());
+        PairRow row{&outer, l, &inner, r};
+        bool ok = true;
+        for (const auto& p : node->preds) {
+          if (!EvalCmpAt(p, row, db_)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          lidx.push_back(static_cast<uint32_t>(l));
+          ridx.push_back(static_cast<uint32_t>(r));
+        }
+      }
+    }
+    AliasBatch merged = MergePair(outer, inner, lidx, ridx);
+    if (stats_) {
+      stats_->tuples_materialized += static_cast<int64_t>(merged.rows);
+    }
+    return merged;
+  }
+
+  Result<AliasBatch> RunHsJoin(const PhysNode* node) {
+    XQJG_ASSIGN_OR_RETURN(AliasBatch left, Run(node->left.get()));
+    XQJG_ASSIGN_OR_RETURN(AliasBatch right, Run(node->right.get()));
+    XQJG_RETURN_NOT_OK(CheckBatchSize(left));
+    XQJG_RETURN_NOT_OK(CheckBatchSize(right));
+    // Hash on the first equality predicate; others become residual.
+    const QualComparison* hash_pred = nullptr;
+    for (const auto& p : node->preds) {
+      if (p.op == CmpOp::kEq) {
+        hash_pred = &p;
+        break;
+      }
+    }
+    std::vector<uint32_t> lidx, ridx;
+    auto pair_passes = [&](size_t l, size_t r) {
+      PairRow row{&left, l, &right, r};
+      for (const auto& p : node->preds) {
+        if (!EvalCmpAt(p, row, db_)) return false;
+      }
+      return true;
+    };
+    if (!hash_pred) {
+      for (size_t l = 0; l < left.rows; ++l) {
+        for (size_t r = 0; r < right.rows; ++r) {
+          XQJG_RETURN_NOT_OK(clock_.Tick());
+          if (pair_passes(l, r)) {
+            lidx.push_back(static_cast<uint32_t>(l));
+            ridx.push_back(static_cast<uint32_t>(r));
+          }
+        }
+      }
+      return MergePair(left, right, lidx, ridx);
+    }
+    // Determine which side provides which term (same rule as the row
+    // executor: a term is probe-side if its alias is bound there).
+    auto on_left = [&](const QualTerm& t) {
+      if (left.rows == 0) return false;
+      if (t.alias >= 0 && !left.bound[static_cast<size_t>(t.alias)]) {
+        return false;
+      }
+      return true;
+    };
+    const QualTerm& lterm =
+        on_left(hash_pred->lhs) ? hash_pred->lhs : hash_pred->rhs;
+    const QualTerm& rterm =
+        on_left(hash_pred->lhs) ? hash_pred->rhs : hash_pred->lhs;
+    std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+    for (size_t j = 0; j < right.rows; ++j) {
+      XQJG_RETURN_NOT_OK(clock_.Tick());
+      // NULL keys never join (Value::Compare: NULL is incomparable).
+      Value v = EvalTermAt(rterm, BatchRow{&right, j}, db_);
+      if (v.is_null()) continue;
+      buckets[v.Hash()].push_back(static_cast<uint32_t>(j));
+    }
+    for (size_t l = 0; l < left.rows; ++l) {
+      XQJG_RETURN_NOT_OK(clock_.Tick());
+      Value v = EvalTermAt(lterm, BatchRow{&left, l}, db_);
+      if (v.is_null()) continue;
+      auto it = buckets.find(v.Hash());
+      if (it == buckets.end()) continue;
+      for (uint32_t j : it->second) {
+        XQJG_RETURN_NOT_OK(clock_.Tick());
+        if (pair_passes(l, j)) {
+          lidx.push_back(static_cast<uint32_t>(l));
+          ridx.push_back(j);
+        }
+      }
+    }
+    AliasBatch merged = MergePair(left, right, lidx, ridx);
+    if (stats_) {
+      stats_->tuples_materialized += static_cast<int64_t>(merged.rows);
+    }
+    return merged;
+  }
+
+  AliasBatch MergeScanResult(const AliasBatch& outer, int alias,
+                             const std::vector<uint32_t>& orows,
+                             std::vector<int64_t> pres) {
+    AliasBatch out(graph_.num_aliases);
+    out.rows = pres.size();
+    for (int a = 0; a < graph_.num_aliases; ++a) {
+      const auto idx = static_cast<size_t>(a);
+      if (!outer.bound[idx]) continue;
+      out.bound[idx] = 1;
+      out.cols[idx] = GatherInts(outer.cols[idx], orows);
+    }
+    out.bound[static_cast<size_t>(alias)] = 1;
+    out.cols[static_cast<size_t>(alias)] = std::move(pres);
+    return out;
+  }
+
+  AliasBatch MergePair(const AliasBatch& left, const AliasBatch& right,
+                       const std::vector<uint32_t>& lidx,
+                       const std::vector<uint32_t>& ridx) {
+    AliasBatch out(graph_.num_aliases);
+    out.rows = lidx.size();
+    for (int a = 0; a < graph_.num_aliases; ++a) {
+      const auto idx = static_cast<size_t>(a);
+      // Left binding wins, mirroring MergeTuples.
+      if (left.bound[idx]) {
+        out.bound[idx] = 1;
+        out.cols[idx] = GatherInts(left.cols[idx], lidx);
+      } else if (right.bound[idx]) {
+        out.bound[idx] = 1;
+        out.cols[idx] = GatherInts(right.cols[idx], ridx);
+      }
+    }
+    return out;
+  }
+
+  Status FilterBatch(const std::vector<QualComparison>& preds,
+                     AliasBatch* batch) {
+    if (preds.empty()) return Status::OK();
+    std::vector<uint32_t> sel;
+    for (size_t r = 0; r < batch->rows; ++r) {
+      XQJG_RETURN_NOT_OK(clock_.Tick());
+      BatchRow row{batch, r};
+      bool ok = true;
+      for (const auto& p : preds) {
+        if (!EvalCmpAt(p, row, db_)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) sel.push_back(static_cast<uint32_t>(r));
+    }
+    if (sel.size() == batch->rows) return Status::OK();
+    for (int a = 0; a < graph_.num_aliases; ++a) {
+      const auto idx = static_cast<size_t>(a);
+      if (batch->bound[idx]) {
+        batch->cols[idx] = GatherInts(batch->cols[idx], sel);
+      }
+    }
+    batch->rows = sel.size();
+    return Status::OK();
+  }
+
+  /// Runs one scan with outer bindings from `outer` row `orow` (both null
+  /// for leaf scans); appends matches as (outer row, pre) pairs. Mirrors
+  /// the row executor's ProbeScan, including the index range rebuild.
+  Status ProbeScan(const PhysNode* node, const AliasBatch* outer, size_t orow,
+                   std::vector<uint32_t>* out_orow,
+                   std::vector<int64_t>* out_pre) {
+    const int alias = node->alias;
+    auto emit_if_match = [&](int64_t pre) {
+      ScanRow row{outer, orow, alias, pre};
+      for (const auto& p : node->preds) {
+        // Skip conjuncts whose other aliases are still unbound (they are
+        // re-checked at the join that binds them).
+        bool evaluable = true;
+        for (int a : p.Aliases()) {
+          if (row.PreOf(a) < 0 && a != alias) evaluable = false;
+        }
+        if (!evaluable) continue;
+        if (!EvalCmpAt(p, row, db_)) return;
+      }
+      if (out_orow) out_orow->push_back(static_cast<uint32_t>(orow));
+      out_pre->push_back(pre);
+    };
+    if (node->kind == PhysKind::kTbScan) {
+      for (int64_t pre = 0; pre < db_.row_count(); ++pre) {
+        emit_if_match(pre);
+        XQJG_RETURN_NOT_OK(clock_.Tick());
+      }
+      return Status::OK();
+    }
+    // Index scan: rebuild the probe range from the matched predicates.
+    const auto& key_cols = node->index->def.key_columns;
+    Key lower, upper;
+    bool lower_inc = true, upper_inc = true;
+    size_t k = 0;
+    std::vector<char> used(node->preds.size(), 0);
+    auto rhs_evaluable = [&](const QualComparison& p) {
+      for (int a : {p.rhs.alias, p.rhs.alias2}) {
+        if (a < 0) continue;
+        if (!outer || !outer->bound[static_cast<size_t>(a)]) return false;
+      }
+      return true;
+    };
+    auto rhs_value = [&](const QualComparison& p) {
+      ScanRow row{outer, orow, -1, -1};  // only outer bindings visible
+      return AdjustProbeValue(p.lhs, EvalTermAt(p.rhs, row, db_));
+    };
+    for (; k < key_cols.size(); ++k) {
+      bool matched = false;
+      for (size_t i = 0; i < node->preds.size(); ++i) {
+        if (used[i]) continue;
+        QualComparison p = OrientTo(node->preds[i], alias);
+        if (p.op != CmpOp::kEq) continue;
+        if (SargColumn(p.lhs, alias) != key_cols[k]) continue;
+        if (!rhs_evaluable(p)) continue;
+        Value v = rhs_value(p);
+        if (v.is_null()) return Status::OK();  // NULL never matches
+        lower.push_back(v);
+        upper.push_back(v);
+        used[i] = 1;
+        matched = true;
+        break;
+      }
+      if (!matched) break;
+    }
+    if (k < key_cols.size()) {
+      // Range component on the next key column.
+      bool have_lo = false, have_hi = false;
+      Value lo, hi;
+      for (size_t i = 0; i < node->preds.size(); ++i) {
+        if (used[i]) continue;
+        QualComparison p = OrientTo(node->preds[i], alias);
+        if (p.op == CmpOp::kEq || p.op == CmpOp::kNe) continue;
+        if (SargColumn(p.lhs, alias) != key_cols[k]) continue;
+        if (!rhs_evaluable(p)) continue;
+        Value v = rhs_value(p);
+        if (v.is_null()) return Status::OK();
+        switch (p.op) {
+          case CmpOp::kLt:
+            if (!have_hi || v.SortLess(hi)) hi = v;
+            have_hi = true;
+            upper_inc = false;
+            break;
+          case CmpOp::kLe:
+            if (!have_hi || v.SortLess(hi)) hi = v;
+            have_hi = true;
+            break;
+          case CmpOp::kGt:
+            if (!have_lo || lo.SortLess(v)) lo = v;
+            have_lo = true;
+            lower_inc = false;
+            break;
+          case CmpOp::kGe:
+            if (!have_lo || lo.SortLess(v)) lo = v;
+            have_lo = true;
+            break;
+          default:
+            break;
+        }
+        used[i] = 1;
+      }
+      if (have_lo) lower.push_back(lo);
+      if (have_hi) upper.push_back(hi);
+    }
+    KeyRange range;
+    range.lower = std::move(lower);
+    range.upper = std::move(upper);
+    range.lower_inclusive = lower_inc;
+    range.upper_inclusive = upper_inc;
+    bool expired = false;
+    node->index->tree.Scan(range, [&](const Key&, int64_t pre) {
+      emit_if_match(pre);
+      if (clock_.TickQuiet() && clock_.Expired()) {
+        expired = true;
+        return false;  // stop the scan
+      }
+      return true;
+    });
+    if (expired) return clock_.CheckDeadline();
+    return Status::OK();
+  }
+
+  const JoinGraph& graph_;
+  const Database& db_;
+  ExecStats* stats_;
+  BudgetClock clock_;
+};
+
+}  // namespace
+
+Result<std::vector<int64_t>> ExecutePlanColumnar(const PhysicalPlan& plan,
+                                                 const Database& db,
+                                                 const PlannerOptions& options,
+                                                 ExecStats* stats) {
+  const JoinGraph& graph = *plan.graph;
+  ColumnarPlanExecutor executor(graph, db, options, stats);
+  XQJG_ASSIGN_OR_RETURN(AliasBatch tuples, executor.Run(plan.root.get()));
+  if (tuples.rows > std::numeric_limits<uint32_t>::max()) {
+    return Status::Internal("plan result exceeds batch row limit");
+  }
+  BudgetClock* clock = executor.clock();
+
+  // Plan tail: ORDER BY + DISTINCT + item projection. Sort keys (ORDER BY
+  // terms + item) are evaluated exactly once per tuple — the row executor
+  // re-derives them per comparison.
+  const size_t n = tuples.rows;
+  std::vector<std::vector<Value>> keys(graph.order_by.size() + 1);
+  for (size_t kcol = 0; kcol < keys.size(); ++kcol) {
+    const QualTerm& term = kcol < graph.order_by.size()
+                               ? graph.order_by[kcol]
+                               : graph.item;
+    auto& out_col = keys[kcol];
+    out_col.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      out_col.push_back(EvalTermAt(term, BatchRow{&tuples, r}, db));
+      XQJG_RETURN_NOT_OK(clock->Tick());
+    }
+  }
+  std::vector<uint32_t> perm = IdentityPerm(n);
+  try {
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       clock->TickThrow();
+                       for (const auto& kc : keys) {
+                         if (kc[a].SortLess(kc[b])) return true;
+                         if (kc[b].SortLess(kc[a])) return false;
+                       }
+                       return false;
+                     });
+  } catch (const BudgetExhausted&) {
+    return Status::Timeout("execution exceeded wall-clock budget (DNF)");
+  }
+
+  // DISTINCT payload: when the select list carries exactly the sort-key
+  // terms (the common shape after isolation — tail metadata from opt/),
+  // adjacent key comparison suffices; otherwise evaluate the payload.
+  const bool dedup_by_key =
+      graph.distinct && graph.DistinctPayloadEqualsSortKey();
+  std::vector<std::vector<Value>> payload_cols;
+  if (graph.distinct && !dedup_by_key) {
+    payload_cols.resize(graph.select_list.size());
+    for (size_t c = 0; c < graph.select_list.size(); ++c) {
+      payload_cols[c].reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        payload_cols[c].push_back(
+            EvalTermAt(graph.select_list[c], BatchRow{&tuples, r}, db));
+        XQJG_RETURN_NOT_OK(clock->Tick());
+      }
+    }
+  }
+  auto values_equal = [](const Value& a, const Value& b) {
+    return a.is_null() == b.is_null() && (a.is_null() || a == b);
+  };
+  const std::vector<std::vector<Value>>& dedup_cols =
+      dedup_by_key ? keys : payload_cols;
+
+  std::vector<int64_t> out;
+  const std::vector<Value>& item_col = keys.back();
+  bool have_prev = false;
+  uint32_t prev_row = 0;
+  for (uint32_t r : perm) {
+    XQJG_RETURN_NOT_OK(clock->Tick());
+    if (graph.distinct) {
+      if (have_prev) {
+        bool same = true;
+        for (const auto& col : dedup_cols) {
+          if (!values_equal(col[r], col[prev_row])) {
+            same = false;
+            break;
+          }
+        }
+        if (same) continue;
+      }
+      prev_row = r;
+      have_prev = true;
+    }
+    const Value& item = item_col[r];
+    if (item.is_null()) continue;
+    out.push_back(item.AsInt());
+  }
+  if (stats) stats->rows_out = static_cast<int64_t>(out.size());
+  return out;
+}
+
+}  // namespace xqjg::engine::columnar

@@ -1,0 +1,35 @@
+// Columnar executor for the cost-based physical plans of
+// src/engine/planner.h.
+//
+// The row executor threads one std::vector<int64_t> tuple at a time
+// through the join tree (a heap allocation per tuple, plus re-evaluation
+// of every ORDER BY term O(n log n) times in the plan tail). This
+// executor keeps intermediates as alias columns — one contiguous int64
+// pre-rank column per bound doc alias — probes scans and joins in
+// batches, and evaluates the plan-tail sort keys exactly once per tuple.
+// Emission order, predicate semantics (NULL join keys never match), and
+// the DISTINCT tail mirror the row executor exactly; the differential
+// suite holds both to identical result sequences.
+//
+// Selected via PlannerOptions::use_columnar.
+#ifndef XQJG_ENGINE_COLUMNAR_PLAN_EXEC_H_
+#define XQJG_ENGINE_COLUMNAR_PLAN_EXEC_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/exec_options.h"
+#include "src/engine/planner.h"
+
+namespace xqjg::engine::columnar {
+
+/// Drop-in batch replacement for ExecutePlan: returns result-sequence pre
+/// ranks (ordered, DISTINCT applied per the graph's tail).
+Result<std::vector<int64_t>> ExecutePlanColumnar(const PhysicalPlan& plan,
+                                                 const Database& db,
+                                                 const PlannerOptions& options,
+                                                 ExecStats* stats);
+
+}  // namespace xqjg::engine::columnar
+
+#endif  // XQJG_ENGINE_COLUMNAR_PLAN_EXEC_H_

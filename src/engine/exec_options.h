@@ -1,0 +1,118 @@
+// Execution knobs shared by every query executor (the materializing row
+// evaluator, the columnar batch executor, and the cost-based physical
+// engine): DNF budgets, executor selection, and observable statistics.
+#ifndef XQJG_ENGINE_EXEC_OPTIONS_H_
+#define XQJG_ENGINE_EXEC_OPTIONS_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/common/str.h"
+
+namespace xqjg::engine {
+
+struct ExecLimits {
+  /// Abort with Status::Timeout once this wall-clock budget is exceeded
+  /// (<= 0: unlimited). Emulates the paper's 20-hour DNF cutoff.
+  double timeout_seconds = -1.0;
+  /// Abort when an intermediate table exceeds this many rows (<= 0:
+  /// unlimited); a second DNF guard against runaway Cartesian products.
+  int64_t max_intermediate_rows = -1;
+};
+
+/// Counters every executor fills in (when given a sink); the bench
+/// trajectory and regression tests read these.
+struct ExecStats {
+  int64_t rows_out = 0;
+  /// Tuples written into materialized intermediates. Memoized re-reads of
+  /// a shared sub-plan must NOT re-count (regression: the old evaluator
+  /// deep-copied each memo hit, doubling this).
+  int64_t tuples_materialized = 0;
+};
+
+struct ExecOptions {
+  ExecOptions() = default;
+  // NOLINTNEXTLINE(runtime/explicit): ExecLimits-only callers predate this.
+  ExecOptions(const ExecLimits& l) : limits(l) {}
+
+  ExecLimits limits;
+  /// Evaluate via the columnar batch executor instead of the row-at-a-time
+  /// materializer. Both produce identical tables (differential-tested).
+  bool use_columnar = false;
+  ExecStats* stats = nullptr;  ///< optional sink, not owned
+};
+
+/// Thrown by sort comparators when the wall-clock budget expires mid-sort
+/// (a comparator cannot return Status); always caught inside the executor
+/// and converted to Status::Timeout.
+struct BudgetExhausted {};
+
+/// One DNF budget, checkable from every loop. Deadline reads are amortized
+/// via Tick()/TickThrow() so tight per-row loops pay ~one clock read per
+/// 4096 iterations.
+class BudgetClock {
+ public:
+  BudgetClock() = default;
+  explicit BudgetClock(const ExecLimits& limits)
+      : max_rows_(limits.max_intermediate_rows) {
+    if (limits.timeout_seconds > 0) {
+      deadline_ =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(limits.timeout_seconds));
+      have_deadline_ = true;
+    }
+  }
+
+  /// Row budget + deadline; call once per materialized intermediate.
+  Status CheckRows(int64_t rows) const {
+    if (max_rows_ > 0 && rows > max_rows_) {
+      return Status::Timeout(
+          StrPrintf("intermediate table exceeds %lld rows (DNF)",
+                    static_cast<long long>(max_rows_)));
+    }
+    return CheckDeadline();
+  }
+
+  Status CheckDeadline() const {
+    if (Expired()) {
+      return Status::Timeout("execution exceeded wall-clock budget (DNF)");
+    }
+    return Status::OK();
+  }
+
+  bool Expired() const {
+    return have_deadline_ && std::chrono::steady_clock::now() > deadline_;
+  }
+
+  /// Amortized deadline check for row-producing loops.
+  Status Tick() {
+    if ((++tick_ & kStrideMask) == 0) return CheckDeadline();
+    return Status::OK();
+  }
+
+  /// Amortized deadline check for sort comparators: throws BudgetExhausted
+  /// (callers wrap the sort in try/catch and surface Status::Timeout).
+  void TickThrow() {
+    if ((++tick_ & kStrideMask) == 0 && Expired()) throw BudgetExhausted{};
+  }
+
+  /// Advances the tick counter and reports whether the deadline is due for
+  /// a check — for callback loops that cannot propagate Status directly.
+  bool TickQuiet() { return (++tick_ & kStrideMask) == 0; }
+
+  int64_t max_rows() const { return max_rows_; }
+
+ private:
+  static constexpr uint64_t kStrideMask = 0xFFF;  // every 4096 calls
+
+  std::chrono::steady_clock::time_point deadline_;
+  bool have_deadline_ = false;
+  int64_t max_rows_ = -1;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace xqjg::engine
+
+#endif  // XQJG_ENGINE_EXEC_OPTIONS_H_

@@ -9,13 +9,17 @@
 #include <unordered_map>
 
 #include "src/common/str.h"
+#include "src/engine/columnar/plan_exec.h"
 
 namespace xqjg::engine {
 
 using algebra::CmpOp;
+using opt::AdjustProbeValue;
 using opt::JoinGraph;
+using opt::OrientTo;
 using opt::QualComparison;
 using opt::QualTerm;
+using opt::SargColumn;
 
 namespace {
 
@@ -34,20 +38,7 @@ Value EvalQualTerm(const QualTerm& t, const Tuple& tuple, const Database& db) {
     // `pss` and sums are resolved through the column set directly.
     const Value& v = db.Cell(pre, db.ColumnIndex(col));
     if (v.is_null()) return false;
-    if (!have) {
-      acc = v;
-      have = true;
-      return true;
-    }
-    if (acc.IsNumeric() && v.IsNumeric()) {
-      if (acc.type() == ValueType::kInt && v.type() == ValueType::kInt) {
-        acc = Value::Int(acc.AsInt() + v.AsInt());
-      } else {
-        acc = Value::Double(acc.AsDouble() + v.AsDouble());
-      }
-      return true;
-    }
-    return false;
+    return AccumulateTermValue(&acc, &have, v);
   };
   if (!add(t.alias, t.col)) return Value::Null();
   if (!add(t.alias2, t.col2)) return Value::Null();
@@ -92,62 +83,6 @@ bool Mentions(const QualComparison& p, int alias) {
     if (a == alias) return true;
   }
   return false;
-}
-
-/// The single index column a term denotes for sargability purposes:
-/// `pre + size` of one alias maps to the computed column `pss`; a plain
-/// column maps to itself; anything else is not sargable (empty).
-std::string SargColumn(const QualTerm& t, int alias) {
-  if (t.alias != alias) return "";
-  if (t.alias2 < 0) {
-    // col (+ numeric constant) — the constant is compensated at probe
-    // time (see AdjustProbeValue).
-    if (!t.constant.is_null() && !t.constant.IsNumeric()) return "";
-    return t.col;
-  }
-  if (t.alias2 == alias && !t.constant.is_null() && !t.constant.IsNumeric()) {
-    return "";
-  }
-  if (t.alias2 == alias &&
-      ((t.col == "pre" && t.col2 == "size") ||
-       (t.col == "size" && t.col2 == "pre"))) {
-    return "pss";
-  }
-  return "";
-}
-
-/// Probe value for `col_term OP other`: when the sarg side carries a
-/// numeric constant k (col + k OP v), the probe compares col OP v - k.
-Value AdjustProbeValue(const QualTerm& sarg_side, Value v) {
-  if (sarg_side.constant.is_null() || v.is_null()) return v;
-  if (!v.IsNumeric() || !sarg_side.constant.IsNumeric()) return Value::Null();
-  if (v.type() == ValueType::kInt &&
-      sarg_side.constant.type() == ValueType::kInt) {
-    return Value::Int(v.AsInt() - sarg_side.constant.AsInt());
-  }
-  return Value::Double(v.AsDouble() - sarg_side.constant.AsDouble());
-}
-
-/// Normalizes a conjunct so that, if possible, the side referencing only
-/// `alias` is on the left.
-QualComparison OrientTo(const QualComparison& p, int alias) {
-  auto side_aliases = [](const QualTerm& t) {
-    std::vector<int> out;
-    if (t.alias >= 0) out.push_back(t.alias);
-    if (t.alias2 >= 0) out.push_back(t.alias2);
-    return out;
-  };
-  auto only = [&](const QualTerm& t) {
-    for (int a : side_aliases(t)) {
-      if (a != alias) return false;
-    }
-    return !side_aliases(t).empty();
-  };
-  if (only(p.lhs)) return p;
-  if (only(p.rhs)) {
-    return QualComparison{p.rhs, algebra::FlipCmpOp(p.op), p.lhs};
-  }
-  return p;
 }
 
 // ---------------------------------------------------------------------------
@@ -607,14 +542,12 @@ class Executor {
   Executor(const JoinGraph& graph, const Database& db,
            const PlannerOptions& options, ExecStats* stats)
       : graph_(graph), db_(db), options_(options), stats_(stats) {
-    if (options_.timeout_seconds > 0) {
-      deadline_ = std::chrono::steady_clock::now() +
-                  std::chrono::duration_cast<
-                      std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double>(options_.timeout_seconds));
-      have_deadline_ = true;
-    }
+    ExecLimits limits;
+    limits.timeout_seconds = options_.timeout_seconds;
+    clock_ = BudgetClock(limits);
   }
+
+  BudgetClock* clock() { return &clock_; }
 
   Result<std::vector<Tuple>> Run(const PhysNode* node) {
     Result<std::vector<Tuple>> result = RunInner(node);
@@ -656,6 +589,7 @@ class Executor {
                                 Run(node->right.get()));
           for (const Tuple& l : outer) {
             for (const Tuple& r : inner) {
+              XQJG_RETURN_NOT_OK(clock_.Tick());
               Tuple merged = MergeTuples(l, r);
               bool ok = true;
               for (const auto& p : node->preds) {
@@ -666,7 +600,6 @@ class Executor {
               }
               if (ok) out.push_back(std::move(merged));
             }
-            XQJG_RETURN_NOT_OK(CheckDeadline());
           }
         }
         if (stats_) {
@@ -690,6 +623,7 @@ class Executor {
         if (!hash_pred) {
           for (const Tuple& l : left) {
             for (const Tuple& r : right) {
+              XQJG_RETURN_NOT_OK(clock_.Tick());
               Tuple merged = MergeTuples(l, r);
               bool ok = true;
               for (const auto& p : node->preds) {
@@ -719,16 +653,21 @@ class Executor {
             side_of(hash_pred->lhs, left) ? hash_pred->rhs : hash_pred->lhs;
         std::unordered_map<size_t, std::vector<size_t>> buckets;
         for (size_t j = 0; j < right.size(); ++j) {
+          XQJG_RETURN_NOT_OK(clock_.Tick());
+          // NULL keys never join: Value::Compare treats NULL as
+          // incomparable, so rows with a NULL key are skipped outright.
           Value v = EvalQualTerm(rterm, right[j], db_);
           if (v.is_null()) continue;
           buckets[v.Hash()].push_back(j);
         }
         for (const Tuple& l : left) {
+          XQJG_RETURN_NOT_OK(clock_.Tick());
           Value v = EvalQualTerm(lterm, l, db_);
           if (v.is_null()) continue;
           auto it = buckets.find(v.Hash());
           if (it == buckets.end()) continue;
           for (size_t j : it->second) {
+            XQJG_RETURN_NOT_OK(clock_.Tick());
             Tuple merged = MergeTuples(l, right[j]);
             bool ok = true;
             for (const auto& p : node->preds) {
@@ -739,7 +678,6 @@ class Executor {
             }
             if (ok) out.push_back(std::move(merged));
           }
-          XQJG_RETURN_NOT_OK(CheckDeadline());
         }
         if (stats_) {
           stats_->tuples_materialized += static_cast<int64_t>(out.size());
@@ -751,12 +689,7 @@ class Executor {
   }
 
  private:
-  Status CheckDeadline() {
-    if (have_deadline_ && std::chrono::steady_clock::now() > deadline_) {
-      return Status::Timeout("execution exceeded wall-clock budget (DNF)");
-    }
-    return Status::OK();
-  }
+  Status CheckDeadline() { return clock_.CheckDeadline(); }
 
   Tuple MergeTuples(const Tuple& a, const Tuple& b) {
     Tuple out = a;
@@ -805,6 +738,7 @@ class Executor {
     if (node->kind == PhysKind::kTbScan) {
       for (int64_t pre = 0; pre < db_.row_count(); ++pre) {
         emit_if_match(pre);
+        XQJG_RETURN_NOT_OK(clock_.Tick());
       }
       return Status::OK();
     }
@@ -893,10 +827,16 @@ class Executor {
     range.upper = std::move(upper);
     range.lower_inclusive = lower_inc;
     range.upper_inclusive = upper_inc;
+    bool expired = false;
     node->index->tree.Scan(range, [&](const Key&, int64_t pre) {
       emit_if_match(pre);
+      if (clock_.TickQuiet() && clock_.Expired()) {
+        expired = true;
+        return false;  // stop the scan
+      }
       return true;
     });
+    if (expired) return clock_.CheckDeadline();
     return Status::OK();
   }
 
@@ -904,8 +844,7 @@ class Executor {
   const Database& db_;
   PlannerOptions options_;
   ExecStats* stats_;
-  std::chrono::steady_clock::time_point deadline_;
-  bool have_deadline_ = false;
+  BudgetClock clock_;
 };
 
 }  // namespace
@@ -923,8 +862,12 @@ Result<std::vector<int64_t>> ExecutePlan(const PhysicalPlan& plan,
                                          const Database& db,
                                          const PlannerOptions& options,
                                          ExecStats* stats) {
+  if (options.use_columnar) {
+    return columnar::ExecutePlanColumnar(plan, db, options, stats);
+  }
   const JoinGraph& graph = *plan.graph;
   Executor executor(graph, db, options, stats);
+  BudgetClock& clock = *executor.clock();
   XQJG_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, executor.Run(plan.root.get()));
   // Plan tail: ORDER BY + DISTINCT + item projection (the single SORT of
   // Fig. 10/11).
@@ -937,14 +880,20 @@ Result<std::vector<int64_t>> ExecutePlan(const PhysicalPlan& plan,
     key.push_back(EvalQualTerm(graph.item, t, db));
     return key;
   };
-  std::stable_sort(tuples.begin(), tuples.end(),
-                   [&](const Tuple& a, const Tuple& b) {
-                     return CompareKeyPrefix(order_key(a), order_key(b)) < 0;
-                   });
+  try {
+    std::stable_sort(tuples.begin(), tuples.end(),
+                     [&](const Tuple& a, const Tuple& b) {
+                       clock.TickThrow();
+                       return CompareKeyPrefix(order_key(a), order_key(b)) < 0;
+                     });
+  } catch (const BudgetExhausted&) {
+    return Status::Timeout("execution exceeded wall-clock budget (DNF)");
+  }
   std::vector<int64_t> out;
   std::vector<Value> prev_payload;
   bool have_prev = false;
   for (const Tuple& t : tuples) {
+    XQJG_RETURN_NOT_OK(clock.Tick());
     if (graph.distinct) {
       std::vector<Value> payload;
       payload.reserve(graph.select_list.size());

@@ -12,6 +12,7 @@
 
 #include "src/common/status.h"
 #include "src/engine/database.h"
+#include "src/engine/exec_options.h"
 #include "src/opt/join_graph.h"
 
 namespace xqjg::engine {
@@ -42,10 +43,7 @@ struct PhysicalPlan {
   double est_cost = 0;
 };
 
-struct ExecStats {
-  int64_t rows_out = 0;
-  int64_t tuples_materialized = 0;
-};
+// ExecStats lives in src/engine/exec_options.h (shared by all executors).
 
 struct PlannerOptions {
   /// Disable cost-based join ordering: join aliases in syntactic order
@@ -53,6 +51,10 @@ struct PlannerOptions {
   bool syntactic_order = false;
   /// Wall-clock DNF budget in seconds (<= 0: unlimited).
   double timeout_seconds = -1.0;
+  /// Execute via the columnar batch executor (alias-column tuple store,
+  /// batched probes/joins, single-pass sort keys) instead of the
+  /// row-at-a-time tuple executor. Identical results, differential-tested.
+  bool use_columnar = false;
 };
 
 /// Builds the cheapest physical join tree for `graph` over `db`.

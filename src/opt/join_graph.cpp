@@ -29,6 +29,84 @@ std::string QualTerm::ToString() const {
   return out.empty() ? "0" : out;
 }
 
+bool QualTerm::operator==(const QualTerm& other) const {
+  const bool const_eq =
+      constant.is_null() ? other.constant.is_null()
+                         : (!other.constant.is_null() &&
+                            constant.type() == other.constant.type() &&
+                            constant == other.constant);
+  return alias == other.alias && col == other.col && alias2 == other.alias2 &&
+         col2 == other.col2 && const_eq;
+}
+
+bool JoinGraph::DistinctPayloadEqualsSortKey() const {
+  std::vector<QualTerm> key = order_by;
+  key.push_back(item);
+  auto contains = [](const std::vector<QualTerm>& haystack,
+                     const QualTerm& needle) {
+    for (const QualTerm& t : haystack) {
+      if (t == needle) return true;
+    }
+    return false;
+  };
+  for (const QualTerm& t : select_list) {
+    if (!contains(key, t)) return false;
+  }
+  for (const QualTerm& t : key) {
+    if (!contains(select_list, t)) return false;
+  }
+  return true;
+}
+
+QualComparison OrientTo(const QualComparison& p, int alias) {
+  auto side_aliases = [](const QualTerm& t) {
+    std::vector<int> out;
+    if (t.alias >= 0) out.push_back(t.alias);
+    if (t.alias2 >= 0) out.push_back(t.alias2);
+    return out;
+  };
+  auto only = [&](const QualTerm& t) {
+    for (int a : side_aliases(t)) {
+      if (a != alias) return false;
+    }
+    return !side_aliases(t).empty();
+  };
+  if (only(p.lhs)) return p;
+  if (only(p.rhs)) {
+    return QualComparison{p.rhs, algebra::FlipCmpOp(p.op), p.lhs};
+  }
+  return p;
+}
+
+std::string SargColumn(const QualTerm& t, int alias) {
+  if (t.alias != alias) return "";
+  if (t.alias2 < 0) {
+    // col (+ numeric constant) — the constant is compensated at probe
+    // time (see AdjustProbeValue).
+    if (!t.constant.is_null() && !t.constant.IsNumeric()) return "";
+    return t.col;
+  }
+  if (t.alias2 == alias && !t.constant.is_null() && !t.constant.IsNumeric()) {
+    return "";
+  }
+  if (t.alias2 == alias &&
+      ((t.col == "pre" && t.col2 == "size") ||
+       (t.col == "size" && t.col2 == "pre"))) {
+    return "pss";
+  }
+  return "";
+}
+
+Value AdjustProbeValue(const QualTerm& sarg_side, Value v) {
+  if (sarg_side.constant.is_null() || v.is_null()) return v;
+  if (!v.IsNumeric() || !sarg_side.constant.IsNumeric()) return Value::Null();
+  if (v.type() == ValueType::kInt &&
+      sarg_side.constant.type() == ValueType::kInt) {
+    return Value::Int(v.AsInt() - sarg_side.constant.AsInt());
+  }
+  return Value::Double(v.AsDouble() - sarg_side.constant.AsDouble());
+}
+
 std::vector<int> QualComparison::Aliases() const {
   std::vector<int> out;
   auto add = [&](int a) {

@@ -26,6 +26,7 @@ struct QualTerm {
   bool IsSimpleCol() const {
     return alias >= 0 && alias2 < 0 && constant.is_null();
   }
+  bool operator==(const QualTerm& other) const;
   std::string ToString() const;  ///< "d2.pre + d2.size + 1"
 };
 
@@ -53,8 +54,29 @@ struct JoinGraph {
   /// The column holding the result nodes' pre ranks.
   QualTerm item;
 
+  /// Tail-operator metadata for batch executors: true iff the DISTINCT
+  /// payload (select_list) and the sort key (order_by + item) consist of
+  /// exactly the same terms, so the batched plan tail may deduplicate by
+  /// comparing adjacent sort keys instead of re-evaluating the payload.
+  bool DistinctPayloadEqualsSortKey() const;
+
   std::string ToString() const;  ///< debugging dump
 };
+
+/// Normalizes a conjunct so that, if possible, the side referencing only
+/// `alias` is on the left (shared by access-path selection and the scan
+/// probes of both physical executors).
+QualComparison OrientTo(const QualComparison& p, int alias);
+
+/// The single index column a term denotes for sargability purposes:
+/// `pre + size` of one alias maps to the computed column `pss`; a plain
+/// column (optionally + numeric constant) maps to itself; anything else is
+/// not sargable (empty).
+std::string SargColumn(const QualTerm& t, int alias);
+
+/// Probe value for `col_term OP other`: when the sarg side carries a
+/// numeric constant k (col + k OP v), the probe compares col OP v - k.
+Value AdjustProbeValue(const QualTerm& sarg_side, Value v);
 
 /// Flattens the isolated plan into a JoinGraph. Fails with NotSupported if
 /// blocking operators remain outside the plan tail (plan not isolatable —

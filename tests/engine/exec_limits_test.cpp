@@ -90,5 +90,90 @@ TEST(ExecLimits, ProcessorTimeoutSurfacesInStackedMode) {
       << result.status().ToString();
 }
 
+TEST(ExecLimits, ColumnarExecutorHonorsBothBudgets) {
+  xml::DocTable doc = testutil::LoadDoc("x", "<x/>");
+  OpPtr cross = MakeCross(WideLiteral("a", 200), WideLiteral("b", 200));
+  ExecOptions timeout;
+  timeout.use_columnar = true;
+  timeout.limits.timeout_seconds = 1e-6;
+  auto timed = Evaluate(cross, doc, timeout);
+  ASSERT_FALSE(timed.ok());
+  EXPECT_EQ(timed.status().code(), StatusCode::kTimeout);
+  ExecOptions rows;
+  rows.use_columnar = true;
+  rows.limits.max_intermediate_rows = 50;
+  auto bounded = Evaluate(cross, doc, rows);
+  ASSERT_FALSE(bounded.ok());
+  EXPECT_EQ(bounded.status().code(), StatusCode::kTimeout);
+  // Unlimited still evaluates, identically to the row executor.
+  ExecOptions unlimited;
+  unlimited.use_columnar = true;
+  auto ok = Evaluate(cross, doc, unlimited);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().rows.size(), 40000u);
+}
+
+TEST(ExecLimits, RankAndSerializeLoopsHonorTheDeadline) {
+  // Sort-heavy operators (ϱ and the serialize tail) must surface Timeout
+  // through both executors instead of sorting past the budget.
+  xml::DocTable doc = testutil::LoadDoc("x", "<x/>");
+  OpPtr ranked = algebra::MakeRank(WideLiteral("a", 5000), "rnk", {"a"});
+  for (bool columnar : {false, true}) {
+    ExecOptions options;
+    options.use_columnar = columnar;
+    options.limits.timeout_seconds = 1e-9;
+    auto result = Evaluate(ranked, doc, options);
+    ASSERT_FALSE(result.ok()) << (columnar ? "columnar" : "row");
+    EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  }
+  xml::DocTable site = testutil::LoadDoc("site.xml", testutil::TinySiteXml());
+  auto plan = testutil::CompileToPlan("doc(\"site.xml\")//item", "site.xml");
+  ASSERT_TRUE(plan.ok());
+  for (bool columnar : {false, true}) {
+    ExecOptions options;
+    options.use_columnar = columnar;
+    options.limits.timeout_seconds = 1e-9;
+    auto seq = EvaluateToSequence(plan.value(), site, options);
+    ASSERT_FALSE(seq.ok()) << (columnar ? "columnar" : "row");
+    EXPECT_EQ(seq.status().code(), StatusCode::kTimeout);
+  }
+}
+
+TEST(ExecLimits, PhysicalPlanExecutorsHonorTheDeadline) {
+  // The cost-based engine (row and columnar): Timeout must surface through
+  // the processor facade's join-graph mode.
+  api::XQueryProcessor processor;
+  ASSERT_TRUE(processor
+                  .LoadDocument("site.xml", testutil::TinySiteXml())
+                  .ok());
+  for (bool columnar : {false, true}) {
+    api::RunOptions options;
+    options.mode = api::Mode::kJoinGraph;
+    options.context_document = "site.xml";
+    options.timeout_seconds = 1e-9;
+    options.use_columnar = columnar;
+    auto result = processor.Run("//item[price > 10.0]/name", options);
+    ASSERT_FALSE(result.ok()) << (columnar ? "columnar" : "row");
+    EXPECT_EQ(result.status().code(), StatusCode::kTimeout)
+        << result.status().ToString();
+  }
+}
+
+TEST(ExecLimits, ColumnarStackedModeSurfacesTimeout) {
+  api::XQueryProcessor processor;
+  ASSERT_TRUE(processor
+                  .LoadDocument("site.xml", testutil::TinySiteXml())
+                  .ok());
+  api::RunOptions options;
+  options.mode = api::Mode::kStacked;
+  options.context_document = "site.xml";
+  options.timeout_seconds = 1e-9;
+  options.use_columnar = true;
+  auto result = processor.Run("//item[price > 10.0]/name", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout)
+      << result.status().ToString();
+}
+
 }  // namespace
 }  // namespace xqjg::engine

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "src/compiler/compile.h"
 #include "src/xml/parser.h"
@@ -42,6 +43,58 @@ const char* TinySiteXml() {
     <person id="p2"><name>Grace</name></person>
   </people>
 </site>)";
+}
+
+std::string RandomXml(uint64_t seed, int target_nodes) {
+  // splitmix64 — fully deterministic across platforms.
+  uint64_t state = seed + 0x9e3779b97f4a7c15ULL;
+  auto next = [&state](uint64_t bound) {
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return z % bound;
+  };
+  static const char* kTags[] = {"a", "b", "c", "d"};
+  int budget = target_nodes;
+  int next_id = 0;
+  std::string out = "<r>";
+  // Iterative depth-first construction with an explicit stack of open tags.
+  std::vector<std::string> open;
+  int depth = 0;
+  while (budget > 0) {
+    if (depth > 0 && (depth >= 5 || next(3) == 0)) {
+      out += "</" + open.back() + ">";
+      open.pop_back();
+      --depth;
+      continue;
+    }
+    const std::string tag = kTags[next(4)];
+    --budget;
+    out += "<" + tag;
+    if (next(3) == 0) {
+      out += " id=\"n" + std::to_string(next_id++) + "\"";
+    }
+    if (next(4) == 0 && next_id > 0) {
+      out += " ref=\"n" + std::to_string(next(static_cast<uint64_t>(next_id))) +
+             "\"";
+    }
+    if (next(2) == 0) {
+      // Leaf with a numeric value.
+      out += ">" + std::to_string(next(50)) + "</" + tag + ">";
+    } else {
+      out += ">";
+      open.push_back(tag);
+      ++depth;
+    }
+  }
+  while (!open.empty()) {
+    out += "</" + open.back() + ">";
+    open.pop_back();
+  }
+  out += "</r>";
+  return out;
 }
 
 xml::DocTable LoadDoc(const std::string& uri, const std::string& xml) {

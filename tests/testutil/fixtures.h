@@ -3,6 +3,7 @@
 #ifndef XQJG_TESTS_TESTUTIL_FIXTURES_H_
 #define XQJG_TESTS_TESTUTIL_FIXTURES_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/algebra/operators.h"
@@ -17,6 +18,11 @@ const char* TinyBibXml();
 
 /// A 3-level <site> document shaped like a miniature XMark instance.
 const char* TinySiteXml();
+
+/// Deterministic pseudo-random XML document for differential testing:
+/// nested elements over a small tag alphabet with id/ref attributes and
+/// numeric text leaves. Same (seed, target_nodes) → same document.
+std::string RandomXml(uint64_t seed, int target_nodes = 120);
 
 /// Parses `xml` into a fresh DocTable under `uri`. Aborts the test binary
 /// on parse failure (fixtures are assumed well-formed).
