@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "src/api/paper_queries.h"
 #include "src/api/processor.h"
@@ -23,6 +24,23 @@ namespace xqjg::bench {
 inline double EnvDouble(const char* name, double fallback) {
   const char* v = std::getenv(name);
   return v ? std::atof(v) : fallback;
+}
+
+/// Writes `json` to the path in XQJG_BENCH_JSON (no-op when unset — CI
+/// sets it to collect the perf-trajectory artifacts). Returns false only
+/// when the path was requested but could not be written.
+inline bool WriteBenchJson(const std::string& json) {
+  const char* path = std::getenv("XQJG_BENCH_JSON");
+  if (!path) return true;
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+  return true;
 }
 
 struct Workbench {

@@ -6,8 +6,13 @@
 // here and the series primarily demonstrates that *both* engines scale
 // linearly in document size (no superlinear blowup in the join graph
 // path).
+//
+// Set XQJG_BENCH_JSON=<path> to additionally emit the series as JSON
+// (BENCH_scaling.json in CI parlance) for the perf trajectory.
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_common.h"
 #include "src/api/paper_queries.h"
 #include "src/api/processor.h"
 #include "src/data/xmark.h"
@@ -20,6 +25,8 @@ int main() {
               "%-7s %10s %14s %14s %8s %14s %8s\n",
               "scale", "nodes", "joingraph (s)", "jg-col (s)", "col x",
               "native (s)", "factor");
+  std::string json = "{\"bench\":\"scaling_docsize\",\"points\":[";
+  bool first = true;
   for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     api::XQueryProcessor processor;
     data::XmarkOptions options;
@@ -47,12 +54,25 @@ int main() {
       std::fprintf(stderr, "row and columnar join-graph results differ!\n");
       return 1;
     }
+    const long long nodes =
+        static_cast<long long>(processor.doc_table().row_count());
     std::printf("%-7.2f %10lld %14.3f %14.3f %7.1fx %14.3f %7.1fx\n", scale,
-                static_cast<long long>(processor.doc_table().row_count()),
-                jg.value().seconds, jg_col.value().seconds,
+                nodes, jg.value().seconds, jg_col.value().seconds,
                 jg.value().seconds / std::max(1e-9, jg_col.value().seconds),
                 native.value().seconds,
                 native.value().seconds / std::max(1e-9, jg.value().seconds));
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"scale\":%.2f,\"nodes\":%lld,\"rows\":%zu,"
+                  "\"joingraph_row_seconds\":%.6f,"
+                  "\"joingraph_columnar_seconds\":%.6f,"
+                  "\"native_whole_seconds\":%.6f}",
+                  first ? "" : ",", scale, nodes,
+                  jg.value().result_count(), jg.value().seconds,
+                  jg_col.value().seconds, native.value().seconds);
+    json += buf;
+    first = false;
   }
-  return 0;
+  json += "]}\n";
+  return bench::WriteBenchJson(json) ? 0 : 1;
 }

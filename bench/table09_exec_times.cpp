@@ -61,7 +61,7 @@ Cell RunMode(api::XQueryProcessor* processor, const api::PaperQuery& q,
     return cell;
   }
   cell.seconds = result.value().seconds;
-  cell.rows = result.value().result_count;
+  cell.rows = result.value().result_count();
   return cell;
 }
 
@@ -154,15 +154,5 @@ int main() {
     json += "}";
   }
   json += "]}\n";
-  if (const char* path = std::getenv("XQJG_BENCH_JSON")) {
-    if (std::FILE* f = std::fopen(path, "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("\nwrote %s\n", path);
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", path);
-      return 1;
-    }
-  }
-  return 0;
+  return bench::WriteBenchJson(json) ? 0 : 1;
 }

@@ -52,9 +52,9 @@ int main(int argc, char** argv) {
         continue;
       }
       std::printf("   %-17s %6zu nodes  %.4fs\n", api::ModeToString(mode),
-                  result.value().result_count, result.value().seconds);
+                  result.value().result_count(), result.value().seconds);
       if (mode == api::Mode::kJoinGraph &&
-          result.value().result_count <= 3) {
+          result.value().result_count() <= 3) {
         for (const auto& item : result.value().items) {
           std::printf("      %s\n", item.c_str());
         }

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   if (result.ok() && !result.value().explain.empty()) {
     std::printf("--- physical plan (Fig. 10 shape) ---\n%s\n",
                 result.value().explain.c_str());
-    std::printf("%zu result nodes in %.4fs\n", result.value().result_count,
+    std::printf("%zu result nodes in %.4fs\n", result.value().result_count(),
                 result.value().seconds);
   }
   return 0;

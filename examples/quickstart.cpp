@@ -1,6 +1,7 @@
-// Quickstart: load a document, run one XQuery through the full
-// compile -> isolate -> plan -> execute pipeline, and look at every
-// intermediate artifact (SQL, physical plan, result).
+// Quickstart: load a document, prepare one XQuery through the full
+// compile -> isolate -> plan pipeline, look at every compiled artifact
+// (SQL, physical plan), then execute it — once via a streaming cursor,
+// and again to show that repeated executions reuse the same plan.
 #include <cstdio>
 
 #include "src/api/processor.h"
@@ -34,21 +35,52 @@ int main() {
   const char* query =
       "doc(\"auction.xml\")/descendant::open_auction[bidder]";
 
-  api::RunOptions options;
+  // Prepare once: parse -> normalize -> compile -> isolate -> plan. The
+  // returned PreparedQuery is immutable; every execution below shares it.
+  api::PrepareOptions options;
   options.mode = api::Mode::kJoinGraph;
-  auto result = processor.Run(query, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+  auto prepared = processor.Prepare(query, options);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare: %s\n",
+                 prepared.status().ToString().c_str());
     return 1;
   }
   std::printf("--- SQL shipped to the relational back-end ---\n%s\n\n",
-              result.value().sql.c_str());
+              prepared.value()->sql.c_str());
   std::printf("--- physical plan chosen by the optimizer ---\n%s\n",
-              result.value().explain.c_str());
-  std::printf("--- result (%zu nodes, %.4fs) ---\n",
-              result.value().result_count, result.value().seconds);
-  for (const auto& item : result.value().items) {
-    std::printf("%s\n", item.c_str());
+              prepared.value()->explain.c_str());
+
+  // Execute with a streaming cursor: items arrive in batches, so result
+  // memory is bounded by the batch size, not the result size.
+  auto cursor = processor.Execute(prepared.value());
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "execute: %s\n", cursor.status().ToString().c_str());
+    return 1;
   }
+  std::printf("--- result, fetched in batches of 2 ---\n");
+  while (true) {
+    auto batch = cursor.value()->FetchNext(2);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "fetch: %s\n", batch.status().ToString().c_str());
+      return 1;
+    }
+    if (batch.value().empty()) break;
+    for (const auto& item : batch.value()) {
+      std::printf("%s\n", item.c_str());
+    }
+  }
+  const api::ExecutionStats& stats = cursor.value()->stats();
+  std::printf("(%lld nodes, execute %.4fs + fetch %.4fs; compiled once in "
+              "%.4fs)\n\n",
+              static_cast<long long>(stats.rows_total),
+              stats.execute_seconds, stats.fetch_seconds,
+              prepared.value()->compile_seconds);
+
+  // Re-executing the same PreparedQuery pays zero compilation. (The
+  // one-shot Run facade gets the same effect through the LRU plan cache.)
+  auto again = processor.ExecuteAll(prepared.value());
+  if (!again.ok()) return 1;
+  std::printf("re-executed the prepared plan: %zu nodes in %.4fs\n",
+              again.value().result_count(), again.value().seconds);
   return 0;
 }

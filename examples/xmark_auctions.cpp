@@ -1,6 +1,7 @@
 // Auction analytics over a generated XMark instance: several queries of
-// increasing complexity, each run in all four execution modes with
-// timings — a miniature Table IX you can play with.
+// increasing complexity, each prepared once per execution mode and then
+// executed — a miniature Table IX you can play with, on the
+// prepare/execute API (per-mode PreparedQuery, per-execution stats).
 #include <cstdio>
 
 #include "src/api/paper_queries.h"
@@ -48,20 +49,33 @@ int main(int argc, char** argv) {
   for (const auto& s : scenarios) {
     std::printf("== %s ==\n   %s\n", s.label, s.query);
     for (api::Mode mode : modes) {
-      api::RunOptions run;
-      run.mode = mode;
-      run.context_document = "auction.xml";
-      run.timeout_seconds = 60;
-      auto result = processor.Run(s.query, run);
+      api::PrepareOptions prep;
+      prep.mode = mode;
+      prep.context_document = "auction.xml";
+      auto prepared = processor.Prepare(s.query, prep);
+      if (!prepared.ok()) {
+        std::printf("   %-17s %s\n", api::ModeToString(mode),
+                    prepared.status().ToString().c_str());
+        continue;
+      }
+      api::ExecuteOptions exec;
+      exec.limits.timeout_seconds = 60;
+      auto result = processor.ExecuteAll(prepared.value(), exec);
       if (!result.ok()) {
         std::printf("   %-17s %s\n", api::ModeToString(mode),
                     result.status().ToString().c_str());
         continue;
       }
-      std::printf("   %-17s %6zu nodes  %.4fs%s\n", api::ModeToString(mode),
-                  result.value().result_count, result.value().seconds,
+      std::printf("   %-17s %6zu nodes  %.4fs (compiled in %.4fs)%s\n",
+                  api::ModeToString(mode), result.value().result_count(),
+                  result.value().seconds, prepared.value()->compile_seconds,
                   result.value().used_fallback ? "  (DAG fallback)" : "");
     }
   }
+  api::PlanCache::Stats cache = processor.plan_cache_stats();
+  std::printf(
+      "\nplan cache after the sweep: %zu entries, %lld hits, %lld misses\n",
+      cache.entries, static_cast<long long>(cache.hits),
+      static_cast<long long>(cache.misses));
   return 0;
 }

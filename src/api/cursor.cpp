@@ -1,0 +1,135 @@
+#include "src/api/cursor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/api/processor.h"
+#include "src/engine/algebra_exec.h"
+#include "src/engine/planner.h"
+#include "src/native/xscan.h"
+#include "src/xml/serializer.h"
+
+namespace xqjg::api {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+Status ResultCursor::CheckNotStale() const {
+  if (prepared_->catalog_generation != owner_->catalog_generation()) {
+    return Status::InvalidArgument(
+        "stale cursor: documents or indexes changed since Prepare "
+        "(re-Prepare and Execute against the current catalog)");
+  }
+  return Status::OK();
+}
+
+Status ResultCursor::EnsureExecuted() {
+  if (executed_) return Status::OK();
+  const auto started = std::chrono::steady_clock::now();
+  const PreparedQuery& pq = *prepared_;
+  switch (pq.options.mode) {
+    case Mode::kNativeWhole:
+    case Mode::kNativeSegmented: {
+      // The native engine serializes while evaluating; row budgets do not
+      // apply (it materializes no relational intermediates).
+      XQJG_ASSIGN_OR_RETURN(
+          native_items_,
+          native_->Run(pq.core, options_.limits.timeout_seconds));
+      rows_total_ = native_items_.size();
+      break;
+    }
+    case Mode::kStacked: {
+      engine::ExecOptions exec_options;
+      exec_options.limits = options_.limits;
+      exec_options.use_columnar = options_.use_columnar;
+      exec_options.stats = &stats_.engine;
+      XQJG_ASSIGN_OR_RETURN(
+          pres_, engine::EvaluateToSequence(pq.stacked, *doc_, exec_options));
+      rows_total_ = pres_.size();
+      break;
+    }
+    case Mode::kJoinGraph: {
+      if (pq.has_plan) {
+        engine::PlannerOptions popts;
+        popts.syntactic_order = pq.options.syntactic_join_order;
+        popts.limits = options_.limits;
+        popts.use_columnar = options_.use_columnar;
+        XQJG_ASSIGN_OR_RETURN(
+            pres_, engine::ExecutePlan(pq.plan, *db_, popts, &stats_.engine));
+      } else {
+        // Residual blocking operators: execute the isolated DAG directly.
+        engine::ExecOptions exec_options;
+        exec_options.limits = options_.limits;
+        exec_options.use_columnar = options_.use_columnar;
+        exec_options.stats = &stats_.engine;
+        XQJG_ASSIGN_OR_RETURN(
+            pres_,
+            engine::EvaluateToSequence(pq.isolated, *doc_, exec_options));
+      }
+      rows_total_ = pres_.size();
+      break;
+    }
+  }
+  stats_.execute_seconds = SecondsSince(started);
+  stats_.rows_total = static_cast<int64_t>(rows_total_);
+  executed_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ResultCursor::FetchNext(size_t max_items) {
+  if (max_items == 0) {
+    return Status::InvalidArgument(
+        "FetchNext(0): an empty batch signals exhaustion, ask for >= 1");
+  }
+  XQJG_RETURN_NOT_OK(CheckNotStale());
+  XQJG_RETURN_NOT_OK(EnsureExecuted());
+  const auto started = std::chrono::steady_clock::now();
+  // Serialization works under the same wall-clock budget, restarted per
+  // fetch: a bounded fetch does bounded work.
+  engine::BudgetClock clock(options_.limits);
+  std::vector<std::string> batch;
+  const size_t end = std::min(rows_total_, next_ + max_items);
+  batch.reserve(end - next_);
+  const bool native_mode = prepared_->options.mode == Mode::kNativeWhole ||
+                           prepared_->options.mode == Mode::kNativeSegmented;
+  for (size_t i = next_; i < end; ++i) {
+    if (native_mode) {
+      // Already serialized by the engine; handing out is trivial work.
+      batch.push_back(std::move(native_items_[i]));
+    } else {
+      // A timed-out fetch leaves next_ untouched: the caller may retry
+      // and no item is skipped (serialization is repeatable).
+      XQJG_RETURN_NOT_OK(clock.Tick());
+      batch.push_back(xml::SerializeSubtree(*doc_, pres_[i]));
+    }
+  }
+  next_ = end;
+  stats_.rows_fetched += static_cast<int64_t>(batch.size());
+  stats_.fetch_seconds += SecondsSince(started);
+  return batch;
+}
+
+Result<std::vector<std::string>> ResultCursor::FetchAll() {
+  XQJG_RETURN_NOT_OK(CheckNotStale());
+  XQJG_RETURN_NOT_OK(EnsureExecuted());
+  std::vector<std::string> all;
+  while (!exhausted()) {
+    XQJG_ASSIGN_OR_RETURN(std::vector<std::string> batch,
+                          FetchNext(rows_total_ - next_));
+    if (all.empty()) {
+      all = std::move(batch);
+    } else {
+      for (auto& item : batch) all.push_back(std::move(item));
+    }
+  }
+  return all;
+}
+
+}  // namespace xqjg::api

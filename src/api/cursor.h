@@ -1,0 +1,128 @@
+// ResultCursor — streaming result delivery for prepared queries.
+//
+// Execute(prepared) does not materialize every serialized item up front:
+// the cursor runs the physical plan on the first fetch (the result
+// sequence of pre ranks), then serializes items batch by batch as the
+// caller FetchNext()s them. Result memory is bounded by the batch size
+// instead of the result size — the serialized XML strings, not the pre
+// ranks, dominate a result's footprint.
+#ifndef XQJG_API_CURSOR_H_
+#define XQJG_API_CURSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/prepared_query.h"
+#include "src/common/status.h"
+#include "src/engine/exec_options.h"
+#include "src/xml/infoset.h"
+
+namespace xqjg::native {
+class NativeEngine;
+}
+
+namespace xqjg::api {
+
+/// Execution-time knobs: how (not which) plan runs.
+struct ExecuteOptions {
+  /// DNF budgets. The wall-clock budget applies per FetchNext call (the
+  /// underlying plan execution happens inside the first fetch, so a run
+  /// that would previously time out still does); max_intermediate_rows
+  /// bounds the relational executors' intermediates.
+  engine::ExecLimits limits;
+  /// Execute relational modes via the columnar batch executors; identical
+  /// results, faster (differential-tested).
+  bool use_columnar = false;
+};
+
+/// Per-execution observability (one ResultCursor = one execution).
+struct ExecutionStats {
+  /// Producing the underlying result sequence (paid inside the first
+  /// FetchNext — what the paper's Table IX reports as execution time).
+  double execute_seconds = 0.0;
+  /// Cumulative serialization time across all fetches.
+  double fetch_seconds = 0.0;
+  /// Result cardinality; -1 until the first fetch ran the plan.
+  int64_t rows_total = -1;
+  int64_t rows_fetched = 0;
+  /// Intermediate-materialization counters from the relational executors.
+  engine::ExecStats engine;
+};
+
+class XQueryProcessor;
+
+/// Yields a prepared query's serialized result items in batches. Not
+/// thread-safe itself (one cursor = one session's iteration state), but
+/// any number of cursors over the same PreparedQuery may run in parallel.
+class ResultCursor {
+ public:
+  ResultCursor(const ResultCursor&) = delete;
+  ResultCursor& operator=(const ResultCursor&) = delete;
+
+  /// Returns up to `max_items` serialized items, in result-sequence
+  /// order. The first call runs the physical plan (under the execution
+  /// limits); every call budgets its serialization work with the
+  /// wall-clock limit. An empty batch means the cursor is exhausted;
+  /// max_items == 0 is an error so that signal stays unambiguous.
+  Result<std::vector<std::string>> FetchNext(size_t max_items);
+
+  /// Drains the cursor: every remaining item in one vector (today's
+  /// RunResult semantics).
+  Result<std::vector<std::string>> FetchAll();
+
+  /// True once every item has been fetched (false before the first
+  /// fetch, even for empty results — the plan has not run yet).
+  bool exhausted() const { return executed_ && next_ >= rows_total_; }
+
+  const ExecutionStats& stats() const { return stats_; }
+  const PreparedQuery& prepared() const { return *prepared_; }
+
+ private:
+  friend class XQueryProcessor;
+
+  ResultCursor(std::shared_ptr<const PreparedQuery> prepared,
+               const XQueryProcessor* owner, const xml::DocTable* doc,
+               const engine::Database* db,
+               const native::NativeEngine* native_engine,
+               const ExecuteOptions& options)
+      : prepared_(std::move(prepared)),
+        owner_(owner),
+        doc_(doc),
+        db_(db),
+        native_(native_engine),
+        options_(options) {}
+
+  /// InvalidArgument once the owning processor's catalog moved past the
+  /// prepared generation — the captured database/engine pointers now
+  /// dangle, so every fetch re-checks before touching them. This guards
+  /// the sequential misuse (mutate, then keep fetching); a mutation
+  /// racing an *in-flight* fetch is excluded by the processor's
+  /// threading contract (mutators need exclusive access).
+  Status CheckNotStale() const;
+
+  /// Runs the physical plan on first use; fills pres_ / native_items_.
+  Status EnsureExecuted();
+
+  std::shared_ptr<const PreparedQuery> prepared_;
+  const XQueryProcessor* owner_;      ///< not owned; must outlive the cursor
+  const xml::DocTable* doc_;          ///< not owned; relational modes
+  const engine::Database* db_;        ///< not owned; join-graph mode
+  const native::NativeEngine* native_;  ///< not owned; native modes
+  ExecuteOptions options_;
+
+  bool executed_ = false;
+  size_t rows_total_ = 0;
+  size_t next_ = 0;
+  /// Relational modes: result-sequence pre ranks, serialized lazily.
+  std::vector<int64_t> pres_;
+  /// Native modes: the engine serializes during evaluation, so items
+  /// arrive materialized; the cursor hands them out batch by batch.
+  std::vector<std::string> native_items_;
+  ExecutionStats stats_;
+};
+
+}  // namespace xqjg::api
+
+#endif  // XQJG_API_CURSOR_H_

@@ -1,0 +1,82 @@
+#include "src/api/plan_cache.h"
+
+namespace xqjg::api {
+
+std::string PlanCache::MakeKey(const std::string& query,
+                               const PrepareOptions& options) {
+  // Both variable-length fields are length-prefixed: the key is built
+  // (and hit) before any parsing happens, so no byte of query text or
+  // context URI can be trusted as a separator.
+  std::string key;
+  key.reserve(query.size() + options.context_document.size() + 16);
+  key += std::to_string(query.size());
+  key += ':';
+  key += query;
+  key += static_cast<char>('0' + static_cast<int>(options.mode));
+  key += options.syntactic_join_order ? '1' : '0';
+  key += options.explicit_serialization_step ? '1' : '0';
+  key += std::to_string(options.context_document.size());
+  key += ':';
+  key += options.context_document;
+  return key;
+}
+
+std::shared_ptr<const PreparedQuery> PlanCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+  return it->second->second;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const PreparedQuery> prepared) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(prepared);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(prepared));
+  index_[key] = lru_.begin();
+  EvictOverCapacityLocked();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  EvictOverCapacityLocked();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void PlanCache::EvictOverCapacityLocked() {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace xqjg::api

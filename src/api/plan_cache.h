@@ -1,0 +1,78 @@
+// LRU cache of PreparedQuery artifacts, keyed by query text + the
+// prepare-relevant options. Makes XQueryProcessor::Run a thin shim over
+// Prepare + Execute: repeated Run calls pay compilation once.
+//
+// Thread-safe: all operations lock an internal mutex (lookups from
+// concurrent sessions are the expected access pattern). Entries are
+// shared_ptr<const PreparedQuery>, so an eviction never invalidates a
+// handle a session still executes.
+#ifndef XQJG_API_PLAN_CACHE_H_
+#define XQJG_API_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/api/prepared_query.h"
+
+namespace xqjg::api {
+
+class PlanCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  /// Hit / miss / eviction counters plus current occupancy.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+  };
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// Canonical cache key: query text + every PrepareOptions field that
+  /// influences compilation.
+  static std::string MakeKey(const std::string& query,
+                             const PrepareOptions& options);
+
+  /// Returns the cached artifact and marks it most-recently-used; null on
+  /// miss. Counts the hit/miss either way.
+  std::shared_ptr<const PreparedQuery> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) `prepared` under `key`, evicting the least
+  /// recently used entry when over capacity. Capacity 0 disables caching.
+  void Insert(const std::string& key,
+              std::shared_ptr<const PreparedQuery> prepared);
+
+  /// Drops every entry (catalog changed); counters survive.
+  void Clear();
+
+  /// Shrinks/grows the cache, evicting LRU entries as needed.
+  void set_capacity(size_t capacity);
+
+  Stats stats() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const PreparedQuery>>;
+
+  void EvictOverCapacityLocked();
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace xqjg::api
+
+#endif  // XQJG_API_PLAN_CACHE_H_

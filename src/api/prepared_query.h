@@ -1,0 +1,97 @@
+// The compiled half of the prepare/execute lifecycle.
+//
+// The paper's architecture splits query processing into a front-end phase
+// (XQuery compilation + join graph isolation, §II–III) whose output — an
+// isolated join graph / SQL block — is shipped to a relational back-end
+// and executed repeatedly. PreparedQuery is that shipped artifact: an
+// immutable snapshot of everything the front end produced, so compilation
+// is paid once and any number of executions (including concurrent ones)
+// amortize it.
+#ifndef XQJG_API_PREPARED_QUERY_H_
+#define XQJG_API_PREPARED_QUERY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/algebra/operators.h"
+#include "src/engine/planner.h"
+#include "src/opt/join_graph.h"
+#include "src/xquery/ast.h"
+
+namespace xqjg::api {
+
+/// The four execution modes the paper's Table IX compares.
+enum class Mode { kStacked, kJoinGraph, kNativeWhole, kNativeSegmented };
+
+const char* ModeToString(Mode mode);
+
+/// Everything that influences *compilation* (and therefore the plan-cache
+/// key). Execution-time knobs — DNF budgets, executor selection — live in
+/// ExecuteOptions instead: they select how a plan is run, not which plan
+/// is built, so row and columnar executions share one cached plan.
+struct PrepareOptions {
+  Mode mode = Mode::kJoinGraph;
+  /// Document substituted for absolute paths ("/site/...").
+  std::string context_document;
+  /// Disable cost-based join ordering (ablation).
+  bool syntactic_join_order = false;
+  /// Append the explicit serialization step (paper §IV).
+  bool explicit_serialization_step = false;
+};
+
+/// Compile-time observability: what the front end did to the query.
+struct CompileDiagnostics {
+  /// Isolation rule name -> application count (join-graph mode).
+  std::map<std::string, int> rule_counts;
+  /// Operator counts before/after isolation (the Fig. 4 / Fig. 7 shrink).
+  size_t ops_stacked = 0;
+  size_t ops_isolated = 0;
+  /// Blocking operators surviving isolation (ϱ / δ).
+  size_t ranks_after = 0;
+  size_t distincts_after = 0;
+};
+
+/// An immutable compiled query: normalized Core AST, compiled plans, the
+/// isolated join graph with its chosen physical plan, shipped SQL, and
+/// compile-time diagnostics. Created by XQueryProcessor::Prepare, handed
+/// out as shared_ptr<const PreparedQuery>; nothing mutates it afterwards,
+/// so N threads may Execute the same instance simultaneously.
+///
+/// A PreparedQuery is bound to the processor catalog state (documents +
+/// indexes) it was compiled against, recorded in `catalog_generation`;
+/// Execute rejects it with InvalidArgument once the catalog changed.
+struct PreparedQuery {
+  std::string query_text;
+  PrepareOptions options;
+
+  /// Normalized Core AST (all modes; the native engine executes this).
+  xquery::ExprPtr core;
+  /// Compiled stacked plan (relational modes).
+  algebra::OpPtr stacked;
+  /// Isolated plan DAG (join-graph mode; executed directly on fallback).
+  algebra::OpPtr isolated;
+  /// Extracted join graph — heap-allocated because `plan` points into it.
+  std::unique_ptr<const opt::JoinGraph> graph;
+  /// Cost-based physical join tree over `graph` (join-graph mode, no
+  /// fallback). Executed by the row and the columnar plan executor alike.
+  engine::PhysicalPlan plan;
+  bool has_plan = false;
+  /// Isolated plan ran via the materializing executor (extraction not
+  /// possible — residual blocking operators).
+  bool used_fallback = false;
+
+  std::string sql;      ///< shipped SQL (join graph block or CTE chain)
+  std::string explain;  ///< physical plan (join-graph mode)
+  /// Parse + normalize + compile + isolate + extract + plan time.
+  double compile_seconds = 0.0;
+  CompileDiagnostics diagnostics;
+
+  /// Processor catalog generation this artifact was compiled against.
+  uint64_t catalog_generation = 0;
+};
+
+}  // namespace xqjg::api
+
+#endif  // XQJG_API_PREPARED_QUERY_H_

@@ -1,12 +1,12 @@
 #include "src/api/processor.h"
 
 #include <chrono>
+#include <utility>
 
+#include "src/algebra/dag.h"
 #include "src/compiler/compile.h"
-#include "src/engine/algebra_exec.h"
 #include "src/sql/sqlgen.h"
 #include "src/xml/parser.h"
-#include "src/xml/serializer.h"
 #include "src/xquery/normalize.h"
 #include "src/xquery/parser.h"
 
@@ -39,6 +39,7 @@ Status XQueryProcessor::LoadDocument(
   XQJG_RETURN_NOT_OK(whole_store_.AddWhole(std::move(dom)));
   whole_engine_ = std::make_unique<native::NativeEngine>(&whole_store_);
   segmented_engine_ = std::make_unique<native::NativeEngine>(&segmented_store_);
+  InvalidatePlans();
   return Status::OK();
 }
 
@@ -47,108 +48,178 @@ Status XQueryProcessor::EnsureDatabase() {
   return Status::OK();
 }
 
+void XQueryProcessor::InvalidatePlans() {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  plan_cache_.Clear();
+}
+
 Status XQueryProcessor::CreateRelationalIndexes(
     const std::vector<engine::IndexDef>& defs) {
   XQJG_RETURN_NOT_OK(EnsureDatabase());
   for (const auto& def : defs) {
     XQJG_RETURN_NOT_OK(db_->CreateIndex(def));
   }
+  InvalidatePlans();
   return Status::OK();
 }
 
 void XQueryProcessor::DropRelationalIndexes() {
   if (db_) db_->DropAllIndexes();
+  InvalidatePlans();
 }
 
 void XQueryProcessor::CreatePatternIndex(native::XmlPattern pattern) {
   if (whole_engine_) whole_engine_->CreateIndex(pattern);
   if (segmented_engine_) segmented_engine_->CreateIndex(std::move(pattern));
+  InvalidatePlans();
 }
 
-Result<RunResult> XQueryProcessor::Run(const std::string& query,
-                                       const RunOptions& options) {
+Result<std::shared_ptr<const PreparedQuery>> XQueryProcessor::Prepare(
+    const std::string& query, const PrepareOptions& options) {
+  const std::string key = PlanCache::MakeKey(query, options);
+  if (auto cached = plan_cache_.Lookup(key)) return cached;
+  XQJG_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> prepared,
+                        PrepareUncached(query, options));
+  plan_cache_.Insert(key, prepared);
+  return prepared;
+}
+
+Result<std::shared_ptr<const PreparedQuery>> XQueryProcessor::PrepareUncached(
+    const std::string& query, const PrepareOptions& options) {
+  const auto started = std::chrono::steady_clock::now();
+  auto out = std::make_shared<PreparedQuery>();
+  out->query_text = query;
+  out->options = options;
+  out->catalog_generation = catalog_generation();
+
   XQJG_ASSIGN_OR_RETURN(xquery::ExprPtr ast, xquery::Parse(query));
   xquery::NormalizeOptions norm_options;
   norm_options.context_document = options.context_document;
-  XQJG_ASSIGN_OR_RETURN(xquery::ExprPtr core,
-                        xquery::Normalize(ast, norm_options));
-  RunResult result;
-  auto exec_started = std::chrono::steady_clock::now();
-  const auto compile_started = exec_started;
-  auto mark_compiled = [&]() {
-    exec_started = std::chrono::steady_clock::now();
-    result.compile_seconds =
-        std::chrono::duration<double>(exec_started - compile_started).count();
-  };
-  auto finish = [&]() {
-    result.seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - exec_started)
-                         .count();
-    result.result_count = result.items.size();
-    return result;
+  XQJG_ASSIGN_OR_RETURN(out->core, xquery::Normalize(ast, norm_options));
+
+  auto finish = [&]() -> std::shared_ptr<const PreparedQuery> {
+    out->compile_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    return out;
   };
 
   if (options.mode == Mode::kNativeWhole ||
       options.mode == Mode::kNativeSegmented) {
-    native::NativeEngine* eng = options.mode == Mode::kNativeWhole
-                                    ? whole_engine_.get()
-                                    : segmented_engine_.get();
-    if (!eng) return Status::InvalidArgument("no documents loaded");
-    mark_compiled();
-    XQJG_ASSIGN_OR_RETURN(result.items,
-                          eng->Run(core, options.timeout_seconds));
+    // The native engine interprets the Core AST directly: compilation
+    // stops after normalization.
     return finish();
   }
 
-  // Relational modes.
+  // Relational modes: compile to the stacked table-algebra plan.
   XQJG_RETURN_NOT_OK(EnsureDatabase());
   compiler::CompileOptions copts;
   copts.explicit_serialization_step = options.explicit_serialization_step;
-  XQJG_ASSIGN_OR_RETURN(algebra::OpPtr stacked,
-                        compiler::CompileQuery(core, copts));
+  XQJG_ASSIGN_OR_RETURN(out->stacked, compiler::CompileQuery(out->core, copts));
+  out->diagnostics.ops_stacked = algebra::CountOps(out->stacked);
 
-  engine::ExecOptions exec_options;
-  exec_options.limits.timeout_seconds = options.timeout_seconds;
-  exec_options.use_columnar = options.use_columnar;
-
-  std::vector<int64_t> pres;
   if (options.mode == Mode::kStacked) {
-    auto sql = sql::EmitStackedCte(stacked);
-    if (sql.ok()) result.sql = sql.value();
-    mark_compiled();
-    XQJG_ASSIGN_OR_RETURN(
-        pres, engine::EvaluateToSequence(stacked, doc_, exec_options));
-  } else {
-    XQJG_ASSIGN_OR_RETURN(opt::IsolationResult iso, opt::Isolate(stacked));
-    auto graph = opt::ExtractJoinGraph(iso.isolated);
-    if (graph.ok()) {
-      result.sql = sql::EmitJoinGraphSql(graph.value());
-      engine::PlannerOptions popts;
-      popts.syntactic_order = options.syntactic_join_order;
-      popts.timeout_seconds = options.timeout_seconds;
-      popts.use_columnar = options.use_columnar;
-      XQJG_ASSIGN_OR_RETURN(engine::PhysicalPlan plan,
-                            engine::PlanJoinGraph(graph.value(), *db_, popts));
-      result.explain = engine::ExplainPlan(plan);
-      mark_compiled();
-      XQJG_ASSIGN_OR_RETURN(pres, engine::ExecutePlan(plan, *db_, popts));
-    } else {
-      // Residual blocking operators (deeply nested FLWOR): execute the
-      // isolated DAG directly — still drastically fewer blocking
-      // operators than the stacked plan (see DESIGN.md).
-      result.used_fallback = true;
-      auto sql = sql::EmitStackedCte(iso.isolated);
-      if (sql.ok()) result.sql = sql.value();
-      mark_compiled();
-      XQJG_ASSIGN_OR_RETURN(
-          pres, engine::EvaluateToSequence(iso.isolated, doc_, exec_options));
-    }
+    auto sql = sql::EmitStackedCte(out->stacked);
+    if (sql.ok()) out->sql = sql.value();
+    return finish();
   }
-  result.items.reserve(pres.size());
-  for (int64_t pre : pres) {
-    result.items.push_back(xml::SerializeSubtree(doc_, pre));
+
+  // Join-graph mode: isolate, extract, and cost-based plan.
+  XQJG_ASSIGN_OR_RETURN(opt::IsolationResult iso, opt::Isolate(out->stacked));
+  out->isolated = iso.isolated;
+  out->diagnostics.rule_counts = std::move(iso.rule_counts);
+  out->diagnostics.ops_isolated = iso.ops_after;
+  out->diagnostics.ranks_after = iso.ranks_after;
+  out->diagnostics.distincts_after = iso.distincts_after;
+
+  auto graph = opt::ExtractJoinGraph(out->isolated);
+  if (graph.ok()) {
+    auto owned = std::make_unique<opt::JoinGraph>(std::move(graph).value());
+    out->sql = sql::EmitJoinGraphSql(*owned);
+    engine::PlannerOptions popts;
+    popts.syntactic_order = options.syntactic_join_order;
+    XQJG_ASSIGN_OR_RETURN(out->plan,
+                          engine::PlanJoinGraph(*owned, *db_, popts));
+    out->graph = std::move(owned);  // plan.graph points into *graph
+    out->has_plan = true;
+    out->explain = engine::ExplainPlan(out->plan);
+  } else {
+    // Residual blocking operators (deeply nested FLWOR): execution will
+    // run the isolated DAG directly — still drastically fewer blocking
+    // operators than the stacked plan (see DESIGN.md).
+    out->used_fallback = true;
+    auto sql = sql::EmitStackedCte(out->isolated);
+    if (sql.ok()) out->sql = sql.value();
   }
   return finish();
+}
+
+Result<std::unique_ptr<ResultCursor>> XQueryProcessor::Execute(
+    std::shared_ptr<const PreparedQuery> prepared,
+    const ExecuteOptions& options) const {
+  if (!prepared) return Status::InvalidArgument("null PreparedQuery");
+  if (prepared->catalog_generation != catalog_generation()) {
+    return Status::InvalidArgument(
+        "stale PreparedQuery: documents or indexes changed since Prepare "
+        "(re-Prepare against the current catalog)");
+  }
+  const native::NativeEngine* native_engine = nullptr;
+  if (prepared->options.mode == Mode::kNativeWhole ||
+      prepared->options.mode == Mode::kNativeSegmented) {
+    native_engine = prepared->options.mode == Mode::kNativeWhole
+                        ? whole_engine_.get()
+                        : segmented_engine_.get();
+    if (!native_engine) return Status::InvalidArgument("no documents loaded");
+  } else if (!db_) {
+    // Unreachable through Prepare (which builds the database), but keeps
+    // a hand-rolled PreparedQuery from dereferencing null.
+    return Status::InvalidArgument("no documents loaded");
+  }
+  return std::unique_ptr<ResultCursor>(new ResultCursor(
+      std::move(prepared), this, &doc_, db_.get(), native_engine, options));
+}
+
+Result<RunResult> XQueryProcessor::ExecuteAll(
+    std::shared_ptr<const PreparedQuery> prepared,
+    const ExecuteOptions& options) const {
+  XQJG_ASSIGN_OR_RETURN(std::unique_ptr<ResultCursor> cursor,
+                        Execute(std::move(prepared), options));
+  RunResult result;
+  XQJG_ASSIGN_OR_RETURN(result.items, cursor->FetchAll());
+  const ExecutionStats& stats = cursor->stats();
+  result.seconds = stats.execute_seconds + stats.fetch_seconds;
+  const PreparedQuery& pq = cursor->prepared();
+  result.compile_seconds = pq.compile_seconds;
+  result.sql = pq.sql;
+  result.explain = pq.explain;
+  result.used_fallback = pq.used_fallback;
+  return result;
+}
+
+Result<RunResult> XQueryProcessor::Run(const std::string& query,
+                                       const RunOptions& options) {
+  PrepareOptions popts;
+  popts.mode = options.mode;
+  popts.context_document = options.context_document;
+  popts.syntactic_join_order = options.syntactic_join_order;
+  popts.explicit_serialization_step = options.explicit_serialization_step;
+  const auto prepare_started = std::chrono::steady_clock::now();
+  XQJG_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> prepared,
+                        Prepare(query, popts));
+  const double prepare_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    prepare_started)
+          .count();
+  ExecuteOptions eopts;
+  eopts.limits.timeout_seconds = options.timeout_seconds;
+  eopts.use_columnar = options.use_columnar;
+  XQJG_ASSIGN_OR_RETURN(RunResult result,
+                        ExecuteAll(std::move(prepared), eopts));
+  // What this call paid for compilation: the full pipeline on a cache
+  // miss, a lookup on a hit.
+  result.compile_seconds = prepare_seconds;
+  return result;
 }
 
 }  // namespace xqjg::api

@@ -1,21 +1,44 @@
 // XQueryProcessor — the library's public facade.
 //
-// Load XML documents once, then run XQuery text through any of the four
-// execution modes the paper's Table IX compares:
+// Load XML documents once, then compile XQuery text into immutable
+// PreparedQuery artifacts and execute them — repeatedly, concurrently,
+// streaming — through any of the four execution modes the paper's
+// Table IX compares:
 //   kStacked         compile only, execute the stacked plan (staged,
 //                    materializing — DB2 on Pathfinder's unrewritten SQL)
 //   kJoinGraph       compile + join graph isolation + cost-based relational
 //                    execution over B-tree indexes (the paper's approach)
 //   kNativeWhole     pureXML™-style native engine over the monolithic doc
 //   kNativeSegmented same engine over the segmented store
+//
+// Lifecycle (mirroring the paper's front-end / back-end split):
+//   Prepare(query, PrepareOptions)  -> shared_ptr<const PreparedQuery>
+//   Execute(prepared, ExecuteOptions) -> ResultCursor (batched FetchNext)
+//   ExecuteAll(prepared)            -> RunResult (full materialization)
+//   Run(query, RunOptions)          -> compatibility shim: Prepare via the
+//                                      LRU plan cache, then ExecuteAll.
+//
+// Threading contract: the loading/compiling surface (LoadDocument,
+// Create*/Drop* index, Prepare, Run) mutates the processor and needs
+// exclusive access — no concurrent calls to it AND no executions or
+// live cursors in flight while it runs (a catalog mutation frees the
+// database/engines an in-flight execution is reading; the generation
+// check rejects stale artifacts *between* fetches, it cannot stop a
+// mutation racing an active one). Execute/ExecuteAll are const — once
+// prepared, any number of threads may execute the same PreparedQuery
+// against the immutable database simultaneously.
 #ifndef XQJG_API_PROCESSOR_H_
 #define XQJG_API_PROCESSOR_H_
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/api/cursor.h"
+#include "src/api/plan_cache.h"
+#include "src/api/prepared_query.h"
 #include "src/common/status.h"
 #include "src/engine/database.h"
 #include "src/engine/planner.h"
@@ -25,10 +48,8 @@
 
 namespace xqjg::api {
 
-enum class Mode { kStacked, kJoinGraph, kNativeWhole, kNativeSegmented };
-
-const char* ModeToString(Mode mode);
-
+/// Options of the one-shot Run shim: the PrepareOptions fields plus the
+/// execution-time knobs (Run splits them internally).
 struct RunOptions {
   Mode mode = Mode::kJoinGraph;
   /// Wall-clock DNF budget in seconds (<= 0: unlimited).
@@ -46,11 +67,17 @@ struct RunOptions {
 
 struct RunResult {
   std::vector<std::string> items;  ///< serialized result nodes, in order
-  size_t result_count = 0;
+
+  /// Result cardinality. `items` is the single source of truth — this is
+  /// a view of it, so materialized counts cannot drift from cursor-based
+  /// counts (ResultCursor reports the same value via stats().rows_total).
+  size_t result_count() const { return items.size(); }
+
   /// Query execution time (what the paper's Table IX reports — Pathfinder
   /// compiles/isolates before shipping, so compile time is separate).
   double seconds = 0.0;
-  /// Parse + normalize + compile + isolate + extract time.
+  /// Time spent in the Prepare phase of this call — full compilation on a
+  /// plan-cache miss, a cache lookup on a hit.
   double compile_seconds = 0.0;
   std::string sql;      ///< shipped SQL (join graph block or CTE chain)
   std::string explain;  ///< physical plan (join-graph mode)
@@ -64,11 +91,13 @@ class XQueryProcessor {
 
   /// Parses and registers a document under `uri` in every storage layout.
   /// `segment_tags` configures the native engine's segmented store (empty:
-  /// segmented mode unavailable for this document).
+  /// segmented mode unavailable for this document). Invalidates the plan
+  /// cache and every outstanding PreparedQuery.
   Status LoadDocument(const std::string& uri, const std::string& xml_text,
                       const std::set<std::string>& segment_tags = {});
 
   /// Creates the given relational B-tree set (default: Table VI).
+  /// Invalidates the plan cache and every outstanding PreparedQuery.
   Status CreateRelationalIndexes(
       const std::vector<engine::IndexDef>& defs = engine::TableVIIndexes());
   void DropRelationalIndexes();
@@ -76,14 +105,54 @@ class XQueryProcessor {
   /// Declares a native XMLPATTERN index.
   void CreatePatternIndex(native::XmlPattern pattern);
 
-  /// Runs XQuery text under `options`.
+  /// Compiles `query` into an immutable PreparedQuery, consulting the LRU
+  /// plan cache first (keyed by query text + options; only successful
+  /// compilations are cached). Parse/normalize for native modes;
+  /// parse/normalize/compile (+ isolate + extract + plan for kJoinGraph)
+  /// for the relational ones.
+  Result<std::shared_ptr<const PreparedQuery>> Prepare(
+      const std::string& query, const PrepareOptions& options = {});
+
+  /// Opens a streaming cursor over one execution of `prepared`. Const and
+  /// thread-safe: concurrent Execute calls on one PreparedQuery (or many)
+  /// are supported. Fails with InvalidArgument if the catalog changed
+  /// since Prepare (stale artifact).
+  Result<std::unique_ptr<ResultCursor>> Execute(
+      std::shared_ptr<const PreparedQuery> prepared,
+      const ExecuteOptions& options = {}) const;
+
+  /// Convenience: Execute + drain the cursor into a RunResult (full
+  /// materialization — today's Run semantics).
+  Result<RunResult> ExecuteAll(std::shared_ptr<const PreparedQuery> prepared,
+                               const ExecuteOptions& options = {}) const;
+
+  /// One-shot compatibility shim: Prepare through the LRU plan cache,
+  /// then ExecuteAll. Identical items / order / SQL / explain to the
+  /// pre-cache facade; repeated calls pay compilation once.
   Result<RunResult> Run(const std::string& query, const RunOptions& options);
+
+  /// Plan-cache observability and control. Capacity 0 disables caching.
+  PlanCache::Stats plan_cache_stats() const { return plan_cache_.stats(); }
+  void set_plan_cache_capacity(size_t capacity) {
+    plan_cache_.set_capacity(capacity);
+  }
+  void ClearPlanCache() { plan_cache_.Clear(); }
+
+  /// Monotonic catalog version; bumped by every document/index mutation.
+  /// A PreparedQuery executes only while its recorded generation matches.
+  uint64_t catalog_generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   const xml::DocTable& doc_table() const { return doc_; }
   engine::Database* database() { return db_.get(); }
+  const engine::Database* database() const { return db_.get(); }
 
  private:
   Status EnsureDatabase();
+  void InvalidatePlans();
+  Result<std::shared_ptr<const PreparedQuery>> PrepareUncached(
+      const std::string& query, const PrepareOptions& options);
 
   xml::DocTable doc_;
   std::unique_ptr<engine::Database> db_;
@@ -92,6 +161,8 @@ class XQueryProcessor {
   std::unique_ptr<native::NativeEngine> whole_engine_;
   std::unique_ptr<native::NativeEngine> segmented_engine_;
   std::set<std::string> segmented_uris_;
+  PlanCache plan_cache_;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace xqjg::api

@@ -135,11 +135,7 @@ class ColumnarPlanExecutor {
  public:
   ColumnarPlanExecutor(const JoinGraph& graph, const Database& db,
                        const PlannerOptions& options, ExecStats* stats)
-      : graph_(graph), db_(db), stats_(stats) {
-    ExecLimits limits;
-    limits.timeout_seconds = options.timeout_seconds;
-    clock_ = BudgetClock(limits);
-  }
+      : graph_(graph), db_(db), stats_(stats), clock_(options.limits) {}
 
   Result<AliasBatch> Run(const PhysNode* node) {
     XQJG_RETURN_NOT_OK(clock_.CheckDeadline());
@@ -176,7 +172,8 @@ class ColumnarPlanExecutor {
       for (size_t o = 0; o < outer.rows; ++o) {
         XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), &outer, o, &orows,
                                      &pres));
-        XQJG_RETURN_NOT_OK(clock_.Tick());
+        XQJG_RETURN_NOT_OK(
+            clock_.TickRows(static_cast<int64_t>(pres.size())));
       }
       AliasBatch merged = MergeScanResult(outer, alias, orows, pres);
       // Edge predicates not already applied inside the probe.
@@ -191,7 +188,8 @@ class ColumnarPlanExecutor {
     std::vector<uint32_t> lidx, ridx;
     for (size_t l = 0; l < outer.rows; ++l) {
       for (size_t r = 0; r < inner.rows; ++r) {
-        XQJG_RETURN_NOT_OK(clock_.Tick());
+        XQJG_RETURN_NOT_OK(
+            clock_.TickRows(static_cast<int64_t>(lidx.size())));
         PairRow row{&outer, l, &inner, r};
         bool ok = true;
         for (const auto& p : node->preds) {
@@ -237,7 +235,8 @@ class ColumnarPlanExecutor {
     if (!hash_pred) {
       for (size_t l = 0; l < left.rows; ++l) {
         for (size_t r = 0; r < right.rows; ++r) {
-          XQJG_RETURN_NOT_OK(clock_.Tick());
+          XQJG_RETURN_NOT_OK(
+              clock_.TickRows(static_cast<int64_t>(lidx.size())));
           if (pair_passes(l, r)) {
             lidx.push_back(static_cast<uint32_t>(l));
             ridx.push_back(static_cast<uint32_t>(r));
@@ -274,7 +273,8 @@ class ColumnarPlanExecutor {
       auto it = buckets.find(v.Hash());
       if (it == buckets.end()) continue;
       for (uint32_t j : it->second) {
-        XQJG_RETURN_NOT_OK(clock_.Tick());
+        XQJG_RETURN_NOT_OK(
+            clock_.TickRows(static_cast<int64_t>(lidx.size())));
         if (pair_passes(l, j)) {
           lidx.push_back(static_cast<uint32_t>(l));
           ridx.push_back(j);
@@ -375,7 +375,8 @@ class ColumnarPlanExecutor {
     if (node->kind == PhysKind::kTbScan) {
       for (int64_t pre = 0; pre < db_.row_count(); ++pre) {
         emit_if_match(pre);
-        XQJG_RETURN_NOT_OK(clock_.Tick());
+        XQJG_RETURN_NOT_OK(
+            clock_.TickRows(static_cast<int64_t>(out_pre->size())));
       }
       return Status::OK();
     }
@@ -458,15 +459,22 @@ class ColumnarPlanExecutor {
     range.upper = std::move(upper);
     range.lower_inclusive = lower_inc;
     range.upper_inclusive = upper_inc;
-    bool expired = false;
+    bool expired = false, over_rows = false;
     node->index->tree.Scan(range, [&](const Key&, int64_t pre) {
       emit_if_match(pre);
+      if (clock_.RowsExceeded(static_cast<int64_t>(out_pre->size()))) {
+        over_rows = true;
+        return false;  // stop the scan
+      }
       if (clock_.TickQuiet() && clock_.Expired()) {
         expired = true;
         return false;  // stop the scan
       }
       return true;
     });
+    if (over_rows) {
+      return clock_.TickRows(static_cast<int64_t>(out_pre->size()));
+    }
     if (expired) return clock_.CheckDeadline();
     return Status::OK();
   }

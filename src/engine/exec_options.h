@@ -67,11 +67,7 @@ class BudgetClock {
 
   /// Row budget + deadline; call once per materialized intermediate.
   Status CheckRows(int64_t rows) const {
-    if (max_rows_ > 0 && rows > max_rows_) {
-      return Status::Timeout(
-          StrPrintf("intermediate table exceeds %lld rows (DNF)",
-                    static_cast<long long>(max_rows_)));
-    }
+    if (RowsExceeded(rows)) return RowBudgetExceeded();
     return CheckDeadline();
   }
 
@@ -98,6 +94,21 @@ class BudgetClock {
     if ((++tick_ & kStrideMask) == 0 && Expired()) throw BudgetExhausted{};
   }
 
+  /// Row budget for a growing intermediate plus the amortized deadline —
+  /// the per-iteration guard of every tuple-producing loop in the physical
+  /// plan executors. The row comparison is a plain integer check (paid on
+  /// every call); the clock read is amortized like Tick().
+  Status TickRows(int64_t rows) {
+    if (RowsExceeded(rows)) return RowBudgetExceeded();
+    return Tick();
+  }
+
+  /// Row-budget check alone — for callback loops that cannot propagate
+  /// Status directly (pair with TickQuiet()/Expired() for the deadline).
+  bool RowsExceeded(int64_t rows) const {
+    return max_rows_ > 0 && rows > max_rows_;
+  }
+
   /// Advances the tick counter and reports whether the deadline is due for
   /// a check — for callback loops that cannot propagate Status directly.
   bool TickQuiet() { return (++tick_ & kStrideMask) == 0; }
@@ -106,6 +117,12 @@ class BudgetClock {
 
  private:
   static constexpr uint64_t kStrideMask = 0xFFF;  // every 4096 calls
+
+  Status RowBudgetExceeded() const {
+    return Status::Timeout(
+        StrPrintf("intermediate table exceeds %lld rows (DNF)",
+                  static_cast<long long>(max_rows_)));
+  }
 
   std::chrono::steady_clock::time_point deadline_;
   bool have_deadline_ = false;

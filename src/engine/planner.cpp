@@ -541,11 +541,8 @@ class Executor {
  public:
   Executor(const JoinGraph& graph, const Database& db,
            const PlannerOptions& options, ExecStats* stats)
-      : graph_(graph), db_(db), options_(options), stats_(stats) {
-    ExecLimits limits;
-    limits.timeout_seconds = options_.timeout_seconds;
-    clock_ = BudgetClock(limits);
-  }
+      : graph_(graph), db_(db), options_(options), stats_(stats),
+        clock_(options.limits) {}
 
   BudgetClock* clock() { return &clock_; }
 
@@ -580,6 +577,8 @@ class Executor {
             node->right->kind == PhysKind::kTbScan) {
           for (const Tuple& t : outer) {
             XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), t, &out));
+            XQJG_RETURN_NOT_OK(
+                clock_.TickRows(static_cast<int64_t>(out.size())));
             XQJG_RETURN_NOT_OK(CheckDeadline());
           }
           // Edge predicates not already applied inside the probe.
@@ -589,7 +588,8 @@ class Executor {
                                 Run(node->right.get()));
           for (const Tuple& l : outer) {
             for (const Tuple& r : inner) {
-              XQJG_RETURN_NOT_OK(clock_.Tick());
+              XQJG_RETURN_NOT_OK(
+                  clock_.TickRows(static_cast<int64_t>(out.size())));
               Tuple merged = MergeTuples(l, r);
               bool ok = true;
               for (const auto& p : node->preds) {
@@ -623,7 +623,8 @@ class Executor {
         if (!hash_pred) {
           for (const Tuple& l : left) {
             for (const Tuple& r : right) {
-              XQJG_RETURN_NOT_OK(clock_.Tick());
+              XQJG_RETURN_NOT_OK(
+                  clock_.TickRows(static_cast<int64_t>(out.size())));
               Tuple merged = MergeTuples(l, r);
               bool ok = true;
               for (const auto& p : node->preds) {
@@ -667,7 +668,8 @@ class Executor {
           auto it = buckets.find(v.Hash());
           if (it == buckets.end()) continue;
           for (size_t j : it->second) {
-            XQJG_RETURN_NOT_OK(clock_.Tick());
+            XQJG_RETURN_NOT_OK(
+                clock_.TickRows(static_cast<int64_t>(out.size())));
             Tuple merged = MergeTuples(l, right[j]);
             bool ok = true;
             for (const auto& p : node->preds) {
@@ -738,7 +740,8 @@ class Executor {
     if (node->kind == PhysKind::kTbScan) {
       for (int64_t pre = 0; pre < db_.row_count(); ++pre) {
         emit_if_match(pre);
-        XQJG_RETURN_NOT_OK(clock_.Tick());
+        XQJG_RETURN_NOT_OK(
+            clock_.TickRows(static_cast<int64_t>(out->size())));
       }
       return Status::OK();
     }
@@ -827,15 +830,22 @@ class Executor {
     range.upper = std::move(upper);
     range.lower_inclusive = lower_inc;
     range.upper_inclusive = upper_inc;
-    bool expired = false;
+    bool expired = false, over_rows = false;
     node->index->tree.Scan(range, [&](const Key&, int64_t pre) {
       emit_if_match(pre);
+      if (clock_.RowsExceeded(static_cast<int64_t>(out->size()))) {
+        over_rows = true;
+        return false;  // stop the scan
+      }
       if (clock_.TickQuiet() && clock_.Expired()) {
         expired = true;
         return false;  // stop the scan
       }
       return true;
     });
+    if (over_rows) {
+      return clock_.TickRows(static_cast<int64_t>(out->size()));
+    }
     if (expired) return clock_.CheckDeadline();
     return Status::OK();
   }

@@ -49,8 +49,10 @@ struct PlannerOptions {
   /// Disable cost-based join ordering: join aliases in syntactic order
   /// with filter joins (the ablation baseline).
   bool syntactic_order = false;
-  /// Wall-clock DNF budget in seconds (<= 0: unlimited).
-  double timeout_seconds = -1.0;
+  /// DNF budgets (wall clock + intermediate row count); both enforced by
+  /// the row and the columnar physical-plan executors at every
+  /// tuple-producing point.
+  ExecLimits limits;
   /// Execute via the columnar batch executor (alias-column tuple store,
   /// batched probes/joins, single-pass sort keys) instead of the
   /// row-at-a-time tuple executor. Identical results, differential-tested.

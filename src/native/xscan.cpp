@@ -100,9 +100,8 @@ void NativeEngine::CreateIndex(XmlPattern pattern) {
                                                     *store_));
 }
 
-Result<std::vector<std::string>> NativeEngine::Run(const ExprPtr& core,
-                                                   double timeout_seconds,
-                                                   NativeRunStats* stats) {
+Result<std::vector<std::string>> NativeEngine::Run(
+    const ExprPtr& core, double timeout_seconds, NativeRunStats* stats) const {
   auto uri = PrimaryUri(core);
   if (!uri) return Status::InvalidArgument("query references no document");
   const auto& fragments = store_->Fragments(*uri);

@@ -32,23 +32,26 @@ struct NativeRunStats {
 
 class NativeEngine {
  public:
-  explicit NativeEngine(DocumentStore* store) : store_(store) {}
+  explicit NativeEngine(const DocumentStore* store) : store_(store) {}
 
-  /// Declares an XMLPATTERN index (built immediately).
+  /// Declares an XMLPATTERN index (built immediately). NOT safe to call
+  /// concurrently with Run — declare indexes before serving queries.
   void CreateIndex(XmlPattern pattern);
 
   /// Evaluates the Core query. `timeout_seconds` <= 0 disables the DNF
   /// guard. Results are serialized XML fragments in sequence order.
+  /// Const and reentrant: all per-run state is local, so any number of
+  /// threads may Run against one engine over one immutable store.
   Result<std::vector<std::string>> Run(const xquery::ExprPtr& core,
                                        double timeout_seconds = -1.0,
-                                       NativeRunStats* stats = nullptr);
+                                       NativeRunStats* stats = nullptr) const;
 
   const std::vector<std::unique_ptr<PatternIndex>>& indexes() const {
     return indexes_;
   }
 
  private:
-  DocumentStore* store_;
+  const DocumentStore* store_;
   std::vector<std::unique_ptr<PatternIndex>> indexes_;
 };
 

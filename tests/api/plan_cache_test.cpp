@@ -1,0 +1,149 @@
+// Plan cache: hits on identical text+options share one artifact, any
+// differing prepare-relevant option misses, LRU order governs eviction,
+// stats observe all of it, and every catalog mutation invalidates.
+#include <gtest/gtest.h>
+
+#include "src/api/processor.h"
+#include "tests/testutil/fixtures.h"
+
+namespace xqjg::api {
+namespace {
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        processor_.LoadDocument("site.xml", testutil::TinySiteXml()).ok());
+    ASSERT_TRUE(
+        processor_.LoadDocument("bib.xml", testutil::TinyBibXml()).ok());
+    ASSERT_TRUE(processor_.CreateRelationalIndexes().ok());
+  }
+
+  PrepareOptions Options() const {
+    PrepareOptions options;
+    options.context_document = "site.xml";
+    return options;
+  }
+
+  XQueryProcessor processor_;
+  const std::string query_ = "//item[price > 10.0]/name";
+};
+
+TEST_F(PlanCacheTest, SameTextAndOptionsHitAndShareTheArtifact) {
+  auto first = processor_.Prepare(query_, Options());
+  ASSERT_TRUE(first.ok());
+  auto second = processor_.Prepare(query_, Options());
+  ASSERT_TRUE(second.ok());
+  // A hit returns the same immutable artifact, not a recompilation.
+  EXPECT_EQ(first.value().get(), second.value().get());
+  PlanCache::Stats stats = processor_.plan_cache_stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST_F(PlanCacheTest, AnyPrepareRelevantOptionMisses) {
+  auto base = processor_.Prepare(query_, Options());
+  ASSERT_TRUE(base.ok());
+
+  PrepareOptions stacked = Options();
+  stacked.mode = Mode::kStacked;
+  PrepareOptions syntactic = Options();
+  syntactic.syntactic_join_order = true;
+  PrepareOptions serialized = Options();
+  serialized.explicit_serialization_step = true;
+  PrepareOptions other_context = Options();
+  other_context.context_document = "bib.xml";
+
+  for (const PrepareOptions& options :
+       {stacked, syntactic, serialized, other_context}) {
+    auto prepared = processor_.Prepare(query_, options);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    EXPECT_NE(prepared.value().get(), base.value().get());
+  }
+  PlanCache::Stats stats = processor_.plan_cache_stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 5);
+  EXPECT_EQ(stats.entries, 5u);
+}
+
+TEST_F(PlanCacheTest, LruEvictionDropsTheLeastRecentlyUsedEntry) {
+  processor_.set_plan_cache_capacity(2);
+  auto q1 = processor_.Prepare("//item", Options());
+  auto q2 = processor_.Prepare("//item/name", Options());
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  // Touch q1 so q2 becomes least recently used.
+  ASSERT_TRUE(processor_.Prepare("//item", Options()).ok());
+  // Inserting a third entry evicts q2, not q1.
+  ASSERT_TRUE(processor_.Prepare("//item/price", Options()).ok());
+
+  auto q1_again = processor_.Prepare("//item", Options());
+  ASSERT_TRUE(q1_again.ok());
+  EXPECT_EQ(q1_again.value().get(), q1.value().get());  // survived
+
+  auto q2_again = processor_.Prepare("//item/name", Options());
+  ASSERT_TRUE(q2_again.ok());
+  EXPECT_NE(q2_again.value().get(), q2.value().get());  // was evicted
+
+  PlanCache::Stats stats = processor_.plan_cache_stats();
+  EXPECT_GE(stats.evictions, 1);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_LE(stats.entries, 2u);
+}
+
+TEST_F(PlanCacheTest, RunRoutesThroughTheCache) {
+  RunOptions options;
+  options.context_document = "site.xml";
+  auto cold = processor_.Run(query_, options);
+  ASSERT_TRUE(cold.ok());
+  auto warm = processor_.Run(query_, options);
+  ASSERT_TRUE(warm.ok());
+  // Bit-identical results through the cache.
+  EXPECT_EQ(cold.value().items, warm.value().items);
+  EXPECT_EQ(cold.value().sql, warm.value().sql);
+  EXPECT_EQ(cold.value().explain, warm.value().explain);
+  PlanCache::Stats stats = processor_.plan_cache_stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  // Row vs columnar execution share one cached plan (executor selection
+  // is not prepare-relevant).
+  options.use_columnar = true;
+  ASSERT_TRUE(processor_.Run(query_, options).ok());
+  EXPECT_EQ(processor_.plan_cache_stats().hits, 2);
+}
+
+TEST_F(PlanCacheTest, FailedCompilationsAreNotCached) {
+  RunOptions options;
+  options.context_document = "site.xml";
+  ASSERT_FALSE(processor_.Run("//item[", options).ok());  // parse error
+  EXPECT_EQ(processor_.plan_cache_stats().entries, 0u);
+}
+
+TEST_F(PlanCacheTest, CatalogMutationsClearTheCacheAndBumpTheGeneration) {
+  ASSERT_TRUE(processor_.Prepare(query_, Options()).ok());
+  EXPECT_EQ(processor_.plan_cache_stats().entries, 1u);
+  const uint64_t generation = processor_.catalog_generation();
+
+  ASSERT_TRUE(
+      processor_.LoadDocument("more.xml", testutil::TinyBibXml()).ok());
+  EXPECT_EQ(processor_.plan_cache_stats().entries, 0u);
+  EXPECT_GT(processor_.catalog_generation(), generation);
+
+  ASSERT_TRUE(processor_.Prepare(query_, Options()).ok());
+  processor_.DropRelationalIndexes();
+  EXPECT_EQ(processor_.plan_cache_stats().entries, 0u);
+}
+
+TEST_F(PlanCacheTest, CapacityZeroDisablesCaching) {
+  processor_.set_plan_cache_capacity(0);
+  auto first = processor_.Prepare(query_, Options());
+  auto second = processor_.Prepare(query_, Options());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first.value().get(), second.value().get());
+  EXPECT_EQ(processor_.plan_cache_stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace xqjg::api

@@ -1,0 +1,191 @@
+// Concurrent execution: N threads share one immutable PreparedQuery per
+// paper query (row and columnar executors alike) and every thread's
+// result must equal the single-threaded oracle. This is the suite the CI
+// ThreadSanitizer job runs — any shared mutable state in the execution
+// layers surfaces here as a data race or a differential mismatch.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/paper_queries.h"
+#include "src/api/processor.h"
+#include "src/data/dblp.h"
+#include "src/data/xmark.h"
+
+namespace xqjg::api {
+namespace {
+
+constexpr int kThreads = 4;
+
+class PreparedConcurrencyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    processor_ = new XQueryProcessor();
+    data::XmarkOptions xmark;
+    xmark.scale = 0.1;
+    ASSERT_TRUE(processor_
+                    ->LoadDocument("auction.xml", data::GenerateXmark(xmark),
+                                   XmarkSegmentTags())
+                    .ok());
+    data::DblpOptions dblp;
+    dblp.publications = 400;
+    ASSERT_TRUE(processor_
+                    ->LoadDocument("dblp.xml", data::GenerateDblp(dblp),
+                                   DblpSegmentTags())
+                    .ok());
+    ASSERT_TRUE(processor_->CreateRelationalIndexes().ok());
+  }
+  static void TearDownTestSuite() {
+    delete processor_;
+    processor_ = nullptr;
+  }
+
+  static XQueryProcessor* processor_;
+};
+
+XQueryProcessor* PreparedConcurrencyTest::processor_ = nullptr;
+
+/// Runs `threads` concurrent ExecuteAll calls over one PreparedQuery and
+/// returns every thread's items (empty + recorded error on failure).
+struct ThreadOutcome {
+  std::vector<std::string> items;
+  Status status = Status::OK();
+};
+
+std::vector<ThreadOutcome> ExecuteConcurrently(
+    const XQueryProcessor& processor,
+    const std::shared_ptr<const PreparedQuery>& prepared, int threads,
+    bool alternate_executors) {
+  std::vector<ThreadOutcome> outcomes(static_cast<size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t]() {
+      ExecuteOptions options;
+      options.limits.timeout_seconds = 120;
+      // Odd threads run the columnar executors against even threads'
+      // row-at-a-time execution of the very same plan.
+      options.use_columnar = alternate_executors && (t % 2 == 1);
+      auto result = processor.ExecuteAll(prepared, options);
+      if (result.ok()) {
+        outcomes[static_cast<size_t>(t)].items =
+            std::move(result.value().items);
+      } else {
+        outcomes[static_cast<size_t>(t)].status = result.status();
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  return outcomes;
+}
+
+class PaperQueryConcurrency
+    : public PreparedConcurrencyTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(PaperQueryConcurrency, ThreadsShareOnePreparedQueryAndAgree) {
+  const PaperQuery* query = nullptr;
+  for (const auto& q : PaperQueries()) {
+    if (q.id == GetParam()) query = &q;
+  }
+  ASSERT_NE(query, nullptr);
+
+  PrepareOptions prep;
+  prep.mode = Mode::kJoinGraph;
+  prep.context_document = query->document;
+  auto prepared = processor_->Prepare(query->text, prep);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  // Single-threaded oracle, row executor.
+  ExecuteOptions oracle_options;
+  oracle_options.limits.timeout_seconds = 120;
+  auto oracle = processor_->ExecuteAll(prepared.value(), oracle_options);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  auto outcomes = ExecuteConcurrently(*processor_, prepared.value(), kThreads,
+                                      /*alternate_executors=*/true);
+  for (int t = 0; t < kThreads; ++t) {
+    const ThreadOutcome& outcome = outcomes[static_cast<size_t>(t)];
+    ASSERT_TRUE(outcome.status.ok())
+        << query->id << " thread " << t << ": " << outcome.status.ToString();
+    EXPECT_EQ(outcome.items, oracle.value().items)
+        << query->id << " thread " << t
+        << (t % 2 == 1 ? " (columnar)" : " (row)");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQueries, PaperQueryConcurrency,
+                         ::testing::Values("Q1", "Q2", "Q3", "Q4", "Q5",
+                                           "Q6"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST_F(PreparedConcurrencyTest, StackedAndNativeModesExecuteConcurrently) {
+  const PaperQuery& q1 = PaperQueries()[0];
+  for (Mode mode : {Mode::kStacked, Mode::kNativeWhole}) {
+    PrepareOptions prep;
+    prep.mode = mode;
+    prep.context_document = q1.document;
+    auto prepared = processor_->Prepare(q1.text, prep);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    ExecuteOptions oracle_options;
+    oracle_options.limits.timeout_seconds = 120;
+    auto oracle = processor_->ExecuteAll(prepared.value(), oracle_options);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    auto outcomes =
+        ExecuteConcurrently(*processor_, prepared.value(), kThreads,
+                            /*alternate_executors=*/mode == Mode::kStacked);
+    for (const ThreadOutcome& outcome : outcomes) {
+      ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+      EXPECT_EQ(outcome.items, oracle.value().items) << ModeToString(mode);
+    }
+  }
+}
+
+TEST_F(PreparedConcurrencyTest, ConcurrentStreamingCursorsStayIndependent) {
+  const PaperQuery& q4 = PaperQueries()[3];
+  PrepareOptions prep;
+  prep.context_document = q4.document;
+  auto prepared = processor_->Prepare(q4.text, prep);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto oracle = processor_->ExecuteAll(prepared.value());
+  ASSERT_TRUE(oracle.ok());
+
+  std::vector<ThreadOutcome> outcomes(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      auto cursor = processor_->Execute(prepared.value());
+      if (!cursor.ok()) {
+        outcomes[static_cast<size_t>(t)].status = cursor.status();
+        return;
+      }
+      // Deliberately small, thread-dependent batch sizes: interleaved
+      // FetchNext schedules across threads.
+      const size_t batch_size = static_cast<size_t>(t) + 1;
+      while (true) {
+        auto batch = cursor.value()->FetchNext(batch_size);
+        if (!batch.ok()) {
+          outcomes[static_cast<size_t>(t)].status = batch.status();
+          return;
+        }
+        if (batch.value().empty()) break;
+        for (auto& item : batch.value()) {
+          outcomes[static_cast<size_t>(t)].items.push_back(std::move(item));
+        }
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  for (const ThreadOutcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    EXPECT_EQ(outcome.items, oracle.value().items);
+  }
+}
+
+}  // namespace
+}  // namespace xqjg::api

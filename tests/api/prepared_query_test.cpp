@@ -1,0 +1,263 @@
+// Prepare/Execute lifecycle: the compiled artifact is immutable and
+// reusable, cursors stream in batches, ExecuteAll preserves Run
+// semantics, and stale artifacts are rejected after catalog changes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/api/processor.h"
+#include "tests/testutil/fixtures.h"
+
+namespace xqjg::api {
+namespace {
+
+class PreparedQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(processor_
+                    .LoadDocument("site.xml", testutil::TinySiteXml(),
+                                  {"item"})
+                    .ok());
+    ASSERT_TRUE(processor_.CreateRelationalIndexes().ok());
+  }
+
+  XQueryProcessor processor_;
+  const std::string query_ = "//item[price > 10.0]/name";
+};
+
+TEST_F(PreparedQueryTest, PrepareCapturesCompiledArtifacts) {
+  PrepareOptions options;
+  options.mode = Mode::kJoinGraph;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare(query_, options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  const PreparedQuery& pq = *prepared.value();
+  EXPECT_EQ(pq.query_text, query_);
+  EXPECT_NE(pq.core, nullptr);
+  EXPECT_NE(pq.stacked, nullptr);
+  EXPECT_NE(pq.isolated, nullptr);
+  EXPECT_TRUE(pq.has_plan);
+  EXPECT_FALSE(pq.used_fallback);
+  EXPECT_NE(pq.graph, nullptr);
+  EXPECT_EQ(pq.plan.graph, pq.graph.get());  // plan points into the artifact
+  EXPECT_FALSE(pq.sql.empty());
+  EXPECT_FALSE(pq.explain.empty());
+  EXPECT_GT(pq.diagnostics.ops_stacked, pq.diagnostics.ops_isolated);
+  EXPECT_GE(pq.compile_seconds, 0.0);
+  EXPECT_EQ(pq.catalog_generation, processor_.catalog_generation());
+}
+
+TEST_F(PreparedQueryTest, RunMatchesPrepareExecuteInEveryMode) {
+  for (Mode mode : {Mode::kStacked, Mode::kJoinGraph, Mode::kNativeWhole,
+                    Mode::kNativeSegmented}) {
+    RunOptions run_options;
+    run_options.mode = mode;
+    run_options.context_document = "site.xml";
+    auto via_run = processor_.Run(query_, run_options);
+    ASSERT_TRUE(via_run.ok())
+        << ModeToString(mode) << ": " << via_run.status().ToString();
+
+    PrepareOptions prep;
+    prep.mode = mode;
+    prep.context_document = "site.xml";
+    auto prepared = processor_.Prepare(query_, prep);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    auto via_execute = processor_.ExecuteAll(prepared.value());
+    ASSERT_TRUE(via_execute.ok()) << via_execute.status().ToString();
+
+    EXPECT_EQ(via_run.value().items, via_execute.value().items)
+        << ModeToString(mode);
+    EXPECT_EQ(via_run.value().sql, via_execute.value().sql);
+    EXPECT_EQ(via_run.value().explain, via_execute.value().explain);
+    EXPECT_EQ(via_run.value().used_fallback, via_execute.value().used_fallback);
+  }
+}
+
+TEST_F(PreparedQueryTest, CursorStreamsInBatches) {
+  PrepareOptions options;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare("//item", options);
+  ASSERT_TRUE(prepared.ok());
+  auto oracle = processor_.ExecuteAll(prepared.value());
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_GE(oracle.value().result_count(), 2u);
+
+  auto cursor = processor_.Execute(prepared.value());
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  ResultCursor& c = *cursor.value();
+  EXPECT_FALSE(c.exhausted());  // plan has not run yet
+  EXPECT_EQ(c.stats().rows_total, -1);
+
+  std::vector<std::string> streamed;
+  size_t batches = 0;
+  while (true) {
+    auto batch = c.FetchNext(1);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    if (batch.value().empty()) break;
+    EXPECT_EQ(batch.value().size(), 1u);
+    for (auto& item : batch.value()) streamed.push_back(std::move(item));
+    ++batches;
+  }
+  EXPECT_TRUE(c.exhausted());
+  EXPECT_EQ(streamed, oracle.value().items);
+  EXPECT_EQ(batches, oracle.value().result_count());
+  // One source of truth: cursor counts equal materialized counts.
+  EXPECT_EQ(static_cast<size_t>(c.stats().rows_total),
+            oracle.value().result_count());
+  EXPECT_EQ(static_cast<size_t>(c.stats().rows_fetched),
+            oracle.value().result_count());
+}
+
+TEST_F(PreparedQueryTest, FetchZeroIsAnErrorAndExhaustionIsSticky) {
+  PrepareOptions options;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare("//item", options);
+  ASSERT_TRUE(prepared.ok());
+  auto cursor = processor_.Execute(prepared.value());
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_FALSE(cursor.value()->FetchNext(0).ok());
+  auto all = cursor.value()->FetchAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(cursor.value()->exhausted());
+  auto after = cursor.value()->FetchNext(8);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().empty());
+}
+
+TEST_F(PreparedQueryTest, ConcurrentCursorsOverOnePreparedQueryAreIndependent) {
+  PrepareOptions options;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare("//item", options);
+  ASSERT_TRUE(prepared.ok());
+  auto c1 = processor_.Execute(prepared.value());
+  auto c2 = processor_.Execute(prepared.value());
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  // Interleaved fetches: each cursor keeps its own position.
+  auto b1 = c1.value()->FetchNext(1);
+  auto b2 = c2.value()->FetchAll();
+  auto b1rest = c1.value()->FetchAll();
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  ASSERT_TRUE(b1rest.ok());
+  std::vector<std::string> via_c1 = b1.value();
+  for (auto& item : b1rest.value()) via_c1.push_back(std::move(item));
+  EXPECT_EQ(via_c1, b2.value());
+}
+
+TEST_F(PreparedQueryTest, StalePreparedQueryIsRejectedAfterCatalogChange) {
+  PrepareOptions options;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare(query_, options);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(processor_.Execute(prepared.value()).ok());
+
+  ASSERT_TRUE(
+      processor_.LoadDocument("other.xml", testutil::TinyBibXml()).ok());
+  auto stale = processor_.Execute(prepared.value());
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
+
+  // Re-preparing against the new catalog works again.
+  auto fresh = processor_.Prepare(query_, options);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(processor_.Execute(fresh.value()).ok());
+}
+
+TEST_F(PreparedQueryTest, OutstandingCursorGoesStaleWithTheCatalog) {
+  // A cursor created before a catalog mutation must refuse to fetch
+  // (its captured database/engine pointers would dangle) — both before
+  // the plan ran and mid-stream.
+  PrepareOptions options;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare("//item", options);
+  ASSERT_TRUE(prepared.ok());
+  auto unexecuted = processor_.Execute(prepared.value());
+  auto midstream = processor_.Execute(prepared.value());
+  ASSERT_TRUE(unexecuted.ok());
+  ASSERT_TRUE(midstream.ok());
+  ASSERT_TRUE(midstream.value()->FetchNext(1).ok());
+
+  ASSERT_TRUE(
+      processor_.LoadDocument("other.xml", testutil::TinyBibXml()).ok());
+  for (ResultCursor* cursor :
+       {unexecuted.value().get(), midstream.value().get()}) {
+    auto fetch = cursor->FetchNext(1);
+    ASSERT_FALSE(fetch.ok());
+    EXPECT_EQ(fetch.status().code(), StatusCode::kInvalidArgument);
+    auto all = cursor->FetchAll();
+    ASSERT_FALSE(all.ok());
+    EXPECT_EQ(all.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(PreparedQueryTest, DroppingIndexesInvalidatesPreparedPlans) {
+  PrepareOptions options;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare(query_, options);
+  ASSERT_TRUE(prepared.ok());
+  processor_.DropRelationalIndexes();
+  auto stale = processor_.Execute(prepared.value());
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PreparedQueryTest, ExecuteLimitsApplyPerExecution) {
+  PrepareOptions options;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare(query_, options);
+  ASSERT_TRUE(prepared.ok());
+  for (bool columnar : {false, true}) {
+    // The planner executors must honor both DNF budgets per execution.
+    ExecuteOptions timeout;
+    timeout.use_columnar = columnar;
+    timeout.limits.timeout_seconds = 1e-9;
+    auto timed = processor_.ExecuteAll(prepared.value(), timeout);
+    ASSERT_FALSE(timed.ok()) << (columnar ? "columnar" : "row");
+    EXPECT_EQ(timed.status().code(), StatusCode::kTimeout);
+
+    ExecuteOptions rows;
+    rows.use_columnar = columnar;
+    rows.limits.max_intermediate_rows = 1;
+    auto bounded = processor_.ExecuteAll(prepared.value(), rows);
+    ASSERT_FALSE(bounded.ok()) << (columnar ? "columnar" : "row");
+    EXPECT_EQ(bounded.status().code(), StatusCode::kTimeout);
+
+    // The same artifact still executes unlimited afterwards (budgets are
+    // per execution, not baked into the plan).
+    ExecuteOptions unlimited;
+    unlimited.use_columnar = columnar;
+    auto ok = processor_.ExecuteAll(prepared.value(), unlimited);
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+    EXPECT_GT(ok.value().result_count(), 0u);
+  }
+}
+
+TEST_F(PreparedQueryTest, NativeModesPrepareWithoutRelationalCompilation) {
+  PrepareOptions options;
+  options.mode = Mode::kNativeWhole;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare("//item/name", options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_NE(prepared.value()->core, nullptr);
+  EXPECT_EQ(prepared.value()->stacked, nullptr);
+  EXPECT_FALSE(prepared.value()->has_plan);
+  auto result = processor_.ExecuteAll(prepared.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().result_count(), 0u);
+}
+
+TEST(PreparedQueryStandaloneTest, ExecuteRejectsNullAndNativeNeedsDocuments) {
+  XQueryProcessor processor;
+  EXPECT_FALSE(processor.Execute(nullptr).ok());
+  PrepareOptions options;
+  options.mode = Mode::kNativeWhole;
+  auto prepared = processor.Prepare("doc(\"x.xml\")//a", options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto cursor = processor.Execute(prepared.value());
+  ASSERT_FALSE(cursor.ok());
+  EXPECT_EQ(cursor.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace xqjg::api

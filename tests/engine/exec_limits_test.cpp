@@ -159,6 +159,43 @@ TEST(ExecLimits, PhysicalPlanExecutorsHonorTheDeadline) {
   }
 }
 
+TEST(ExecLimits, PhysicalPlanExecutorsHonorTheRowBudget) {
+  // max_intermediate_rows through the cost-based engine (both the row and
+  // the columnar plan executor). Without relational indexes the plan is
+  // TBSCAN + NLJOIN (table-scan and join-loop guard points); with the
+  // Table VI set it probes IXSCANs (B-tree callback guard point).
+  for (bool with_indexes : {false, true}) {
+    api::XQueryProcessor processor;
+    ASSERT_TRUE(processor
+                    .LoadDocument("site.xml", testutil::TinySiteXml())
+                    .ok());
+    if (with_indexes) {
+      ASSERT_TRUE(processor.CreateRelationalIndexes().ok());
+    }
+    api::PrepareOptions prep;
+    prep.context_document = "site.xml";
+    auto prepared = processor.Prepare("//item[price > 10.0]/name", prep);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    ASSERT_TRUE(prepared.value()->has_plan);
+    for (bool columnar : {false, true}) {
+      api::ExecuteOptions bounded;
+      bounded.use_columnar = columnar;
+      bounded.limits.max_intermediate_rows = 1;
+      auto result = processor.ExecuteAll(prepared.value(), bounded);
+      ASSERT_FALSE(result.ok())
+          << (with_indexes ? "indexed" : "bare") << "/"
+          << (columnar ? "columnar" : "row");
+      EXPECT_EQ(result.status().code(), StatusCode::kTimeout)
+          << result.status().ToString();
+      // The budget is per execution: the same plan still runs unlimited.
+      auto ok = processor.ExecuteAll(prepared.value(),
+                                     api::ExecuteOptions{});
+      ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+      EXPECT_GT(ok.value().result_count(), 1u);
+    }
+  }
+}
+
 TEST(ExecLimits, ColumnarStackedModeSurfacesTimeout) {
   api::XQueryProcessor processor;
   ASSERT_TRUE(processor

@@ -143,7 +143,7 @@ TEST_F(PlannerTest, TimeoutReportsDnf) {
   ASSERT_TRUE(graph.ok());
   auto bare = Database::Build(*doc_);  // no indexes: slow scans
   PlannerOptions options;
-  options.timeout_seconds = 1e-9;
+  options.limits.timeout_seconds = 1e-9;
   auto plan = PlanJoinGraph(graph.value(), *bare, options);
   ASSERT_TRUE(plan.ok());
   auto result = ExecutePlan(plan.value(), *bare, options);

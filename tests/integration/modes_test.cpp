@@ -105,7 +105,7 @@ TEST_F(ModesTest, Q1HasExpectedShape) {
   EXPECT_NE(r.value().sql.find("SELECT DISTINCT"), std::string::npos);
   EXPECT_NE(r.value().sql.find("ORDER BY"), std::string::npos);
   EXPECT_NE(r.value().explain.find("IXSCAN"), std::string::npos);
-  EXPECT_GT(r.value().result_count, 0u);
+  EXPECT_GT(r.value().result_count(), 0u);
 }
 
 TEST_F(ModesTest, Q2ResultIsNonEmptyAndOrdered) {
@@ -115,7 +115,7 @@ TEST_F(ModesTest, Q2ResultIsNonEmptyAndOrdered) {
   options.timeout_seconds = 120;
   auto r = processor_->Run(PaperQueries()[1].text, options);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_GT(r.value().result_count, 0u);
+  EXPECT_GT(r.value().result_count(), 0u);
 }
 
 TEST_F(ModesTest, SyntacticJoinOrderStillCorrect) {

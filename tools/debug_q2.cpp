@@ -15,7 +15,7 @@ int main() {
     o.mode=api::Mode::kJoinGraph;
     auto j = p.Run(api::PaperQueries()[1].text, o);
     printf("scale %.1f native=%zu joingraph=%zu fb=%d\n", scale,
-      n.ok()?n.value().result_count:9999, j.ok()?j.value().result_count:9999,
+      n.ok()?n.value().result_count():9999, j.ok()?j.value().result_count():9999,
       j.ok()?(int)j.value().used_fallback:-1);
   }
   return 0;

@@ -12,11 +12,11 @@ int main() {
   api::RunOptions o; o.context_document="dblp.xml"; o.mode=api::Mode::kJoinGraph;
   auto r = p.Run("/dblp/*[@key = \"conf/vldb2001\" and editor and title]/title", o);
   if(!r.ok()){printf("err %s\n", r.status().ToString().c_str()); return 1;}
-  printf("joingraph n=%zu fallback=%d\n", r.value().result_count, (int)r.value().used_fallback);
+  printf("joingraph n=%zu fallback=%d\n", r.value().result_count(), (int)r.value().used_fallback);
   puts(r.value().sql.c_str());
   puts(r.value().explain.c_str());
   o.mode = api::Mode::kStacked;
   auto r2 = p.Run("/dblp/*[@key = \"conf/vldb2001\" and editor and title]/title", o);
-  printf("stacked n=%zu\n", r2.value().result_count);
+  printf("stacked n=%zu\n", r2.value().result_count());
   return 0;
 }
