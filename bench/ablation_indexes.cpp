@@ -1,7 +1,11 @@
 // Ablation: how much of the join-graph win is the tailored Table VI
 // B-tree set? Runs Q1/Q3/Q4 with (a) the advisor set, (b) no indexes at
 // all (every access path degenerates to TBSCAN).
+//
+// Set XQJG_BENCH_JSON=<path> to emit the series as JSON
+// (BENCH_ablation_indexes.json in CI parlance).
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 
@@ -13,6 +17,8 @@ int main() {
   std::printf("Ablation — tailored B-trees vs no indexes (join graph "
               "mode)\n\n%-5s %12s %12s %9s\n",
               "Query", "indexed (s)", "no-index (s)", "factor");
+  std::string json = "{\"bench\":\"ablation_indexes\",\"queries\":[";
+  bool first = true;
   for (const auto& q : api::PaperQueries()) {
     if (q.id == "Q2") continue;  // fallback path: not index-sensitive
     api::RunOptions options;
@@ -24,7 +30,17 @@ int main() {
     auto without = wb.processor.Run(q.text, options);
     auto restore = wb.processor.CreateRelationalIndexes();
     if (!restore.ok() || !with.ok()) return 1;
-    if (!without.ok()) {
+    const bool dnf = !without.ok();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"id\":\"%s\",\"indexed_seconds\":%.6f,"
+                  "\"noindex_seconds\":%.6f,\"noindex_dnf\":%s}",
+                  first ? "" : ",", q.id.c_str(), with.value().seconds,
+                  dnf ? 0.0 : without.value().seconds,
+                  dnf ? "true" : "false");
+    json += buf;
+    first = false;
+    if (dnf) {
       std::printf("%-5s %12.3f %12s %9s\n", q.id.c_str(),
                   with.value().seconds, "DNF", "-");
       continue;
@@ -34,5 +50,6 @@ int main() {
                 without.value().seconds /
                     std::max(1e-9, with.value().seconds));
   }
-  return 0;
+  json += "]}\n";
+  return bench::WriteBenchJson(json) ? 0 : 1;
 }

@@ -1,6 +1,10 @@
 // Ablation: cost-based join ordering vs syntactic left-to-right order —
 // is the XPath step reordering of §IV-A really the optimizer's doing?
+//
+// Set XQJG_BENCH_JSON=<path> to emit the series as JSON
+// (BENCH_ablation_joinorder.json in CI parlance).
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 
@@ -12,6 +16,8 @@ int main() {
   std::printf("Ablation — cost-based vs syntactic join order (join graph "
               "mode)\n\n%-5s %14s %14s %9s\n",
               "Query", "cost-based (s)", "syntactic (s)", "factor");
+  std::string json = "{\"bench\":\"ablation_joinorder\",\"queries\":[";
+  bool first = true;
   for (const auto& q : api::PaperQueries()) {
     if (q.id == "Q2") continue;  // DAG fallback: join order not applicable
     api::RunOptions options;
@@ -22,7 +28,16 @@ int main() {
     options.syntactic_join_order = true;
     auto naive = wb.processor.Run(q.text, options);
     if (!smart.ok()) continue;
-    if (!naive.ok()) {
+    const bool dnf = !naive.ok();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"id\":\"%s\",\"costbased_seconds\":%.6f,"
+                  "\"syntactic_seconds\":%.6f,\"syntactic_dnf\":%s}",
+                  first ? "" : ",", q.id.c_str(), smart.value().seconds,
+                  dnf ? 0.0 : naive.value().seconds, dnf ? "true" : "false");
+    json += buf;
+    first = false;
+    if (dnf) {
       std::printf("%-5s %14.3f %14s %9s\n", q.id.c_str(),
                   smart.value().seconds, "DNF", "-");
       continue;
@@ -32,5 +47,6 @@ int main() {
                 naive.value().seconds /
                     std::max(1e-9, smart.value().seconds));
   }
-  return 0;
+  json += "]}\n";
+  return bench::WriteBenchJson(json) ? 0 : 1;
 }

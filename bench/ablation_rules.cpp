@@ -1,6 +1,10 @@
 // Ablation: the rewrite rule phases — ϱ goal only vs the full rule set
 // (what does the δ/join phase buy on top of rank consolidation?).
+//
+// Set XQJG_BENCH_JSON=<path> to emit the counts as JSON
+// (BENCH_ablation_rules.json in CI parlance).
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/algebra/dag.h"
@@ -15,6 +19,8 @@ int main() {
   std::printf("Ablation — rank phase only vs full isolation (operator "
               "counts)\n\n%-5s %8s | %11s %11s\n",
               "Query", "stacked", "rank-phase", "full");
+  std::string json = "{\"bench\":\"ablation_rules\",\"queries\":[";
+  bool first = true;
   for (const auto& q : api::PaperQueries()) {
     auto ast = xquery::Parse(q.text);
     xquery::NormalizeOptions nopts;
@@ -32,6 +38,17 @@ int main() {
                 algebra::CountOps(plan.value()),
                 algebra::CountOps(rank_only.root()),
                 algebra::CountOps(full.root()));
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"id\":\"%s\",\"stacked_ops\":%zu,"
+                  "\"rank_phase_ops\":%zu,\"full_ops\":%zu}",
+                  first ? "" : ",", q.id.c_str(),
+                  algebra::CountOps(plan.value()),
+                  algebra::CountOps(rank_only.root()),
+                  algebra::CountOps(full.root()));
+    json += buf;
+    first = false;
   }
-  return 0;
+  json += "]}\n";
+  return bench::WriteBenchJson(json) ? 0 : 1;
 }

@@ -9,15 +9,18 @@
 #ifndef XQJG_BENCH_BENCH_COMMON_H_
 #define XQJG_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/api/paper_queries.h"
 #include "src/api/processor.h"
 #include "src/data/dblp.h"
 #include "src/data/xmark.h"
+#include "src/engine/database.h"
 
 namespace xqjg::bench {
 
@@ -41,6 +44,96 @@ inline bool WriteBenchJson(const std::string& json) {
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
   return true;
+}
+
+/// Storage-layout microbench: one name-equality scan over the doc
+/// relation through the three access paths the migration compares —
+///   row       the boxed Cell() compatibility shim (pre-migration access)
+///   columnar  a typed plain-string column (post-migration, no dict)
+///   dict      the dictionary-encoded column via one code compare per row
+/// Seconds are totals over `iters` full passes (pick iters so the scan
+/// runs long enough to time); all three paths must count the same
+/// matches.
+struct StorageScanResult {
+  double row_seconds = 0;
+  double columnar_seconds = 0;
+  double dict_seconds = 0;
+  long long matches = 0;
+  int iters = 0;
+};
+
+inline StorageScanResult MeasureNameScan(const engine::Database& db,
+                                         const std::string& needle,
+                                         int iters) {
+  using Clock = std::chrono::steady_clock;
+  StorageScanResult out;
+  out.iters = iters;
+  const int col = db.ColumnIndex("name");
+  const int64_t n = db.row_count();
+  const ValueColumn& dict_col = db.Column(col);
+  // NULL rows carry a don't-care code 0, so every lane must consult the
+  // mask (nullptr for the null-free name column — a dead branch then).
+  const uint8_t* nulls = dict_col.null_mask();
+  // Plain-string copy of the column: the "typed but not dict" layout.
+  std::vector<std::string> plain;
+  plain.reserve(static_cast<size_t>(n));
+  for (int64_t pre = 0; pre < n; ++pre) {
+    const auto r = static_cast<size_t>(pre);
+    plain.push_back((nulls && nulls[r]) ? std::string()
+                                        : dict_col.StringAt(r));
+  }
+  long long row_matches = 0, col_matches = 0, dict_matches = 0;
+  auto t0 = Clock::now();
+  for (int it = 0; it < iters; ++it) {
+    for (int64_t pre = 0; pre < n; ++pre) {
+      const Value v = db.Cell(pre, col);  // boxed shim: Value per cell
+      if (!v.is_null() && v.AsString() == needle) ++row_matches;
+    }
+  }
+  auto t1 = Clock::now();
+  for (int it = 0; it < iters; ++it) {
+    if (nulls) {
+      for (int64_t pre = 0; pre < n; ++pre) {
+        const auto r = static_cast<size_t>(pre);
+        if (!nulls[r] && plain[r] == needle) ++col_matches;
+      }
+    } else {
+      for (int64_t pre = 0; pre < n; ++pre) {
+        if (plain[static_cast<size_t>(pre)] == needle) ++col_matches;
+      }
+    }
+  }
+  auto t2 = Clock::now();
+  const int64_t code = dict_col.DictCode(needle);
+  const auto& codes = dict_col.dict_codes();
+  for (int it = 0; it < iters; ++it) {
+    if (code < 0) continue;  // absent: zero matches without touching rows
+    const auto c = static_cast<uint32_t>(code);
+    if (nulls) {
+      for (int64_t pre = 0; pre < n; ++pre) {
+        const auto r = static_cast<size_t>(pre);
+        if (!nulls[r] && codes[r] == c) ++dict_matches;
+      }
+    } else {
+      for (int64_t pre = 0; pre < n; ++pre) {
+        if (codes[static_cast<size_t>(pre)] == c) ++dict_matches;
+      }
+    }
+  }
+  auto t3 = Clock::now();
+  auto secs = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  out.row_seconds = secs(t0, t1);
+  out.columnar_seconds = secs(t1, t2);
+  out.dict_seconds = secs(t2, t3);
+  if (row_matches != col_matches || row_matches != dict_matches) {
+    std::fprintf(stderr, "storage scan paths disagree: %lld/%lld/%lld\n",
+                 row_matches, col_matches, dict_matches);
+    std::abort();
+  }
+  out.matches = iters > 0 ? row_matches / iters : 0;
+  return out;
 }
 
 struct Workbench {

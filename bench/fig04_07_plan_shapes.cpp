@@ -2,6 +2,7 @@
 // operator profile versus the isolated plan, per query — operator census,
 // blocking-operator counts, and the full Q1 plans.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/algebra/dag.h"
@@ -18,6 +19,8 @@ int main() {
   std::printf("%-5s %8s %8s | %7s %7s %7s | %7s %7s %7s\n", "Query",
               "ops-in", "ops-out", "dist-in", "rank-in", "rowid-in",
               "dist-out", "rank-out", "rowid-out");
+  std::string json = "{\"bench\":\"plan_shapes\",\"queries\":[";
+  bool first = true;
   for (const auto& q : api::PaperQueries()) {
     auto ast = xquery::Parse(q.text);
     xquery::NormalizeOptions nopts;
@@ -37,7 +40,23 @@ int main() {
                 CountOps(iso.value().isolated, OpKind::kDistinct),
                 CountOps(iso.value().isolated, OpKind::kRank),
                 CountOps(iso.value().isolated, OpKind::kRowId));
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"id\":\"%s\",\"ops_before\":%zu,\"ops_after\":%zu,"
+        "\"distinct_before\":%zu,\"rank_before\":%zu,\"rowid_before\":%zu,"
+        "\"distinct_after\":%zu,\"rank_after\":%zu,\"rowid_after\":%zu}",
+        first ? "" : ",", q.id.c_str(), iso.value().ops_before,
+        iso.value().ops_after, CountOps(plan.value(), OpKind::kDistinct),
+        CountOps(plan.value(), OpKind::kRank),
+        CountOps(plan.value(), OpKind::kRowId),
+        CountOps(iso.value().isolated, OpKind::kDistinct),
+        CountOps(iso.value().isolated, OpKind::kRank),
+        CountOps(iso.value().isolated, OpKind::kRowId));
+    json += buf;
+    first = false;
   }
+  json += "]}\n";
   // Full plan render for Q1 (the figures' subject).
   const auto& q1 = api::PaperQueries()[0];
   auto ast = xquery::Parse(q1.text);
@@ -54,5 +73,5 @@ int main() {
   for (const auto& [rule, count] : iso.value().rule_counts) {
     std::printf("  %-22s %d\n", rule.c_str(), count);
   }
-  return 0;
+  return bench::WriteBenchJson(json) ? 0 : 1;
 }

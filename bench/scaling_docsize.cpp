@@ -21,10 +21,11 @@ using namespace xqjg;
 
 int main() {
   std::printf("Scaling — Q4 (//closed_auction/price/text()) across XMark "
-              "scales (row vs columnar join-graph execution)\n\n"
-              "%-7s %10s %14s %14s %8s %14s %8s\n",
+              "scales (row vs columnar join-graph execution, plus the\n"
+              "storage row/columnar/dict name-scan axis, ns per row)\n\n"
+              "%-7s %10s %14s %14s %8s %14s %8s | %8s %8s %8s\n",
               "scale", "nodes", "joingraph (s)", "jg-col (s)", "col x",
-              "native (s)", "factor");
+              "native (s)", "factor", "row ns", "col ns", "dict ns");
   std::string json = "{\"bench\":\"scaling_docsize\",\"points\":[";
   bool first = true;
   for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
@@ -56,20 +57,36 @@ int main() {
     }
     const long long nodes =
         static_cast<long long>(processor.doc_table().row_count());
-    std::printf("%-7.2f %10lld %14.3f %14.3f %7.1fx %14.3f %7.1fx\n", scale,
-                nodes, jg.value().seconds, jg_col.value().seconds,
-                jg.value().seconds / std::max(1e-9, jg_col.value().seconds),
-                native.value().seconds,
-                native.value().seconds / std::max(1e-9, jg.value().seconds));
-    char buf[256];
+    // Storage axis: the same name-equality scan through the boxed shim,
+    // a typed string column, and the dictionary codes.
+    const int iters =
+        static_cast<int>(std::max<long long>(2, 8000000 / (nodes + 1)));
+    bench::StorageScanResult scan =
+        bench::MeasureNameScan(*processor.database(), "bidder", iters);
+    const double per_row = 1e9 / static_cast<double>(nodes * scan.iters);
+    std::printf(
+        "%-7.2f %10lld %14.3f %14.3f %7.1fx %14.3f %7.1fx | %8.2f %8.2f "
+        "%8.2f\n",
+        scale, nodes, jg.value().seconds, jg_col.value().seconds,
+        jg.value().seconds / std::max(1e-9, jg_col.value().seconds),
+        native.value().seconds,
+        native.value().seconds / std::max(1e-9, jg.value().seconds),
+        scan.row_seconds * per_row, scan.columnar_seconds * per_row,
+        scan.dict_seconds * per_row);
+    char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "%s{\"scale\":%.2f,\"nodes\":%lld,\"rows\":%zu,"
                   "\"joingraph_row_seconds\":%.6f,"
                   "\"joingraph_columnar_seconds\":%.6f,"
-                  "\"native_whole_seconds\":%.6f}",
+                  "\"native_whole_seconds\":%.6f,"
+                  "\"storage_scan_ns_per_row\":{\"row\":%.3f,"
+                  "\"columnar\":%.3f,\"dict\":%.3f}}",
                   first ? "" : ",", scale, nodes,
                   jg.value().result_count(), jg.value().seconds,
-                  jg_col.value().seconds, native.value().seconds);
+                  jg_col.value().seconds, native.value().seconds,
+                  scan.row_seconds * per_row,
+                  scan.columnar_seconds * per_row,
+                  scan.dict_seconds * per_row);
     json += buf;
     first = false;
   }

@@ -1,6 +1,7 @@
 #include "src/common/value_column.h"
 
 #include <functional>
+#include <utility>
 
 namespace xqjg {
 
@@ -14,7 +15,26 @@ size_t HashDouble(double d) {
   return std::hash<double>()(d);
 }
 
+bool IsStringLike(ColumnTag tag) {
+  return tag == ColumnTag::kString || tag == ColumnTag::kDictString;
+}
+
 }  // namespace
+
+uint32_t StringDict::Intern(const std::string& s) {
+  auto it = code_of.find(s);
+  if (it != code_of.end()) return it->second;
+  const auto code = static_cast<uint32_t>(strings.size());
+  strings.push_back(s);
+  hashes.push_back(std::hash<std::string>()(s));
+  code_of.emplace(s, code);
+  return code;
+}
+
+int64_t StringDict::Lookup(const std::string& s) const {
+  auto it = code_of.find(s);
+  return it == code_of.end() ? -1 : static_cast<int64_t>(it->second);
+}
 
 Value ValueColumn::GetValue(size_t row) const {
   if (IsNull(row)) return Value::Null();
@@ -25,6 +45,8 @@ Value ValueColumn::GetValue(size_t row) const {
       return Value::Double(doubles_[row]);
     case ColumnTag::kString:
       return Value::String(strings_[row]);
+    case ColumnTag::kDictString:
+      return Value::String(dict_->strings[codes_[row]]);
     case ColumnTag::kMixed:
       return values_[row];
   }
@@ -41,6 +63,9 @@ void ValueColumn::Reserve(size_t n) {
       break;
     case ColumnTag::kString:
       strings_.reserve(n);
+      break;
+    case ColumnTag::kDictString:
+      codes_.reserve(n);
       break;
     case ColumnTag::kMixed:
       values_.reserve(n);
@@ -78,6 +103,7 @@ void ValueColumn::SetTagFromFirstValue(const Value& v) {
     case ColumnTag::kString:
       strings_.assign(size_, std::string());
       break;
+    case ColumnTag::kDictString:
     case ColumnTag::kMixed:
       break;
   }
@@ -89,6 +115,8 @@ void ValueColumn::DemoteToMixed() {
   ints_.clear();
   doubles_.clear();
   strings_.clear();
+  codes_.clear();
+  dict_.reset();
   tag_ = ColumnTag::kMixed;
   tag_decided_ = true;
 }
@@ -97,6 +125,22 @@ void ValueColumn::MarkNull(size_t row) {
   if (nulls_.empty()) nulls_.assign(size_, 0);
   if (nulls_.size() <= row) nulls_.resize(row + 1, 0);
   nulls_[row] = 1;
+}
+
+StringDict* ValueColumn::MutableDict() {
+  if (!dict_) dict_ = std::make_shared<StringDict>();
+  if (dict_.use_count() > 1) dict_ = std::make_shared<StringDict>(*dict_);
+  return dict_.get();
+}
+
+uint32_t ValueColumn::InternString(const std::string& s) {
+  // Existing entries need no copy-on-write — only a NEW distinct string
+  // forces a private dictionary.
+  if (dict_) {
+    const int64_t code = dict_->Lookup(s);
+    if (code >= 0) return static_cast<uint32_t>(code);
+  }
+  return MutableDict()->Intern(s);
 }
 
 void ValueColumn::AppendNull() {
@@ -110,6 +154,9 @@ void ValueColumn::AppendNull() {
       break;
     case ColumnTag::kString:
       strings_.emplace_back();
+      break;
+    case ColumnTag::kDictString:
+      codes_.push_back(0);
       break;
     case ColumnTag::kMixed:
       values_.push_back(Value::Null());
@@ -129,7 +176,7 @@ void ValueColumn::Append(const Value& v) {
       (tag_ == ColumnTag::kMixed) ||
       (tag_ == ColumnTag::kInt && v.type() == ValueType::kInt) ||
       (tag_ == ColumnTag::kDouble && v.type() == ValueType::kDouble) ||
-      (tag_ == ColumnTag::kString && v.type() == ValueType::kString);
+      (IsStringLike(tag_) && v.type() == ValueType::kString);
   if (!matches) DemoteToMixed();
   switch (tag_) {
     case ColumnTag::kInt:
@@ -140,6 +187,9 @@ void ValueColumn::Append(const Value& v) {
       break;
     case ColumnTag::kString:
       strings_.push_back(v.AsString());
+      break;
+    case ColumnTag::kDictString:
+      codes_.push_back(InternString(v.AsString()));
       break;
     case ColumnTag::kMixed:
       values_.push_back(v);
@@ -165,8 +215,26 @@ void ValueColumn::AppendFrom(const ValueColumn& src, size_t row) {
       case ColumnTag::kString:
         strings_.push_back(src.strings_[row]);
         break;
+      case ColumnTag::kDictString:
+        if (dict_ == src.dict_) {
+          codes_.push_back(src.codes_[row]);
+        } else {
+          codes_.push_back(InternString(src.StringAt(row)));
+        }
+        break;
       case ColumnTag::kMixed:
         break;
+    }
+    ++size_;
+    if (!nulls_.empty()) nulls_.push_back(0);
+    return;
+  }
+  // Cross-representation string appends stay typed (no Value round-trip).
+  if (tag_decided_ && IsStringLike(tag_) && IsStringLike(src.tag_)) {
+    if (tag_ == ColumnTag::kString) {
+      strings_.push_back(src.StringAt(row));
+    } else {
+      codes_.push_back(InternString(src.StringAt(row)));
     }
     ++size_;
     if (!nulls_.empty()) nulls_.push_back(0);
@@ -184,6 +252,8 @@ size_t ValueColumn::HashAt(size_t row) const {
       return HashDouble(doubles_[row]);
     case ColumnTag::kString:
       return std::hash<std::string>()(strings_[row]);
+    case ColumnTag::kDictString:
+      return dict_->hashes[codes_[row]];
     case ColumnTag::kMixed:
       return values_[row].Hash();
   }
@@ -202,9 +272,16 @@ bool ValueColumn::EqualAt(const ValueColumn& a, size_t arow,
         return a.doubles_[arow] == b.doubles_[brow];
       case ColumnTag::kString:
         return a.strings_[arow] == b.strings_[brow];
+      case ColumnTag::kDictString:
+        if (a.dict_ == b.dict_) return a.codes_[arow] == b.codes_[brow];
+        return a.StringAt(arow) == b.StringAt(brow);
       case ColumnTag::kMixed:
         return a.values_[arow] == b.values_[brow];
     }
+  }
+  // Dict vs plain string columns compare their payloads directly.
+  if (IsStringLike(a.tag_) && IsStringLike(b.tag_)) {
+    return a.StringAt(arow) == b.StringAt(brow);
   }
   return a.GetValue(arow) == b.GetValue(brow);
 }
@@ -222,9 +299,15 @@ bool ValueColumn::SortLessAt(const ValueColumn& a, size_t arow,
         return a.doubles_[arow] < b.doubles_[brow];
       case ColumnTag::kString:
         return a.strings_[arow] < b.strings_[brow];
+      case ColumnTag::kDictString:
+        // Codes are appearance-ordered, not sorted: compare the strings.
+        return a.StringAt(arow) < b.StringAt(brow);
       case ColumnTag::kMixed:
         return a.values_[arow].SortLess(b.values_[brow]);
     }
+  }
+  if (IsStringLike(a.tag_) && IsStringLike(b.tag_)) {
+    return a.StringAt(arow) < b.StringAt(brow);
   }
   return a.GetValue(arow).SortLess(b.GetValue(brow));
 }
@@ -262,6 +345,23 @@ ValueColumn ValueColumn::Strings(std::vector<std::string> v,
   return col;
 }
 
+ValueColumn ValueColumn::DictStrings(const std::vector<std::string>& v,
+                                     std::vector<uint8_t> nulls) {
+  ValueColumn col;
+  col.tag_ = ColumnTag::kDictString;
+  col.tag_decided_ = true;
+  col.size_ = v.size();
+  if (!nulls.empty()) nulls.resize(col.size_, 0);  // mask covers every row
+  col.nulls_ = std::move(nulls);
+  col.dict_ = std::make_shared<StringDict>();
+  col.codes_.reserve(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    // NULL slots carry code 0 as a don't-care (the mask wins).
+    col.codes_.push_back(col.IsNull(i) ? 0 : col.dict_->Intern(v[i]));
+  }
+  return col;
+}
+
 ValueColumn ValueColumn::Gather(const std::vector<uint32_t>& idx) const {
   ValueColumn out;
   out.tag_ = tag_;
@@ -279,6 +379,11 @@ ValueColumn ValueColumn::Gather(const std::vector<uint32_t>& idx) const {
     case ColumnTag::kString:
       out.strings_.reserve(idx.size());
       for (uint32_t i : idx) out.strings_.push_back(strings_[i]);
+      break;
+    case ColumnTag::kDictString:
+      out.dict_ = dict_;  // shared — a gather never copies the dictionary
+      out.codes_.reserve(idx.size());
+      for (uint32_t i : idx) out.codes_.push_back(codes_[i]);
       break;
     case ColumnTag::kMixed:
       out.values_.reserve(idx.size());

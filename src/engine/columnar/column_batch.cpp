@@ -12,11 +12,6 @@ int ColumnBatch::ColumnIndex(const std::string& name) const {
   return -1;
 }
 
-void ColumnBatch::AddColumn(std::string name, ValueColumn col) {
-  schema.push_back(std::move(name));
-  cols.push_back(std::make_shared<const ValueColumn>(std::move(col)));
-}
-
 ColumnBatch BatchFromMatTable(const MatTable& table) {
   ColumnBatch batch;
   batch.schema = table.schema;
@@ -38,7 +33,7 @@ MatTable BatchToMatTable(const ColumnBatch& batch) {
   for (auto& row : table.rows) row.reserve(batch.cols.size());
   for (const ColumnRef& col : batch.cols) {
     for (size_t r = 0; r < batch.num_rows; ++r) {
-      table.rows[r].push_back(col->GetValue(r));
+      table.rows[r].push_back(col->GetValue(batch.PhysRow(r)));
     }
   }
   return table;
@@ -84,24 +79,40 @@ Result<ColumnBatch> DocRelationBatch(const xml::DocTable& doc,
   add(ValueColumn::Ints(std::move(size)));
   add(ValueColumn::Ints(std::move(level)));
   add(ValueColumn::Ints(std::move(kind)));
-  add(ValueColumn::Strings(std::move(name)));
-  add(ValueColumn::Strings(std::move(value), std::move(value_null)));
+  // name and value are dictionary-encoded: the tag alphabet is tiny, so
+  // the equality kernels compare one uint32 code per row.
+  add(ValueColumn::DictStrings(name));
+  add(ValueColumn::DictStrings(value, std::move(value_null)));
   add(ValueColumn::Doubles(std::move(data), std::move(data_null)));
   add(ValueColumn::Ints(std::move(parent)));
   add(ValueColumn::Ints(std::move(root)));
   return batch;
 }
 
-ColumnBatch GatherBatch(const ColumnBatch& batch,
-                        const std::vector<uint32_t>& idx) {
+ColumnBatch GatherPhysicalRows(const ColumnBatch& batch,
+                               const std::vector<uint32_t>& phys_idx) {
   ColumnBatch out;
-  out.schema = batch.schema;
-  out.num_rows = idx.size();
+  out.num_rows = phys_idx.size();
   out.cols.reserve(batch.cols.size());
   for (const ColumnRef& col : batch.cols) {
     out.cols.push_back(
-        std::make_shared<const ValueColumn>(col->Gather(idx)));
+        std::make_shared<const ValueColumn>(col->Gather(phys_idx)));
   }
+  return out;
+}
+
+ColumnBatch GatherBatch(const ColumnBatch& batch,
+                        const std::vector<uint32_t>& idx) {
+  ColumnBatch out;
+  if (batch.sel) {
+    std::vector<uint32_t> translated;
+    translated.reserve(idx.size());
+    for (uint32_t i : idx) translated.push_back((*batch.sel)[i]);
+    out = GatherPhysicalRows(batch, translated);
+  } else {
+    out = GatherPhysicalRows(batch, idx);
+  }
+  out.schema = batch.schema;
   return out;
 }
 

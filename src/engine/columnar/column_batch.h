@@ -2,8 +2,15 @@
 //
 // A batch is a schema plus one shared, immutable ValueColumn per output
 // column. Columns are shared_ptr'd so structural operators (π, @, #, ϱ)
-// reuse input columns without copying a cell; only operators that change
-// the row set (σ, ⋈, δ, sort) gather new columns.
+// reuse input columns without copying a cell.
+//
+// Late materialization: operators that shrink the row set (σ, δ) do not
+// gather either — they publish a selection vector (`sel`) mapping logical
+// row r to physical row (*sel)[r] of the shared columns, so chains of
+// σ/π/δ carry index vectors only. Physical gathers happen exclusively at
+// the boundaries that need contiguous columns: join outputs, sorts
+// (serialize), and the executor exit. Row-reading helpers must translate
+// logical rows through PhysRow() before indexing a column.
 #ifndef XQJG_ENGINE_COLUMNAR_COLUMN_BATCH_H_
 #define XQJG_ENGINE_COLUMNAR_COLUMN_BATCH_H_
 
@@ -24,10 +31,17 @@ using ColumnRef = std::shared_ptr<const ValueColumn>;
 struct ColumnBatch {
   std::vector<std::string> schema;
   std::vector<ColumnRef> cols;
-  size_t num_rows = 0;
+  size_t num_rows = 0;  ///< logical row count (== sel->size() when lazy)
+  /// Selection vector: logical → physical row of `cols`; null = dense.
+  /// Entries are strictly increasing (filters preserve row order).
+  std::shared_ptr<const std::vector<uint32_t>> sel;
+
+  /// Physical row backing logical row `row`.
+  size_t PhysRow(size_t row) const { return sel ? (*sel)[row] : row; }
+  /// Physical length of the shared columns (≥ num_rows when lazy).
+  size_t PhysSize() const { return cols.empty() ? num_rows : cols[0]->size(); }
 
   int ColumnIndex(const std::string& name) const;
-  void AddColumn(std::string name, ValueColumn col);
 };
 
 /// Row-major ↔ columnar conversion at the executor boundary.
@@ -35,13 +49,21 @@ ColumnBatch BatchFromMatTable(const MatTable& table);
 MatTable BatchToMatTable(const ColumnBatch& batch);
 
 /// Typed doc relation (schema = algebra::DocColumns()) built directly from
-/// the infoset encoding — no per-cell Value boxing. Budget-checked.
+/// the infoset encoding — no per-cell Value boxing; `name` and `value`
+/// are dictionary-encoded. Budget-checked.
 Result<ColumnBatch> DocRelationBatch(const xml::DocTable& doc,
                                      BudgetClock* clock);
 
-/// New batch holding rows `idx` of `batch` (typed gather of every column).
+/// New dense batch holding LOGICAL rows `idx` of `batch` (typed gather of
+/// every column; indices are translated through the selection vector).
 ColumnBatch GatherBatch(const ColumnBatch& batch,
                         const std::vector<uint32_t>& idx);
+
+/// Same, but `phys_idx` already indexes the physical columns (no schema,
+/// no selection-vector translation) — the shared per-column gather loop
+/// behind GatherBatch and the executor's density-cutoff compaction.
+ColumnBatch GatherPhysicalRows(const ColumnBatch& batch,
+                               const std::vector<uint32_t>& phys_idx);
 
 }  // namespace xqjg::engine::columnar
 

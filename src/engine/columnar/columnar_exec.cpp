@@ -123,9 +123,36 @@ inline bool IntPasses(int64_t a, CmpOp op, int64_t b) {
   return false;
 }
 
+/// Dictionary equality fast path: `dict_col = 'const'` (or ≠) compiles to
+/// the shared DictEqKernel (common/value_column.h — one uint32 compare
+/// per row, same kernel the physical-plan executors use via qual_eval.h).
+DictEqKernel FastDict(const BoundTerm& lhs, const BoundTerm& rhs, CmpOp op) {
+  if (op != CmpOp::kEq && op != CmpOp::kNe) return {};
+  auto single_dict_col = [](const BoundTerm& t) -> const ValueColumn* {
+    if (t.missing || !t.col || t.col2 || !t.constant.is_null()) {
+      return nullptr;
+    }
+    return t.col->tag() == ColumnTag::kDictString ? t.col : nullptr;
+  };
+  auto string_const = [](const BoundTerm& t) {
+    return !t.missing && !t.col && !t.col2 &&
+           t.constant.type() == ValueType::kString;
+  };
+  if (single_dict_col(lhs) && string_const(rhs)) {
+    return DictEqKernel::Compile(*lhs.col, rhs.constant.AsString(),
+                                 op == CmpOp::kNe);
+  }
+  if (single_dict_col(rhs) && string_const(lhs)) {
+    return DictEqKernel::Compile(*rhs.col, lhs.constant.AsString(),
+                                 op == CmpOp::kNe);
+  }
+  return {};
+}
+
 struct CompiledCmp {
   BoundTerm lhs, rhs;
   FastIntTerm fast_lhs, fast_rhs;
+  DictEqKernel fast_dict;
   CmpOp op = CmpOp::kEq;
   bool fast = false;
 };
@@ -138,10 +165,14 @@ CompiledCmp CompileCmp(const Comparison& cmp, const ColumnBatch& batch) {
   c.fast_lhs = FastInt(c.lhs);
   c.fast_rhs = FastInt(c.rhs);
   c.fast = c.fast_lhs.ok && c.fast_rhs.ok;
+  c.fast_dict = FastDict(c.lhs, c.rhs, c.op);
   return c;
 }
 
+/// `row` is a PHYSICAL row index of the batch the comparison was compiled
+/// against (callers translate through ColumnBatch::PhysRow).
 inline bool CmpPasses(const CompiledCmp& c, size_t row) {
+  if (c.fast_dict.ok) return c.fast_dict.Test(row);
   if (c.fast) {
     return IntPasses(FastIntValue(c.fast_lhs, row), c.op,
                      FastIntValue(c.fast_rhs, row));
@@ -307,6 +338,18 @@ bool KeysEqual(const ColumnBatch& a, const std::vector<int>& ka, size_t arow,
 
 constexpr size_t kMaxBatchRows = std::numeric_limits<uint32_t>::max();
 
+/// Late-materialization density cutoff: a filter stays lazy (publishes a
+/// selection vector over the shared physical columns) while survivors
+/// keep at least half of the physical row space. Sparser selections
+/// compact immediately — downstream operators would otherwise pay
+/// scattered access into full-size columns on every probe, which costs
+/// more than the one gather saved (measured on the Q2-class DAG plans).
+bool KeepLazy(size_t survivors, size_t phys_rows) {
+  return survivors * 2 >= phys_rows;
+}
+
+
+
 // ---------------------------------------------------------------------------
 
 class ColumnarEvaluator {
@@ -379,6 +422,7 @@ class ColumnarEvaluator {
     ColumnBatch out;
     out.schema = op->schema;
     out.num_rows = in->num_rows;
+    out.sel = in->sel;  // lazy rows pass through untouched
     out.cols.reserve(op->proj.size());
     for (const auto& [out_name, src] : op->proj) {
       (void)out_name;
@@ -401,20 +445,43 @@ class ColumnarEvaluator {
     for (const auto& cmp : op->pred.conjuncts) {
       cmps.push_back(CompileCmp(cmp, *in));
     }
+    // Late materialization: the filter produces a selection vector over
+    // the shared physical columns — no gather. Chained σ compose by
+    // filtering the incoming logical rows (already physical-translated).
     std::vector<uint32_t> sel;
     for (size_t row = 0; row < in->num_rows; ++row) {
+      const size_t phys = in->PhysRow(row);
       bool pass = true;
       for (const CompiledCmp& c : cmps) {
-        if (!CmpPasses(c, row)) {
+        if (!CmpPasses(c, phys)) {
           pass = false;
           break;
         }
       }
-      if (pass) sel.push_back(static_cast<uint32_t>(row));
+      if (pass) sel.push_back(static_cast<uint32_t>(phys));
       XQJG_RETURN_NOT_OK(clock_.Tick());
     }
-    ColumnBatch out = GatherBatch(*in, sel);
+    // Nothing filtered: pass the input through (row set unchanged — no
+    // selection vector, no gather).
+    if (sel.size() == in->num_rows) {
+      ColumnBatch out = *in;
+      out.schema = op->schema;
+      return out;
+    }
+    // A zero-column batch has no physical row space to select into; its
+    // row count alone carries the result.
+    if (in->cols.empty() || !KeepLazy(sel.size(), in->PhysSize())) {
+      ColumnBatch out =
+          in->cols.empty() ? ColumnBatch{} : GatherPhysicalRows(*in, sel);
+      out.schema = op->schema;
+      out.num_rows = sel.size();
+      return out;
+    }
+    ColumnBatch out;
     out.schema = op->schema;
+    out.cols = in->cols;  // shared — deferred gather
+    out.num_rows = sel.size();
+    out.sel = std::make_shared<const std::vector<uint32_t>>(std::move(sel));
     return out;
   }
 
@@ -451,6 +518,9 @@ class ColumnarEvaluator {
     for (const auto& cmp : residual) {
       res.push_back(CompileJoinCmp(cmp, *left, *right));
     }
+    // The join build/probe is a gather boundary: lazy inputs resolve
+    // their selection vectors here — all row indices below are PHYSICAL,
+    // so the output gathers read the shared columns directly.
     std::vector<uint32_t> lidx, ridx;
     auto emit = [&](size_t l, size_t r) -> Status {
       for (const CompiledJoinCmp& c : res) {
@@ -471,27 +541,30 @@ class ColumnarEvaluator {
       std::unordered_map<size_t, std::vector<uint32_t>> buckets;
       buckets.reserve(right->num_rows * 2);
       for (size_t j = 0; j < right->num_rows; ++j) {
-        if (AnyKeyNull(*right, rkeys, j)) continue;
-        buckets[HashKeysAt(*right, rkeys, j)].push_back(
-            static_cast<uint32_t>(j));
+        const size_t jp = right->PhysRow(j);
+        if (AnyKeyNull(*right, rkeys, jp)) continue;
+        buckets[HashKeysAt(*right, rkeys, jp)].push_back(
+            static_cast<uint32_t>(jp));
         XQJG_RETURN_NOT_OK(clock_.Tick());
       }
       for (size_t l = 0; l < left->num_rows; ++l) {
         XQJG_RETURN_NOT_OK(clock_.Tick());
-        if (AnyKeyNull(*left, lkeys, l)) continue;
-        auto it = buckets.find(HashKeysAt(*left, lkeys, l));
+        const size_t lp = left->PhysRow(l);
+        if (AnyKeyNull(*left, lkeys, lp)) continue;
+        auto it = buckets.find(HashKeysAt(*left, lkeys, lp));
         if (it == buckets.end()) continue;
-        for (uint32_t j : it->second) {
-          if (KeysEqual(*left, lkeys, l, *right, rkeys, j)) {
-            XQJG_RETURN_NOT_OK(emit(l, j));
+        for (uint32_t jp : it->second) {
+          if (KeysEqual(*left, lkeys, lp, *right, rkeys, jp)) {
+            XQJG_RETURN_NOT_OK(emit(lp, jp));
           }
         }
       }
     } else {
       for (size_t l = 0; l < left->num_rows; ++l) {
         XQJG_RETURN_NOT_OK(clock_.Tick());
+        const size_t lp = left->PhysRow(l);
         for (size_t r = 0; r < right->num_rows; ++r) {
-          XQJG_RETURN_NOT_OK(emit(l, r));
+          XQJG_RETURN_NOT_OK(emit(lp, right->PhysRow(r)));
         }
       }
     }
@@ -517,11 +590,14 @@ class ColumnarEvaluator {
     }
     std::vector<int> all(in->schema.size());
     std::iota(all.begin(), all.end(), 0);
+    // δ is a filter: it publishes a selection vector of the first
+    // occurrences (physical rows) instead of gathering the survivors.
     std::vector<uint32_t> keep;
     std::unordered_map<size_t, std::vector<uint32_t>> buckets;
     for (size_t row = 0; row < in->num_rows; ++row) {
       XQJG_RETURN_NOT_OK(clock_.Tick());
-      size_t h = HashKeysAt(*in, all, row);
+      const size_t phys = in->PhysRow(row);
+      size_t h = HashKeysAt(*in, all, phys);
       auto& bucket = buckets[h];
       bool dup = false;
       for (uint32_t j : bucket) {
@@ -529,7 +605,7 @@ class ColumnarEvaluator {
         for (const ColumnRef& col : in->cols) {
           // Distinct treats NULLs as duplicates of each other (unlike join
           // keys): ValueColumn::EqualAt mirrors Value::operator==.
-          if (!ValueColumn::EqualAt(*col, row, *col, j)) {
+          if (!ValueColumn::EqualAt(*col, phys, *col, j)) {
             eq = false;
             break;
           }
@@ -540,12 +616,28 @@ class ColumnarEvaluator {
         }
       }
       if (!dup) {
-        bucket.push_back(static_cast<uint32_t>(row));
-        keep.push_back(static_cast<uint32_t>(row));
+        bucket.push_back(static_cast<uint32_t>(phys));
+        keep.push_back(static_cast<uint32_t>(phys));
       }
     }
-    ColumnBatch out = GatherBatch(*in, keep);
+    // All rows distinct: pass the input through unchanged.
+    if (keep.size() == in->num_rows) {
+      ColumnBatch out = *in;
+      out.schema = op->schema;
+      return out;
+    }
+    if (in->cols.empty() || !KeepLazy(keep.size(), in->PhysSize())) {
+      ColumnBatch out =
+          in->cols.empty() ? ColumnBatch{} : GatherPhysicalRows(*in, keep);
+      out.schema = op->schema;
+      out.num_rows = keep.size();
+      return out;
+    }
+    ColumnBatch out;
     out.schema = op->schema;
+    out.cols = in->cols;  // shared — deferred gather
+    out.num_rows = keep.size();
+    out.sel = std::make_shared<const std::vector<uint32_t>>(std::move(keep));
     return out;
   }
 
@@ -554,22 +646,28 @@ class ColumnarEvaluator {
     ColumnBatch out;
     out.schema = op->schema;
     out.num_rows = in->num_rows;
+    out.sel = in->sel;
     out.cols = in->cols;  // shared
+    // The constant column spans the physical row space so it aligns with
+    // the shared columns under the same selection vector.
     out.cols.push_back(std::make_shared<const ValueColumn>(
-        ConstantColumn(op->val, in->num_rows)));
+        ConstantColumn(op->val, in->PhysSize())));
     return out;
   }
 
   Result<ColumnBatch> EvalRowId(const Op* op) {
     XQJG_ASSIGN_OR_RETURN(BatchRef in, Eval(op->children[0].get()));
-    std::vector<int64_t> ids(in->num_rows);
+    // Ids are numbered over LOGICAL rows and scattered to their physical
+    // slots (unselected slots keep a don't-care 0 the mask never shows).
+    std::vector<int64_t> ids(in->PhysSize(), 0);
     for (size_t i = 0; i < in->num_rows; ++i) {
-      ids[i] = static_cast<int64_t>(i) + 1;
+      ids[in->PhysRow(i)] = static_cast<int64_t>(i) + 1;
       XQJG_RETURN_NOT_OK(clock_.Tick());
     }
     ColumnBatch out;
     out.schema = op->schema;
     out.num_rows = in->num_rows;
+    out.sel = in->sel;
     out.cols = in->cols;  // shared
     out.cols.push_back(
         std::make_shared<const ValueColumn>(ValueColumn::Ints(std::move(ids))));
@@ -587,26 +685,29 @@ class ColumnarEvaluator {
       if (idx < 0) return Status::Internal("rank criterion missing: " + b);
       order.push_back(in->cols[static_cast<size_t>(idx)].get());
     }
+    // Logical permutation; comparisons and the rank scatter translate to
+    // physical rows, so the rank column aligns with the shared columns.
     std::vector<uint32_t> perm(in->num_rows);
     std::iota(perm.begin(), perm.end(), 0);
     auto less = [&](uint32_t a, uint32_t b) {
       clock_.TickThrow();
+      const size_t pa = in->PhysRow(a), pb = in->PhysRow(b);
       for (const ValueColumn* c : order) {
-        if (ValueColumn::SortLessAt(*c, a, *c, b)) return true;
-        if (ValueColumn::SortLessAt(*c, b, *c, a)) return false;
+        if (ValueColumn::SortLessAt(*c, pa, *c, pb)) return true;
+        if (ValueColumn::SortLessAt(*c, pb, *c, pa)) return false;
       }
       return false;
     };
-    std::vector<int64_t> ranks(in->num_rows, 0);
+    std::vector<int64_t> ranks(in->PhysSize(), 0);
     try {
       std::stable_sort(perm.begin(), perm.end(), less);
       // RANK() semantics: ties share the rank of their first row (1-based).
       for (size_t k = 0; k < perm.size(); ++k) {
         if (k > 0 && !less(perm[k - 1], perm[k]) &&
             !less(perm[k], perm[k - 1])) {
-          ranks[perm[k]] = ranks[perm[k - 1]];
+          ranks[in->PhysRow(perm[k])] = ranks[in->PhysRow(perm[k - 1])];
         } else {
-          ranks[perm[k]] = static_cast<int64_t>(k) + 1;
+          ranks[in->PhysRow(perm[k])] = static_cast<int64_t>(k) + 1;
         }
       }
     } catch (const BudgetExhausted&) {
@@ -615,6 +716,7 @@ class ColumnarEvaluator {
     ColumnBatch out;
     out.schema = op->schema;
     out.num_rows = in->num_rows;
+    out.sel = in->sel;
     out.cols = in->cols;  // shared
     out.cols.push_back(std::make_shared<const ValueColumn>(
         ValueColumn::Ints(std::move(ranks))));
@@ -633,19 +735,23 @@ class ColumnarEvaluator {
     }
     const ValueColumn& pos = *in->cols[static_cast<size_t>(pos_idx)];
     const ValueColumn& item = *in->cols[static_cast<size_t>(item_idx)];
+    // The serialize sort is a gather boundary: the logical permutation is
+    // sorted with physical-row comparisons, then materialized densely.
     std::vector<uint32_t> perm(in->num_rows);
     std::iota(perm.begin(), perm.end(), 0);
     try {
       std::stable_sort(perm.begin(), perm.end(),
                        [&](uint32_t a, uint32_t b) {
                          clock_.TickThrow();
-                         if (ValueColumn::SortLessAt(pos, a, pos, b)) {
+                         const size_t pa = in->PhysRow(a);
+                         const size_t pb = in->PhysRow(b);
+                         if (ValueColumn::SortLessAt(pos, pa, pos, pb)) {
                            return true;
                          }
-                         if (ValueColumn::SortLessAt(pos, b, pos, a)) {
+                         if (ValueColumn::SortLessAt(pos, pb, pos, pa)) {
                            return false;
                          }
-                         return ValueColumn::SortLessAt(item, a, item, b);
+                         return ValueColumn::SortLessAt(item, pa, item, pb);
                        });
     } catch (const BudgetExhausted&) {
       return Status::Timeout("execution exceeded wall-clock budget (DNF)");
@@ -706,10 +812,16 @@ Result<std::vector<int64_t>> EvaluateToSequenceColumnar(
   std::vector<int64_t> out;
   out.reserve(result->num_rows);
   if (item.tag() == ColumnTag::kInt && !item.has_nulls()) {
-    out = item.ints();  // the common case: plain pre ranks
+    if (!result->sel) {
+      out = item.ints();  // the common case: plain pre ranks
+    } else {
+      for (size_t r = 0; r < result->num_rows; ++r) {
+        out.push_back(item.ints()[result->PhysRow(r)]);
+      }
+    }
   } else {
     for (size_t r = 0; r < result->num_rows; ++r) {
-      Value v = item.GetValue(r);
+      Value v = item.GetValue(result->PhysRow(r));
       if (v.is_null()) {
         return Status::Internal("NULL item in result sequence");
       }

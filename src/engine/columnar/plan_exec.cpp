@@ -9,22 +9,23 @@
 
 #include "src/engine/algebra_exec.h"
 #include "src/engine/btree.h"
+#include "src/engine/qual_eval.h"
 
 namespace xqjg::engine::columnar {
 
 using algebra::CmpOp;
-using opt::AdjustProbeValue;
 using opt::JoinGraph;
-using opt::OrientTo;
 using opt::QualComparison;
 using opt::QualTerm;
-using opt::SargColumn;
 
 namespace {
 
 // ---------------------------------------------------------------------------
 // Alias-column tuple store: one contiguous pre-rank column per bound doc
-// alias instead of one heap-allocated tuple per row.
+// alias instead of one heap-allocated tuple per row. Qualifiers are
+// compiled once per plan node (engine::BoundQualCmp — typed-array and
+// dictionary-code fast paths over the columnar doc relation) and
+// evaluated through the row views below.
 
 struct AliasBatch {
   size_t rows = 0;
@@ -34,6 +35,15 @@ struct AliasBatch {
   explicit AliasBatch(int num_aliases = 0)
       : bound(static_cast<size_t>(num_aliases), 0),
         cols(static_cast<size_t>(num_aliases)) {}
+
+  /// Bit mask of bound aliases (the compile-time bound set of its rows).
+  uint32_t AliasMask() const {
+    uint32_t mask = 0;
+    for (size_t a = 0; a < bound.size(); ++a) {
+      if (bound[a]) mask |= 1u << a;
+    }
+    return mask;
+  }
 };
 
 /// Abstract row view: pre rank of `alias` in the current row, -1 when the
@@ -44,7 +54,7 @@ struct BatchRow {
   const AliasBatch* batch;
   size_t row;
 
-  int64_t PreOf(int alias) const {
+  int64_t operator()(int alias) const {
     const auto a = static_cast<size_t>(alias);
     return batch->bound[a] ? batch->cols[a][row] : -1;
   }
@@ -56,7 +66,7 @@ struct ScanRow {
   int alias;
   int64_t pre;
 
-  int64_t PreOf(int a) const {
+  int64_t operator()(int a) const {
     if (a == alias) return pre;
     if (outer && outer->bound[static_cast<size_t>(a)]) {
       return outer->cols[static_cast<size_t>(a)][orow];
@@ -71,7 +81,7 @@ struct PairRow {
   const AliasBatch* right;
   size_t rrow;
 
-  int64_t PreOf(int a) const {
+  int64_t operator()(int a) const {
     const auto idx = static_cast<size_t>(a);
     // Left binding wins, mirroring MergeTuples in the row executor.
     if (left->bound[idx]) return left->cols[idx][lrow];
@@ -80,28 +90,12 @@ struct PairRow {
   }
 };
 
-/// Mirrors EvalQualTerm of the row executor over any row view.
 template <typename Row>
-Value EvalTermAt(const QualTerm& t, const Row& row, const Database& db) {
-  Value acc = t.constant;
-  bool have = !acc.is_null();
-  auto add = [&](int alias, const std::string& col) -> bool {
-    if (alias < 0) return true;
-    const int64_t pre = row.PreOf(alias);
-    if (pre < 0) return false;
-    const Value& v = db.Cell(pre, db.ColumnIndex(col));
-    if (v.is_null()) return false;
-    return AccumulateTermValue(&acc, &have, v);
-  };
-  if (!add(t.alias, t.col)) return Value::Null();
-  if (!add(t.alias2, t.col2)) return Value::Null();
-  return acc;
-}
-
-template <typename Row>
-bool EvalCmpAt(const QualComparison& p, const Row& row, const Database& db) {
-  return CompareValues(EvalTermAt(p.lhs, row, db), p.op,
-                       EvalTermAt(p.rhs, row, db));
+bool AllPass(const std::vector<BoundQualCmp>& cmps, const Row& row) {
+  for (const BoundQualCmp& c : cmps) {
+    if (!c.Test(row)) return false;
+  }
+  return true;
 }
 
 std::vector<uint32_t> IdentityPerm(size_t n) {
@@ -144,7 +138,9 @@ class ColumnarPlanExecutor {
       case PhysKind::kIxScan: {
         AliasBatch out(graph_.num_aliases);
         std::vector<int64_t> pres;
-        XQJG_RETURN_NOT_OK(ProbeScan(node, nullptr, 0, nullptr, &pres));
+        const CompiledScan scan = CompileScan(*node, db_, 0);
+        XQJG_RETURN_NOT_OK(ProbeScan(node, scan, nullptr, 0, nullptr,
+                                     &pres));
         out.rows = pres.size();
         out.bound[static_cast<size_t>(node->alias)] = 1;
         out.cols[static_cast<size_t>(node->alias)] = std::move(pres);
@@ -167,11 +163,13 @@ class ColumnarPlanExecutor {
     if (node->right->kind == PhysKind::kIxScan ||
         node->right->kind == PhysKind::kTbScan) {
       const int alias = node->right->alias;
+      const CompiledScan scan =
+          CompileScan(*node->right, db_, outer.AliasMask());
       std::vector<uint32_t> orows;
       std::vector<int64_t> pres;
       for (size_t o = 0; o < outer.rows; ++o) {
-        XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), &outer, o, &orows,
-                                     &pres));
+        XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), scan, &outer, o,
+                                     &orows, &pres));
         XQJG_RETURN_NOT_OK(
             clock_.TickRows(static_cast<int64_t>(pres.size())));
       }
@@ -185,20 +183,14 @@ class ColumnarPlanExecutor {
     }
     XQJG_ASSIGN_OR_RETURN(AliasBatch inner, Run(node->right.get()));
     XQJG_RETURN_NOT_OK(CheckBatchSize(inner));
+    const std::vector<BoundQualCmp> cmps = CompileQuals(
+        node->preds, db_, outer.AliasMask() | inner.AliasMask());
     std::vector<uint32_t> lidx, ridx;
     for (size_t l = 0; l < outer.rows; ++l) {
       for (size_t r = 0; r < inner.rows; ++r) {
         XQJG_RETURN_NOT_OK(
             clock_.TickRows(static_cast<int64_t>(lidx.size())));
-        PairRow row{&outer, l, &inner, r};
-        bool ok = true;
-        for (const auto& p : node->preds) {
-          if (!EvalCmpAt(p, row, db_)) {
-            ok = false;
-            break;
-          }
-        }
-        if (ok) {
+        if (AllPass(cmps, PairRow{&outer, l, &inner, r})) {
           lidx.push_back(static_cast<uint32_t>(l));
           ridx.push_back(static_cast<uint32_t>(r));
         }
@@ -216,6 +208,8 @@ class ColumnarPlanExecutor {
     XQJG_ASSIGN_OR_RETURN(AliasBatch right, Run(node->right.get()));
     XQJG_RETURN_NOT_OK(CheckBatchSize(left));
     XQJG_RETURN_NOT_OK(CheckBatchSize(right));
+    const std::vector<BoundQualCmp> cmps = CompileQuals(
+        node->preds, db_, left.AliasMask() | right.AliasMask());
     // Hash on the first equality predicate; others become residual.
     const QualComparison* hash_pred = nullptr;
     for (const auto& p : node->preds) {
@@ -226,11 +220,7 @@ class ColumnarPlanExecutor {
     }
     std::vector<uint32_t> lidx, ridx;
     auto pair_passes = [&](size_t l, size_t r) {
-      PairRow row{&left, l, &right, r};
-      for (const auto& p : node->preds) {
-        if (!EvalCmpAt(p, row, db_)) return false;
-      }
-      return true;
+      return AllPass(cmps, PairRow{&left, l, &right, r});
     };
     if (!hash_pred) {
       for (size_t l = 0; l < left.rows; ++l) {
@@ -246,29 +236,30 @@ class ColumnarPlanExecutor {
       return MergePair(left, right, lidx, ridx);
     }
     // Determine which side provides which term (same rule as the row
-    // executor: a term is probe-side if its alias is bound there).
+    // executor: a term is probe-side if its aliases are bound there).
+    const uint32_t left_mask = left.AliasMask();
     auto on_left = [&](const QualTerm& t) {
-      if (left.rows == 0) return false;
-      if (t.alias >= 0 && !left.bound[static_cast<size_t>(t.alias)]) {
-        return false;
+      for (int a : {t.alias, t.alias2}) {
+        if (a >= 0 && !(left_mask & (1u << a))) return false;
       }
       return true;
     };
-    const QualTerm& lterm =
-        on_left(hash_pred->lhs) ? hash_pred->lhs : hash_pred->rhs;
-    const QualTerm& rterm =
-        on_left(hash_pred->lhs) ? hash_pred->rhs : hash_pred->lhs;
+    const bool lhs_left = on_left(hash_pred->lhs);
+    const BoundQualTerm lterm(lhs_left ? hash_pred->lhs : hash_pred->rhs,
+                              db_);
+    const BoundQualTerm rterm(lhs_left ? hash_pred->rhs : hash_pred->lhs,
+                              db_);
     std::unordered_map<size_t, std::vector<uint32_t>> buckets;
     for (size_t j = 0; j < right.rows; ++j) {
       XQJG_RETURN_NOT_OK(clock_.Tick());
       // NULL keys never join (Value::Compare: NULL is incomparable).
-      Value v = EvalTermAt(rterm, BatchRow{&right, j}, db_);
+      Value v = rterm.Eval(BatchRow{&right, j});
       if (v.is_null()) continue;
       buckets[v.Hash()].push_back(static_cast<uint32_t>(j));
     }
     for (size_t l = 0; l < left.rows; ++l) {
       XQJG_RETURN_NOT_OK(clock_.Tick());
-      Value v = EvalTermAt(lterm, BatchRow{&left, l}, db_);
+      Value v = lterm.Eval(BatchRow{&left, l});
       if (v.is_null()) continue;
       auto it = buckets.find(v.Hash());
       if (it == buckets.end()) continue;
@@ -326,18 +317,14 @@ class ColumnarPlanExecutor {
   Status FilterBatch(const std::vector<QualComparison>& preds,
                      AliasBatch* batch) {
     if (preds.empty()) return Status::OK();
+    const std::vector<BoundQualCmp> cmps =
+        CompileQuals(preds, db_, batch->AliasMask());
     std::vector<uint32_t> sel;
     for (size_t r = 0; r < batch->rows; ++r) {
       XQJG_RETURN_NOT_OK(clock_.Tick());
-      BatchRow row{batch, r};
-      bool ok = true;
-      for (const auto& p : preds) {
-        if (!EvalCmpAt(p, row, db_)) {
-          ok = false;
-          break;
-        }
+      if (AllPass(cmps, BatchRow{batch, r})) {
+        sel.push_back(static_cast<uint32_t>(r));
       }
-      if (ok) sel.push_back(static_cast<uint32_t>(r));
     }
     if (sel.size() == batch->rows) return Status::OK();
     for (int a = 0; a < graph_.num_aliases; ++a) {
@@ -350,24 +337,19 @@ class ColumnarPlanExecutor {
     return Status::OK();
   }
 
-  /// Runs one scan with outer bindings from `outer` row `orow` (both null
-  /// for leaf scans); appends matches as (outer row, pre) pairs. Mirrors
-  /// the row executor's ProbeScan, including the index range rebuild.
-  Status ProbeScan(const PhysNode* node, const AliasBatch* outer, size_t orow,
+  /// Runs one scan (compiled once per node) with outer bindings from
+  /// `outer` row `orow` (both null for leaf scans); appends matches as
+  /// (outer row, pre) pairs. Mirrors the row executor's ProbeScan.
+  Status ProbeScan(const PhysNode* node, const CompiledScan& scan,
+                   const AliasBatch* outer, size_t orow,
                    std::vector<uint32_t>* out_orow,
                    std::vector<int64_t>* out_pre) {
     const int alias = node->alias;
     auto emit_if_match = [&](int64_t pre) {
-      ScanRow row{outer, orow, alias, pre};
-      for (const auto& p : node->preds) {
-        // Skip conjuncts whose other aliases are still unbound (they are
-        // re-checked at the join that binds them).
-        bool evaluable = true;
-        for (int a : p.Aliases()) {
-          if (row.PreOf(a) < 0 && a != alias) evaluable = false;
-        }
-        if (!evaluable) continue;
-        if (!EvalCmpAt(p, row, db_)) return;
+      // Conjuncts whose other aliases are still unbound were dropped at
+      // compile time (they are re-checked at the join that binds them).
+      if (!AllPass(scan.row_preds, ScanRow{outer, orow, alias, pre})) {
+        return;
       }
       if (out_orow) out_orow->push_back(static_cast<uint32_t>(orow));
       out_pre->push_back(pre);
@@ -380,85 +362,12 @@ class ColumnarPlanExecutor {
       }
       return Status::OK();
     }
-    // Index scan: rebuild the probe range from the matched predicates.
-    const auto& key_cols = node->index->def.key_columns;
-    Key lower, upper;
-    bool lower_inc = true, upper_inc = true;
-    size_t k = 0;
-    std::vector<char> used(node->preds.size(), 0);
-    auto rhs_evaluable = [&](const QualComparison& p) {
-      for (int a : {p.rhs.alias, p.rhs.alias2}) {
-        if (a < 0) continue;
-        if (!outer || !outer->bound[static_cast<size_t>(a)]) return false;
-      }
-      return true;
-    };
-    auto rhs_value = [&](const QualComparison& p) {
-      ScanRow row{outer, orow, -1, -1};  // only outer bindings visible
-      return AdjustProbeValue(p.lhs, EvalTermAt(p.rhs, row, db_));
-    };
-    for (; k < key_cols.size(); ++k) {
-      bool matched = false;
-      for (size_t i = 0; i < node->preds.size(); ++i) {
-        if (used[i]) continue;
-        QualComparison p = OrientTo(node->preds[i], alias);
-        if (p.op != CmpOp::kEq) continue;
-        if (SargColumn(p.lhs, alias) != key_cols[k]) continue;
-        if (!rhs_evaluable(p)) continue;
-        Value v = rhs_value(p);
-        if (v.is_null()) return Status::OK();  // NULL never matches
-        lower.push_back(v);
-        upper.push_back(v);
-        used[i] = 1;
-        matched = true;
-        break;
-      }
-      if (!matched) break;
-    }
-    if (k < key_cols.size()) {
-      // Range component on the next key column.
-      bool have_lo = false, have_hi = false;
-      Value lo, hi;
-      for (size_t i = 0; i < node->preds.size(); ++i) {
-        if (used[i]) continue;
-        QualComparison p = OrientTo(node->preds[i], alias);
-        if (p.op == CmpOp::kEq || p.op == CmpOp::kNe) continue;
-        if (SargColumn(p.lhs, alias) != key_cols[k]) continue;
-        if (!rhs_evaluable(p)) continue;
-        Value v = rhs_value(p);
-        if (v.is_null()) return Status::OK();
-        switch (p.op) {
-          case CmpOp::kLt:
-            if (!have_hi || v.SortLess(hi)) hi = v;
-            have_hi = true;
-            upper_inc = false;
-            break;
-          case CmpOp::kLe:
-            if (!have_hi || v.SortLess(hi)) hi = v;
-            have_hi = true;
-            break;
-          case CmpOp::kGt:
-            if (!have_lo || lo.SortLess(v)) lo = v;
-            have_lo = true;
-            lower_inc = false;
-            break;
-          case CmpOp::kGe:
-            if (!have_lo || lo.SortLess(v)) lo = v;
-            have_lo = true;
-            break;
-          default:
-            break;
-        }
-        used[i] = 1;
-      }
-      if (have_lo) lower.push_back(lo);
-      if (have_hi) upper.push_back(hi);
-    }
+    // Index scan: build the probe range from the compiled probe plan
+    // (probe terms reference only outer bindings by construction).
     KeyRange range;
-    range.lower = std::move(lower);
-    range.upper = std::move(upper);
-    range.lower_inclusive = lower_inc;
-    range.upper_inclusive = upper_inc;
+    if (!BuildProbeRange(scan, ScanRow{outer, orow, -1, -1}, &range)) {
+      return Status::OK();  // NULL probe value never matches
+    }
     bool expired = false, over_rows = false;
     node->index->tree.Scan(range, [&](const Key&, int64_t pre) {
       emit_if_match(pre);
@@ -500,18 +409,20 @@ Result<std::vector<int64_t>> ExecutePlanColumnar(const PhysicalPlan& plan,
   BudgetClock* clock = executor.clock();
 
   // Plan tail: ORDER BY + DISTINCT + item projection. Sort keys (ORDER BY
-  // terms + item) are evaluated exactly once per tuple — the row executor
-  // re-derives them per comparison.
+  // terms + item) are compiled once against the typed columns and
+  // evaluated exactly once per tuple — the row executor re-derives them
+  // per comparison.
   const size_t n = tuples.rows;
   std::vector<std::vector<Value>> keys(graph.order_by.size() + 1);
   for (size_t kcol = 0; kcol < keys.size(); ++kcol) {
-    const QualTerm& term = kcol < graph.order_by.size()
-                               ? graph.order_by[kcol]
-                               : graph.item;
+    const BoundQualTerm term(kcol < graph.order_by.size()
+                                 ? graph.order_by[kcol]
+                                 : graph.item,
+                             db);
     auto& out_col = keys[kcol];
     out_col.reserve(n);
     for (size_t r = 0; r < n; ++r) {
-      out_col.push_back(EvalTermAt(term, BatchRow{&tuples, r}, db));
+      out_col.push_back(term.Eval(BatchRow{&tuples, r}));
       XQJG_RETURN_NOT_OK(clock->Tick());
     }
   }
@@ -539,10 +450,10 @@ Result<std::vector<int64_t>> ExecutePlanColumnar(const PhysicalPlan& plan,
   if (graph.distinct && !dedup_by_key) {
     payload_cols.resize(graph.select_list.size());
     for (size_t c = 0; c < graph.select_list.size(); ++c) {
+      const BoundQualTerm term(graph.select_list[c], db);
       payload_cols[c].reserve(n);
       for (size_t r = 0; r < n; ++r) {
-        payload_cols[c].push_back(
-            EvalTermAt(graph.select_list[c], BatchRow{&tuples, r}, db));
+        payload_cols[c].push_back(term.Eval(BatchRow{&tuples, r}));
         XQJG_RETURN_NOT_OK(clock->Tick());
       }
     }

@@ -1,6 +1,7 @@
 #include "src/engine/database.h"
 
 #include <algorithm>
+#include <numeric>
 #include <set>
 
 #include "src/common/str.h"
@@ -48,60 +49,200 @@ double ColumnStats::RangeSelectivity(const Value& lo, const Value& hi) const {
                   std::max(0.0, to - from));
 }
 
+namespace {
+
+constexpr size_t kStatBuckets = 32;
+
+/// Equi-depth bucket positions of the old Value-based collector: the
+/// sorted element at min(n-1, b*n/32) for b = 1..32.
+template <typename Emit>
+void EmitBucketPositions(size_t n, const Emit& emit) {
+  for (size_t b = 1; b <= kStatBuckets; ++b) {
+    emit(std::min(n - 1, b * n / kStatBuckets));
+  }
+}
+
+/// Sorted-typed-array statistics shared by the int64 and double
+/// collectors: sort the non-NULL payload, then derive ndv / min / max /
+/// bounds (and exact frequencies) — one algorithm, one place.
+template <typename T, typename Box>
+void CollectSortedStats(const ValueColumn& col,
+                        const std::vector<T>& payload, const Box& box,
+                        bool want_frequent, ColumnStats* st) {
+  std::vector<T> sorted;
+  sorted.reserve(col.size());
+  for (size_t r = 0; r < col.size(); ++r) {
+    if (!col.IsNull(r)) sorted.push_back(payload[r]);
+  }
+  if (sorted.empty()) return;
+  std::sort(sorted.begin(), sorted.end());
+  st->min = box(sorted.front());
+  st->max = box(sorted.back());
+  int64_t ndv = 1;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i - 1] < sorted[i]) ++ndv;
+  }
+  st->ndv = ndv;
+  EmitBucketPositions(sorted.size(), [&](size_t pos) {
+    st->bucket_bounds.push_back(box(sorted[pos]));
+  });
+  if (want_frequent) {
+    for (size_t i = 0; i < sorted.size();) {
+      size_t j = i;
+      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+      st->frequent[box(sorted[i]).ToString()] = static_cast<int64_t>(j - i);
+      i = j;
+    }
+  }
+}
+
+/// Dictionary-column statistics come from the dictionary directly: one
+/// count per code (a single pass over the code vector), then a sort of
+/// the dictionary — never a sort or re-hash of all rows.
+void CollectDictStats(const ValueColumn& col, bool want_frequent,
+                      ColumnStats* st) {
+  const auto& dict = col.dict().strings;
+  std::vector<int64_t> count(dict.size(), 0);
+  size_t non_null = 0;
+  const auto& codes = col.dict_codes();
+  for (size_t r = 0; r < col.size(); ++r) {
+    if (col.IsNull(r)) continue;
+    ++count[codes[r]];
+    ++non_null;
+  }
+  if (non_null == 0) return;
+  // Codes present at least once, in dictionary string order.
+  std::vector<uint32_t> order;
+  order.reserve(dict.size());
+  for (uint32_t c = 0; c < dict.size(); ++c) {
+    if (count[c] > 0) order.push_back(c);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return dict[a] < dict[b]; });
+  st->ndv = static_cast<int64_t>(order.size());
+  st->min = Value::String(dict[order.front()]);
+  st->max = Value::String(dict[order.back()]);
+  // Equi-depth bounds via cumulative counts over the sorted dictionary
+  // (bucket positions are ascending, so one forward walk suffices).
+  size_t cursor = 0;
+  size_t cum_end = static_cast<size_t>(count[order[0]]);
+  EmitBucketPositions(non_null, [&](size_t pos) {
+    while (pos >= cum_end && cursor + 1 < order.size()) {
+      ++cursor;
+      cum_end += static_cast<size_t>(count[order[cursor]]);
+    }
+    st->bucket_bounds.push_back(Value::String(dict[order[cursor]]));
+  });
+  if (want_frequent) {
+    for (uint32_t c : order) st->frequent[dict[c]] = count[c];
+  }
+}
+
+/// Boxed fallback for representations without a typed collector (the doc
+/// relation never hits this; kept so ad-hoc databases stay correct).
+void CollectGenericStats(const ValueColumn& col, bool want_frequent,
+                         ColumnStats* st) {
+  std::vector<Value> non_null;
+  non_null.reserve(col.size());
+  for (size_t r = 0; r < col.size(); ++r) {
+    Value v = col.GetValue(r);
+    if (!v.is_null()) non_null.push_back(std::move(v));
+  }
+  if (non_null.empty()) return;
+  std::sort(non_null.begin(), non_null.end(),
+            [](const Value& a, const Value& b) { return a.SortLess(b); });
+  st->min = non_null.front();
+  st->max = non_null.back();
+  int64_t ndv = 1;
+  for (size_t i = 1; i < non_null.size(); ++i) {
+    if (non_null[i - 1].SortLess(non_null[i])) ++ndv;
+  }
+  st->ndv = ndv;
+  EmitBucketPositions(non_null.size(), [&](size_t pos) {
+    st->bucket_bounds.push_back(non_null[pos]);
+  });
+  if (want_frequent) {
+    for (const Value& v : non_null) st->frequent[v.ToString()]++;
+  }
+}
+
+void CollectColumnStats(const ValueColumn& col, bool want_frequent,
+                        ColumnStats* st) {
+  switch (col.tag()) {
+    case ColumnTag::kInt:
+      CollectSortedStats(col, col.ints(), Value::Int, want_frequent, st);
+      return;
+    case ColumnTag::kDouble:
+      CollectSortedStats(col, col.doubles(), Value::Double, want_frequent,
+                         st);
+      return;
+    case ColumnTag::kDictString:
+      CollectDictStats(col, want_frequent, st);
+      return;
+    case ColumnTag::kString:
+    case ColumnTag::kMixed:
+      CollectGenericStats(col, want_frequent, st);
+      return;
+  }
+}
+
+}  // namespace
+
 std::unique_ptr<Database> Database::Build(const xml::DocTable& doc) {
   auto db = std::make_unique<Database>();
   db->source_ = &doc;
   db->row_count_ = doc.row_count();
   const auto& cols = EngineDocColumns();
+  const auto n = static_cast<size_t>(doc.row_count());
+  // Typed column-major materialization: int64 arrays for the structural
+  // columns, dictionary-encoded strings for name/value, doubles for data.
+  std::vector<int64_t> pre(n), size(n), level(n), kind(n), parent(n), root(n),
+      pss(n);
+  std::vector<std::string> name(n), value(n);
+  std::vector<uint8_t> value_null(n, 0);
+  std::vector<double> data(n, 0.0);
+  std::vector<uint8_t> data_null(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto p = static_cast<int64_t>(i);
+    pre[i] = p;
+    size[i] = doc.size(p);
+    level[i] = doc.level(p);
+    kind[i] = static_cast<int64_t>(doc.kind(p));
+    name[i] = doc.name(p);
+    if (doc.has_value(p)) {
+      value[i] = doc.value(p);
+    } else {
+      value_null[i] = 1;
+    }
+    if (doc.has_data(p)) {
+      data[i] = doc.data(p);
+    } else {
+      data_null[i] = 1;
+    }
+    parent[i] = doc.Parent(p);
+    root[i] = doc.Root(p);
+    pss[i] = p + doc.size(p);
+  }
   db->columns_.resize(cols.size());
-  for (auto& col : db->columns_) {
-    col.reserve(static_cast<size_t>(doc.row_count()));
-  }
-  for (int64_t pre = 0; pre < doc.row_count(); ++pre) {
-    db->columns_[0].push_back(Value::Int(pre));
-    db->columns_[1].push_back(Value::Int(doc.size(pre)));
-    db->columns_[2].push_back(Value::Int(doc.level(pre)));
-    db->columns_[3].push_back(Value::Int(static_cast<int64_t>(doc.kind(pre))));
-    db->columns_[4].push_back(Value::String(doc.name(pre)));
-    db->columns_[5].push_back(doc.has_value(pre)
-                                  ? Value::String(doc.value(pre))
-                                  : Value::Null());
-    db->columns_[6].push_back(doc.has_data(pre) ? Value::Double(doc.data(pre))
-                                                : Value::Null());
-    db->columns_[7].push_back(Value::Int(doc.Parent(pre)));
-    db->columns_[8].push_back(Value::Int(doc.Root(pre)));
-    db->columns_[9].push_back(Value::Int(pre + doc.size(pre)));
-  }
+  db->columns_[0] = ValueColumn::Ints(std::move(pre));
+  db->columns_[1] = ValueColumn::Ints(std::move(size));
+  db->columns_[2] = ValueColumn::Ints(std::move(level));
+  db->columns_[3] = ValueColumn::Ints(std::move(kind));
+  db->columns_[4] = ValueColumn::DictStrings(name);
+  db->columns_[5] = ValueColumn::DictStrings(value, std::move(value_null));
+  db->columns_[6] = ValueColumn::Doubles(std::move(data), std::move(data_null));
+  db->columns_[7] = ValueColumn::Ints(std::move(parent));
+  db->columns_[8] = ValueColumn::Ints(std::move(root));
+  db->columns_[9] = ValueColumn::Ints(std::move(pss));
   // Statistics: ndv, min/max, equi-depth histogram; exact frequencies for
-  // the low-cardinality columns kind and name.
+  // the low-cardinality columns kind and name. Computed per typed
+  // representation (dictionary columns straight from the dictionary).
   db->stats_.resize(cols.size());
   for (size_t c = 0; c < cols.size(); ++c) {
     ColumnStats& st = db->stats_[c];
     st.row_count = db->row_count_;
-    std::vector<const Value*> non_null;
-    non_null.reserve(db->columns_[c].size());
-    for (const Value& v : db->columns_[c]) {
-      if (!v.is_null()) non_null.push_back(&v);
-    }
-    if (non_null.empty()) continue;
-    std::sort(non_null.begin(), non_null.end(),
-              [](const Value* a, const Value* b) { return a->SortLess(*b); });
-    st.min = *non_null.front();
-    st.max = *non_null.back();
-    int64_t ndv = 1;
-    for (size_t i = 1; i < non_null.size(); ++i) {
-      if (non_null[i - 1]->SortLess(*non_null[i])) ++ndv;
-    }
-    st.ndv = ndv;
-    const size_t kBuckets = 32;
-    for (size_t b = 1; b <= kBuckets; ++b) {
-      st.bucket_bounds.push_back(
-          *non_null[std::min(non_null.size() - 1,
-                             b * non_null.size() / kBuckets)]);
-    }
-    if (cols[c] == "kind" || cols[c] == "name") {
-      for (const Value* v : non_null) st.frequent[v->ToString()]++;
-    }
+    CollectColumnStats(db->columns_[c],
+                       cols[c] == "kind" || cols[c] == "name", &st);
   }
   return db;
 }
@@ -122,20 +263,82 @@ Status Database::CreateIndex(const IndexDef& def) {
     if (idx < 0) return Status::InvalidArgument("unknown column " + col);
     index->key_cols.push_back(idx);
   }
+  // Sort pre ranks over the typed arrays (no per-cell Value boxing in the
+  // comparator). Per key column a three-way compare matching
+  // Value::SortLess: NULLs first, then the typed payload; dictionary
+  // columns compare via the lexicographic rank of their codes, computed
+  // once from the dictionary.
+  struct KeyColCmp {
+    const ValueColumn* col;
+    std::vector<uint32_t> dict_rank;  // kDictString only: code → rank
+  };
+  std::vector<KeyColCmp> cmps;
+  cmps.reserve(index->key_cols.size());
+  for (int c : index->key_cols) {
+    KeyColCmp cc;
+    cc.col = &columns_[static_cast<size_t>(c)];
+    if (cc.col->tag() == ColumnTag::kDictString) {
+      const auto& dict = cc.col->dict().strings;
+      std::vector<uint32_t> order(dict.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&](uint32_t a, uint32_t b) { return dict[a] < dict[b]; });
+      cc.dict_rank.resize(dict.size());
+      for (uint32_t r = 0; r < order.size(); ++r) {
+        cc.dict_rank[order[r]] = r;
+      }
+    }
+    cmps.push_back(std::move(cc));
+  }
+  auto cmp3 = [](const KeyColCmp& cc, size_t a, size_t b) -> int {
+    const ValueColumn& col = *cc.col;
+    const bool an = col.IsNull(a), bn = col.IsNull(b);
+    if (an != bn) return an ? -1 : 1;
+    if (an) return 0;
+    switch (col.tag()) {
+      case ColumnTag::kInt: {
+        const int64_t x = col.ints()[a], y = col.ints()[b];
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      case ColumnTag::kDouble: {
+        const double x = col.doubles()[a], y = col.doubles()[b];
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      case ColumnTag::kDictString: {
+        const uint32_t x = cc.dict_rank[col.dict_codes()[a]];
+        const uint32_t y = cc.dict_rank[col.dict_codes()[b]];
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      case ColumnTag::kString: {
+        const int c = col.strings()[a].compare(col.strings()[b]);
+        return c < 0 ? -1 : (c > 0 ? 1 : 0);
+      }
+      case ColumnTag::kMixed:
+        if (ValueColumn::SortLessAt(col, a, col, b)) return -1;
+        if (ValueColumn::SortLessAt(col, b, col, a)) return 1;
+        return 0;
+    }
+    return 0;
+  };
+  std::vector<int64_t> order(static_cast<size_t>(row_count_));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    for (const KeyColCmp& cc : cmps) {
+      const int c =
+          cmp3(cc, static_cast<size_t>(a), static_cast<size_t>(b));
+      if (c != 0) return c < 0;
+    }
+    return a < b;
+  });
+  // Materialize the composite keys only once, in sorted order.
   std::vector<std::pair<Key, int64_t>> entries;
   entries.reserve(static_cast<size_t>(row_count_));
-  for (int64_t pre = 0; pre < row_count_; ++pre) {
+  for (int64_t pre : order) {
     Key key;
     key.reserve(index->key_cols.size());
     for (int c : index->key_cols) key.push_back(Cell(pre, c));
     entries.emplace_back(std::move(key), pre);
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) {
-              int c = CompareKeyPrefix(a.first, b.first);
-              if (c != 0) return c < 0;
-              return a.second < b.second;
-            });
   index->tree.BulkLoad(std::move(entries));
   indexes_.push_back(std::move(index));
   return Status::OK();

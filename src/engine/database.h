@@ -1,6 +1,14 @@
 // The relational back-end's storage layer: the doc relation, column
 // statistics, B-tree indexes, and the workload-driven index advisor (the
 // db2advis substitute behind Table VI).
+//
+// The doc relation is stored columnar-native: one typed ValueColumn per
+// engine column (int64 arrays for pre/size/level/kind/parent/root/pss, a
+// dictionary-encoded string column for name and value, doubles-with-nulls
+// for data). Hot paths — scan probes, term evaluation, index builds,
+// statistics — read the typed arrays directly; Cell() remains as a boxed
+// compatibility shim (it materializes a Value per call — do not use it in
+// per-row loops).
 #ifndef XQJG_ENGINE_DATABASE_H_
 #define XQJG_ENGINE_DATABASE_H_
 
@@ -11,6 +19,7 @@
 
 #include "src/common/status.h"
 #include "src/common/value.h"
+#include "src/common/value_column.h"
 #include "src/engine/btree.h"
 #include "src/opt/join_graph.h"
 #include "src/xml/infoset.h"
@@ -55,9 +64,18 @@ class Database {
 
   int64_t row_count() const { return row_count_; }
 
-  /// Cell access by row id (pre) and engine column index.
-  const Value& Cell(int64_t pre, int col) const {
-    return columns_[static_cast<size_t>(col)][static_cast<size_t>(pre)];
+  /// Typed column access by engine column index — the storage interface
+  /// every per-row loop should use (direct int64/code/double arrays).
+  const ValueColumn& Column(int col) const {
+    return columns_[static_cast<size_t>(col)];
+  }
+
+  /// Boxed cell access by row id (pre) and engine column index.
+  /// Compatibility shim over Column(): materializes a Value per call
+  /// (string cells copy); kept for cold paths and tests only.
+  Value Cell(int64_t pre, int col) const {
+    return columns_[static_cast<size_t>(col)].GetValue(
+        static_cast<size_t>(pre));
   }
   int ColumnIndex(const std::string& name) const;
 
@@ -82,7 +100,7 @@ class Database {
 
  private:
   int64_t row_count_ = 0;
-  std::vector<std::vector<Value>> columns_;  // column-major
+  std::vector<ValueColumn> columns_;  // typed, column-major
   std::vector<ColumnStats> stats_;
   std::vector<std::unique_ptr<Index>> indexes_;
   const xml::DocTable* source_ = nullptr;

@@ -10,65 +10,63 @@
 
 #include "src/common/str.h"
 #include "src/engine/columnar/plan_exec.h"
+#include "src/engine/qual_eval.h"
 
 namespace xqjg::engine {
 
 using algebra::CmpOp;
-using opt::AdjustProbeValue;
 using opt::JoinGraph;
-using opt::OrientTo;
 using opt::QualComparison;
 using opt::QualTerm;
-using opt::SargColumn;
 
 namespace {
 
 // ---------------------------------------------------------------------------
 // Tuple runtime: a tuple binds one doc row (pre) per alias; -1 = unbound.
+// Qualifiers are compiled per plan node (BoundQualCmp — typed-array fast
+// paths over the columnar doc relation) and evaluated through a tuple row
+// view: pre_of(alias) → bound pre rank.
 
 using Tuple = std::vector<int64_t>;
 
-Value EvalQualTerm(const QualTerm& t, const Tuple& tuple, const Database& db) {
-  Value acc = t.constant;
-  bool have = !acc.is_null();
-  auto add = [&](int alias, const std::string& col) -> bool {
-    if (alias < 0) return true;
-    const int64_t pre = tuple[static_cast<size_t>(alias)];
-    if (pre < 0) return false;
-    // `pss` and sums are resolved through the column set directly.
-    const Value& v = db.Cell(pre, db.ColumnIndex(col));
-    if (v.is_null()) return false;
-    return AccumulateTermValue(&acc, &have, v);
-  };
-  if (!add(t.alias, t.col)) return Value::Null();
-  if (!add(t.alias2, t.col2)) return Value::Null();
-  return acc;
-}
-
-bool EvalQualComparison(const QualComparison& p, const Tuple& tuple,
-                        const Database& db) {
-  Value lhs = EvalQualTerm(p.lhs, tuple, db);
-  Value rhs = EvalQualTerm(p.rhs, tuple, db);
-  int c = lhs.Compare(rhs);
-  if (c == Value::kNullCmp) return false;
-  switch (p.op) {
-    case CmpOp::kEq:
-      return c == 0;
-    case CmpOp::kNe:
-      return c != 0;
-    case CmpOp::kLt:
-      return c < 0;
-    case CmpOp::kLe:
-      return c <= 0;
-    case CmpOp::kGt:
-      return c > 0;
-    case CmpOp::kGe:
-      return c >= 0;
+/// Row view over one tuple.
+struct TupleView {
+  const Tuple* t;
+  int64_t operator()(int alias) const {
+    return (*t)[static_cast<size_t>(alias)];
   }
-  return false;
+};
+
+/// Row view over a candidate join pair: left binding wins, mirroring
+/// MergeTuples (merge happens only for passing pairs).
+struct TuplePairView {
+  const Tuple* l;
+  const Tuple* r;
+  int64_t operator()(int alias) const {
+    const auto a = static_cast<size_t>(alias);
+    return (*l)[a] >= 0 ? (*l)[a] : (*r)[a];
+  }
+};
+
+bool AllPass(const std::vector<BoundQualCmp>& cmps, const auto& view) {
+  for (const BoundQualCmp& c : cmps) {
+    if (!c.Test(view)) return false;
+  }
+  return true;
 }
 
 std::vector<int> AliasesOf(const QualComparison& p) { return p.Aliases(); }
+
+/// Aliases bound by the scans of a subtree (the bound set of its tuples).
+uint32_t AliasMaskOf(const PhysNode* node) {
+  if (!node) return 0;
+  uint32_t mask = AliasMaskOf(node->left.get()) |
+                  AliasMaskOf(node->right.get());
+  if (node->kind == PhysKind::kTbScan || node->kind == PhysKind::kIxScan) {
+    mask |= 1u << node->alias;
+  }
+  return mask;
+}
 
 /// True iff all of p's aliases lie within `mask`.
 bool CoveredBy(const QualComparison& p, uint32_t mask) {
@@ -567,7 +565,8 @@ class Executor {
       case PhysKind::kIxScan: {
         std::vector<Tuple> out;
         Tuple empty(static_cast<size_t>(graph_.num_aliases), -1);
-        XQJG_RETURN_NOT_OK(ProbeScan(node, empty, &out));
+        const CompiledScan scan = CompileScan(*node, db_, 0);
+        XQJG_RETURN_NOT_OK(ProbeScan(node, scan, empty, &out));
         return out;
       }
       case PhysKind::kNlJoin: {
@@ -575,30 +574,31 @@ class Executor {
         std::vector<Tuple> out;
         if (node->right->kind == PhysKind::kIxScan ||
             node->right->kind == PhysKind::kTbScan) {
+          const uint32_t outer_mask = AliasMaskOf(node->left.get());
+          const CompiledScan scan =
+              CompileScan(*node->right, db_, outer_mask);
           for (const Tuple& t : outer) {
-            XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), t, &out));
+            XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), scan, t, &out));
             XQJG_RETURN_NOT_OK(
                 clock_.TickRows(static_cast<int64_t>(out.size())));
             XQJG_RETURN_NOT_OK(CheckDeadline());
           }
           // Edge predicates not already applied inside the probe.
-          FilterInPlace(node->preds, &out);
+          FilterInPlace(node->preds,
+                        outer_mask | (1u << node->right->alias), &out);
         } else {
           XQJG_ASSIGN_OR_RETURN(std::vector<Tuple> inner,
                                 Run(node->right.get()));
+          const std::vector<BoundQualCmp> cmps = CompileQuals(
+              node->preds, db_,
+              AliasMaskOf(node->left.get()) | AliasMaskOf(node->right.get()));
           for (const Tuple& l : outer) {
             for (const Tuple& r : inner) {
               XQJG_RETURN_NOT_OK(
                   clock_.TickRows(static_cast<int64_t>(out.size())));
-              Tuple merged = MergeTuples(l, r);
-              bool ok = true;
-              for (const auto& p : node->preds) {
-                if (!EvalQualComparison(p, merged, db_)) {
-                  ok = false;
-                  break;
-                }
+              if (AllPass(cmps, TuplePairView{&l, &r})) {
+                out.push_back(MergeTuples(l, r));
               }
-              if (ok) out.push_back(std::move(merged));
             }
           }
         }
@@ -611,6 +611,10 @@ class Executor {
         XQJG_ASSIGN_OR_RETURN(std::vector<Tuple> left, Run(node->left.get()));
         XQJG_ASSIGN_OR_RETURN(std::vector<Tuple> right,
                               Run(node->right.get()));
+        const uint32_t left_mask = AliasMaskOf(node->left.get());
+        const uint32_t full_mask = left_mask | AliasMaskOf(node->right.get());
+        const std::vector<BoundQualCmp> cmps =
+            CompileQuals(node->preds, db_, full_mask);
         // Hash on the first equality predicate; others become residual.
         const QualComparison* hash_pred = nullptr;
         for (const auto& p : node->preds) {
@@ -625,60 +629,47 @@ class Executor {
             for (const Tuple& r : right) {
               XQJG_RETURN_NOT_OK(
                   clock_.TickRows(static_cast<int64_t>(out.size())));
-              Tuple merged = MergeTuples(l, r);
-              bool ok = true;
-              for (const auto& p : node->preds) {
-                if (!EvalQualComparison(p, merged, db_)) {
-                  ok = false;
-                  break;
-                }
+              if (AllPass(cmps, TuplePairView{&l, &r})) {
+                out.push_back(MergeTuples(l, r));
               }
-              if (ok) out.push_back(std::move(merged));
             }
           }
           return out;
         }
-        // Determine which side provides which term.
-        auto side_of = [&](const QualTerm& t,
-                           const std::vector<Tuple>& probe) -> bool {
-          // true if t is evaluable on `probe`'s tuples (alias bound)
-          if (probe.empty()) return false;
-          if (t.alias >= 0 && probe[0][static_cast<size_t>(t.alias)] < 0) {
-            return false;
+        // Determine which side provides which term (a term is left-side
+        // if every alias it references is bound by the left subtree).
+        auto on_left = [&](const QualTerm& t) {
+          for (int a : {t.alias, t.alias2}) {
+            if (a >= 0 && !(left_mask & (1u << a))) return false;
           }
           return true;
         };
-        const QualTerm& lterm =
-            side_of(hash_pred->lhs, left) ? hash_pred->lhs : hash_pred->rhs;
-        const QualTerm& rterm =
-            side_of(hash_pred->lhs, left) ? hash_pred->rhs : hash_pred->lhs;
+        const bool lhs_left = on_left(hash_pred->lhs);
+        const BoundQualTerm lterm(lhs_left ? hash_pred->lhs : hash_pred->rhs,
+                                  db_);
+        const BoundQualTerm rterm(lhs_left ? hash_pred->rhs : hash_pred->lhs,
+                                  db_);
         std::unordered_map<size_t, std::vector<size_t>> buckets;
         for (size_t j = 0; j < right.size(); ++j) {
           XQJG_RETURN_NOT_OK(clock_.Tick());
           // NULL keys never join: Value::Compare treats NULL as
           // incomparable, so rows with a NULL key are skipped outright.
-          Value v = EvalQualTerm(rterm, right[j], db_);
+          Value v = rterm.Eval(TupleView{&right[j]});
           if (v.is_null()) continue;
           buckets[v.Hash()].push_back(j);
         }
         for (const Tuple& l : left) {
           XQJG_RETURN_NOT_OK(clock_.Tick());
-          Value v = EvalQualTerm(lterm, l, db_);
+          Value v = lterm.Eval(TupleView{&l});
           if (v.is_null()) continue;
           auto it = buckets.find(v.Hash());
           if (it == buckets.end()) continue;
           for (size_t j : it->second) {
             XQJG_RETURN_NOT_OK(
                 clock_.TickRows(static_cast<int64_t>(out.size())));
-            Tuple merged = MergeTuples(l, right[j]);
-            bool ok = true;
-            for (const auto& p : node->preds) {
-              if (!EvalQualComparison(p, merged, db_)) {
-                ok = false;
-                break;
-              }
+            if (AllPass(cmps, TuplePairView{&l, &right[j]})) {
+              out.push_back(MergeTuples(l, right[j]));
             }
-            if (ok) out.push_back(std::move(merged));
           }
         }
         if (stats_) {
@@ -702,39 +693,31 @@ class Executor {
   }
 
   void FilterInPlace(const std::vector<QualComparison>& preds,
-                     std::vector<Tuple>* tuples) {
+                     uint32_t bound_mask, std::vector<Tuple>* tuples) {
     if (preds.empty()) return;
+    const std::vector<BoundQualCmp> cmps =
+        CompileQuals(preds, db_, bound_mask);
     std::vector<Tuple> kept;
     for (Tuple& t : *tuples) {
-      bool ok = true;
-      for (const auto& p : preds) {
-        if (!EvalQualComparison(p, t, db_)) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) kept.push_back(std::move(t));
+      if (AllPass(cmps, TupleView{&t})) kept.push_back(std::move(t));
     }
     *tuples = std::move(kept);
   }
 
-  /// Runs a scan with outer bindings from `outer`; appends bound tuples.
-  Status ProbeScan(const PhysNode* node, const Tuple& outer,
-                   std::vector<Tuple>* out) {
+  /// Runs a scan (compiled once per node) with outer bindings from
+  /// `outer`; appends bound tuples.
+  Status ProbeScan(const PhysNode* node, const CompiledScan& scan,
+                   const Tuple& outer, std::vector<Tuple>* out) {
     const int alias = node->alias;
     auto emit_if_match = [&](int64_t pre) {
+      // Conjuncts whose other aliases are still unbound were dropped at
+      // compile time (they are re-checked at the join that binds them).
+      auto view = [&](int a) {
+        return a == alias ? pre : outer[static_cast<size_t>(a)];
+      };
+      if (!AllPass(scan.row_preds, view)) return;
       Tuple t = outer;
       t[static_cast<size_t>(alias)] = pre;
-      for (const auto& p : node->preds) {
-        // Skip conjuncts whose other aliases are still unbound (they are
-        // re-checked at the join that binds them).
-        bool evaluable = true;
-        for (int a : AliasesOf(p)) {
-          if (t[static_cast<size_t>(a)] < 0) evaluable = false;
-        }
-        if (!evaluable) continue;
-        if (!EvalQualComparison(p, t, db_)) return;
-      }
       out->push_back(std::move(t));
     };
     if (node->kind == PhysKind::kTbScan) {
@@ -745,91 +728,11 @@ class Executor {
       }
       return Status::OK();
     }
-    // Index scan: rebuild the probe range from the matched predicates.
-    const auto& key_cols = node->index->def.key_columns;
-    Key lower, upper;
-    bool lower_inc = true, upper_inc = true;
-    size_t k = 0;
-    std::vector<char> used(node->preds.size(), 0);
-    for (; k < key_cols.size(); ++k) {
-      bool matched = false;
-      for (size_t i = 0; i < node->preds.size(); ++i) {
-        if (used[i]) continue;
-        QualComparison p = OrientTo(node->preds[i], alias);
-        if (p.op != CmpOp::kEq) continue;
-        if (SargColumn(p.lhs, alias) != key_cols[k]) continue;
-        // The other side must be evaluable from `outer` / constants.
-        bool evaluable = true;
-        for (int a : std::vector<int>{p.rhs.alias, p.rhs.alias2}) {
-          if (a >= 0 && outer[static_cast<size_t>(a)] < 0) evaluable = false;
-        }
-        if (!evaluable) continue;
-        Value v = AdjustProbeValue(p.lhs, EvalQualTerm(p.rhs, outer, db_));
-        if (v.is_null()) return Status::OK();  // NULL never matches
-        lower.push_back(v);
-        upper.push_back(v);
-        used[i] = 1;
-        matched = true;
-        break;
-      }
-      if (!matched) break;
-    }
-    if (k < key_cols.size()) {
-      // Range component on the next key column.
-      bool have_lo = false, have_hi = false;
-      Value lo, hi;
-      for (size_t i = 0; i < node->preds.size(); ++i) {
-        if (used[i]) continue;
-        QualComparison p = OrientTo(node->preds[i], alias);
-        if (p.op == CmpOp::kEq || p.op == CmpOp::kNe) continue;
-        if (SargColumn(p.lhs, alias) != key_cols[k]) continue;
-        bool evaluable = true;
-        for (int a : std::vector<int>{p.rhs.alias, p.rhs.alias2}) {
-          if (a >= 0 && outer[static_cast<size_t>(a)] < 0) evaluable = false;
-        }
-        if (!evaluable) continue;
-        Value v = AdjustProbeValue(p.lhs, EvalQualTerm(p.rhs, outer, db_));
-        if (v.is_null()) return Status::OK();
-        switch (p.op) {
-          case CmpOp::kLt:
-            if (!have_hi || v.SortLess(hi)) hi = v;
-            have_hi = true;
-            upper_inc = false;
-            break;
-          case CmpOp::kLe:
-            if (!have_hi || v.SortLess(hi)) hi = v;
-            have_hi = true;
-            break;
-          case CmpOp::kGt:
-            if (!have_lo || lo.SortLess(v)) lo = v;
-            have_lo = true;
-            lower_inc = false;
-            break;
-          case CmpOp::kGe:
-            if (!have_lo || lo.SortLess(v)) lo = v;
-            have_lo = true;
-            break;
-          default:
-            break;
-        }
-        used[i] = 1;
-      }
-      if (have_lo) {
-        Key lo_key = lower;
-        lo_key.push_back(lo);
-        lower = std::move(lo_key);
-      }
-      if (have_hi) {
-        Key hi_key = upper;
-        hi_key.push_back(hi);
-        upper = std::move(hi_key);
-      }
-    }
+    // Index scan: build the probe range from the compiled probe plan.
     KeyRange range;
-    range.lower = std::move(lower);
-    range.upper = std::move(upper);
-    range.lower_inclusive = lower_inc;
-    range.upper_inclusive = upper_inc;
+    if (!BuildProbeRange(scan, TupleView{&outer}, &range)) {
+      return Status::OK();  // NULL probe value never matches
+    }
     bool expired = false, over_rows = false;
     node->index->tree.Scan(range, [&](const Key&, int64_t pre) {
       emit_if_match(pre);
@@ -880,14 +783,19 @@ Result<std::vector<int64_t>> ExecutePlan(const PhysicalPlan& plan,
   BudgetClock& clock = *executor.clock();
   XQJG_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, executor.Run(plan.root.get()));
   // Plan tail: ORDER BY + DISTINCT + item projection (the single SORT of
-  // Fig. 10/11).
+  // Fig. 10/11). Tail terms are compiled once against the typed columns.
+  std::vector<BoundQualTerm> order_terms;
+  order_terms.reserve(graph.order_by.size() + 1);
+  for (const auto& term : graph.order_by) {
+    order_terms.emplace_back(term, db);
+  }
+  order_terms.emplace_back(graph.item, db);
   auto order_key = [&](const Tuple& t) {
     std::vector<Value> key;
-    key.reserve(graph.order_by.size() + 1);
-    for (const auto& term : graph.order_by) {
-      key.push_back(EvalQualTerm(term, t, db));
+    key.reserve(order_terms.size());
+    for (const auto& term : order_terms) {
+      key.push_back(term.Eval(TupleView{&t}));
     }
-    key.push_back(EvalQualTerm(graph.item, t, db));
     return key;
   };
   try {
@@ -899,6 +807,12 @@ Result<std::vector<int64_t>> ExecutePlan(const PhysicalPlan& plan,
   } catch (const BudgetExhausted&) {
     return Status::Timeout("execution exceeded wall-clock budget (DNF)");
   }
+  std::vector<BoundQualTerm> select_terms;
+  select_terms.reserve(graph.select_list.size());
+  for (const auto& term : graph.select_list) {
+    select_terms.emplace_back(term, db);
+  }
+  const BoundQualTerm item_term(graph.item, db);
   std::vector<int64_t> out;
   std::vector<Value> prev_payload;
   bool have_prev = false;
@@ -906,9 +820,9 @@ Result<std::vector<int64_t>> ExecutePlan(const PhysicalPlan& plan,
     XQJG_RETURN_NOT_OK(clock.Tick());
     if (graph.distinct) {
       std::vector<Value> payload;
-      payload.reserve(graph.select_list.size());
-      for (const auto& term : graph.select_list) {
-        payload.push_back(EvalQualTerm(term, t, db));
+      payload.reserve(select_terms.size());
+      for (const auto& term : select_terms) {
+        payload.push_back(term.Eval(TupleView{&t}));
       }
       if (have_prev && payload.size() == prev_payload.size()) {
         bool same = true;
@@ -924,7 +838,7 @@ Result<std::vector<int64_t>> ExecutePlan(const PhysicalPlan& plan,
       prev_payload = std::move(payload);
       have_prev = true;
     }
-    Value item = EvalQualTerm(graph.item, t, db);
+    Value item = item_term.Eval(TupleView{&t});
     if (item.is_null()) continue;
     out.push_back(item.AsInt());
   }

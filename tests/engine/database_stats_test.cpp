@@ -1,0 +1,120 @@
+// ColumnStats regression: the typed/dictionary statistics collectors
+// must reproduce the pre-migration Value-based algorithm EXACTLY — the
+// reference below is that algorithm verbatim, run over the boxed Cell()
+// shim — on the XMark fixture and the tiny documents. Dictionary columns
+// additionally pin the ndv-from-dictionary contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/data/xmark.h"
+#include "src/engine/database.h"
+#include "tests/testutil/fixtures.h"
+
+namespace xqjg::engine {
+namespace {
+
+/// The seed storage layer's stats collector (pre-columnar): sort boxed
+/// non-NULL Values, then derive ndv / min / max / bounds / frequencies.
+ColumnStats ReferenceStats(const Database& db, int col,
+                           bool want_frequent) {
+  ColumnStats st;
+  st.row_count = db.row_count();
+  std::vector<Value> non_null;
+  for (int64_t pre = 0; pre < db.row_count(); ++pre) {
+    Value v = db.Cell(pre, col);
+    if (!v.is_null()) non_null.push_back(std::move(v));
+  }
+  if (non_null.empty()) return st;
+  std::sort(non_null.begin(), non_null.end(),
+            [](const Value& a, const Value& b) { return a.SortLess(b); });
+  st.min = non_null.front();
+  st.max = non_null.back();
+  int64_t ndv = 1;
+  for (size_t i = 1; i < non_null.size(); ++i) {
+    if (non_null[i - 1].SortLess(non_null[i])) ++ndv;
+  }
+  st.ndv = ndv;
+  const size_t kBuckets = 32;
+  for (size_t b = 1; b <= kBuckets; ++b) {
+    st.bucket_bounds.push_back(
+        non_null[std::min(non_null.size() - 1,
+                          b * non_null.size() / kBuckets)]);
+  }
+  if (want_frequent) {
+    for (const Value& v : non_null) st.frequent[v.ToString()]++;
+  }
+  return st;
+}
+
+void ExpectValueEq(const Value& a, const Value& b, const char* what) {
+  EXPECT_TRUE(a.is_null() == b.is_null() && (a.is_null() || a == b))
+      << what << ": " << a.ToString() << " vs " << b.ToString();
+}
+
+void ExpectStatsIdentical(const Database& db) {
+  const auto& cols = EngineDocColumns();
+  for (size_t c = 0; c < cols.size(); ++c) {
+    const bool want_frequent = cols[c] == "kind" || cols[c] == "name";
+    const ColumnStats expected =
+        ReferenceStats(db, static_cast<int>(c), want_frequent);
+    const ColumnStats& actual = db.Stats(static_cast<int>(c));
+    SCOPED_TRACE(cols[c]);
+    EXPECT_EQ(actual.row_count, expected.row_count);
+    EXPECT_EQ(actual.ndv, expected.ndv);
+    ExpectValueEq(actual.min, expected.min, "min");
+    ExpectValueEq(actual.max, expected.max, "max");
+    ASSERT_EQ(actual.bucket_bounds.size(), expected.bucket_bounds.size());
+    for (size_t b = 0; b < expected.bucket_bounds.size(); ++b) {
+      ExpectValueEq(actual.bucket_bounds[b], expected.bucket_bounds[b],
+                    "bucket bound");
+    }
+    EXPECT_EQ(actual.frequent, expected.frequent);
+  }
+}
+
+TEST(DatabaseStats, TypedCollectorsMatchBoxedReferenceOnXmark) {
+  data::XmarkOptions options;
+  options.scale = 0.08;
+  xml::DocTable doc =
+      testutil::LoadDoc("auction.xml", data::GenerateXmark(options));
+  auto db = Database::Build(doc);
+  ExpectStatsIdentical(*db);
+}
+
+TEST(DatabaseStats, TypedCollectorsMatchBoxedReferenceOnTinyDocs) {
+  for (const char* xml :
+       {testutil::TinyBibXml(), testutil::TinySiteXml(), "<r/>"}) {
+    xml::DocTable doc = testutil::LoadDoc("t.xml", xml);
+    auto db = Database::Build(doc);
+    ExpectStatsIdentical(*db);
+  }
+}
+
+TEST(DatabaseStats, DictionaryColumnsDeriveNdvFromTheDictionary) {
+  xml::DocTable doc =
+      testutil::LoadDoc("site.xml", testutil::TinySiteXml());
+  auto db = Database::Build(doc);
+  const int name_col = db->ColumnIndex("name");
+  const ValueColumn& name = db->Column(name_col);
+  ASSERT_EQ(name.tag(), ColumnTag::kDictString);
+  // Every dictionary entry of a freshly built doc relation occurs in the
+  // column, so ndv is exactly the dictionary size.
+  EXPECT_EQ(db->Stats(name_col).ndv,
+            static_cast<int64_t>(name.dict_size()));
+  // The exact frequencies sum to the non-NULL row count.
+  int64_t total = 0;
+  for (const auto& [key, count] : db->Stats(name_col).frequent) {
+    total += count;
+  }
+  EXPECT_EQ(total, db->row_count());
+  // value is dictionary-encoded with NULLs and still produces stats.
+  const int value_col = db->ColumnIndex("value");
+  ASSERT_EQ(db->Column(value_col).tag(), ColumnTag::kDictString);
+  EXPECT_GT(db->Stats(value_col).ndv, 0);
+}
+
+}  // namespace
+}  // namespace xqjg::engine

@@ -196,6 +196,105 @@ TEST(ExecLimits, PhysicalPlanExecutorsHonorTheRowBudget) {
   }
 }
 
+TEST(ExecLimits, LateMaterializedFilterChainsHonorBothBudgets) {
+  // A σ∘σ∘δ chain runs as selection vectors in the columnar executor
+  // (no gathers until the tail); both budget knobs must still trip inside
+  // the selection loops, and the row executor stays the oracle.
+  xml::DocTable doc = testutil::LoadDoc("x", "<x/>");
+  OpPtr lit = WideLiteral("a", 5000);
+  using algebra::MakeSelect;
+  using algebra::Predicate;
+  using algebra::Term;
+  OpPtr chain = MakeSelect(
+      MakeSelect(algebra::MakeDistinct(lit),
+                 Predicate::Single(Term::Col("a"), algebra::CmpOp::kGt,
+                                   Term::Const(Value::Int(10)))),
+      Predicate::Single(Term::Col("a"), algebra::CmpOp::kLt,
+                        Term::Const(Value::Int(4000))));
+  for (bool columnar : {false, true}) {
+    ExecOptions timeout;
+    timeout.use_columnar = columnar;
+    timeout.limits.timeout_seconds = 1e-9;
+    auto timed = Evaluate(chain, doc, timeout);
+    ASSERT_FALSE(timed.ok()) << (columnar ? "columnar" : "row");
+    EXPECT_EQ(timed.status().code(), StatusCode::kTimeout);
+    ExecOptions rows;
+    rows.use_columnar = columnar;
+    rows.limits.max_intermediate_rows = 100;
+    auto bounded = Evaluate(chain, doc, rows);
+    ASSERT_FALSE(bounded.ok()) << (columnar ? "columnar" : "row");
+    EXPECT_EQ(bounded.status().code(), StatusCode::kTimeout);
+  }
+  // Unlimited: both executors agree through the lazy chain.
+  auto row = Evaluate(chain, doc, ExecOptions{});
+  ExecOptions copts;
+  copts.use_columnar = true;
+  auto col = Evaluate(chain, doc, copts);
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(row.value().rows.size(), col.value().rows.size());
+  EXPECT_EQ(row.value().rows.size(), 3989u);  // values 11..3999
+}
+
+TEST(ExecLimits, DeferredGatherBoundariesHonorBudgets) {
+  // A compiled query's σ/π chain stays lazy until the serialize sort —
+  // the gather boundary. Budgets must surface through the full pipeline
+  // (and through the dictionary-code name filters) in both executors.
+  xml::DocTable site = testutil::LoadDoc("site.xml", testutil::TinySiteXml());
+  auto plan =
+      testutil::CompileToPlan("doc(\"site.xml\")//item[price > 10.0]/name",
+                              "site.xml");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  for (bool columnar : {false, true}) {
+    ExecOptions timeout;
+    timeout.use_columnar = columnar;
+    timeout.limits.timeout_seconds = 1e-9;
+    auto timed = EvaluateToSequence(plan.value(), site, timeout);
+    ASSERT_FALSE(timed.ok()) << (columnar ? "columnar" : "row");
+    EXPECT_EQ(timed.status().code(), StatusCode::kTimeout);
+    ExecOptions rows;
+    rows.use_columnar = columnar;
+    rows.limits.max_intermediate_rows = 2;  // doc relation alone exceeds
+    auto bounded = EvaluateToSequence(plan.value(), site, rows);
+    ASSERT_FALSE(bounded.ok()) << (columnar ? "columnar" : "row");
+    EXPECT_EQ(bounded.status().code(), StatusCode::kTimeout);
+    auto ok = EvaluateToSequence(plan.value(), site, ExecOptions{});
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value().size(), 2u);  // clock (12.5) and lamp (30.0)
+  }
+}
+
+TEST(ExecLimits, PhysicalPlanNamePredicatesHonorTheRowBudget) {
+  // The compiled dict-code equality quals of the physical-plan executors
+  // (name = '...') sit inside every scan probe; the row budget must trip
+  // there with and without B-tree indexes, row and columnar.
+  for (bool with_indexes : {false, true}) {
+    api::XQueryProcessor processor;
+    ASSERT_TRUE(processor
+                    .LoadDocument("site.xml", testutil::TinySiteXml())
+                    .ok());
+    if (with_indexes) {
+      ASSERT_TRUE(processor.CreateRelationalIndexes().ok());
+    }
+    for (bool columnar : {false, true}) {
+      api::RunOptions options;
+      options.mode = api::Mode::kJoinGraph;
+      options.context_document = "site.xml";
+      options.use_columnar = columnar;
+      auto ok = processor.Run("//regions//item/name", options);
+      ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+      EXPECT_EQ(ok.value().result_count(), 3u);
+      api::RunOptions bounded = options;
+      bounded.timeout_seconds = 1e-9;
+      auto timed = processor.Run("//regions//item/name", bounded);
+      ASSERT_FALSE(timed.ok())
+          << (with_indexes ? "indexed" : "bare") << "/"
+          << (columnar ? "columnar" : "row");
+      EXPECT_EQ(timed.status().code(), StatusCode::kTimeout);
+    }
+  }
+}
+
 TEST(ExecLimits, ColumnarStackedModeSurfacesTimeout) {
   api::XQueryProcessor processor;
   ASSERT_TRUE(processor

@@ -1,0 +1,169 @@
+#include "tests/testutil/differential.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace xqjg::testutil {
+
+namespace {
+
+/// splitmix64 — the same deterministic generator as RandomXml.
+struct Rng {
+  uint64_t state;
+  explicit Rng(uint64_t seed) : state(seed + 0x9e3779b97f4a7c15ULL) {}
+  uint64_t Next(uint64_t bound) {
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return z % bound;
+  }
+};
+
+const char* kTags[] = {"a", "b", "c", "d"};
+
+std::string PathQuery(Rng* rng, const std::string& doc) {
+  std::string q = doc;
+  const uint64_t steps = 1 + rng->Next(3);
+  for (uint64_t s = 0; s < steps; ++s) {
+    std::string axis;
+    if (s == 0) {
+      axis = "//";
+    } else {
+      switch (rng->Next(5)) {
+        case 0:
+          axis = "/";
+          break;
+        case 1:
+          axis = "//";
+          break;
+        case 2:
+          axis = "/parent::";
+          break;
+        case 3:
+          axis = "/ancestor::";
+          break;
+        default:
+          axis = "/following-sibling::";
+          break;
+      }
+    }
+    q += axis + kTags[rng->Next(4)];
+    if (rng->Next(3) == 0) {
+      // Predicate over a child's name or value.
+      const char* inner = kTags[rng->Next(4)];
+      switch (rng->Next(4)) {
+        case 0:
+          q += std::string("[") + inner + "]";
+          break;
+        case 1:
+          q += std::string("[") + inner + " > " +
+               std::to_string(rng->Next(50)) + "]";
+          break;
+        case 2:
+          q += std::string("[") + inner + " < " +
+               std::to_string(rng->Next(50)) + "]";
+          break;
+        default:
+          q += std::string("[") + inner + " = " +
+               std::to_string(rng->Next(50)) + "]";
+          break;
+      }
+    }
+  }
+  if (rng->Next(4) == 0) {
+    q += rng->Next(2) == 0 ? "/@id" : "/@ref";
+  }
+  return q;
+}
+
+}  // namespace
+
+std::string RandomQuery(uint64_t seed, const std::string& uri) {
+  Rng rng(seed);
+  const std::string doc = "doc(\"" + uri + "\")";
+  const uint64_t shape = rng.Next(10);
+  if (shape < 7) return PathQuery(&rng, doc);
+  if (shape < 9) {
+    // Attribute join between two independent for-clauses.
+    const char* t1 = kTags[rng.Next(4)];
+    const char* t2 = kTags[rng.Next(4)];
+    return "for $x in " + doc + "//" + t1 + " for $y in " + doc + "//" + t2 +
+           " where $x/@id = $y/@ref return $y";
+  }
+  // Value filter + projection.
+  const char* t1 = kTags[rng.Next(4)];
+  const char* t2 = kTags[rng.Next(4)];
+  const char* t3 = kTags[rng.Next(4)];
+  return "for $x in " + doc + "//" + t1 + " where $x/" + t2 + " > " +
+         std::to_string(rng.Next(50)) + " return $x/" + t3;
+}
+
+int FuzzIterations(int fallback) {
+  const char* env = std::getenv("XQJG_FUZZ_ITERS");
+  if (!env) return fallback;
+  const int iters = std::atoi(env);
+  return iters > 0 ? iters : fallback;
+}
+
+DifferentialHarness::DifferentialHarness(const std::string& uri,
+                                         const std::string& xml) {
+  auto check = [&](const Status& st, const char* what) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "differential harness setup failed (%s): %s\n",
+                   what, st.ToString().c_str());
+      std::abort();
+    }
+  };
+  check(indexed_.LoadDocument(uri, xml), "load (indexed)");
+  check(indexed_.CreateRelationalIndexes(), "Table VI indexes");
+  check(bare_.LoadDocument(uri, xml), "load (bare)");
+}
+
+::testing::AssertionResult DifferentialHarness::Check(
+    const std::string& query) {
+  api::RunOptions options;
+  options.timeout_seconds = 60;
+  options.mode = api::Mode::kNativeWhole;
+  auto reference = indexed_.Run(query, options);
+  if (!reference.ok()) {
+    return ::testing::AssertionFailure()
+           << "native reference failed for \"" << query
+           << "\": " << reference.status().ToString();
+  }
+  struct Lane {
+    const char* label;
+    api::XQueryProcessor* processor;
+    api::Mode mode;
+    bool use_columnar;
+  };
+  Lane lanes[] = {
+      {"stacked/row", &indexed_, api::Mode::kStacked, false},
+      {"stacked/columnar", &indexed_, api::Mode::kStacked, true},
+      {"joingraph/row/indexed", &indexed_, api::Mode::kJoinGraph, false},
+      {"joingraph/columnar/indexed", &indexed_, api::Mode::kJoinGraph, true},
+      {"joingraph/row/bare", &bare_, api::Mode::kJoinGraph, false},
+      {"joingraph/columnar/bare", &bare_, api::Mode::kJoinGraph, true},
+  };
+  for (const Lane& lane : lanes) {
+    options.mode = lane.mode;
+    options.use_columnar = lane.use_columnar;
+    auto result = lane.processor->Run(query, options);
+    if (!result.ok()) {
+      return ::testing::AssertionFailure()
+             << lane.label << " failed for \"" << query
+             << "\": " << result.status().ToString();
+    }
+    if (result.value().items != reference.value().items) {
+      return ::testing::AssertionFailure()
+             << lane.label << " diverges from native for \"" << query
+             << "\": " << result.value().items.size() << " vs "
+             << reference.value().items.size() << " items";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace xqjg::testutil

@@ -1,0 +1,58 @@
+// Differential / fuzz harness for the storage and executor stack.
+//
+// One DifferentialHarness owns two XQueryProcessors over the same
+// document — one with the Table VI B-tree set, one bare — and checks a
+// query's result items across every execution lane that must agree:
+//
+//   native whole-document interpretation      (the reference)
+//   stacked plan, row executor                (materializing oracle)
+//   stacked plan, columnar batch executor     (late-mat σ/π chains)
+//   join graph, row plan executor             (indexed + bare plans)
+//   join graph, columnar plan executor        (indexed + bare plans)
+//
+// RandomQuery() generates seeded query shapes over the RandomXml tag
+// alphabet (axis steps, name tests, value predicates, attribute joins),
+// so a storage-layer rewrite is pinned by both fixed paper queries and
+// randomized document × query pairs. Same seed → same query.
+#ifndef XQJG_TESTS_TESTUTIL_DIFFERENTIAL_H_
+#define XQJG_TESTS_TESTUTIL_DIFFERENTIAL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/api/processor.h"
+
+namespace xqjg::testutil {
+
+/// Deterministic random query over `uri` (expects a RandomXml-shaped
+/// document: tags a–d under root r, id/ref attributes, numeric leaves).
+std::string RandomQuery(uint64_t seed, const std::string& uri);
+
+/// Iteration count for fuzz loops: XQJG_FUZZ_ITERS when set (CI runs a
+/// larger sweep), else `fallback`.
+int FuzzIterations(int fallback);
+
+class DifferentialHarness {
+ public:
+  /// Loads `xml` under `uri` into both processors and builds the Table VI
+  /// index set on the indexed one. Aborts on parse failure.
+  DifferentialHarness(const std::string& uri, const std::string& xml);
+
+  /// Runs `query` through every lane and compares items against the
+  /// native reference. Any run error is a failure (the generator only
+  /// emits supported shapes).
+  ::testing::AssertionResult Check(const std::string& query);
+
+  api::XQueryProcessor& indexed() { return indexed_; }
+  api::XQueryProcessor& bare() { return bare_; }
+
+ private:
+  api::XQueryProcessor indexed_;
+  api::XQueryProcessor bare_;
+};
+
+}  // namespace xqjg::testutil
+
+#endif  // XQJG_TESTS_TESTUTIL_DIFFERENTIAL_H_
