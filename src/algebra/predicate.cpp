@@ -57,24 +57,40 @@ bool Term::RenameCols(
   return map_one(&col) && map_one(&col2);
 }
 
+// Built with appends (not operator+) throughout: GCC 12's -Wrestrict
+// reports false positives on `"literal" + std::string&&` chains.
+void AppendTermTail(std::string* out, int param,
+                    const std::string& param_name, const Value& constant) {
+  if (param >= 0) {
+    if (!out->empty()) *out += " + ";
+    *out += '$';
+    *out += param_name;
+  }
+  if (!constant.is_null()) {
+    if (!out->empty()) {
+      *out += " + ";
+      *out += constant.ToString();
+    } else if (constant.type() == ValueType::kString) {
+      *out += '\'';
+      *out += constant.ToString();
+      *out += '\'';
+    } else {
+      *out = constant.ToString();
+    }
+  }
+}
+
 std::string Term::ToString() const {
   std::string out;
   if (!col.empty()) out = col;
   if (!col2.empty()) out += " + " + col2;
-  if (!constant.is_null()) {
-    if (out.empty()) {
-      out = constant.type() == ValueType::kString
-                ? "'" + constant.ToString() + "'"
-                : constant.ToString();
-    } else {
-      out += " + " + constant.ToString();
-    }
-  }
+  AppendTermTail(&out, param, param_name, constant);
   return out.empty() ? "0" : out;
 }
 
 bool Term::operator==(const Term& other) const {
-  return col == other.col && col2 == other.col2 && constant == other.constant &&
+  return col == other.col && col2 == other.col2 && param == other.param &&
+         constant == other.constant &&
          constant.is_null() == other.constant.is_null();
 }
 

@@ -23,23 +23,51 @@ enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
 const char* CmpOpToString(CmpOp op);
 CmpOp FlipCmpOp(CmpOp op);  ///< a OP b  <=>  b FlipCmpOp(OP) a
 
-/// col + col2 + constant (absent parts contribute nothing).
+/// col + col2 + constant (absent parts contribute nothing). A term may
+/// instead be a *parameter marker* (param >= 0): a constant whose value is
+/// unknown until Execute binds it — the executors substitute the bound
+/// Value for `constant` before compiling qualifiers.
 struct Term {
   std::string col;        ///< empty for pure constants
   std::string col2;       ///< optional second column (e.g. pre + size)
   Value constant;         ///< NULL when absent
+  int param = -1;         ///< binding slot of a parameter marker
+  std::string param_name; ///< parameter name (diagnostics / rendering)
 
-  static Term Col(std::string c) { return Term{std::move(c), "", Value()}; }
+  static Term Col(std::string c) {
+    Term t;
+    t.col = std::move(c);
+    return t;
+  }
   static Term ColSum(std::string c1, std::string c2) {
-    return Term{std::move(c1), std::move(c2), Value()};
+    Term t;
+    t.col = std::move(c1);
+    t.col2 = std::move(c2);
+    return t;
   }
   static Term ColPlus(std::string c, int64_t k) {
-    return Term{std::move(c), "", Value::Int(k)};
+    Term t;
+    t.col = std::move(c);
+    t.constant = Value::Int(k);
+    return t;
   }
-  static Term Const(Value v) { return Term{"", "", std::move(v)}; }
+  static Term Const(Value v) {
+    Term t;
+    t.constant = std::move(v);
+    return t;
+  }
+  static Term Param(int slot, std::string name) {
+    Term t;
+    t.param = slot;
+    t.param_name = std::move(name);
+    return t;
+  }
 
   bool IsConst() const { return col.empty(); }
-  bool IsSimpleCol() const { return !col.empty() && col2.empty() && constant.is_null(); }
+  bool IsParam() const { return param >= 0; }
+  bool IsSimpleCol() const {
+    return !col.empty() && col2.empty() && constant.is_null();
+  }
 
   /// Columns referenced by this term.
   void CollectCols(std::set<std::string>* out) const;
@@ -68,6 +96,12 @@ struct Comparison {
   std::string ToString() const;
   bool operator==(const Comparison& other) const;
 };
+
+/// Appends a term's parameter-marker / constant tail to `out` (shared by
+/// the algebra Term and the join graph's QualTerm renderers, which must
+/// agree): " + $name" / "$name", then " + const" / "'const'" / "const".
+void AppendTermTail(std::string* out, int param,
+                    const std::string& param_name, const Value& constant);
 
 /// A conjunction of comparisons; empty predicate = true.
 struct Predicate {

@@ -1,0 +1,43 @@
+#include "src/api/catalog.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/xml/parser.h"
+
+namespace xqjg::api {
+
+std::shared_ptr<const xml::DocTable> CatalogSnapshot::doc_table() const {
+  std::lock_guard<std::mutex> lock(doc_slot->mu);
+  if (!doc_slot->table) {
+    auto table = std::make_shared<xml::DocTable>();
+    for (const DocSource& s : *sources) {
+      // Every source parsed successfully when it was loaded (the DOM
+      // build shares the scanner), so this cannot fail on retained
+      // input. A failure here means the doc relation would silently
+      // lose a document — abort loudly rather than serve wrong results.
+      Status st = xml::LoadDocument(table.get(), s.uri, *s.xml);
+      if (!st.ok()) {
+        std::fprintf(stderr,
+                     "fatal: retained source '%s' failed to rebuild the "
+                     "doc relation: %s\n",
+                     s.uri.c_str(), st.ToString().c_str());
+        std::abort();
+      }
+    }
+    doc_slot->table = std::move(table);
+  }
+  return doc_slot->table;
+}
+
+std::shared_ptr<const engine::Database> CatalogSnapshot::relational_db()
+    const {
+  std::lock_guard<std::mutex> lock(db_slot->mu);
+  if (!db_slot->db) {
+    db_slot->db = std::shared_ptr<const engine::Database>(
+        engine::Database::Build(*doc_table()));
+  }
+  return db_slot->db;
+}
+
+}  // namespace xqjg::api

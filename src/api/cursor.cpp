@@ -3,7 +3,6 @@
 #include <chrono>
 #include <utility>
 
-#include "src/api/processor.h"
 #include "src/engine/algebra_exec.h"
 #include "src/engine/planner.h"
 #include "src/native/xscan.h"
@@ -21,27 +20,23 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-Status ResultCursor::CheckNotStale() const {
-  if (prepared_->catalog_generation != owner_->catalog_generation()) {
-    return Status::InvalidArgument(
-        "stale cursor: documents or indexes changed since Prepare "
-        "(re-Prepare and Execute against the current catalog)");
-  }
-  return Status::OK();
-}
-
 Status ResultCursor::EnsureExecuted() {
   if (executed_) return Status::OK();
   const auto started = std::chrono::steady_clock::now();
   const PreparedQuery& pq = *prepared_;
+  const CatalogSnapshot& cat = catalog();
   switch (pq.options.mode) {
     case Mode::kNativeWhole:
     case Mode::kNativeSegmented: {
+      const native::NativeEngine* engine =
+          pq.options.mode == Mode::kNativeWhole ? cat.whole_engine.get()
+                                                : cat.segmented_engine.get();
+      // Execute() verified the engine exists before handing out a cursor.
       // The native engine serializes while evaluating; row budgets do not
       // apply (it materializes no relational intermediates).
       XQJG_ASSIGN_OR_RETURN(
           native_items_,
-          native_->Run(pq.core, options_.limits.timeout_seconds));
+          engine->Run(pq.core, options_.limits.timeout_seconds));
       rows_total_ = native_items_.size();
       break;
     }
@@ -51,7 +46,8 @@ Status ResultCursor::EnsureExecuted() {
       exec_options.use_columnar = options_.use_columnar;
       exec_options.stats = &stats_.engine;
       XQJG_ASSIGN_OR_RETURN(
-          pres_, engine::EvaluateToSequence(pq.stacked, *doc_, exec_options));
+          pres_, engine::EvaluateToSequence(pq.stacked, *cat.doc_table(),
+                                            exec_options));
       rows_total_ = pres_.size();
       break;
     }
@@ -61,8 +57,12 @@ Status ResultCursor::EnsureExecuted() {
         popts.syntactic_order = pq.options.syntactic_join_order;
         popts.limits = options_.limits;
         popts.use_columnar = options_.use_columnar;
+        if (!params_.empty()) popts.params = &params_;
+        // relational_db() returns the instance the plan was compiled
+        // over (Prepare built it) — pq.plan's index pointers live in it.
         XQJG_ASSIGN_OR_RETURN(
-            pres_, engine::ExecutePlan(pq.plan, *db_, popts, &stats_.engine));
+            pres_, engine::ExecutePlan(pq.plan, *cat.relational_db(), popts,
+                                       &stats_.engine));
       } else {
         // Residual blocking operators: execute the isolated DAG directly.
         engine::ExecOptions exec_options;
@@ -70,8 +70,8 @@ Status ResultCursor::EnsureExecuted() {
         exec_options.use_columnar = options_.use_columnar;
         exec_options.stats = &stats_.engine;
         XQJG_ASSIGN_OR_RETURN(
-            pres_,
-            engine::EvaluateToSequence(pq.isolated, *doc_, exec_options));
+            pres_, engine::EvaluateToSequence(pq.isolated, *cat.doc_table(),
+                                              exec_options));
       }
       rows_total_ = pres_.size();
       break;
@@ -88,7 +88,6 @@ Result<std::vector<std::string>> ResultCursor::FetchNext(size_t max_items) {
     return Status::InvalidArgument(
         "FetchNext(0): an empty batch signals exhaustion, ask for >= 1");
   }
-  XQJG_RETURN_NOT_OK(CheckNotStale());
   XQJG_RETURN_NOT_OK(EnsureExecuted());
   const auto started = std::chrono::steady_clock::now();
   // Serialization works under the same wall-clock budget, restarted per
@@ -99,6 +98,10 @@ Result<std::vector<std::string>> ResultCursor::FetchNext(size_t max_items) {
   batch.reserve(end - next_);
   const bool native_mode = prepared_->options.mode == Mode::kNativeWhole ||
                            prepared_->options.mode == Mode::kNativeSegmented;
+  // Resolved once per fetch: doc_table() synchronizes on the snapshot's
+  // lazy-build slot, which has no place in the per-item loop.
+  const std::shared_ptr<const xml::DocTable> doc =
+      native_mode ? nullptr : catalog().doc_table();
   for (size_t i = next_; i < end; ++i) {
     if (native_mode) {
       // Already serialized by the engine; handing out is trivial work.
@@ -107,7 +110,7 @@ Result<std::vector<std::string>> ResultCursor::FetchNext(size_t max_items) {
       // A timed-out fetch leaves next_ untouched: the caller may retry
       // and no item is skipped (serialization is repeatable).
       XQJG_RETURN_NOT_OK(clock.Tick());
-      batch.push_back(xml::SerializeSubtree(*doc_, pres_[i]));
+      batch.push_back(xml::SerializeSubtree(*doc, pres_[i]));
     }
   }
   next_ = end;
@@ -117,7 +120,6 @@ Result<std::vector<std::string>> ResultCursor::FetchNext(size_t max_items) {
 }
 
 Result<std::vector<std::string>> ResultCursor::FetchAll() {
-  XQJG_RETURN_NOT_OK(CheckNotStale());
   XQJG_RETURN_NOT_OK(EnsureExecuted());
   std::vector<std::string> all;
   while (!exhausted()) {

@@ -6,22 +6,27 @@
 // caller FetchNext()s them. Result memory is bounded by the batch size
 // instead of the result size — the serialized XML strings, not the pre
 // ranks, dominate a result's footprint.
+//
+// Snapshot pinning: a cursor holds shared ownership of the catalog
+// snapshot its PreparedQuery was compiled against. Catalog mutations
+// publish new snapshots instead of touching pinned ones, so an open
+// cursor keeps draining correct results even while documents are loaded
+// or indexes change concurrently — there is no staleness mid-stream and
+// no drain-before-mutate requirement.
 #ifndef XQJG_API_CURSOR_H_
 #define XQJG_API_CURSOR_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/api/catalog.h"
 #include "src/api/prepared_query.h"
 #include "src/common/status.h"
+#include "src/common/value.h"
 #include "src/engine/exec_options.h"
-#include "src/xml/infoset.h"
-
-namespace xqjg::native {
-class NativeEngine;
-}
 
 namespace xqjg::api {
 
@@ -35,6 +40,10 @@ struct ExecuteOptions {
   /// Execute relational modes via the columnar batch executors; identical
   /// results, faster (differential-tested).
   bool use_columnar = false;
+  /// Values for the query's external parameters, by name (without '$').
+  /// Every parameter the query references must be bound, and every entry
+  /// must name a referenced parameter; Execute rejects mismatches.
+  std::map<std::string, Value> parameters;
 };
 
 /// Per-execution observability (one ResultCursor = one execution).
@@ -55,7 +64,8 @@ class XQueryProcessor;
 
 /// Yields a prepared query's serialized result items in batches. Not
 /// thread-safe itself (one cursor = one session's iteration state), but
-/// any number of cursors over the same PreparedQuery may run in parallel.
+/// any number of cursors over the same PreparedQuery may run in parallel,
+/// and catalog mutations never disturb an open cursor (see above).
 class ResultCursor {
  public:
   ResultCursor(const ResultCursor&) = delete;
@@ -78,39 +88,28 @@ class ResultCursor {
 
   const ExecutionStats& stats() const { return stats_; }
   const PreparedQuery& prepared() const { return *prepared_; }
+  /// The catalog snapshot this execution reads (the one Prepare pinned —
+  /// shared ownership through the PreparedQuery, so it outlives any
+  /// catalog mutation).
+  const CatalogSnapshot& catalog() const { return *prepared_->catalog; }
 
  private:
   friend class XQueryProcessor;
 
   ResultCursor(std::shared_ptr<const PreparedQuery> prepared,
-               const XQueryProcessor* owner, const xml::DocTable* doc,
-               const engine::Database* db,
-               const native::NativeEngine* native_engine,
-               const ExecuteOptions& options)
+               const ExecuteOptions& options, std::vector<Value> params)
       : prepared_(std::move(prepared)),
-        owner_(owner),
-        doc_(doc),
-        db_(db),
-        native_(native_engine),
-        options_(options) {}
-
-  /// InvalidArgument once the owning processor's catalog moved past the
-  /// prepared generation — the captured database/engine pointers now
-  /// dangle, so every fetch re-checks before touching them. This guards
-  /// the sequential misuse (mutate, then keep fetching); a mutation
-  /// racing an *in-flight* fetch is excluded by the processor's
-  /// threading contract (mutators need exclusive access).
-  Status CheckNotStale() const;
+        options_(options),
+        params_(std::move(params)) {}
 
   /// Runs the physical plan on first use; fills pres_ / native_items_.
   Status EnsureExecuted();
 
   std::shared_ptr<const PreparedQuery> prepared_;
-  const XQueryProcessor* owner_;      ///< not owned; must outlive the cursor
-  const xml::DocTable* doc_;          ///< not owned; relational modes
-  const engine::Database* db_;        ///< not owned; join-graph mode
-  const native::NativeEngine* native_;  ///< not owned; native modes
   ExecuteOptions options_;
+  /// Parameter values by binding slot (resolved from options_.parameters
+  /// against prepared_->parameters at Execute time).
+  std::vector<Value> params_;
 
   bool executed_ = false;
   size_t rows_total_ = 0;

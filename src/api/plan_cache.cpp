@@ -22,10 +22,18 @@ std::string PlanCache::MakeKey(const std::string& query,
 }
 
 std::shared_ptr<const PreparedQuery> PlanCache::Lookup(
-    const std::string& key) {
+    const std::string& key,
+    const std::function<bool(const PreparedQuery&)>& stale) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (stale && it->second->second && stale(*it->second->second)) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++invalidations_;
     ++misses_;
     return nullptr;
   }
@@ -54,6 +62,20 @@ void PlanCache::Clear() {
   index_.clear();
 }
 
+void PlanCache::EvictIf(
+    const std::function<bool(const PreparedQuery&)>& stale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->second && stale(*it->second)) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
 void PlanCache::set_capacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity;
@@ -66,6 +88,7 @@ PlanCache::Stats PlanCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.invalidations = invalidations_;
   s.entries = lru_.size();
   s.capacity = capacity_;
   return s;

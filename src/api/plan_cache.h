@@ -6,10 +6,16 @@
 // concurrent sessions are the expected access pattern). Entries are
 // shared_ptr<const PreparedQuery>, so an eviction never invalidates a
 // handle a session still executes.
+//
+// Invalidation is per-entry, not all-or-nothing: catalog mutations call
+// EvictIf with a predicate over each entry's touched-catalog metadata, so
+// mutating document B evicts only the plans that touch B (and plans
+// joining across B) while document-A plans stay cached.
 #ifndef XQJG_API_PLAN_CACHE_H_
 #define XQJG_API_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -29,7 +35,8 @@ class PlanCache {
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
-    int64_t evictions = 0;
+    int64_t evictions = 0;      ///< LRU capacity evictions
+    int64_t invalidations = 0;  ///< catalog-mutation evictions (EvictIf)
     size_t entries = 0;
     size_t capacity = 0;
   };
@@ -43,16 +50,26 @@ class PlanCache {
                              const PrepareOptions& options);
 
   /// Returns the cached artifact and marks it most-recently-used; null on
-  /// miss. Counts the hit/miss either way.
-  std::shared_ptr<const PreparedQuery> Lookup(const std::string& key);
+  /// miss. Counts the hit/miss either way. When `stale` is provided and
+  /// holds for the entry, the entry is evicted (an invalidation) and the
+  /// lookup counts as a miss — callers revalidate cached artifacts
+  /// against the current catalog without a separate sweep.
+  std::shared_ptr<const PreparedQuery> Lookup(
+      const std::string& key,
+      const std::function<bool(const PreparedQuery&)>& stale = nullptr);
 
   /// Inserts (or refreshes) `prepared` under `key`, evicting the least
   /// recently used entry when over capacity. Capacity 0 disables caching.
   void Insert(const std::string& key,
               std::shared_ptr<const PreparedQuery> prepared);
 
-  /// Drops every entry (catalog changed); counters survive.
+  /// Drops every entry; counters survive.
   void Clear();
+
+  /// Drops every entry whose artifact satisfies `stale` (counted under
+  /// stats().invalidations). Catalog mutations pass a predicate over the
+  /// entry's touched-catalog metadata — per-document granularity.
+  void EvictIf(const std::function<bool(const PreparedQuery&)>& stale);
 
   /// Shrinks/grows the cache, evicting LRU entries as needed.
   void set_capacity(size_t capacity);
@@ -71,6 +88,7 @@ class PlanCache {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  int64_t invalidations_ = 0;
 };
 
 }  // namespace xqjg::api

@@ -14,8 +14,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/algebra/operators.h"
+#include "src/api/catalog.h"
 #include "src/engine/planner.h"
 #include "src/opt/join_graph.h"
 #include "src/xquery/ast.h"
@@ -59,9 +61,14 @@ struct CompileDiagnostics {
 /// out as shared_ptr<const PreparedQuery>; nothing mutates it afterwards,
 /// so N threads may Execute the same instance simultaneously.
 ///
-/// A PreparedQuery is bound to the processor catalog state (documents +
-/// indexes) it was compiled against, recorded in `catalog_generation`;
-/// Execute rejects it with InvalidArgument once the catalog changed.
+/// A PreparedQuery pins the catalog snapshot it was compiled against
+/// (`catalog`), so its plan pointers (database columns, B-trees, native
+/// stores) stay valid for as long as the artifact lives — catalog
+/// mutations publish new snapshots instead of touching pinned ones.
+/// Execute accepts the artifact while every catalog object it touches
+/// (`touched_docs`, plus the index set for the modes that consult it) is
+/// unchanged in the current catalog; otherwise it rejects with
+/// InvalidArgument and the caller re-Prepares.
 struct PreparedQuery {
   std::string query_text;
   PrepareOptions options;
@@ -88,8 +95,28 @@ struct PreparedQuery {
   double compile_seconds = 0.0;
   CompileDiagnostics diagnostics;
 
-  /// Processor catalog generation this artifact was compiled against.
+  /// The catalog snapshot this artifact was compiled against — pinned so
+  /// executions (and the plan pointers above) never dangle.
+  std::shared_ptr<const CatalogSnapshot> catalog;
+  /// Processor catalog generation this artifact was compiled against
+  /// (== catalog->generation; kept as a plain field for observability).
   uint64_t catalog_generation = 0;
+
+  /// Documents the query touches (doc(...) URIs in the normalized Core,
+  /// which includes the substituted context document), with the epoch
+  /// each had at Prepare (kDocAbsent when not loaded). The plan cache
+  /// evicts, and Execute rejects, only when one of THESE changed.
+  std::map<std::string, uint64_t> touched_docs;
+  /// Join-graph mode consults the relational index set during planning;
+  /// such artifacts are invalidated by index DDL.
+  bool uses_relational_indexes = false;
+  /// Native modes consult the XMLPATTERN index set during execution.
+  bool uses_pattern_indexes = false;
+
+  /// External parameters the query references ($x declared external in
+  /// the prolog), ordered by binding slot. ExecuteOptions must bind every
+  /// entry by name; one cached plan serves the whole literal family.
+  std::vector<xquery::ParamDecl> parameters;
 };
 
 }  // namespace xqjg::api

@@ -5,6 +5,7 @@
 
 #include "src/algebra/dag.h"
 #include "src/compiler/compile.h"
+#include "src/opt/isolate.h"
 #include "src/sql/sqlgen.h"
 #include "src/xml/parser.h"
 #include "src/xquery/normalize.h"
@@ -26,76 +27,249 @@ const char* ModeToString(Mode mode) {
   return "?";
 }
 
+namespace {
+
+/// doc(...) URIs referenced by a normalized Core expression — after
+/// normalization every path is anchored at an explicit kDoc node (the
+/// context document included), so this is the query's touched-doc set.
+void CollectDocUris(const xquery::Expr& e, std::set<std::string>* out) {
+  if (e.kind == xquery::ExprKind::kDoc) out->insert(e.str);
+  if (e.a) CollectDocUris(*e.a, out);
+  if (e.b) CollectDocUris(*e.b, out);
+}
+
+}  // namespace
+
+XQueryProcessor::XQueryProcessor() {
+  auto init = std::make_shared<CatalogSnapshot>();
+  init->whole_store = std::make_shared<native::DocumentStore>();
+  init->segmented_store = std::make_shared<native::DocumentStore>();
+  snapshot_ = std::move(init);
+}
+
+std::shared_ptr<const CatalogSnapshot> XQueryProcessor::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void XQueryProcessor::PublishLocked(
+    std::shared_ptr<const CatalogSnapshot> next) {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    // Generation is published inside the swap lock: a reader that
+    // observed the new snapshot must never read an older generation.
+    generation_.store(next->generation, std::memory_order_release);
+    snapshot_ = next;
+  }
+  // Per-document invalidation: only entries whose touched catalog objects
+  // changed fall out; everything else keeps serving from its pinned
+  // snapshot (pointer-identical artifacts on re-Prepare).
+  plan_cache_.EvictIf([&next](const PreparedQuery& pq) {
+    return !ServableAgainst(pq, *next);
+  });
+}
+
+bool XQueryProcessor::ServableAgainst(const PreparedQuery& pq,
+                                      const CatalogSnapshot& current) {
+  if (!pq.catalog) return false;
+  if (pq.catalog->generation == current.generation) return true;
+  if (pq.uses_relational_indexes &&
+      pq.catalog->index_epoch != current.index_epoch) {
+    return false;
+  }
+  if (pq.uses_pattern_indexes &&
+      pq.catalog->pattern_epoch != current.pattern_epoch) {
+    return false;
+  }
+  for (const auto& [uri, epoch] : pq.touched_docs) {
+    if (current.DocEpoch(uri) != epoch) return false;
+  }
+  return true;
+}
+
 Status XQueryProcessor::LoadDocument(
     const std::string& uri, const std::string& xml_text,
     const std::set<std::string>& segment_tags) {
-  XQJG_RETURN_NOT_OK(xml::LoadDocument(&doc_, uri, xml_text));
-  db_.reset();  // rebuilt lazily with fresh statistics
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  const std::shared_ptr<const CatalogSnapshot> cur = snapshot();
+  // Parse into fresh structures first: a malformed document must leave
+  // the published catalog untouched. This is also the validation the
+  // lazy doc-relation build relies on (same scanner).
   XQJG_ASSIGN_OR_RETURN(auto dom, xml::ParseDom(uri, xml_text));
+
+  // Native stores: share every other document, replace only this URI.
+  auto whole = std::make_shared<native::DocumentStore>(*cur->whole_store);
+  auto segmented =
+      std::make_shared<native::DocumentStore>(*cur->segmented_store);
+  whole->RemoveUri(uri);
+  segmented->RemoveUri(uri);
   if (!segment_tags.empty()) {
-    XQJG_RETURN_NOT_OK(segmented_store_.AddSegmented(*dom, segment_tags));
-    segmented_uris_.insert(uri);
+    XQJG_RETURN_NOT_OK(segmented->AddSegmented(*dom, segment_tags));
   }
-  XQJG_RETURN_NOT_OK(whole_store_.AddWhole(std::move(dom)));
-  whole_engine_ = std::make_unique<native::NativeEngine>(&whole_store_);
-  segmented_engine_ = std::make_unique<native::NativeEngine>(&segmented_store_);
-  InvalidatePlans();
-  return Status::OK();
-}
+  XQJG_RETURN_NOT_OK(whole->AddWhole(std::move(dom)));
 
-Status XQueryProcessor::EnsureDatabase() {
-  if (!db_) db_ = engine::Database::Build(doc_);
-  return Status::OK();
-}
+  // Retained sources, load order preserved, this URI replaced-or-added
+  // (text shared across snapshots). The doc relation and the relational
+  // database derive from these lazily — a burst of loads builds neither.
+  const bool reload = cur->doc_epochs.count(uri) > 0;
+  auto text = std::make_shared<const std::string>(xml_text);
+  auto sources =
+      std::make_shared<std::vector<CatalogSnapshot::DocSource>>(*cur->sources);
+  if (reload) {
+    for (auto& s : *sources) {
+      if (s.uri == uri) s.xml = text;
+    }
+  } else {
+    sources->push_back(CatalogSnapshot::DocSource{uri, std::move(text)});
+  }
 
-void XQueryProcessor::InvalidatePlans() {
-  generation_.fetch_add(1, std::memory_order_acq_rel);
-  plan_cache_.Clear();
+  auto next = std::make_shared<CatalogSnapshot>();
+  next->generation = cur->generation + 1;
+  next->doc_epochs = cur->doc_epochs;
+  next->doc_epochs[uri] = reload ? cur->doc_epochs.at(uri) + 1 : 0;
+  // Historical contract: loading a document resets the relational index
+  // set (callers re-create it) and the native pattern indexes. The epoch
+  // stays — plans over other documents keep their pinned B-trees.
+  next->index_epoch = cur->index_epoch;
+  next->pattern_epoch = cur->pattern_epoch;
+  next->sources = std::move(sources);
+  next->whole_store = whole;
+  next->segmented_store = segmented;
+  next->whole_engine = std::make_shared<native::NativeEngine>(whole.get());
+  next->segmented_engine =
+      std::make_shared<native::NativeEngine>(segmented.get());
+  // If the predecessor already materialized its doc relation, appending a
+  // NEW document extends a copy of it (one parse of the new text) instead
+  // of deferring to a full re-parse of every retained source — keeps
+  // load/Prepare alternation from going quadratic in parse work. A
+  // reload still defers (pre ranks shift, the table must be rebuilt), and
+  // a burst of loads before any relational use stays fully lazy.
+  if (!reload) {
+    std::shared_ptr<const xml::DocTable> prev_table;
+    {
+      std::lock_guard<std::mutex> table_lock(cur->doc_slot->mu);
+      prev_table = cur->doc_slot->table;
+    }
+    if (prev_table) {
+      auto table = std::make_shared<xml::DocTable>(*prev_table);
+      XQJG_RETURN_NOT_OK(xml::LoadDocument(table.get(), uri, xml_text));
+      next->doc_slot->table = std::move(table);  // not yet published
+    }
+  }
+  PublishLocked(std::move(next));
+  return Status::OK();
 }
 
 Status XQueryProcessor::CreateRelationalIndexes(
     const std::vector<engine::IndexDef>& defs) {
-  XQJG_RETURN_NOT_OK(EnsureDatabase());
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  const std::shared_ptr<const CatalogSnapshot> cur = snapshot();
+  // Copy-on-write: the copy shares the doc-relation storage and every
+  // already-built B-tree with the published database.
+  auto db = std::make_shared<engine::Database>(*cur->relational_db());
   for (const auto& def : defs) {
-    XQJG_RETURN_NOT_OK(db_->CreateIndex(def));
+    XQJG_RETURN_NOT_OK(db->CreateIndex(def));
   }
-  InvalidatePlans();
+  auto next = std::make_shared<CatalogSnapshot>(*cur);
+  next->generation = cur->generation + 1;
+  next->index_epoch = cur->index_epoch + 1;
+  next->db_slot = std::make_shared<CatalogSnapshot::DatabaseSlot>();
+  next->db_slot->db = std::move(db);
+  PublishLocked(std::move(next));
   return Status::OK();
 }
 
 void XQueryProcessor::DropRelationalIndexes() {
-  if (db_) db_->DropAllIndexes();
-  InvalidatePlans();
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  const std::shared_ptr<const CatalogSnapshot> cur = snapshot();
+  auto db = std::make_shared<engine::Database>(*cur->relational_db());
+  db->DropAllIndexes();
+  auto next = std::make_shared<CatalogSnapshot>(*cur);
+  next->generation = cur->generation + 1;
+  next->index_epoch = cur->index_epoch + 1;
+  next->db_slot = std::make_shared<CatalogSnapshot::DatabaseSlot>();
+  next->db_slot->db = std::move(db);
+  PublishLocked(std::move(next));
 }
 
 void XQueryProcessor::CreatePatternIndex(native::XmlPattern pattern) {
-  if (whole_engine_) whole_engine_->CreateIndex(pattern);
-  if (segmented_engine_) segmented_engine_->CreateIndex(std::move(pattern));
-  InvalidatePlans();
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  const std::shared_ptr<const CatalogSnapshot> cur = snapshot();
+  auto next = std::make_shared<CatalogSnapshot>(*cur);
+  next->generation = cur->generation + 1;
+  if (cur->whole_engine) {
+    next->pattern_epoch = cur->pattern_epoch + 1;
+    // Engines are immutable once published: build replacements over the
+    // SAME stores, adopting the already-built (immutable) indexes so
+    // K declarations cost K builds, not K^2.
+    auto whole =
+        std::make_shared<native::NativeEngine>(cur->whole_store.get());
+    auto segmented =
+        std::make_shared<native::NativeEngine>(cur->segmented_store.get());
+    for (const auto& idx : cur->whole_engine->indexes()) {
+      whole->AdoptIndex(idx);
+    }
+    for (const auto& idx : cur->segmented_engine->indexes()) {
+      segmented->AdoptIndex(idx);
+    }
+    whole->CreateIndex(pattern);
+    segmented->CreateIndex(std::move(pattern));
+    next->whole_engine = std::move(whole);
+    next->segmented_engine = std::move(segmented);
+  }
+  PublishLocked(std::move(next));
 }
 
 Result<std::shared_ptr<const PreparedQuery>> XQueryProcessor::Prepare(
-    const std::string& query, const PrepareOptions& options) {
+    const std::string& query, const PrepareOptions& options) const {
+  const std::shared_ptr<const CatalogSnapshot> cur = snapshot();
   const std::string key = PlanCache::MakeKey(query, options);
-  if (auto cached = plan_cache_.Lookup(key)) return cached;
+  // A cached artifact is returned only while it is still servable against
+  // the current catalog — a stale entry (e.g. compiled concurrently with
+  // a mutation) recompiles and overwrites itself.
+  auto stale = [&cur](const PreparedQuery& pq) {
+    return !ServableAgainst(pq, *cur);
+  };
+  if (auto cached = plan_cache_.Lookup(key, stale)) return cached;
   XQJG_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> prepared,
-                        PrepareUncached(query, options));
+                        PrepareUncached(query, options, cur));
   plan_cache_.Insert(key, prepared);
   return prepared;
 }
 
 Result<std::shared_ptr<const PreparedQuery>> XQueryProcessor::PrepareUncached(
-    const std::string& query, const PrepareOptions& options) {
+    const std::string& query, const PrepareOptions& options,
+    const std::shared_ptr<const CatalogSnapshot>& snapshot) const {
   const auto started = std::chrono::steady_clock::now();
   auto out = std::make_shared<PreparedQuery>();
   out->query_text = query;
   out->options = options;
-  out->catalog_generation = catalog_generation();
+  out->catalog = snapshot;
+  out->catalog_generation = snapshot->generation;
 
   XQJG_ASSIGN_OR_RETURN(xquery::ExprPtr ast, xquery::Parse(query));
   xquery::NormalizeOptions norm_options;
   norm_options.context_document = options.context_document;
   XQJG_ASSIGN_OR_RETURN(out->core, xquery::Normalize(ast, norm_options));
+
+  // Touched-catalog metadata: the documents the query reads (with their
+  // current epochs) and which index sets the mode consults. This is what
+  // per-document cache invalidation and the Execute staleness check use.
+  std::set<std::string> uris;
+  CollectDocUris(*out->core, &uris);
+  for (const std::string& uri : uris) {
+    out->touched_docs[uri] = snapshot->DocEpoch(uri);
+  }
+  out->uses_relational_indexes = options.mode == Mode::kJoinGraph;
+  out->uses_pattern_indexes = options.mode == Mode::kNativeWhole ||
+                              options.mode == Mode::kNativeSegmented;
+  out->parameters = xquery::CollectParams(*out->core);
+  if (!out->parameters.empty() && options.mode != Mode::kJoinGraph) {
+    return Status::NotSupported(
+        "external parameters are supported in join-graph mode only "
+        "(mode " +
+        std::string(ModeToString(options.mode)) + ")");
+  }
 
   auto finish = [&]() -> std::shared_ptr<const PreparedQuery> {
     out->compile_seconds =
@@ -113,7 +287,6 @@ Result<std::shared_ptr<const PreparedQuery>> XQueryProcessor::PrepareUncached(
   }
 
   // Relational modes: compile to the stacked table-algebra plan.
-  XQJG_RETURN_NOT_OK(EnsureDatabase());
   compiler::CompileOptions copts;
   copts.explicit_serialization_step = options.explicit_serialization_step;
   XQJG_ASSIGN_OR_RETURN(out->stacked, compiler::CompileQuery(out->core, copts));
@@ -139,8 +312,9 @@ Result<std::shared_ptr<const PreparedQuery>> XQueryProcessor::PrepareUncached(
     out->sql = sql::EmitJoinGraphSql(*owned);
     engine::PlannerOptions popts;
     popts.syntactic_order = options.syntactic_join_order;
-    XQJG_ASSIGN_OR_RETURN(out->plan,
-                          engine::PlanJoinGraph(*owned, *db_, popts));
+    XQJG_ASSIGN_OR_RETURN(
+        out->plan,
+        engine::PlanJoinGraph(*owned, *snapshot->relational_db(), popts));
     out->graph = std::move(owned);  // plan.graph points into *graph
     out->has_plan = true;
     out->explain = engine::ExplainPlan(out->plan);
@@ -148,6 +322,11 @@ Result<std::shared_ptr<const PreparedQuery>> XQueryProcessor::PrepareUncached(
     // Residual blocking operators (deeply nested FLWOR): execution will
     // run the isolated DAG directly — still drastically fewer blocking
     // operators than the stacked plan (see DESIGN.md).
+    if (!out->parameters.empty()) {
+      return Status::NotSupported(
+          "external parameters require an isolatable join-graph plan: " +
+          graph.status().ToString());
+    }
     out->used_fallback = true;
     auto sql = sql::EmitStackedCte(out->isolated);
     if (sql.ok()) out->sql = sql.value();
@@ -159,25 +338,71 @@ Result<std::unique_ptr<ResultCursor>> XQueryProcessor::Execute(
     std::shared_ptr<const PreparedQuery> prepared,
     const ExecuteOptions& options) const {
   if (!prepared) return Status::InvalidArgument("null PreparedQuery");
-  if (prepared->catalog_generation != catalog_generation()) {
+  if (!prepared->catalog) {
     return Status::InvalidArgument(
-        "stale PreparedQuery: documents or indexes changed since Prepare "
-        "(re-Prepare against the current catalog)");
+        "PreparedQuery carries no catalog snapshot (not produced by "
+        "Prepare)");
   }
-  const native::NativeEngine* native_engine = nullptr;
+  const std::shared_ptr<const CatalogSnapshot> current = snapshot();
+  if (!ServableAgainst(*prepared, *current)) {
+    return Status::InvalidArgument(
+        "stale PreparedQuery: a document or index set it touches changed "
+        "since Prepare (re-Prepare against the current catalog)");
+  }
+  const CatalogSnapshot& cat = *prepared->catalog;
   if (prepared->options.mode == Mode::kNativeWhole ||
       prepared->options.mode == Mode::kNativeSegmented) {
-    native_engine = prepared->options.mode == Mode::kNativeWhole
-                        ? whole_engine_.get()
-                        : segmented_engine_.get();
-    if (!native_engine) return Status::InvalidArgument("no documents loaded");
-  } else if (!db_) {
-    // Unreachable through Prepare (which builds the database), but keeps
-    // a hand-rolled PreparedQuery from dereferencing null.
-    return Status::InvalidArgument("no documents loaded");
+    const native::NativeEngine* engine =
+        prepared->options.mode == Mode::kNativeWhole
+            ? cat.whole_engine.get()
+            : cat.segmented_engine.get();
+    if (!engine) return Status::InvalidArgument("no documents loaded");
   }
-  return std::unique_ptr<ResultCursor>(new ResultCursor(
-      std::move(prepared), this, &doc_, db_.get(), native_engine, options));
+
+  // Resolve parameter bindings (by name) into the slot vector the
+  // executors consume. Every referenced parameter must be bound; every
+  // binding must name a referenced parameter.
+  std::vector<Value> params;
+  if (!prepared->parameters.empty() || !options.parameters.empty()) {
+    int max_slot = -1;
+    for (const auto& decl : prepared->parameters) {
+      max_slot = std::max(max_slot, decl.slot);
+    }
+    params.assign(static_cast<size_t>(max_slot + 1), Value::Null());
+    std::set<std::string> declared;
+    for (const auto& decl : prepared->parameters) {
+      declared.insert(decl.name);
+      auto it = options.parameters.find(decl.name);
+      if (it == options.parameters.end()) {
+        return Status::InvalidArgument("missing value for parameter $" +
+                                       decl.name);
+      }
+      const Value& v = it->second;
+      if (!v.is_null()) {
+        if (decl.numeric && !v.IsNumeric()) {
+          return Status::InvalidArgument(
+              "parameter $" + decl.name +
+              " is declared numeric; bind an int or double value");
+        }
+        if (!decl.numeric && v.type() != ValueType::kString) {
+          return Status::InvalidArgument(
+              "parameter $" + decl.name +
+              " is declared xs:string; bind a string value");
+        }
+      }
+      params[static_cast<size_t>(decl.slot)] = v;
+    }
+    for (const auto& [name, value] : options.parameters) {
+      (void)value;
+      if (!declared.count(name)) {
+        return Status::InvalidArgument(
+            "unknown parameter $" + name +
+            " (not declared external, or never referenced by the query)");
+      }
+    }
+  }
+  return std::unique_ptr<ResultCursor>(
+      new ResultCursor(std::move(prepared), options, std::move(params)));
 }
 
 Result<RunResult> XQueryProcessor::ExecuteAll(
@@ -214,6 +439,7 @@ Result<RunResult> XQueryProcessor::Run(const std::string& query,
   ExecuteOptions eopts;
   eopts.limits.timeout_seconds = options.timeout_seconds;
   eopts.use_columnar = options.use_columnar;
+  eopts.parameters = options.parameters;
   XQJG_ASSIGN_OR_RETURN(RunResult result,
                         ExecuteAll(std::move(prepared), eopts));
   // What this call paid for compilation: the full pipeline on a cache

@@ -18,33 +18,45 @@
 //   Run(query, RunOptions)          -> compatibility shim: Prepare via the
 //                                      LRU plan cache, then ExecuteAll.
 //
-// Threading contract: the loading/compiling surface (LoadDocument,
-// Create*/Drop* index, Prepare, Run) mutates the processor and needs
-// exclusive access — no concurrent calls to it AND no executions or
-// live cursors in flight while it runs (a catalog mutation frees the
-// database/engines an in-flight execution is reading; the generation
-// check rejects stale artifacts *between* fetches, it cannot stop a
-// mutation racing an active one). Execute/ExecuteAll are const — once
-// prepared, any number of threads may execute the same PreparedQuery
-// against the immutable database simultaneously.
+// Parameterized queries: a prolog `declare variable $x external;`
+// (optionally `as xs:string|xs:integer|xs:decimal|xs:double`) turns $x
+// into a parameter marker. One Prepare (one cached plan) then serves the
+// whole literal family — each Execute binds values via
+// ExecuteOptions::parameters. Join-graph mode with an isolatable plan
+// only; both physical-plan executors substitute the bindings into their
+// per-node compiled qualifiers.
+//
+// Threading contract: the catalog is a shared-ownership snapshot
+// (CatalogSnapshot) behind an atomic swap. Mutators (LoadDocument,
+// Create*/Drop* index) serialize among themselves and publish a NEW
+// snapshot copy-on-write — they never touch the snapshot in-flight work
+// pins. Prepare, Execute, ExecuteAll, Run, and open ResultCursors are
+// safe to call from any number of threads concurrently with each other
+// AND with mutators: an execution drains against the snapshot its
+// PreparedQuery pinned, so catalog mutation requires no draining of
+// in-flight executions. Execute re-checks only the catalog objects the
+// artifact touches (per-document epochs + the index set) and rejects the
+// artifact as stale when one of them changed — re-Prepare to pick up the
+// new catalog.
 #ifndef XQJG_API_PROCESSOR_H_
 #define XQJG_API_PROCESSOR_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/api/catalog.h"
 #include "src/api/cursor.h"
 #include "src/api/plan_cache.h"
 #include "src/api/prepared_query.h"
 #include "src/common/status.h"
+#include "src/common/value.h"
 #include "src/engine/database.h"
-#include "src/engine/planner.h"
 #include "src/native/xscan.h"
-#include "src/opt/isolate.h"
-#include "src/xml/infoset.h"
 
 namespace xqjg::api {
 
@@ -63,6 +75,8 @@ struct RunOptions {
   /// Execute relational modes via the columnar batch executors (stacked /
   /// fallback plans and physical join trees); identical results, faster.
   bool use_columnar = false;
+  /// Values for external parameters, by name (see ExecuteOptions).
+  std::map<std::string, Value> parameters;
 };
 
 struct RunResult {
@@ -87,36 +101,43 @@ struct RunResult {
 
 class XQueryProcessor {
  public:
-  XQueryProcessor() = default;
+  XQueryProcessor();
 
-  /// Parses and registers a document under `uri` in every storage layout.
-  /// `segment_tags` configures the native engine's segmented store (empty:
-  /// segmented mode unavailable for this document). Invalidates the plan
-  /// cache and every outstanding PreparedQuery.
+  /// Parses and registers a document under `uri` in every storage layout;
+  /// re-loading an existing `uri` replaces its content (and bumps its
+  /// epoch, invalidating exactly the plans that touch it). Publishes a
+  /// new catalog snapshot; open cursors and plans over other documents
+  /// are untouched. Mirrors the historical contract in one respect:
+  /// loading a document resets the relational index set (re-create it
+  /// with CreateRelationalIndexes) and the native pattern indexes.
   Status LoadDocument(const std::string& uri, const std::string& xml_text,
                       const std::set<std::string>& segment_tags = {});
 
-  /// Creates the given relational B-tree set (default: Table VI).
-  /// Invalidates the plan cache and every outstanding PreparedQuery.
+  /// Creates the given relational B-tree set (default: Table VI) in a new
+  /// snapshot (copy-on-write: doc storage and prior B-trees are shared).
+  /// Evicts/invalidates join-graph plans — they consult the index set.
   Status CreateRelationalIndexes(
       const std::vector<engine::IndexDef>& defs = engine::TableVIIndexes());
   void DropRelationalIndexes();
 
-  /// Declares a native XMLPATTERN index.
+  /// Declares a native XMLPATTERN index (rebuilt into a new snapshot).
   void CreatePatternIndex(native::XmlPattern pattern);
 
   /// Compiles `query` into an immutable PreparedQuery, consulting the LRU
   /// plan cache first (keyed by query text + options; only successful
-  /// compilations are cached). Parse/normalize for native modes;
-  /// parse/normalize/compile (+ isolate + extract + plan for kJoinGraph)
-  /// for the relational ones.
+  /// compilations are cached, and a cached artifact is revalidated
+  /// against the current catalog before being returned). Parse/normalize
+  /// for native modes; parse/normalize/compile (+ isolate + extract +
+  /// plan for kJoinGraph) for the relational ones. Thread-safe, including
+  /// concurrently with catalog mutators.
   Result<std::shared_ptr<const PreparedQuery>> Prepare(
-      const std::string& query, const PrepareOptions& options = {});
+      const std::string& query, const PrepareOptions& options = {}) const;
 
-  /// Opens a streaming cursor over one execution of `prepared`. Const and
-  /// thread-safe: concurrent Execute calls on one PreparedQuery (or many)
-  /// are supported. Fails with InvalidArgument if the catalog changed
-  /// since Prepare (stale artifact).
+  /// Opens a streaming cursor over one execution of `prepared`. The
+  /// cursor pins the snapshot the artifact was compiled against, so it
+  /// stays valid across catalog mutations. Fails with InvalidArgument if
+  /// a catalog object the artifact touches changed since Prepare (stale),
+  /// or if parameter bindings don't match the query's declarations.
   Result<std::unique_ptr<ResultCursor>> Execute(
       std::shared_ptr<const PreparedQuery> prepared,
       const ExecuteOptions& options = {}) const;
@@ -139,30 +160,47 @@ class XQueryProcessor {
   void ClearPlanCache() { plan_cache_.Clear(); }
 
   /// Monotonic catalog version; bumped by every document/index mutation.
-  /// A PreparedQuery executes only while its recorded generation matches.
   uint64_t catalog_generation() const {
     return generation_.load(std::memory_order_acquire);
   }
 
-  const xml::DocTable& doc_table() const { return doc_; }
-  engine::Database* database() { return db_.get(); }
-  const engine::Database* database() const { return db_.get(); }
+  /// The current catalog snapshot (shared ownership: safe to keep across
+  /// mutations — it simply stops being current).
+  std::shared_ptr<const CatalogSnapshot> snapshot() const;
+
+  /// Views into the CURRENT snapshot (forcing the lazy doc-relation /
+  /// database build if needed). The references/pointers stay valid until
+  /// the next catalog mutation on this processor; hold snapshot()
+  /// instead when mutations may run concurrently.
+  const xml::DocTable& doc_table() const { return *snapshot()->doc_table(); }
+  const engine::Database* database() const {
+    return snapshot()->relational_db().get();
+  }
 
  private:
-  Status EnsureDatabase();
-  void InvalidatePlans();
-  Result<std::shared_ptr<const PreparedQuery>> PrepareUncached(
-      const std::string& query, const PrepareOptions& options);
+  /// True while every catalog object `pq` touches is unchanged in
+  /// `current` — the single staleness predicate shared by Execute, the
+  /// plan-cache revalidation, and per-mutation eviction.
+  static bool ServableAgainst(const PreparedQuery& pq,
+                              const CatalogSnapshot& current);
 
-  xml::DocTable doc_;
-  std::unique_ptr<engine::Database> db_;
-  native::DocumentStore whole_store_;
-  native::DocumentStore segmented_store_;
-  std::unique_ptr<native::NativeEngine> whole_engine_;
-  std::unique_ptr<native::NativeEngine> segmented_engine_;
-  std::set<std::string> segmented_uris_;
-  PlanCache plan_cache_;
+  Result<std::shared_ptr<const PreparedQuery>> PrepareUncached(
+      const std::string& query, const PrepareOptions& options,
+      const std::shared_ptr<const CatalogSnapshot>& snapshot) const;
+
+  /// Publishes `next` as the current snapshot and evicts cache entries no
+  /// longer servable against it. Caller holds mutation_mu_.
+  void PublishLocked(std::shared_ptr<const CatalogSnapshot> next);
+
+  /// Serializes mutators (LoadDocument, index DDL).
+  std::mutex mutation_mu_;
+  /// Guards the snapshot pointer swap (readers copy under this lock).
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const CatalogSnapshot> snapshot_;
+  /// Mirror of snapshot_->generation for lock-free reads.
   std::atomic<uint64_t> generation_{0};
+
+  mutable PlanCache plan_cache_;
 };
 
 }  // namespace xqjg::api

@@ -245,6 +245,10 @@ class LoopLifter {
         out.op = MakeLiteral({out.iter, out.pos, out.item}, {});
         return out;
       }
+      case ExprKind::kParam:
+        return Status::NotSupported(
+            "parameter $" + e->var +
+            " used outside a comparison operand position");
       default:
         return Status::NotSupported(
             StrPrintf("cannot compile non-Core expression kind '%s'",
@@ -329,14 +333,20 @@ class LoopLifter {
                                                 Term::Col(q.item)));
       // Numeric literals compare against the typed-decimal column `data`,
       // string literals against the untyped `value` column (paper §II-A;
-      // Table VI: the nkdlp vs vnlkp index split).
-      const bool numeric = lit_side->kind == ExprKind::kNumLit;
-      Value constant = numeric ? Value::Double(lit_side->num)
-                               : Value::String(lit_side->str);
+      // Table VI: the nkdlp vs vnlkp index split). Parameter markers use
+      // their declared type for the same split and defer the value.
+      const bool numeric = lit_side->kind == ExprKind::kNumLit ||
+                           (lit_side->kind == ExprKind::kParam &&
+                            lit_side->numeric);
+      Term lit_term =
+          lit_side->kind == ExprKind::kParam
+              ? Term::Param(lit_side->slot, lit_side->var)
+              : Term::Const(numeric ? Value::Double(lit_side->num)
+                                    : Value::String(lit_side->str));
       selected = MakeSelect(
           std::move(joined),
           Predicate::Single(Term::Col(numeric ? "data" : "value"), op,
-                            Term::Const(std::move(constant))));
+                            std::move(lit_term)));
       iter_col = q.iter;
     } else {
       // Node-node comparison: existential over pairs of atomized nodes,
@@ -464,8 +474,11 @@ class LoopLifter {
     return out;
   }
 
+  /// Literal-like comparison operands: literals and parameter markers
+  /// (a parameter is a literal whose value arrives at Execute time).
   static bool IsLiteral(const ExprPtr& e) {
-    return e->kind == ExprKind::kNumLit || e->kind == ExprKind::kStrLit;
+    return e->kind == ExprKind::kNumLit || e->kind == ExprKind::kStrLit ||
+           e->kind == ExprKind::kParam;
   }
 
   static CmpOp ToCmpOp(xquery::CompOp op) {

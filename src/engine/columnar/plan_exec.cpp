@@ -129,7 +129,8 @@ class ColumnarPlanExecutor {
  public:
   ColumnarPlanExecutor(const JoinGraph& graph, const Database& db,
                        const PlannerOptions& options, ExecStats* stats)
-      : graph_(graph), db_(db), stats_(stats), clock_(options.limits) {}
+      : graph_(graph), db_(db), params_(options.params), stats_(stats),
+        clock_(options.limits) {}
 
   Result<AliasBatch> Run(const PhysNode* node) {
     XQJG_RETURN_NOT_OK(clock_.CheckDeadline());
@@ -138,7 +139,7 @@ class ColumnarPlanExecutor {
       case PhysKind::kIxScan: {
         AliasBatch out(graph_.num_aliases);
         std::vector<int64_t> pres;
-        const CompiledScan scan = CompileScan(*node, db_, 0);
+        const CompiledScan scan = CompileScan(*node, db_, 0, params_);
         XQJG_RETURN_NOT_OK(ProbeScan(node, scan, nullptr, 0, nullptr,
                                      &pres));
         out.rows = pres.size();
@@ -164,7 +165,7 @@ class ColumnarPlanExecutor {
         node->right->kind == PhysKind::kTbScan) {
       const int alias = node->right->alias;
       const CompiledScan scan =
-          CompileScan(*node->right, db_, outer.AliasMask());
+          CompileScan(*node->right, db_, outer.AliasMask(), params_);
       std::vector<uint32_t> orows;
       std::vector<int64_t> pres;
       for (size_t o = 0; o < outer.rows; ++o) {
@@ -184,7 +185,7 @@ class ColumnarPlanExecutor {
     XQJG_ASSIGN_OR_RETURN(AliasBatch inner, Run(node->right.get()));
     XQJG_RETURN_NOT_OK(CheckBatchSize(inner));
     const std::vector<BoundQualCmp> cmps = CompileQuals(
-        node->preds, db_, outer.AliasMask() | inner.AliasMask());
+        node->preds, db_, outer.AliasMask() | inner.AliasMask(), params_);
     std::vector<uint32_t> lidx, ridx;
     for (size_t l = 0; l < outer.rows; ++l) {
       for (size_t r = 0; r < inner.rows; ++r) {
@@ -209,7 +210,7 @@ class ColumnarPlanExecutor {
     XQJG_RETURN_NOT_OK(CheckBatchSize(left));
     XQJG_RETURN_NOT_OK(CheckBatchSize(right));
     const std::vector<BoundQualCmp> cmps = CompileQuals(
-        node->preds, db_, left.AliasMask() | right.AliasMask());
+        node->preds, db_, left.AliasMask() | right.AliasMask(), params_);
     // Hash on the first equality predicate; others become residual.
     const QualComparison* hash_pred = nullptr;
     for (const auto& p : node->preds) {
@@ -245,10 +246,12 @@ class ColumnarPlanExecutor {
       return true;
     };
     const bool lhs_left = on_left(hash_pred->lhs);
-    const BoundQualTerm lterm(lhs_left ? hash_pred->lhs : hash_pred->rhs,
-                              db_);
-    const BoundQualTerm rterm(lhs_left ? hash_pred->rhs : hash_pred->lhs,
-                              db_);
+    const BoundQualTerm lterm(
+        ResolveParams(lhs_left ? hash_pred->lhs : hash_pred->rhs, params_),
+        db_);
+    const BoundQualTerm rterm(
+        ResolveParams(lhs_left ? hash_pred->rhs : hash_pred->lhs, params_),
+        db_);
     std::unordered_map<size_t, std::vector<uint32_t>> buckets;
     for (size_t j = 0; j < right.rows; ++j) {
       XQJG_RETURN_NOT_OK(clock_.Tick());
@@ -318,7 +321,7 @@ class ColumnarPlanExecutor {
                      AliasBatch* batch) {
     if (preds.empty()) return Status::OK();
     const std::vector<BoundQualCmp> cmps =
-        CompileQuals(preds, db_, batch->AliasMask());
+        CompileQuals(preds, db_, batch->AliasMask(), params_);
     std::vector<uint32_t> sel;
     for (size_t r = 0; r < batch->rows; ++r) {
       XQJG_RETURN_NOT_OK(clock_.Tick());
@@ -390,6 +393,7 @@ class ColumnarPlanExecutor {
 
   const JoinGraph& graph_;
   const Database& db_;
+  const std::vector<Value>* params_;  ///< Execute-time bindings, not owned
   ExecStats* stats_;
   BudgetClock clock_;
 };

@@ -188,8 +188,17 @@ void CollectColumnStats(const ValueColumn& col, bool want_frequent,
 
 }  // namespace
 
+// GCC 12's inliner mis-tracks the control-block allocation of the
+// shared Storage below at -O3 and reports a spurious
+// -Wfree-nonheap-object from the vector destructors (GCC PR104475
+// family); there is no non-heap free here — clang and newer GCCs agree.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
+#endif
 std::unique_ptr<Database> Database::Build(const xml::DocTable& doc) {
   auto db = std::make_unique<Database>();
+  auto storage = std::make_shared<Storage>();
   db->source_ = &doc;
   db->row_count_ = doc.row_count();
   const auto& cols = EngineDocColumns();
@@ -223,29 +232,34 @@ std::unique_ptr<Database> Database::Build(const xml::DocTable& doc) {
     root[i] = doc.Root(p);
     pss[i] = p + doc.size(p);
   }
-  db->columns_.resize(cols.size());
-  db->columns_[0] = ValueColumn::Ints(std::move(pre));
-  db->columns_[1] = ValueColumn::Ints(std::move(size));
-  db->columns_[2] = ValueColumn::Ints(std::move(level));
-  db->columns_[3] = ValueColumn::Ints(std::move(kind));
-  db->columns_[4] = ValueColumn::DictStrings(name);
-  db->columns_[5] = ValueColumn::DictStrings(value, std::move(value_null));
-  db->columns_[6] = ValueColumn::Doubles(std::move(data), std::move(data_null));
-  db->columns_[7] = ValueColumn::Ints(std::move(parent));
-  db->columns_[8] = ValueColumn::Ints(std::move(root));
-  db->columns_[9] = ValueColumn::Ints(std::move(pss));
+  storage->columns.resize(cols.size());
+  storage->columns[0] = ValueColumn::Ints(std::move(pre));
+  storage->columns[1] = ValueColumn::Ints(std::move(size));
+  storage->columns[2] = ValueColumn::Ints(std::move(level));
+  storage->columns[3] = ValueColumn::Ints(std::move(kind));
+  storage->columns[4] = ValueColumn::DictStrings(name);
+  storage->columns[5] = ValueColumn::DictStrings(value, std::move(value_null));
+  storage->columns[6] =
+      ValueColumn::Doubles(std::move(data), std::move(data_null));
+  storage->columns[7] = ValueColumn::Ints(std::move(parent));
+  storage->columns[8] = ValueColumn::Ints(std::move(root));
+  storage->columns[9] = ValueColumn::Ints(std::move(pss));
   // Statistics: ndv, min/max, equi-depth histogram; exact frequencies for
   // the low-cardinality columns kind and name. Computed per typed
   // representation (dictionary columns straight from the dictionary).
-  db->stats_.resize(cols.size());
+  storage->stats.resize(cols.size());
   for (size_t c = 0; c < cols.size(); ++c) {
-    ColumnStats& st = db->stats_[c];
+    ColumnStats& st = storage->stats[c];
     st.row_count = db->row_count_;
-    CollectColumnStats(db->columns_[c],
+    CollectColumnStats(storage->columns[c],
                        cols[c] == "kind" || cols[c] == "name", &st);
   }
+  db->storage_ = std::move(storage);
   return db;
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 int Database::ColumnIndex(const std::string& name) const {
   const auto& cols = EngineDocColumns();
@@ -256,7 +270,7 @@ int Database::ColumnIndex(const std::string& name) const {
 }
 
 Status Database::CreateIndex(const IndexDef& def) {
-  auto index = std::make_unique<Index>();
+  auto index = std::make_shared<Index>();
   index->def = def;
   for (const auto& col : def.key_columns) {
     int idx = ColumnIndex(col);
@@ -276,7 +290,7 @@ Status Database::CreateIndex(const IndexDef& def) {
   cmps.reserve(index->key_cols.size());
   for (int c : index->key_cols) {
     KeyColCmp cc;
-    cc.col = &columns_[static_cast<size_t>(c)];
+    cc.col = &Column(c);
     if (cc.col->tag() == ColumnTag::kDictString) {
       const auto& dict = cc.col->dict().strings;
       std::vector<uint32_t> order(dict.size());
@@ -330,13 +344,19 @@ Status Database::CreateIndex(const IndexDef& def) {
     }
     return a < b;
   });
-  // Materialize the composite keys only once, in sorted order.
+  // Materialize the composite keys only once, in sorted order, straight
+  // from the typed columns (no boxed Cell() shim in the build loop).
+  std::vector<const ValueColumn*> key_columns;
+  key_columns.reserve(index->key_cols.size());
+  for (int c : index->key_cols) key_columns.push_back(&Column(c));
   std::vector<std::pair<Key, int64_t>> entries;
   entries.reserve(static_cast<size_t>(row_count_));
   for (int64_t pre : order) {
     Key key;
-    key.reserve(index->key_cols.size());
-    for (int c : index->key_cols) key.push_back(Cell(pre, c));
+    key.reserve(key_columns.size());
+    for (const ValueColumn* col : key_columns) {
+      key.push_back(col->GetValue(static_cast<size_t>(pre)));
+    }
     entries.emplace_back(std::move(key), pre);
   }
   index->tree.BulkLoad(std::move(entries));

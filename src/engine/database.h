@@ -57,6 +57,14 @@ struct ColumnStats {
 };
 
 /// One loaded database: the doc relation + indexes + statistics.
+///
+/// Copying a Database is cheap and copy-on-write-friendly: the typed
+/// columns and statistics live in one immutable shared block, and built
+/// B-trees are held through shared_ptr — a copy shares both. This is what
+/// the processor's catalog snapshots rely on: index create/drop clones the
+/// Database (sharing the doc-relation storage and every untouched B-tree)
+/// instead of rebuilding or mutating in place, so in-flight executions
+/// over the previous snapshot are never disturbed.
 class Database {
  public:
   /// Builds the relation from the infoset encoding and collects stats.
@@ -67,20 +75,22 @@ class Database {
   /// Typed column access by engine column index — the storage interface
   /// every per-row loop should use (direct int64/code/double arrays).
   const ValueColumn& Column(int col) const {
-    return columns_[static_cast<size_t>(col)];
+    return storage_->columns[static_cast<size_t>(col)];
   }
 
   /// Boxed cell access by row id (pre) and engine column index.
   /// Compatibility shim over Column(): materializes a Value per call
-  /// (string cells copy); kept for cold paths and tests only.
+  /// (string cells copy). Deprecated — use Column(col).GetValue(pre) for
+  /// cold paths, or the typed accessors (ints()/dict_codes()/doubles())
+  /// in per-row loops; see README "Columnar storage" for the migration.
+  [[deprecated("use Column(col).GetValue(pre) or the typed accessors")]]
   Value Cell(int64_t pre, int col) const {
-    return columns_[static_cast<size_t>(col)].GetValue(
-        static_cast<size_t>(pre));
+    return Column(col).GetValue(static_cast<size_t>(pre));
   }
   int ColumnIndex(const std::string& name) const;
 
   const ColumnStats& Stats(int col) const {
-    return stats_[static_cast<size_t>(col)];
+    return storage_->stats[static_cast<size_t>(col)];
   }
 
   /// Creates (and builds) a B-tree index.
@@ -92,17 +102,22 @@ class Database {
     std::vector<int> key_cols;  ///< engine column indexes
     BTree tree;
   };
-  const std::vector<std::unique_ptr<Index>>& indexes() const {
+  const std::vector<std::shared_ptr<const Index>>& indexes() const {
     return indexes_;
   }
 
   const xml::DocTable* source() const { return source_; }
 
  private:
+  /// The immutable doc-relation block every copy of this Database shares.
+  struct Storage {
+    std::vector<ValueColumn> columns;  // typed, column-major
+    std::vector<ColumnStats> stats;
+  };
+
   int64_t row_count_ = 0;
-  std::vector<ValueColumn> columns_;  // typed, column-major
-  std::vector<ColumnStats> stats_;
-  std::vector<std::unique_ptr<Index>> indexes_;
+  std::shared_ptr<const Storage> storage_;
+  std::vector<std::shared_ptr<const Index>> indexes_;
   const xml::DocTable* source_ = nullptr;
 };
 

@@ -95,6 +95,19 @@ double PredSelectivity(const QualComparison& p, const Database& db) {
     if (!const_side.IsConst() || !col_side.IsSimpleCol()) return 0.3;
     const ColumnStats& st = db.Stats(db.ColumnIndex(col_side.col));
     CmpOp op = p.lhs.IsConst() ? algebra::FlipCmpOp(p.op) : p.op;
+    if (const_side.IsParam()) {
+      // Parameter marker: the value is unknown at plan time, so fall back
+      // to value-independent estimates (uniform 1/ndv for equality, a
+      // fixed fraction for ranges) — the classic bind-peeking-free shape.
+      switch (op) {
+        case CmpOp::kEq:
+          return st.ndv > 0 ? 1.0 / static_cast<double>(st.ndv) : 0.01;
+        case CmpOp::kNe:
+          return st.ndv > 0 ? 1.0 - 1.0 / static_cast<double>(st.ndv) : 0.99;
+        default:
+          return 1.0 / 3.0;
+      }
+    }
     switch (op) {
       case CmpOp::kEq:
         return st.EqSelectivity(const_side.constant);
@@ -565,7 +578,7 @@ class Executor {
       case PhysKind::kIxScan: {
         std::vector<Tuple> out;
         Tuple empty(static_cast<size_t>(graph_.num_aliases), -1);
-        const CompiledScan scan = CompileScan(*node, db_, 0);
+        const CompiledScan scan = CompileScan(*node, db_, 0, options_.params);
         XQJG_RETURN_NOT_OK(ProbeScan(node, scan, empty, &out));
         return out;
       }
@@ -576,7 +589,7 @@ class Executor {
             node->right->kind == PhysKind::kTbScan) {
           const uint32_t outer_mask = AliasMaskOf(node->left.get());
           const CompiledScan scan =
-              CompileScan(*node->right, db_, outer_mask);
+              CompileScan(*node->right, db_, outer_mask, options_.params);
           for (const Tuple& t : outer) {
             XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), scan, t, &out));
             XQJG_RETURN_NOT_OK(
@@ -591,7 +604,8 @@ class Executor {
                                 Run(node->right.get()));
           const std::vector<BoundQualCmp> cmps = CompileQuals(
               node->preds, db_,
-              AliasMaskOf(node->left.get()) | AliasMaskOf(node->right.get()));
+              AliasMaskOf(node->left.get()) | AliasMaskOf(node->right.get()),
+              options_.params);
           for (const Tuple& l : outer) {
             for (const Tuple& r : inner) {
               XQJG_RETURN_NOT_OK(
@@ -614,7 +628,7 @@ class Executor {
         const uint32_t left_mask = AliasMaskOf(node->left.get());
         const uint32_t full_mask = left_mask | AliasMaskOf(node->right.get());
         const std::vector<BoundQualCmp> cmps =
-            CompileQuals(node->preds, db_, full_mask);
+            CompileQuals(node->preds, db_, full_mask, options_.params);
         // Hash on the first equality predicate; others become residual.
         const QualComparison* hash_pred = nullptr;
         for (const auto& p : node->preds) {
@@ -645,10 +659,14 @@ class Executor {
           return true;
         };
         const bool lhs_left = on_left(hash_pred->lhs);
-        const BoundQualTerm lterm(lhs_left ? hash_pred->lhs : hash_pred->rhs,
-                                  db_);
-        const BoundQualTerm rterm(lhs_left ? hash_pred->rhs : hash_pred->lhs,
-                                  db_);
+        const BoundQualTerm lterm(
+            ResolveParams(lhs_left ? hash_pred->lhs : hash_pred->rhs,
+                          options_.params),
+            db_);
+        const BoundQualTerm rterm(
+            ResolveParams(lhs_left ? hash_pred->rhs : hash_pred->lhs,
+                          options_.params),
+            db_);
         std::unordered_map<size_t, std::vector<size_t>> buckets;
         for (size_t j = 0; j < right.size(); ++j) {
           XQJG_RETURN_NOT_OK(clock_.Tick());
@@ -696,7 +714,7 @@ class Executor {
                      uint32_t bound_mask, std::vector<Tuple>* tuples) {
     if (preds.empty()) return;
     const std::vector<BoundQualCmp> cmps =
-        CompileQuals(preds, db_, bound_mask);
+        CompileQuals(preds, db_, bound_mask, options_.params);
     std::vector<Tuple> kept;
     for (Tuple& t : *tuples) {
       if (AllPass(cmps, TupleView{&t})) kept.push_back(std::move(t));

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/value.h"
 #include "src/engine/database.h"
 #include "src/engine/exec_options.h"
 #include "src/opt/join_graph.h"
@@ -57,6 +58,11 @@ struct PlannerOptions {
   /// batched probes/joins, single-pass sort keys) instead of the
   /// row-at-a-time tuple executor. Identical results, differential-tested.
   bool use_columnar = false;
+  /// Execute-time values for the plan's parameter markers, indexed by
+  /// binding slot (null: no parameters). Not owned; must outlive the
+  /// execution. Both executors substitute these into the per-node compiled
+  /// qualifiers, so one PhysicalPlan serves a whole literal family.
+  const std::vector<Value>* params = nullptr;
 };
 
 /// Builds the cheapest physical join tree for `graph` over `db`.

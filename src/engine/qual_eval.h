@@ -29,6 +29,30 @@
 
 namespace xqjg::engine {
 
+/// Substitutes bound parameter values into a term / comparison before it
+/// is compiled against the database. Qualifiers are compiled per plan node
+/// per execution, so each execution's bindings produce fresh compiled
+/// quals (including the dictionary-code equality kernel) from one shared
+/// PhysicalPlan. A marker without a binding keeps its NULL constant — the
+/// comparison is then never true, matching NULL-comparison semantics; the
+/// API layer rejects unbound parameters before execution starts.
+inline opt::QualTerm ResolveParams(opt::QualTerm t,
+                                   const std::vector<Value>* params) {
+  if (t.param >= 0 && params &&
+      static_cast<size_t>(t.param) < params->size()) {
+    t.constant = (*params)[static_cast<size_t>(t.param)];
+    t.param = -1;
+  }
+  return t;
+}
+
+inline opt::QualComparison ResolveParams(opt::QualComparison p,
+                                         const std::vector<Value>* params) {
+  p.lhs = ResolveParams(std::move(p.lhs), params);
+  p.rhs = ResolveParams(std::move(p.rhs), params);
+  return p;
+}
+
 /// A QualTerm bound to the database's typed columns.
 class BoundQualTerm {
  public:
@@ -199,7 +223,7 @@ class BoundQualCmp {
 /// evaluability test, which was constant across a node's rows anyway).
 inline std::vector<BoundQualCmp> CompileQuals(
     const std::vector<opt::QualComparison>& preds, const Database& db,
-    uint32_t bound_mask) {
+    uint32_t bound_mask, const std::vector<Value>* params = nullptr) {
   std::vector<BoundQualCmp> out;
   out.reserve(preds.size());
   for (const auto& p : preds) {
@@ -207,7 +231,12 @@ inline std::vector<BoundQualCmp> CompileQuals(
     for (int a : p.Aliases()) {
       if (!(bound_mask & (1u << a))) evaluable = false;
     }
-    if (evaluable) out.emplace_back(p, db);
+    if (!evaluable) continue;
+    if (params) {
+      out.emplace_back(ResolveParams(p, params), db);
+    } else {
+      out.emplace_back(p, db);  // no copy on the common unparameterized path
+    }
   }
   return out;
 }
@@ -229,11 +258,13 @@ struct CompiledScan {
 };
 
 /// Compiles `node` (kTbScan/kIxScan) probed with `outer_mask` bound.
+/// `params` supplies Execute-time bindings for parameter markers.
 inline CompiledScan CompileScan(const PhysNode& node, const Database& db,
-                                uint32_t outer_mask) {
+                                uint32_t outer_mask,
+                                const std::vector<Value>* params = nullptr) {
   CompiledScan cs;
   cs.row_preds = CompileQuals(node.preds, db,
-                              outer_mask | (1u << node.alias));
+                              outer_mask | (1u << node.alias), params);
   if (node.kind != PhysKind::kIxScan) return cs;
   const auto& key_cols = node.index->def.key_columns;
   std::vector<char> used(node.preds.size(), 0);
@@ -248,7 +279,8 @@ inline CompiledScan CompileScan(const PhysNode& node, const Database& db,
     bool matched = false;
     for (size_t i = 0; i < node.preds.size(); ++i) {
       if (used[i]) continue;
-      opt::QualComparison p = opt::OrientTo(node.preds[i], node.alias);
+      opt::QualComparison p =
+          ResolveParams(opt::OrientTo(node.preds[i], node.alias), params);
       if (p.op != algebra::CmpOp::kEq) continue;
       if (opt::SargColumn(p.lhs, node.alias) != key_cols[k]) continue;
       if (!rhs_evaluable(p)) continue;
@@ -262,7 +294,8 @@ inline CompiledScan CompileScan(const PhysNode& node, const Database& db,
   if (k < key_cols.size()) {
     for (size_t i = 0; i < node.preds.size(); ++i) {
       if (used[i]) continue;
-      opt::QualComparison p = opt::OrientTo(node.preds[i], node.alias);
+      opt::QualComparison p =
+          ResolveParams(opt::OrientTo(node.preds[i], node.alias), params);
       if (p.op == algebra::CmpOp::kEq || p.op == algebra::CmpOp::kNe) {
         continue;
       }

@@ -1,5 +1,7 @@
 #include "src/native/store.h"
 
+#include <algorithm>
+
 namespace xqjg::native {
 
 using xml::XmlDocument;
@@ -75,6 +77,14 @@ Status DocumentStore::AddWhole(std::unique_ptr<XmlDocument> doc) {
   by_uri_[doc->uri].push_back(doc.get());
   owned_.push_back(std::move(doc));
   return Status::OK();
+}
+
+void DocumentStore::RemoveUri(const std::string& uri) {
+  by_uri_.erase(uri);
+  segmented_uris_.erase(uri);
+  owned_.erase(std::remove_if(owned_.begin(), owned_.end(),
+                              [&](const auto& doc) { return doc->uri == uri; }),
+               owned_.end());
 }
 
 Status DocumentStore::AddSegmented(const XmlDocument& doc,

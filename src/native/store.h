@@ -22,6 +22,11 @@
 
 namespace xqjg::native {
 
+/// Copying a DocumentStore is cheap: parsed documents are immutable and
+/// held through shared_ptr, so a copy shares every document. The
+/// processor's catalog snapshots rely on this — loading or reloading one
+/// document clones the store, removes/re-adds only that URI's fragments,
+/// and leaves every other document shared with the previous snapshot.
 class DocumentStore : public DocumentResolver {
  public:
   /// Adds a whole document under its URI.
@@ -32,6 +37,10 @@ class DocumentStore : public DocumentResolver {
   /// its ancestor spine). All fragments answer to the original URI.
   Status AddSegmented(const xml::XmlDocument& doc,
                       const std::set<std::string>& segment_tags);
+
+  /// Drops every fragment registered under `uri` (no-op when absent).
+  /// Used by document reload: copy the store, remove the URI, re-add it.
+  void RemoveUri(const std::string& uri);
 
   /// Number of stored fragment/whole documents for `uri`.
   size_t SegmentCount(const std::string& uri) const;
@@ -62,7 +71,7 @@ class DocumentStore : public DocumentResolver {
   };
 
  private:
-  std::vector<std::unique_ptr<xml::XmlDocument>> owned_;
+  std::vector<std::shared_ptr<const xml::XmlDocument>> owned_;
   std::map<std::string, std::vector<const xml::XmlDocument*>> by_uri_;
   std::set<std::string> segmented_uris_;
 };

@@ -96,8 +96,8 @@ bool SamePattern(const XmlPattern& a, const XmlPattern& b) {
 }  // namespace
 
 void NativeEngine::CreateIndex(XmlPattern pattern) {
-  indexes_.push_back(std::make_unique<PatternIndex>(std::move(pattern),
-                                                    *store_));
+  indexes_.push_back(std::make_shared<const PatternIndex>(std::move(pattern),
+                                                          *store_));
 }
 
 Result<std::vector<std::string>> NativeEngine::Run(

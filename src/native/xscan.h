@@ -38,6 +38,13 @@ class NativeEngine {
   /// concurrently with Run — declare indexes before serving queries.
   void CreateIndex(XmlPattern pattern);
 
+  /// Adopts an already-built index (shared, immutable). Used by catalog
+  /// snapshots: a new engine over the SAME store reuses its
+  /// predecessor's indexes instead of re-scanning the store per pattern.
+  void AdoptIndex(std::shared_ptr<const PatternIndex> index) {
+    indexes_.push_back(std::move(index));
+  }
+
   /// Evaluates the Core query. `timeout_seconds` <= 0 disables the DNF
   /// guard. Results are serialized XML fragments in sequence order.
   /// Const and reentrant: all per-run state is local, so any number of
@@ -46,13 +53,13 @@ class NativeEngine {
                                        double timeout_seconds = -1.0,
                                        NativeRunStats* stats = nullptr) const;
 
-  const std::vector<std::unique_ptr<PatternIndex>>& indexes() const {
+  const std::vector<std::shared_ptr<const PatternIndex>>& indexes() const {
     return indexes_;
   }
 
  private:
   const DocumentStore* store_;
-  std::vector<std::unique_ptr<PatternIndex>> indexes_;
+  std::vector<std::shared_ptr<const PatternIndex>> indexes_;
 };
 
 }  // namespace xqjg::native

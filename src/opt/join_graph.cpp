@@ -17,15 +17,7 @@ std::string QualTerm::ToString() const {
   std::string out;
   if (alias >= 0) out = StrPrintf("d%d.%s", alias, col.c_str());
   if (alias2 >= 0) out += StrPrintf(" + d%d.%s", alias2, col2.c_str());
-  if (!constant.is_null()) {
-    if (out.empty()) {
-      out = constant.type() == ValueType::kString
-                ? "'" + constant.ToString() + "'"
-                : constant.ToString();
-    } else {
-      out += " + " + constant.ToString();
-    }
-  }
+  algebra::AppendTermTail(&out, param, param_name, constant);
   return out.empty() ? "0" : out;
 }
 
@@ -36,7 +28,7 @@ bool QualTerm::operator==(const QualTerm& other) const {
                             constant.type() == other.constant.type() &&
                             constant == other.constant);
   return alias == other.alias && col == other.col && alias2 == other.alias2 &&
-         col2 == other.col2 && const_eq;
+         col2 == other.col2 && param == other.param && const_eq;
 }
 
 bool JoinGraph::DistinctPayloadEqualsSortKey() const {
@@ -135,10 +127,18 @@ std::string JoinGraph::ToString() const {
     out += "  " + p.ToString() + "\n";
   }
   out += distinct ? "  DISTINCT over:" : "  select:";
-  for (const auto& t : select_list) out += " " + t.ToString();
+  for (const auto& t : select_list) {
+    out += ' ';
+    out += t.ToString();
+  }
   out += "\n  order by:";
-  for (const auto& t : order_by) out += " " + t.ToString();
-  out += "\n  item: " + item.ToString() + "\n";
+  for (const auto& t : order_by) {
+    out += ' ';
+    out += t.ToString();
+  }
+  out += "\n  item: ";
+  out += item.ToString();
+  out += '\n';
   return out;
 }
 
@@ -161,6 +161,8 @@ struct Flattener {
   Result<QualTerm> MapTerm(const Term& term, const ColMap& colmap) {
     QualTerm out;
     out.constant = term.constant;
+    out.param = term.param;
+    out.param_name = term.param_name;
     auto add_col = [&](const std::string& c) -> Status {
       auto it = colmap.find(c);
       if (it == colmap.end()) {
@@ -192,6 +194,11 @@ struct Flattener {
         }
       }
       if (!src.constant.is_null()) {
+        if (out.param >= 0) {
+          // A parameter's value is unknown until Execute; folding another
+          // constant into the same term cannot be compensated here.
+          return Status::NotSupported("parameter arithmetic");
+        }
         if (out.constant.is_null()) {
           out.constant = src.constant;
         } else if (out.constant.IsNumeric() && src.constant.IsNumeric()) {
@@ -506,10 +513,12 @@ Result<JoinGraph> ExtractJoinGraph(const OpPtr& isolated_root) {
     jg.select_list = jg.order_by;
     jg.select_list.push_back(jg.item);
   }
-  // Trivial predicate elimination (constants on both sides).
+  // Trivial predicate elimination (constants on both sides). Parameter
+  // markers are NOT folded — their values arrive at Execute time.
   std::vector<QualComparison> kept;
   for (auto& p : jg.predicates) {
-    if (p.lhs.IsConst() && p.rhs.IsConst()) {
+    if (p.lhs.IsConst() && p.rhs.IsConst() && !p.lhs.IsParam() &&
+        !p.rhs.IsParam()) {
       // Evaluated at plan time; keep only if not a tautology. A false
       // constant comparison empties the result — keep it so executors
       // notice.

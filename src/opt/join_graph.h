@@ -14,17 +14,22 @@
 namespace xqjg::opt {
 
 /// Term over qualified columns: value = Σ (alias_i.col_i) + constant.
-/// alias == -1 marks an absent column part.
+/// alias == -1 marks an absent column part. A term with param >= 0 is a
+/// parameter marker: a constant whose Value is bound at Execute time (the
+/// executors substitute it into `constant` before compiling qualifiers).
 struct QualTerm {
   int alias = -1;
   std::string col;
   int alias2 = -1;
   std::string col2;
   Value constant;  ///< NULL when absent
+  int param = -1;  ///< binding slot of a parameter marker
+  std::string param_name;  ///< parameter name (diagnostics / SQL rendering)
 
   bool IsConst() const { return alias < 0; }
+  bool IsParam() const { return param >= 0; }
   bool IsSimpleCol() const {
-    return alias >= 0 && alias2 < 0 && constant.is_null();
+    return alias >= 0 && alias2 < 0 && constant.is_null() && param < 0;
   }
   bool operator==(const QualTerm& other) const;
   std::string ToString() const;  ///< "d2.pre + d2.size + 1"

@@ -35,6 +35,10 @@ std::string QualTermSql(const QualTerm& t) {
   if (t.alias2 >= 0) {
     out += StrPrintf(" + d%d.%s", t.alias2, t.col2.c_str());
   }
+  if (t.param >= 0) {
+    // SQL prepared-statement parameter marker.
+    out = out.empty() ? "?" : out + " + ?";
+  }
   if (!t.constant.is_null()) {
     if (out.empty()) {
       out = ValueSql(t.constant);
@@ -49,6 +53,9 @@ std::string TermSql(const Term& t) {
   std::string out;
   if (!t.col.empty()) out = t.col;
   if (!t.col2.empty()) out += " + " + t.col2;
+  if (t.param >= 0) {
+    out = out.empty() ? "?" : out + " + ?";
+  }
   if (!t.constant.is_null()) {
     if (out.empty()) {
       out = ValueSql(t.constant);

@@ -140,6 +140,8 @@ const char* ExprKindToString(ExprKind kind) {
       return "numlit";
     case ExprKind::kStrLit:
       return "strlit";
+    case ExprKind::kParam:
+      return "param";
     case ExprKind::kEmptySeq:
       return "empty";
     case ExprKind::kPredicate:
@@ -181,6 +183,8 @@ std::string Expr::ToString() const {
       return FormatDecimal(num);
     case ExprKind::kStrLit:
       return "\"" + str + "\"";
+    case ExprKind::kParam:
+      return "$" + var;
     case ExprKind::kEmptySeq:
       return "()";
     case ExprKind::kPredicate:
@@ -270,6 +274,14 @@ ExprPtr MakeStrLit(std::string value) {
   return e;
 }
 
+ExprPtr MakeParam(std::string name, int slot, bool numeric) {
+  auto e = New(ExprKind::kParam);
+  e->var = std::move(name);
+  e->slot = slot;
+  e->numeric = numeric;
+  return e;
+}
+
 ExprPtr MakeEmptySeq() { return New(ExprKind::kEmptySeq); }
 
 ExprPtr MakePredicate(ExprPtr input, ExprPtr pred) {
@@ -353,6 +365,30 @@ std::vector<std::string> FreeVariables(const Expr& e) {
   std::set<std::string> seen;
   std::vector<std::string> out;
   CollectFree(e, &bound, &out, &seen);
+  return out;
+}
+
+namespace {
+void CollectParamsInto(const Expr& e, std::vector<ParamDecl>* out) {
+  if (e.kind == ExprKind::kParam) {
+    for (const ParamDecl& p : *out) {
+      if (p.slot == e.slot) return;
+    }
+    out->push_back(ParamDecl{e.var, e.slot, e.numeric});
+    return;
+  }
+  if (e.a) CollectParamsInto(*e.a, out);
+  if (e.b) CollectParamsInto(*e.b, out);
+}
+}  // namespace
+
+std::vector<ParamDecl> CollectParams(const Expr& e) {
+  std::vector<ParamDecl> out;
+  CollectParamsInto(e, &out);
+  std::sort(out.begin(), out.end(),
+            [](const ParamDecl& a, const ParamDecl& b) {
+              return a.slot < b.slot;
+            });
   return out;
 }
 

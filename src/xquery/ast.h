@@ -78,6 +78,8 @@ enum class ExprKind {
   kComp,         ///< `a` op `b`  (b literal or expression)
   kNumLit,       ///< numeric literal (comparison operand only)
   kStrLit,       ///< string literal  (comparison operand only)
+  kParam,        ///< $var declared external (comparison operand only);
+                 ///< a parameter marker bound to a value at Execute time
   kEmptySeq,     ///< ()
   // ---- surface only (removed by Normalize) ----
   kPredicate,    ///< `a` [ `b` ]
@@ -98,9 +100,12 @@ using ExprPtr = std::shared_ptr<const Expr>;
 /// trees rather than mutating).
 struct Expr {
   ExprKind kind;
-  std::string var;   ///< kFor/kLet/kVar: variable QName (without '$')
+  std::string var;   ///< kFor/kLet/kVar/kParam: variable QName (without '$')
   std::string str;   ///< kDoc: URI; kStrLit: value
   double num = 0.0;  ///< kNumLit
+  int slot = -1;     ///< kParam: binding slot (prolog declaration order)
+  bool numeric = false;  ///< kParam: declared numeric (compares `data`, not
+                         ///< `value` — same split as num vs str literals)
   Axis axis = Axis::kChild;  ///< kStep
   NodeTest test;             ///< kStep
   CompOp op = CompOp::kEq;   ///< kComp
@@ -121,6 +126,7 @@ ExprPtr MakeStep(ExprPtr input, Axis axis, NodeTest test);
 ExprPtr MakeComp(ExprPtr lhs, CompOp op, ExprPtr rhs);
 ExprPtr MakeNumLit(double value);
 ExprPtr MakeStrLit(std::string value);
+ExprPtr MakeParam(std::string name, int slot, bool numeric);
 ExprPtr MakeEmptySeq();
 ExprPtr MakePredicate(ExprPtr input, ExprPtr pred);
 ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
@@ -134,8 +140,21 @@ ExprPtr MakeEbv(ExprPtr input);
 bool IsCore(const Expr& e);
 
 /// Free variables of `e` (used by tests and the compiler's environment
-/// plumbing).
+/// plumbing). Parameters (kParam) are not free variables — they are bound
+/// at Execute time, not by an enclosing FLWOR clause.
 std::vector<std::string> FreeVariables(const Expr& e);
+
+/// One external parameter used by a query (`declare variable $n external`
+/// references surviving into the AST as kParam nodes).
+struct ParamDecl {
+  std::string name;      ///< without '$'
+  int slot = -1;         ///< binding slot (prolog declaration order)
+  bool numeric = false;  ///< declared numeric (xs:integer/decimal/double)
+};
+
+/// The parameters referenced by `e`, ordered by slot (each slot once).
+/// Externals that are declared but never referenced do not appear.
+std::vector<ParamDecl> CollectParams(const Expr& e);
 
 }  // namespace xqjg::xquery
 

@@ -25,6 +25,7 @@ const char* TokenKindToString(TokenKind kind) {
     case TokenKind::kDot: return "'.'";
     case TokenKind::kStar: return "'*'";
     case TokenKind::kAssign: return "':='";
+    case TokenKind::kSemicolon: return "';'";
     case TokenKind::kEq: return "'='";
     case TokenKind::kNe: return "'!='";
     case TokenKind::kLt: return "'<'";
@@ -115,6 +116,10 @@ Result<std::vector<Token>> Tokenize(std::string_view query) {
         break;
       case ',':
         tok.kind = TokenKind::kComma;
+        ++i;
+        break;
+      case ';':
+        tok.kind = TokenKind::kSemicolon;
         ++i;
         break;
       case '*':
@@ -219,6 +224,13 @@ Result<std::vector<Token>> Tokenize(std::string_view query) {
         } else if (IsNameStart(c)) {
           size_t start = i;
           while (i < n && IsNameChar(query[i])) ++i;
+          // Allow one ':' for prefixed QNames like xs:string; '::' stays
+          // the axis separator (same rule as variable names above).
+          if (i < n && query[i] == ':' && i + 1 < n &&
+              IsNameStart(query[i + 1])) {
+            ++i;
+            while (i < n && IsNameChar(query[i])) ++i;
+          }
           tok.kind = TokenKind::kName;
           tok.text = std::string(query.substr(start, i - start));
         } else {

@@ -27,6 +27,7 @@ enum class TokenKind {
   kDot,         // .
   kStar,        // *
   kAssign,      // :=
+  kSemicolon,   // ; (prolog declaration separator)
   kEq,          // =
   kNe,          // !=
   kLt,          // <

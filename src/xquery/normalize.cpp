@@ -23,6 +23,7 @@ class Normalizer {
       }
       case ExprKind::kVar:
       case ExprKind::kDoc:
+      case ExprKind::kParam:
       case ExprKind::kEmptySeq:
         return e;
       case ExprKind::kIf: {
@@ -117,7 +118,8 @@ class Normalizer {
   }
 
   Result<ExprPtr> NormOperand(const ExprPtr& e) {
-    if (e->kind == ExprKind::kNumLit || e->kind == ExprKind::kStrLit) {
+    if (e->kind == ExprKind::kNumLit || e->kind == ExprKind::kStrLit ||
+        e->kind == ExprKind::kParam) {
       return e;
     }
     return Norm(e);

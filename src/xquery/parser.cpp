@@ -1,5 +1,6 @@
 #include "src/xquery/parser.h"
 
+#include <map>
 #include <vector>
 
 #include "src/common/str.h"
@@ -13,6 +14,7 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<ExprPtr> Run() {
+    XQJG_RETURN_NOT_OK(ParseProlog());
     XQJG_ASSIGN_OR_RETURN(ExprPtr e, ParseExprSingle());
     if (!AtEof()) {
       return Err("trailing tokens after expression");
@@ -56,6 +58,59 @@ class Parser {
     return Status::OK();
   }
 
+  // Prolog := ('declare' 'variable' $var ('as' TypeName)? 'external' ';')*
+  // Each declaration introduces an external parameter: later references to
+  // the variable become kParam markers bound at Execute time. Numeric
+  // types (xs:integer/decimal/double) compare against the typed `data`
+  // column; xs:string (and untyped declarations) against `value` — the
+  // same split the compiler applies to literals.
+  Status ParseProlog() {
+    while (PeekName("declare") && PeekName("variable", 1)) {
+      MatchName("declare");
+      MatchName("variable");
+      if (Peek().kind != TokenKind::kVariable) {
+        return Err("expected $variable in external declaration");
+      }
+      std::string name = Advance().text;
+      bool numeric = false;
+      if (MatchName("as")) {
+        if (Peek().kind != TokenKind::kName) {
+          return Err("expected type name after 'as'");
+        }
+        const std::string type = Advance().text;
+        if (type == "xs:integer" || type == "xs:decimal" ||
+            type == "xs:double") {
+          numeric = true;
+        } else if (type != "xs:string") {
+          return Status::NotSupported(
+              "external variable type '" + type +
+              "' (use xs:string, xs:integer, xs:decimal, or xs:double)");
+        }
+      }
+      if (!MatchName("external")) {
+        return Status::NotSupported(
+            "only 'declare variable $x ... external;' prolog declarations "
+            "are supported");
+      }
+      XQJG_RETURN_NOT_OK(Expect(TokenKind::kSemicolon));
+      if (params_.count(name)) {
+        return Err("duplicate external declaration $" + name);
+      }
+      const int slot = static_cast<int>(params_.size());
+      params_[name] = {slot, numeric};
+    }
+    return Status::OK();
+  }
+
+  /// FLWOR clauses must not shadow an external parameter — a `$x` in the
+  /// body would silently change meaning between bindings.
+  Status CheckNotExternal(const std::string& var) {
+    if (params_.count(var)) {
+      return Err("variable $" + var + " shadows an external parameter");
+    }
+    return Status::OK();
+  }
+
   // ExprSingle := FLWOR | IfExpr | Comparison
   Result<ExprPtr> ParseExprSingle() {
     if (PeekName("for") || PeekName("let")) return ParseFlwor();
@@ -80,6 +135,7 @@ class Parser {
             return Err("expected $variable in for clause");
           }
           std::string var = Advance().text;
+          XQJG_RETURN_NOT_OK(CheckNotExternal(var));
           if (!MatchName("in")) return Err("expected 'in' in for clause");
           XQJG_ASSIGN_OR_RETURN(ExprPtr in, ParseExprSingle());
           bindings.push_back({false, std::move(var), std::move(in)});
@@ -90,6 +146,7 @@ class Parser {
             return Err("expected $variable in let clause");
           }
           std::string var = Advance().text;
+          XQJG_RETURN_NOT_OK(CheckNotExternal(var));
           XQJG_RETURN_NOT_OK(Expect(TokenKind::kAssign));
           XQJG_ASSIGN_OR_RETURN(ExprPtr value, ParseExprSingle());
           bindings.push_back({true, std::move(var), std::move(value)});
@@ -245,7 +302,13 @@ class Parser {
       return MakeDoc(std::move(uri));
     }
     if (Peek().kind == TokenKind::kVariable) {
-      return MakeVar(Advance().text);
+      std::string name = Advance().text;
+      auto it = params_.find(name);
+      if (it != params_.end()) {
+        return MakeParam(std::move(name), it->second.slot,
+                         it->second.numeric);
+      }
+      return MakeVar(std::move(name));
     }
     if (Match(TokenKind::kDot)) {
       return MakeContextItem();
@@ -347,8 +410,14 @@ class Parser {
     return NodeTest{TestKind::kName, std::move(name)};
   }
 
+  struct ParamInfo {
+    int slot = -1;
+    bool numeric = false;
+  };
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  std::map<std::string, ParamInfo> params_;  ///< declared externals
 };
 
 }  // namespace

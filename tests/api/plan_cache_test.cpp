@@ -1,6 +1,8 @@
 // Plan cache: hits on identical text+options share one artifact, any
 // differing prepare-relevant option misses, LRU order governs eviction,
-// stats observe all of it, and every catalog mutation invalidates.
+// stats observe all of it, and catalog mutations invalidate with
+// per-document granularity — only entries whose touched documents (or
+// consulted index set) changed fall out.
 #include <gtest/gtest.h>
 
 #include "src/api/processor.h"
@@ -120,19 +122,86 @@ TEST_F(PlanCacheTest, FailedCompilationsAreNotCached) {
   EXPECT_EQ(processor_.plan_cache_stats().entries, 0u);
 }
 
-TEST_F(PlanCacheTest, CatalogMutationsClearTheCacheAndBumpTheGeneration) {
-  ASSERT_TRUE(processor_.Prepare(query_, Options()).ok());
+TEST_F(PlanCacheTest, LoadingAnUnrelatedDocumentKeepsPlansCached) {
+  auto before = processor_.Prepare(query_, Options());
+  ASSERT_TRUE(before.ok());
   EXPECT_EQ(processor_.plan_cache_stats().entries, 1u);
   const uint64_t generation = processor_.catalog_generation();
 
+  // The cached plan touches only site.xml; loading a NEW document must
+  // not evict it — re-Prepare returns the pointer-identical artifact.
   ASSERT_TRUE(
       processor_.LoadDocument("more.xml", testutil::TinyBibXml()).ok());
-  EXPECT_EQ(processor_.plan_cache_stats().entries, 0u);
   EXPECT_GT(processor_.catalog_generation(), generation);
+  EXPECT_EQ(processor_.plan_cache_stats().entries, 1u);
+  auto after = processor_.Prepare(query_, Options());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().get(), before.value().get());
+  // And the cached artifact still executes (from its pinned snapshot).
+  EXPECT_TRUE(processor_.ExecuteAll(after.value()).ok());
+}
 
-  ASSERT_TRUE(processor_.Prepare(query_, Options()).ok());
+TEST_F(PlanCacheTest, ReloadingADocumentEvictsOnlyIntersectingEntries) {
+  PrepareOptions site = Options();
+  PrepareOptions bib = Options();
+  bib.context_document = "bib.xml";
+  auto site_plan = processor_.Prepare("//item/name", site);
+  auto bib_plan = processor_.Prepare("//book/title", bib);
+  // A cross-document join: touches site.xml AND bib.xml.
+  auto cross_plan = processor_.Prepare(
+      "for $i in doc(\"site.xml\")//item/name, "
+      "$t in doc(\"bib.xml\")//book/title "
+      "where $i = $t return $i",
+      site);
+  ASSERT_TRUE(site_plan.ok());
+  ASSERT_TRUE(bib_plan.ok());
+  ASSERT_TRUE(cross_plan.ok()) << cross_plan.status().ToString();
+  EXPECT_EQ(processor_.plan_cache_stats().entries, 3u);
+
+  // Mutating bib.xml evicts the bib plan and the cross-doc join plan;
+  // the site-only plan survives pointer-identically.
+  ASSERT_TRUE(
+      processor_.LoadDocument("bib.xml", testutil::TinyBibXml()).ok());
+  PlanCache::Stats stats = processor_.plan_cache_stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.invalidations, 2);
+
+  auto site_again = processor_.Prepare("//item/name", site);
+  ASSERT_TRUE(site_again.ok());
+  EXPECT_EQ(site_again.value().get(), site_plan.value().get());
+
+  auto bib_again = processor_.Prepare("//book/title", bib);
+  ASSERT_TRUE(bib_again.ok());
+  EXPECT_NE(bib_again.value().get(), bib_plan.value().get());
+}
+
+TEST_F(PlanCacheTest, IndexDdlEvictsJoinGraphEntriesOnly) {
+  PrepareOptions joingraph = Options();
+  PrepareOptions stacked = Options();
+  stacked.mode = Mode::kStacked;
+  PrepareOptions native = Options();
+  native.mode = Mode::kNativeWhole;
+  auto jg = processor_.Prepare(query_, joingraph);
+  auto st = processor_.Prepare(query_, stacked);
+  auto nat = processor_.Prepare(query_, native);
+  ASSERT_TRUE(jg.ok());
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(nat.ok());
+  EXPECT_EQ(processor_.plan_cache_stats().entries, 3u);
+
+  // Join-graph plans consult the index set during planning; stacked and
+  // native plans do not.
   processor_.DropRelationalIndexes();
-  EXPECT_EQ(processor_.plan_cache_stats().entries, 0u);
+  EXPECT_EQ(processor_.plan_cache_stats().entries, 2u);
+  auto st_again = processor_.Prepare(query_, stacked);
+  auto nat_again = processor_.Prepare(query_, native);
+  ASSERT_TRUE(st_again.ok());
+  ASSERT_TRUE(nat_again.ok());
+  EXPECT_EQ(st_again.value().get(), st.value().get());
+  EXPECT_EQ(nat_again.value().get(), nat.value().get());
+  auto jg_again = processor_.Prepare(query_, joingraph);
+  ASSERT_TRUE(jg_again.ok());
+  EXPECT_NE(jg_again.value().get(), jg.value().get());
 }
 
 TEST_F(PlanCacheTest, CapacityZeroDisablesCaching) {

@@ -146,6 +146,120 @@ TEST_F(PreparedConcurrencyTest, StackedAndNativeModesExecuteConcurrently) {
   }
 }
 
+TEST_F(PreparedConcurrencyTest, WriterMutatesCatalogUnderLiveCursors) {
+  // The snapshot-catalog contract under load (run under TSan in CI): a
+  // writer thread loads documents, RE-loads one of them, and re-creates
+  // the relational index set, while
+  //   (a) open cursors over a join-graph plan keep draining — no drain
+  //       requirement, no race, results from their pinned snapshot; and
+  //   (b) reader threads run full stacked-mode executions end to end —
+  //       stacked plans don't consult the index set and don't touch the
+  //       writer's documents, so they stay servable throughout.
+  // Afterwards the join-graph artifact is correctly stale (the index set
+  // changed) and a re-Prepare serves identical results from the new
+  // snapshot — "correct results on both snapshots".
+  const PaperQuery& q1 = PaperQueries()[0];
+  PrepareOptions jg_prep;
+  jg_prep.context_document = q1.document;
+  auto jg = processor_->Prepare(q1.text, jg_prep);
+  ASSERT_TRUE(jg.ok()) << jg.status().ToString();
+  PrepareOptions stacked_prep = jg_prep;
+  stacked_prep.mode = Mode::kStacked;
+  auto stacked = processor_->Prepare(q1.text, stacked_prep);
+  ASSERT_TRUE(stacked.ok()) << stacked.status().ToString();
+  ExecuteOptions exec;
+  exec.limits.timeout_seconds = 120;
+  auto oracle = processor_->ExecuteAll(jg.value(), exec);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  // Open the cursors and run their plans BEFORE the writer starts; the
+  // streaming drain then races the catalog mutations.
+  std::vector<std::unique_ptr<ResultCursor>> cursors;
+  for (int t = 0; t < kThreads; ++t) {
+    ExecuteOptions options = exec;
+    options.use_columnar = (t % 2 == 1);
+    auto cursor = processor_->Execute(jg.value(), options);
+    ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+    auto first = cursor.value()->FetchNext(1);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_EQ(first.value().size(), 1u);
+    cursors.push_back(std::move(cursor).value());
+  }
+
+  constexpr int kWriterRounds = 6;
+  std::vector<ThreadOutcome> outcomes(kThreads);
+  Status writer_status = Status::OK();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      ThreadOutcome& out = outcomes[static_cast<size_t>(t)];
+      // Drain the pre-opened join-graph cursor in small batches...
+      out.items.push_back(std::string());  // placeholder for batch 1
+      while (true) {
+        auto batch = cursors[static_cast<size_t>(t)]->FetchNext(16);
+        if (!batch.ok()) {
+          out.status = batch.status();
+          return;
+        }
+        if (batch.value().empty()) break;
+        for (auto& item : batch.value()) out.items.push_back(std::move(item));
+      }
+      // ...and interleave full stacked executions, which stay servable
+      // across every writer mutation.
+      for (int round = 0; round < kWriterRounds; ++round) {
+        ExecuteOptions options = exec;
+        options.use_columnar = (t % 2 == 1);
+        auto result = processor_->ExecuteAll(stacked.value(), options);
+        if (!result.ok()) {
+          out.status = result.status();
+          return;
+        }
+        if (result.value().items != oracle.value().items) {
+          out.status = Status::Internal("stacked result diverged");
+          return;
+        }
+      }
+    });
+  }
+  std::thread writer([&]() {
+    for (int round = 0; round < kWriterRounds && writer_status.ok();
+         ++round) {
+      const std::string uri = "scratch-" + std::to_string(round % 2) + ".xml";
+      writer_status = processor_->LoadDocument(
+          uri, "<scratch><round>" + std::to_string(round) +
+                   "</round></scratch>");
+      if (writer_status.ok()) {
+        writer_status = processor_->CreateRelationalIndexes();
+      }
+    }
+  });
+  for (auto& thread : pool) thread.join();
+  writer.join();
+  ASSERT_TRUE(writer_status.ok()) << writer_status.ToString();
+  for (int t = 0; t < kThreads; ++t) {
+    ThreadOutcome& outcome = outcomes[static_cast<size_t>(t)];
+    ASSERT_TRUE(outcome.status.ok())
+        << "thread " << t << ": " << outcome.status.ToString();
+    // Items fetched after the pre-writer first batch (placeholder at 0).
+    std::vector<std::string> tail(oracle.value().items.begin() + 1,
+                                  oracle.value().items.end());
+    std::vector<std::string> got(outcome.items.begin() + 1,
+                                 outcome.items.end());
+    EXPECT_EQ(got, tail) << "thread " << t;
+  }
+
+  // The join-graph artifact is stale now (index DDL happened); a fresh
+  // Prepare against the mutated catalog reproduces the oracle.
+  auto stale = processor_->Execute(jg.value(), exec);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
+  auto fresh = processor_->Prepare(q1.text, jg_prep);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  auto fresh_result = processor_->ExecuteAll(fresh.value(), exec);
+  ASSERT_TRUE(fresh_result.ok()) << fresh_result.status().ToString();
+  EXPECT_EQ(fresh_result.value().items, oracle.value().items);
+}
+
 TEST_F(PreparedConcurrencyTest, ConcurrentStreamingCursorsStayIndependent) {
   const PaperQuery& q4 = PaperQueries()[3];
   PrepareOptions prep;

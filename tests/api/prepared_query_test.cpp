@@ -145,15 +145,28 @@ TEST_F(PreparedQueryTest, ConcurrentCursorsOverOnePreparedQueryAreIndependent) {
   EXPECT_EQ(via_c1, b2.value());
 }
 
-TEST_F(PreparedQueryTest, StalePreparedQueryIsRejectedAfterCatalogChange) {
+TEST_F(PreparedQueryTest, StaleRejectionIsPerTouchedDocument) {
   PrepareOptions options;
   options.context_document = "site.xml";
   auto prepared = processor_.Prepare(query_, options);
   ASSERT_TRUE(prepared.ok());
   ASSERT_TRUE(processor_.Execute(prepared.value()).ok());
 
+  // Loading an UNRELATED document does not stale a site.xml plan: it
+  // executes from its pinned snapshot with identical results.
+  auto oracle = processor_.ExecuteAll(prepared.value());
+  ASSERT_TRUE(oracle.ok());
   ASSERT_TRUE(
       processor_.LoadDocument("other.xml", testutil::TinyBibXml()).ok());
+  auto still_valid = processor_.ExecuteAll(prepared.value());
+  ASSERT_TRUE(still_valid.ok()) << still_valid.status().ToString();
+  EXPECT_EQ(still_valid.value().items, oracle.value().items);
+
+  // Re-loading site.xml ITSELF makes the plan stale.
+  ASSERT_TRUE(processor_
+                  .LoadDocument("site.xml", testutil::TinySiteXml(),
+                                {"item"})
+                  .ok());
   auto stale = processor_.Execute(prepared.value());
   ASSERT_FALSE(stale.ok());
   EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
@@ -164,31 +177,55 @@ TEST_F(PreparedQueryTest, StalePreparedQueryIsRejectedAfterCatalogChange) {
   EXPECT_TRUE(processor_.Execute(fresh.value()).ok());
 }
 
-TEST_F(PreparedQueryTest, OutstandingCursorGoesStaleWithTheCatalog) {
-  // A cursor created before a catalog mutation must refuse to fetch
-  // (its captured database/engine pointers would dangle) — both before
-  // the plan ran and mid-stream.
+TEST_F(PreparedQueryTest, OutstandingCursorsDrainAcrossCatalogMutations) {
+  // A cursor pins the snapshot its PreparedQuery was compiled against:
+  // catalog mutations — even a reload of the very document it reads —
+  // never invalidate an open cursor. No draining is required before a
+  // mutation; the cursor finishes with correct results on its snapshot.
   PrepareOptions options;
   options.context_document = "site.xml";
   auto prepared = processor_.Prepare("//item", options);
   ASSERT_TRUE(prepared.ok());
+  auto oracle = processor_.ExecuteAll(prepared.value());
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_GE(oracle.value().result_count(), 2u);
+
   auto unexecuted = processor_.Execute(prepared.value());
   auto midstream = processor_.Execute(prepared.value());
   ASSERT_TRUE(unexecuted.ok());
   ASSERT_TRUE(midstream.ok());
-  ASSERT_TRUE(midstream.value()->FetchNext(1).ok());
+  auto first = midstream.value()->FetchNext(1);
+  ASSERT_TRUE(first.ok());
 
+  // Mutate the catalog under both cursors: an unrelated load AND a
+  // reload of the touched document itself.
   ASSERT_TRUE(
       processor_.LoadDocument("other.xml", testutil::TinyBibXml()).ok());
-  for (ResultCursor* cursor :
-       {unexecuted.value().get(), midstream.value().get()}) {
-    auto fetch = cursor->FetchNext(1);
-    ASSERT_FALSE(fetch.ok());
-    EXPECT_EQ(fetch.status().code(), StatusCode::kInvalidArgument);
-    auto all = cursor->FetchAll();
-    ASSERT_FALSE(all.ok());
-    EXPECT_EQ(all.status().code(), StatusCode::kInvalidArgument);
-  }
+  ASSERT_TRUE(processor_
+                  .LoadDocument("site.xml",
+                                "<site><item><name>changed</name>"
+                                "</item></site>")
+                  .ok());
+
+  // The mid-stream cursor finishes on the old snapshot.
+  auto rest = midstream.value()->FetchAll();
+  ASSERT_TRUE(rest.ok()) << rest.status().ToString();
+  std::vector<std::string> streamed = first.value();
+  for (auto& item : rest.value()) streamed.push_back(std::move(item));
+  EXPECT_EQ(streamed, oracle.value().items);
+
+  // The not-yet-executed cursor runs its plan on the old snapshot too.
+  auto late = unexecuted.value()->FetchAll();
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  EXPECT_EQ(late.value(), oracle.value().items);
+
+  // New sessions see the new catalog.
+  auto fresh = processor_.Prepare("//item/name", options);
+  ASSERT_TRUE(fresh.ok());
+  auto fresh_result = processor_.ExecuteAll(fresh.value());
+  ASSERT_TRUE(fresh_result.ok());
+  ASSERT_EQ(fresh_result.value().result_count(), 1u);
+  EXPECT_EQ(fresh_result.value().items[0], "<name>changed</name>");
 }
 
 TEST_F(PreparedQueryTest, DroppingIndexesInvalidatesPreparedPlans) {
@@ -245,6 +282,156 @@ TEST_F(PreparedQueryTest, NativeModesPrepareWithoutRelationalCompilation) {
   auto result = processor_.ExecuteAll(prepared.value());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_GT(result.value().result_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized prepared statements: `declare variable $x external;` turns
+// $x into a marker bound per Execute — one compiled plan, many literals.
+
+class ParameterizedQueryTest : public PreparedQueryTest {
+ protected:
+  const std::string param_query_ =
+      "declare variable $minprice as xs:decimal external; "
+      "//item[price > $minprice]/name";
+
+  static Result<RunResult> Bind(XQueryProcessor& processor,
+                                const std::shared_ptr<const PreparedQuery>& pq,
+                                Value v, bool columnar) {
+    ExecuteOptions exec;
+    exec.use_columnar = columnar;
+    exec.parameters["minprice"] = std::move(v);
+    return processor.ExecuteAll(pq, exec);
+  }
+};
+
+TEST_F(ParameterizedQueryTest, OnePlanServesALiteralFamily) {
+  PrepareOptions options;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare(param_query_, options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_TRUE(prepared.value()->has_plan);
+  ASSERT_EQ(prepared.value()->parameters.size(), 1u);
+  EXPECT_EQ(prepared.value()->parameters[0].name, "minprice");
+  EXPECT_TRUE(prepared.value()->parameters[0].numeric);
+  // Shipped SQL carries a prepared-statement marker, not a literal.
+  EXPECT_NE(prepared.value()->sql.find("?"), std::string::npos)
+      << prepared.value()->sql;
+
+  // Each binding must agree with the equivalent literal query, through
+  // BOTH physical-plan executors, off the ONE cached artifact.
+  const std::pair<double, const char*> family[] = {
+      {10.0, "//item[price > 10.0]/name"},
+      {20.0, "//item[price > 20.0]/name"},
+      {7.0, "//item[price > 7.0]/name"},
+      {1000.0, "//item[price > 1000.0]/name"},
+  };
+  for (const auto& [value, literal_text] : family) {
+    RunOptions run;
+    run.context_document = "site.xml";
+    auto literal = processor_.Run(literal_text, run);
+    ASSERT_TRUE(literal.ok()) << literal.status().ToString();
+    for (bool columnar : {false, true}) {
+      auto bound =
+          Bind(processor_, prepared.value(), Value::Double(value), columnar);
+      ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+      EXPECT_EQ(bound.value().items, literal.value().items)
+          << literal_text << (columnar ? " (columnar)" : " (row)");
+    }
+  }
+  // Integer bindings hit the same numeric comparison.
+  auto int_bound = Bind(processor_, prepared.value(), Value::Int(10), false);
+  ASSERT_TRUE(int_bound.ok());
+  EXPECT_EQ(int_bound.value().result_count(), 2u);
+
+  // Re-preparing the same text is a cache hit on the same artifact: the
+  // whole family shared one compilation.
+  auto again = processor_.Prepare(param_query_, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().get(), prepared.value().get());
+  EXPECT_GE(processor_.plan_cache_stats().hits, 1);
+}
+
+TEST_F(ParameterizedQueryTest, StringParametersUseTheValueColumn) {
+  PrepareOptions options;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare(
+      "declare variable $wanted external; //item[name = $wanted]/price",
+      options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ASSERT_EQ(prepared.value()->parameters.size(), 1u);
+  EXPECT_FALSE(prepared.value()->parameters[0].numeric);
+  for (bool columnar : {false, true}) {
+    ExecuteOptions exec;
+    exec.use_columnar = columnar;
+    exec.parameters["wanted"] = Value::String("vase");
+    auto result = processor_.ExecuteAll(prepared.value(), exec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result.value().result_count(), 1u);
+    EXPECT_EQ(result.value().items[0], "<price>7.0</price>");
+    exec.parameters["wanted"] = Value::String("no-such-item");
+    auto empty = processor_.ExecuteAll(prepared.value(), exec);
+    ASSERT_TRUE(empty.ok());
+    EXPECT_EQ(empty.value().result_count(), 0u);
+  }
+}
+
+TEST_F(ParameterizedQueryTest, BindingsAreValidated) {
+  PrepareOptions options;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare(param_query_, options);
+  ASSERT_TRUE(prepared.ok());
+
+  // Missing binding.
+  auto missing = processor_.ExecuteAll(prepared.value(), ExecuteOptions{});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+
+  // Unknown parameter name.
+  ExecuteOptions unknown;
+  unknown.parameters["minprice"] = Value::Double(1);
+  unknown.parameters["typo"] = Value::Double(2);
+  auto extra = processor_.ExecuteAll(prepared.value(), unknown);
+  ASSERT_FALSE(extra.ok());
+  EXPECT_EQ(extra.status().code(), StatusCode::kInvalidArgument);
+
+  // Type mismatch against the declaration.
+  ExecuteOptions mistyped;
+  mistyped.parameters["minprice"] = Value::String("ten");
+  auto typed = processor_.ExecuteAll(prepared.value(), mistyped);
+  ASSERT_FALSE(typed.ok());
+  EXPECT_EQ(typed.status().code(), StatusCode::kInvalidArgument);
+
+  // A NULL binding is legal and never matches (NULL comparison
+  // semantics) — the SQL-ish contract for parameter markers.
+  ExecuteOptions null_bound;
+  null_bound.parameters["minprice"] = Value::Null();
+  auto none = processor_.ExecuteAll(prepared.value(), null_bound);
+  ASSERT_TRUE(none.ok()) << none.status().ToString();
+  EXPECT_EQ(none.value().result_count(), 0u);
+
+  // Binding parameters to a parameterless query is rejected too.
+  PrepareOptions plain;
+  plain.context_document = "site.xml";
+  auto no_params = processor_.Prepare("//item", plain);
+  ASSERT_TRUE(no_params.ok());
+  ExecuteOptions stray;
+  stray.parameters["minprice"] = Value::Double(1);
+  auto rejected = processor_.ExecuteAll(no_params.value(), stray);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParameterizedQueryTest, ParametersRequireJoinGraphMode) {
+  for (Mode mode : {Mode::kStacked, Mode::kNativeWhole,
+                    Mode::kNativeSegmented}) {
+    PrepareOptions options;
+    options.mode = mode;
+    options.context_document = "site.xml";
+    auto prepared = processor_.Prepare(param_query_, options);
+    ASSERT_FALSE(prepared.ok()) << ModeToString(mode);
+    EXPECT_EQ(prepared.status().code(), StatusCode::kNotSupported)
+        << ModeToString(mode);
+  }
 }
 
 TEST(PreparedQueryStandaloneTest, ExecuteRejectsNullAndNativeNeedsDocuments) {

@@ -191,18 +191,24 @@ TEST(ColumnarExec, NullKeysNeverMatchInPhysicalHashJoin) {
   auto db = Database::Build(doc);
   opt::JoinGraph graph;
   graph.num_aliases = 2;
-  opt::QualTerm d0v{0, "value", -1, "", Value::Null()};
-  opt::QualTerm d1v{1, "value", -1, "", Value::Null()};
+  auto col_term = [](int alias, const char* col) {
+    opt::QualTerm t;
+    t.alias = alias;
+    t.col = col;
+    return t;
+  };
+  opt::QualTerm d0v = col_term(0, "value");
+  opt::QualTerm d1v = col_term(1, "value");
   graph.predicates.push_back({d0v, CmpOp::kEq, d1v});
-  graph.item = opt::QualTerm{0, "pre", -1, "", Value::Null()};
+  graph.item = col_term(0, "pre");
   graph.select_list = {graph.item};
   // Expected pairs by brute force over the doc relation.
   std::vector<int64_t> expected;
   const int value_col = db->ColumnIndex("value");
   for (int64_t i = 0; i < db->row_count(); ++i) {
     for (int64_t j = 0; j < db->row_count(); ++j) {
-      const Value& a = db->Cell(i, value_col);
-      const Value& b = db->Cell(j, value_col);
+      const Value a = db->Column(value_col).GetValue(static_cast<size_t>(i));
+      const Value b = db->Column(value_col).GetValue(static_cast<size_t>(j));
       if (!a.is_null() && !b.is_null() && a == b) expected.push_back(i);
     }
   }

@@ -24,7 +24,7 @@ ColumnStats ReferenceStats(const Database& db, int col,
   st.row_count = db.row_count();
   std::vector<Value> non_null;
   for (int64_t pre = 0; pre < db.row_count(); ++pre) {
-    Value v = db.Cell(pre, col);
+    Value v = db.Column(col).GetValue(static_cast<size_t>(pre));
     if (!v.is_null()) non_null.push_back(std::move(v));
   }
   if (non_null.empty()) return st;

@@ -159,6 +159,68 @@ TEST(Ast, FreeVariables) {
   EXPECT_EQ(free[0], "y");
 }
 
+// ---------------------------------------------------------------------------
+// Prolog: `declare variable $x (as TYPE)? external;` — external parameters.
+
+TEST(Parser, ExternalDeclarationsBecomeParamMarkers) {
+  auto e = Parse(
+      "declare variable $who external; "
+      "declare variable $minbid as xs:decimal external; "
+      "doc(\"a.xml\")//person[name = $who and bid > $minbid]");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  auto params = CollectParams(*e.value());
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "who");
+  EXPECT_EQ(params[0].slot, 0);
+  EXPECT_FALSE(params[0].numeric);
+  EXPECT_EQ(params[1].name, "minbid");
+  EXPECT_EQ(params[1].slot, 1);
+  EXPECT_TRUE(params[1].numeric);
+  // Parameters are not free variables (they bind at Execute, not FLWOR).
+  EXPECT_TRUE(FreeVariables(*e.value()).empty());
+  // Normalization passes markers through to Core untouched.
+  auto core = Normalize(e.value(), {});
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+  EXPECT_EQ(CollectParams(*core.value()).size(), 2u);
+  EXPECT_TRUE(IsCore(*core.value()));
+}
+
+TEST(Parser, PrologTypeNamesAreValidated) {
+  EXPECT_TRUE(
+      Parse("declare variable $x as xs:string external; doc(\"d\")//a[b = $x]")
+          .ok());
+  EXPECT_TRUE(Parse(
+                  "declare variable $x as xs:integer external; "
+                  "doc(\"d\")//a[b = $x]")
+                  .ok());
+  auto bad_type =
+      Parse("declare variable $x as xs:date external; doc(\"d\")//a[b = $x]");
+  ASSERT_FALSE(bad_type.ok());
+  EXPECT_EQ(bad_type.status().code(), StatusCode::kNotSupported);
+  // Declarations must end with 'external;'.
+  EXPECT_FALSE(Parse("declare variable $x := 4; doc(\"d\")//a").ok());
+  // Duplicates are rejected.
+  EXPECT_FALSE(Parse(
+                   "declare variable $x external; "
+                   "declare variable $x external; doc(\"d\")//a[b = $x]")
+                   .ok());
+}
+
+TEST(Parser, FlworClausesMustNotShadowExternals) {
+  auto shadowed = Parse(
+      "declare variable $x external; "
+      "for $x in doc(\"d\")//a return $x");
+  ASSERT_FALSE(shadowed.ok());
+  auto let_shadowed = Parse(
+      "declare variable $x external; "
+      "let $x := doc(\"d\")//a return $x");
+  ASSERT_FALSE(let_shadowed.ok());
+  // Undeclared variables still parse as ordinary (free) variables.
+  auto plain = Parse("doc(\"d\")//a[b = 1] ");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(CollectParams(*plain.value()).empty());
+}
+
 TEST(Ast, DualAxisIsInvolution) {
   for (Axis axis : {Axis::kChild, Axis::kDescendant, Axis::kDescendantOrSelf,
                     Axis::kSelf, Axis::kFollowing, Axis::kFollowingSibling,
