@@ -33,7 +33,8 @@ struct Cell {
 };
 
 Cell RunMode(api::XQueryProcessor* processor, const api::PaperQuery& q,
-             api::Mode mode, double dnf_seconds, bool use_columnar) {
+             api::Mode mode, double dnf_seconds, bool use_columnar,
+             int threads = 1) {
   // Q2 binds several independent for-clauses over doc(); per-fragment
   // evaluation cannot express the cross-fragment joins — the paper's
   // segmented pureXML run of Q2 also did not finish.
@@ -47,6 +48,7 @@ Cell RunMode(api::XQueryProcessor* processor, const api::PaperQuery& q,
   options.context_document = q.document;
   options.timeout_seconds = dnf_seconds;
   options.use_columnar = use_columnar;
+  options.threads = threads;
   Cell cell;
   auto result = processor->Run(q.text, options);
   if (!result.ok()) {
@@ -122,6 +124,18 @@ int main() {
                              wb.dnf_seconds, false);
     Cell joingraph_col =
         RunMode(&wb.processor, q, api::Mode::kJoinGraph, wb.dnf_seconds, true);
+    // Morsel-parallel columnar runs (threads axis; the threads=1 cells
+    // above stay the serial baseline). On a single-core container the
+    // worker pool degrades to time-slicing — the axis is still recorded
+    // so multi-core runs show the scaling.
+    Cell stacked_col_t2 = RunMode(&wb.processor, q, api::Mode::kStacked,
+                                  wb.dnf_seconds, true, 2);
+    Cell stacked_col_t8 = RunMode(&wb.processor, q, api::Mode::kStacked,
+                                  wb.dnf_seconds, true, 8);
+    Cell joingraph_col_t2 = RunMode(&wb.processor, q, api::Mode::kJoinGraph,
+                                    wb.dnf_seconds, true, 2);
+    Cell joingraph_col_t8 = RunMode(&wb.processor, q, api::Mode::kJoinGraph,
+                                    wb.dnf_seconds, true, 8);
     Cell whole = RunMode(&wb.processor, q, api::Mode::kNativeWhole,
                          wb.dnf_seconds, false);
     Cell segmented = RunMode(&wb.processor, q, api::Mode::kNativeSegmented,
@@ -137,6 +151,13 @@ int main() {
       std::printf("%-5s %9s |   speedup of join graph over stacked: %.1fx\n",
                   "", "", stacked.seconds / joingraph.seconds);
     }
+    std::printf(
+        "%-5s %9s |   columnar threads axis — stacked t2 %s t8 %s (%s) | "
+        "jg t2 %s t8 %s (%s)\n",
+        "", "", Fmt(stacked_col_t2).c_str(), Fmt(stacked_col_t8).c_str(),
+        Speedup(stacked_col, stacked_col_t8).c_str(),
+        Fmt(joingraph_col_t2).c_str(), Fmt(joingraph_col_t8).c_str(),
+        Speedup(joingraph_col, joingraph_col_t8).c_str());
     if (!first) json += ",";
     first = false;
     json += "{\"id\":\"" + q.id + "\",\"rows\":" + std::to_string(rows) + ",";
@@ -147,6 +168,14 @@ int main() {
     JsonCell(&json, "joingraph_row", joingraph);
     json += ",";
     JsonCell(&json, "joingraph_columnar", joingraph_col);
+    json += ",";
+    JsonCell(&json, "stacked_columnar_t2", stacked_col_t2);
+    json += ",";
+    JsonCell(&json, "stacked_columnar_t8", stacked_col_t8);
+    json += ",";
+    JsonCell(&json, "joingraph_columnar_t2", joingraph_col_t2);
+    json += ",";
+    JsonCell(&json, "joingraph_columnar_t8", joingraph_col_t8);
     json += ",";
     JsonCell(&json, "native_whole", whole);
     json += ",";

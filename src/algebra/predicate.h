@@ -97,6 +97,27 @@ struct Comparison {
   bool operator==(const Comparison& other) const;
 };
 
+/// Substitutes a bound Value for a parameter marker (counterpart of the
+/// join-graph ResolveParams in engine/qual_eval.h, for the stacked plan's
+/// algebra terms). With no bindings a marker keeps its NULL constant, so
+/// every comparison against it is false — the same contract as an unbound
+/// qualifier. Out-of-range slots also stay NULL (Execute validates the
+/// binding list before any executor runs).
+inline Term ResolveParams(Term t, const std::vector<Value>* params) {
+  if (t.IsParam() && params && t.param < static_cast<int>(params->size())) {
+    t.constant = (*params)[t.param];
+    t.param = -1;
+  }
+  return t;
+}
+
+inline Comparison ResolveParams(Comparison c,
+                                const std::vector<Value>* params) {
+  c.lhs = ResolveParams(std::move(c.lhs), params);
+  c.rhs = ResolveParams(std::move(c.rhs), params);
+  return c;
+}
+
 /// Appends a term's parameter-marker / constant tail to `out` (shared by
 /// the algebra Term and the join graph's QualTerm renderers, which must
 /// agree): " + $name" / "$name", then " + const" / "'const'" / "const".

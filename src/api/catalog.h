@@ -56,6 +56,14 @@ struct CatalogSnapshot {
   /// Bumped by native XMLPATTERN index declarations.
   uint64_t pattern_epoch = 0;
 
+  /// Definitions of the relational B-tree set, keyed by index name
+  /// (value: IndexDef::ToString()). Maintained by index DDL alongside
+  /// index_epoch; a document load resets the index set (historical
+  /// contract) and leaves this empty without bumping the epoch. The plan
+  /// cache intersects a plan's *used* indexes against this map so that
+  /// unrelated index DDL does not evict it (see ServableAgainst).
+  std::map<std::string, std::string> index_defs;
+
   /// Source documents in load order (uri + shared XML text). What the
   /// lazy doc-relation build parses; text is shared across snapshots, so
   /// carrying it costs one shared_ptr per document per snapshot.

@@ -44,6 +44,8 @@ Status ResultCursor::EnsureExecuted() {
       engine::ExecOptions exec_options;
       exec_options.limits = options_.limits;
       exec_options.use_columnar = options_.use_columnar;
+      exec_options.threads = options_.threads;
+      if (!params_.empty()) exec_options.params = &params_;
       exec_options.stats = &stats_.engine;
       XQJG_ASSIGN_OR_RETURN(
           pres_, engine::EvaluateToSequence(pq.stacked, *cat.doc_table(),
@@ -57,6 +59,7 @@ Status ResultCursor::EnsureExecuted() {
         popts.syntactic_order = pq.options.syntactic_join_order;
         popts.limits = options_.limits;
         popts.use_columnar = options_.use_columnar;
+        popts.threads = options_.threads;
         if (!params_.empty()) popts.params = &params_;
         // relational_db() returns the instance the plan was compiled
         // over (Prepare built it) — pq.plan's index pointers live in it.
@@ -68,6 +71,7 @@ Status ResultCursor::EnsureExecuted() {
         engine::ExecOptions exec_options;
         exec_options.limits = options_.limits;
         exec_options.use_columnar = options_.use_columnar;
+        exec_options.threads = options_.threads;
         exec_options.stats = &stats_.engine;
         XQJG_ASSIGN_OR_RETURN(
             pres_, engine::EvaluateToSequence(pq.isolated, *cat.doc_table(),

@@ -40,6 +40,11 @@ struct ExecuteOptions {
   /// Execute relational modes via the columnar batch executors; identical
   /// results, faster (differential-tested).
   bool use_columnar = false;
+  /// Morsel workers for the columnar executors (1 = serial; ignored by
+  /// the row and native lanes). Results are independent of the worker
+  /// count — per-morsel outputs merge in morsel order — so any value is
+  /// safe for differential comparison.
+  int threads = 1;
   /// Values for the query's external parameters, by name (without '$').
   /// Every parameter the query references must be bound, and every entry
   /// must name a referenced parameter; Execute rejects mismatches.

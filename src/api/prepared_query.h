@@ -110,6 +110,12 @@ struct PreparedQuery {
   /// Join-graph mode consults the relational index set during planning;
   /// such artifacts are invalidated by index DDL.
   bool uses_relational_indexes = false;
+  /// The relational indexes the chosen physical plan actually probes
+  /// (name -> IndexDef::ToString(), collected from its kIxScan nodes).
+  /// After index DDL the artifact stays servable while every entry here
+  /// is still present with an identical definition — creating or dropping
+  /// an index the plan never touches does not invalidate it.
+  std::map<std::string, std::string> used_indexes;
   /// Native modes consult the XMLPATTERN index set during execution.
   bool uses_pattern_indexes = false;
 

@@ -38,6 +38,19 @@ void CollectDocUris(const xquery::Expr& e, std::set<std::string>* out) {
   if (e.b) CollectDocUris(*e.b, out);
 }
 
+/// The relational indexes a physical plan actually probes — its kIxScan
+/// nodes. This is the plan's true index footprint; the cache staleness
+/// check intersects on it instead of evicting on every index-set change.
+void CollectUsedIndexes(const engine::PhysNode* node,
+                        std::map<std::string, std::string>* out) {
+  if (!node) return;
+  if (node->kind == engine::PhysKind::kIxScan && node->index) {
+    (*out)[node->index->def.name] = node->index->def.ToString();
+  }
+  CollectUsedIndexes(node->left.get(), out);
+  CollectUsedIndexes(node->right.get(), out);
+}
+
 }  // namespace
 
 XQueryProcessor::XQueryProcessor() {
@@ -75,7 +88,20 @@ bool XQueryProcessor::ServableAgainst(const PreparedQuery& pq,
   if (pq.catalog->generation == current.generation) return true;
   if (pq.uses_relational_indexes &&
       pq.catalog->index_epoch != current.index_epoch) {
-    return false;
+    // Index DDL happened since Prepare. The artifact survives iff every
+    // index its plan probes still exists with an identical definition —
+    // creating or dropping an UNRELATED index must not evict it. A plan
+    // that probes none (or compiled without a physical plan) stays on the
+    // old blanket rule: it was costed against the old index set, and a
+    // new index could make a better plan available. The check is gated on
+    // the epoch (not run on every mutation) because document loads reset
+    // the index set without bumping the epoch: pinned plans keep their
+    // own B-trees across loads by contract.
+    if (pq.used_indexes.empty()) return false;
+    for (const auto& [name, def] : pq.used_indexes) {
+      auto it = current.index_defs.find(name);
+      if (it == current.index_defs.end() || it->second != def) return false;
+    }
   }
   if (pq.uses_pattern_indexes &&
       pq.catalog->pattern_epoch != current.pattern_epoch) {
@@ -173,6 +199,10 @@ Status XQueryProcessor::CreateRelationalIndexes(
   auto next = std::make_shared<CatalogSnapshot>(*cur);
   next->generation = cur->generation + 1;
   next->index_epoch = cur->index_epoch + 1;
+  next->index_defs.clear();
+  for (const auto& idx : db->indexes()) {
+    next->index_defs[idx->def.name] = idx->def.ToString();
+  }
   next->db_slot = std::make_shared<CatalogSnapshot::DatabaseSlot>();
   next->db_slot->db = std::move(db);
   PublishLocked(std::move(next));
@@ -187,6 +217,7 @@ void XQueryProcessor::DropRelationalIndexes() {
   auto next = std::make_shared<CatalogSnapshot>(*cur);
   next->generation = cur->generation + 1;
   next->index_epoch = cur->index_epoch + 1;
+  next->index_defs.clear();
   next->db_slot = std::make_shared<CatalogSnapshot::DatabaseSlot>();
   next->db_slot->db = std::move(db);
   PublishLocked(std::move(next));
@@ -264,11 +295,23 @@ Result<std::shared_ptr<const PreparedQuery>> XQueryProcessor::PrepareUncached(
   out->uses_pattern_indexes = options.mode == Mode::kNativeWhole ||
                               options.mode == Mode::kNativeSegmented;
   out->parameters = xquery::CollectParams(*out->core);
-  if (!out->parameters.empty() && options.mode != Mode::kJoinGraph) {
+  if (!out->parameters.empty() &&
+      (options.mode == Mode::kNativeWhole ||
+       options.mode == Mode::kNativeSegmented)) {
+    // The native engine interprets the Core AST with literals inlined; it
+    // has no parameter-marker substitution point. Name the offending
+    // declarations so the caller knows exactly what to inline or which
+    // mode to switch to.
+    std::string names;
+    for (const auto& decl : out->parameters) {
+      if (!names.empty()) names += ", ";
+      names += "$" + decl.name;
+    }
     return Status::NotSupported(
-        "external parameters are supported in join-graph mode only "
-        "(mode " +
-        std::string(ModeToString(options.mode)) + ")");
+        "external parameters (" + names + ") are not supported in native " +
+        std::string(ModeToString(options.mode)) +
+        " mode: the native engine interprets literals directly; use "
+        "stacked or join-graph mode, or inline the values");
   }
 
   auto finish = [&]() -> std::shared_ptr<const PreparedQuery> {
@@ -318,6 +361,7 @@ Result<std::shared_ptr<const PreparedQuery>> XQueryProcessor::PrepareUncached(
     out->graph = std::move(owned);  // plan.graph points into *graph
     out->has_plan = true;
     out->explain = engine::ExplainPlan(out->plan);
+    CollectUsedIndexes(out->plan.root.get(), &out->used_indexes);
   } else {
     // Residual blocking operators (deeply nested FLWOR): execution will
     // run the isolated DAG directly — still drastically fewer blocking
@@ -439,6 +483,7 @@ Result<RunResult> XQueryProcessor::Run(const std::string& query,
   ExecuteOptions eopts;
   eopts.limits.timeout_seconds = options.timeout_seconds;
   eopts.use_columnar = options.use_columnar;
+  eopts.threads = options.threads;
   eopts.parameters = options.parameters;
   XQJG_ASSIGN_OR_RETURN(RunResult result,
                         ExecuteAll(std::move(prepared), eopts));

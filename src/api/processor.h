@@ -22,9 +22,11 @@
 // (optionally `as xs:string|xs:integer|xs:decimal|xs:double`) turns $x
 // into a parameter marker. One Prepare (one cached plan) then serves the
 // whole literal family — each Execute binds values via
-// ExecuteOptions::parameters. Join-graph mode with an isolatable plan
-// only; both physical-plan executors substitute the bindings into their
-// per-node compiled qualifiers.
+// ExecuteOptions::parameters. Relational modes only (stacked, and
+// join-graph with an isolatable plan): the executors substitute the
+// bindings into their compiled qualifiers at execute time. The native
+// modes reject parameters with a precise diagnostic — their engine
+// interprets literals directly.
 //
 // Threading contract: the catalog is a shared-ownership snapshot
 // (CatalogSnapshot) behind an atomic swap. Mutators (LoadDocument,
@@ -75,6 +77,9 @@ struct RunOptions {
   /// Execute relational modes via the columnar batch executors (stacked /
   /// fallback plans and physical join trees); identical results, faster.
   bool use_columnar = false;
+  /// Morsel workers for the columnar executors (1 = serial; ignored by
+  /// the row and native lanes — see ExecuteOptions::threads).
+  int threads = 1;
   /// Values for external parameters, by name (see ExecuteOptions).
   std::map<std::string, Value> parameters;
 };

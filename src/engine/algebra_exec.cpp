@@ -113,7 +113,10 @@ class Evaluator {
   using TableRef = std::shared_ptr<MatTable>;
 
   Evaluator(const xml::DocTable& doc, const ExecOptions& options)
-      : doc_(doc), clock_(options.limits), stats_(options.stats) {}
+      : doc_(doc),
+        clock_(options.limits),
+        stats_(options.stats),
+        params_(options.params) {}
 
   Result<TableRef> Eval(const Op* op) {
     auto it = memo_.find(op);
@@ -198,9 +201,20 @@ class Evaluator {
         XQJG_ASSIGN_OR_RETURN(TableRef in, Eval(op->children[0].get()));
         MatTable t;
         t.schema = op->schema;
+        // Parameter markers resolve to their bound Values once per select
+        // (the compiler only places them in comparison operands).
+        const std::vector<Comparison>* conjuncts = &op->pred.conjuncts;
+        std::vector<Comparison> resolved;
+        if (params_) {
+          resolved.reserve(op->pred.conjuncts.size());
+          for (const auto& cmp : op->pred.conjuncts) {
+            resolved.push_back(algebra::ResolveParams(cmp, params_));
+          }
+          conjuncts = &resolved;
+        }
         for (const auto& row : in->rows) {
           bool pass = true;
-          for (const auto& cmp : op->pred.conjuncts) {
+          for (const auto& cmp : *conjuncts) {
             if (!EvalComparison(cmp, in->schema, row)) {
               pass = false;
               break;
@@ -309,7 +323,8 @@ class Evaluator {
             continue;
           }
         }
-        residual.push_back(cmp);
+        residual.push_back(params_ ? algebra::ResolveParams(cmp, params_)
+                                   : cmp);
       }
     }
     auto emit = [&](const std::vector<Value>& l,
@@ -413,6 +428,7 @@ class Evaluator {
   const xml::DocTable& doc_;
   BudgetClock clock_;
   ExecStats* stats_;
+  const std::vector<Value>* params_;  ///< Execute-time bindings, not owned
   std::unordered_map<const Op*, TableRef> memo_;
 };
 

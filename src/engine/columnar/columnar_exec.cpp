@@ -8,6 +8,7 @@
 
 #include "src/common/str.h"
 #include "src/engine/columnar/column_batch.h"
+#include "src/engine/parallel/worker_pool.h"
 
 namespace xqjg::engine::columnar {
 
@@ -157,10 +158,16 @@ struct CompiledCmp {
   bool fast = false;
 };
 
-CompiledCmp CompileCmp(const Comparison& cmp, const ColumnBatch& batch) {
+CompiledCmp CompileCmp(const Comparison& cmp, const ColumnBatch& batch,
+                       const std::vector<Value>* params) {
   CompiledCmp c;
-  c.lhs = BindTerm(cmp.lhs, batch);
-  c.rhs = BindTerm(cmp.rhs, batch);
+  // Parameter markers substitute their bound Value before binding, so a
+  // bound string parameter still reaches the dictionary fast path. The
+  // common unparameterized case pays no Term copy.
+  c.lhs = params ? BindTerm(algebra::ResolveParams(cmp.lhs, params), batch)
+                 : BindTerm(cmp.lhs, batch);
+  c.rhs = params ? BindTerm(algebra::ResolveParams(cmp.rhs, params), batch)
+                 : BindTerm(cmp.rhs, batch);
   c.op = cmp.op;
   c.fast_lhs = FastInt(c.lhs);
   c.fast_rhs = FastInt(c.rhs);
@@ -284,10 +291,17 @@ struct CompiledJoinCmp {
 };
 
 CompiledJoinCmp CompileJoinCmp(const Comparison& cmp, const ColumnBatch& left,
-                               const ColumnBatch& right) {
+                               const ColumnBatch& right,
+                               const std::vector<Value>* params) {
   CompiledJoinCmp c;
-  c.lhs = BindJoinTerm(cmp.lhs, left, right);
-  c.rhs = BindJoinTerm(cmp.rhs, left, right);
+  c.lhs = params
+              ? BindJoinTerm(algebra::ResolveParams(cmp.lhs, params), left,
+                             right)
+              : BindJoinTerm(cmp.lhs, left, right);
+  c.rhs = params
+              ? BindJoinTerm(algebra::ResolveParams(cmp.rhs, params), left,
+                             right)
+              : BindJoinTerm(cmp.rhs, left, right);
   c.op = cmp.op;
   c.fast_lhs = FastIntJoin(c.lhs);
   c.fast_rhs = FastIntJoin(c.rhs);
@@ -348,6 +362,17 @@ bool KeepLazy(size_t survivors, size_t phys_rows) {
   return survivors * 2 >= phys_rows;
 }
 
+/// Morsel geometry for the parallel paths: below the cutoff a fan-out
+/// costs more in scheduling than the scan saves; above it, fixed-size
+/// morsels keep the shared claim counter cold while giving the pool
+/// enough pieces to balance skew.
+constexpr size_t kParallelRowCutoff = 2048;
+constexpr size_t kMorselRows = 1024;
+
+inline size_t MorselCount(size_t n) {
+  return (n + kMorselRows - 1) / kMorselRows;
+}
+
 
 
 // ---------------------------------------------------------------------------
@@ -357,7 +382,11 @@ class ColumnarEvaluator {
   using BatchRef = std::shared_ptr<const ColumnBatch>;
 
   ColumnarEvaluator(const xml::DocTable& doc, const ExecOptions& options)
-      : doc_(doc), clock_(options.limits), stats_(options.stats) {}
+      : doc_(doc),
+        clock_(options.limits),
+        stats_(options.stats),
+        threads_(options.threads),
+        params_(options.params) {}
 
   Result<BatchRef> Eval(const Op* op) {
     auto it = memo_.find(op);
@@ -443,23 +472,62 @@ class ColumnarEvaluator {
     std::vector<CompiledCmp> cmps;
     cmps.reserve(op->pred.conjuncts.size());
     for (const auto& cmp : op->pred.conjuncts) {
-      cmps.push_back(CompileCmp(cmp, *in));
+      cmps.push_back(CompileCmp(cmp, *in, params_));
     }
     // Late materialization: the filter produces a selection vector over
     // the shared physical columns — no gather. Chained σ compose by
     // filtering the incoming logical rows (already physical-translated).
     std::vector<uint32_t> sel;
-    for (size_t row = 0; row < in->num_rows; ++row) {
-      const size_t phys = in->PhysRow(row);
-      bool pass = true;
-      for (const CompiledCmp& c : cmps) {
-        if (!CmpPasses(c, phys)) {
-          pass = false;
-          break;
-        }
+    if (threads_ > 1 && in->num_rows >= kParallelRowCutoff) {
+      // Morsel fan-out: each morsel filters its logical row range into a
+      // private selection slice; concatenating the slices in morsel order
+      // reproduces the serial emission order exactly.
+      const size_t n = in->num_rows;
+      const size_t morsels = MorselCount(n);
+      std::vector<std::vector<uint32_t>> parts(morsels);
+      RegionBudget budget(clock_);
+      parallel::WorkerPool::Instance().ParallelFor(
+          threads_, morsels, [&](size_t m, int) {
+            BudgetClock wclock = budget.Worker();
+            std::vector<uint32_t>& part = parts[m];
+            const size_t end = std::min(n, (m + 1) * kMorselRows);
+            for (size_t row = m * kMorselRows; row < end; ++row) {
+              const size_t phys = in->PhysRow(row);
+              bool pass = true;
+              for (const CompiledCmp& c : cmps) {
+                if (!CmpPasses(c, phys)) {
+                  pass = false;
+                  break;
+                }
+              }
+              if (pass) part.push_back(static_cast<uint32_t>(phys));
+              Status st = wclock.Tick();
+              if (!st.ok()) {
+                budget.Abort(st);
+                return;
+              }
+            }
+          });
+      XQJG_RETURN_NOT_OK(budget.status());
+      size_t total = 0;
+      for (const auto& part : parts) total += part.size();
+      sel.reserve(total);
+      for (const auto& part : parts) {
+        sel.insert(sel.end(), part.begin(), part.end());
       }
-      if (pass) sel.push_back(static_cast<uint32_t>(phys));
-      XQJG_RETURN_NOT_OK(clock_.Tick());
+    } else {
+      for (size_t row = 0; row < in->num_rows; ++row) {
+        const size_t phys = in->PhysRow(row);
+        bool pass = true;
+        for (const CompiledCmp& c : cmps) {
+          if (!CmpPasses(c, phys)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) sel.push_back(static_cast<uint32_t>(phys));
+        XQJG_RETURN_NOT_OK(clock_.Tick());
+      }
     }
     // Nothing filtered: pass the input through (row set unchanged — no
     // selection vector, no gather).
@@ -516,7 +584,7 @@ class ColumnarEvaluator {
     std::vector<CompiledJoinCmp> res;
     res.reserve(residual.size());
     for (const auto& cmp : residual) {
-      res.push_back(CompileJoinCmp(cmp, *left, *right));
+      res.push_back(CompileJoinCmp(cmp, *left, *right, params_));
     }
     // The join build/probe is a gather boundary: lazy inputs resolve
     // their selection vectors here — all row indices below are PHYSICAL,
@@ -540,22 +608,116 @@ class ColumnarEvaluator {
       // sides — NULL never equals NULL in a join predicate.
       std::unordered_map<size_t, std::vector<uint32_t>> buckets;
       buckets.reserve(right->num_rows * 2);
-      for (size_t j = 0; j < right->num_rows; ++j) {
-        const size_t jp = right->PhysRow(j);
-        if (AnyKeyNull(*right, rkeys, jp)) continue;
-        buckets[HashKeysAt(*right, rkeys, jp)].push_back(
-            static_cast<uint32_t>(jp));
-        XQJG_RETURN_NOT_OK(clock_.Tick());
+      if (threads_ > 1 && right->num_rows >= kParallelRowCutoff) {
+        // Partitioned parallel build: each partition hashes a contiguous
+        // ascending row range into a private table; merging the partials
+        // in partition order keeps every bucket's rows ascending — the
+        // exact order the serial build produces, so the probe emits
+        // identically.
+        const size_t rn = right->num_rows;
+        const size_t morsels = MorselCount(rn);
+        std::vector<std::unordered_map<size_t, std::vector<uint32_t>>> built(
+            morsels);
+        RegionBudget budget(clock_);
+        parallel::WorkerPool::Instance().ParallelFor(
+            threads_, morsels, [&](size_t m, int) {
+              BudgetClock wclock = budget.Worker();
+              auto& local = built[m];
+              const size_t end = std::min(rn, (m + 1) * kMorselRows);
+              for (size_t j = m * kMorselRows; j < end; ++j) {
+                const size_t jp = right->PhysRow(j);
+                if (AnyKeyNull(*right, rkeys, jp)) continue;
+                local[HashKeysAt(*right, rkeys, jp)].push_back(
+                    static_cast<uint32_t>(jp));
+                Status st = wclock.Tick();
+                if (!st.ok()) {
+                  budget.Abort(st);
+                  return;
+                }
+              }
+            });
+        XQJG_RETURN_NOT_OK(budget.status());
+        for (auto& local : built) {
+          for (auto& [h, rows] : local) {
+            auto& dst = buckets[h];
+            dst.insert(dst.end(), rows.begin(), rows.end());
+          }
+        }
+      } else {
+        for (size_t j = 0; j < right->num_rows; ++j) {
+          const size_t jp = right->PhysRow(j);
+          if (AnyKeyNull(*right, rkeys, jp)) continue;
+          buckets[HashKeysAt(*right, rkeys, jp)].push_back(
+              static_cast<uint32_t>(jp));
+          XQJG_RETURN_NOT_OK(clock_.Tick());
+        }
       }
-      for (size_t l = 0; l < left->num_rows; ++l) {
-        XQJG_RETURN_NOT_OK(clock_.Tick());
-        const size_t lp = left->PhysRow(l);
-        if (AnyKeyNull(*left, lkeys, lp)) continue;
-        auto it = buckets.find(HashKeysAt(*left, lkeys, lp));
-        if (it == buckets.end()) continue;
-        for (uint32_t jp : it->second) {
-          if (KeysEqual(*left, lkeys, lp, *right, rkeys, jp)) {
-            XQJG_RETURN_NOT_OK(emit(lp, jp));
+      if (threads_ > 1 && left->num_rows >= kParallelRowCutoff) {
+        // Shared read-only probe: morsels over the left rows append into
+        // private (lidx, ridx) slices, concatenated in morsel order.
+        // Worker clocks flush emitted-pair counts into the region's joint
+        // row budget (see RegionBudget).
+        const size_t ln = left->num_rows;
+        const size_t morsels = MorselCount(ln);
+        std::vector<std::vector<uint32_t>> lparts(morsels), rparts(morsels);
+        RegionBudget budget(clock_);
+        parallel::WorkerPool::Instance().ParallelFor(
+            threads_, morsels, [&](size_t m, int) {
+              BudgetClock wclock = budget.Worker();
+              std::vector<uint32_t>& ld = lparts[m];
+              std::vector<uint32_t>& rd = rparts[m];
+              auto run = [&]() -> Status {
+                const size_t end = std::min(ln, (m + 1) * kMorselRows);
+                for (size_t l = m * kMorselRows; l < end; ++l) {
+                  XQJG_RETURN_NOT_OK(wclock.Tick());
+                  const size_t lp = left->PhysRow(l);
+                  if (AnyKeyNull(*left, lkeys, lp)) continue;
+                  auto it = buckets.find(HashKeysAt(*left, lkeys, lp));
+                  if (it == buckets.end()) continue;
+                  for (uint32_t jp : it->second) {
+                    if (!KeysEqual(*left, lkeys, lp, *right, rkeys, jp)) {
+                      continue;
+                    }
+                    bool pass = true;
+                    for (const CompiledJoinCmp& c : res) {
+                      if (!JoinCmpPasses(c, lp, jp)) {
+                        pass = false;
+                        break;
+                      }
+                    }
+                    if (!pass) continue;
+                    ld.push_back(static_cast<uint32_t>(lp));
+                    rd.push_back(jp);
+                    XQJG_RETURN_NOT_OK(
+                        wclock.TickRows(static_cast<int64_t>(ld.size())));
+                  }
+                }
+                return wclock.FinishLocalRows(
+                    static_cast<int64_t>(ld.size()));
+              };
+              Status st = run();
+              if (!st.ok()) budget.Abort(st);
+            });
+        XQJG_RETURN_NOT_OK(budget.status());
+        size_t total = 0;
+        for (const auto& part : lparts) total += part.size();
+        lidx.reserve(total);
+        ridx.reserve(total);
+        for (size_t m = 0; m < morsels; ++m) {
+          lidx.insert(lidx.end(), lparts[m].begin(), lparts[m].end());
+          ridx.insert(ridx.end(), rparts[m].begin(), rparts[m].end());
+        }
+      } else {
+        for (size_t l = 0; l < left->num_rows; ++l) {
+          XQJG_RETURN_NOT_OK(clock_.Tick());
+          const size_t lp = left->PhysRow(l);
+          if (AnyKeyNull(*left, lkeys, lp)) continue;
+          auto it = buckets.find(HashKeysAt(*left, lkeys, lp));
+          if (it == buckets.end()) continue;
+          for (uint32_t jp : it->second) {
+            if (KeysEqual(*left, lkeys, lp, *right, rkeys, jp)) {
+              XQJG_RETURN_NOT_OK(emit(lp, jp));
+            }
           }
         }
       }
@@ -571,14 +733,23 @@ class ColumnarEvaluator {
     ColumnBatch out;
     out.schema = op->schema;
     out.num_rows = lidx.size();
-    out.cols.reserve(left->cols.size() + right->cols.size());
-    for (const ColumnRef& col : left->cols) {
-      out.cols.push_back(
-          std::make_shared<const ValueColumn>(col->Gather(lidx)));
-    }
-    for (const ColumnRef& col : right->cols) {
-      out.cols.push_back(
-          std::make_shared<const ValueColumn>(col->Gather(ridx)));
+    const size_t ncols = left->cols.size() + right->cols.size();
+    out.cols.resize(ncols);
+    auto gather_col = [&](size_t c) {
+      const ColumnRef& src = c < left->cols.size()
+                                 ? left->cols[c]
+                                 : right->cols[c - left->cols.size()];
+      const std::vector<uint32_t>& idx =
+          c < left->cols.size() ? lidx : ridx;
+      out.cols[c] = std::make_shared<const ValueColumn>(src->Gather(idx));
+    };
+    // Each gather writes its own pre-sized slot, so columns materialize
+    // independently.
+    if (threads_ > 1 && ncols > 1 && lidx.size() >= kParallelRowCutoff) {
+      parallel::WorkerPool::Instance().ParallelFor(
+          threads_, ncols, [&](size_t c, int) { gather_col(c); });
+    } else {
+      for (size_t c = 0; c < ncols; ++c) gather_col(c);
     }
     return out;
   }
@@ -781,6 +952,8 @@ class ColumnarEvaluator {
   const xml::DocTable& doc_;
   BudgetClock clock_;
   ExecStats* stats_;
+  const int threads_;
+  const std::vector<Value>* params_;
   std::unordered_map<const Op*, BatchRef> memo_;
 };
 

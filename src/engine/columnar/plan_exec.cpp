@@ -9,6 +9,7 @@
 
 #include "src/engine/algebra_exec.h"
 #include "src/engine/btree.h"
+#include "src/engine/parallel/worker_pool.h"
 #include "src/engine/qual_eval.h"
 
 namespace xqjg::engine::columnar {
@@ -116,6 +117,34 @@ std::vector<int64_t> GatherInts(const std::vector<int64_t>& src,
 /// instead of letting the casts wrap.
 constexpr size_t kMaxBatchRows = std::numeric_limits<uint32_t>::max();
 
+/// Morsel geometry for the parallel paths (threads > 1 only): below the
+/// cutoff the fan-out costs more in scheduling than it saves; above it,
+/// fixed-size morsels give the pool enough pieces to balance skew while
+/// per-morsel outputs stay cache-resident until the ordered concat.
+constexpr size_t kParallelRowCutoff = 2048;
+constexpr size_t kMorselRows = 1024;
+/// Outer rows of an index-probe loop: each row is a whole B-tree probe,
+/// so far fewer rows amortize a morsel.
+constexpr size_t kParallelProbeCutoff = 256;
+constexpr size_t kMorselProbeRows = 128;
+
+inline size_t MorselCount(size_t n, size_t morsel) {
+  return (n + morsel - 1) / morsel;
+}
+
+/// Concatenates per-morsel slices in morsel-index order — the step that
+/// makes every parallel path emit exactly the serial order.
+template <typename T>
+void ConcatParts(const std::vector<std::vector<T>>& parts,
+                 std::vector<T>* out) {
+  size_t total = out->size();
+  for (const auto& part : parts) total += part.size();
+  out->reserve(total);
+  for (const auto& part : parts) {
+    out->insert(out->end(), part.begin(), part.end());
+  }
+}
+
 Status CheckBatchSize(const AliasBatch& batch) {
   if (batch.rows > kMaxBatchRows) {
     return Status::Internal("join input exceeds batch row limit");
@@ -130,7 +159,7 @@ class ColumnarPlanExecutor {
   ColumnarPlanExecutor(const JoinGraph& graph, const Database& db,
                        const PlannerOptions& options, ExecStats* stats)
       : graph_(graph), db_(db), params_(options.params), stats_(stats),
-        clock_(options.limits) {}
+        threads_(options.threads), clock_(options.limits) {}
 
   Result<AliasBatch> Run(const PhysNode* node) {
     XQJG_RETURN_NOT_OK(clock_.CheckDeadline());
@@ -140,8 +169,13 @@ class ColumnarPlanExecutor {
         AliasBatch out(graph_.num_aliases);
         std::vector<int64_t> pres;
         const CompiledScan scan = CompileScan(*node, db_, 0, params_);
-        XQJG_RETURN_NOT_OK(ProbeScan(node, scan, nullptr, 0, nullptr,
-                                     &pres));
+        if (node->kind == PhysKind::kTbScan && threads_ > 1 &&
+            static_cast<size_t>(db_.row_count()) >= kParallelRowCutoff) {
+          XQJG_RETURN_NOT_OK(LeafTbScanParallel(node, scan, &pres));
+        } else {
+          XQJG_RETURN_NOT_OK(ProbeScan(node, scan, nullptr, 0, nullptr,
+                                       &pres, &clock_));
+        }
         out.rows = pres.size();
         out.bound[static_cast<size_t>(node->alias)] = 1;
         out.cols[static_cast<size_t>(node->alias)] = std::move(pres);
@@ -168,11 +202,43 @@ class ColumnarPlanExecutor {
           CompileScan(*node->right, db_, outer.AliasMask(), params_);
       std::vector<uint32_t> orows;
       std::vector<int64_t> pres;
-      for (size_t o = 0; o < outer.rows; ++o) {
-        XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), scan, &outer, o,
-                                     &orows, &pres));
-        XQJG_RETURN_NOT_OK(
-            clock_.TickRows(static_cast<int64_t>(pres.size())));
+      if (threads_ > 1 && outer.rows >= kParallelProbeCutoff) {
+        // Morsels over the outer rows: each morsel probes its range into
+        // private (orow, pre) slices — the scan node and its B-tree are
+        // read-only — concatenated in morsel order.
+        const size_t morsels = MorselCount(outer.rows, kMorselProbeRows);
+        std::vector<std::vector<uint32_t>> oparts(morsels);
+        std::vector<std::vector<int64_t>> pparts(morsels);
+        RegionBudget budget(clock_);
+        parallel::WorkerPool::Instance().ParallelFor(
+            threads_, morsels, [&](size_t m, int) {
+              BudgetClock wclock = budget.Worker();
+              auto run = [&]() -> Status {
+                const size_t end =
+                    std::min(outer.rows, (m + 1) * kMorselProbeRows);
+                for (size_t o = m * kMorselProbeRows; o < end; ++o) {
+                  XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), scan,
+                                               &outer, o, &oparts[m],
+                                               &pparts[m], &wclock));
+                  XQJG_RETURN_NOT_OK(wclock.TickRows(
+                      static_cast<int64_t>(pparts[m].size())));
+                }
+                return wclock.FinishLocalRows(
+                    static_cast<int64_t>(pparts[m].size()));
+              };
+              Status st = run();
+              if (!st.ok()) budget.Abort(st);
+            });
+        XQJG_RETURN_NOT_OK(budget.status());
+        ConcatParts(oparts, &orows);
+        ConcatParts(pparts, &pres);
+      } else {
+        for (size_t o = 0; o < outer.rows; ++o) {
+          XQJG_RETURN_NOT_OK(ProbeScan(node->right.get(), scan, &outer, o,
+                                       &orows, &pres, &clock_));
+          XQJG_RETURN_NOT_OK(
+              clock_.TickRows(static_cast<int64_t>(pres.size())));
+        }
       }
       AliasBatch merged = MergeScanResult(outer, alias, orows, pres);
       // Edge predicates not already applied inside the probe.
@@ -187,21 +253,107 @@ class ColumnarPlanExecutor {
     const std::vector<BoundQualCmp> cmps = CompileQuals(
         node->preds, db_, outer.AliasMask() | inner.AliasMask(), params_);
     std::vector<uint32_t> lidx, ridx;
-    for (size_t l = 0; l < outer.rows; ++l) {
-      for (size_t r = 0; r < inner.rows; ++r) {
-        XQJG_RETURN_NOT_OK(
-            clock_.TickRows(static_cast<int64_t>(lidx.size())));
-        if (AllPass(cmps, PairRow{&outer, l, &inner, r})) {
-          lidx.push_back(static_cast<uint32_t>(l));
-          ridx.push_back(static_cast<uint32_t>(r));
-        }
-      }
-    }
+    XQJG_RETURN_NOT_OK(NestedPairs(
+        outer.rows, inner.rows,
+        [&](size_t l, size_t r) {
+          return AllPass(cmps, PairRow{&outer, l, &inner, r});
+        },
+        &lidx, &ridx));
     AliasBatch merged = MergePair(outer, inner, lidx, ridx);
     if (stats_) {
       stats_->tuples_materialized += static_cast<int64_t>(merged.rows);
     }
     return merged;
+  }
+
+  /// l-major × r-minor candidate sweep shared by both nested-loop join
+  /// paths; `pass(l, r)` decides emission. Parallel over l-morsels when
+  /// the pair space is worth fanning out; morsel-order concat reproduces
+  /// the serial emission order.
+  template <typename PassFn>
+  Status NestedPairs(size_t lrows, size_t rrows, const PassFn& pass,
+                     std::vector<uint32_t>* lidx,
+                     std::vector<uint32_t>* ridx) {
+    if (threads_ > 1 && lrows >= 2 &&
+        lrows * rrows >= kParallelRowCutoff) {
+      const size_t morsel =
+          std::max<size_t>(1, kParallelRowCutoff / std::max<size_t>(rrows, 1));
+      const size_t morsels = MorselCount(lrows, morsel);
+      std::vector<std::vector<uint32_t>> lparts(morsels), rparts(morsels);
+      RegionBudget budget(clock_);
+      parallel::WorkerPool::Instance().ParallelFor(
+          threads_, morsels, [&](size_t m, int) {
+            BudgetClock wclock = budget.Worker();
+            std::vector<uint32_t>& ld = lparts[m];
+            std::vector<uint32_t>& rd = rparts[m];
+            auto run = [&]() -> Status {
+              const size_t end = std::min(lrows, (m + 1) * morsel);
+              for (size_t l = m * morsel; l < end; ++l) {
+                for (size_t r = 0; r < rrows; ++r) {
+                  XQJG_RETURN_NOT_OK(
+                      wclock.TickRows(static_cast<int64_t>(ld.size())));
+                  if (pass(l, r)) {
+                    ld.push_back(static_cast<uint32_t>(l));
+                    rd.push_back(static_cast<uint32_t>(r));
+                  }
+                }
+              }
+              return wclock.FinishLocalRows(
+                  static_cast<int64_t>(ld.size()));
+            };
+            Status st = run();
+            if (!st.ok()) budget.Abort(st);
+          });
+      XQJG_RETURN_NOT_OK(budget.status());
+      ConcatParts(lparts, lidx);
+      ConcatParts(rparts, ridx);
+      return Status::OK();
+    }
+    for (size_t l = 0; l < lrows; ++l) {
+      for (size_t r = 0; r < rrows; ++r) {
+        XQJG_RETURN_NOT_OK(
+            clock_.TickRows(static_cast<int64_t>(lidx->size())));
+        if (pass(l, r)) {
+          lidx->push_back(static_cast<uint32_t>(l));
+          ridx->push_back(static_cast<uint32_t>(r));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Leaf full-table scan, morselized over contiguous pre ranges.
+  Status LeafTbScanParallel(const PhysNode* node, const CompiledScan& scan,
+                            std::vector<int64_t>* pres) {
+    const auto nrows = static_cast<size_t>(db_.row_count());
+    const size_t morsels = MorselCount(nrows, kMorselRows);
+    std::vector<std::vector<int64_t>> parts(morsels);
+    RegionBudget budget(clock_);
+    parallel::WorkerPool::Instance().ParallelFor(
+        threads_, morsels, [&](size_t m, int) {
+          BudgetClock wclock = budget.Worker();
+          std::vector<int64_t>& part = parts[m];
+          auto run = [&]() -> Status {
+            const auto end = static_cast<int64_t>(
+                std::min(nrows, (m + 1) * kMorselRows));
+            for (auto pre = static_cast<int64_t>(m * kMorselRows);
+                 pre < end; ++pre) {
+              if (AllPass(scan.row_preds,
+                          ScanRow{nullptr, 0, node->alias, pre})) {
+                part.push_back(pre);
+              }
+              XQJG_RETURN_NOT_OK(
+                  wclock.TickRows(static_cast<int64_t>(part.size())));
+            }
+            return wclock.FinishLocalRows(
+                static_cast<int64_t>(part.size()));
+          };
+          Status st = run();
+          if (!st.ok()) budget.Abort(st);
+        });
+    XQJG_RETURN_NOT_OK(budget.status());
+    ConcatParts(parts, pres);
+    return Status::OK();
   }
 
   Result<AliasBatch> RunHsJoin(const PhysNode* node) {
@@ -224,16 +376,8 @@ class ColumnarPlanExecutor {
       return AllPass(cmps, PairRow{&left, l, &right, r});
     };
     if (!hash_pred) {
-      for (size_t l = 0; l < left.rows; ++l) {
-        for (size_t r = 0; r < right.rows; ++r) {
-          XQJG_RETURN_NOT_OK(
-              clock_.TickRows(static_cast<int64_t>(lidx.size())));
-          if (pair_passes(l, r)) {
-            lidx.push_back(static_cast<uint32_t>(l));
-            ridx.push_back(static_cast<uint32_t>(r));
-          }
-        }
-      }
+      XQJG_RETURN_NOT_OK(
+          NestedPairs(left.rows, right.rows, pair_passes, &lidx, &ridx));
       return MergePair(left, right, lidx, ridx);
     }
     // Determine which side provides which term (same rule as the row
@@ -253,25 +397,100 @@ class ColumnarPlanExecutor {
         ResolveParams(lhs_left ? hash_pred->rhs : hash_pred->lhs, params_),
         db_);
     std::unordered_map<size_t, std::vector<uint32_t>> buckets;
-    for (size_t j = 0; j < right.rows; ++j) {
-      XQJG_RETURN_NOT_OK(clock_.Tick());
-      // NULL keys never join (Value::Compare: NULL is incomparable).
-      Value v = rterm.Eval(BatchRow{&right, j});
-      if (v.is_null()) continue;
-      buckets[v.Hash()].push_back(static_cast<uint32_t>(j));
+    if (threads_ > 1 && right.rows >= kParallelRowCutoff) {
+      // Partitioned parallel build: contiguous ascending row ranges into
+      // private tables, merged in partition order — every bucket keeps
+      // its rows ascending, exactly the serial insertion order, so the
+      // probe emits identically.
+      const size_t rn = right.rows;
+      const size_t morsels = MorselCount(rn, kMorselRows);
+      std::vector<std::unordered_map<size_t, std::vector<uint32_t>>> built(
+          morsels);
+      RegionBudget budget(clock_);
+      parallel::WorkerPool::Instance().ParallelFor(
+          threads_, morsels, [&](size_t m, int) {
+            BudgetClock wclock = budget.Worker();
+            auto& local = built[m];
+            const size_t end = std::min(rn, (m + 1) * kMorselRows);
+            for (size_t j = m * kMorselRows; j < end; ++j) {
+              Status st = wclock.Tick();
+              if (!st.ok()) {
+                budget.Abort(st);
+                return;
+              }
+              Value v = rterm.Eval(BatchRow{&right, j});
+              if (v.is_null()) continue;
+              local[v.Hash()].push_back(static_cast<uint32_t>(j));
+            }
+          });
+      XQJG_RETURN_NOT_OK(budget.status());
+      buckets.reserve(rn * 2);
+      for (auto& local : built) {
+        for (auto& [h, rows] : local) {
+          auto& dst = buckets[h];
+          dst.insert(dst.end(), rows.begin(), rows.end());
+        }
+      }
+    } else {
+      for (size_t j = 0; j < right.rows; ++j) {
+        XQJG_RETURN_NOT_OK(clock_.Tick());
+        // NULL keys never join (Value::Compare: NULL is incomparable).
+        Value v = rterm.Eval(BatchRow{&right, j});
+        if (v.is_null()) continue;
+        buckets[v.Hash()].push_back(static_cast<uint32_t>(j));
+      }
     }
-    for (size_t l = 0; l < left.rows; ++l) {
-      XQJG_RETURN_NOT_OK(clock_.Tick());
-      Value v = lterm.Eval(BatchRow{&left, l});
-      if (v.is_null()) continue;
-      auto it = buckets.find(v.Hash());
-      if (it == buckets.end()) continue;
-      for (uint32_t j : it->second) {
-        XQJG_RETURN_NOT_OK(
-            clock_.TickRows(static_cast<int64_t>(lidx.size())));
-        if (pair_passes(l, j)) {
-          lidx.push_back(static_cast<uint32_t>(l));
-          ridx.push_back(j);
+    if (threads_ > 1 && left.rows >= kParallelRowCutoff) {
+      // Shared read-only probe over morsels of the left rows.
+      const size_t ln = left.rows;
+      const size_t morsels = MorselCount(ln, kMorselRows);
+      std::vector<std::vector<uint32_t>> lparts(morsels), rparts(morsels);
+      RegionBudget budget(clock_);
+      parallel::WorkerPool::Instance().ParallelFor(
+          threads_, morsels, [&](size_t m, int) {
+            BudgetClock wclock = budget.Worker();
+            std::vector<uint32_t>& ld = lparts[m];
+            std::vector<uint32_t>& rd = rparts[m];
+            auto run = [&]() -> Status {
+              const size_t end = std::min(ln, (m + 1) * kMorselRows);
+              for (size_t l = m * kMorselRows; l < end; ++l) {
+                XQJG_RETURN_NOT_OK(wclock.Tick());
+                Value v = lterm.Eval(BatchRow{&left, l});
+                if (v.is_null()) continue;
+                auto it = buckets.find(v.Hash());
+                if (it == buckets.end()) continue;
+                for (uint32_t j : it->second) {
+                  XQJG_RETURN_NOT_OK(
+                      wclock.TickRows(static_cast<int64_t>(ld.size())));
+                  if (pair_passes(l, j)) {
+                    ld.push_back(static_cast<uint32_t>(l));
+                    rd.push_back(j);
+                  }
+                }
+              }
+              return wclock.FinishLocalRows(
+                  static_cast<int64_t>(ld.size()));
+            };
+            Status st = run();
+            if (!st.ok()) budget.Abort(st);
+          });
+      XQJG_RETURN_NOT_OK(budget.status());
+      ConcatParts(lparts, &lidx);
+      ConcatParts(rparts, &ridx);
+    } else {
+      for (size_t l = 0; l < left.rows; ++l) {
+        XQJG_RETURN_NOT_OK(clock_.Tick());
+        Value v = lterm.Eval(BatchRow{&left, l});
+        if (v.is_null()) continue;
+        auto it = buckets.find(v.Hash());
+        if (it == buckets.end()) continue;
+        for (uint32_t j : it->second) {
+          XQJG_RETURN_NOT_OK(
+              clock_.TickRows(static_cast<int64_t>(lidx.size())));
+          if (pair_passes(l, j)) {
+            lidx.push_back(static_cast<uint32_t>(l));
+            ridx.push_back(j);
+          }
         }
       }
     }
@@ -291,7 +510,7 @@ class ColumnarPlanExecutor {
       const auto idx = static_cast<size_t>(a);
       if (!outer.bound[idx]) continue;
       out.bound[idx] = 1;
-      out.cols[idx] = GatherInts(outer.cols[idx], orows);
+      out.cols[idx] = ParallelGatherInts(outer.cols[idx], orows);
     }
     out.bound[static_cast<size_t>(alias)] = 1;
     out.cols[static_cast<size_t>(alias)] = std::move(pres);
@@ -308,12 +527,30 @@ class ColumnarPlanExecutor {
       // Left binding wins, mirroring MergeTuples.
       if (left.bound[idx]) {
         out.bound[idx] = 1;
-        out.cols[idx] = GatherInts(left.cols[idx], lidx);
+        out.cols[idx] = ParallelGatherInts(left.cols[idx], lidx);
       } else if (right.bound[idx]) {
         out.bound[idx] = 1;
-        out.cols[idx] = GatherInts(right.cols[idx], ridx);
+        out.cols[idx] = ParallelGatherInts(right.cols[idx], ridx);
       }
     }
+    return out;
+  }
+
+  /// GatherInts, morselized into disjoint slices of the pre-sized output
+  /// when the batch is worth fanning out (bitwise-identical result).
+  std::vector<int64_t> ParallelGatherInts(const std::vector<int64_t>& src,
+                                          const std::vector<uint32_t>& idx) {
+    if (threads_ <= 1 || idx.size() < kParallelRowCutoff) {
+      return GatherInts(src, idx);
+    }
+    std::vector<int64_t> out(idx.size());
+    parallel::WorkerPool::Instance().ParallelFor(
+        threads_, MorselCount(idx.size(), kMorselRows), [&](size_t m, int) {
+          const size_t end = std::min(idx.size(), (m + 1) * kMorselRows);
+          for (size_t r = m * kMorselRows; r < end; ++r) {
+            out[r] = src[idx[r]];
+          }
+        });
     return out;
   }
 
@@ -343,10 +580,12 @@ class ColumnarPlanExecutor {
   /// Runs one scan (compiled once per node) with outer bindings from
   /// `outer` row `orow` (both null for leaf scans); appends matches as
   /// (outer row, pre) pairs. Mirrors the row executor's ProbeScan.
+  /// `clock` is the caller's budget clock — the member clock for serial
+  /// callers, a per-morsel worker clock inside parallel regions.
   Status ProbeScan(const PhysNode* node, const CompiledScan& scan,
                    const AliasBatch* outer, size_t orow,
                    std::vector<uint32_t>* out_orow,
-                   std::vector<int64_t>* out_pre) {
+                   std::vector<int64_t>* out_pre, BudgetClock* clock) {
     const int alias = node->alias;
     auto emit_if_match = [&](int64_t pre) {
       // Conjuncts whose other aliases are still unbound were dropped at
@@ -361,7 +600,7 @@ class ColumnarPlanExecutor {
       for (int64_t pre = 0; pre < db_.row_count(); ++pre) {
         emit_if_match(pre);
         XQJG_RETURN_NOT_OK(
-            clock_.TickRows(static_cast<int64_t>(out_pre->size())));
+            clock->TickRows(static_cast<int64_t>(out_pre->size())));
       }
       return Status::OK();
     }
@@ -374,20 +613,21 @@ class ColumnarPlanExecutor {
     bool expired = false, over_rows = false;
     node->index->tree.Scan(range, [&](const Key&, int64_t pre) {
       emit_if_match(pre);
-      if (clock_.RowsExceeded(static_cast<int64_t>(out_pre->size()))) {
+      if (clock->RowsExceeded(static_cast<int64_t>(out_pre->size())) ||
+          clock->RegionAborted()) {
         over_rows = true;
         return false;  // stop the scan
       }
-      if (clock_.TickQuiet() && clock_.Expired()) {
+      if (clock->TickQuiet() && clock->Expired()) {
         expired = true;
         return false;  // stop the scan
       }
       return true;
     });
     if (over_rows) {
-      return clock_.TickRows(static_cast<int64_t>(out_pre->size()));
+      return clock->TickRows(static_cast<int64_t>(out_pre->size()));
     }
-    if (expired) return clock_.CheckDeadline();
+    if (expired) return clock->CheckDeadline();
     return Status::OK();
   }
 
@@ -395,6 +635,7 @@ class ColumnarPlanExecutor {
   const Database& db_;
   const std::vector<Value>* params_;  ///< Execute-time bindings, not owned
   ExecStats* stats_;
+  const int threads_;  ///< morsel workers (1 = serial)
   BudgetClock clock_;
 };
 
@@ -417,18 +658,43 @@ Result<std::vector<int64_t>> ExecutePlanColumnar(const PhysicalPlan& plan,
   // evaluated exactly once per tuple — the row executor re-derives them
   // per comparison.
   const size_t n = tuples.rows;
-  std::vector<std::vector<Value>> keys(graph.order_by.size() + 1);
-  for (size_t kcol = 0; kcol < keys.size(); ++kcol) {
-    const BoundQualTerm term(kcol < graph.order_by.size()
-                                 ? graph.order_by[kcol]
-                                 : graph.item,
-                             db);
-    auto& out_col = keys[kcol];
-    out_col.reserve(n);
+  // Key evaluation fans out over row morsels into disjoint slices of the
+  // pre-sized column; the sort itself stays a serial merge barrier.
+  auto eval_term_column = [&](const QualTerm& qt,
+                              std::vector<Value>* out_col) -> Status {
+    const BoundQualTerm term(qt, db);
+    if (options.threads > 1 && n >= kParallelRowCutoff) {
+      out_col->resize(n);
+      RegionBudget budget(*clock);
+      parallel::WorkerPool::Instance().ParallelFor(
+          options.threads, MorselCount(n, kMorselRows),
+          [&](size_t m, int) {
+            BudgetClock wclock = budget.Worker();
+            const size_t end = std::min(n, (m + 1) * kMorselRows);
+            for (size_t r = m * kMorselRows; r < end; ++r) {
+              (*out_col)[r] = term.Eval(BatchRow{&tuples, r});
+              Status st = wclock.Tick();
+              if (!st.ok()) {
+                budget.Abort(st);
+                return;
+              }
+            }
+          });
+      return budget.status();
+    }
+    out_col->reserve(n);
     for (size_t r = 0; r < n; ++r) {
-      out_col.push_back(term.Eval(BatchRow{&tuples, r}));
+      out_col->push_back(term.Eval(BatchRow{&tuples, r}));
       XQJG_RETURN_NOT_OK(clock->Tick());
     }
+    return Status::OK();
+  };
+  std::vector<std::vector<Value>> keys(graph.order_by.size() + 1);
+  for (size_t kcol = 0; kcol < keys.size(); ++kcol) {
+    XQJG_RETURN_NOT_OK(eval_term_column(kcol < graph.order_by.size()
+                                            ? graph.order_by[kcol]
+                                            : graph.item,
+                                        &keys[kcol]));
   }
   std::vector<uint32_t> perm = IdentityPerm(n);
   try {
@@ -454,12 +720,8 @@ Result<std::vector<int64_t>> ExecutePlanColumnar(const PhysicalPlan& plan,
   if (graph.distinct && !dedup_by_key) {
     payload_cols.resize(graph.select_list.size());
     for (size_t c = 0; c < graph.select_list.size(); ++c) {
-      const BoundQualTerm term(graph.select_list[c], db);
-      payload_cols[c].reserve(n);
-      for (size_t r = 0; r < n; ++r) {
-        payload_cols[c].push_back(term.Eval(BatchRow{&tuples, r}));
-        XQJG_RETURN_NOT_OK(clock->Tick());
-      }
+      XQJG_RETURN_NOT_OK(
+          eval_term_column(graph.select_list[c], &payload_cols[c]));
     }
   }
   auto values_equal = [](const Value& a, const Value& b) {

@@ -4,11 +4,15 @@
 #ifndef XQJG_ENGINE_EXEC_OPTIONS_H_
 #define XQJG_ENGINE_EXEC_OPTIONS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/str.h"
+#include "src/common/value.h"
 
 namespace xqjg::engine {
 
@@ -40,6 +44,15 @@ struct ExecOptions {
   /// Evaluate via the columnar batch executor instead of the row-at-a-time
   /// materializer. Both produce identical tables (differential-tested).
   bool use_columnar = false;
+  /// Morsel workers for the columnar executors (1 = serial, today's exact
+  /// code paths; the row executors always run serial so they stay
+  /// byte-identical differential oracles). Results are independent of the
+  /// worker count: morsel outputs merge in morsel-index order.
+  int threads = 1;
+  /// Execute-time values for the plan's parameter markers, indexed by
+  /// binding slot (null: no parameters). Not owned; must outlive the
+  /// execution.
+  const std::vector<Value>* params = nullptr;
   ExecStats* stats = nullptr;  ///< optional sink, not owned
 };
 
@@ -51,6 +64,15 @@ struct BudgetExhausted {};
 /// One DNF budget, checkable from every loop. Deadline reads are amortized
 /// via Tick()/TickThrow() so tight per-row loops pay ~one clock read per
 /// 4096 iterations.
+///
+/// A clock is either *serial* (the default: plain mutable counters, one
+/// owning thread — exactly the pre-parallelism behavior) or a *worker*
+/// clock handed out by RegionBudget::Worker() for one morsel of a parallel
+/// region. A worker clock keeps its own tick counter (no shared mutable
+/// state on the hot path) and cooperates through the region's shared
+/// atomic core: local row production is flushed into the joint counter
+/// every kFlushStride rows, and every Tick observes the region's abort
+/// latch so one worker hitting a budget stops the others promptly.
 class BudgetClock {
  public:
   BudgetClock() = default;
@@ -68,6 +90,9 @@ class BudgetClock {
   /// Row budget + deadline; call once per materialized intermediate.
   Status CheckRows(int64_t rows) const {
     if (RowsExceeded(rows)) return RowBudgetExceeded();
+    if (region_ && region_->aborted.load(std::memory_order_relaxed)) {
+      return region_->Error();
+    }
     return CheckDeadline();
   }
 
@@ -82,8 +107,12 @@ class BudgetClock {
     return have_deadline_ && std::chrono::steady_clock::now() > deadline_;
   }
 
-  /// Amortized deadline check for row-producing loops.
+  /// Amortized deadline check for row-producing loops. Worker clocks also
+  /// observe the region abort latch here (one relaxed load per call).
   Status Tick() {
+    if (region_ && region_->aborted.load(std::memory_order_relaxed)) {
+      return region_->Error();
+    }
     if ((++tick_ & kStrideMask) == 0) return CheckDeadline();
     return Status::OK();
   }
@@ -99,24 +128,76 @@ class BudgetClock {
   /// plan executors. The row comparison is a plain integer check (paid on
   /// every call); the clock read is amortized like Tick().
   Status TickRows(int64_t rows) {
+    if (region_ && max_rows_ > 0 && rows - reported_ >= kFlushStride) {
+      FlushLocalRows(rows);
+    }
     if (RowsExceeded(rows)) return RowBudgetExceeded();
     return Tick();
   }
 
+  /// Worker clocks only: folds the still-unreported tail of this clock's
+  /// local container into the region's joint row counter and returns the
+  /// row-budget verdict. Call exactly once when the local container is
+  /// complete (morsel end) — without it the joint counter undercounts by
+  /// up to kFlushStride rows per morsel. Serial clocks: plain row check.
+  Status FinishLocalRows(int64_t rows) {
+    if (region_ && max_rows_ > 0 && rows > reported_) FlushLocalRows(rows);
+    if (RowsExceeded(rows)) return RowBudgetExceeded();
+    return Status::OK();
+  }
+
   /// Row-budget check alone — for callback loops that cannot propagate
   /// Status directly (pair with TickQuiet()/Expired() for the deadline).
+  /// Worker clocks count `rows` on top of the rest of the region's
+  /// production as of the last flush.
   bool RowsExceeded(int64_t rows) const {
-    return max_rows_ > 0 && rows > max_rows_;
+    return max_rows_ > 0 && others_ + rows > max_rows_;
   }
 
   /// Advances the tick counter and reports whether the deadline is due for
   /// a check — for callback loops that cannot propagate Status directly.
   bool TickQuiet() { return (++tick_ & kStrideMask) == 0; }
 
+  /// True when another worker in this clock's parallel region already hit
+  /// a budget — callback loops should stop early and let the region
+  /// surface the first error. Always false for serial clocks.
+  bool RegionAborted() const {
+    return region_ && region_->aborted.load(std::memory_order_relaxed);
+  }
+
   int64_t max_rows() const { return max_rows_; }
 
  private:
+  friend class RegionBudget;
+
   static constexpr uint64_t kStrideMask = 0xFFF;  // every 4096 calls
+  /// Rows a worker may produce between flushes into the joint counter;
+  /// bounds the region's row-budget overshoot at workers × kFlushStride.
+  static constexpr int64_t kFlushStride = 256;
+
+  /// Shared core of one parallel region's cooperative budget: the joint
+  /// row counter plus a set-once first-error latch (see RegionBudget).
+  struct RegionCore {
+    std::atomic<int64_t> rows{0};
+    std::atomic<bool> aborted{false};
+
+    void Abort(const Status& error) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!aborted.load(std::memory_order_relaxed)) {
+        first_error = error;
+        aborted.store(true, std::memory_order_release);
+      }
+    }
+    Status Error() const {
+      std::lock_guard<std::mutex> lock(mu);
+      return first_error.ok()
+                 ? Status::Timeout("parallel region aborted (DNF)")
+                 : first_error;
+    }
+
+    mutable std::mutex mu;
+    Status first_error;  ///< guarded by mu; set exactly once
+  };
 
   Status RowBudgetExceeded() const {
     return Status::Timeout(
@@ -124,10 +205,69 @@ class BudgetClock {
                   static_cast<long long>(max_rows_)));
   }
 
+  /// Publishes the delta since the last flush and refreshes this worker's
+  /// view of everyone else's production.
+  void FlushLocalRows(int64_t rows) {
+    const int64_t delta = rows - reported_;
+    const int64_t total =
+        region_->rows.fetch_add(delta, std::memory_order_relaxed) + delta;
+    reported_ = rows;
+    others_ = total - rows;
+  }
+
   std::chrono::steady_clock::time_point deadline_;
   bool have_deadline_ = false;
   int64_t max_rows_ = -1;
   uint64_t tick_ = 0;
+  // Worker mode (clocks handed out by RegionBudget::Worker()); all three
+  // stay at their defaults on serial clocks, making every check above
+  // reduce to the original serial logic.
+  RegionCore* region_ = nullptr;  ///< not owned; outlives the worker clock
+  int64_t reported_ = 0;          ///< local rows already in the joint counter
+  int64_t others_ = 0;            ///< joint total minus this clock's share
+};
+
+/// Cooperative DNF budget for one parallel region: owns the shared atomic
+/// row-budget core and hands out per-worker clocks (fresh tick counters
+/// over the parent clock's deadline and row limits). The region must
+/// outlive every worker clock it vends. Morsel bodies route any non-OK
+/// status into Abort(); the first error wins and is what status() reports
+/// — so a row-budget abort on worker 3 surfaces as the row-budget error,
+/// not as a generic failure of whoever noticed the latch.
+class RegionBudget {
+ public:
+  explicit RegionBudget(const BudgetClock& parent) : parent_(parent) {
+    // Regions do not nest: a worker clock used as a parent would drag its
+    // old region pointer into the copies.
+    parent_.region_ = nullptr;
+    parent_.reported_ = 0;
+    parent_.others_ = 0;
+  }
+
+  RegionBudget(const RegionBudget&) = delete;
+  RegionBudget& operator=(const RegionBudget&) = delete;
+
+  /// A private clock for one morsel: shares the joint row counter and
+  /// abort latch, owns its tick counter. Pair with FinishLocalRows at
+  /// morsel end.
+  BudgetClock Worker() {
+    BudgetClock clock = parent_;
+    clock.tick_ = 0;
+    clock.region_ = &core_;
+    return clock;
+  }
+
+  void Abort(const Status& error) { core_.Abort(error); }
+
+  /// OK unless some worker aborted; then the first recorded error.
+  Status status() const {
+    return core_.aborted.load(std::memory_order_acquire) ? core_.Error()
+                                                         : Status::OK();
+  }
+
+ private:
+  BudgetClock parent_;
+  BudgetClock::RegionCore core_;
 };
 
 }  // namespace xqjg::engine

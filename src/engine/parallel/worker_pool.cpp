@@ -1,0 +1,75 @@
+#include "src/engine/parallel/worker_pool.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace xqjg::engine::parallel {
+
+WorkerPool& WorkerPool::Instance() {
+  // Leaked on purpose: helper threads block on work_cv_ forever, so a
+  // destructor would deadlock (or race a late region) at process exit.
+  static WorkerPool* pool = new WorkerPool();
+  return *pool;
+}
+
+void WorkerPool::RunRegion(Region* region, int worker) {
+  const auto& body = *region->body;
+  for (;;) {
+    const size_t i = region->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= region->n) return;
+    body(i, worker);
+  }
+}
+
+void WorkerPool::ParallelFor(
+    int threads, size_t n,
+    const std::function<void(size_t index, int worker)>& body) {
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+  auto region = std::make_shared<Region>();
+  region->body = &body;
+  region->n = n;
+  region->max_helpers = std::min<int>(threads - 1, static_cast<int>(n) - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(region);
+    const int want = std::min(kMaxWorkers, region->max_helpers);
+    while (spawned_ < want) {
+      std::thread(&WorkerPool::WorkerLoop, this).detach();
+      ++spawned_;
+    }
+  }
+  work_cv_.notify_all();
+  RunRegion(region.get(), /*worker=*/0);
+  // The caller only leaves RunRegion once every morsel has been claimed;
+  // wait until no helper is still inside body on one of them.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return region->active == 0; });
+  auto it = std::find(queue_.begin(), queue_.end(), region);
+  if (it != queue_.end()) queue_.erase(it);
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return !queue_.empty(); });
+    auto region = queue_.front();
+    if (region->handed_out >= region->max_helpers ||
+        region->next.load(std::memory_order_relaxed) >= region->n) {
+      // Region is fully staffed or drained; retire it from the queue (the
+      // owning caller still holds its shared_ptr) and look again.
+      queue_.pop_front();
+      continue;
+    }
+    const int worker = ++region->handed_out;  // caller is worker 0
+    ++region->active;
+    lock.unlock();
+    RunRegion(region.get(), worker);
+    lock.lock();
+    if (--region->active == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace xqjg::engine::parallel

@@ -1,0 +1,81 @@
+// Process-wide shared worker pool for morsel-driven intra-query
+// parallelism (Leis et al.'s morsel model adapted to the columnar
+// executors): a query partitions its row space into morsels, and
+// ParallelFor fans the morsel indexes out over the calling thread plus a
+// bounded set of shared pool workers.
+//
+// Ownership/lifetime contract:
+//   - One pool per process (leaked singleton): workers are lazily
+//     spawned, shared by every concurrent query region, and never
+//     destroyed, so process teardown cannot race an in-flight region and
+//     repeated queries never pay thread creation.
+//   - The calling thread always participates as worker 0 and claims
+//     morsels like any helper, so ParallelFor(1, ...) degenerates to a
+//     plain serial loop with zero synchronization.
+//   - Morsels are claimed from a shared atomic counter (work stealing at
+//     morsel granularity); callers that need deterministic output
+//     concatenate per-morsel results in morsel-index order.
+//
+// `body(index, worker)` must not throw and must tolerate concurrent
+// invocation from distinct workers; `worker` is in [0, threads) so
+// callers can maintain per-worker state (e.g. a BudgetClock per worker).
+#ifndef XQJG_ENGINE_PARALLEL_WORKER_POOL_H_
+#define XQJG_ENGINE_PARALLEL_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+namespace xqjg::engine::parallel {
+
+class WorkerPool {
+ public:
+  /// Helper threads the process will ever spawn. Requests beyond this are
+  /// clamped (the extra "workers" simply never materialize; the morsel
+  /// counter hands their share to whoever is free).
+  static constexpr int kMaxWorkers = 16;
+
+  /// The shared pool (leaked: workers outlive every static destructor).
+  static WorkerPool& Instance();
+
+  /// Runs body(i, worker) for every i in [0, n), using the calling
+  /// thread (worker 0) plus up to threads-1 pool workers with ids
+  /// 1..threads-1. Returns when every invocation has completed. With
+  /// threads <= 1 or n <= 1 this is a plain serial loop.
+  void ParallelFor(int threads, size_t n,
+                   const std::function<void(size_t index, int worker)>& body);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+ private:
+  /// One ParallelFor call: a shared morsel counter plus the bookkeeping
+  /// that lets the caller wait for the helpers it attracted.
+  struct Region {
+    const std::function<void(size_t, int)>* body = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};  ///< next unclaimed morsel index
+    int max_helpers = 0;          ///< helper slots this region offers
+    int handed_out = 0;           ///< helper slots taken (guarded by pool mu)
+    int active = 0;               ///< helpers inside body (guarded by pool mu)
+  };
+
+  WorkerPool() = default;
+  void WorkerLoop();
+  /// Claims morsels until the counter is exhausted.
+  static void RunRegion(Region* region, int worker);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: a region was queued
+  std::condition_variable done_cv_;  ///< callers: a region drained
+  std::deque<std::shared_ptr<Region>> queue_;
+  int spawned_ = 0;
+};
+
+}  // namespace xqjg::engine::parallel
+
+#endif  // XQJG_ENGINE_PARALLEL_WORKER_POOL_H_

@@ -58,6 +58,11 @@ struct PlannerOptions {
   /// batched probes/joins, single-pass sort keys) instead of the
   /// row-at-a-time tuple executor. Identical results, differential-tested.
   bool use_columnar = false;
+  /// Morsel workers for the columnar plan executor (1 = serial, today's
+  /// exact code paths; the row executor always runs serial so it stays a
+  /// byte-identical differential oracle). Results are independent of the
+  /// worker count: morsel outputs merge in morsel-index order.
+  int threads = 1;
   /// Execute-time values for the plan's parameter markers, indexed by
   /// binding slot (null: no parameters). Not owned; must outlive the
   /// execution. Both executors substitute these into the per-node compiled

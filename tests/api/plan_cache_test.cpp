@@ -204,6 +204,42 @@ TEST_F(PlanCacheTest, IndexDdlEvictsJoinGraphEntriesOnly) {
   EXPECT_NE(jg_again.value().get(), jg.value().get());
 }
 
+TEST_F(PlanCacheTest, UnrelatedIndexDdlKeepsUsedIndexPlansCached) {
+  // The over-eviction fix: a join-graph plan records which indexes its
+  // physical plan actually probes (PreparedQuery::used_indexes), and
+  // index DDL only invalidates it when one of THOSE changed. Creating an
+  // additional index the plan never touches keeps the cached artifact
+  // pointer-identical and executable.
+  auto jg = processor_.Prepare(query_, Options());
+  ASSERT_TRUE(jg.ok()) << jg.status().ToString();
+  ASSERT_TRUE(jg.value()->has_plan);
+  ASSERT_FALSE(jg.value()->used_indexes.empty())
+      << "plan probes no indexes; pick a query with an index scan";
+  const uint64_t epoch_before = processor_.snapshot()->index_epoch;
+
+  // Index DDL creating an unrelated index the plan does not probe, on
+  // top of the existing set. The epoch bumps; the plan's indexes are
+  // intact with identical definitions.
+  engine::IndexDef unrelated;
+  unrelated.name = "zz_unrelated";
+  unrelated.key_columns = {"level", "kind"};
+  ASSERT_TRUE(processor_.CreateRelationalIndexes({unrelated}).ok());
+  EXPECT_NE(processor_.snapshot()->index_epoch, epoch_before);
+
+  auto again = processor_.Prepare(query_, Options());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().get(), jg.value().get());  // survived, not rebuilt
+  EXPECT_GE(processor_.plan_cache_stats().hits, 1);
+  // And it still executes from its pinned snapshot.
+  EXPECT_TRUE(processor_.ExecuteAll(again.value()).ok());
+
+  // Dropping everything DOES touch the plan's probed indexes: evicted.
+  processor_.DropRelationalIndexes();
+  auto rebuilt = processor_.Prepare(query_, Options());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_NE(rebuilt.value().get(), jg.value().get());
+}
+
 TEST_F(PlanCacheTest, CapacityZeroDisablesCaching) {
   processor_.set_plan_cache_capacity(0);
   auto first = processor_.Prepare(query_, Options());

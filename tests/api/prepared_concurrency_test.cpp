@@ -248,16 +248,93 @@ TEST_F(PreparedConcurrencyTest, WriterMutatesCatalogUnderLiveCursors) {
     EXPECT_EQ(got, tail) << "thread " << t;
   }
 
-  // The join-graph artifact is stale now (index DDL happened); a fresh
-  // Prepare against the mutated catalog reproduces the oracle.
+  // The writer's index DDL re-created the SAME definitions each round, so
+  // the join-graph artifact stays servable: staleness intersects on the
+  // indexes the plan actually probes (definition-identical), not on the
+  // epoch alone — the over-eviction fix.
+  auto still = processor_->ExecuteAll(jg.value(), exec);
+  ASSERT_TRUE(still.ok()) << still.status().ToString();
+  EXPECT_EQ(still.value().items, oracle.value().items);
+
+  // Dropping the index set is a REAL change to the plan's probed indexes:
+  // now the artifact is stale, and a fresh Prepare against the mutated
+  // catalog reproduces the oracle.
+  processor_->DropRelationalIndexes();
   auto stale = processor_->Execute(jg.value(), exec);
   ASSERT_FALSE(stale.ok());
   EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(processor_->CreateRelationalIndexes().ok());
   auto fresh = processor_->Prepare(q1.text, jg_prep);
   ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
   auto fresh_result = processor_->ExecuteAll(fresh.value(), exec);
   ASSERT_TRUE(fresh_result.ok()) << fresh_result.status().ToString();
   EXPECT_EQ(fresh_result.value().items, oracle.value().items);
+}
+
+TEST_F(PreparedConcurrencyTest, MultiWorkerExecutionsUnderLiveCatalogMutation) {
+  // Morsel parallelism composes with catalog concurrency (run under TSan
+  // in CI): N sessions each execute the SAME prepared artifacts with the
+  // columnar executors at threads = 8 — so every session fans out its own
+  // worker-pool morsels — while a writer loads documents and re-creates
+  // the index set. Workers are pinned to the cursor's snapshot, so every
+  // execution must reproduce the serial oracle bit-identically.
+  const PaperQuery& q1 = PaperQueries()[0];
+  PrepareOptions jg_prep;
+  jg_prep.context_document = q1.document;
+  auto jg = processor_->Prepare(q1.text, jg_prep);
+  ASSERT_TRUE(jg.ok()) << jg.status().ToString();
+  PrepareOptions stacked_prep = jg_prep;
+  stacked_prep.mode = Mode::kStacked;
+  auto stacked = processor_->Prepare(q1.text, stacked_prep);
+  ASSERT_TRUE(stacked.ok()) << stacked.status().ToString();
+  ExecuteOptions serial;
+  serial.limits.timeout_seconds = 120;
+  auto oracle = processor_->ExecuteAll(jg.value(), serial);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  constexpr int kRounds = 4;
+  std::vector<ThreadOutcome> outcomes(kThreads);
+  Status writer_status = Status::OK();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      ThreadOutcome& out = outcomes[static_cast<size_t>(t)];
+      const auto& prepared = (t % 2 == 0) ? jg.value() : stacked.value();
+      for (int round = 0; round < kRounds; ++round) {
+        ExecuteOptions options = serial;
+        options.use_columnar = true;
+        options.threads = 8;
+        auto result = processor_->ExecuteAll(prepared, options);
+        if (!result.ok()) {
+          out.status = result.status();
+          return;
+        }
+        if (result.value().items != oracle.value().items) {
+          out.status = Status::Internal("multi-worker result diverged");
+          return;
+        }
+      }
+      out.items = oracle.value().items;
+    });
+  }
+  std::thread writer([&]() {
+    for (int round = 0; round < kRounds && writer_status.ok(); ++round) {
+      writer_status = processor_->LoadDocument(
+          "mw-scratch.xml",
+          "<scratch><round>" + std::to_string(round) + "</round></scratch>");
+      if (writer_status.ok()) {
+        writer_status = processor_->CreateRelationalIndexes();
+      }
+    }
+  });
+  for (auto& thread : pool) thread.join();
+  writer.join();
+  ASSERT_TRUE(writer_status.ok()) << writer_status.ToString();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(outcomes[static_cast<size_t>(t)].status.ok())
+        << "thread " << t << ": "
+        << outcomes[static_cast<size_t>(t)].status.ToString();
+  }
 }
 
 TEST_F(PreparedConcurrencyTest, ConcurrentStreamingCursorsStayIndependent) {

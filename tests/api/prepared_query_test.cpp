@@ -421,9 +421,50 @@ TEST_F(ParameterizedQueryTest, BindingsAreValidated) {
   EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST_F(ParameterizedQueryTest, ParametersRequireJoinGraphMode) {
-  for (Mode mode : {Mode::kStacked, Mode::kNativeWhole,
-                    Mode::kNativeSegmented}) {
+TEST_F(ParameterizedQueryTest, StackedModeExecutesParameters) {
+  // The stacked lane resolves parameter markers in its compiled plan at
+  // execute time (ResolveParams substitution) — one cached stacked plan
+  // serves the literal family, row and columnar executors agreeing with
+  // the equivalent literal query.
+  PrepareOptions options;
+  options.mode = Mode::kStacked;
+  options.context_document = "site.xml";
+  auto prepared = processor_.Prepare(param_query_, options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ASSERT_EQ(prepared.value()->parameters.size(), 1u);
+
+  const std::pair<double, const char*> family[] = {
+      {10.0, "//item[price > 10.0]/name"},
+      {20.0, "//item[price > 20.0]/name"},
+      {7.0, "//item[price > 7.0]/name"},
+      {1000.0, "//item[price > 1000.0]/name"},
+  };
+  for (const auto& [value, literal_text] : family) {
+    RunOptions run;
+    run.mode = Mode::kStacked;
+    run.context_document = "site.xml";
+    auto literal = processor_.Run(literal_text, run);
+    ASSERT_TRUE(literal.ok()) << literal.status().ToString();
+    for (bool columnar : {false, true}) {
+      auto bound =
+          Bind(processor_, prepared.value(), Value::Double(value), columnar);
+      ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+      EXPECT_EQ(bound.value().items, literal.value().items)
+          << value << (columnar ? " (columnar)" : " (row)");
+    }
+  }
+
+  // An unbound execution is still rejected by the binding validation.
+  auto missing = processor_.ExecuteAll(prepared.value(), ExecuteOptions{});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParameterizedQueryTest, NativeModesRejectParametersWithDiagnostic) {
+  // The native engine interprets literals directly — it has no marker
+  // substitution point. The rejection is precise: it names the offending
+  // parameter and the mode instead of a generic unsupported error.
+  for (Mode mode : {Mode::kNativeWhole, Mode::kNativeSegmented}) {
     PrepareOptions options;
     options.mode = mode;
     options.context_document = "site.xml";
@@ -431,6 +472,9 @@ TEST_F(ParameterizedQueryTest, ParametersRequireJoinGraphMode) {
     ASSERT_FALSE(prepared.ok()) << ModeToString(mode);
     EXPECT_EQ(prepared.status().code(), StatusCode::kNotSupported)
         << ModeToString(mode);
+    const std::string message = prepared.status().ToString();
+    EXPECT_NE(message.find("$minprice"), std::string::npos) << message;
+    EXPECT_NE(message.find(ModeToString(mode)), std::string::npos) << message;
   }
 }
 

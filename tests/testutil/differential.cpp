@@ -123,7 +123,7 @@ DifferentialHarness::DifferentialHarness(const std::string& uri,
 }
 
 ::testing::AssertionResult DifferentialHarness::Check(
-    const std::string& query) {
+    const std::string& query, int threads) {
   api::RunOptions options;
   options.timeout_seconds = 60;
   options.mode = api::Mode::kNativeWhole;
@@ -150,15 +150,17 @@ DifferentialHarness::DifferentialHarness(const std::string& uri,
   for (const Lane& lane : lanes) {
     options.mode = lane.mode;
     options.use_columnar = lane.use_columnar;
+    options.threads = threads;
     auto result = lane.processor->Run(query, options);
     if (!result.ok()) {
       return ::testing::AssertionFailure()
-             << lane.label << " failed for \"" << query
-             << "\": " << result.status().ToString();
+             << lane.label << " (threads=" << threads << ") failed for \""
+             << query << "\": " << result.status().ToString();
     }
     if (result.value().items != reference.value().items) {
       return ::testing::AssertionFailure()
-             << lane.label << " diverges from native for \"" << query
+             << lane.label << " (threads=" << threads
+             << ") diverges from native for \"" << query
              << "\": " << result.value().items.size() << " vs "
              << reference.value().items.size() << " items";
     }

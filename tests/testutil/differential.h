@@ -42,8 +42,11 @@ class DifferentialHarness {
 
   /// Runs `query` through every lane and compares items against the
   /// native reference. Any run error is a failure (the generator only
-  /// emits supported shapes).
-  ::testing::AssertionResult Check(const std::string& query);
+  /// emits supported shapes). `threads` sets the columnar executors'
+  /// morsel worker count on every relational lane (1 = serial; results
+  /// must be bit-identical at any value — that is the contract this
+  /// harness enforces).
+  ::testing::AssertionResult Check(const std::string& query, int threads = 1);
 
   api::XQueryProcessor& indexed() { return indexed_; }
   api::XQueryProcessor& bare() { return bare_; }
