@@ -1,0 +1,365 @@
+#include "src/algebra/validate.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/str.h"
+
+namespace xqjg::algebra {
+
+namespace {
+
+/// Depth-limited, cycle-safe subtree rendering for error excerpts (the
+/// full-plan printer is unbounded; an excerpt shows the neighborhood the
+/// violation lives in).
+void PrintExcerpt(const Op* op, int depth, int max_depth,
+                  std::unordered_set<const Op*>* seen, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (!op) {
+    *out += "<null child>\n";
+    return;
+  }
+  if (!seen->insert(op).second) {
+    *out += StrPrintf("^ref %d\n", op->id);
+    return;
+  }
+  *out += StrPrintf("[%d] %s\n", op->id, op->Describe().c_str());
+  if (depth >= max_depth) {
+    if (!op->children.empty()) {
+      out->append(static_cast<size_t>(depth + 1) * 2, ' ');
+      *out += "…\n";
+    }
+    return;
+  }
+  for (const auto& child : op->children) {
+    PrintExcerpt(child.get(), depth + 1, max_depth, seen, out);
+  }
+}
+
+std::string Excerpt(const Op* op, int max_depth) {
+  std::string out;
+  std::unordered_set<const Op*> seen;
+  PrintExcerpt(op, 0, max_depth, &seen, &out);
+  return out;
+}
+
+/// Expected number of children per operator kind.
+int ExpectedArity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kDocTable:
+    case OpKind::kLiteral:
+      return 0;
+    case OpKind::kJoin:
+    case OpKind::kCross:
+      return 2;
+    case OpKind::kSerialize:
+    case OpKind::kProject:
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+    case OpKind::kAttach:
+    case OpKind::kRowId:
+    case OpKind::kRank:
+      return 1;
+  }
+  return -1;
+}
+
+class Validator {
+ public:
+  Validator(const std::string& stage, const ValidateOptions& options)
+      : stage_(stage), options_(options) {}
+
+  std::vector<ValidationError> Run(const OpPtr& root) {
+    if (!root) {
+      Report(nullptr, "dag-structure", "plan root is null");
+      return std::move(errors_);
+    }
+    // Cycle detection + node collection in one DFS. A cyclic plan would
+    // hang every recursive traversal downstream (TopoOrder, the
+    // executors), so nothing else is checked until the plan is a DAG.
+    if (!CheckAcyclic(root.get())) return std::move(errors_);
+    if (options_.expect_serialize_root &&
+        root->kind != OpKind::kSerialize) {
+      Report(root.get(), "dag-structure",
+             StrPrintf("plan root is %s, expected serialize",
+                       OpKindToString(root->kind)));
+    }
+    for (const Op* op : order_) {
+      CheckNode(op, op == root.get());
+    }
+    return std::move(errors_);
+  }
+
+ private:
+  void Report(const Op* op, const char* invariant, std::string detail) {
+    ValidationError err;
+    err.stage = stage_;
+    err.invariant = invariant;
+    err.detail = std::move(detail);
+    if (op) {
+      err.op_id = op->id;
+      err.op_desc = StrPrintf("[%d] %s", op->id, op->Describe().c_str());
+      err.excerpt = Excerpt(op, options_.excerpt_depth);
+    }
+    errors_.push_back(std::move(err));
+  }
+
+  /// Iterative three-color DFS; fills `order_` (children before parents)
+  /// when acyclic, reports the back edge when not.
+  bool CheckAcyclic(const Op* root) {
+    enum class Color { kOnStack, kDone };
+    std::unordered_map<const Op*, Color> color;
+    struct Frame {
+      const Op* op;
+      size_t next_child = 0;
+    };
+    std::vector<Frame> stack{{root}};
+    color[root] = Color::kOnStack;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const Op* op = frame.op;
+      if (frame.next_child < op->children.size()) {
+        const Op* child = op->children[frame.next_child++].get();
+        if (!child) continue;  // reported as dag-structure per node
+        auto it = color.find(child);
+        if (it == color.end()) {
+          color[child] = Color::kOnStack;
+          stack.push_back({child});
+        } else if (it->second == Color::kOnStack) {
+          Report(op, "acyclic",
+                 StrPrintf("child edge to [%d] %s closes a cycle (the "
+                           "child reaches this operator)",
+                           child->id, child->Describe().c_str()));
+          return false;
+        }
+        continue;
+      }
+      color[op] = Color::kDone;
+      order_.push_back(op);
+      stack.pop_back();
+    }
+    return true;
+  }
+
+  /// True iff `col` is produced by exactly one child of `op` (the
+  /// "consumed column has exactly one producer" half of column-ref;
+  /// duplicate producers across join inputs surface via schema-unique).
+  bool ProducedByOneChild(const Op* op, const std::string& col) const {
+    int producers = 0;
+    for (const auto& child : op->children) {
+      if (child && child->HasColumn(col)) ++producers;
+    }
+    return producers == 1;
+  }
+
+  void CheckConsumed(const Op* op, const std::string& col,
+                     const char* role) {
+    if (!ProducedByOneChild(op, col)) {
+      Report(op, "column-ref",
+             StrPrintf("%s column '%s' is not produced by exactly one "
+                       "child", role, col.c_str()));
+    }
+  }
+
+  void CheckTerm(const Op* op, const Term& t) {
+    for (const std::string* col : {&t.col, &t.col2}) {
+      if (!col->empty()) CheckConsumed(op, *col, "predicate");
+    }
+    if (t.IsParam()) {
+      if (t.param_name.empty()) {
+        Report(op, "param-slot",
+               StrPrintf("parameter marker slot %d has no name", t.param));
+      }
+      if (options_.num_params != kParamsUnknown &&
+          t.param >= options_.num_params) {
+        Report(op, "param-slot",
+               StrPrintf("parameter marker $%s uses slot %d but only %d "
+                         "external variable(s) are declared",
+                         t.param_name.c_str(), t.param,
+                         options_.num_params));
+      }
+    }
+  }
+
+  void CheckPredicate(const Op* op) {
+    for (const Comparison& c : op->pred.conjuncts) {
+      CheckTerm(op, c.lhs);
+      CheckTerm(op, c.rhs);
+    }
+  }
+
+  void CheckSchemaEquals(const Op* op,
+                         const std::vector<std::string>& expected) {
+    if (op->schema != expected) {
+      Report(op, "schema-arith",
+             StrPrintf("stored schema (%s) does not match the schema "
+                       "recomputed from the children (%s)",
+                       Join(op->schema, ",").c_str(),
+                       Join(expected, ",").c_str()));
+    }
+  }
+
+  void CheckNode(const Op* op, bool is_root) {
+    // Arity / null children first: the per-kind checks below index
+    // children unconditionally.
+    const int arity = ExpectedArity(op->kind);
+    if (static_cast<int>(op->children.size()) != arity) {
+      Report(op, "dag-structure",
+             StrPrintf("%s has %zu children, expected %d",
+                       OpKindToString(op->kind), op->children.size(),
+                       arity));
+      return;
+    }
+    for (const auto& child : op->children) {
+      if (!child) {
+        Report(op, "dag-structure", "null child pointer (dangling node)");
+        return;
+      }
+    }
+    if (op->kind == OpKind::kSerialize && !is_root) {
+      Report(op, "dag-structure",
+             "serialize below the root (a plan has exactly one "
+             "serialization point)");
+    }
+
+    // Output schema is duplicate-free.
+    {
+      std::set<std::string> seen;
+      for (const std::string& col : op->schema) {
+        if (!seen.insert(col).second) {
+          Report(op, "schema-unique",
+                 StrPrintf("output schema lists column '%s' twice",
+                           col.c_str()));
+        }
+      }
+    }
+
+    switch (op->kind) {
+      case OpKind::kSerialize:
+        if (op->order.size() != 1) {
+          Report(op, "dag-structure",
+                 StrPrintf("serialize carries %zu pos columns, expected 1",
+                           op->order.size()));
+          break;
+        }
+        CheckConsumed(op, op->order[0], "serialize pos");
+        CheckConsumed(op, op->col, "serialize item");
+        CheckSchemaEquals(op, op->children[0]->schema);
+        break;
+      case OpKind::kProject: {
+        std::vector<std::string> expected;
+        expected.reserve(op->proj.size());
+        for (const auto& [out, in] : op->proj) {
+          CheckConsumed(op, in, "projection input");
+          expected.push_back(out);
+        }
+        if (expected.empty()) {
+          Report(op, "schema-arith", "projection has no output columns");
+        }
+        CheckSchemaEquals(op, expected);
+        break;
+      }
+      case OpKind::kSelect:
+        CheckPredicate(op);
+        CheckSchemaEquals(op, op->children[0]->schema);
+        break;
+      case OpKind::kJoin:
+      case OpKind::kCross: {
+        const Op* left = op->children[0].get();
+        const Op* right = op->children[1].get();
+        for (const std::string& col : right->schema) {
+          if (left->HasColumn(col)) {
+            Report(op, "schema-unique",
+                   StrPrintf("column '%s' is produced by both join "
+                             "inputs (schemas must be disjoint)",
+                             col.c_str()));
+          }
+        }
+        if (op->kind == OpKind::kJoin) CheckPredicate(op);
+        std::vector<std::string> expected = left->schema;
+        expected.insert(expected.end(), right->schema.begin(),
+                        right->schema.end());
+        CheckSchemaEquals(op, expected);
+        break;
+      }
+      case OpKind::kDistinct:
+        CheckSchemaEquals(op, op->children[0]->schema);
+        break;
+      case OpKind::kAttach:
+      case OpKind::kRowId:
+      case OpKind::kRank: {
+        if (op->children[0]->HasColumn(op->col)) {
+          Report(op, "schema-arith",
+                 StrPrintf("attached column '%s' already exists in the "
+                           "input", op->col.c_str()));
+        }
+        if (op->kind == OpKind::kRank) {
+          for (const std::string& col : op->order) {
+            CheckConsumed(op, col, "rank order");
+          }
+        }
+        std::vector<std::string> expected = op->children[0]->schema;
+        expected.push_back(op->col);
+        CheckSchemaEquals(op, expected);
+        break;
+      }
+      case OpKind::kDocTable:
+        CheckSchemaEquals(op, DocColumns());
+        break;
+      case OpKind::kLiteral:
+        if (op->schema.empty()) {
+          Report(op, "schema-arith", "literal has an empty schema");
+        }
+        for (const auto& row : op->rows) {
+          if (row.size() != op->schema.size()) {
+            Report(op, "literal-shape",
+                   StrPrintf("literal row has %zu cells for a %zu-column "
+                             "schema", row.size(), op->schema.size()));
+            break;
+          }
+        }
+        break;
+    }
+  }
+
+  const std::string& stage_;
+  const ValidateOptions& options_;
+  std::vector<const Op*> order_;
+  std::vector<ValidationError> errors_;
+};
+
+}  // namespace
+
+std::string ValidationError::ToString() const {
+  std::string out = StrPrintf(
+      "plan validation failed [stage=%s] [op=%s] [invariant=%s]: %s",
+      stage.c_str(), op_id >= 0 ? op_desc.c_str() : "<plan>",
+      invariant.c_str(), detail.c_str());
+  if (!excerpt.empty()) {
+    out += "\nplan excerpt:\n";
+    out += excerpt;
+  }
+  return out;
+}
+
+Status ValidationError::ToStatus() const {
+  return Status::Internal(ToString());
+}
+
+std::vector<ValidationError> ValidatePlan(const OpPtr& root,
+                                          const std::string& stage,
+                                          const ValidateOptions& options) {
+  return Validator(stage, options).Run(root);
+}
+
+Status Validate(const OpPtr& root, const std::string& stage,
+                const ValidateOptions& options) {
+  std::vector<ValidationError> errors = ValidatePlan(root, stage, options);
+  if (errors.empty()) return Status::OK();
+  return errors.front().ToStatus();
+}
+
+}  // namespace xqjg::algebra

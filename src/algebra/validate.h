@@ -1,0 +1,92 @@
+// Static plan verifier for the table-algebra DAG (stage-boundary
+// invariant checking).
+//
+// Every correctness bug this repo has shipped was an inter-stage invariant
+// silently violated and only caught much later (sanitizers, differential
+// fuzzing). Validate() turns those latent violations into immediate, named
+// diagnostics: it checks a plan's well-formedness after each compilation
+// stage — and, under XQJG_VALIDATE_REWRITES=1, after every individual
+// rewrite rule — so a broken plan is rejected at the boundary that broke
+// it, with the stage, the offending operator, and the violated invariant
+// in the error message.
+//
+// Checked invariant classes (stable tokens, used in diagnostics and the
+// negative tests):
+//   acyclic        the plan is a DAG: no child edge reaches an ancestor
+//   dag-structure  non-null root/children, per-kind arity, serialize only
+//                  at the root (one serialization point per plan)
+//   schema-unique  no duplicate column names in an operator's output, and
+//                  join/cross inputs are disjoint — every column an
+//                  operator consumes is produced by exactly one child
+//   column-ref     every consumed column (predicate, projection input,
+//                  rank order, serialize pos/item) exists in a child
+//   schema-arith   the stored output schema equals the schema recomputed
+//                  from the children (π/@/#/ϱ arithmetic is consistent)
+//   literal-shape  literal rows match the literal schema width
+//   param-slot     every kParam marker has a name and a slot that maps to
+//                  a declared external variable
+//
+// Cost: one linear DFS plus per-node schema recomputation — micro-seconds
+// on paper-sized plans. On by default in Debug builds and under ctest;
+// request it explicitly in Release via PrepareOptions::validate_plans or
+// XQJG_VALIDATE_PLANS=1 (see src/api/prepared_query.h).
+#ifndef XQJG_ALGEBRA_VALIDATE_H_
+#define XQJG_ALGEBRA_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/algebra/operators.h"
+#include "src/common/status.h"
+
+namespace xqjg::algebra {
+
+/// One violated plan invariant — the diagnostic vocabulary shared by the
+/// algebra validator, the join-graph/physical-plan checks in
+/// src/opt/plan_check.h, and future optimizer work.
+struct ValidationError {
+  std::string stage;      ///< pipeline stage that produced the plan
+  std::string invariant;  ///< violated invariant class (stable token)
+  std::string detail;     ///< what exactly is wrong
+  int op_id = -1;         ///< offending operator id (-1: whole plan)
+  std::string op_desc;    ///< offending operator ("[12] join pre = item")
+  std::string excerpt;    ///< printed plan excerpt around the operator
+
+  /// "plan validation failed [stage=isolate] [op=[12] join …]
+  ///  [invariant=schema-arith]: detail" + the excerpt on following lines.
+  std::string ToString() const;
+  /// The same, as the Status the compilation pipeline returns.
+  Status ToStatus() const;
+};
+
+struct ValidateOptions {
+  /// Compiled plans have exactly one serialization point, at the root.
+  /// Rewrite-rule validation and tests over hand-built plan fragments
+  /// disable this.
+  bool expect_serialize_root = true;
+  /// Number of declared external parameter slots; kParam markers must map
+  /// into [0, num_params). kParamsUnknown skips the upper-bound check
+  /// (used mid-rewrite where the declaration count is out of scope).
+  int num_params = -1;
+  /// Depth of the per-error plan excerpt (offending operator + children).
+  int excerpt_depth = 2;
+};
+
+inline constexpr int kParamsUnknown = -1;
+
+/// Runs every structural check over the DAG under `root` and returns all
+/// violations (empty: the plan is well-formed). `stage` names the
+/// pipeline stage whose output is being checked (e.g. "compile",
+/// "isolate", "rewrite:r11-push-join") and is echoed in each error.
+std::vector<ValidationError> ValidatePlan(const OpPtr& root,
+                                          const std::string& stage,
+                                          const ValidateOptions& options = {});
+
+/// Status-returning wrapper: OK when well-formed, else the first
+/// violation as Status::Internal naming stage, operator, and invariant.
+Status Validate(const OpPtr& root, const std::string& stage,
+                const ValidateOptions& options = {});
+
+}  // namespace xqjg::algebra
+
+#endif  // XQJG_ALGEBRA_VALIDATE_H_

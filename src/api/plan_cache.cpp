@@ -15,6 +15,9 @@ std::string PlanCache::MakeKey(const std::string& query,
   key += static_cast<char>('0' + static_cast<int>(options.mode));
   key += options.syntactic_join_order ? '1' : '0';
   key += options.explicit_serialization_step ? '1' : '0';
+  // Resolved (not raw) validation state: kAuto and kOn hash alike in a
+  // Debug build, where both validate.
+  key += ResolveValidatePlans(options.validate_plans) ? '1' : '0';
   key += std::to_string(options.context_document.size());
   key += ':';
   key += options.context_document;

@@ -29,6 +29,17 @@ enum class Mode { kStacked, kJoinGraph, kNativeWhole, kNativeSegmented };
 
 const char* ModeToString(Mode mode);
 
+/// Whether Prepare runs the static plan verifier (src/algebra/validate.h
+/// + src/opt/plan_check.h) at every compilation stage boundary. kAuto
+/// resolves to ON in Debug builds and whenever XQJG_VALIDATE_PLANS=1 is
+/// set in the environment (the test suite forces that, so Release test
+/// runs validate too), OFF otherwise — production Release prepares pay
+/// nothing unless they opt in.
+enum class ValidatePlans { kAuto, kOn, kOff };
+
+/// Resolves kAuto against the build type and environment (see above).
+bool ResolveValidatePlans(ValidatePlans setting);
+
 /// Everything that influences *compilation* (and therefore the plan-cache
 /// key). Execution-time knobs — DNF budgets, executor selection — live in
 /// ExecuteOptions instead: they select how a plan is run, not which plan
@@ -41,6 +52,11 @@ struct PrepareOptions {
   bool syntactic_join_order = false;
   /// Append the explicit serialization step (paper §IV).
   bool explicit_serialization_step = false;
+  /// Stage-boundary plan verification (see ValidatePlans above). Part of
+  /// the plan-cache key: a validated and an unvalidated artifact are
+  /// interchangeable plans, but a cache hit must not silently skip the
+  /// verification the caller asked for.
+  ValidatePlans validate_plans = ValidatePlans::kAuto;
 };
 
 /// Compile-time observability: what the front end did to the query.

@@ -74,6 +74,8 @@ struct RunOptions {
   bool syntactic_join_order = false;
   /// Append the explicit serialization step (paper §IV).
   bool explicit_serialization_step = false;
+  /// Stage-boundary plan verification (see PrepareOptions).
+  ValidatePlans validate_plans = ValidatePlans::kAuto;
   /// Execute relational modes via the columnar batch executors (stacked /
   /// fallback plans and physical join trees); identical results, faster.
   bool use_columnar = false;

@@ -70,6 +70,8 @@ void BTree::SplitChild(Node* parent, size_t slot) {
     child->next = right.get();
   } else {
     right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    // Index build (DDL time), not query execution.
+    // xqjg-lint: allow(no-budget-guard)
     for (size_t i = mid + 1; i < child->children.size(); ++i) {
       right->children.push_back(std::move(child->children[i]));
     }

@@ -32,6 +32,8 @@ MatTable BatchToMatTable(const ColumnBatch& batch) {
   table.rows.resize(batch.num_rows);
   for (auto& row : table.rows) row.reserve(batch.cols.size());
   for (const ColumnRef& col : batch.cols) {
+    // Boundary conversion of a batch the executor already budget-admitted.
+    // xqjg-lint: allow(no-budget-guard)
     for (size_t r = 0; r < batch.num_rows; ++r) {
       table.rows[r].push_back(col->GetValue(batch.PhysRow(r)));
     }

@@ -1,6 +1,7 @@
 #include "src/engine/columnar/columnar_exec.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <numeric>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "src/common/str.h"
 #include "src/engine/columnar/column_batch.h"
 #include "src/engine/parallel/worker_pool.h"
+#include "src/opt/plan_check.h"
 
 namespace xqjg::engine::columnar {
 
@@ -386,7 +388,10 @@ class ColumnarEvaluator {
         clock_(options.limits),
         stats_(options.stats),
         threads_(options.threads),
-        params_(options.params) {}
+        params_(options.params) {
+    const char* env = std::getenv("XQJG_DCHECK_BATCHES");
+    dcheck_batches_ = env && *env && std::string(env) != "0";
+  }
 
   Result<BatchRef> Eval(const Op* op) {
     auto it = memo_.find(op);
@@ -394,6 +399,12 @@ class ColumnarEvaluator {
     XQJG_RETURN_NOT_OK(clock_.CheckRows(0));
     Result<ColumnBatch> result = EvalUncached(op);
     if (!result.ok()) return result.status();
+    if (dcheck_batches_) {
+      // Every operator output flows through here (Eval is the memoizing
+      // chokepoint), so one check site covers all batch producers.
+      XQJG_RETURN_NOT_OK(opt::CheckColumnBatch(
+          result.value(), algebra::OpKindToString(op->kind)));
+    }
     XQJG_RETURN_NOT_OK(
         clock_.CheckRows(static_cast<int64_t>(result.value().num_rows)));
     auto ref = std::make_shared<const ColumnBatch>(std::move(result).value());
@@ -954,6 +965,8 @@ class ColumnarEvaluator {
   ExecStats* stats_;
   const int threads_;
   const std::vector<Value>* params_;
+  /// XQJG_DCHECK_BATCHES: verify every operator-output batch (batch-sel).
+  bool dcheck_batches_ = false;
   std::unordered_map<const Op*, BatchRef> memo_;
 };
 
@@ -988,11 +1001,15 @@ Result<std::vector<int64_t>> EvaluateToSequenceColumnar(
     if (!result->sel) {
       out = item.ints();  // the common case: plain pre ranks
     } else {
+      // Exit extraction of a batch Eval already budget-admitted.
+      // xqjg-lint: allow(no-budget-guard)
       for (size_t r = 0; r < result->num_rows; ++r) {
         out.push_back(item.ints()[result->PhysRow(r)]);
       }
     }
   } else {
+    // Same: rows were admitted when the serialize batch was produced.
+    // xqjg-lint: allow(no-budget-guard)
     for (size_t r = 0; r < result->num_rows; ++r) {
       Value v = item.GetValue(result->PhysRow(r));
       if (v.is_null()) {

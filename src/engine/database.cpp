@@ -351,6 +351,8 @@ Status Database::CreateIndex(const IndexDef& def) {
   for (int c : index->key_cols) key_columns.push_back(&Column(c));
   std::vector<std::pair<Key, int64_t>> entries;
   entries.reserve(static_cast<size_t>(row_count_));
+  // Index build (DDL time), not query execution.
+  // xqjg-lint: allow(no-budget-guard)
   for (int64_t pre : order) {
     Key key;
     key.reserve(key_columns.size());

@@ -716,6 +716,8 @@ class Executor {
     const std::vector<BoundQualCmp> cmps =
         CompileQuals(preds, db_, bound_mask, options_.params);
     std::vector<Tuple> kept;
+    // Shrink-only pass over tuples that were budget-admitted when
+    // produced.  xqjg-lint: allow(no-budget-guard)
     for (Tuple& t : *tuples) {
       if (AllPass(cmps, TupleView{&t})) kept.push_back(std::move(t));
     }

@@ -19,6 +19,8 @@ std::unique_ptr<XmlNode> CloneSubtree(const XmlNode* node) {
     ac->parent = copy.get();
     copy->attrs.push_back(std::move(ac));
   }
+  // Document load (segmentation clones subtrees once per LoadDocument),
+  // not query execution.  xqjg-lint: allow(no-budget-guard)
   for (const auto& c : node->children) {
     auto cc = CloneSubtree(c.get());
     cc->parent = copy.get();

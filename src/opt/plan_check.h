@@ -1,0 +1,108 @@
+// Static checks over the join graph and the physical plan — the second
+// half of the stage-boundary verifier started in src/algebra/validate.h.
+// The algebra validator owns the DAG stages (compile, isolate, rewrites);
+// this header owns everything after ExtractJoinGraph: the declarative
+// JoinGraph itself, the cost-based PhysicalPlan built from it, and the
+// ColumnBatch intermediates the columnar executor moves between
+// operators.
+//
+// Checked invariant classes (stable tokens; continuing the vocabulary of
+// src/algebra/validate.h):
+//   alias-range       every alias a term references is in
+//                     [0, num_aliases), and num_aliases fits the uint32
+//                     alias masks the planner and executors use (≤ 32)
+//   column-ref        every column a term names is a doc-relation column
+//   param-slot        every parameter marker has a name and a slot that
+//                     maps to a declared external variable
+//   tail-sortkey      when distinct, the δ payload (select_list) covers
+//                     the sort key (order_by + item) — adjacent-row
+//                     dedup after the sort is only then complete — and
+//                     DistinctPayloadEqualsSortKey() agrees with an
+//                     independent recomputation
+//   phys-structure    plan root/graph non-null, scans are leaves, joins
+//                     binary, every alias scanned exactly once
+//   pred-binding      predicates attached to a node only reference
+//                     aliases scanned in that node's subtree (joins) or
+//                     valid aliases at all (scans probe outer columns)
+//   ixscan-index      kIxScan references a live index whose definition
+//                     matches the catalog snapshot's index_defs
+//   used-indexes      every probed index is recorded in the prepared
+//                     artifact's used_indexes (otherwise index DDL
+//                     would fail to invalidate the plan — the PR 6
+//                     over-eviction fix, pinned)
+//   hsjoin-key-types  hash-join equality keys type-agree (a numeric key
+//                     hashed against a string/dict-code key can never
+//                     match)
+//   batch-sel         a ColumnBatch's selection vector is in-range and
+//                     strictly increasing, and its columns share one
+//                     physical length
+#ifndef XQJG_OPT_PLAN_CHECK_H_
+#define XQJG_OPT_PLAN_CHECK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/algebra/validate.h"
+#include "src/opt/join_graph.h"
+
+namespace xqjg::engine {
+struct PhysicalPlan;
+class Database;
+namespace columnar {
+struct ColumnBatch;
+}  // namespace columnar
+}  // namespace xqjg::engine
+
+namespace xqjg::opt {
+
+/// Checks the declarative join graph produced by ExtractJoinGraph:
+/// alias-range, column-ref, param-slot, tail-sortkey. `num_params` as in
+/// algebra::ValidateOptions (kParamsUnknown skips the upper-bound check).
+std::vector<algebra::ValidationError> CheckJoinGraph(
+    const JoinGraph& graph, const std::string& stage,
+    int num_params = algebra::kParamsUnknown);
+
+/// Status-returning wrapper: OK or the first violation as
+/// Status::Internal.
+Status ValidateJoinGraph(const JoinGraph& graph, const std::string& stage,
+                         int num_params = algebra::kParamsUnknown);
+
+/// Catalog/artifact context for CheckPhysicalPlan. Plain name → rendered
+/// IndexDef::ToString() maps (the representation CatalogSnapshot and
+/// PreparedQuery already keep), so this layer needs no api dependency.
+/// Null members skip the corresponding check (e.g. plans built directly
+/// in planner tests have no prepared artifact).
+struct PlanCheckContext {
+  /// CatalogSnapshot::index_defs — the indexes that exist.
+  const std::map<std::string, std::string>* catalog_index_defs = nullptr;
+  /// PreparedQuery::used_indexes — the indexes the artifact pins for
+  /// invalidation.
+  const std::map<std::string, std::string>* used_indexes = nullptr;
+  int num_params = algebra::kParamsUnknown;
+};
+
+/// Checks the physical join tree: phys-structure, alias-range,
+/// pred-binding, ixscan-index, used-indexes, hsjoin-key-types, plus
+/// column-ref/param-slot over every attached predicate.
+std::vector<algebra::ValidationError> CheckPhysicalPlanErrors(
+    const engine::PhysicalPlan& plan, const engine::Database& db,
+    const PlanCheckContext& context, const std::string& stage);
+
+/// Status-returning wrapper used at the Prepare stage boundary.
+Status CheckPhysicalPlan(const engine::PhysicalPlan& plan,
+                         const engine::Database& db,
+                         const PlanCheckContext& context = {},
+                         const std::string& stage = "plan");
+
+/// Checks a columnar intermediate (batch-sel): schema/column agreement,
+/// one shared physical length, selection vector strictly increasing and
+/// in-range, num_rows consistent. `site` names the producing operator
+/// (echoed in the diagnostic). Debug-only call sites in the columnar
+/// executors guard with XQJG_DCHECK_BATCHES.
+Status CheckColumnBatch(const engine::columnar::ColumnBatch& batch,
+                        const char* site);
+
+}  // namespace xqjg::opt
+
+#endif  // XQJG_OPT_PLAN_CHECK_H_

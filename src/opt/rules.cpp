@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/algebra/validate.h"
 #include "src/common/str.h"
 
 namespace xqjg::opt {
@@ -58,6 +59,11 @@ std::string JoinOrderKey(const Op* op) {
 }
 
 }  // namespace
+
+Rewriter::Rewriter(OpPtr root) : root_(std::move(root)) {
+  const char* env = std::getenv("XQJG_VALIDATE_REWRITES");
+  validate_rewrites_ = env && *env && std::string(env) != "0";
+}
 
 OpPtr Rewriter::Ptr(Op* node) const { return node->shared_from_this(); }
 
@@ -667,6 +673,18 @@ bool Rewriter::StepOnce(Phase phase) {
           assert(ok && "rewrite left the plan schema-inconsistent");
           (void)ok;
         }
+        if (validate_rewrites_) {
+          // Mid-rewrite plans are fragments of a larger pipeline: the
+          // serialize root is there, but parameter declarations are out
+          // of scope, so the slot upper bound is not checked here.
+          algebra::ValidateOptions vopts;
+          vopts.num_params = algebra::kParamsUnknown;
+          validation_status_ = algebra::Validate(
+              root_, std::string("rewrite:") + rules[i].name, vopts);
+          // Stop the phase on the first broken plan; RunPhase surfaces
+          // the diagnostic (which names the rule that broke it).
+          if (!validation_status_.ok()) return false;
+        }
         return true;
       }
     }
@@ -683,7 +701,7 @@ Status Rewriter::RunPhase(Phase phase) {
       return Status::OK();
     }
   }
-  return Status::OK();
+  return validation_status_;
 }
 
 Status Rewriter::RunRankPhase() { return RunPhase(Phase::kRank); }

@@ -37,7 +37,13 @@ namespace xqjg::opt {
 /// goal-directed phases (ϱ first, then δ + ⋈).
 class Rewriter {
  public:
-  explicit Rewriter(algebra::OpPtr root) : root_(std::move(root)) {}
+  /// Reads XQJG_VALIDATE_REWRITES from the environment at construction
+  /// (not via a function-local static, so tests may toggle it): when set,
+  /// the structural plan validator (src/algebra/validate.h) runs after
+  /// EVERY individual rewrite application, and the first broken plan
+  /// fails the phase with a diagnostic naming the exact rule
+  /// ("rewrite:r11-push-join").
+  explicit Rewriter(algebra::OpPtr root);
 
   /// Runs both phases to fixpoint. Errors only on internal invariant
   /// violations (e.g. rewrite budget exhausted, which would indicate a
@@ -92,6 +98,11 @@ class Rewriter {
   algebra::ParentMap parents_;
   std::map<std::string, int> counts_;
   int budget_ = 50000;
+  /// XQJG_VALIDATE_REWRITES: validate after every rewrite application.
+  bool validate_rewrites_ = false;
+  /// First per-rewrite validation failure (StepOnce stops the phase on
+  /// it; RunPhase returns it).
+  Status validation_status_;
 };
 
 /// Convenience: full isolation of a compiled plan (paper §III). Returns

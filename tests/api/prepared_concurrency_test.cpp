@@ -120,8 +120,8 @@ TEST_P(PaperQueryConcurrency, ThreadsShareOnePreparedQueryAndAgree) {
 INSTANTIATE_TEST_SUITE_P(PaperQueries, PaperQueryConcurrency,
                          ::testing::Values("Q1", "Q2", "Q3", "Q4", "Q5",
                                            "Q6"),
-                         [](const ::testing::TestParamInfo<const char*>& info) {
-                           return std::string(info.param);
+                         [](const ::testing::TestParamInfo<const char*>& pi) {
+                           return std::string(pi.param);
                          });
 
 TEST_F(PreparedConcurrencyTest, StackedAndNativeModesExecuteConcurrently) {

@@ -91,8 +91,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ModeCase{"Q1", true}, ModeCase{"Q2", false},
                       ModeCase{"Q3", true}, ModeCase{"Q4", true},
                       ModeCase{"Q5", true}, ModeCase{"Q6", true}),
-    [](const ::testing::TestParamInfo<ModeCase>& info) {
-      return info.param.query_id;
+    [](const ::testing::TestParamInfo<ModeCase>& pi) {
+      return pi.param.query_id;
     });
 
 TEST_F(ModesTest, Q1HasExpectedShape) {

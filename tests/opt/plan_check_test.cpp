@@ -1,0 +1,507 @@
+// Negative tests for the join-graph / physical-plan half of the static
+// plan verifier (src/opt/plan_check.h).
+//
+// The planner never emits the broken shapes below, so each test
+// hand-builds a JoinGraph or PhysNode tree with one deliberate defect
+// and asserts the checker reports the specific invariant class. The
+// used-indexes test is a regression pin: a prepared artifact whose
+// used_indexes omits a probed index is exactly the over-eviction bug
+// class fixed in the snapshot-invalidation PR — a plan like that must
+// never reach the cache again.
+#include "src/opt/plan_check.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/value_column.h"
+#include "src/engine/columnar/column_batch.h"
+#include "src/engine/database.h"
+#include "src/engine/planner.h"
+#include "src/opt/join_graph.h"
+#include "src/xml/parser.h"
+
+namespace xqjg::opt {
+namespace {
+
+using algebra::ValidationError;
+using engine::Database;
+using engine::PhysKind;
+using engine::PhysNode;
+using engine::PhysicalPlan;
+using ::testing::AssertionFailure;
+using ::testing::AssertionResult;
+using ::testing::AssertionSuccess;
+
+QualTerm QT(int alias, const std::string& col) {
+  QualTerm t;
+  t.alias = alias;
+  t.col = col;
+  return t;
+}
+
+QualComparison Cmp(QualTerm lhs, algebra::CmpOp op, QualTerm rhs) {
+  QualComparison c;
+  c.lhs = std::move(lhs);
+  c.op = op;
+  c.rhs = std::move(rhs);
+  return c;
+}
+
+/// Minimal well-formed single-alias graph: //item over d0.
+JoinGraph OneAliasGraph() {
+  JoinGraph g;
+  g.num_aliases = 1;
+  g.predicates.push_back(Cmp(QT(0, "name"), algebra::CmpOp::kEq,
+                             QT(-1, "")));
+  g.predicates.back().rhs.constant = Value::String("item");
+  g.item = QT(0, "pre");
+  g.select_list = {QT(0, "pre")};
+  return g;
+}
+
+AssertionResult Reports(const std::vector<ValidationError>& errors,
+                        const std::string& invariant) {
+  for (const ValidationError& err : errors) {
+    if (err.invariant == invariant) return AssertionSuccess();
+  }
+  auto failure = AssertionFailure()
+                 << "no error with invariant '" << invariant << "'; got "
+                 << errors.size() << " error(s)";
+  for (const ValidationError& err : errors) {
+    failure << "\n  " << err.ToString();
+  }
+  return failure;
+}
+
+// ---------------------------------------------------------------------
+// Join-graph checks
+// ---------------------------------------------------------------------
+
+TEST(CheckJoinGraphTest, WellFormedGraphHasNoErrors) {
+  auto errors = CheckJoinGraph(OneAliasGraph(), "test");
+  EXPECT_TRUE(errors.empty())
+      << (errors.empty() ? "" : errors.front().ToString());
+}
+
+TEST(CheckJoinGraphTest, ZeroAliasesIsAliasRange) {
+  JoinGraph g;
+  EXPECT_TRUE(Reports(CheckJoinGraph(g, "test"), "alias-range"));
+}
+
+TEST(CheckJoinGraphTest, TooManyAliasesForUint32MaskIsAliasRange) {
+  JoinGraph g = OneAliasGraph();
+  g.num_aliases = 40;  // alias sets are uint32 masks: 32 max
+  EXPECT_TRUE(Reports(CheckJoinGraph(g, "test"), "alias-range"));
+}
+
+TEST(CheckJoinGraphTest, TermPastLastAliasIsAliasRange) {
+  JoinGraph g = OneAliasGraph();
+  g.predicates.push_back(Cmp(QT(0, "pre"), algebra::CmpOp::kEq,
+                             QT(3, "pre")));  // graph has 1 alias
+  EXPECT_TRUE(Reports(CheckJoinGraph(g, "test"), "alias-range"));
+}
+
+TEST(CheckJoinGraphTest, UnknownDocColumnIsColumnRef) {
+  JoinGraph g = OneAliasGraph();
+  g.select_list.push_back(QT(0, "not_a_doc_column"));
+  EXPECT_TRUE(Reports(CheckJoinGraph(g, "test"), "column-ref"));
+}
+
+TEST(CheckJoinGraphTest, ParamSlotPastDeclarationsIsParamSlot) {
+  JoinGraph g = OneAliasGraph();
+  QualTerm marker;
+  marker.param = 5;
+  marker.param_name = "x";
+  g.predicates.push_back(
+      Cmp(QT(0, "value"), algebra::CmpOp::kEq, marker));
+  EXPECT_TRUE(Reports(CheckJoinGraph(g, "test", /*num_params=*/2),
+                      "param-slot"));
+  // With the declaration count out of scope the upper bound is skipped.
+  EXPECT_TRUE(CheckJoinGraph(g, "test", algebra::kParamsUnknown).empty());
+}
+
+TEST(CheckJoinGraphTest, NamelessParamMarkerIsParamSlot) {
+  JoinGraph g = OneAliasGraph();
+  QualTerm marker;
+  marker.param = 0;  // no param_name
+  g.predicates.push_back(
+      Cmp(QT(0, "value"), algebra::CmpOp::kEq, marker));
+  EXPECT_TRUE(Reports(CheckJoinGraph(g, "test"), "param-slot"));
+}
+
+TEST(CheckJoinGraphTest, AbsentItemIsTailSortkey) {
+  JoinGraph g = OneAliasGraph();
+  g.item = QualTerm{};  // no result column
+  EXPECT_TRUE(Reports(CheckJoinGraph(g, "test"), "tail-sortkey"));
+}
+
+TEST(CheckJoinGraphTest, DistinctPayloadMissingSortKeyTermIsTailSortkey) {
+  // The δ payload must cover the sort key, else adjacent-row dedup after
+  // the sort misses duplicates. Here the sort key is (d0.level, d0.pre)
+  // but the payload only carries d0.pre.
+  JoinGraph g = OneAliasGraph();
+  g.distinct = true;
+  g.order_by = {QT(0, "level")};
+  auto errors = CheckJoinGraph(g, "test");
+  ASSERT_TRUE(Reports(errors, "tail-sortkey"));
+  bool found = false;
+  for (const ValidationError& err : errors) {
+    if (err.detail.find("missing from the DISTINCT payload") !=
+        std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CheckJoinGraphTest, DistinctPayloadCoveringSortKeyIsAccepted) {
+  JoinGraph g = OneAliasGraph();
+  g.distinct = true;
+  g.order_by = {QT(0, "level")};
+  g.select_list = {QT(0, "level"), QT(0, "pre")};
+  auto errors = CheckJoinGraph(g, "test");
+  EXPECT_TRUE(errors.empty())
+      << (errors.empty() ? "" : errors.front().ToString());
+}
+
+// ---------------------------------------------------------------------
+// Physical-plan checks
+// ---------------------------------------------------------------------
+
+class PlanCheckTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    doc_ = new xml::DocTable();
+    ASSERT_TRUE(xml::LoadDocument(doc_, "t.xml",
+                                  "<r><a id=\"1\"><b>x</b></a>"
+                                  "<a id=\"2\"><b>y</b></a></r>")
+                    .ok());
+    db_ = Database::Build(*doc_).release();
+    ASSERT_TRUE(db_->CreateIndex({"nk", {"name", "kind"}, {}, false}).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete doc_;
+  }
+
+  static std::unique_ptr<PhysNode> Scan(PhysKind kind, int alias) {
+    auto node = std::make_unique<PhysNode>();
+    node->kind = kind;
+    node->alias = alias;
+    if (kind == PhysKind::kIxScan) node->index = db_->indexes()[0].get();
+    return node;
+  }
+
+  static std::unique_ptr<PhysNode> Join(PhysKind kind,
+                                        std::unique_ptr<PhysNode> left,
+                                        std::unique_ptr<PhysNode> right) {
+    auto node = std::make_unique<PhysNode>();
+    node->kind = kind;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    return node;
+  }
+
+  /// graph must outlive the returned plan (the plan borrows it).
+  static PhysicalPlan Plan(std::unique_ptr<PhysNode> root,
+                           const JoinGraph& graph) {
+    PhysicalPlan plan;
+    plan.root = std::move(root);
+    plan.graph = &graph;
+    return plan;
+  }
+
+  static xml::DocTable* doc_;
+  static Database* db_;
+};
+
+xml::DocTable* PlanCheckTest::doc_ = nullptr;
+Database* PlanCheckTest::db_ = nullptr;
+
+TEST_F(PlanCheckTest, WellFormedPlanHasNoErrors) {
+  JoinGraph g = OneAliasGraph();
+  PhysicalPlan plan = Plan(Scan(PhysKind::kTbScan, 0), g);
+  auto errors = CheckPhysicalPlanErrors(plan, *db_, {}, "test");
+  EXPECT_TRUE(errors.empty())
+      << (errors.empty() ? "" : errors.front().ToString());
+}
+
+TEST_F(PlanCheckTest, NullRootIsPhysStructure) {
+  JoinGraph g = OneAliasGraph();
+  PhysicalPlan plan;
+  plan.graph = &g;
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, {}, "test"),
+                      "phys-structure"));
+}
+
+TEST_F(PlanCheckTest, ScanWithChildIsPhysStructure) {
+  JoinGraph g = OneAliasGraph();
+  auto root = Scan(PhysKind::kTbScan, 0);
+  root->left = Scan(PhysKind::kTbScan, 0);
+  PhysicalPlan plan = Plan(std::move(root), g);
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, {}, "test"),
+                      "phys-structure"));
+}
+
+TEST_F(PlanCheckTest, UnscannedAliasIsPhysStructure) {
+  JoinGraph g = OneAliasGraph();
+  g.num_aliases = 2;  // d1 exists but no node scans it
+  PhysicalPlan plan = Plan(Scan(PhysKind::kTbScan, 0), g);
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, {}, "test"),
+                      "phys-structure"));
+}
+
+TEST_F(PlanCheckTest, AliasScannedTwiceIsPhysStructure) {
+  JoinGraph g = OneAliasGraph();
+  g.num_aliases = 2;
+  PhysicalPlan plan = Plan(Join(PhysKind::kNlJoin,
+                                Scan(PhysKind::kTbScan, 0),
+                                Scan(PhysKind::kTbScan, 0)),
+                           g);
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, {}, "test"),
+                      "phys-structure"));
+}
+
+TEST_F(PlanCheckTest, TableScanWithIndexPointerIsPhysStructure) {
+  JoinGraph g = OneAliasGraph();
+  auto root = Scan(PhysKind::kTbScan, 0);
+  root->index = db_->indexes()[0].get();
+  PhysicalPlan plan = Plan(std::move(root), g);
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, {}, "test"),
+                      "phys-structure"));
+}
+
+TEST_F(PlanCheckTest, IndexScanWithoutIndexIsIxscanIndex) {
+  JoinGraph g = OneAliasGraph();
+  auto root = Scan(PhysKind::kIxScan, 0);
+  root->index = nullptr;
+  PhysicalPlan plan = Plan(std::move(root), g);
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, {}, "test"),
+                      "ixscan-index"));
+}
+
+TEST_F(PlanCheckTest, ProbedIndexMissingFromCatalogIsIxscanIndex) {
+  JoinGraph g = OneAliasGraph();
+  PhysicalPlan plan = Plan(Scan(PhysKind::kIxScan, 0), g);
+  std::map<std::string, std::string> catalog;  // empty: index dropped
+  PlanCheckContext context;
+  context.catalog_index_defs = &catalog;
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, context, "test"),
+                      "ixscan-index"));
+}
+
+TEST_F(PlanCheckTest, ProbedIndexDefinitionMismatchIsIxscanIndex) {
+  JoinGraph g = OneAliasGraph();
+  PhysicalPlan plan = Plan(Scan(PhysKind::kIxScan, 0), g);
+  std::map<std::string, std::string> catalog{
+      {"nk", "nk(kind)"}};  // same name, different key columns
+  PlanCheckContext context;
+  context.catalog_index_defs = &catalog;
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, context, "test"),
+                      "ixscan-index"));
+}
+
+// Regression pin for the snapshot-invalidation fix: every probed index
+// must be recorded in the prepared artifact's used_indexes, otherwise
+// DDL on that index would fail to invalidate the cached plan and an
+// execution could probe a dropped B-tree.
+TEST_F(PlanCheckTest, ProbedIndexMissingFromUsedIndexesIsUsedIndexes) {
+  JoinGraph g = OneAliasGraph();
+  PhysicalPlan plan = Plan(Scan(PhysKind::kIxScan, 0), g);
+  std::map<std::string, std::string> used;  // artifact forgot the index
+  PlanCheckContext context;
+  context.used_indexes = &used;
+  auto errors = CheckPhysicalPlanErrors(plan, *db_, context, "test");
+  ASSERT_TRUE(Reports(errors, "used-indexes"));
+
+  // Recording it (name + rendered definition) clears the error.
+  used["nk"] = db_->indexes()[0]->def.ToString();
+  errors = CheckPhysicalPlanErrors(plan, *db_, context, "test");
+  EXPECT_TRUE(errors.empty())
+      << (errors.empty() ? "" : errors.front().ToString());
+}
+
+TEST_F(PlanCheckTest, StaleUsedIndexesDefinitionIsUsedIndexes) {
+  JoinGraph g = OneAliasGraph();
+  PhysicalPlan plan = Plan(Scan(PhysKind::kIxScan, 0), g);
+  std::map<std::string, std::string> used{{"nk", "nk(level,parent)"}};
+  PlanCheckContext context;
+  context.used_indexes = &used;
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, context, "test"),
+                      "used-indexes"));
+}
+
+TEST_F(PlanCheckTest, JoinPredOverAliasOutsideSubtreeIsPredBinding) {
+  // Inner join's edge predicate references d2, which is scanned by the
+  // *outer* join's right input — the column does not exist yet where the
+  // predicate runs.
+  JoinGraph g = OneAliasGraph();
+  g.num_aliases = 3;
+  auto inner = Join(PhysKind::kNlJoin, Scan(PhysKind::kTbScan, 0),
+                    Scan(PhysKind::kTbScan, 1));
+  inner->preds.push_back(
+      Cmp(QT(0, "pre"), algebra::CmpOp::kEq, QT(2, "pre")));
+  auto root =
+      Join(PhysKind::kNlJoin, std::move(inner), Scan(PhysKind::kTbScan, 2));
+  PhysicalPlan plan = Plan(std::move(root), g);
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, {}, "test"),
+                      "pred-binding"));
+}
+
+TEST_F(PlanCheckTest, ScanPredMayProbeOuterAliases) {
+  // A parameterized inner scan of an NLJOIN probes the outer's columns;
+  // that is not a pred-binding violation.
+  JoinGraph g = OneAliasGraph();
+  g.num_aliases = 2;
+  auto inner = Scan(PhysKind::kTbScan, 1);
+  inner->preds.push_back(
+      Cmp(QT(1, "parent"), algebra::CmpOp::kEq, QT(0, "pre")));
+  auto root = Join(PhysKind::kNlJoin, Scan(PhysKind::kTbScan, 0),
+                   std::move(inner));
+  PhysicalPlan plan = Plan(std::move(root), g);
+  auto errors = CheckPhysicalPlanErrors(plan, *db_, {}, "test");
+  EXPECT_TRUE(errors.empty())
+      << (errors.empty() ? "" : errors.front().ToString());
+}
+
+TEST_F(PlanCheckTest, UnknownPredicateColumnIsColumnRef) {
+  JoinGraph g = OneAliasGraph();
+  auto root = Scan(PhysKind::kTbScan, 0);
+  root->preds.push_back(
+      Cmp(QT(0, "no_such_col"), algebra::CmpOp::kEq, QT(0, "pre")));
+  PhysicalPlan plan = Plan(std::move(root), g);
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, {}, "test"),
+                      "column-ref"));
+}
+
+TEST_F(PlanCheckTest, NumericVsStringHashKeyIsHsjoinKeyTypes) {
+  // d0.pre is an int column, d1.name is dictionary-encoded string: the
+  // build and probe hashes can never collide on equal values, so the
+  // join silently returns nothing. This is the dict-code vs plain-string
+  // class of bug the columnar hash join is exposed to.
+  JoinGraph g = OneAliasGraph();
+  g.num_aliases = 2;
+  auto root = Join(PhysKind::kHsJoin, Scan(PhysKind::kTbScan, 0),
+                   Scan(PhysKind::kTbScan, 1));
+  root->preds.push_back(
+      Cmp(QT(0, "pre"), algebra::CmpOp::kEq, QT(1, "name")));
+  PhysicalPlan plan = Plan(std::move(root), g);
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, {}, "test"),
+                      "hsjoin-key-types"));
+}
+
+TEST_F(PlanCheckTest, MatchingNumericHashKeysAreAccepted) {
+  JoinGraph g = OneAliasGraph();
+  g.num_aliases = 2;
+  auto root = Join(PhysKind::kHsJoin, Scan(PhysKind::kTbScan, 0),
+                   Scan(PhysKind::kTbScan, 1));
+  root->preds.push_back(
+      Cmp(QT(0, "pre"), algebra::CmpOp::kEq, QT(1, "parent")));
+  PhysicalPlan plan = Plan(std::move(root), g);
+  auto errors = CheckPhysicalPlanErrors(plan, *db_, {}, "test");
+  EXPECT_TRUE(errors.empty())
+      << (errors.empty() ? "" : errors.front().ToString());
+}
+
+TEST_F(PlanCheckTest, SumOverStringColumnIsHsjoinKeyTypes) {
+  JoinGraph g = OneAliasGraph();
+  g.num_aliases = 2;
+  auto root = Join(PhysKind::kHsJoin, Scan(PhysKind::kTbScan, 0),
+                   Scan(PhysKind::kTbScan, 1));
+  QualTerm sum = QT(0, "name");
+  sum.alias2 = 0;
+  sum.col2 = "pre";  // name + pre: arithmetic over a string column
+  root->preds.push_back(Cmp(sum, algebra::CmpOp::kEq, QT(1, "pre")));
+  PhysicalPlan plan = Plan(std::move(root), g);
+  EXPECT_TRUE(Reports(CheckPhysicalPlanErrors(plan, *db_, {}, "test"),
+                      "hsjoin-key-types"));
+}
+
+// ---------------------------------------------------------------------
+// ColumnBatch checks (batch-sel)
+// ---------------------------------------------------------------------
+
+namespace columnar = engine::columnar;
+
+columnar::ColumnBatch SmallBatch() {
+  columnar::ColumnBatch batch;
+  batch.schema = {"pre", "parent"};
+  batch.cols = {
+      std::make_shared<ValueColumn>(ValueColumn::Ints({0, 1, 2, 3})),
+      std::make_shared<ValueColumn>(ValueColumn::Ints({-1, 0, 0, 1}))};
+  batch.num_rows = 4;
+  return batch;
+}
+
+TEST(CheckColumnBatchTest, DenseBatchIsAccepted) {
+  EXPECT_TRUE(CheckColumnBatch(SmallBatch(), "test").ok());
+}
+
+TEST(CheckColumnBatchTest, LazyBatchWithValidSelectionIsAccepted) {
+  columnar::ColumnBatch batch = SmallBatch();
+  batch.sel =
+      std::make_shared<const std::vector<uint32_t>>(
+          std::vector<uint32_t>{0, 2});
+  batch.num_rows = 2;
+  EXPECT_TRUE(CheckColumnBatch(batch, "test").ok());
+}
+
+TEST(CheckColumnBatchTest, SchemaColumnCountMismatchIsRejected) {
+  columnar::ColumnBatch batch = SmallBatch();
+  batch.schema.push_back("orphan");
+  Status st = CheckColumnBatch(batch, "test");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("batch-sel"), std::string::npos);
+}
+
+TEST(CheckColumnBatchTest, UnequalPhysicalLengthsAreRejected) {
+  columnar::ColumnBatch batch = SmallBatch();
+  batch.cols[1] =
+      std::make_shared<ValueColumn>(ValueColumn::Ints({-1, 0}));
+  EXPECT_FALSE(CheckColumnBatch(batch, "test").ok());
+}
+
+TEST(CheckColumnBatchTest, SelectionSizeVsNumRowsMismatchIsRejected) {
+  columnar::ColumnBatch batch = SmallBatch();
+  batch.sel =
+      std::make_shared<const std::vector<uint32_t>>(
+          std::vector<uint32_t>{0, 2});
+  // num_rows left at 4: disagrees with the 2-entry selection vector.
+  EXPECT_FALSE(CheckColumnBatch(batch, "test").ok());
+}
+
+TEST(CheckColumnBatchTest, OutOfRangeSelectionEntryIsRejected) {
+  columnar::ColumnBatch batch = SmallBatch();
+  batch.sel =
+      std::make_shared<const std::vector<uint32_t>>(
+          std::vector<uint32_t>{0, 9});  // 4 physical rows
+  batch.num_rows = 2;
+  Status st = CheckColumnBatch(batch, "test");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("physical row 9"), std::string::npos);
+}
+
+TEST(CheckColumnBatchTest, NonIncreasingSelectionIsRejected) {
+  // Filters preserve row order; a reordered selection vector would
+  // silently permute results downstream.
+  columnar::ColumnBatch batch = SmallBatch();
+  batch.sel =
+      std::make_shared<const std::vector<uint32_t>>(
+          std::vector<uint32_t>{2, 1});
+  batch.num_rows = 2;
+  EXPECT_FALSE(CheckColumnBatch(batch, "test").ok());
+}
+
+TEST(CheckColumnBatchTest, DenseRowCountMismatchIsRejected) {
+  columnar::ColumnBatch batch = SmallBatch();
+  batch.num_rows = 3;  // columns hold 4 physical rows, no selection
+  EXPECT_FALSE(CheckColumnBatch(batch, "test").ok());
+}
+
+}  // namespace
+}  // namespace xqjg::opt

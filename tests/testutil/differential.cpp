@@ -126,6 +126,10 @@ DifferentialHarness::DifferentialHarness(const std::string& uri,
     const std::string& query, int threads) {
   api::RunOptions options;
   options.timeout_seconds = 60;
+  // The fuzz sweep doubles as a corpus for the static plan verifier:
+  // force it on explicitly (not kAuto) so Release fuzz legs check every
+  // randomized plan too.
+  options.validate_plans = api::ValidatePlans::kOn;
   options.mode = api::Mode::kNativeWhole;
   auto reference = indexed_.Run(query, options);
   if (!reference.ok()) {

@@ -1,0 +1,26 @@
+// Shared gtest main for every xqjg test binary (linked in place of
+// GTest::gtest_main by xqjg_add_test).
+//
+// Its one job beyond RUN_ALL_TESTS: force the static plan verifier on
+// for the whole suite, regardless of build type. Debug builds validate
+// anyway (ValidatePlans::kAuto), but Release CI legs would silently run
+// with the verifier off — and per-rewrite validation is opt-in even in
+// Debug. Setting the knobs here (instead of ctest ENVIRONMENT
+// properties, which gtest_discover_tests mangles when given a list)
+// also covers test binaries run by hand.
+//
+// setenv with overwrite=0 so an explicit XQJG_VALIDATE_PLANS=0 in the
+// environment still wins when someone needs to bisect the verifier
+// itself.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+int main(int argc, char** argv) {
+#ifndef _WIN32
+  ::setenv("XQJG_VALIDATE_PLANS", "1", /*overwrite=*/0);
+  ::setenv("XQJG_VALIDATE_REWRITES", "1", /*overwrite=*/0);
+#endif
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint (run in CI; no dependencies).
+
+Two rules, both born from real bugs in this codebase:
+
+  no-budget-guard  A row-producing loop (push_back / emplace_back /
+                   ValueColumn::Append in the loop body) in src/engine/ or
+                   src/native/ must have a DNF budget guard in scope — a
+                   BudgetClock / RegionBudget call (TickRows, Tick,
+                   CheckRows, FinishLocalRows, ...) inside the loop or
+                   anywhere in the enclosing function. Unguarded loops are
+                   how a runaway query escapes ExecLimits (the PR 6
+                   budget-clock work made every executor loop
+                   cooperative; this lint keeps it that way).
+
+  raw-alloc        `new` / `delete` / malloc-family calls anywhere in
+                   src/ outside engine/parallel/worker_pool.cpp (which
+                   owns thread lifetimes). Everything else uses
+                   make_unique / make_shared / containers, so ownership
+                   bugs stay impossible by construction.
+
+Suppress a deliberate exception with a trailing comment on the offending
+line (or the line above):
+
+    ptr = new Widget();  // xqjg-lint: allow(raw-alloc)
+    // xqjg-lint: allow(no-budget-guard): O(1) iterations by construction
+    for (auto& x : tiny) out.push_back(f(x));
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Scopes.
+LOOP_DIRS = ("src/engine", "src/native")
+ALLOC_DIR = "src"
+ALLOC_EXEMPT = ("src/engine/parallel/worker_pool.cpp",)
+
+SUPPRESS_RE = re.compile(r"xqjg-lint:\s*allow\(([a-z-]+)\)")
+
+# A loop is "row-producing" when its body appends to a container/column.
+PRODUCE_RE = re.compile(r"\b(?:push_back|emplace_back|Append|AppendNull)\s*\(")
+
+# ...and "row-scale" when its header iterates a per-row source (document
+# rows, tuples, node candidates) rather than a plan-shaped one (preds,
+# schema columns, key columns — all O(plan), bounded by construction).
+ROW_SCALE_RE = re.compile(
+    r"\b(?:rows|row_count|num_rows|tuples|candidates|rids|matches|"
+    r"children|entries|\ball\b|pre|sel)\b")
+
+# Budget guards: BudgetClock / RegionBudget methods, or touching an
+# object whose name says it is the budget/clock (the guard may live in
+# the enclosing function rather than the loop itself).
+GUARD_RE = re.compile(
+    r"\b(?:TickRows|TickThrow|TickQuiet|Tick|CheckRows|FinishLocalRows|"
+    r"RegionAborted|RegionBudget|BudgetClock)\s*\(|"
+    r"\b(?:clock|budget|region)[a-zA-Z0-9]*(?:_\b|_?\.|_?->)|"
+    r"\bdeadline\b"  # the native lane's coarse wall-clock guard
+)
+
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+
+ALLOC_RES = (
+    re.compile(r"\bnew\s+[A-Za-z_(]"),       # placement/array new included
+    re.compile(r"\bdelete\b(?!\s*;)"),        # "= delete;" handled below
+    re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\("),
+)
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving length
+    and newlines (so offsets and line numbers survive)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def suppressions(raw_text):
+    """line -> set of suppressed rules (applies to that line and the
+    next)."""
+    sup = {}
+    for m in SUPPRESS_RE.finditer(raw_text):
+        line = line_of(raw_text, m.start())
+        rule = m.group(1)
+        sup.setdefault(line, set()).add(rule)
+        sup.setdefault(line + 1, set()).add(rule)
+    return sup
+
+
+def matching_brace(text, open_idx):
+    """Index just past the brace matching text[open_idx] == '{' (text must
+    be comment/string-stripped). Returns len(text) when unbalanced."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+FUNC_OPEN_RE = re.compile(
+    r"\)\s*(?:const\s*)?(?:noexcept\s*)?(?:override\s*)?"
+    r"(?:->\s*[\w:<>,&*\s]+?)?\s*\{"
+)
+
+
+def enclosing_function_span(text, pos):
+    """Span of the innermost function body containing `pos`: walk every
+    '{' whose block covers pos and whose opener looks like the end of a
+    function signature; the last (innermost) match wins. Falls back to
+    the loop itself when nothing matches (lambda-heavy code)."""
+    best = None
+    for m in FUNC_OPEN_RE.finditer(text, 0, pos + 1):
+        open_idx = m.end() - 1
+        close = matching_brace(text, open_idx)
+        if open_idx < pos < close:
+            best = (open_idx, close)
+    return best
+
+
+def lint_loops(rel, raw, text, sup, findings):
+    for m in LOOP_RE.finditer(text):
+        # Body = the first '{' after the loop header's closing paren.
+        open_paren = text.find("(", m.start())
+        depth, i = 0, open_paren
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        body_open = text.find("{", i)
+        semi = text.find(";", i)
+        if body_open < 0 or (0 <= semi < body_open):
+            continue  # single-statement loop body; too small to matter
+        header = text[m.start():i + 1]
+        if not ROW_SCALE_RE.search(header):
+            continue  # plan-shaped iteration (preds/schema/keys)
+        body = text[body_open:matching_brace(text, body_open)]
+        if not PRODUCE_RE.search(body):
+            continue
+        if GUARD_RE.search(body):
+            continue
+        span = enclosing_function_span(text, m.start())
+        if span and GUARD_RE.search(text[span[0]:span[1]]):
+            continue
+        line = line_of(text, m.start())
+        if "no-budget-guard" in sup.get(line, ()):
+            continue
+        findings.append(
+            (rel, line, "no-budget-guard",
+             "row-producing loop with no BudgetClock/RegionBudget call in "
+             "the loop or its enclosing function"))
+
+
+def lint_allocs(rel, raw, text, sup, findings):
+    for alloc_re in ALLOC_RES:
+        for m in alloc_re.finditer(text):
+            frag = text[max(0, m.start() - 16):m.start()]
+            if re.search(r"=\s*$", frag):
+                continue  # "Foo(const Foo&) = delete;" and friends
+            line = line_of(text, m.start())
+            if "raw-alloc" in sup.get(line, ()):
+                continue
+            findings.append(
+                (rel, line, "raw-alloc",
+                 "raw allocation (`%s`) — use make_unique/make_shared or "
+                 "a container (worker_pool.cpp is the only exemption)"
+                 % text[m.start():m.end()].strip()))
+
+
+def main():
+    findings = []
+    for root, _, files in os.walk(os.path.join(REPO, ALLOC_DIR)):
+        for name in sorted(files):
+            if not name.endswith((".cpp", ".h")):
+                continue
+            path = os.path.join(root, name)
+            rel = os.path.relpath(path, REPO)
+            with open(path, encoding="utf-8") as f:
+                raw = f.read()
+            text = strip_comments_and_strings(raw)
+            sup = suppressions(raw)
+            if rel not in ALLOC_EXEMPT:
+                lint_allocs(rel, raw, text, sup, findings)
+            if rel.startswith(LOOP_DIRS):
+                lint_loops(rel, raw, text, sup, findings)
+
+    findings.sort()
+    for rel, line, rule, msg in findings:
+        print("%s:%d: [%s] %s" % (rel, line, rule, msg))
+    if findings:
+        print("\n%d finding(s). Suppress deliberate exceptions with "
+              "// xqjg-lint: allow(<rule>)." % len(findings))
+        return 1
+    print("lint_invariants: clean (%s scanned)" % ALLOC_DIR)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
