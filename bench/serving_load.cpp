@@ -1,0 +1,368 @@
+// Serving-layer load driver: throughput, tail latency, and overload
+// shedding for the query server — over real TCP on loopback.
+//
+// Phase 1 (closed loop): K client threads, each with its own connection
+// and session, drive a mixed workload for T seconds — the auction-corpus
+// paper queries (join-graph mode, plus Q1 through the native lane, which
+// always admits as heavy) and a parameterized literal family
+// targeting D small XMark documents under a zipfian document popularity
+// (doc_0 hot, the tail cold). Each client prepares its statements once
+// and then loops execute + fetch-all + close; per-request wall latency
+// is recorded under the admission class the server assigned at PREPARE.
+//
+// Phase 2 (overload): a second server configured with one slot and a
+// near-zero admission queue per class, hammered by more clients than
+// slots. The point of the measurement: the shed rate climbs, but the
+// p99 of the *admitted* requests stays bounded — load shedding converts
+// "everything times out" into "some requests get a fast BUSY and the
+// rest stay fast".
+//
+// Set XQJG_BENCH_JSON=<path> to emit BENCH_serving.json.
+//
+// Environment knobs:
+//   XQJG_SERVING_SECONDS  (default 5)  closed-loop measure seconds
+//   XQJG_SERVING_CLIENTS  (default 4)  closed-loop client threads
+//   XQJG_SERVING_SCALE    (default 0.5) XMark scale of the main corpus
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/api/paper_queries.h"
+#include "src/api/processor.h"
+#include "src/data/xmark.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+
+using namespace xqjg;
+
+namespace {
+
+constexpr int kZipfDocs = 4;
+const char kParamQuery[] =
+    "declare variable $minprice as xs:decimal external; "
+    "//closed_auction[price > $minprice]/price/text()";
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct LatencyTrack {
+  std::vector<double> by_class[server::kNumQueryClasses];
+  std::map<std::string, std::vector<double>> by_query;
+  int64_t shed = 0;
+  int64_t errors = 0;
+};
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * (sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+std::string ClassJson(std::vector<double> ms) {
+  std::sort(ms.begin(), ms.end());
+  std::string out = "{";
+  out += "\"count\":" + std::to_string(ms.size());
+  out += ",\"p50_ms\":" + std::to_string(Percentile(ms, 0.5));
+  out += ",\"p99_ms\":" + std::to_string(Percentile(ms, 0.99));
+  out += "}";
+  return out;
+}
+
+/// One statement a client cycles through.
+struct WorkItem {
+  std::string label;
+  uint32_t statement_id = 0;
+  uint8_t query_class = 0;
+  bool parameterized = false;
+  int weight = 1;  ///< relative pick frequency (zipfian doc popularity)
+};
+
+/// Prepares the mixed workload on one session: the auction-corpus paper
+/// queries (join-graph mode; Q2 is the heavy join), Q1 through the
+/// native lane (no plan → always admitted heavy), and the parameterized
+/// family over the zipf documents.
+Status PrepareWorkload(server::Client& client, std::vector<WorkItem>* out) {
+  for (const auto& q : api::PaperQueries()) {
+    if (q.document != "auction.xml") continue;  // bench loads XMark only
+    auto prepared = client.Prepare(q.text, /*mode=joingraph*/ 1, q.document);
+    XQJG_RETURN_NOT_OK(prepared.status());
+    WorkItem item;
+    item.label = q.id;
+    item.statement_id = prepared.value().statement_id;
+    item.query_class = prepared.value().query_class;
+    item.weight = q.id == "Q2" ? 1 : 2;  // the join is the slow one
+    out->push_back(item);
+  }
+  {
+    auto prepared = client.Prepare(api::PaperQueries()[0].text,
+                                   /*mode=nativewhole*/ 2, "auction.xml");
+    XQJG_RETURN_NOT_OK(prepared.status());
+    WorkItem item;
+    item.label = "Q1-native";
+    item.statement_id = prepared.value().statement_id;
+    item.query_class = prepared.value().query_class;
+    item.weight = 1;
+    out->push_back(item);
+  }
+  for (int d = 0; d < kZipfDocs; ++d) {
+    const std::string uri = "doc_" + std::to_string(d) + ".xml";
+    auto prepared = client.Prepare(kParamQuery, 1, uri);
+    XQJG_RETURN_NOT_OK(prepared.status());
+    WorkItem item;
+    item.label = "param/" + uri;
+    item.statement_id = prepared.value().statement_id;
+    item.query_class = prepared.value().query_class;
+    item.parameterized = true;
+    // Zipf-ish popularity: doc_0 eight times hotter than doc_3.
+    item.weight = 8 >> d;
+    if (item.weight < 1) item.weight = 1;
+    out->push_back(item);
+  }
+  return Status::OK();
+}
+
+/// Runs the closed loop on one connection until `deadline`; `track` is
+/// thread-local and merged by the caller.
+void ClientLoop(const std::string& host, int port, int seed, double deadline,
+                LatencyTrack* track) {
+  auto connected = server::Client::Connect(host, port);
+  if (!connected.ok()) {
+    ++track->errors;
+    return;
+  }
+  server::Client& client = *connected.value();
+  std::vector<WorkItem> work;
+  if (!PrepareWorkload(client, &work).ok()) {
+    ++track->errors;
+    return;
+  }
+  int total_weight = 0;
+  for (const auto& item : work) total_weight += item.weight;
+  std::mt19937 rng(static_cast<uint32_t>(seed) * 2654435761u + 1);
+  std::uniform_int_distribution<int> pick_dist(0, total_weight - 1);
+  std::uniform_real_distribution<double> price_dist(5.0, 100.0);
+
+  while (Now() < deadline) {
+    int roll = pick_dist(rng);
+    const WorkItem* item = &work.back();
+    for (const auto& candidate : work) {
+      roll -= candidate.weight;
+      if (roll < 0) {
+        item = &candidate;
+        break;
+      }
+    }
+    std::map<std::string, Value> params;
+    if (item->parameterized) {
+      params["minprice"] = Value::Double(price_dist(rng));
+    }
+    const double start = Now();
+    auto executed = client.Execute(item->statement_id, params);
+    if (!executed.ok()) {
+      if (executed.status().code() == StatusCode::kBusy) {
+        ++track->shed;
+      } else {
+        ++track->errors;
+      }
+      continue;
+    }
+    auto items = client.FetchAll(executed.value().cursor_id);
+    if (!items.ok()) {
+      ++track->errors;
+      continue;
+    }
+    const double ms = (Now() - start) * 1e3;
+    track->by_class[item->query_class % server::kNumQueryClasses].push_back(
+        ms);
+    track->by_query[item->label].push_back(ms);
+  }
+  client.Goodbye().ok();
+}
+
+LatencyTrack RunPhase(const std::string& host, int port, int clients,
+                      double seconds) {
+  std::vector<LatencyTrack> tracks(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  const double deadline = Now() + seconds;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(ClientLoop, host, port, c, deadline, &tracks[c]);
+  }
+  for (auto& t : threads) t.join();
+  LatencyTrack merged;
+  for (auto& track : tracks) {
+    for (int cls = 0; cls < server::kNumQueryClasses; ++cls) {
+      auto& dst = merged.by_class[cls];
+      dst.insert(dst.end(), track.by_class[cls].begin(),
+                 track.by_class[cls].end());
+    }
+    for (auto& [label, values] : track.by_query) {
+      auto& dst = merged.by_query[label];
+      dst.insert(dst.end(), values.begin(), values.end());
+    }
+    merged.shed += track.shed;
+    merged.errors += track.errors;
+  }
+  return merged;
+}
+
+}  // namespace
+
+int main() {
+  const double seconds = bench::EnvDouble("XQJG_SERVING_SECONDS", 5.0);
+  const int clients =
+      static_cast<int>(bench::EnvDouble("XQJG_SERVING_CLIENTS", 4));
+  const double scale = bench::EnvDouble("XQJG_SERVING_SCALE", 0.5);
+
+  // One corpus serves both phases: the main auction instance for the
+  // paper queries plus the zipf-targeted small documents.
+  api::XQueryProcessor processor;
+  {
+    data::XmarkOptions xmark;
+    xmark.scale = scale;
+    Status s = processor.LoadDocument("auction.xml",
+                                      data::GenerateXmark(xmark),
+                                      api::XmarkSegmentTags());
+    for (int d = 0; s.ok() && d < kZipfDocs; ++d) {
+      data::XmarkOptions small;
+      small.scale = 0.1;
+      small.seed = static_cast<uint64_t>(100 + d);
+      s = processor.LoadDocument("doc_" + std::to_string(d) + ".xml",
+                                 data::GenerateXmark(small));
+    }
+    if (s.ok()) s = processor.CreateRelationalIndexes();
+    if (!s.ok()) {
+      std::fprintf(stderr, "corpus: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // ---- Phase 1: closed loop, production-ish admission config ----
+  server::ServerConfig config;
+  config.session.limits.timeout_seconds = 30.0;
+  server::QueryServer server(&processor, config);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "serving_load — %d closed-loop clients for %.0fs against 127.0.0.1:%d"
+      " (XMark scale %.2f + %d zipf docs)\n",
+      clients, seconds, server.port(), scale, kZipfDocs);
+  const double phase1_start = Now();
+  LatencyTrack closed = RunPhase("127.0.0.1", server.port(), clients, seconds);
+  const double phase1_wall = Now() - phase1_start;
+  server.Stop();
+
+  int64_t closed_count = 0;
+  for (const auto& v : closed.by_class) {
+    closed_count += static_cast<int64_t>(v.size());
+  }
+  const double qps = closed_count / phase1_wall;
+  std::printf("  %lld requests in %.2fs -> %.1f qps (%lld errors)\n",
+              static_cast<long long>(closed_count), phase1_wall, qps,
+              static_cast<long long>(closed.errors));
+  for (int cls = 0; cls < server::kNumQueryClasses; ++cls) {
+    auto ms = closed.by_class[cls];
+    std::sort(ms.begin(), ms.end());
+    std::printf("  %-5s: %6zu reqs  p50 %7.2fms  p99 %7.2fms\n",
+                server::QueryClassToString(
+                    static_cast<server::QueryClass>(cls)),
+                ms.size(), Percentile(ms, 0.5), Percentile(ms, 0.99));
+  }
+
+  // ---- Phase 2: overload against a deliberately tiny server ----
+  server::ServerConfig tiny;
+  tiny.session.limits.timeout_seconds = 30.0;
+  tiny.admission.cheap_slots = 1;
+  tiny.admission.heavy_slots = 1;
+  tiny.admission.cheap_queue = 1;
+  tiny.admission.heavy_queue = 1;
+  tiny.admission.max_queue_wait_seconds = 0.05;
+  server::QueryServer small_server(&processor, tiny);
+  if (Status s = small_server.Start(); !s.ok()) {
+    std::fprintf(stderr, "overload start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const int overload_clients = clients * 3;
+  const double overload_seconds = std::min(seconds, 3.0);
+  std::printf(
+      "  overload: %d clients vs 1+1 admission slots for %.0fs\n",
+      overload_clients, overload_seconds);
+  const double phase2_start = Now();
+  LatencyTrack over = RunPhase("127.0.0.1", small_server.port(),
+                               overload_clients, overload_seconds);
+  const double phase2_wall = Now() - phase2_start;
+  const std::string small_stats = small_server.StatsJson();
+  small_server.Stop();
+
+  int64_t admitted = 0;
+  std::vector<double> admitted_ms;
+  for (const auto& v : over.by_class) {
+    admitted += static_cast<int64_t>(v.size());
+    admitted_ms.insert(admitted_ms.end(), v.begin(), v.end());
+  }
+  std::sort(admitted_ms.begin(), admitted_ms.end());
+  const int64_t offered = admitted + over.shed;
+  const double shed_rate =
+      offered > 0 ? static_cast<double>(over.shed) / offered : 0.0;
+  std::printf(
+      "  offered %lld -> admitted %lld, shed %lld (%.0f%%); admitted "
+      "p50 %.2fms p99 %.2fms (%lld errors)\n",
+      static_cast<long long>(offered), static_cast<long long>(admitted),
+      static_cast<long long>(over.shed), shed_rate * 100,
+      Percentile(admitted_ms, 0.5), Percentile(admitted_ms, 0.99),
+      static_cast<long long>(over.errors));
+
+  // ---- BENCH_serving.json ----
+  std::string json = "{\n  \"bench\": \"serving_load\",\n";
+  json += "  \"clients\": " + std::to_string(clients) + ",\n";
+  json += "  \"seconds\": " + std::to_string(seconds) + ",\n";
+  json += "  \"xmark_scale\": " + std::to_string(scale) + ",\n";
+  json += "  \"closed_loop\": {\n";
+  json += "    \"requests\": " + std::to_string(closed_count) + ",\n";
+  json += "    \"wall_seconds\": " + std::to_string(phase1_wall) + ",\n";
+  json += "    \"qps\": " + std::to_string(qps) + ",\n";
+  json += "    \"errors\": " + std::to_string(closed.errors) + ",\n";
+  json += "    \"classes\": {";
+  for (int cls = 0; cls < server::kNumQueryClasses; ++cls) {
+    if (cls > 0) json += ", ";
+    json += std::string("\"") +
+            server::QueryClassToString(static_cast<server::QueryClass>(cls)) +
+            "\": " + ClassJson(closed.by_class[cls]);
+  }
+  json += "},\n    \"queries\": {";
+  bool first = true;
+  for (auto& [label, values] : closed.by_query) {
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + label + "\": " + ClassJson(values);
+  }
+  json += "}\n  },\n";
+  json += "  \"overload\": {\n";
+  json += "    \"clients\": " + std::to_string(overload_clients) + ",\n";
+  json += "    \"wall_seconds\": " + std::to_string(phase2_wall) + ",\n";
+  json += "    \"offered\": " + std::to_string(offered) + ",\n";
+  json += "    \"admitted\": " + std::to_string(admitted) + ",\n";
+  json += "    \"shed\": " + std::to_string(over.shed) + ",\n";
+  json += "    \"shed_rate\": " + std::to_string(shed_rate) + ",\n";
+  json += "    \"errors\": " + std::to_string(over.errors) + ",\n";
+  json += "    \"admitted_p50_ms\": " +
+          std::to_string(Percentile(admitted_ms, 0.5)) + ",\n";
+  json += "    \"admitted_p99_ms\": " +
+          std::to_string(Percentile(admitted_ms, 0.99)) + ",\n";
+  json += "    \"server_stats\": " + small_stats + "\n";
+  json += "  }\n}\n";
+  if (!bench::WriteBenchJson(json)) return 1;
+  return closed.errors == 0 && over.errors == 0 ? 0 : 1;
+}

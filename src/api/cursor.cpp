@@ -34,9 +34,18 @@ Status ResultCursor::EnsureExecuted() {
       // Execute() verified the engine exists before handing out a cursor.
       // The native engine serializes while evaluating; row budgets do not
       // apply (it materializes no relational intermediates).
+      //
+      // The interpreter evaluates literals directly — it has no marker
+      // substitution point — so parameterized executions bind their
+      // values into a literal Core tree here (unchanged subtrees shared
+      // with the cached artifact). One Prepare still serves the whole
+      // literal family; only this execution sees the bound tree.
+      xquery::ExprPtr core = pq.core;
+      if (!params_.empty()) {
+        XQJG_ASSIGN_OR_RETURN(core, xquery::BindParams(core, params_));
+      }
       XQJG_ASSIGN_OR_RETURN(
-          native_items_,
-          engine->Run(pq.core, options_.limits.timeout_seconds));
+          native_items_, engine->Run(core, options_.limits.timeout_seconds));
       rows_total_ = native_items_.size();
       break;
     }

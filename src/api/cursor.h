@@ -87,6 +87,13 @@ class ResultCursor {
   /// RunResult semantics).
   Result<std::vector<std::string>> FetchAll();
 
+  /// Runs the physical plan now instead of inside the first FetchNext.
+  /// Idempotent. Callers that account execution separately from delivery
+  /// (the query server runs the plan under an admission ticket, then
+  /// serves fetches without holding a slot) prime eagerly; plain library
+  /// use can keep relying on the lazy first fetch.
+  Status Prime() { return EnsureExecuted(); }
+
   /// True once every item has been fetched (false before the first
   /// fetch, even for empty results — the plan has not run yet).
   bool exhausted() const { return executed_ && next_ >= rows_total_; }

@@ -316,24 +316,6 @@ Result<std::shared_ptr<const PreparedQuery>> XQueryProcessor::PrepareUncached(
   out->uses_pattern_indexes = options.mode == Mode::kNativeWhole ||
                               options.mode == Mode::kNativeSegmented;
   out->parameters = xquery::CollectParams(*out->core);
-  if (!out->parameters.empty() &&
-      (options.mode == Mode::kNativeWhole ||
-       options.mode == Mode::kNativeSegmented)) {
-    // The native engine interprets the Core AST with literals inlined; it
-    // has no parameter-marker substitution point. Name the offending
-    // declarations so the caller knows exactly what to inline or which
-    // mode to switch to.
-    std::string names;
-    for (const auto& decl : out->parameters) {
-      if (!names.empty()) names += ", ";
-      names += "$" + decl.name;
-    }
-    return Status::NotSupported(
-        "external parameters (" + names + ") are not supported in native " +
-        std::string(ModeToString(options.mode)) +
-        " mode: the native engine interprets literals directly; use "
-        "stacked or join-graph mode, or inline the values");
-  }
 
   // Stage-boundary plan verification (src/algebra/validate.h): on, every
   // compiled plan is checked right after the stage that built it, so a

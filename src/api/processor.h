@@ -22,11 +22,12 @@
 // (optionally `as xs:string|xs:integer|xs:decimal|xs:double`) turns $x
 // into a parameter marker. One Prepare (one cached plan) then serves the
 // whole literal family — each Execute binds values via
-// ExecuteOptions::parameters. Relational modes only (stacked, and
-// join-graph with an isolatable plan): the executors substitute the
-// bindings into their compiled qualifiers at execute time. The native
-// modes reject parameters with a precise diagnostic — their engine
-// interprets literals directly.
+// ExecuteOptions::parameters. The relational modes (stacked, and
+// join-graph with an isolatable plan) substitute the bindings into their
+// compiled qualifiers at execute time; the native modes bind them into a
+// literal Core tree per execution (xquery::BindParams — their engine
+// interprets literals directly), sharing every unchanged subtree with
+// the cached artifact.
 //
 // Threading contract: the catalog is a shared-ownership snapshot
 // (CatalogSnapshot) behind an atomic swap. Mutators (LoadDocument,

@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotFound";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kBusy:
+      return "Busy";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,          ///< invariant violation inside the library
   kNotFound,          ///< named entity (document, index, table) missing
   kTimeout,           ///< execution exceeded its wall-clock budget (DNF)
+  kBusy,              ///< admission control shed the request (retry later)
 };
 
 /// Renders a StatusCode as a short stable string ("ParseError", ...).
@@ -52,6 +53,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -31,6 +31,7 @@ MatTable BatchToMatTable(const ColumnBatch& batch) {
   table.schema = batch.schema;
   table.rows.resize(batch.num_rows);
   for (auto& row : table.rows) row.reserve(batch.cols.size());
+  // xqjg-lint: allow(no-budget-guard): O(schema columns), plan-shaped
   for (const ColumnRef& col : batch.cols) {
     // Boundary conversion of a batch the executor already budget-admitted.
     // xqjg-lint: allow(no-budget-guard)
@@ -96,6 +97,7 @@ ColumnBatch GatherPhysicalRows(const ColumnBatch& batch,
   ColumnBatch out;
   out.num_rows = phys_idx.size();
   out.cols.reserve(batch.cols.size());
+  // xqjg-lint: allow(no-budget-guard): O(schema columns), plan-shaped
   for (const ColumnRef& col : batch.cols) {
     out.cols.push_back(
         std::make_shared<const ValueColumn>(col->Gather(phys_idx)));

@@ -1,0 +1,83 @@
+#include "src/server/admission.h"
+
+#include <chrono>
+
+namespace xqjg::server {
+
+const char* QueryClassToString(QueryClass c) {
+  return c == QueryClass::kCheap ? "cheap" : "heavy";
+}
+
+QueryClass Classify(bool has_plan, double est_cost,
+                    const AdmissionConfig& config) {
+  if (!has_plan) return QueryClass::kHeavy;
+  return est_cost >= config.heavy_cost_threshold ? QueryClass::kHeavy
+                                                 : QueryClass::kCheap;
+}
+
+Ticket& Ticket::operator=(Ticket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    cls_ = other.cls_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+void Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot(cls_);
+    controller_ = nullptr;
+  }
+}
+
+Result<Ticket> AdmissionController::Admit(QueryClass cls) {
+  const int idx = static_cast<int>(cls);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stats_.running[idx] < SlotsFor(cls)) {
+    ++stats_.running[idx];
+    ++stats_.admitted[idx];
+    return Ticket(this, cls);
+  }
+  if (stats_.waiting[idx] >= QueueFor(cls)) {
+    ++stats_.shed[idx];
+    return Status::Busy("admission queue full for " +
+                        std::string(QueryClassToString(cls)) + " class");
+  }
+  ++stats_.waiting[idx];
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.max_queue_wait_seconds));
+  const bool got_slot = cv_.wait_until(lock, deadline, [&] {
+    return stats_.running[idx] < SlotsFor(cls);
+  });
+  --stats_.waiting[idx];
+  if (!got_slot) {
+    ++stats_.shed[idx];
+    return Status::Busy("admission wait exceeded " +
+                        std::to_string(config_.max_queue_wait_seconds) +
+                        "s for " + QueryClassToString(cls) + " class");
+  }
+  ++stats_.running[idx];
+  ++stats_.admitted[idx];
+  return Ticket(this, cls);
+}
+
+void AdmissionController::ReleaseSlot(QueryClass cls) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --stats_.running[static_cast<int>(cls)];
+  }
+  // Both classes share the condvar; waiters re-check their own class's
+  // predicate, so a spurious wake of the other class is harmless.
+  cv_.notify_all();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace xqjg::server

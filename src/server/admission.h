@@ -1,0 +1,134 @@
+// Admission control: bounded concurrency per query class, load shedding.
+//
+// Every EXECUTE acquires a ticket before the plan runs. Queries are
+// classified by their planner cost estimate into cheap point-ish lookups
+// and heavy scans (the Q2-class reverse-axis joins of the paper's
+// workload): each class has its own concurrency slots and its own
+// bounded wait queue, so a burst of heavy queries cannot starve cheap
+// ones and vice versa. When a class's queue is full — or a waiter
+// exceeds the configured patience — the request is shed with
+// Status::Busy, which the server translates into a protocol-level BUSY
+// frame: under overload the server stays responsive and the tail latency
+// of *admitted* work stays bounded, rather than every request timing out
+// together (bench/serving_load.cpp measures exactly this).
+#ifndef XQJG_SERVER_ADMISSION_H_
+#define XQJG_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/status.h"
+
+namespace xqjg::server {
+
+/// Admission classes. Kept to two on purpose: the workload split the
+/// paper's evaluation exposes is "indexed lookups" vs "join-heavy scans",
+/// and two classes are enough to keep one from starving the other.
+enum class QueryClass : uint8_t {
+  kCheap = 0,  ///< planned, low estimated cost
+  kHeavy = 1,  ///< expensive plan, or no plan (native / fallback lanes)
+};
+
+inline constexpr int kNumQueryClasses = 2;
+
+const char* QueryClassToString(QueryClass c);
+
+struct AdmissionConfig {
+  /// Concurrent executions allowed per class. The dev container is
+  /// single-core, so the defaults are modest; a real deployment scales
+  /// these with the machine.
+  int cheap_slots = 4;
+  int heavy_slots = 1;
+  /// Requests allowed to wait per class once the slots are full; one
+  /// more is shed immediately.
+  int cheap_queue = 16;
+  int heavy_queue = 4;
+  /// Longest a request may wait for a slot before being shed anyway —
+  /// bounds the latency of the admitted tail under sustained overload.
+  double max_queue_wait_seconds = 2.0;
+  /// Plans at or above this estimated cost are heavy. Calibrated so the
+  /// paper queries split as intended: Q1/Q4/Q5-style lookups admit as
+  /// cheap, Q2-class joins as heavy (see AdmissionTest.ClassifyPaperish).
+  double heavy_cost_threshold = 5e5;
+};
+
+/// Point-in-time counters (per class, indexed by QueryClass).
+struct AdmissionStats {
+  int64_t admitted[kNumQueryClasses] = {0, 0};
+  int64_t shed[kNumQueryClasses] = {0, 0};
+  int running[kNumQueryClasses] = {0, 0};
+  int waiting[kNumQueryClasses] = {0, 0};
+};
+
+class AdmissionController;
+
+/// RAII admission grant: the slot frees (and a waiter wakes) when the
+/// ticket dies. Move-only; an empty (moved-from) ticket releases nothing.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(Ticket&& other) noexcept
+      : controller_(other.controller_), cls_(other.cls_) {
+    other.controller_ = nullptr;
+  }
+  Ticket& operator=(Ticket&& other) noexcept;
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+  ~Ticket() { Release(); }
+
+  bool valid() const { return controller_ != nullptr; }
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  Ticket(AdmissionController* controller, QueryClass cls)
+      : controller_(controller), cls_(cls) {}
+
+  AdmissionController* controller_ = nullptr;
+  QueryClass cls_ = QueryClass::kCheap;
+};
+
+/// Classifies a prepared query for admission. `has_plan` false means the
+/// cost model never saw it (native and fallback lanes) — conservatively
+/// heavy.
+QueryClass Classify(bool has_plan, double est_cost,
+                    const AdmissionConfig& config);
+
+/// Thread-safe. One instance per server, shared by every connection.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config)
+      : config_(config) {}
+
+  /// Blocks until a slot for `cls` frees (bounded by the configured
+  /// queue depth and patience) and returns the grant; Status::Busy when
+  /// the request is shed instead. Never blocks past
+  /// max_queue_wait_seconds.
+  Result<Ticket> Admit(QueryClass cls);
+
+  AdmissionStats stats() const;
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  friend class Ticket;
+  void ReleaseSlot(QueryClass cls);
+
+  int SlotsFor(QueryClass cls) const {
+    return cls == QueryClass::kCheap ? config_.cheap_slots
+                                     : config_.heavy_slots;
+  }
+  int QueueFor(QueryClass cls) const {
+    return cls == QueryClass::kCheap ? config_.cheap_queue
+                                     : config_.heavy_queue;
+  }
+
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  AdmissionStats stats_;
+};
+
+}  // namespace xqjg::server
+
+#endif  // XQJG_SERVER_ADMISSION_H_

@@ -1,0 +1,223 @@
+#include "src/server/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xqjg::server {
+
+namespace {
+
+// Full read of `n` bytes. Returns the count actually read (short only at
+// EOF) or a negative errno failure.
+Result<size_t> ReadFull(int fd, uint8_t* out, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = recv(fd, out + got, n - got, 0);
+    if (r == 0) break;  // peer closed
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return got;
+}
+
+Status WriteFull(int fd, const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-response surfaces as
+    // EPIPE instead of killing the process with SIGPIPE.
+    const ssize_t w = send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+ErrorCode ErrorCodeFromStatus(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kInvalidArgument:
+      return ErrorCode::kInvalidArgument;
+    case StatusCode::kParseError:
+      return ErrorCode::kParseError;
+    case StatusCode::kNotSupported:
+      return ErrorCode::kNotSupported;
+    case StatusCode::kNotFound:
+      return ErrorCode::kNotFound;
+    case StatusCode::kTimeout:
+      return ErrorCode::kTimeout;
+    case StatusCode::kOk:
+    case StatusCode::kBusy:
+    case StatusCode::kInternal:
+      break;  // OK/Busy never reach here; Internal is the fallthrough.
+  }
+  return ErrorCode::kInternal;
+}
+
+Status StatusFromWire(ErrorCode code, const std::string& message) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case ErrorCode::kParseError:
+      return Status::ParseError(message);
+    case ErrorCode::kNotSupported:
+      return Status::NotSupported(message);
+    case ErrorCode::kInternal:
+      return Status::Internal(message);
+    case ErrorCode::kNotFound:
+      return Status::NotFound(message);
+    case ErrorCode::kTimeout:
+      return Status::Timeout(message);
+    case ErrorCode::kProtocol:
+      return Status::InvalidArgument("protocol error: " + message);
+    case ErrorCode::kUnknownOpcode:
+      return Status::InvalidArgument("unknown opcode: " + message);
+    case ErrorCode::kSessionExpired:
+      return Status::NotFound("session expired: " + message);
+    case ErrorCode::kQuota:
+      return Status::InvalidArgument("quota exceeded: " + message);
+  }
+  return Status::Internal("unknown wire error code: " + message);
+}
+
+void WireWriter::PutU32(uint32_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v >> 16));
+  buf_.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+Result<uint8_t> WireReader::GetU8() {
+  if (pos_ + 1 > size_) return Status::InvalidArgument("payload truncated");
+  return data_[pos_++];
+}
+
+Result<uint32_t> WireReader::GetU32() {
+  if (pos_ + 4 > size_) return Status::InvalidArgument("payload truncated");
+  const uint32_t v = LoadU32(data_ + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::GetU64() {
+  XQJG_ASSIGN_OR_RETURN(uint32_t lo, GetU32());
+  XQJG_ASSIGN_OR_RETURN(uint32_t hi, GetU32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<double> WireReader::GetF64() {
+  XQJG_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::GetString() {
+  XQJG_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (pos_ + len > size_ || len > size_) {
+    return Status::InvalidArgument("string length exceeds payload");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Status WireReader::Finish() const {
+  if (pos_ != size_) {
+    return Status::InvalidArgument(
+        "payload has " + std::to_string(size_ - pos_) + " trailing bytes");
+  }
+  return Status::OK();
+}
+
+Result<Frame> ReadFrame(int fd, uint32_t max_frame_bytes) {
+  uint8_t header[4];
+  XQJG_ASSIGN_OR_RETURN(size_t got, ReadFull(fd, header, sizeof(header)));
+  if (got == 0) return Status::NotFound("connection closed");  // clean EOF
+  if (got < sizeof(header)) {
+    return Status::Internal("connection closed mid-frame (header)");
+  }
+  const uint32_t length = LoadU32(header);
+  if (length < 1) return Status::InvalidArgument("frame length < 1");
+  if (length > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame length " + std::to_string(length) + " exceeds limit " +
+        std::to_string(max_frame_bytes));
+  }
+  Frame frame;
+  uint8_t opcode;
+  XQJG_ASSIGN_OR_RETURN(got, ReadFull(fd, &opcode, 1));
+  if (got < 1) return Status::Internal("connection closed mid-frame (opcode)");
+  frame.opcode = static_cast<Opcode>(opcode);
+  frame.payload.resize(length - 1);
+  if (!frame.payload.empty()) {
+    XQJG_ASSIGN_OR_RETURN(
+        got, ReadFull(fd, frame.payload.data(), frame.payload.size()));
+    if (got < frame.payload.size()) {
+      return Status::Internal("connection closed mid-frame (payload)");
+    }
+  }
+  return frame;
+}
+
+Status WriteFrame(int fd, Opcode opcode, const std::vector<uint8_t>& payload) {
+  WireWriter header;
+  header.PutU32(static_cast<uint32_t>(payload.size() + 1));
+  header.PutU8(static_cast<uint8_t>(opcode));
+  XQJG_RETURN_NOT_OK(
+      WriteFull(fd, header.buffer().data(), header.buffer().size()));
+  if (!payload.empty()) {
+    XQJG_RETURN_NOT_OK(WriteFull(fd, payload.data(), payload.size()));
+  }
+  return Status::OK();
+}
+
+Status WriteError(int fd, ErrorCode code, const std::string& message) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(code));
+  w.PutString(message);
+  return WriteFrame(fd, Opcode::kError, w.buffer());
+}
+
+Status WriteStatusError(int fd, const Status& s) {
+  if (s.code() == StatusCode::kBusy) {
+    WireWriter w;
+    w.PutString(s.message());
+    return WriteFrame(fd, Opcode::kBusy, w.buffer());
+  }
+  return WriteError(fd, ErrorCodeFromStatus(s), s.message());
+}
+
+}  // namespace xqjg::server

@@ -1,0 +1,154 @@
+// QueryServer — serves the XQueryProcessor facade over TCP.
+//
+// One server wraps one XQueryProcessor: every connection shares its plan
+// cache and its catalog snapshot chain, so a statement PREPAREd on one
+// session and the identical text PREPAREd on another hit the same cached
+// artifact, and catalog mutations (LOAD_DOC, INDEX_DDL) ride the
+// processor's existing atomic snapshot swap — in-flight executions on
+// other sessions keep draining their pinned snapshots, exactly as in
+// embedded use.
+//
+// Request lifecycle (docs/ARCHITECTURE.md has the diagram):
+//
+//   accept → HELLO (session created) → loop:
+//     read frame → touch session → dispatch:
+//       PREPARE        Prepare() through the shared plan cache
+//       EXECUTE        classify by plan cost → Admit() (BUSY when shed)
+//                      → Execute() + Prime() under the admission ticket
+//                      → cursor registered in the session
+//       FETCH          drain a batch from a registered cursor
+//       ...
+//   → GOODBYE / EOF / error → session closed, cursors released
+//
+// Threads: one accept loop, one connection thread per client (joined on
+// Stop — never detached, so TSan sees every edge), one idle reaper that
+// closes sessions with no request activity for idle_timeout_seconds and
+// shuts down their connections (releasing cursors and the catalog
+// snapshots they pin).
+#ifndef XQJG_SERVER_SERVER_H_
+#define XQJG_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/processor.h"
+#include "src/common/status.h"
+#include "src/server/admission.h"
+#include "src/server/protocol.h"
+#include "src/server/session.h"
+
+namespace xqjg::server {
+
+struct ServerConfig {
+  /// Numeric IPv4 address to bind ("127.0.0.1"; the server is an
+  /// application protocol demo, not an internet-facing hardened daemon).
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port — read the chosen one back via port().
+  int port = 0;
+  int max_sessions = 64;
+  uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Sessions with no request activity for this long are reaped: their
+  /// cursors (and pinned catalog snapshots) are released and their
+  /// connections shut down.
+  double idle_timeout_seconds = 300.0;
+  double reap_interval_seconds = 5.0;
+  SessionConfig session;
+  AdmissionConfig admission;
+};
+
+struct ServerStats {
+  int64_t connections = 0;
+  int64_t frames = 0;
+  int64_t errors = 0;  ///< kError responses sent
+  SessionManagerStats sessions;
+  AdmissionStats admission;
+};
+
+/// Thread-safe once Start()ed; Stop() (or destruction) joins every
+/// thread. The processor must outlive the server.
+class QueryServer {
+ public:
+  QueryServer(api::XQueryProcessor* processor, const ServerConfig& config)
+      : processor_(processor),
+        config_(config),
+        admission_(config.admission),
+        sessions_(config.max_sessions) {}
+  ~QueryServer() { Stop(); }
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and spawns the accept + reaper threads.
+  Status Start();
+  /// Graceful shutdown: stops accepting, shuts every connection down,
+  /// joins every thread, closes every session. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start; resolves port 0 to the kernel's pick).
+  int port() const { return port_; }
+  ServerStats stats() const;
+  /// stats() plus admission config rendered as a JSON object (the STATS
+  /// opcode and the daemon's exit report both serve this).
+  std::string StatsJson() const;
+
+ private:
+  void AcceptLoop();
+  void ReaperLoop();
+  void HandleConnection(uint64_t conn_id, int fd);
+
+  /// Per-opcode handlers: decode payload, act, write the response frame.
+  /// The returned Status reflects only the socket write (a handler error
+  /// becomes a kError/kBusy *frame*, which is a successful exchange) —
+  /// a non-OK return ends the connection.
+  Status HandlePrepare(int fd, Session& session, WireReader& reader);
+  Status HandleExecute(int fd, Session& session, WireReader& reader);
+  Status HandleFetch(int fd, Session& session, WireReader& reader);
+  Status HandleCloseCursor(int fd, Session& session, WireReader& reader);
+  Status HandleLoadDoc(int fd, WireReader& reader);
+  Status HandleIndexDdl(int fd, WireReader& reader);
+
+  /// WriteError + error counter bump.
+  Status SendError(int fd, ErrorCode code, const std::string& message);
+  Status SendStatus(int fd, const Status& s);
+
+  api::XQueryProcessor* const processor_;
+  const ServerConfig config_;
+  AdmissionController admission_;
+  SessionManager sessions_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::thread reaper_thread_;
+
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+
+  /// Connection registry. conn_fds_ lets Stop() and the reaper shut
+  /// down blocked reads; threads are joined (finished ones eagerly by
+  /// the accept loop, the rest by Stop) so no thread outlives the
+  /// server object.
+  mutable std::mutex conn_mu_;
+  uint64_t next_conn_id_ = 1;
+  std::map<uint64_t, int> conn_fds_;
+  std::map<uint64_t, std::thread> conn_threads_;
+  std::vector<uint64_t> finished_conns_;
+  /// session id → conn id, so reaping a session wakes its connection.
+  std::map<uint64_t, uint64_t> session_conns_;
+
+  std::atomic<int64_t> connections_{0};
+  std::atomic<int64_t> frames_{0};
+  std::atomic<int64_t> errors_{0};
+};
+
+}  // namespace xqjg::server
+
+#endif  // XQJG_SERVER_SERVER_H_

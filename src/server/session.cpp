@@ -1,0 +1,97 @@
+#include "src/server/session.h"
+
+#include <utility>
+#include <vector>
+
+namespace xqjg::server {
+
+Result<std::shared_ptr<Session>> SessionManager::Create(
+    const SessionConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(sessions_.size()) >= max_sessions_) {
+    return Status::Busy("session limit reached (" +
+                        std::to_string(max_sessions_) + " open)");
+  }
+  auto session = std::make_shared<Session>(next_id_++, config);
+  sessions_.emplace(session->id, session);
+  ++created_;
+  return session;
+}
+
+std::shared_ptr<Session> SessionManager::Find(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+void SessionManager::CloseLocked(const std::shared_ptr<Session>& session) {
+  // Tear down under the session's own mutex so a connection thread
+  // mid-request either finishes before state vanishes or observes
+  // `closed` afterwards. Destroying cursors releases their pinned
+  // catalog snapshots; destroying statements drops plan-cache shares.
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  session->closed = true;
+  session->cursors.clear();
+  session->statements.clear();
+}
+
+void SessionManager::Close(uint64_t id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;  // already closed — idempotent
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  CloseLocked(session);
+}
+
+std::vector<uint64_t> SessionManager::ReapIdle(double idle_seconds) {
+  const auto cutoff =
+      std::chrono::steady_clock::now() -
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(idle_seconds));
+  std::vector<std::shared_ptr<Session>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      // try_lock: a held session mutex means a request is in flight
+      // right now — by definition not idle, and the reaper must never
+      // stall the registry behind a long-running execution.
+      bool idle = false;
+      if (it->second->mu.try_lock()) {
+        idle = it->second->last_active <= cutoff;
+        it->second->mu.unlock();
+      }
+      if (idle) {
+        victims.push_back(std::move(it->second));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    reaped_ += static_cast<int64_t>(victims.size());
+  }
+  // Cursor destruction (snapshot unpinning, result buffers) happens
+  // outside the registry lock — reaping one bloated session must not
+  // stall HELLOs.
+  std::vector<uint64_t> ids;
+  ids.reserve(victims.size());
+  for (const auto& session : victims) {
+    CloseLocked(session);
+    ids.push_back(session->id);
+  }
+  return ids;
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionManagerStats s;
+  s.created = created_;
+  s.reaped = reaped_;
+  s.open = static_cast<int>(sessions_.size());
+  return s;
+}
+
+}  // namespace xqjg::server

@@ -392,4 +392,32 @@ std::vector<ParamDecl> CollectParams(const Expr& e) {
   return out;
 }
 
+Result<ExprPtr> BindParams(const ExprPtr& e, const std::vector<Value>& params) {
+  if (!e) return e;
+  if (e->kind == ExprKind::kParam) {
+    if (e->slot < 0 || static_cast<size_t>(e->slot) >= params.size()) {
+      return Status::Internal("parameter $" + e->var +
+                              " has no bound value (slot out of range)");
+    }
+    const Value& v = params[static_cast<size_t>(e->slot)];
+    switch (v.type()) {
+      case ValueType::kNull:
+        return MakeEmptySeq();
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        return MakeNumLit(v.AsDouble());
+      case ValueType::kString:
+        return MakeStrLit(v.AsString());
+    }
+    return Status::Internal("unhandled value type for parameter $" + e->var);
+  }
+  XQJG_ASSIGN_OR_RETURN(ExprPtr a, BindParams(e->a, params));
+  XQJG_ASSIGN_OR_RETURN(ExprPtr b, BindParams(e->b, params));
+  if (a == e->a && b == e->b) return e;  // untouched subtree: share it
+  auto copy = std::make_shared<Expr>(*e);
+  copy->a = std::move(a);
+  copy->b = std::move(b);
+  return ExprPtr(std::move(copy));
+}
+
 }  // namespace xqjg::xquery

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/value.h"
 
 namespace xqjg::xquery {
 
@@ -155,6 +156,17 @@ struct ParamDecl {
 /// The parameters referenced by `e`, ordered by slot (each slot once).
 /// Externals that are declared but never referenced do not appear.
 std::vector<ParamDecl> CollectParams(const Expr& e);
+
+/// Substitutes every kParam marker in `e` with the literal for its bound
+/// value (`params` indexed by slot): numeric values become kNumLit,
+/// strings kStrLit, and NULL becomes kEmptySeq — a comparison against the
+/// empty sequence is existentially false, matching the relational lanes'
+/// NULL-matches-nothing contract. Unchanged subtrees are shared with the
+/// input (the AST is immutable), so binding costs O(path-to-marker)
+/// allocations. This is how the native lanes serve parameterized queries:
+/// the interpreter evaluates literals, so the cursor binds a literal tree
+/// per execution while the cached PreparedQuery keeps the marked Core.
+Result<ExprPtr> BindParams(const ExprPtr& e, const std::vector<Value>& params);
 
 }  // namespace xqjg::xquery
 

@@ -460,21 +460,45 @@ TEST_F(ParameterizedQueryTest, StackedModeExecutesParameters) {
   EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST_F(ParameterizedQueryTest, NativeModesRejectParametersWithDiagnostic) {
-  // The native engine interprets literals directly — it has no marker
-  // substitution point. The rejection is precise: it names the offending
-  // parameter and the mode instead of a generic unsupported error.
+TEST_F(ParameterizedQueryTest, NativeModesExecuteParameters) {
+  // The native engine interprets literals directly, so the cursor binds
+  // the parameter values into a literal Core tree per execution
+  // (BindParams). One prepared query serves the literal family with
+  // results identical to the equivalent literal queries, in both native
+  // lanes.
   for (Mode mode : {Mode::kNativeWhole, Mode::kNativeSegmented}) {
     PrepareOptions options;
     options.mode = mode;
     options.context_document = "site.xml";
     auto prepared = processor_.Prepare(param_query_, options);
-    ASSERT_FALSE(prepared.ok()) << ModeToString(mode);
-    EXPECT_EQ(prepared.status().code(), StatusCode::kNotSupported)
-        << ModeToString(mode);
-    const std::string message = prepared.status().ToString();
-    EXPECT_NE(message.find("$minprice"), std::string::npos) << message;
-    EXPECT_NE(message.find(ModeToString(mode)), std::string::npos) << message;
+    ASSERT_TRUE(prepared.ok())
+        << ModeToString(mode) << ": " << prepared.status().ToString();
+    ASSERT_EQ(prepared.value()->parameters.size(), 1u);
+
+    for (double value : {10.0, 20.0, 7.0, 1000.0}) {
+      RunOptions run;
+      run.mode = mode;
+      run.context_document = "site.xml";
+      const std::string literal_text = "//item[price > " +
+                                       std::to_string(value) + "]/name";
+      auto literal = processor_.Run(literal_text, run);
+      ASSERT_TRUE(literal.ok()) << literal.status().ToString();
+      auto bound = Bind(processor_, prepared.value(), Value::Double(value),
+                        /*use_columnar=*/false);
+      ASSERT_TRUE(bound.ok())
+          << ModeToString(mode) << ": " << bound.status().ToString();
+      EXPECT_EQ(bound.value().items, literal.value().items)
+          << ModeToString(mode) << " value " << value;
+    }
+
+    // NULL binding: the marker becomes the empty sequence, and an
+    // existential comparison over () is false — no rows, no error.
+    ExecuteOptions null_bound;
+    null_bound.parameters["minprice"] = Value::Null();
+    auto none = processor_.ExecuteAll(prepared.value(), null_bound);
+    ASSERT_TRUE(none.ok())
+        << ModeToString(mode) << ": " << none.status().ToString();
+    EXPECT_EQ(none.value().result_count(), 0u) << ModeToString(mode);
   }
 }
 

@@ -1,0 +1,191 @@
+// Admission control: classification, slot accounting, queueing, load
+// shedding, and the RAII ticket contract.
+#include "src/server/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace xqjg::server {
+namespace {
+
+TEST(AdmissionClassifyTest, CostThresholdSplitsTheClasses) {
+  AdmissionConfig config;
+  config.heavy_cost_threshold = 100.0;
+  EXPECT_EQ(Classify(true, 5.0, config), QueryClass::kCheap);
+  EXPECT_EQ(Classify(true, 99.9, config), QueryClass::kCheap);
+  EXPECT_EQ(Classify(true, 100.0, config), QueryClass::kHeavy);
+  EXPECT_EQ(Classify(true, 1e9, config), QueryClass::kHeavy);
+  // No plan (native lanes, fallback) → no cost estimate → conservative.
+  EXPECT_EQ(Classify(false, 0.0, config), QueryClass::kHeavy);
+}
+
+TEST(AdmissionTest, SlotsAdmitUpToCapacityThenShed) {
+  AdmissionConfig config;
+  config.cheap_slots = 2;
+  config.cheap_queue = 0;  // no waiting: full slots shed immediately
+  AdmissionController controller(config);
+
+  auto t1 = controller.Admit(QueryClass::kCheap);
+  auto t2 = controller.Admit(QueryClass::kCheap);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  auto t3 = controller.Admit(QueryClass::kCheap);
+  ASSERT_FALSE(t3.ok());
+  EXPECT_EQ(t3.status().code(), StatusCode::kBusy);
+
+  const AdmissionStats stats = controller.stats();
+  EXPECT_EQ(stats.admitted[0], 2);
+  EXPECT_EQ(stats.shed[0], 1);
+  EXPECT_EQ(stats.running[0], 2);
+
+  // Releasing a ticket frees its slot.
+  t1.value().Release();
+  auto t4 = controller.Admit(QueryClass::kCheap);
+  EXPECT_TRUE(t4.ok());
+}
+
+TEST(AdmissionTest, ClassesDoNotStarveEachOther) {
+  AdmissionConfig config;
+  config.cheap_slots = 1;
+  config.heavy_slots = 1;
+  config.cheap_queue = 0;
+  config.heavy_queue = 0;
+  AdmissionController controller(config);
+
+  auto heavy = controller.Admit(QueryClass::kHeavy);
+  ASSERT_TRUE(heavy.ok());
+  // A saturated heavy class leaves the cheap slots untouched.
+  auto cheap = controller.Admit(QueryClass::kCheap);
+  EXPECT_TRUE(cheap.ok());
+  EXPECT_FALSE(controller.Admit(QueryClass::kHeavy).ok());
+}
+
+TEST(AdmissionTest, TicketDestructionReleasesTheSlot) {
+  AdmissionConfig config;
+  config.cheap_slots = 1;
+  config.cheap_queue = 0;
+  AdmissionController controller(config);
+  {
+    auto ticket = controller.Admit(QueryClass::kCheap);
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_EQ(controller.stats().running[0], 1);
+  }  // ticket dies here
+  EXPECT_EQ(controller.stats().running[0], 0);
+  EXPECT_TRUE(controller.Admit(QueryClass::kCheap).ok());
+}
+
+TEST(AdmissionTest, MovedFromTicketsReleaseNothing) {
+  AdmissionConfig config;
+  config.cheap_slots = 1;
+  config.cheap_queue = 0;
+  AdmissionController controller(config);
+  auto ticket = controller.Admit(QueryClass::kCheap);
+  ASSERT_TRUE(ticket.ok());
+  Ticket moved = std::move(ticket.value());
+  EXPECT_FALSE(ticket.value().valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(controller.stats().running[0], 1);  // one release total
+  moved.Release();
+  EXPECT_EQ(controller.stats().running[0], 0);
+}
+
+TEST(AdmissionTest, QueuedWaiterGetsTheFreedSlot) {
+  AdmissionConfig config;
+  config.cheap_slots = 1;
+  config.cheap_queue = 1;
+  config.max_queue_wait_seconds = 10.0;  // the release arrives well before
+  AdmissionController controller(config);
+
+  auto holder = controller.Admit(QueryClass::kCheap);
+  ASSERT_TRUE(holder.ok());
+
+  std::thread releaser([&] {
+    // Give the waiter time to enter the queue, then free the slot.
+    while (controller.stats().waiting[0] == 0) {
+      std::this_thread::yield();
+    }
+    holder.value().Release();
+  });
+  auto waited = controller.Admit(QueryClass::kCheap);  // blocks until release
+  releaser.join();
+  ASSERT_TRUE(waited.ok());
+  EXPECT_EQ(controller.stats().admitted[0], 2);
+  EXPECT_EQ(controller.stats().shed[0], 0);
+}
+
+TEST(AdmissionTest, ImpatientWaiterIsShedAtTheDeadline) {
+  AdmissionConfig config;
+  config.cheap_slots = 1;
+  config.cheap_queue = 1;
+  config.max_queue_wait_seconds = 0.05;
+  AdmissionController controller(config);
+
+  auto holder = controller.Admit(QueryClass::kCheap);
+  ASSERT_TRUE(holder.ok());
+  auto waited = controller.Admit(QueryClass::kCheap);  // no one releases
+  ASSERT_FALSE(waited.ok());
+  EXPECT_EQ(waited.status().code(), StatusCode::kBusy);
+  EXPECT_EQ(controller.stats().shed[0], 1);
+  EXPECT_EQ(controller.stats().waiting[0], 0);  // the waiter left the queue
+}
+
+TEST(AdmissionTest, FullQueueShedsWithoutWaiting) {
+  AdmissionConfig config;
+  config.cheap_slots = 1;
+  config.cheap_queue = 1;
+  config.max_queue_wait_seconds = 5.0;
+  AdmissionController controller(config);
+
+  auto holder = controller.Admit(QueryClass::kCheap);
+  ASSERT_TRUE(holder.ok());
+  std::thread waiter([&] {
+    // Occupies the single queue spot until the holder releases.
+    auto t = controller.Admit(QueryClass::kCheap);
+    EXPECT_TRUE(t.ok());
+  });
+  while (controller.stats().waiting[0] == 0) {
+    std::this_thread::yield();
+  }
+  // Queue full: this request is shed immediately, not after the wait.
+  auto shed = controller.Admit(QueryClass::kCheap);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kBusy);
+  holder.value().Release();
+  waiter.join();
+}
+
+TEST(AdmissionTest, ManyThreadsNeverExceedTheSlotCap) {
+  AdmissionConfig config;
+  config.cheap_slots = 2;
+  config.cheap_queue = 32;
+  config.max_queue_wait_seconds = 10.0;
+  AdmissionController controller(config);
+
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 20; ++j) {
+        auto ticket = controller.Admit(QueryClass::kCheap);
+        ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+        const int now = inside.fetch_add(1) + 1;
+        int seen = max_inside.load();
+        while (now > seen && !max_inside.compare_exchange_weak(seen, now)) {
+        }
+        inside.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(max_inside.load(), 2);
+  EXPECT_EQ(controller.stats().running[0], 0);
+  EXPECT_EQ(controller.stats().admitted[0], 8 * 20);
+}
+
+}  // namespace
+}  // namespace xqjg::server

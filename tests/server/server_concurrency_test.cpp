@@ -1,0 +1,230 @@
+// Many clients against one live server under concurrent catalog
+// mutation. The CI ThreadSanitizer job runs this suite (suite name
+// "ServerConcurrency" is part of the TSan regex in ci.yml): races
+// between connection threads, the admission controller, the session
+// registry, the reaper, and the processor's snapshot swap surface here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/paper_queries.h"
+#include "src/api/processor.h"
+#include "src/data/xmark.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+
+namespace xqjg::server {
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 12;
+
+class ServerConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::XmarkOptions xmark;
+    xmark.scale = 0.1;
+    ASSERT_TRUE(processor_
+                    .LoadDocument("auction.xml", data::GenerateXmark(xmark),
+                                  api::XmarkSegmentTags())
+                    .ok());
+    ASSERT_TRUE(processor_.CreateRelationalIndexes().ok());
+  }
+
+  api::XQueryProcessor processor_;
+};
+
+TEST_F(ServerConcurrencyTest, ManyClientsShareOneServer) {
+  ServerConfig config;
+  QueryServer server(&processor_, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The expected answer, computed before any concurrency begins.
+  api::RunOptions run;
+  run.context_document = "auction.xml";
+  auto oracle =
+      processor_.Run("//closed_auction[price > 50.0]/price/text()", run);
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_FALSE(oracle.value().items.empty());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      auto prepared = client.value()->Prepare(
+          "//closed_auction[price > 50.0]/price/text()", 1, "auction.xml");
+      if (!prepared.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        auto executed =
+            client.value()->Execute(prepared.value().statement_id);
+        if (!executed.ok()) {
+          // Admission shedding is a legal outcome under load, anything
+          // else is a failure.
+          if (executed.status().code() != StatusCode::kBusy) ++failures;
+          continue;
+        }
+        auto items = client.value()->FetchAll(executed.value().cursor_id);
+        if (!items.ok() || items.value() != oracle.value().items) ++failures;
+      }
+      client.value()->Goodbye().ok();
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+TEST_F(ServerConcurrencyTest, ClientsRaceCatalogMutations) {
+  // Clients keep preparing + executing while a mutator thread reloads a
+  // side document through the server's own LOAD_DOC path. In-flight
+  // executions drain their pinned snapshots; fresh prepares see the new
+  // catalog; nothing crashes or races. Statements over the mutated
+  // document may come back stale-rejected — that is the documented
+  // re-prepare contract, not a failure.
+  ServerConfig config;
+  QueryServer server(&processor_, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop_mutating{false};
+
+  std::thread mutator([&] {
+    data::XmarkOptions side;
+    side.scale = 0.05;
+    auto client = Client::Connect("127.0.0.1", server.port());
+    if (!client.ok()) {
+      ++failures;
+      return;
+    }
+    int generation = 0;
+    while (!stop_mutating.load()) {
+      side.seed = static_cast<uint64_t>(1000 + generation++);
+      const Status s = client.value()->LoadDocument(
+          "side.xml", data::GenerateXmark(side));
+      if (!s.ok()) {
+        ++failures;
+        return;
+      }
+      std::this_thread::yield();
+    }
+    client.value()->Goodbye().ok();
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        // Re-prepare each round: half the point is racing Prepare (plan
+        // cache + snapshot pin) against the concurrent LOAD_DOC swap.
+        auto prepared = client.value()->Prepare(
+            "//closed_auction[price > 50.0]/price/text()",
+            c % 2 == 0 ? 1 : 2, "auction.xml");
+        if (!prepared.ok()) {
+          ++failures;
+          continue;
+        }
+        auto executed =
+            client.value()->Execute(prepared.value().statement_id);
+        if (!executed.ok()) {
+          // Busy (admission) and InvalidArgument (stale artifact — the
+          // side-document reload resets the index set) are both legal
+          // under mutation; crashes and wire corruption are not.
+          const StatusCode code = executed.status().code();
+          if (code != StatusCode::kBusy &&
+              code != StatusCode::kInvalidArgument) {
+            ++failures;
+          }
+          continue;
+        }
+        auto items = client.value()->FetchAll(executed.value().cursor_id);
+        if (!items.ok()) ++failures;
+      }
+      client.value()->Goodbye().ok();
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop_mutating.store(true);
+  mutator.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+TEST_F(ServerConcurrencyTest, OverloadShedsInsteadOfCollapsing) {
+  ServerConfig config;
+  config.admission.cheap_slots = 1;
+  config.admission.heavy_slots = 1;
+  config.admission.cheap_queue = 1;
+  config.admission.heavy_queue = 1;
+  config.admission.max_queue_wait_seconds = 0.02;
+  QueryServer server(&processor_, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> admitted{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  const int overload_clients = kClients * 2;
+  clients.reserve(overload_clients);
+  for (int c = 0; c < overload_clients; ++c) {
+    clients.emplace_back([&] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      auto prepared =
+          client.value()->Prepare("//item/name", 1, "auction.xml");
+      if (!prepared.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        auto executed =
+            client.value()->Execute(prepared.value().statement_id);
+        if (executed.ok()) {
+          ++admitted;
+          auto items = client.value()->FetchAll(executed.value().cursor_id);
+          if (!items.ok()) ++failures;
+        } else if (executed.status().code() == StatusCode::kBusy) {
+          ++shed;
+        } else {
+          ++failures;
+        }
+      }
+      client.value()->Goodbye().ok();
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every request resolved one way or the other; under 8 clients vs one
+  // slot at least some work was admitted.
+  EXPECT_EQ(admitted.load() + shed.load(),
+            overload_clients * kRequestsPerClient);
+  EXPECT_GT(admitted.load(), 0);
+  const AdmissionStats stats = server.stats().admission;
+  EXPECT_EQ(stats.shed[0] + stats.shed[1], shed.load());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace xqjg::server

@@ -4,14 +4,18 @@
 Two rules, both born from real bugs in this codebase:
 
   no-budget-guard  A row-producing loop (push_back / emplace_back /
-                   ValueColumn::Append in the loop body) in src/engine/ or
-                   src/native/ must have a DNF budget guard in scope — a
-                   BudgetClock / RegionBudget call (TickRows, Tick,
-                   CheckRows, FinishLocalRows, ...) inside the loop or
-                   anywhere in the enclosing function. Unguarded loops are
-                   how a runaway query escapes ExecLimits (the PR 6
-                   budget-clock work made every executor loop
-                   cooperative; this lint keeps it that way).
+                   ValueColumn::Append in the loop body) in src/engine/,
+                   src/native/, or src/server/ must have a DNF budget
+                   guard in scope — a BudgetClock / RegionBudget call
+                   (TickRows, Tick, CheckRows, FinishLocalRows, ...)
+                   inside the loop or anywhere in the enclosing function.
+                   Unguarded loops are how a runaway query escapes
+                   ExecLimits (the PR 6 budget-clock work made every
+                   executor loop cooperative; this lint keeps it that
+                   way). In src/server/ the same rule covers request
+                   decode/accumulation loops: those are bounded by the
+                   frame-size cap or a per-fetch budget instead, and each
+                   such loop carries an explicit allow() saying which.
 
   raw-alloc        `new` / `delete` / malloc-family calls anywhere in
                    src/ outside engine/parallel/worker_pool.cpp (which
@@ -36,7 +40,7 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Scopes.
-LOOP_DIRS = ("src/engine", "src/native")
+LOOP_DIRS = ("src/engine", "src/native", "src/server")
 ALLOC_DIR = "src"
 ALLOC_EXEMPT = ("src/engine/parallel/worker_pool.cpp",)
 
@@ -46,11 +50,12 @@ SUPPRESS_RE = re.compile(r"xqjg-lint:\s*allow\(([a-z-]+)\)")
 PRODUCE_RE = re.compile(r"\b(?:push_back|emplace_back|Append|AppendNull)\s*\(")
 
 # ...and "row-scale" when its header iterates a per-row source (document
-# rows, tuples, node candidates) rather than a plan-shaped one (preds,
-# schema columns, key columns — all O(plan), bounded by construction).
+# rows, tuples, node candidates; for the serving layer: result items and
+# fetch batches) rather than a plan-shaped one (preds, schema columns,
+# key columns — all O(plan), bounded by construction).
 ROW_SCALE_RE = re.compile(
     r"\b(?:rows|row_count|num_rows|tuples|candidates|rids|matches|"
-    r"children|entries|\ball\b|pre|sel)\b")
+    r"children|entries|\ball\b|pre|sel|items|n_items|batch)\b")
 
 # Budget guards: BudgetClock / RegionBudget methods, or touching an
 # object whose name says it is the budget/clock (the guard may live in

@@ -1,0 +1,210 @@
+// xqjg_cli — scripted wire-protocol client for xqjg_serverd.
+//
+// Drives one server session from the command line; CI's server-smoke
+// job and the README quickstart are its main consumers. Actions run in
+// a fixed order (loads, then index DDL, then the query, then stats), so
+// one invocation can seed a server and query it:
+//
+//   xqjg_cli --query '//item[price > 50.0]/name' --context-doc auction.xml
+//   xqjg_cli --load doc.xml=path/to/doc.xml --index-ddl create --stats
+//   xqjg_cli --query '... $minprice ...' --param minprice=10.5
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/server/client.h"
+
+namespace {
+
+struct CliOptions {
+  std::string host = "127.0.0.1";
+  int port = 7878;
+  std::vector<std::pair<std::string, std::string>> loads;  // uri -> path
+  std::string index_ddl;  // "", "create", "drop"
+  std::string query;
+  std::string mode = "joingraph";
+  std::string context_doc;
+  std::map<std::string, xqjg::Value> params;
+  uint32_t fetch_batch = 64;
+  bool stats = false;
+  bool quiet = false;  // suppress result items (CI wants counts only)
+};
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --host H            server address (default 127.0.0.1)\n"
+      "  --port N            server port (default 7878)\n"
+      "  --load URI=PATH     LOAD_DOC the file at PATH as URI (repeatable)\n"
+      "  --index-ddl A       'create' or 'drop' the relational index set\n"
+      "  --query Q           prepare + execute + fetch Q\n"
+      "  --mode M            stacked|joingraph|nativewhole|nativesegmented\n"
+      "  --context-doc URI   context document for absolute paths\n"
+      "  --param N=V         bind external parameter $N (repeatable;\n"
+      "                      V parses as a number when it looks like one,\n"
+      "                      'null' binds NULL)\n"
+      "  --fetch N           fetch batch size (default 64)\n"
+      "  --stats             print server stats JSON\n"
+      "  --quiet             print counts, not items\n",
+      argv0);
+}
+
+xqjg::Value ParseParamValue(const std::string& text) {
+  if (text == "null") return xqjg::Value::Null();
+  char* end = nullptr;
+  const double d = std::strtod(text.c_str(), &end);
+  if (end != nullptr && *end == '\0' && end != text.c_str()) {
+    return xqjg::Value::Double(d);
+  }
+  return xqjg::Value::String(text);
+}
+
+int ModeByte(const std::string& mode) {
+  if (mode == "stacked") return 0;
+  if (mode == "joingraph") return 1;
+  if (mode == "nativewhole") return 2;
+  if (mode == "nativesegmented") return 3;
+  return -1;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  auto need = [&](int i) { return i + 1 < argc; };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    } else if (arg == "--stats") {
+      out->stats = true;
+    } else if (arg == "--quiet") {
+      out->quiet = true;
+    } else if (!need(i)) {
+      std::fprintf(stderr, "%s needs a value (see --help)\n", arg.c_str());
+      return false;
+    } else if (arg == "--host") {
+      out->host = argv[++i];
+    } else if (arg == "--port") {
+      out->port = std::atoi(argv[++i]);
+    } else if (arg == "--load") {
+      const std::string spec = argv[++i];
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--load wants URI=PATH, got %s\n", spec.c_str());
+        return false;
+      }
+      out->loads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--index-ddl") {
+      out->index_ddl = argv[++i];
+    } else if (arg == "--query") {
+      out->query = argv[++i];
+    } else if (arg == "--mode") {
+      out->mode = argv[++i];
+    } else if (arg == "--context-doc") {
+      out->context_doc = argv[++i];
+    } else if (arg == "--param") {
+      const std::string spec = argv[++i];
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--param wants NAME=VALUE, got %s\n",
+                     spec.c_str());
+        return false;
+      }
+      out->params[spec.substr(0, eq)] = ParseParamValue(spec.substr(eq + 1));
+    } else if (arg == "--fetch") {
+      out->fetch_batch = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown option %s (see --help)\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Fail(const xqjg::Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xqjg;
+
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+  const int mode_byte = ModeByte(options.mode);
+  if (mode_byte < 0) {
+    std::fprintf(stderr, "unknown mode %s\n", options.mode.c_str());
+    return 2;
+  }
+
+  auto connected = server::Client::Connect(options.host, options.port);
+  if (!connected.ok()) return Fail(connected.status());
+  server::Client& client = *connected.value();
+
+  for (const auto& [uri, path] : options.loads) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const Status s = client.LoadDocument(uri, text.str());
+    if (!s.ok()) return Fail(s);
+    std::printf("loaded %s\n", uri.c_str());
+  }
+
+  if (!options.index_ddl.empty()) {
+    if (options.index_ddl != "create" && options.index_ddl != "drop") {
+      std::fprintf(stderr, "--index-ddl wants create|drop\n");
+      return 2;
+    }
+    const Status s = client.IndexDdl(options.index_ddl == "create" ? 0 : 1);
+    if (!s.ok()) return Fail(s);
+    std::printf("index ddl: %s ok\n", options.index_ddl.c_str());
+  }
+
+  if (!options.query.empty()) {
+    auto prepared = client.Prepare(options.query,
+                                   static_cast<uint8_t>(mode_byte),
+                                   options.context_doc);
+    if (!prepared.ok()) return Fail(prepared.status());
+    auto executed = client.Execute(prepared.value().statement_id,
+                                   options.params);
+    if (!executed.ok()) return Fail(executed.status());
+    uint64_t fetched = 0;
+    for (;;) {
+      auto batch =
+          client.Fetch(executed.value().cursor_id, options.fetch_batch);
+      if (!batch.ok()) return Fail(batch.status());
+      for (const auto& item : batch.value().items) {
+        ++fetched;
+        if (!options.quiet) std::printf("%s\n", item.c_str());
+      }
+      if (batch.value().exhausted) break;
+    }
+    const Status closed = client.CloseCursor(executed.value().cursor_id);
+    if (!closed.ok()) return Fail(closed);
+    std::printf("rows: %llu (%.3fs execute, class %s)\n",
+                static_cast<unsigned long long>(fetched),
+                executed.value().execute_seconds,
+                prepared.value().query_class == 0 ? "cheap" : "heavy");
+  }
+
+  if (options.stats) {
+    auto stats = client.ServerStats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("%s\n", stats.value().c_str());
+  }
+
+  const Status bye = client.Goodbye();
+  if (!bye.ok()) return Fail(bye);
+  return 0;
+}

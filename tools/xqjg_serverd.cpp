@@ -1,0 +1,199 @@
+// xqjg_serverd — the query-server daemon.
+//
+// Starts one XQueryProcessor, optionally loads the paper corpus (XMark +
+// DBLP with the Table VI relational indexes), and serves the wire
+// protocol (docs/PROTOCOL.md) until SIGINT/SIGTERM or --duration
+// expires. Prints "listening on <host>:<port>" once ready and a stats
+// JSON line at exit, which CI's server-smoke job asserts on.
+//
+//   xqjg_serverd --port 7878 --xmark-scale 1 --dblp-pubs 2000
+//   xqjg_serverd --port 0 --no-corpus          # ephemeral port, empty
+//   xqjg_serverd --duration 5                  # self-terminating (CI)
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include <semaphore.h>
+
+#include "src/api/paper_queries.h"
+#include "src/api/processor.h"
+#include "src/data/dblp.h"
+#include "src/data/xmark.h"
+#include "src/server/server.h"
+
+namespace {
+
+// Signal handling: the handler only posts a semaphore (async-signal-
+// safe); main blocks on it and runs the graceful Stop.
+sem_t g_stop_sem;
+
+void HandleSignal(int) { sem_post(&g_stop_sem); }
+
+struct DaemonOptions {
+  xqjg::server::ServerConfig server;
+  double xmark_scale = 1.0;
+  int dblp_pubs = 2000;
+  bool corpus = true;
+  double duration_seconds = -1.0;  // < 0: run until signaled
+  bool quiet = false;
+};
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --host H             bind address (default 127.0.0.1)\n"
+      "  --port N             TCP port; 0 picks one (default 7878)\n"
+      "  --xmark-scale S      XMark scale for the corpus (default 1.0)\n"
+      "  --dblp-pubs N        DBLP publications (default 2000)\n"
+      "  --no-corpus          start with an empty catalog\n"
+      "  --max-sessions N     concurrent session cap (default 64)\n"
+      "  --idle-timeout S     reap sessions idle this long (default 300)\n"
+      "  --reap-interval S    reaper period (default 5)\n"
+      "  --cheap-slots N      admission slots, cheap class (default 4)\n"
+      "  --heavy-slots N      admission slots, heavy class (default 1)\n"
+      "  --cheap-queue N      admission queue, cheap class (default 16)\n"
+      "  --heavy-queue N      admission queue, heavy class (default 4)\n"
+      "  --queue-wait S       max admission wait (default 2.0)\n"
+      "  --heavy-cost C       est_cost heavy threshold (default 5e5)\n"
+      "  --exec-timeout S     per-fetch wall-clock budget (default 30)\n"
+      "  --max-rows N         intermediate-row budget (default engine)\n"
+      "  --max-cursors N      open cursors per session (default 8)\n"
+      "  --threads N          morsel workers per execution (default 1)\n"
+      "  --duration S         exit after S seconds (default: signal)\n"
+      "  --quiet              suppress the startup banner\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, DaemonOptions* out) {
+  auto need = [&](int i) { return i + 1 < argc; };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    } else if (arg == "--no-corpus") {
+      out->corpus = false;
+    } else if (arg == "--quiet") {
+      out->quiet = true;
+    } else if (!need(i)) {
+      std::fprintf(stderr, "%s needs a value (see --help)\n", arg.c_str());
+      return false;
+    } else if (arg == "--host") {
+      out->server.host = argv[++i];
+    } else if (arg == "--port") {
+      out->server.port = std::atoi(argv[++i]);
+    } else if (arg == "--xmark-scale") {
+      out->xmark_scale = std::atof(argv[++i]);
+    } else if (arg == "--dblp-pubs") {
+      out->dblp_pubs = std::atoi(argv[++i]);
+    } else if (arg == "--max-sessions") {
+      out->server.max_sessions = std::atoi(argv[++i]);
+    } else if (arg == "--idle-timeout") {
+      out->server.idle_timeout_seconds = std::atof(argv[++i]);
+    } else if (arg == "--reap-interval") {
+      out->server.reap_interval_seconds = std::atof(argv[++i]);
+    } else if (arg == "--cheap-slots") {
+      out->server.admission.cheap_slots = std::atoi(argv[++i]);
+    } else if (arg == "--heavy-slots") {
+      out->server.admission.heavy_slots = std::atoi(argv[++i]);
+    } else if (arg == "--cheap-queue") {
+      out->server.admission.cheap_queue = std::atoi(argv[++i]);
+    } else if (arg == "--heavy-queue") {
+      out->server.admission.heavy_queue = std::atoi(argv[++i]);
+    } else if (arg == "--queue-wait") {
+      out->server.admission.max_queue_wait_seconds = std::atof(argv[++i]);
+    } else if (arg == "--heavy-cost") {
+      out->server.admission.heavy_cost_threshold = std::atof(argv[++i]);
+    } else if (arg == "--exec-timeout") {
+      out->server.session.limits.timeout_seconds = std::atof(argv[++i]);
+    } else if (arg == "--max-rows") {
+      out->server.session.limits.max_intermediate_rows =
+          std::atoll(argv[++i]);
+    } else if (arg == "--max-cursors") {
+      out->server.session.max_cursors = std::atoi(argv[++i]);
+    } else if (arg == "--threads") {
+      out->server.session.exec_threads = std::atoi(argv[++i]);
+    } else if (arg == "--duration") {
+      out->duration_seconds = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown option %s (see --help)\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xqjg;
+
+  DaemonOptions options;
+  options.server.port = 7878;
+  options.server.session.limits.timeout_seconds = 30.0;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+
+  api::XQueryProcessor processor;
+  if (options.corpus) {
+    data::XmarkOptions xmark;
+    xmark.scale = options.xmark_scale;
+    data::DblpOptions dblp;
+    dblp.publications = options.dblp_pubs;
+    Status s = processor.LoadDocument("auction.xml", data::GenerateXmark(xmark),
+                                      api::XmarkSegmentTags());
+    if (s.ok()) {
+      s = processor.LoadDocument("dblp.xml", data::GenerateDblp(dblp),
+                                 api::DblpSegmentTags());
+    }
+    if (s.ok()) s = processor.CreateRelationalIndexes();
+    if (!s.ok()) {
+      std::fprintf(stderr, "corpus load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (auto& pattern : api::PaperPatternIndexes()) {
+      processor.CreatePatternIndex(std::move(pattern));
+    }
+  }
+
+  server::QueryServer server(&processor, options.server);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (!options.quiet) {
+    std::printf("listening on %s:%d\n", options.server.host.c_str(),
+                server.port());
+    std::fflush(stdout);
+  }
+
+  sem_init(&g_stop_sem, 0, 0);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  if (options.duration_seconds >= 0) {
+    timespec deadline{};
+    clock_gettime(CLOCK_REALTIME, &deadline);
+    deadline.tv_sec += static_cast<time_t>(options.duration_seconds);
+    deadline.tv_nsec += static_cast<long>(
+        (options.duration_seconds -
+         static_cast<double>(static_cast<time_t>(options.duration_seconds))) *
+        1e9);
+    if (deadline.tv_nsec >= 1000000000L) {
+      deadline.tv_sec += 1;
+      deadline.tv_nsec -= 1000000000L;
+    }
+    while (sem_timedwait(&g_stop_sem, &deadline) < 0 && errno == EINTR) {
+    }
+  } else {
+    while (sem_wait(&g_stop_sem) < 0 && errno == EINTR) {
+    }
+  }
+
+  server.Stop();
+  std::printf("%s\n", server.StatsJson().c_str());
+  return 0;
+}
