@@ -17,12 +17,25 @@
 // "everything times out" into "some requests get a fast BUSY and the
 // rest stay fast".
 //
+// Phase 3 (open loop): the same tiny server under scheduled arrivals.
+// Closed-loop clients self-throttle — a slow reply delays the next
+// request, so the committed overload qps understates shed capacity.
+// Here arrivals are a fixed Poisson schedule at a target rate consumed
+// by a worker pool, and each request's latency is measured from its
+// SCHEDULED arrival, so time spent waiting for a free worker counts.
+//
+// Phase 4 (streaming memory): a server with a spill-forcing session
+// budget executes one wide stacked query; the gauge of record is
+// SessionManagerStats::retained_cursor_bytes while the cursor is open
+// and undrained — the O(batch)-not-O(result) serving observable.
+//
 // Set XQJG_BENCH_JSON=<path> to emit BENCH_serving.json.
 //
 // Environment knobs:
 //   XQJG_SERVING_SECONDS  (default 5)  closed-loop measure seconds
 //   XQJG_SERVING_CLIENTS  (default 4)  closed-loop client threads
 //   XQJG_SERVING_SCALE    (default 0.5) XMark scale of the main corpus
+//   XQJG_SERVING_OPEN_QPS (default 400) open-loop target arrival rate
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -131,6 +144,47 @@ Status PrepareWorkload(server::Client& client, std::vector<WorkItem>* out) {
   return Status::OK();
 }
 
+/// Weighted pick over the prepared workload.
+const WorkItem* PickItem(const std::vector<WorkItem>& work, int total_weight,
+                         std::mt19937& rng) {
+  std::uniform_int_distribution<int> pick_dist(0, total_weight - 1);
+  int roll = pick_dist(rng);
+  for (const auto& candidate : work) {
+    roll -= candidate.weight;
+    if (roll < 0) return &candidate;
+  }
+  return &work.back();
+}
+
+/// Executes one request and records its latency as measured from
+/// `start` — the closed loop passes "now", the open loop the scheduled
+/// arrival time (so waiting for a free worker counts against it).
+void RunOnce(server::Client& client, const WorkItem& item, std::mt19937& rng,
+             double start, LatencyTrack* track) {
+  std::map<std::string, Value> params;
+  if (item.parameterized) {
+    std::uniform_real_distribution<double> price_dist(5.0, 100.0);
+    params["minprice"] = Value::Double(price_dist(rng));
+  }
+  auto executed = client.Execute(item.statement_id, params);
+  if (!executed.ok()) {
+    if (executed.status().code() == StatusCode::kBusy) {
+      ++track->shed;
+    } else {
+      ++track->errors;
+    }
+    return;
+  }
+  auto items = client.FetchAll(executed.value().cursor_id);
+  if (!items.ok()) {
+    ++track->errors;
+    return;
+  }
+  const double ms = (Now() - start) * 1e3;
+  track->by_class[item.query_class % server::kNumQueryClasses].push_back(ms);
+  track->by_query[item.label].push_back(ms);
+}
+
 /// Runs the closed loop on one connection until `deadline`; `track` is
 /// thread-local and merged by the caller.
 void ClientLoop(const std::string& host, int port, int seed, double deadline,
@@ -149,44 +203,95 @@ void ClientLoop(const std::string& host, int port, int seed, double deadline,
   int total_weight = 0;
   for (const auto& item : work) total_weight += item.weight;
   std::mt19937 rng(static_cast<uint32_t>(seed) * 2654435761u + 1);
-  std::uniform_int_distribution<int> pick_dist(0, total_weight - 1);
-  std::uniform_real_distribution<double> price_dist(5.0, 100.0);
 
   while (Now() < deadline) {
-    int roll = pick_dist(rng);
-    const WorkItem* item = &work.back();
-    for (const auto& candidate : work) {
-      roll -= candidate.weight;
-      if (roll < 0) {
-        item = &candidate;
-        break;
-      }
-    }
-    std::map<std::string, Value> params;
-    if (item->parameterized) {
-      params["minprice"] = Value::Double(price_dist(rng));
-    }
-    const double start = Now();
-    auto executed = client.Execute(item->statement_id, params);
-    if (!executed.ok()) {
-      if (executed.status().code() == StatusCode::kBusy) {
-        ++track->shed;
-      } else {
-        ++track->errors;
-      }
-      continue;
-    }
-    auto items = client.FetchAll(executed.value().cursor_id);
-    if (!items.ok()) {
-      ++track->errors;
-      continue;
-    }
-    const double ms = (Now() - start) * 1e3;
-    track->by_class[item->query_class % server::kNumQueryClasses].push_back(
-        ms);
-    track->by_query[item->label].push_back(ms);
+    const WorkItem* item = PickItem(work, total_weight, rng);
+    RunOnce(client, *item, rng, Now(), track);
   }
   client.Goodbye().ok();
+}
+
+/// Poisson arrival schedule shared by the open-loop worker pool: offsets
+/// from phase start, claimed by atomic index. The schedule is fixed up
+/// front (seeded), so the offered load is independent of how fast the
+/// server answers — the defining open-loop property.
+struct OpenSchedule {
+  std::vector<double> offsets;
+  std::atomic<size_t> next{0};
+};
+
+std::vector<double> MakeSchedule(double qps, double seconds) {
+  std::vector<double> offsets;
+  std::mt19937 rng(12345);
+  std::exponential_distribution<double> gap(qps);
+  double t = gap(rng);
+  while (t < seconds) {
+    offsets.push_back(t);
+    t += gap(rng);
+  }
+  return offsets;
+}
+
+/// One open-loop worker: claims the next scheduled arrival, sleeps until
+/// it is due (firing immediately — late — if the pool fell behind), and
+/// measures from the scheduled time.
+void OpenClientLoop(const std::string& host, int port, int seed, double start,
+                    OpenSchedule* sched, LatencyTrack* track) {
+  auto connected = server::Client::Connect(host, port);
+  if (!connected.ok()) {
+    ++track->errors;
+    return;
+  }
+  server::Client& client = *connected.value();
+  std::vector<WorkItem> work;
+  if (!PrepareWorkload(client, &work).ok()) {
+    ++track->errors;
+    return;
+  }
+  int total_weight = 0;
+  for (const auto& item : work) total_weight += item.weight;
+  std::mt19937 rng(static_cast<uint32_t>(seed) * 2654435761u + 7);
+
+  for (;;) {
+    const size_t i = sched->next.fetch_add(1);
+    if (i >= sched->offsets.size()) break;
+    const double due = start + sched->offsets[i];
+    const double now = Now();
+    if (due > now) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(due - now));
+    }
+    const WorkItem* item = PickItem(work, total_weight, rng);
+    RunOnce(client, *item, rng, due, track);
+  }
+  client.Goodbye().ok();
+}
+
+LatencyTrack RunOpenPhase(const std::string& host, int port, int workers,
+                          OpenSchedule* sched) {
+  std::vector<LatencyTrack> tracks(static_cast<size_t>(workers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  const double start = Now();
+  for (int c = 0; c < workers; ++c) {
+    threads.emplace_back(OpenClientLoop, host, port, c, start, sched,
+                         &tracks[c]);
+  }
+  for (auto& t : threads) t.join();
+  LatencyTrack merged;
+  for (auto& track : tracks) {
+    for (int cls = 0; cls < server::kNumQueryClasses; ++cls) {
+      auto& dst = merged.by_class[cls];
+      dst.insert(dst.end(), track.by_class[cls].begin(),
+                 track.by_class[cls].end());
+    }
+    for (auto& [label, values] : track.by_query) {
+      auto& dst = merged.by_query[label];
+      dst.insert(dst.end(), values.begin(), values.end());
+    }
+    merged.shed += track.shed;
+    merged.errors += track.errors;
+  }
+  return merged;
 }
 
 LatencyTrack RunPhase(const std::string& host, int port, int clients,
@@ -223,6 +328,7 @@ int main() {
   const int clients =
       static_cast<int>(bench::EnvDouble("XQJG_SERVING_CLIENTS", 4));
   const double scale = bench::EnvDouble("XQJG_SERVING_SCALE", 0.5);
+  const double open_qps = bench::EnvDouble("XQJG_SERVING_OPEN_QPS", 400.0);
 
   // One corpus serves both phases: the main auction instance for the
   // paper queries plus the zipf-targeted small documents.
@@ -239,6 +345,17 @@ int main() {
       small.seed = static_cast<uint64_t>(100 + d);
       s = processor.LoadDocument("doc_" + std::to_string(d) + ".xml",
                                  data::GenerateXmark(small));
+    }
+    // Wide flat document for the phase-4 streaming-memory probe.
+    if (s.ok()) {
+      std::string flat = "<root>";
+      for (int i = 0; i < 150000; ++i) {
+        flat += "<x>";
+        flat += std::to_string(i);
+        flat += "</x>";
+      }
+      flat += "</root>";
+      s = processor.LoadDocument("stream.xml", flat);
     }
     if (s.ok()) s = processor.CreateRelationalIndexes();
     if (!s.ok()) {
@@ -324,6 +441,85 @@ int main() {
       Percentile(admitted_ms, 0.5), Percentile(admitted_ms, 0.99),
       static_cast<long long>(over.errors));
 
+  // ---- Phase 3: open loop against the same tiny configuration ----
+  server::QueryServer open_server(&processor, tiny);
+  if (Status s = open_server.Start(); !s.ok()) {
+    std::fprintf(stderr, "open-loop start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double open_seconds = std::min(seconds, 3.0);
+  OpenSchedule schedule;
+  schedule.offsets = MakeSchedule(open_qps, open_seconds);
+  const int open_workers = clients * 3;
+  std::printf(
+      "  open loop: %.0f qps target (%zu arrivals over %.0fs) on %d "
+      "workers vs 1+1 slots\n",
+      open_qps, schedule.offsets.size(), open_seconds, open_workers);
+  const double phase3_start = Now();
+  LatencyTrack open = RunOpenPhase("127.0.0.1", open_server.port(),
+                                   open_workers, &schedule);
+  const double phase3_wall = Now() - phase3_start;
+  open_server.Stop();
+
+  int64_t open_admitted = 0;
+  std::vector<double> open_ms;
+  for (const auto& v : open.by_class) {
+    open_admitted += static_cast<int64_t>(v.size());
+    open_ms.insert(open_ms.end(), v.begin(), v.end());
+  }
+  std::sort(open_ms.begin(), open_ms.end());
+  const int64_t open_offered = open_admitted + open.shed;
+  const double open_shed_rate =
+      open_offered > 0 ? static_cast<double>(open.shed) / open_offered : 0.0;
+  std::printf(
+      "  open loop: offered %lld -> admitted %lld, shed %lld (%.0f%%); "
+      "admitted p50 %.2fms p99 %.2fms (%lld errors)\n",
+      static_cast<long long>(open_offered),
+      static_cast<long long>(open_admitted),
+      static_cast<long long>(open.shed), open_shed_rate * 100,
+      Percentile(open_ms, 0.5), Percentile(open_ms, 0.99),
+      static_cast<long long>(open.errors));
+
+  // ---- Phase 4: streaming-memory probe ----
+  server::ServerConfig memcfg;
+  memcfg.session.limits.timeout_seconds = 30.0;
+  memcfg.session.limits.max_memory_bytes = 256 * 1024;
+  server::QueryServer mem_server(&processor, memcfg);
+  if (Status s = mem_server.Start(); !s.ok()) {
+    std::fprintf(stderr, "memory probe start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  int64_t probe_rows = 0, probe_retained = 0;
+  {
+    auto probe = server::Client::Connect("127.0.0.1", mem_server.port());
+    if (!probe.ok()) {
+      std::fprintf(stderr, "probe: %s\n", probe.status().ToString().c_str());
+      return 1;
+    }
+    auto prepared = probe.value()->Prepare("doc(\"stream.xml\")//x",
+                                           /*mode=stacked*/ 0, "stream.xml");
+    auto executed = prepared.ok()
+                        ? probe.value()->Execute(prepared.value().statement_id)
+                        : Result<server::ExecuteResult>(prepared.status());
+    if (!executed.ok()) {
+      std::fprintf(stderr, "probe: %s\n",
+                   executed.status().ToString().c_str());
+      return 1;
+    }
+    probe_rows = executed.value().rows_total;
+    // The gauge while the cursor is open and fully undrained.
+    probe_retained = mem_server.stats().sessions.retained_cursor_bytes;
+    probe.value()->FetchAll(executed.value().cursor_id).ok();
+    probe.value()->Goodbye().ok();
+  }
+  mem_server.Stop();
+  std::printf(
+      "  streaming memory: %lld-row open cursor retains %lld bytes "
+      "(materialized floor %lld)\n",
+      static_cast<long long>(probe_rows),
+      static_cast<long long>(probe_retained),
+      static_cast<long long>(probe_rows * 8));
+
   // ---- BENCH_serving.json ----
   std::string json = "{\n  \"bench\": \"serving_load\",\n";
   json += "  \"clients\": " + std::to_string(clients) + ",\n";
@@ -362,7 +558,29 @@ int main() {
   json += "    \"admitted_p99_ms\": " +
           std::to_string(Percentile(admitted_ms, 0.99)) + ",\n";
   json += "    \"server_stats\": " + small_stats + "\n";
+  json += "  },\n";
+  json += "  \"open_loop\": {\n";
+  json += "    \"target_qps\": " + std::to_string(open_qps) + ",\n";
+  json += "    \"workers\": " + std::to_string(open_workers) + ",\n";
+  json += "    \"wall_seconds\": " + std::to_string(phase3_wall) + ",\n";
+  json += "    \"offered\": " + std::to_string(open_offered) + ",\n";
+  json += "    \"admitted\": " + std::to_string(open_admitted) + ",\n";
+  json += "    \"shed\": " + std::to_string(open.shed) + ",\n";
+  json += "    \"shed_rate\": " + std::to_string(open_shed_rate) + ",\n";
+  json += "    \"errors\": " + std::to_string(open.errors) + ",\n";
+  json += "    \"admitted_p50_ms\": " +
+          std::to_string(Percentile(open_ms, 0.5)) + ",\n";
+  json += "    \"admitted_p99_ms\": " +
+          std::to_string(Percentile(open_ms, 0.99)) + "\n";
+  json += "  },\n";
+  json += "  \"streaming_memory\": {\n";
+  json += "    \"session_budget_bytes\": 262144,\n";
+  json += "    \"rows_total\": " + std::to_string(probe_rows) + ",\n";
+  json += "    \"retained_cursor_bytes\": " + std::to_string(probe_retained) +
+          ",\n";
+  json += "    \"materialized_floor_bytes\": " +
+          std::to_string(probe_rows * 8) + "\n";
   json += "  }\n}\n";
   if (!bench::WriteBenchJson(json)) return 1;
-  return closed.errors == 0 && over.errors == 0 ? 0 : 1;
+  return closed.errors == 0 && over.errors == 0 && open.errors == 0 ? 0 : 1;
 }

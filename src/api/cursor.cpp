@@ -18,6 +18,25 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Accrues wall time into an accumulator on every exit path — a fetch
+/// that times out did real work and must still show up in fetch_seconds.
+class SecondsGuard {
+ public:
+  explicit SecondsGuard(double* acc)
+      : acc_(acc), start_(std::chrono::steady_clock::now()) {}
+  ~SecondsGuard() { *acc_ += SecondsSince(start_); }
+  SecondsGuard(const SecondsGuard&) = delete;
+  SecondsGuard& operator=(const SecondsGuard&) = delete;
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// FetchAll drains in bounded bites so a pipelined stream never has to
+/// hand over more than this many pre ranks at once.
+constexpr size_t kFetchAllBatch = 4096;
+
 }  // namespace
 
 Status ResultCursor::EnsureExecuted() {
@@ -47,6 +66,7 @@ Status ResultCursor::EnsureExecuted() {
       XQJG_ASSIGN_OR_RETURN(
           native_items_, engine->Run(core, options_.limits.timeout_seconds));
       rows_total_ = native_items_.size();
+      stats_.rows_total = static_cast<int64_t>(rows_total_);
       break;
     }
     case Mode::kStacked: {
@@ -57,9 +77,8 @@ Status ResultCursor::EnsureExecuted() {
       if (!params_.empty()) exec_options.params = &params_;
       exec_options.stats = &stats_.engine;
       XQJG_ASSIGN_OR_RETURN(
-          pres_, engine::EvaluateToSequence(pq.stacked, *cat.doc_table(),
-                                            exec_options));
-      rows_total_ = pres_.size();
+          stream_, engine::OpenSequenceStream(pq.stacked, *cat.doc_table(),
+                                              exec_options));
       break;
     }
     case Mode::kJoinGraph: {
@@ -73,8 +92,8 @@ Status ResultCursor::EnsureExecuted() {
         // relational_db() returns the instance the plan was compiled
         // over (Prepare built it) — pq.plan's index pointers live in it.
         XQJG_ASSIGN_OR_RETURN(
-            pres_, engine::ExecutePlan(pq.plan, *cat.relational_db(), popts,
-                                       &stats_.engine));
+            stream_, engine::OpenPlanStream(pq.plan, *cat.relational_db(),
+                                            popts, &stats_.engine));
       } else {
         // Residual blocking operators: execute the isolated DAG directly.
         engine::ExecOptions exec_options;
@@ -83,16 +102,33 @@ Status ResultCursor::EnsureExecuted() {
         exec_options.threads = options_.threads;
         exec_options.stats = &stats_.engine;
         XQJG_ASSIGN_OR_RETURN(
-            pres_, engine::EvaluateToSequence(pq.isolated, *cat.doc_table(),
-                                              exec_options));
+            stream_, engine::OpenSequenceStream(pq.isolated, *cat.doc_table(),
+                                                exec_options));
       }
-      rows_total_ = pres_.size();
       break;
     }
   }
+  if (stream_) {
+    // -1 until drained for a spill-governed streaming tail; see
+    // ExecutionStats::rows_total.
+    stats_.rows_total = stream_->rows_total();
+  }
   stats_.execute_seconds = SecondsSince(started);
-  stats_.rows_total = static_cast<int64_t>(rows_total_);
   executed_ = true;
+  return Status::OK();
+}
+
+Status ResultCursor::PullPending(size_t want) {
+  if (stream_done_ || pending_.size() >= want) return Status::OK();
+  const size_t before = pending_.size();
+  const size_t need = want - before;
+  XQJG_RETURN_NOT_OK(stream_->Next(need, &pending_));
+  if (pending_.size() - before < need) {
+    // Short pull = exhausted (SequenceStream contract); the stream now
+    // knows the final cardinality even if it opened with -1.
+    stream_done_ = true;
+    stats_.rows_total = stream_->rows_total();
+  }
   return Status::OK();
 }
 
@@ -102,33 +138,41 @@ Result<std::vector<std::string>> ResultCursor::FetchNext(size_t max_items) {
         "FetchNext(0): an empty batch signals exhaustion, ask for >= 1");
   }
   XQJG_RETURN_NOT_OK(EnsureExecuted());
-  const auto started = std::chrono::steady_clock::now();
+  // Constructed after EnsureExecuted so execution time is never counted
+  // twice; accrues on the error paths too (a timed-out fetch did work).
+  SecondsGuard fetch_time(&stats_.fetch_seconds);
+  std::vector<std::string> batch;
+  if (!stream_) {
+    // Native lanes: already serialized by the engine; handing out is
+    // trivial work, no serialization budget needed.
+    const size_t end = std::min(rows_total_, next_ + max_items);
+    batch.reserve(end - next_);
+    for (size_t i = next_; i < end; ++i) {
+      batch.push_back(std::move(native_items_[i]));
+    }
+    next_ = end;
+    stats_.rows_fetched += static_cast<int64_t>(batch.size());
+    return batch;
+  }
+  XQJG_RETURN_NOT_OK(PullPending(max_items));
   // Serialization works under the same wall-clock budget, restarted per
   // fetch: a bounded fetch does bounded work.
   engine::BudgetClock clock(options_.limits);
-  std::vector<std::string> batch;
-  const size_t end = std::min(rows_total_, next_ + max_items);
-  batch.reserve(end - next_);
-  const bool native_mode = prepared_->options.mode == Mode::kNativeWhole ||
-                           prepared_->options.mode == Mode::kNativeSegmented;
   // Resolved once per fetch: doc_table() synchronizes on the snapshot's
   // lazy-build slot, which has no place in the per-item loop.
-  const std::shared_ptr<const xml::DocTable> doc =
-      native_mode ? nullptr : catalog().doc_table();
-  for (size_t i = next_; i < end; ++i) {
-    if (native_mode) {
-      // Already serialized by the engine; handing out is trivial work.
-      batch.push_back(std::move(native_items_[i]));
-    } else {
-      // A timed-out fetch leaves next_ untouched: the caller may retry
-      // and no item is skipped (serialization is repeatable).
-      XQJG_RETURN_NOT_OK(clock.Tick());
-      batch.push_back(xml::SerializeSubtree(*doc, pres_[i]));
-    }
+  const std::shared_ptr<const xml::DocTable> doc = catalog().doc_table();
+  const size_t count = std::min(max_items, pending_.size());
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // A timed-out fetch leaves pending_ untouched: the caller may retry
+    // and no item is skipped (serialization is repeatable).
+    XQJG_RETURN_NOT_OK(clock.Tick());
+    batch.push_back(xml::SerializeSubtree(*doc, pending_[i]));
   }
-  next_ = end;
-  stats_.rows_fetched += static_cast<int64_t>(batch.size());
-  stats_.fetch_seconds += SecondsSince(started);
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(count));
+  delivered_ += static_cast<int64_t>(count);
+  stats_.rows_fetched += static_cast<int64_t>(count);
   return batch;
 }
 
@@ -137,7 +181,8 @@ Result<std::vector<std::string>> ResultCursor::FetchAll() {
   std::vector<std::string> all;
   while (!exhausted()) {
     XQJG_ASSIGN_OR_RETURN(std::vector<std::string> batch,
-                          FetchNext(rows_total_ - next_));
+                          FetchNext(kFetchAllBatch));
+    if (batch.empty()) break;  // streaming lane learned the end just now
     if (all.empty()) {
       all = std::move(batch);
     } else {
@@ -145,6 +190,18 @@ Result<std::vector<std::string>> ResultCursor::FetchAll() {
     }
   }
   return all;
+}
+
+int64_t ResultCursor::retained_memory_bytes() const {
+  if (stream_) {
+    return stream_->retained_bytes() +
+           static_cast<int64_t>(pending_.capacity() * sizeof(int64_t));
+  }
+  int64_t bytes = 0;
+  for (size_t i = next_; i < native_items_.size(); ++i) {
+    bytes += static_cast<int64_t>(native_items_[i].size());
+  }
+  return bytes;
 }
 
 }  // namespace xqjg::api

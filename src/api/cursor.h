@@ -1,11 +1,13 @@
 // ResultCursor — streaming result delivery for prepared queries.
 //
 // Execute(prepared) does not materialize every serialized item up front:
-// the cursor runs the physical plan on the first fetch (the result
-// sequence of pre ranks), then serializes items batch by batch as the
-// caller FetchNext()s them. Result memory is bounded by the batch size
-// instead of the result size — the serialized XML strings, not the pre
-// ranks, dominate a result's footprint.
+// the cursor opens a pull-based SequenceStream on the first fetch and
+// serializes items batch by batch as the caller FetchNext()s them. On
+// the pipelined columnar lanes the stream is the live pipeline — pulled
+// pre ranks flow out of the final sort breaker on demand — so an open
+// cursor retains O(batch) tracked engine state (plus spill files, which
+// are disk), not O(result). The row and native lanes stay materializing
+// oracles behind the same interface.
 //
 // Snapshot pinning: a cursor holds shared ownership of the catalog
 // snapshot its PreparedQuery was compiled against. Catalog mutations
@@ -27,6 +29,7 @@
 #include "src/common/status.h"
 #include "src/common/value.h"
 #include "src/engine/exec_options.h"
+#include "src/engine/exec_stream.h"
 
 namespace xqjg::api {
 
@@ -58,7 +61,10 @@ struct ExecutionStats {
   double execute_seconds = 0.0;
   /// Cumulative serialization time across all fetches.
   double fetch_seconds = 0.0;
-  /// Result cardinality; -1 until the first fetch ran the plan.
+  /// Result cardinality; -1 until known. Most executions know it as soon
+  /// as the plan ran (Prime / first fetch); a spill-governed streaming
+  /// tail only learns it when the cursor drains (DISTINCT and NULL-item
+  /// skips decide the count row by row), so it can stay -1 mid-stream.
   int64_t rows_total = -1;
   int64_t rows_fetched = 0;
   /// Intermediate-materialization counters from the relational executors.
@@ -87,16 +93,29 @@ class ResultCursor {
   /// RunResult semantics).
   Result<std::vector<std::string>> FetchAll();
 
-  /// Runs the physical plan now instead of inside the first FetchNext.
-  /// Idempotent. Callers that account execution separately from delivery
-  /// (the query server runs the plan under an admission ticket, then
-  /// serves fetches without holding a slot) prime eagerly; plain library
-  /// use can keep relying on the lazy first fetch.
+  /// Runs the physical plan / opens the result stream now instead of
+  /// inside the first FetchNext. Idempotent. Callers that account
+  /// execution separately from delivery (the query server runs the plan
+  /// under an admission ticket, then serves fetches without holding a
+  /// slot) prime eagerly; plain library use can keep relying on the lazy
+  /// first fetch. Priming does NOT materialize a pipelined result — the
+  /// stream's tail is drained by the fetches.
   Status Prime() { return EnsureExecuted(); }
 
-  /// True once every item has been fetched (false before the first
-  /// fetch, even for empty results — the plan has not run yet).
-  bool exhausted() const { return executed_ && next_ >= rows_total_; }
+  /// True once every item has been fetched. False before the first
+  /// fetch, even for empty results: the plan has not run yet, or — for
+  /// a streaming tail — the stream has not reported its end.
+  bool exhausted() const {
+    if (!executed_) return false;
+    if (stream_) return stream_done_ && pending_.empty();
+    return next_ >= rows_total_;
+  }
+
+  /// Tracked bytes this open cursor still retains: the engine stream's
+  /// live state (breaker buffers, merge cursors; materialized lanes
+  /// report their whole vector) plus the cursor's own pull buffer and,
+  /// on the native lanes, the not-yet-delivered serialized items.
+  int64_t retained_memory_bytes() const;
 
   const ExecutionStats& stats() const { return stats_; }
   const PreparedQuery& prepared() const { return *prepared_; }
@@ -114,8 +133,13 @@ class ResultCursor {
         options_(options),
         params_(std::move(params)) {}
 
-  /// Runs the physical plan on first use; fills pres_ / native_items_.
+  /// Runs the physical plan on first use; opens stream_ (relational
+  /// modes) or fills native_items_ (native modes).
   Status EnsureExecuted();
+
+  /// Tops pending_ up to `want` pre ranks from stream_ and latches
+  /// stream_done_ / the final rows_total on a short pull.
+  Status PullPending(size_t want);
 
   std::shared_ptr<const PreparedQuery> prepared_;
   ExecuteOptions options_;
@@ -124,12 +148,17 @@ class ResultCursor {
   std::vector<Value> params_;
 
   bool executed_ = false;
-  size_t rows_total_ = 0;
-  size_t next_ = 0;
-  /// Relational modes: result-sequence pre ranks, serialized lazily.
-  std::vector<int64_t> pres_;
+  /// Relational modes: the live result stream and the pull buffer of
+  /// pre ranks that have been pulled but not yet serialized (a timed-out
+  /// fetch keeps them, so a retry re-serializes without skipping items).
+  std::unique_ptr<engine::SequenceStream> stream_;
+  std::vector<int64_t> pending_;
+  bool stream_done_ = false;
+  int64_t delivered_ = 0;  ///< items handed out (streaming lane)
   /// Native modes: the engine serializes during evaluation, so items
   /// arrive materialized; the cursor hands them out batch by batch.
+  size_t rows_total_ = 0;
+  size_t next_ = 0;
   std::vector<std::string> native_items_;
   ExecutionStats stats_;
 };

@@ -402,6 +402,23 @@ ValueColumn ValueColumn::Gather(const std::vector<uint32_t>& idx) const {
   return out;
 }
 
+int64_t ValueColumn::ApproxBytes() const {
+  int64_t bytes = static_cast<int64_t>(nulls_.size());
+  bytes += static_cast<int64_t>(ints_.size()) * 8;
+  bytes += static_cast<int64_t>(doubles_.size()) * 8;
+  bytes += static_cast<int64_t>(codes_.size()) * 4;
+  for (const std::string& s : strings_) {
+    bytes += static_cast<int64_t>(sizeof(std::string) + s.size());
+  }
+  for (const Value& v : values_) {
+    bytes += static_cast<int64_t>(sizeof(Value));
+    if (v.type() == ValueType::kString) {
+      bytes += static_cast<int64_t>(v.AsString().size());
+    }
+  }
+  return bytes;
+}
+
 ValueColumn ColumnFromValues(const std::vector<Value>& values) {
   ValueColumn col;
   col.Reserve(values.size());

@@ -119,6 +119,12 @@ class ValueColumn {
   /// dictionary columns share the dictionary with the source).
   ValueColumn Gather(const std::vector<uint32_t>& idx) const;
 
+  /// Approximate heap bytes of this column's per-row payload (shared
+  /// dictionaries excluded — they are owned by the source relation). The
+  /// unit the columnar executors charge against
+  /// ExecLimits::max_memory_bytes.
+  int64_t ApproxBytes() const;
+
  private:
   void SetTagFromFirstValue(const Value& v);
   void DemoteToMixed();

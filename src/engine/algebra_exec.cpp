@@ -506,4 +506,17 @@ Result<std::vector<int64_t>> EvaluateToSequence(const OpPtr& plan,
   return out;
 }
 
+Result<std::unique_ptr<SequenceStream>> OpenSequenceStream(
+    const OpPtr& plan, const xml::DocTable& doc,
+    const ExecOptions& options) {
+  if (options.use_columnar) {
+    return columnar::OpenSequenceStreamColumnar(plan, doc, options);
+  }
+  XQJG_ASSIGN_OR_RETURN(std::vector<int64_t> items,
+                        EvaluateToSequence(plan, doc, options));
+  std::unique_ptr<SequenceStream> stream =
+      std::make_unique<VectorSequenceStream>(std::move(items));
+  return stream;
+}
+
 }  // namespace xqjg::engine

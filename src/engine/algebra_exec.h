@@ -18,6 +18,7 @@
 #ifndef XQJG_ENGINE_ALGEBRA_EXEC_H_
 #define XQJG_ENGINE_ALGEBRA_EXEC_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "src/common/status.h"
 #include "src/common/value.h"
 #include "src/engine/exec_options.h"
+#include "src/engine/exec_stream.h"
 #include "src/xml/infoset.h"
 
 namespace xqjg::engine {
@@ -55,6 +57,17 @@ Result<MatTable> Evaluate(const algebra::OpPtr& plan,
 Result<std::vector<int64_t>> EvaluateToSequence(const algebra::OpPtr& plan,
                                                 const xml::DocTable& doc,
                                                 const ExecOptions& options = {});
+
+/// Streaming form of EvaluateToSequence: opens a pull-based cursor over
+/// the result sequence. On the columnar path the pipeline stays live —
+/// batches flow out of the final sort breaker as the caller pulls, so an
+/// open cursor retains O(batch) state (plus any spill-run cursors); the
+/// row oracle materializes as before and wraps the vector. `doc` and
+/// `options.params` must outlive the stream; `options.stats` (if set)
+/// must outlive it too.
+Result<std::unique_ptr<SequenceStream>> OpenSequenceStream(
+    const algebra::OpPtr& plan, const xml::DocTable& doc,
+    const ExecOptions& options = {});
 
 /// Evaluates a single predicate comparison between two rows' terms — the
 /// shared predicate semantics used by every executor. NULL operands

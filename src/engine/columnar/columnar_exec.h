@@ -11,15 +11,23 @@
 //
 // Selected via ExecOptions::use_columnar; the row evaluator remains the
 // differential-test oracle.
+//
+// Execution is pipelined: plans run as pull-based streams of ≤4096-row
+// ColumnBatch windows, with the blocking operators (sort, hash build, δ,
+// ϱ) as explicit breakers that charge ExecLimits::max_memory_bytes and
+// spill to disk under pressure — results stay bit-identical at every
+// budget (see engine/spill.h for the order-exactness argument).
 #ifndef XQJG_ENGINE_COLUMNAR_COLUMNAR_EXEC_H_
 #define XQJG_ENGINE_COLUMNAR_COLUMNAR_EXEC_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/algebra/operators.h"
 #include "src/common/status.h"
 #include "src/engine/algebra_exec.h"
 #include "src/engine/exec_options.h"
+#include "src/engine/exec_stream.h"
 #include "src/xml/infoset.h"
 
 namespace xqjg::engine::columnar {
@@ -33,6 +41,15 @@ Result<MatTable> EvaluateColumnar(const algebra::OpPtr& plan,
 /// Serialize-rooted plans: returns the result sequence (item column pre
 /// ranks) without materializing the final table row-major.
 Result<std::vector<int64_t>> EvaluateToSequenceColumnar(
+    const algebra::OpPtr& plan, const xml::DocTable& doc,
+    const ExecOptions& options);
+
+/// Serialize-rooted plans, streaming form: primes the pipeline through
+/// its final sort breaker and hands back a live SequenceStream — the
+/// cursor pulls pre ranks batch by batch instead of receiving the whole
+/// materialized sequence. `doc` and `options.params` must outlive the
+/// stream.
+Result<std::unique_ptr<SequenceStream>> OpenSequenceStreamColumnar(
     const algebra::OpPtr& plan, const xml::DocTable& doc,
     const ExecOptions& options);
 

@@ -11,14 +11,23 @@
 // the DISTINCT tail mirror the row executor exactly; the differential
 // suite holds both to identical result sequences.
 //
+// Execution is governed by ExecLimits::max_memory_bytes: every live
+// alias batch is charged against the budget, an over-budget hash join
+// falls back to a Grace partitioned build (engine/spill.h), and the
+// ORDER BY tail routes through the shared external-merge sorter — all
+// bit-identical to the unlimited in-memory run (see spill.h for the
+// order-exactness argument).
+//
 // Selected via PlannerOptions::use_columnar.
 #ifndef XQJG_ENGINE_COLUMNAR_PLAN_EXEC_H_
 #define XQJG_ENGINE_COLUMNAR_PLAN_EXEC_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/engine/exec_options.h"
+#include "src/engine/exec_stream.h"
 #include "src/engine/planner.h"
 
 namespace xqjg::engine::columnar {
@@ -29,6 +38,16 @@ Result<std::vector<int64_t>> ExecutePlanColumnar(const PhysicalPlan& plan,
                                                  const Database& db,
                                                  const PlannerOptions& options,
                                                  ExecStats* stats);
+
+/// Streaming form: runs the join tree, then hands the tail back as a
+/// SequenceStream. When the memory governor pushed the ORDER BY sort to
+/// disk the stream merges spilled runs batch by batch (rows_total() is
+/// -1 until drained — DISTINCT and the NULL-item skip decide the count
+/// row by row); otherwise it wraps the already-materialized sequence.
+/// `db` and `options.params` must outlive the stream.
+Result<std::unique_ptr<SequenceStream>> OpenPlanStreamColumnar(
+    const PhysicalPlan& plan, const Database& db,
+    const PlannerOptions& options, ExecStats* stats);
 
 }  // namespace xqjg::engine::columnar
 

@@ -23,6 +23,16 @@ struct ExecLimits {
   /// Abort when an intermediate table exceeds this many rows (<= 0:
   /// unlimited); a second DNF guard against runaway Cartesian products.
   int64_t max_intermediate_rows = -1;
+  /// Memory budget for the columnar executors' *tracked intermediate*
+  /// state, in bytes (<= 0: unlimited). Unlike the two abort knobs above
+  /// this one GOVERNS instead of tripping: pipeline breakers (sorts, hash
+  /// build sides, duplicate elimination) spill to disk when their buffered
+  /// state would exceed the budget, and execution completes with identical
+  /// results. Non-spillable breaker state (rank materialization, shared
+  /// sub-DAG memos, nested-loop inner sides) is tracked — it shows up in
+  /// ExecStats::peak_memory_bytes — but never aborts. The row and native
+  /// oracles ignore this knob (they stay materializing by design).
+  int64_t max_memory_bytes = -1;
 };
 
 /// Counters every executor fills in (when given a sink); the bench
@@ -33,6 +43,15 @@ struct ExecStats {
   /// a shared sub-plan must NOT re-count (regression: the old evaluator
   /// deep-copied each memo hit, doubling this).
   int64_t tuples_materialized = 0;
+  /// High-water mark of tracked intermediate bytes (pipeline-breaker
+  /// buffers; the columnar executors charge these against
+  /// ExecLimits::max_memory_bytes). 0 for the row/native oracles.
+  int64_t peak_memory_bytes = 0;
+  /// Bytes written to spill files over the execution, and the number of
+  /// times a breaker decided to spill (a run flush, a partition flush, or
+  /// a build-side handover counts once each).
+  int64_t spill_bytes = 0;
+  int64_t spill_events = 0;
 };
 
 struct ExecOptions {
@@ -119,7 +138,13 @@ class BudgetClock {
 
   /// Amortized deadline check for sort comparators: throws BudgetExhausted
   /// (callers wrap the sort in try/catch and surface Status::Timeout).
+  /// Worker clocks observe the region abort latch like Tick() does — a
+  /// comparator must not keep sorting after another worker hit a budget
+  /// (regression: this check used to consult only the local deadline).
   void TickThrow() {
+    if (region_ && region_->aborted.load(std::memory_order_relaxed)) {
+      throw BudgetExhausted{};
+    }
     if ((++tick_ & kStrideMask) == 0 && Expired()) throw BudgetExhausted{};
   }
 
@@ -268,6 +293,104 @@ class RegionBudget {
  private:
   BudgetClock parent_;
   BudgetClock::RegionCore core_;
+};
+
+/// Tracked-memory governor for one execution's intermediate state. Every
+/// pipeline breaker charges the bytes it buffers and releases them when
+/// the buffer is handed downstream, spilled, or destroyed. The governor
+/// never fails a charge — `ShouldSpill()` tells spill-capable consumers
+/// when their next buffer-full would exceed the budget, and non-spillable
+/// consumers simply keep charging (the peak stays observable either way).
+/// Thread-safe: parallel morsels may charge concurrently.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(int64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  void Charge(int64_t bytes) {
+    if (bytes <= 0) return;
+    const int64_t now =
+        used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  void Release(int64_t bytes) {
+    if (bytes > 0) used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// True when a budget is set and tracked usage already exceeds it — the
+  /// signal for a spill-capable breaker to move its buffered state to
+  /// disk before accepting more input.
+  bool ShouldSpill() const {
+    return max_bytes_ > 0 &&
+           used_.load(std::memory_order_relaxed) > max_bytes_;
+  }
+
+  bool limited() const { return max_bytes_ > 0; }
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t max_bytes() const { return max_bytes_; }
+
+ private:
+  const int64_t max_bytes_;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// RAII charge against a MemoryBudget — releases what is still charged on
+/// destruction. Movable so buffers can hand their accounting downstream.
+class MemoryCharge {
+ public:
+  MemoryCharge() = default;
+  explicit MemoryCharge(MemoryBudget* budget) : budget_(budget) {}
+  MemoryCharge(MemoryCharge&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryCharge& operator=(MemoryCharge&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryCharge(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(const MemoryCharge&) = delete;
+  ~MemoryCharge() { Reset(); }
+
+  void Add(int64_t bytes) {
+    if (budget_) budget_->Charge(bytes);
+    bytes_ += bytes;
+  }
+  /// Re-measures: adjusts the outstanding charge to `bytes` total.
+  void Set(int64_t bytes) {
+    if (bytes >= bytes_) {
+      Add(bytes - bytes_);
+      return;
+    }
+    if (budget_) budget_->Release(bytes_ - bytes);
+    bytes_ = bytes;
+  }
+  void Reset() {
+    if (budget_) budget_->Release(bytes_);
+    bytes_ = 0;
+  }
+
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;  ///< not owned; outlives the charge
+  int64_t bytes_ = 0;
 };
 
 }  // namespace xqjg::engine

@@ -866,6 +866,19 @@ Result<std::vector<int64_t>> ExecutePlan(const PhysicalPlan& plan,
   return out;
 }
 
+Result<std::unique_ptr<SequenceStream>> OpenPlanStream(
+    const PhysicalPlan& plan, const Database& db,
+    const PlannerOptions& options, ExecStats* stats) {
+  if (options.use_columnar) {
+    return columnar::OpenPlanStreamColumnar(plan, db, options, stats);
+  }
+  XQJG_ASSIGN_OR_RETURN(std::vector<int64_t> items,
+                        ExecutePlan(plan, db, options, stats));
+  std::unique_ptr<SequenceStream> stream =
+      std::make_unique<VectorSequenceStream>(std::move(items));
+  return stream;
+}
+
 namespace {
 
 void ExplainNode(const PhysNode* node, int depth, std::string* out) {

@@ -14,6 +14,7 @@
 #include "src/common/value.h"
 #include "src/engine/database.h"
 #include "src/engine/exec_options.h"
+#include "src/engine/exec_stream.h"
 #include "src/opt/join_graph.h"
 
 namespace xqjg::engine {
@@ -81,6 +82,16 @@ Result<std::vector<int64_t>> ExecutePlan(const PhysicalPlan& plan,
                                          const Database& db,
                                          const PlannerOptions& options = {},
                                          ExecStats* stats = nullptr);
+
+/// Streaming form of ExecutePlan: opens a pull-based cursor over the
+/// result sequence. On the columnar path with a spilled ORDER BY tail
+/// the sort's run merge stays live and rows flow out per pull
+/// (rows_total() is -1 until drained); otherwise the materialized
+/// sequence is wrapped. `db`, `options.params`, and `stats` (if set)
+/// must outlive the stream.
+Result<std::unique_ptr<SequenceStream>> OpenPlanStream(
+    const PhysicalPlan& plan, const Database& db,
+    const PlannerOptions& options = {}, ExecStats* stats = nullptr);
 
 /// DB2-visual-explain-style rendering (Fig. 10 / Fig. 11).
 std::string ExplainPlan(const PhysicalPlan& plan);

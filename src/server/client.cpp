@@ -154,7 +154,8 @@ Result<ExecuteResult> Client::Execute(
   WireReader r(f.payload);
   ExecuteResult result;
   XQJG_ASSIGN_OR_RETURN(result.cursor_id, r.GetU32());
-  XQJG_ASSIGN_OR_RETURN(result.rows_total, r.GetU64());
+  XQJG_ASSIGN_OR_RETURN(uint64_t rows_total, r.GetU64());
+  result.rows_total = static_cast<int64_t>(rows_total);
   XQJG_ASSIGN_OR_RETURN(result.execute_seconds, r.GetF64());
   return result;
 }

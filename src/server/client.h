@@ -42,7 +42,9 @@ struct PrepareResult {
 
 struct ExecuteResult {
   uint32_t cursor_id = 0;
-  uint64_t rows_total = 0;
+  /// -1 when the server cannot know the cardinality yet (a spill-governed
+  /// streaming tail learns it only as the cursor drains).
+  int64_t rows_total = -1;
   double execute_seconds = 0.0;
 };
 

@@ -437,7 +437,9 @@ Status QueryServer::HandleExecute(int fd, Session& session,
 
   // Admission: classify by the planner's cost estimate and take a slot
   // (or shed). The plan runs — Prime() — while the ticket is held; the
-  // fetch phase serves from materialized state and needs no slot.
+  // fetch phase pulls from the primed result stream and needs no slot
+  // (on the pipelined lanes Prime no longer materializes the result, so
+  // what the ticket covers is the join work, not the drain).
   const double est_cost = prepared->has_plan ? prepared->plan.est_cost : -1.0;
   const QueryClass cls =
       Classify(prepared->has_plan, est_cost, admission_.config());
@@ -579,7 +581,10 @@ std::string QueryServer::StatsJson() const {
   out += ",\"errors\":" + std::to_string(s.errors);
   out += ",\"sessions\":{\"created\":" + std::to_string(s.sessions.created) +
          ",\"reaped\":" + std::to_string(s.sessions.reaped) +
-         ",\"open\":" + std::to_string(s.sessions.open) + "}";
+         ",\"open\":" + std::to_string(s.sessions.open) +
+         ",\"open_cursors\":" + std::to_string(s.sessions.open_cursors) +
+         ",\"retained_cursor_bytes\":" +
+         std::to_string(s.sessions.retained_cursor_bytes) + "}";
   out += ",\"admission\":{";
   for (int i = 0; i < kNumQueryClasses; ++i) {
     const char* name = QueryClassToString(static_cast<QueryClass>(i));

@@ -91,6 +91,16 @@ SessionManagerStats SessionManager::stats() const {
   s.created = created_;
   s.reaped = reaped_;
   s.open = static_cast<int>(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    // mu_ → session->mu is the established lock order (Close takes the
+    // same pair); a session mid-request just waits out one fetch.
+    std::lock_guard<std::mutex> slock(session->mu);
+    if (session->closed) continue;
+    s.open_cursors += static_cast<int>(session->cursors.size());
+    for (const auto& [cid, cursor] : session->cursors) {
+      s.retained_cursor_bytes += cursor->retained_memory_bytes();
+    }
+  }
   return s;
 }
 

@@ -70,6 +70,11 @@ struct SessionManagerStats {
   int64_t created = 0;
   int64_t reaped = 0;
   int open = 0;
+  /// Open cursors across live sessions, and the tracked bytes they still
+  /// retain (stream state + pull buffers + undelivered native items) —
+  /// the observable for "an open cursor holds O(batch), not O(result)".
+  int open_cursors = 0;
+  int64_t retained_cursor_bytes = 0;
 };
 
 /// Thread-safe registry of live sessions. Creation enforces the server's

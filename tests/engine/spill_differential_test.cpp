@@ -1,0 +1,305 @@
+// Memory-governed execution: spill differential and budget coverage.
+//
+// The columnar executors charge their live state against
+// ExecLimits::max_memory_bytes and move breaker state to disk when the
+// governor says so (engine/spill.h): sorts flush sorted runs, hash-join
+// build sides go Grace-partitioned. The contract under test is that a
+// budget NEVER changes an answer — results must be BIT-IDENTICAL at a
+// spill-forcing budget, a moderate budget, and no budget, at every
+// worker count, to each other and to the serial row oracle — and that
+// the spill machinery actually engages (spill_events) when forced.
+// Also pins two unit contracts: the shared external sorter reproduces a
+// stable in-memory sort across runs, and a worker clock's TickThrow
+// observes the region abort latch immediately (regression: it used to
+// consult only the local deadline, so sort comparators kept running
+// after a sibling worker hit a budget).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/api/paper_queries.h"
+#include "src/api/processor.h"
+#include "src/common/value.h"
+#include "src/data/dblp.h"
+#include "src/data/xmark.h"
+#include "src/engine/database.h"
+#include "src/engine/exec_options.h"
+#include "src/engine/planner.h"
+#include "src/engine/spill.h"
+#include "src/opt/join_graph.h"
+#include "src/xml/parser.h"
+
+namespace xqjg {
+namespace {
+
+/// Forces every governed breaker past its threshold on the test corpus.
+constexpr int64_t kTinyBudget = 16 * 1024;
+/// {spill-forcing, moderate, unlimited} — the answer must not care.
+const int64_t kBudgets[] = {kTinyBudget, 4 * 1024 * 1024, 0};
+const int kThreadCounts[] = {1, 8};
+
+// ---------------------------------------------------------------------------
+// Unit coverage.
+
+TEST(BudgetClockAbort, TickThrowObservesTheRegionLatchImmediately) {
+  // A sort comparator ticks via TickThrow. Once any worker aborts the
+  // region, the very next TickThrow on a sibling clock must throw — not
+  // only after the 4096-call deadline stride — or a spilling sort keeps
+  // grinding through a run flush nobody will read.
+  engine::BudgetClock parent((engine::ExecLimits()));
+  engine::RegionBudget region(parent);
+  engine::BudgetClock worker = region.Worker();
+  EXPECT_NO_THROW(worker.TickThrow());  // nothing aborted yet
+
+  region.Abort(Status::Timeout("sibling hit a budget"));
+  EXPECT_THROW(worker.TickThrow(), engine::BudgetExhausted);
+  // And it stays latched for clocks vended after the abort too.
+  engine::BudgetClock late = region.Worker();
+  EXPECT_THROW(late.TickThrow(), engine::BudgetExhausted);
+}
+
+TEST(ExternalValueSorter, SpilledMergeEqualsStableInMemorySort) {
+  // Rows keyed on column 0 with heavy duplication; column 1 is the input
+  // position, NOT a sort key — if the run merge (with its run-index
+  // tie-break) reproduces a stable sort, positions within each key stay
+  // ascending.
+  constexpr int kRows = 5000;  // several runs at this budget
+  engine::ExecLimits limits;
+  limits.max_memory_bytes = 8 * 1024;
+  engine::BudgetClock clock(limits);
+  engine::MemoryBudget budget(limits.max_memory_bytes);
+  engine::ExecStats stats;
+  engine::ExternalValueSorter sorter(&clock, &budget, &stats, /*arity=*/2,
+                                     /*keys=*/{0});
+  for (int r = 0; r < kRows; ++r) {
+    std::vector<Value> row;
+    row.push_back(Value::Int((r * 7919) % 13));  // 13 key groups
+    row.push_back(Value::Int(r));
+    ASSERT_TRUE(sorter.Add(std::move(row)).ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  ASSERT_TRUE(sorter.spilled());
+  EXPECT_GT(stats.spill_events, 0);
+  EXPECT_GT(stats.spill_bytes, 0);
+
+  int64_t prev_key = -1, prev_pos = -1, seen = 0;
+  std::vector<Value> row;
+  for (;;) {
+    auto more = sorter.Next(&row);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.value()) break;
+    const int64_t key = row[0].AsInt();
+    const int64_t pos = row[1].AsInt();
+    ASSERT_GE(key, prev_key) << "merge emitted keys out of order";
+    if (key == prev_key) {
+      ASSERT_GT(pos, prev_pos) << "stability lost within key " << key;
+    }
+    prev_key = key;
+    prev_pos = pos;
+    ++seen;
+  }
+  EXPECT_EQ(seen, kRows);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end differential: paper queries, relational lanes, every budget.
+
+class SpillPaperQueries : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    processor_ = new api::XQueryProcessor();
+    data::XmarkOptions xmark;
+    xmark.scale = 0.1;
+    ASSERT_TRUE(processor_
+                    ->LoadDocument("auction.xml", data::GenerateXmark(xmark),
+                                   api::XmarkSegmentTags())
+                    .ok());
+    data::DblpOptions dblp;
+    dblp.publications = 400;
+    ASSERT_TRUE(processor_
+                    ->LoadDocument("dblp.xml", data::GenerateDblp(dblp),
+                                   api::DblpSegmentTags())
+                    .ok());
+    ASSERT_TRUE(processor_->CreateRelationalIndexes().ok());
+  }
+  static void TearDownTestSuite() {
+    delete processor_;
+    processor_ = nullptr;
+  }
+
+  static api::XQueryProcessor* processor_;
+};
+
+api::XQueryProcessor* SpillPaperQueries::processor_ = nullptr;
+
+TEST_F(SpillPaperQueries, EveryBudgetMatchesTheRowOracle) {
+  for (const auto& q : api::PaperQueries()) {
+    // The serial row executor under no memory budget is the oracle.
+    api::RunOptions oracle_options;
+    oracle_options.timeout_seconds = 120;
+    oracle_options.mode = api::Mode::kJoinGraph;
+    oracle_options.context_document = q.document;
+    auto oracle = processor_->Run(q.text, oracle_options);
+    ASSERT_TRUE(oracle.ok()) << q.id << ": " << oracle.status().ToString();
+
+    for (api::Mode mode : {api::Mode::kStacked, api::Mode::kJoinGraph}) {
+      api::PrepareOptions prep;
+      prep.mode = mode;
+      prep.context_document = q.document;
+      auto pq = processor_->Prepare(q.text, prep);
+      ASSERT_TRUE(pq.ok()) << q.id << ": " << pq.status().ToString();
+      for (int threads : kThreadCounts) {
+        for (int64_t budget : kBudgets) {
+          api::ExecuteOptions exec;
+          exec.limits.timeout_seconds = 120;
+          exec.limits.max_memory_bytes = budget;
+          exec.use_columnar = true;
+          exec.threads = threads;
+          auto result = processor_->ExecuteAll(pq.value(), exec);
+          ASSERT_TRUE(result.ok())
+              << q.id << " " << api::ModeToString(mode) << " threads="
+              << threads << " budget=" << budget << ": "
+              << result.status().ToString();
+          EXPECT_EQ(result.value().items, oracle.value().items)
+              << q.id << " " << api::ModeToString(mode)
+              << " diverges at threads=" << threads << " budget=" << budget;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SpillPaperQueries, TinyBudgetActuallySpillsSomewhere) {
+  // The differential above would pass vacuously if ShouldSpill() never
+  // fired. Across the paper queries at the tiny budget, at least one
+  // execution must have moved state to disk.
+  int64_t total_spill_events = 0;
+  for (const auto& q : api::PaperQueries()) {
+    for (api::Mode mode : {api::Mode::kStacked, api::Mode::kJoinGraph}) {
+      api::PrepareOptions prep;
+      prep.mode = mode;
+      prep.context_document = q.document;
+      auto pq = processor_->Prepare(q.text, prep);
+      ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+      api::ExecuteOptions exec;
+      exec.limits.timeout_seconds = 120;
+      exec.limits.max_memory_bytes = kTinyBudget;
+      exec.use_columnar = true;
+      auto cursor = processor_->Execute(pq.value(), exec);
+      ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+      auto all = cursor.value()->FetchAll();
+      ASSERT_TRUE(all.ok()) << q.id << ": " << all.status().ToString();
+      total_spill_events += cursor.value()->stats().engine.spill_events;
+    }
+  }
+  EXPECT_GT(total_spill_events, 0)
+      << "no paper-query execution spilled at a " << kTinyBudget
+      << "-byte budget — the governor is not engaging";
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: a join-graph plan whose hash build AND tail sort both
+// exceed the budget completes via Grace + external sort, bit-identical
+// to the unlimited serial run.
+//
+// The plan is hand-built (columnar_exec_test precedent): front-end
+// extraction never emits HSJOIN for value-join FLWORs here — they take
+// the isolated-DAG fallback — and the cost-based planner prefers index
+// nested loops once indexes exist. A self-join of the document relation
+// on its unique `pre` column puts every doc row through the hash build
+// and every match through the ORDER BY tail, both far past 16 KiB.
+
+class GraceJoinSpill : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    doc_ = new xml::DocTable();
+    data::XmarkOptions xmark;
+    xmark.scale = 0.1;  // 2168 doc-relation rows, > kMinSpillRows
+    ASSERT_TRUE(xml::LoadDocument(doc_, "auction.xml",
+                                  data::GenerateXmark(xmark))
+                    .ok());
+    db_ = engine::Database::Build(*doc_).release();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete doc_;
+  }
+
+  static xml::DocTable* doc_;
+  static engine::Database* db_;
+};
+
+xml::DocTable* GraceJoinSpill::doc_ = nullptr;
+engine::Database* GraceJoinSpill::db_ = nullptr;
+
+TEST_F(GraceJoinSpill, HashBuildAndTailSortSpillBitIdentically) {
+  // The floor: below kMinSpillRows the governor refuses to spill (by
+  // design), so this corpus must be big enough to be above it.
+  ASSERT_GE(db_->row_count(), engine::kMinSpillRows);
+
+  opt::JoinGraph graph;
+  graph.num_aliases = 2;
+  auto col_term = [](int alias, const char* col) {
+    opt::QualTerm t;
+    t.alias = alias;
+    t.col = col;
+    return t;
+  };
+  graph.predicates.push_back(
+      {col_term(0, "pre"), algebra::CmpOp::kEq, col_term(1, "pre")});
+  graph.item = col_term(0, "pre");
+  graph.select_list = {graph.item};
+
+  engine::PhysicalPlan plan;
+  plan.graph = &graph;
+  auto scan0 = std::make_unique<engine::PhysNode>();
+  scan0->kind = engine::PhysKind::kTbScan;
+  scan0->alias = 0;
+  auto scan1 = std::make_unique<engine::PhysNode>();
+  scan1->kind = engine::PhysKind::kTbScan;
+  scan1->alias = 1;
+  auto join = std::make_unique<engine::PhysNode>();
+  join->kind = engine::PhysKind::kHsJoin;
+  join->preds = graph.predicates;
+  join->left = std::move(scan0);
+  join->right = std::move(scan1);
+  plan.root = std::move(join);
+
+  // `pre` is unique, so every row pairs with exactly itself and the
+  // ordered result is simply 0..N-1 — an oracle independent of any
+  // executor. The serial unlimited row run must reproduce it…
+  std::vector<int64_t> expected(static_cast<size_t>(db_->row_count()));
+  std::iota(expected.begin(), expected.end(), 0);
+  engine::PlannerOptions serial;
+  auto oracle = engine::ExecutePlan(plan, *db_, serial);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  ASSERT_EQ(oracle.value(), expected);
+
+  // …and so must the columnar executor at a spill-forcing budget, at
+  // every worker count, while actually going external twice.
+  for (int threads : kThreadCounts) {
+    engine::PlannerOptions spilled;
+    spilled.use_columnar = true;
+    spilled.threads = threads;
+    spilled.limits.max_memory_bytes = kTinyBudget;
+    engine::ExecStats stats;
+    auto result = engine::ExecutePlan(plan, *db_, spilled, &stats);
+    ASSERT_TRUE(result.ok())
+        << "threads=" << threads << ": " << result.status().ToString();
+    EXPECT_EQ(result.value(), expected)
+        << "spilled execution diverges at threads=" << threads;
+    // Grace build + external tail sort: at least two distinct spills.
+    EXPECT_GE(stats.spill_events, 2)
+        << "threads=" << threads
+        << ": expected both the hash build and the tail sort to spill";
+    EXPECT_GT(stats.spill_bytes, 0);
+  }
+}
+
+}  // namespace
+}  // namespace xqjg

@@ -1,0 +1,155 @@
+// Served cursors over a pipelined execution: the admission slot covers
+// the join work only, and open cursors retain O(batch) on the server.
+//
+// HandleExecute acquires an admission ticket, Primes the cursor (runs
+// the plan through its final breaker), and releases the slot before
+// replying — fetches then drain the stream without ever touching the
+// admission controller. Over a 100k-item result with a spill-forcing
+// session memory budget this suite pins, over the real wire protocol:
+//
+//   * running admission slots are back to zero the moment Execute
+//     returns, while the cursor is still open and fully undrained;
+//   * SessionManagerStats sees the open cursor, and its retained bytes
+//     are far below the materialized result (the O(batch) observable,
+//     also served in the STATS json);
+//   * draining via plain FETCH frames needs no admission slot and
+//     returns exactly the embedded API's answer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/processor.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+
+namespace xqjg::server {
+namespace {
+
+constexpr int64_t kRows = 100000;
+
+std::string FlatDoc(int64_t n) {
+  std::string xml = "<root>";
+  for (int64_t i = 0; i < n; ++i) {
+    xml += "<x>";
+    xml += std::to_string(i);
+    xml += "</x>";
+  }
+  xml += "</root>";
+  return xml;
+}
+
+class StreamingFetchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(processor_.LoadDocument("big.xml", FlatDoc(kRows)).ok());
+    ServerConfig config;
+    // Spill-forcing session budget: every served execution's breakers go
+    // external, so the cursors under test hold run cursors, not results.
+    config.session.limits.max_memory_bytes = 128 * 1024;
+    server_ = std::make_unique<QueryServer>(&processor_, config);
+    const Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  Result<std::unique_ptr<Client>> Connect() {
+    return Client::Connect("127.0.0.1", server_->port());
+  }
+
+  api::XQueryProcessor processor_;
+  std::unique_ptr<QueryServer> server_;
+};
+
+TEST_F(StreamingFetchTest, FetchStreamsWithoutHoldingAnAdmissionSlot) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto prepared = client.value()->Prepare("doc(\"big.xml\")//x",
+                                          /*mode=stacked*/ 0, "big.xml");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  auto executed = client.value()->Execute(prepared.value().statement_id);
+  ASSERT_TRUE(executed.ok()) << executed.status().ToString();
+  // The stacked lane primes through its final breaker, so the server
+  // already knows the cardinality (no -1 sentinel here).
+  EXPECT_EQ(executed.value().rows_total, kRows);
+
+  // Execute has replied, nothing is drained — and no admission slot is
+  // held: the ticket died with HandleExecute, not with the cursor.
+  ServerStats stats = server_->stats();
+  for (int cls = 0; cls < kNumQueryClasses; ++cls) {
+    EXPECT_EQ(stats.admission.running[cls], 0)
+        << "class " << cls << " still holds a slot under an open cursor";
+    EXPECT_EQ(stats.admission.waiting[cls], 0);
+  }
+
+  // The open cursor is visible, and it retains O(batch): far below the
+  // ~800 KB of pre ranks a materialized 100k-item result would pin.
+  EXPECT_EQ(stats.sessions.open_cursors, 1);
+  EXPECT_GT(stats.sessions.retained_cursor_bytes, 0);
+  EXPECT_LT(stats.sessions.retained_cursor_bytes, kRows * 8 / 2);
+
+  // The STATS opcode serves the same observable to clients.
+  auto json = client.value()->ServerStats();
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_NE(json.value().find("\"open_cursors\""), std::string::npos)
+      << json.value();
+  EXPECT_NE(json.value().find("\"retained_cursor_bytes\""), std::string::npos)
+      << json.value();
+
+  // Drain over plain FETCH frames (slot-free) and check the answer
+  // against the embedded API.
+  auto items = client.value()->FetchAll(executed.value().cursor_id, 1024);
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  api::RunOptions run;
+  run.mode = api::Mode::kStacked;
+  run.context_document = "big.xml";
+  auto oracle = processor_.Run("doc(\"big.xml\")//x", run);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  ASSERT_EQ(oracle.value().items.size(), static_cast<size_t>(kRows));
+  EXPECT_EQ(items.value(), oracle.value().items);
+
+  // FetchAll closed the cursor; the gauges return to zero.
+  stats = server_->stats();
+  EXPECT_EQ(stats.sessions.open_cursors, 0);
+  EXPECT_EQ(stats.sessions.retained_cursor_bytes, 0);
+
+  EXPECT_TRUE(client.value()->Goodbye().ok());
+}
+
+TEST_F(StreamingFetchTest, ConcurrentCursorGaugesSumAcrossSessions) {
+  // Two sessions, each an open undrained cursor: the registry-wide
+  // gauges aggregate, and closing one session's cursor releases exactly
+  // its share.
+  auto a = Connect();
+  auto b = Connect();
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (Client* c : {a.value().get(), b.value().get()}) {
+    auto prepared = c->Prepare("doc(\"big.xml\")//x", 0, "big.xml");
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    auto executed = c->Execute(prepared.value().statement_id);
+    ASSERT_TRUE(executed.ok()) << executed.status().ToString();
+    // Pull one bounded batch so the streams are live mid-drain.
+    auto batch = c->Fetch(executed.value().cursor_id, 256);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    EXPECT_EQ(batch.value().items.size(), 256u);
+    EXPECT_FALSE(batch.value().exhausted);
+  }
+  ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.sessions.open_cursors, 2);
+  EXPECT_LT(stats.sessions.retained_cursor_bytes, 2 * kRows * 8 / 2);
+
+  // Session A goes away entirely; B's cursor must be untouched.
+  ASSERT_TRUE(a.value()->Goodbye().ok());
+  a.value().reset();
+  // Goodbye closes the session synchronously before the kOk reply, so
+  // the gauges are already settled when the next request runs.
+  stats = server_->stats();
+  EXPECT_EQ(stats.sessions.open_cursors, 1);
+  EXPECT_GT(stats.sessions.retained_cursor_bytes, 0);
+}
+
+}  // namespace
+}  // namespace xqjg::server

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific invariant lint (run in CI; no dependencies).
 
-Two rules, both born from real bugs in this codebase:
+Three rules, all born from real bugs in this codebase:
 
   no-budget-guard  A row-producing loop (push_back / emplace_back /
                    ValueColumn::Append in the loop body) in src/engine/,
@@ -16,6 +16,16 @@ Two rules, both born from real bugs in this codebase:
                    decode/accumulation loops: those are bounded by the
                    frame-size cap or a per-fetch budget instead, and each
                    such loop carries an explicit allow() saying which.
+
+  unticked-pull    A direct call to a pipeline operator's `NextImpl()`
+                   (`stream->NextImpl(...)` / `stream.NextImpl(...)`)
+                   anywhere in src/. Batch pulls must go through the
+                   public ticking `Next()` wrapper, which runs the
+                   batch invariants and the per-batch DNF budget tick —
+                   a pipeline loop that pulls via NextImpl silently
+                   stops observing ExecLimits (exactly the class of bug
+                   the streaming-cursor work guards against: a drain
+                   loop that never notices an expired deadline).
 
   raw-alloc        `new` / `delete` / malloc-family calls anywhere in
                    src/ outside engine/parallel/worker_pool.cpp (which
@@ -74,6 +84,11 @@ ALLOC_RES = (
     re.compile(r"\bdelete\b(?!\s*;)"),        # "= delete;" handled below
     re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\("),
 )
+
+# A member-access call of NextImpl is a pull that bypasses the ticking
+# Next() wrapper. (The wrapper's own dispatch is an unqualified virtual
+# call, so it does not match.)
+UNTICKED_PULL_RE = re.compile(r"(?:\.|->)\s*NextImpl\s*\(")
 
 
 def strip_comments_and_strings(text):
@@ -194,6 +209,17 @@ def lint_loops(rel, raw, text, sup, findings):
              "the loop or its enclosing function"))
 
 
+def lint_unticked_pulls(rel, raw, text, sup, findings):
+    for m in UNTICKED_PULL_RE.finditer(text):
+        line = line_of(text, m.start())
+        if "unticked-pull" in sup.get(line, ()):
+            continue
+        findings.append(
+            (rel, line, "unticked-pull",
+             "direct NextImpl() call bypasses the ticking Next() wrapper "
+             "(batch invariants + DNF budget tick) — pull through Next()"))
+
+
 def lint_allocs(rel, raw, text, sup, findings):
     for alloc_re in ALLOC_RES:
         for m in alloc_re.finditer(text):
@@ -224,6 +250,7 @@ def main():
             sup = suppressions(raw)
             if rel not in ALLOC_EXEMPT:
                 lint_allocs(rel, raw, text, sup, findings)
+            lint_unticked_pulls(rel, raw, text, sup, findings)
             if rel.startswith(LOOP_DIRS):
                 lint_loops(rel, raw, text, sup, findings)
 

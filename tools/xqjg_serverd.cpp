@@ -61,6 +61,8 @@ void PrintUsage(const char* argv0) {
       "  --heavy-cost C       est_cost heavy threshold (default 5e5)\n"
       "  --exec-timeout S     per-fetch wall-clock budget (default 30)\n"
       "  --max-rows N         intermediate-row budget (default engine)\n"
+      "  --max-memory N       per-execution memory budget in bytes before\n"
+      "                       operators spill to disk (0 = unlimited)\n"
       "  --max-cursors N      open cursors per session (default 8)\n"
       "  --threads N          morsel workers per execution (default 1)\n"
       "  --duration S         exit after S seconds (default: signal)\n"
@@ -113,6 +115,8 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* out) {
     } else if (arg == "--max-rows") {
       out->server.session.limits.max_intermediate_rows =
           std::atoll(argv[++i]);
+    } else if (arg == "--max-memory") {
+      out->server.session.limits.max_memory_bytes = std::atoll(argv[++i]);
     } else if (arg == "--max-cursors") {
       out->server.session.max_cursors = std::atoi(argv[++i]);
     } else if (arg == "--threads") {
