@@ -48,8 +48,8 @@ inline bool WriteBenchJson(const std::string& json) {
 
 /// Storage-layout microbench: one name-equality scan over the doc
 /// relation through the three access paths the migration compares —
-///   row       boxed per-cell Value materialization (what the deprecated
-///             Cell() shim does; measured via Column().GetValue())
+///   row       boxed per-cell Value materialization (the retired row
+///             layout, reproduced via Column().GetValue())
 ///   columnar  a typed plain-string column (post-migration, no dict)
 ///   dict      the dictionary-encoded column via one code compare per row
 /// Seconds are totals over `iters` full passes (pick iters so the scan
@@ -87,8 +87,8 @@ inline StorageScanResult MeasureNameScan(const engine::Database& db,
   auto t0 = Clock::now();
   for (int it = 0; it < iters; ++it) {
     for (int64_t pre = 0; pre < n; ++pre) {
-      // Boxed lane: one materialized Value per cell (the Cell() shim's
-      // exact behavior, without calling the deprecated symbol).
+      // Boxed lane: one materialized Value per cell — the retired row
+      // layout's cost model, reproduced over the typed column.
       const Value v = dict_col.GetValue(static_cast<size_t>(pre));
       if (!v.is_null() && v.AsString() == needle) ++row_matches;
     }

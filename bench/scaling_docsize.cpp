@@ -57,8 +57,8 @@ int main() {
     }
     const long long nodes =
         static_cast<long long>(processor.doc_table().row_count());
-    // Storage axis: the same name-equality scan through the boxed shim,
-    // a typed string column, and the dictionary codes.
+    // Storage axis: the same name-equality scan through boxed per-cell
+    // Values, a typed string column, and the dictionary codes.
     const int iters =
         static_cast<int>(std::max<long long>(2, 8000000 / (nodes + 1)));
     bench::StorageScanResult scan =

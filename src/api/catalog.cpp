@@ -1,8 +1,11 @@
 #include "src/api/catalog.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
+#include "src/xml/doc_block.h"
 #include "src/xml/parser.h"
 
 namespace xqjg::api {
@@ -10,13 +13,18 @@ namespace xqjg::api {
 std::shared_ptr<const xml::DocTable> CatalogSnapshot::doc_table() const {
   std::lock_guard<std::mutex> lock(doc_slot->mu);
   if (!doc_slot->table) {
-    auto table = std::make_shared<xml::DocTable>();
+    // Parse every retained source into one scratch builder table, then
+    // freeze it into the shared column block. The scratch vectors are
+    // discarded; the published DocTable is a VIEW over the block, so the
+    // relational database and the columnar doc-relation batch can adopt
+    // the same columns without copying.
+    xml::DocTable scratch;
     for (const DocSource& s : *sources) {
       // Every source parsed successfully when it was loaded (the DOM
       // build shares the scanner), so this cannot fail on retained
       // input. A failure here means the doc relation would silently
       // lose a document — abort loudly rather than serve wrong results.
-      Status st = xml::LoadDocument(table.get(), s.uri, *s.xml);
+      Status st = xml::LoadDocument(&scratch, s.uri, *s.xml);
       if (!st.ok()) {
         std::fprintf(stderr,
                      "fatal: retained source '%s' failed to rebuild the "
@@ -25,7 +33,8 @@ std::shared_ptr<const xml::DocTable> CatalogSnapshot::doc_table() const {
         std::abort();
       }
     }
-    doc_slot->table = std::move(table);
+    doc_slot->table = std::make_shared<const xml::DocTable>(
+        xml::DocTable::FromBlock(xml::DocBlock::FromTable(scratch)));
   }
   return doc_slot->table;
 }
@@ -38,6 +47,48 @@ std::shared_ptr<const engine::Database> CatalogSnapshot::relational_db()
         engine::Database::Build(*doc_table()));
   }
   return db_slot->db;
+}
+
+int64_t CatalogSnapshot::RetainedStorageBytes() const {
+  int64_t total = 0;
+  std::vector<const ValueColumn*> cols_seen;
+  std::vector<const void*> dicts_seen;
+  auto add_column = [&](const std::shared_ptr<const ValueColumn>& col) {
+    if (!col) return;
+    if (std::find(cols_seen.begin(), cols_seen.end(), col.get()) !=
+        cols_seen.end()) {
+      return;  // same column object viewed by another lane — charged once
+    }
+    cols_seen.push_back(col.get());
+    total += col->ApproxBytes();
+    const auto dict = col->dict_ptr();
+    if (dict && std::find(dicts_seen.begin(), dicts_seen.end(),
+                          static_cast<const void*>(dict.get())) ==
+                    dicts_seen.end()) {
+      dicts_seen.push_back(dict.get());
+      total += col->dict_bytes();
+    }
+  };
+  {
+    std::lock_guard<std::mutex> lock(doc_slot->mu);
+    if (doc_slot->table && doc_slot->table->block()) {
+      for (const auto& col : doc_slot->table->block()->columns()) {
+        add_column(col);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(db_slot->mu);
+    if (db_slot->db) {
+      const auto& cols = engine::EngineDocColumns();
+      for (size_t c = 0; c < cols.size(); ++c) {
+        add_column(db_slot->db->ColumnPtr(static_cast<int>(c)));
+      }
+    }
+  }
+  if (whole_store) total += whole_store->RetainedBytes();
+  if (segmented_store) total += segmented_store->RetainedBytes();
+  return total;
 }
 
 }  // namespace xqjg::api

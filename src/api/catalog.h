@@ -104,6 +104,16 @@ struct CatalogSnapshot {
   /// pointers into its B-trees).
   std::shared_ptr<const engine::Database> relational_db() const;
 
+  /// Approximate heap bytes of doc-relation STORAGE retained by this
+  /// snapshot across every lane: the shared column block (payloads +
+  /// dictionaries, each distinct ValueColumn/StringDict charged once, by
+  /// pointer — the relational database and the columnar batches view the
+  /// same objects) plus the native stores' materialized DOM trees.
+  /// Excludes retained source text (the load input, not a storage copy),
+  /// column statistics, and B-trees. Never forces a lazy build: state
+  /// that was not materialized costs nothing.
+  int64_t RetainedStorageBytes() const;
+
   /// Native storage layouts.
   std::shared_ptr<const native::DocumentStore> whole_store;
   std::shared_ptr<const native::DocumentStore> segmented_store;

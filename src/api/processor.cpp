@@ -11,6 +11,7 @@
 #include "src/opt/isolate.h"
 #include "src/opt/plan_check.h"
 #include "src/sql/sqlgen.h"
+#include "src/xml/doc_block.h"
 #include "src/xml/parser.h"
 #include "src/xquery/normalize.h"
 #include "src/xquery/parser.h"
@@ -139,27 +140,47 @@ Status XQueryProcessor::LoadDocument(
     const std::set<std::string>& segment_tags) {
   std::lock_guard<std::mutex> lock(mutation_mu_);
   const std::shared_ptr<const CatalogSnapshot> cur = snapshot();
-  // Parse into fresh structures first: a malformed document must leave
-  // the published catalog untouched. This is also the validation the
-  // lazy doc-relation build relies on (same scanner).
-  XQJG_ASSIGN_OR_RETURN(auto dom, xml::ParseDom(uri, xml_text));
+  // Parse into a fresh scratch table first: a malformed document must
+  // leave the published catalog untouched. This single parse is also the
+  // validation every deferred build (lazy doc relation, lazy native DOM)
+  // relies on — they all share the scanner — and, when the predecessor
+  // already materialized its shared block, the scratch rows splice into
+  // it below without parsing again.
+  xml::DocTable scratch;
+  XQJG_RETURN_NOT_OK(xml::LoadDocument(&scratch, uri, xml_text));
+  if (!segment_tags.empty()) {
+    // Segment roots are validated eagerly (the native segmented build is
+    // deferred): loading with tags that match nothing is a load error,
+    // not a latent first-query abort.
+    bool found = false;
+    for (int64_t p = 0; p < scratch.row_count() && !found; ++p) {
+      found = scratch.kind(p) == xml::NodeKind::kElem &&
+              segment_tags.count(scratch.name(p)) > 0;
+    }
+    if (!found) {
+      return Status::InvalidArgument("no segment roots found for document " +
+                                     uri);
+    }
+  }
+  auto text = std::make_shared<const std::string>(xml_text);
 
-  // Native stores: share every other document, replace only this URI.
+  // Native stores: share every other document's entry (and its
+  // already-built DOM), replace only this URI. The new entry is lazy —
+  // its tree parses from the retained text on first native use.
   auto whole = std::make_shared<native::DocumentStore>(*cur->whole_store);
   auto segmented =
       std::make_shared<native::DocumentStore>(*cur->segmented_store);
   whole->RemoveUri(uri);
   segmented->RemoveUri(uri);
+  XQJG_RETURN_NOT_OK(whole->AddLazy(uri, text));
   if (!segment_tags.empty()) {
-    XQJG_RETURN_NOT_OK(segmented->AddSegmented(*dom, segment_tags));
+    XQJG_RETURN_NOT_OK(segmented->AddLazy(uri, text, segment_tags));
   }
-  XQJG_RETURN_NOT_OK(whole->AddWhole(std::move(dom)));
 
   // Retained sources, load order preserved, this URI replaced-or-added
   // (text shared across snapshots). The doc relation and the relational
   // database derive from these lazily — a burst of loads builds neither.
   const bool reload = cur->doc_epochs.count(uri) > 0;
-  auto text = std::make_shared<const std::string>(xml_text);
   auto sources =
       std::make_shared<std::vector<CatalogSnapshot::DocSource>>(*cur->sources);
   if (reload) {
@@ -185,22 +206,27 @@ Status XQueryProcessor::LoadDocument(
   next->whole_engine = std::make_shared<native::NativeEngine>(whole.get());
   next->segmented_engine =
       std::make_shared<native::NativeEngine>(segmented.get());
-  // If the predecessor already materialized its doc relation, appending a
-  // NEW document extends a copy of it (one parse of the new text) instead
-  // of deferring to a full re-parse of every retained source — keeps
-  // load/Prepare alternation from going quadratic in parse work. A
-  // reload still defers (pre ranks shift, the table must be rebuilt), and
-  // a burst of loads before any relational use stays fully lazy.
-  if (!reload) {
+  // If the predecessor already materialized its shared block, derive the
+  // successor's block from it incrementally — the scratch rows splice in
+  // while every other document's column runs are copied verbatim (and
+  // the dictionaries stay shared). Appending a NEW document extends the
+  // block; a RELOAD rebuilds only the replaced run (pre ranks after it
+  // shift by the size delta). Either way the alternative — a full
+  // re-parse of every retained source on next relational use — is
+  // avoided, so load/Prepare alternation never goes quadratic in parse
+  // work. A burst of loads before any relational use stays fully lazy.
+  {
     std::shared_ptr<const xml::DocTable> prev_table;
     {
       std::lock_guard<std::mutex> table_lock(cur->doc_slot->mu);
       prev_table = cur->doc_slot->table;
     }
-    if (prev_table) {
-      auto table = std::make_shared<xml::DocTable>(*prev_table);
-      XQJG_RETURN_NOT_OK(xml::LoadDocument(table.get(), uri, xml_text));
-      next->doc_slot->table = std::move(table);  // not yet published
+    if (prev_table && prev_table->block()) {
+      std::shared_ptr<const xml::DocBlock> block =
+          reload ? xml::DocBlock::Reload(prev_table->block(), scratch, uri)
+                 : xml::DocBlock::Append(prev_table->block(), scratch, uri);
+      next->doc_slot->table = std::make_shared<const xml::DocTable>(
+          xml::DocTable::FromBlock(std::move(block)));  // not yet published
     }
   }
   PublishLocked(std::move(next));

@@ -119,6 +119,33 @@ class ValueColumn {
   /// dictionary columns share the dictionary with the source).
   ValueColumn Gather(const std::vector<uint32_t>& idx) const;
 
+  /// Zero-row column with src's representation; a dictionary column
+  /// SHARES src's dictionary (copy-on-write fires only if a later append
+  /// interns a new distinct string). The starting point of the delta
+  /// splices in xml::DocBlock.
+  static ValueColumn EmptyLike(const ValueColumn& src);
+
+  /// Bulk-appends src rows [begin, begin+len): typed vector splices when
+  /// the representations match. Dictionary → dictionary appends copy the
+  /// code vector when the dictionary is shared; otherwise the source
+  /// dictionary is re-interned ONCE (O(|src dict|)) and codes map through
+  /// the resulting table — never a per-row string hash.
+  void AppendRange(const ValueColumn& src, size_t begin, size_t len);
+
+  /// Appends one non-NULL string without boxing a Value (dictionary
+  /// columns intern, plain string columns push).
+  void AppendString(const std::string& s);
+
+  /// The shared dictionary (null for non-dictionary columns). Exposed for
+  /// sharing/identity assertions and memory accounting — dictionaries are
+  /// deduplicated by this pointer when summing a relation's footprint.
+  std::shared_ptr<const StringDict> dict_ptr() const { return dict_; }
+
+  /// Approximate heap bytes of the dictionary itself (strings + hashes +
+  /// code map). Charged once per DISTINCT dictionary by block-level
+  /// accounting; ApproxBytes() deliberately excludes it.
+  int64_t dict_bytes() const;
+
   /// Approximate heap bytes of this column's per-row payload (shared
   /// dictionaries excluded — they are owned by the source relation). The
   /// unit the columnar executors charge against

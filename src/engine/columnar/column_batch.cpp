@@ -3,6 +3,8 @@
 #include <numeric>
 #include <utility>
 
+#include "src/xml/doc_block.h"
+
 namespace xqjg::engine::columnar {
 
 int ColumnBatch::ColumnIndex(const std::string& name) const {
@@ -46,6 +48,19 @@ Result<ColumnBatch> DocRelationBatch(const xml::DocTable& doc,
                                      BudgetClock* clock) {
   const auto n = static_cast<size_t>(doc.row_count());
   XQJG_RETURN_NOT_OK(clock->CheckRows(doc.row_count()));
+  if (const std::shared_ptr<const xml::DocBlock>& block = doc.block()) {
+    // Shared-block corpus: the batch VIEWS the block's columns (the
+    // algebra's doc columns are the block's engine-order prefix) — zero
+    // copies, zero per-execution materialization. The row-count budget
+    // check above still applies; there is no per-row work to meter.
+    ColumnBatch batch;
+    batch.schema = algebra::DocColumns();
+    batch.num_rows = n;
+    batch.cols.assign(block->columns().begin(),
+                      block->columns().begin() +
+                          static_cast<ptrdiff_t>(batch.schema.size()));
+    return batch;
+  }
   std::vector<int64_t> pre(n), size(n), level(n), kind(n), parent(n), root(n);
   std::vector<std::string> name(n), value(n);
   std::vector<uint8_t> value_null(n, 0);

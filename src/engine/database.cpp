@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/common/str.h"
+#include "src/xml/doc_block.h"
 
 namespace xqjg::engine {
 
@@ -202,56 +203,24 @@ std::unique_ptr<Database> Database::Build(const xml::DocTable& doc) {
   db->source_ = &doc;
   db->row_count_ = doc.row_count();
   const auto& cols = EngineDocColumns();
-  const auto n = static_cast<size_t>(doc.row_count());
-  // Typed column-major materialization: int64 arrays for the structural
-  // columns, dictionary-encoded strings for name/value, doubles for data.
-  std::vector<int64_t> pre(n), size(n), level(n), kind(n), parent(n), root(n),
-      pss(n);
-  std::vector<std::string> name(n), value(n);
-  std::vector<uint8_t> value_null(n, 0);
-  std::vector<double> data(n, 0.0);
-  std::vector<uint8_t> data_null(n, 0);
-  for (size_t i = 0; i < n; ++i) {
-    const auto p = static_cast<int64_t>(i);
-    pre[i] = p;
-    size[i] = doc.size(p);
-    level[i] = doc.level(p);
-    kind[i] = static_cast<int64_t>(doc.kind(p));
-    name[i] = doc.name(p);
-    if (doc.has_value(p)) {
-      value[i] = doc.value(p);
-    } else {
-      value_null[i] = 1;
-    }
-    if (doc.has_data(p)) {
-      data[i] = doc.data(p);
-    } else {
-      data_null[i] = 1;
-    }
-    parent[i] = doc.Parent(p);
-    root[i] = doc.Root(p);
-    pss[i] = p + doc.size(p);
-  }
-  storage->columns.resize(cols.size());
-  storage->columns[0] = ValueColumn::Ints(std::move(pre));
-  storage->columns[1] = ValueColumn::Ints(std::move(size));
-  storage->columns[2] = ValueColumn::Ints(std::move(level));
-  storage->columns[3] = ValueColumn::Ints(std::move(kind));
-  storage->columns[4] = ValueColumn::DictStrings(name);
-  storage->columns[5] = ValueColumn::DictStrings(value, std::move(value_null));
-  storage->columns[6] =
-      ValueColumn::Doubles(std::move(data), std::move(data_null));
-  storage->columns[7] = ValueColumn::Ints(std::move(parent));
-  storage->columns[8] = ValueColumn::Ints(std::move(root));
-  storage->columns[9] = ValueColumn::Ints(std::move(pss));
+  // One materialization per corpus: a block-backed table shares its
+  // columns outright (zero copies — the block's layout IS the engine
+  // layout); an ad-hoc builder table materializes a fresh block first.
+  // Either way xml::DocBlock is the single place that knows how to turn
+  // the infoset encoding into typed columns.
+  std::shared_ptr<const xml::DocBlock> block =
+      doc.block() ? doc.block() : xml::DocBlock::FromTable(doc);
+  storage->columns = block->columns();
   // Statistics: ndv, min/max, equi-depth histogram; exact frequencies for
   // the low-cardinality columns kind and name. Computed per typed
-  // representation (dictionary columns straight from the dictionary).
+  // representation (dictionary columns straight from the dictionary),
+  // exactly over the merged columns — delta reload/append changes the
+  // columns, so stats recompute; the column BYTES are what is reused.
   storage->stats.resize(cols.size());
   for (size_t c = 0; c < cols.size(); ++c) {
     ColumnStats& st = storage->stats[c];
     st.row_count = db->row_count_;
-    CollectColumnStats(storage->columns[c],
+    CollectColumnStats(*storage->columns[c],
                        cols[c] == "kind" || cols[c] == "name", &st);
   }
   db->storage_ = std::move(storage);

@@ -6,9 +6,11 @@
 // engine column (int64 arrays for pre/size/level/kind/parent/root/pss, a
 // dictionary-encoded string column for name and value, doubles-with-nulls
 // for data). Hot paths — scan probes, term evaluation, index builds,
-// statistics — read the typed arrays directly; Cell() remains as a boxed
-// compatibility shim (it materializes a Value per call — do not use it in
-// per-row loops).
+// statistics — read the typed arrays directly via Column()/the typed
+// accessors. When the source DocTable is backed by a shared xml::DocBlock
+// (the processor's corpora always are), Build adopts the block's column
+// pointers instead of materializing a copy — the database, the columnar
+// doc-relation batch, and the row lane all read the same bytes.
 #ifndef XQJG_ENGINE_DATABASE_H_
 #define XQJG_ENGINE_DATABASE_H_
 
@@ -75,17 +77,14 @@ class Database {
   /// Typed column access by engine column index — the storage interface
   /// every per-row loop should use (direct int64/code/double arrays).
   const ValueColumn& Column(int col) const {
-    return storage_->columns[static_cast<size_t>(col)];
+    return *storage_->columns[static_cast<size_t>(col)];
   }
 
-  /// Boxed cell access by row id (pre) and engine column index.
-  /// Compatibility shim over Column(): materializes a Value per call
-  /// (string cells copy). Deprecated — use Column(col).GetValue(pre) for
-  /// cold paths, or the typed accessors (ints()/dict_codes()/doubles())
-  /// in per-row loops; see README "Columnar storage" for the migration.
-  [[deprecated("use Column(col).GetValue(pre) or the typed accessors")]]
-  Value Cell(int64_t pre, int col) const {
-    return Column(col).GetValue(static_cast<size_t>(pre));
+  /// Shared-ownership handle of one column — for sharing/identity
+  /// assertions and footprint accounting (columns adopted from a
+  /// DocBlock are pointer-identical to the block's).
+  const std::shared_ptr<const ValueColumn>& ColumnPtr(int col) const {
+    return storage_->columns[static_cast<size_t>(col)];
   }
   int ColumnIndex(const std::string& name) const;
 
@@ -109,9 +108,12 @@ class Database {
   const xml::DocTable* source() const { return source_; }
 
  private:
-  /// The immutable doc-relation block every copy of this Database shares.
+  /// The immutable doc-relation storage every copy of this Database
+  /// shares. Columns are shared_ptr'd so they can additionally be shared
+  /// with the xml::DocBlock they were adopted from (and with the columnar
+  /// executor's doc-relation batches) — one corpus, one set of columns.
   struct Storage {
-    std::vector<ValueColumn> columns;  // typed, column-major
+    std::vector<std::shared_ptr<const ValueColumn>> columns;
     std::vector<ColumnStats> stats;
   };
 

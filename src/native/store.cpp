@@ -1,6 +1,8 @@
 #include "src/native/store.h"
 
-#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 namespace xqjg::native {
 
@@ -73,47 +75,144 @@ std::unique_ptr<XmlDocument> BuildFragment(const std::string& uri,
   return doc;
 }
 
-}  // namespace
-
-Status DocumentStore::AddWhole(std::unique_ptr<XmlDocument> doc) {
-  by_uri_[doc->uri].push_back(doc.get());
-  owned_.push_back(std::move(doc));
-  return Status::OK();
+/// Segments `dom` into fragment documents; empty result when no segment
+/// root matches.
+std::vector<std::unique_ptr<XmlDocument>> SegmentDocument(
+    const XmlDocument& dom, const std::set<std::string>& segment_tags) {
+  std::vector<const XmlNode*> roots;
+  CollectSegments(dom.doc_node.get(), segment_tags, &roots);
+  std::vector<std::unique_ptr<XmlDocument>> out;
+  out.reserve(roots.size());
+  // Document load/first native use, not query execution.
+  // xqjg-lint: allow(no-budget-guard)
+  for (const XmlNode* r : roots) out.push_back(BuildFragment(dom.uri, r));
+  return out;
 }
 
-void DocumentStore::RemoveUri(const std::string& uri) {
-  by_uri_.erase(uri);
-  segmented_uris_.erase(uri);
-  owned_.erase(std::remove_if(owned_.begin(), owned_.end(),
-                              [&](const auto& doc) { return doc->uri == uri; }),
-               owned_.end());
+/// Approximate heap bytes of one subtree (node structs + name/value
+/// payloads + child-pointer vectors).
+int64_t SubtreeBytes(const XmlNode* node) {
+  int64_t bytes = static_cast<int64_t>(
+      sizeof(XmlNode) + node->name.size() + node->value.size() +
+      (node->attrs.size() + node->children.size()) *
+          sizeof(std::unique_ptr<XmlNode>));
+  for (const auto& a : node->attrs) bytes += SubtreeBytes(a.get());
+  // Footprint accounting (tests/bench), not query execution.
+  // xqjg-lint: allow(no-budget-guard)
+  for (const auto& c : node->children) bytes += SubtreeBytes(c.get());
+  return bytes;
+}
+
+}  // namespace
+
+void DocumentStore::Entry::EnsureBuiltLocked() const {
+  if (built) return;
+  // The text parsed successfully when the URI was loaded (the shared
+  // column block build uses the same scanner) and — for the segmented
+  // layout — a segment root was verified present. A failure here would
+  // silently lose a document from the native lane: abort loudly rather
+  // than serve wrong results.
+  auto dom = xml::ParseDom(uri, *text);
+  if (!dom.ok()) {
+    std::fprintf(stderr,
+                 "fatal: retained source '%s' failed to rebuild the native "
+                 "store: %s\n",
+                 uri.c_str(), dom.status().ToString().c_str());
+    std::abort();
+  }
+  if (segmented) {
+    auto fragments = SegmentDocument(*dom.value(), segment_tags);
+    if (fragments.empty()) {
+      std::fprintf(stderr,
+                   "fatal: retained source '%s' lost its segment roots\n",
+                   uri.c_str());
+      std::abort();
+    }
+    for (auto& f : fragments) docs.push_back(std::move(f));
+  } else {
+    docs.push_back(std::move(dom).value());
+  }
+  frags.reserve(docs.size());
+  for (const auto& d : docs) frags.push_back(d.get());
+  built = true;
+}
+
+Status DocumentStore::AddWhole(std::unique_ptr<XmlDocument> doc) {
+  auto& entry = by_uri_[doc->uri];
+  if (!entry) {
+    entry = std::make_shared<Entry>();
+    entry->uri = doc->uri;
+    entry->built = true;
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  entry->frags.push_back(doc.get());
+  entry->docs.push_back(std::move(doc));
+  return Status::OK();
 }
 
 Status DocumentStore::AddSegmented(const XmlDocument& doc,
                                    const std::set<std::string>& segment_tags) {
-  std::vector<const XmlNode*> roots;
-  CollectSegments(doc.doc_node.get(), segment_tags, &roots);
-  if (roots.empty()) {
+  auto fragments = SegmentDocument(doc, segment_tags);
+  if (fragments.empty()) {
     return Status::InvalidArgument(
         "no segment roots found for document " + doc.uri);
   }
-  segmented_uris_.insert(doc.uri);
-  for (const XmlNode* r : roots) {
-    auto fragment = BuildFragment(doc.uri, r);
-    by_uri_[doc.uri].push_back(fragment.get());
-    owned_.push_back(std::move(fragment));
+  auto& entry = by_uri_[doc.uri];
+  if (!entry) {
+    entry = std::make_shared<Entry>();
+    entry->uri = doc.uri;
+    entry->built = true;
+  }
+  entry->segmented = true;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  for (auto& f : fragments) {
+    entry->frags.push_back(f.get());
+    entry->docs.push_back(std::move(f));
   }
   return Status::OK();
 }
 
+Status DocumentStore::AddLazy(const std::string& uri,
+                              std::shared_ptr<const std::string> xml_text,
+                              const std::set<std::string>& segment_tags) {
+  auto entry = std::make_shared<Entry>();
+  entry->uri = uri;
+  entry->text = std::move(xml_text);
+  entry->segment_tags = segment_tags;
+  entry->segmented = !segment_tags.empty();
+  by_uri_[uri] = std::move(entry);
+  return Status::OK();
+}
+
+void DocumentStore::RemoveUri(const std::string& uri) { by_uri_.erase(uri); }
+
 size_t DocumentStore::SegmentCount(const std::string& uri) const {
   auto it = by_uri_.find(uri);
-  return it == by_uri_.end() ? 0 : it->second.size();
+  if (it == by_uri_.end()) return 0;
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  it->second->EnsureBuiltLocked();
+  return it->second->frags.size();
 }
 
 int64_t DocumentStore::TotalNodes() const {
   int64_t total = 0;
-  for (const auto& doc : owned_) total += doc->node_count;
+  for (const auto& [uri, entry] : by_uri_) {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->EnsureBuiltLocked();
+    for (const auto& doc : entry->docs) total += doc->node_count;
+  }
+  return total;
+}
+
+int64_t DocumentStore::RetainedBytes() const {
+  int64_t total = 0;
+  for (const auto& [uri, entry] : by_uri_) {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->built) continue;  // unbuilt entries retain no tree
+    for (const auto& doc : entry->docs) {
+      total += SubtreeBytes(doc->doc_node.get());
+    }
+  }
   return total;
 }
 
@@ -121,7 +220,12 @@ const std::vector<const xml::XmlDocument*>& DocumentStore::Fragments(
     const std::string& uri) const {
   static const std::vector<const xml::XmlDocument*> kEmpty;
   auto it = by_uri_.find(uri);
-  return it == by_uri_.end() ? kEmpty : it->second;
+  if (it == by_uri_.end()) return kEmpty;
+  // First caller materializes the DOM; the entry lock publishes the built
+  // vector to later callers (immutable afterwards, safe to hand out).
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  it->second->EnsureBuiltLocked();
+  return it->second->frags;
 }
 
 Result<const XmlNode*> DocumentStore::Resolve(const std::string& uri) {
@@ -129,12 +233,14 @@ Result<const XmlNode*> DocumentStore::Resolve(const std::string& uri) {
   if (it == by_uri_.end()) {
     return Status::NotFound("document not loaded: " + uri);
   }
-  if (segmented_uris_.count(uri)) {
+  if (it->second->segmented) {
     return Status::InvalidArgument(
         "document " + uri + " is stored segmented; use per-fragment "
         "evaluation");
   }
-  return it->second.front()->doc_node.get();
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  it->second->EnsureBuiltLocked();
+  return it->second->frags.front()->doc_node.get();
 }
 
 }  // namespace xqjg::native

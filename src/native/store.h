@@ -8,10 +8,21 @@
 // Segmentation is spine-preserving: each segment keeps the chain of
 // ancestors of its root subtree (without siblings), so absolute paths
 // like /site/people/person still match inside a segment.
+//
+// Storage is LAZY for processor-managed corpora: AddLazy registers the
+// URI with its retained source text only; the DOM materializes on first
+// native use (Fragments/Resolve), guarded per entry, and is then shared
+// by every snapshot holding the entry — reloading one URI leaves every
+// other document's built DOM pointer-identical, and a corpus that is
+// never queried natively costs no tree at all (the shared column block
+// is the only copy). AddWhole/AddSegmented remain as eager paths for
+// direct engine use and tests.
 #ifndef XQJG_NATIVE_STORE_H_
 #define XQJG_NATIVE_STORE_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -22,38 +33,62 @@
 
 namespace xqjg::native {
 
-/// Copying a DocumentStore is cheap: parsed documents are immutable and
-/// held through shared_ptr, so a copy shares every document. The
-/// processor's catalog snapshots rely on this — loading or reloading one
-/// document clones the store, removes/re-adds only that URI's fragments,
-/// and leaves every other document shared with the previous snapshot.
+/// Copying a DocumentStore is cheap: per-URI entries (source text +
+/// lazily built fragment documents) are immutable-once-built and held
+/// through shared_ptr, so a copy shares every entry. The processor's
+/// catalog snapshots rely on this — loading or reloading one document
+/// clones the store, removes/re-adds only that URI's entry, and leaves
+/// every other document (and its already-built DOM) shared with the
+/// previous snapshot.
 class DocumentStore : public DocumentResolver {
  public:
-  /// Adds a whole document under its URI.
+  DocumentStore() = default;
+  DocumentStore(const DocumentStore&) = default;
+  DocumentStore& operator=(const DocumentStore&) = default;
+
+  /// Adds a whole document under its URI (eager: the tree exists).
   Status AddWhole(std::unique_ptr<xml::XmlDocument> doc);
 
   /// Adds a document cut into segments: every subtree rooted at an element
   /// whose tag is in `segment_tags` becomes one fragment document (with
   /// its ancestor spine). All fragments answer to the original URI.
+  /// Eager path; errors when no segment root matches.
   Status AddSegmented(const xml::XmlDocument& doc,
                       const std::set<std::string>& segment_tags);
+
+  /// Registers `uri` without building anything: the DOM (whole layout
+  /// when `segment_tags` is empty, else the segmented fragments) parses
+  /// from `xml_text` on first use. The caller has already validated the
+  /// text and — for the segmented layout — the presence of a segment
+  /// root, so the deferred build cannot fail on retained input.
+  Status AddLazy(const std::string& uri,
+                 std::shared_ptr<const std::string> xml_text,
+                 const std::set<std::string>& segment_tags = {});
 
   /// Drops every fragment registered under `uri` (no-op when absent).
   /// Used by document reload: copy the store, remove the URI, re-add it.
   void RemoveUri(const std::string& uri);
 
-  /// Number of stored fragment/whole documents for `uri`.
+  /// Number of stored fragment/whole documents for `uri` (forces the
+  /// lazy build).
   size_t SegmentCount(const std::string& uri) const;
-  /// Total stored nodes (across all fragments).
+  /// Total stored nodes across all built fragments (forces lazy builds).
   int64_t TotalNodes() const;
 
   /// All fragments registered under `uri` (one entry for whole layout).
+  /// Forces the lazy build; thread-safe (first caller builds under the
+  /// entry lock, later callers see the built tree).
   const std::vector<const xml::XmlDocument*>& Fragments(
       const std::string& uri) const;
 
   /// DocumentResolver: resolves to the single whole document; errors for
   /// segmented URIs (per-fragment evaluation must be used instead).
   Result<const xml::XmlNode*> Resolve(const std::string& uri) override;
+
+  /// Approximate heap bytes of MATERIALIZED trees only — an entry whose
+  /// DOM was never forced costs nothing beyond the shared source text.
+  /// The native lane's contribution to the corpus footprint accounting.
+  int64_t RetainedBytes() const;
 
   /// Resolver view pinned to one fragment: doc(uri) yields that fragment.
   class FragmentResolver : public DocumentResolver {
@@ -71,9 +106,26 @@ class DocumentStore : public DocumentResolver {
   };
 
  private:
-  std::vector<std::shared_ptr<const xml::XmlDocument>> owned_;
-  std::map<std::string, std::vector<const xml::XmlDocument*>> by_uri_;
-  std::set<std::string> segmented_uris_;
+  /// One URI's storage, shared across store copies. Built state mutates
+  /// exactly once (unbuilt → built) under `mu`; after that every field is
+  /// immutable, so readers that acquired `mu` once can keep the returned
+  /// pointers without further locking.
+  struct Entry {
+    std::string uri;
+    std::shared_ptr<const std::string> text;  ///< null for eager entries
+    std::set<std::string> segment_tags;
+    bool segmented = false;
+
+    mutable std::mutex mu;
+    mutable bool built = false;
+    mutable std::vector<std::shared_ptr<const xml::XmlDocument>> docs;
+    mutable std::vector<const xml::XmlDocument*> frags;
+
+    /// Parses/segments from `text` if not built yet. Caller holds `mu`.
+    void EnsureBuiltLocked() const;
+  };
+
+  std::map<std::string, std::shared_ptr<Entry>> by_uri_;
 };
 
 }  // namespace xqjg::native

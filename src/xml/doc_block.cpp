@@ -1,0 +1,263 @@
+#include "src/xml/doc_block.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <utility>
+
+namespace xqjg::xml {
+
+namespace {
+
+/// A row range of the previous block to copy into a spliced column.
+/// `shift` is the pre-coordinate delta applied to the copied rows of the
+/// pre-valued columns (parent/root/pss); the prefix of a splice always
+/// has shift 0.
+struct PrevRange {
+  int64_t begin = 0;
+  int64_t len = 0;
+  int64_t shift = 0;
+};
+
+/// Builds the ten engine columns of `before ++ scratch@scratch_base ++
+/// after`, where before/after copy rows of `prev` and scratch is a
+/// freshly parsed single-document builder table. The only per-row work
+/// over copied rows is vector splicing (plus the pre shift); strings are
+/// never re-hashed and dictionaries stay shared unless the scratch
+/// document interns a new distinct entry.
+std::vector<std::shared_ptr<const ValueColumn>> SpliceColumns(
+    const DocBlock& prev, const DocTable& scratch, const PrevRange& before,
+    int64_t scratch_base, const PrevRange& after) {
+  std::vector<std::shared_ptr<const ValueColumn>> out(DocBlock::kNumCols);
+  const int64_t sn = scratch.row_count();
+  const auto n = static_cast<size_t>(before.len + sn + after.len);
+  auto put = [&](int c, ValueColumn col) {
+    out[static_cast<size_t>(c)] =
+        std::make_shared<const ValueColumn>(std::move(col));
+  };
+
+  // pre is the row position by construction.
+  {
+    std::vector<int64_t> pre(n);
+    std::iota(pre.begin(), pre.end(), 0);
+    put(DocBlock::kPre, ValueColumn::Ints(std::move(pre)));
+  }
+
+  // Structural int64 columns. Copied rows of the PRE-VALUED columns
+  // (parent/root/pss — always within their own document's run) shift by
+  // the range's pre delta; size/level/kind are pre-invariant and copy
+  // verbatim. Negative values (the -1 parent of a DOC row) never shift.
+  auto build_ints = [&](int c, bool pre_valued,
+                        const std::function<int64_t(int64_t)>& fresh) {
+    const std::vector<int64_t>& src = prev.column(c).ints();
+    std::vector<int64_t> v;
+    v.reserve(n);
+    auto copy_range = [&](const PrevRange& r) {
+      for (int64_t i = 0; i < r.len; ++i) {
+        int64_t x = src[static_cast<size_t>(r.begin + i)];
+        if (pre_valued && r.shift != 0 && x >= 0) x += r.shift;
+        v.push_back(x);
+      }
+    };
+    copy_range(before);
+    for (int64_t i = 0; i < sn; ++i) v.push_back(fresh(i));
+    copy_range(after);
+    put(c, ValueColumn::Ints(std::move(v)));
+  };
+  build_ints(DocBlock::kSizeCol, false,
+             [&](int64_t i) { return scratch.size(i); });
+  build_ints(DocBlock::kLevel, false,
+             [&](int64_t i) { return scratch.level(i); });
+  build_ints(DocBlock::kKind, false, [&](int64_t i) {
+    return static_cast<int64_t>(scratch.kind(i));
+  });
+  build_ints(DocBlock::kParent, true, [&](int64_t i) {
+    const int64_t p = scratch.Parent(i);
+    return p < 0 ? p : scratch_base + p;
+  });
+  build_ints(DocBlock::kRoot, true,
+             [&](int64_t i) { return scratch_base + scratch.Root(i); });
+  build_ints(DocBlock::kPss, true, [&](int64_t i) {
+    return scratch_base + i + scratch.size(i);
+  });
+
+  // name: dictionary-encoded, never NULL. EmptyLike shares prev's
+  // dictionary; copy-on-write fires only on a genuinely new tag/URI.
+  {
+    const ValueColumn& src = prev.column(DocBlock::kName);
+    ValueColumn name = ValueColumn::EmptyLike(src);
+    name.AppendRange(src, static_cast<size_t>(before.begin),
+                     static_cast<size_t>(before.len));
+    for (int64_t i = 0; i < sn; ++i) name.AppendString(scratch.name(i));
+    name.AppendRange(src, static_cast<size_t>(after.begin),
+                     static_cast<size_t>(after.len));
+    put(DocBlock::kName, std::move(name));
+  }
+
+  // value: dictionary-encoded with a NULL mask (rows without a value).
+  {
+    const ValueColumn& src = prev.column(DocBlock::kValue);
+    ValueColumn value = ValueColumn::EmptyLike(src);
+    value.AppendRange(src, static_cast<size_t>(before.begin),
+                      static_cast<size_t>(before.len));
+    for (int64_t i = 0; i < sn; ++i) {
+      if (scratch.has_value(i)) {
+        value.AppendString(scratch.value(i));
+      } else {
+        value.AppendNull();
+      }
+    }
+    value.AppendRange(src, static_cast<size_t>(after.begin),
+                      static_cast<size_t>(after.len));
+    put(DocBlock::kValue, std::move(value));
+  }
+
+  // data: doubles with a NULL mask (rows whose value is not a decimal).
+  {
+    const ValueColumn& src = prev.column(DocBlock::kData);
+    const std::vector<double>& pd = src.doubles();
+    const uint8_t* pm = src.null_mask();
+    std::vector<double> data;
+    std::vector<uint8_t> nulls;
+    data.reserve(n);
+    nulls.reserve(n);
+    auto copy_range = [&](const PrevRange& r) {
+      for (int64_t i = 0; i < r.len; ++i) {
+        const auto idx = static_cast<size_t>(r.begin + i);
+        data.push_back(pd[idx]);
+        nulls.push_back(pm ? pm[idx] : 0);
+      }
+    };
+    copy_range(before);
+    for (int64_t i = 0; i < sn; ++i) {
+      data.push_back(scratch.has_data(i) ? scratch.data(i) : 0.0);
+      nulls.push_back(scratch.has_data(i) ? 0 : 1);
+    }
+    copy_range(after);
+    put(DocBlock::kData, ValueColumn::Doubles(std::move(data),
+                                              std::move(nulls)));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<const DocBlock> DocBlock::FromTable(const DocTable& table) {
+  auto block = std::make_shared<DocBlock>();
+  const auto n = static_cast<size_t>(table.row_count());
+  // Identical materialization to what engine::Database historically built
+  // per copy: typed int64 arrays, dictionary-encoded name/value, doubles
+  // for data — built ONCE here, then adopted by every lane.
+  std::vector<int64_t> pre(n), size(n), level(n), kind(n), parent(n), root(n),
+      pss(n);
+  std::vector<std::string> name(n), value(n);
+  std::vector<uint8_t> value_null(n, 0);
+  std::vector<double> data(n, 0.0);
+  std::vector<uint8_t> data_null(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto p = static_cast<int64_t>(i);
+    pre[i] = p;
+    size[i] = table.size(p);
+    level[i] = table.level(p);
+    kind[i] = static_cast<int64_t>(table.kind(p));
+    name[i] = table.name(p);
+    if (table.has_value(p)) {
+      value[i] = table.value(p);
+    } else {
+      value_null[i] = 1;
+    }
+    if (table.has_data(p)) {
+      data[i] = table.data(p);
+    } else {
+      data_null[i] = 1;
+    }
+    parent[i] = table.Parent(p);
+    root[i] = table.Root(p);
+    pss[i] = p + table.size(p);
+  }
+  block->cols_.resize(kNumCols);
+  auto put = [&](int c, ValueColumn col) {
+    block->cols_[static_cast<size_t>(c)] =
+        std::make_shared<const ValueColumn>(std::move(col));
+  };
+  put(kPre, ValueColumn::Ints(std::move(pre)));
+  put(kSizeCol, ValueColumn::Ints(std::move(size)));
+  put(kLevel, ValueColumn::Ints(std::move(level)));
+  put(kKind, ValueColumn::Ints(std::move(kind)));
+  put(kName, ValueColumn::DictStrings(name));
+  put(kValue, ValueColumn::DictStrings(value, std::move(value_null)));
+  put(kData, ValueColumn::Doubles(std::move(data), std::move(data_null)));
+  put(kParent, ValueColumn::Ints(std::move(parent)));
+  put(kRoot, ValueColumn::Ints(std::move(root)));
+  put(kPss, ValueColumn::Ints(std::move(pss)));
+  for (int64_t p = 0; p < table.row_count(); ++p) {
+    if (table.kind(p) == NodeKind::kDoc) {
+      block->runs_.push_back(DocRun{table.name(p), p, table.size(p) + 1});
+    }
+  }
+  block->rows_ = table.row_count();
+  return block;
+}
+
+std::shared_ptr<const DocBlock> DocBlock::Append(
+    const std::shared_ptr<const DocBlock>& prev, const DocTable& scratch,
+    const std::string& uri) {
+  const int64_t base = prev->rows_;
+  auto block = std::make_shared<DocBlock>();
+  block->cols_ = SpliceColumns(*prev, scratch, PrevRange{0, base, 0}, base,
+                               PrevRange{});
+  block->runs_ = prev->runs_;
+  block->runs_.push_back(DocRun{uri, base, scratch.row_count()});
+  block->rows_ = base + scratch.row_count();
+  return block;
+}
+
+std::shared_ptr<const DocBlock> DocBlock::Reload(
+    const std::shared_ptr<const DocBlock>& prev, const DocTable& scratch,
+    const std::string& uri) {
+  const DocRun* target = prev->FindRun(uri);
+  if (target == nullptr) return Append(prev, scratch, uri);  // defensive
+  const int64_t delta = scratch.row_count() - target->rows;
+  const PrevRange before{0, target->base, 0};
+  const PrevRange after{target->base + target->rows,
+                        prev->rows_ - target->base - target->rows, delta};
+  auto block = std::make_shared<DocBlock>();
+  block->cols_ = SpliceColumns(*prev, scratch, before, target->base, after);
+  block->runs_.reserve(prev->runs_.size());
+  for (const DocRun& run : prev->runs_) {
+    DocRun out = run;
+    if (run.uri == uri) {
+      out.rows = scratch.row_count();
+    } else if (run.base > target->base) {
+      out.base += delta;
+    }
+    block->runs_.push_back(std::move(out));
+  }
+  block->rows_ = prev->rows_ + delta;
+  return block;
+}
+
+const DocRun* DocBlock::FindRun(const std::string& uri) const {
+  for (const DocRun& run : runs_) {
+    if (run.uri == uri) return &run;
+  }
+  return nullptr;
+}
+
+int64_t DocBlock::ApproxBytes() const {
+  int64_t bytes = 0;
+  std::vector<const StringDict*> seen;
+  for (const auto& col : cols_) {
+    bytes += col->ApproxBytes();
+    const auto dict = col->dict_ptr();
+    if (dict &&
+        std::find(seen.begin(), seen.end(), dict.get()) == seen.end()) {
+      seen.push_back(dict.get());
+      bytes += col->dict_bytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace xqjg::xml

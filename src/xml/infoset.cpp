@@ -1,6 +1,9 @@
 #include "src/xml/infoset.h"
 
+#include <utility>
+
 #include "src/common/str.h"
+#include "src/xml/doc_block.h"
 
 namespace xqjg::xml {
 
@@ -54,20 +57,53 @@ void DocTable::SetValue(int64_t pre, std::string value) {
 DocRow DocTable::Row(int64_t pre) const {
   DocRow row;
   row.pre = pre;
-  row.size = pre_size_[pre];
-  row.level = level_[pre];
-  row.parent = parent_[pre];
-  row.root = root_[pre];
-  row.kind = kind_[pre];
-  row.name = name_[pre];
-  row.value = value_[pre];
-  row.has_value = has_value_[pre] != 0;
-  row.data = data_[pre];
-  row.has_data = has_data_[pre] != 0;
+  row.size = size(pre);
+  row.level = level(pre);
+  row.parent = Parent(pre);
+  row.root = Root(pre);
+  row.kind = kind(pre);
+  row.name = name(pre);
+  row.value = value(pre);
+  row.has_value = has_value(pre);
+  row.data = data(pre);
+  row.has_data = has_data(pre);
   return row;
 }
 
+const std::string& DocTable::EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+DocTable DocTable::FromBlock(std::shared_ptr<const DocBlock> block) {
+  DocTable t;
+  const DocBlock& b = *block;
+  t.view_rows_ = b.row_count();
+  t.v_size_ = b.column(DocBlock::kSizeCol).ints().data();
+  t.v_level_ = b.column(DocBlock::kLevel).ints().data();
+  t.v_kind_ = b.column(DocBlock::kKind).ints().data();
+  t.v_parent_ = b.column(DocBlock::kParent).ints().data();
+  t.v_root_ = b.column(DocBlock::kRoot).ints().data();
+  const ValueColumn& name = b.column(DocBlock::kName);
+  t.v_name_strings_ = &name.dict().strings;
+  t.v_name_codes_ = name.dict_codes().data();
+  const ValueColumn& value = b.column(DocBlock::kValue);
+  t.v_value_strings_ = &value.dict().strings;
+  t.v_value_codes_ = value.dict_codes().data();
+  t.v_value_nulls_ = value.null_mask();
+  const ValueColumn& data = b.column(DocBlock::kData);
+  t.v_data_ = data.doubles().data();
+  t.v_data_nulls_ = data.null_mask();
+  t.block_ = std::move(block);
+  return t;
+}
+
 Result<int64_t> DocTable::FindDocument(const std::string& uri) const {
+  if (block_) {
+    // O(#documents) via run metadata instead of a full row scan.
+    if (const DocRun* run = block_->FindRun(uri)) return run->base;
+    return Status::NotFound("document not loaded: " + uri);
+  }
   for (int64_t pre = 0; pre < row_count(); ++pre) {
     if (kind_[pre] == NodeKind::kDoc && name_[pre] == uri) return pre;
   }
@@ -76,6 +112,11 @@ Result<int64_t> DocTable::FindDocument(const std::string& uri) const {
 
 std::vector<int64_t> DocTable::DocumentRoots() const {
   std::vector<int64_t> roots;
+  if (block_) {
+    roots.reserve(block_->runs().size());
+    for (const DocRun& run : block_->runs()) roots.push_back(run.base);
+    return roots;
+  }
   for (int64_t pre = 0; pre < row_count(); ++pre) {
     if (kind_[pre] == NodeKind::kDoc) roots.push_back(pre);
   }

@@ -1,8 +1,9 @@
 // ColumnStats regression: the typed/dictionary statistics collectors
 // must reproduce the pre-migration Value-based algorithm EXACTLY — the
-// reference below is that algorithm verbatim, run over the boxed Cell()
-// shim — on the XMark fixture and the tiny documents. Dictionary columns
-// additionally pin the ndv-from-dictionary contract.
+// reference below is that algorithm verbatim, run over boxed per-cell
+// Values via Column().GetValue() — on the XMark fixture and the tiny
+// documents. Dictionary columns additionally pin the ndv-from-dictionary
+// contract.
 #include <gtest/gtest.h>
 
 #include <algorithm>

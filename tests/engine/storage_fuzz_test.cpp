@@ -77,5 +77,24 @@ TEST(StorageFuzz, DegenerateDocumentShapes) {
   }
 }
 
+// Mutation-interleaved sweep: catalog churn (loads of new documents,
+// in-place reloads, index drop/create) interleaved with differential
+// checks. Every step drains a cursor pinned BEFORE the mutation
+// (bit-identical to the pre-mutation native reference — snapshot
+// isolation over the shared block) and re-checks a fresh query across
+// all lanes afterwards (the delta-reloaded / appended block serves the
+// same bytes as a from-scratch build). Alternating morsel worker counts
+// cover the serial and parallel columnar paths; XQJG_FUZZ_ITERS widens
+// the sweep in CI (the ASan and TSan jobs both run it).
+TEST(MutationInterleavedFuzz, ChurnKeepsLanesBitIdentical) {
+  const int iters = testutil::FuzzIterations(6);
+  for (int i = 0; i < iters; ++i) {
+    const uint64_t seed = 9000 + static_cast<uint64_t>(i);
+    const int threads = (i % 2) ? 8 : 1;
+    ASSERT_TRUE(testutil::MutationInterleavedEpisode(seed, 5, threads))
+        << "episode seed " << seed << ", threads " << threads;
+  }
+}
+
 }  // namespace
 }  // namespace xqjg

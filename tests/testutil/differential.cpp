@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "tests/testutil/fixtures.h"
+
 namespace xqjg::testutil {
 
 namespace {
@@ -167,6 +169,138 @@ DifferentialHarness::DifferentialHarness(const std::string& uri,
              << ") diverges from native for \"" << query
              << "\": " << result.value().items.size() << " vs "
              << reference.value().items.size() << " items";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult MutationInterleavedEpisode(uint64_t seed,
+                                                      int steps,
+                                                      int threads) {
+  Rng rng(seed);
+  uint64_t doc_seed = seed * 7919;
+  std::vector<std::string> uris{"m0.xml"};
+  DifferentialHarness harness(
+      "m0.xml", RandomXml(doc_seed, 60 + static_cast<int>(seed % 4) * 30));
+  api::XQueryProcessor& indexed = harness.indexed();
+  api::XQueryProcessor& bare = harness.bare();
+
+  // Loads and reloads go to BOTH processors (the lanes must keep seeing
+  // one corpus); the indexed processor re-creates Table VI afterwards
+  // because a document load resets the relational index set by contract.
+  auto load_both = [&](const std::string& uri,
+                       const std::string& xml) -> Status {
+    XQJG_RETURN_NOT_OK(indexed.LoadDocument(uri, xml));
+    XQJG_RETURN_NOT_OK(bare.LoadDocument(uri, xml));
+    return indexed.CreateRelationalIndexes();
+  };
+
+  for (int step = 0; step < steps; ++step) {
+    // 1. Pre-mutation: native reference + a cursor pinned to the current
+    // snapshot, on a rotating relational lane. The cursor executes only
+    // when drained (after the mutation), so this is the snapshot-
+    // isolation probe: the old block, B-trees, and native DOM must stay
+    // alive and bit-identical under the cursor while the catalog moves.
+    const std::string pin_uri = uris[rng.Next(uris.size())];
+    const std::string pin_query = RandomQuery(seed * 131 + 7 * step, pin_uri);
+    api::RunOptions nat;
+    nat.timeout_seconds = 60;
+    nat.validate_plans = api::ValidatePlans::kOn;
+    nat.mode = api::Mode::kNativeWhole;
+    auto reference = indexed.Run(pin_query, nat);
+    if (!reference.ok()) {
+      return ::testing::AssertionFailure()
+             << "step " << step << ": native reference failed for \""
+             << pin_query << "\": " << reference.status().ToString();
+    }
+    api::PrepareOptions popts;
+    const uint64_t lane = rng.Next(4);
+    popts.mode = lane < 2 ? api::Mode::kStacked : api::Mode::kJoinGraph;
+    popts.validate_plans = api::ValidatePlans::kOn;
+    auto prepared = indexed.Prepare(pin_query, popts);
+    if (!prepared.ok()) {
+      return ::testing::AssertionFailure()
+             << "step " << step << ": Prepare failed for \"" << pin_query
+             << "\": " << prepared.status().ToString();
+    }
+    api::ExecuteOptions eopts;
+    eopts.limits.timeout_seconds = 60;
+    eopts.use_columnar = (lane % 2) == 1;
+    eopts.threads = threads;
+    auto cursor = indexed.Execute(prepared.value(), eopts);
+    if (!cursor.ok()) {
+      return ::testing::AssertionFailure()
+             << "step " << step << ": Execute failed for \"" << pin_query
+             << "\": " << cursor.status().ToString();
+    }
+
+    // 2. Mutate the catalog under the open cursor.
+    std::string mutation_label;
+    switch (rng.Next(3)) {
+      case 0: {
+        const std::string uri = "m" + std::to_string(uris.size()) + ".xml";
+        mutation_label = "load " + uri;
+        const Status st = load_both(
+            uri, RandomXml(++doc_seed, 50 + static_cast<int>(rng.Next(4)) * 30));
+        if (!st.ok()) {
+          return ::testing::AssertionFailure()
+                 << "step " << step << ": " << mutation_label
+                 << " failed: " << st.ToString();
+        }
+        uris.push_back(uri);
+        break;
+      }
+      case 1: {
+        const std::string uri = uris[rng.Next(uris.size())];
+        mutation_label = "reload " + uri;
+        const Status st = load_both(
+            uri, RandomXml(++doc_seed, 50 + static_cast<int>(rng.Next(4)) * 30));
+        if (!st.ok()) {
+          return ::testing::AssertionFailure()
+                 << "step " << step << ": " << mutation_label
+                 << " failed: " << st.ToString();
+        }
+        break;
+      }
+      default: {
+        mutation_label = "index drop+create";
+        indexed.DropRelationalIndexes();
+        const Status st = indexed.CreateRelationalIndexes();
+        if (!st.ok()) {
+          return ::testing::AssertionFailure()
+                 << "step " << step << ": " << mutation_label
+                 << " failed: " << st.ToString();
+        }
+        break;
+      }
+    }
+
+    // 3. Drain the pinned cursor: bit-identical to the pre-mutation
+    // native reference.
+    auto items = cursor.value()->FetchAll();
+    if (!items.ok()) {
+      return ::testing::AssertionFailure()
+             << "step " << step << ": pinned cursor failed after "
+             << mutation_label << " for \"" << pin_query
+             << "\": " << items.status().ToString();
+    }
+    if (items.value() != reference.value().items) {
+      return ::testing::AssertionFailure()
+             << "step " << step << ": pinned cursor diverges after "
+             << mutation_label << " for \"" << pin_query << "\" (lane "
+             << lane << ", threads=" << threads
+             << "): " << items.value().size() << " vs "
+             << reference.value().items.size() << " items";
+    }
+
+    // 4. Fresh prepares against the mutated catalog agree on every lane.
+    const std::string fresh_uri = uris[rng.Next(uris.size())];
+    auto fresh =
+        harness.Check(RandomQuery(seed * 977 + 13 * step, fresh_uri), threads);
+    if (!fresh) {
+      return ::testing::AssertionFailure()
+             << "step " << step << " after " << mutation_label << ": "
+             << fresh.message();
     }
   }
   return ::testing::AssertionSuccess();

@@ -34,6 +34,23 @@ std::string RandomQuery(uint64_t seed, const std::string& uri);
 /// larger sweep), else `fallback`.
 int FuzzIterations(int fallback);
 
+/// One seeded episode of catalog churn interleaved with differential
+/// checks: a scripted schedule of mutations (loading a NEW document,
+/// reloading an existing URI in place, dropping + re-creating the
+/// relational index set) where every step
+///   1. computes the native reference and opens a cursor BEFORE the
+///      mutation (pinning the pre-mutation snapshot),
+///   2. applies the mutation,
+///   3. drains the pinned cursor and requires it bit-identical to the
+///      pre-mutation reference (snapshot isolation under churn), and
+///   4. re-checks a fresh query across every lane against the mutated
+///      catalog (delta-reloaded / appended blocks serve the same bytes).
+/// Same seed → same schedule. `threads` is the columnar morsel worker
+/// count for both the pinned cursor and the fresh checks.
+::testing::AssertionResult MutationInterleavedEpisode(uint64_t seed,
+                                                      int steps,
+                                                      int threads);
+
 class DifferentialHarness {
  public:
   /// Loads `xml` under `uri` into both processors and builds the Table VI
